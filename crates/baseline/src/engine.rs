@@ -1,0 +1,500 @@
+//! The blocking executor.
+//!
+//! The engine is intentionally monolithic: every query scans whole columns,
+//! filters the full candidate set, aggregates everything that qualifies and
+//! only then returns. There is no notion of partial results, sampling or user
+//! steering — exactly the behaviour the paper contrasts dbTouch against
+//! ("resulting in correct answers but slow response times").
+//!
+//! [`ExecStats`] reports the rows and bytes a query touched so the exploration
+//! contest can compare "data touched until the pattern was found" across the
+//! two systems.
+
+use crate::ops;
+use crate::query::{Query, SelectItem};
+use dbtouch_storage::table::Table;
+use dbtouch_types::{DbTouchError, Result, RowId, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Execution statistics of one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Rows read from storage (per column read).
+    pub rows_scanned: u64,
+    /// Bytes read from storage.
+    pub bytes_scanned: u64,
+    /// Output rows produced.
+    pub rows_returned: u64,
+    /// Wall-clock execution time in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+/// The result of one query: a header, rows, and execution statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Execution statistics.
+    pub stats: ExecStats,
+}
+
+impl QueryResult {
+    /// The single scalar of a one-row, one-column result (aggregates).
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            self.rows[0].first()
+        } else {
+            None
+        }
+    }
+}
+
+/// An in-memory database of named tables with a blocking executor.
+///
+/// ```
+/// use dbtouch_baseline::engine::Database;
+/// use dbtouch_storage::{column::Column, table::Table};
+///
+/// let mut db = Database::new();
+/// db.register(Table::from_columns(
+///     "events",
+///     vec![
+///         Column::from_i64("id", (0..1000).collect()),
+///         Column::from_f64("value", (0..1000).map(|i| i as f64).collect()),
+///     ],
+/// ).unwrap()).unwrap();
+///
+/// let result = db.run_sql("select avg(value) from events where id < 100").unwrap();
+/// assert_eq!(result.scalar().unwrap().as_f64().unwrap(), 49.5);
+/// // Blocking behaviour: the filter column was scanned in full.
+/// assert!(result.stats.rows_scanned >= 1000);
+/// ```
+#[derive(Debug, Default)]
+pub struct Database {
+    tables: HashMap<String, Table>,
+    /// Cumulative statistics across all queries run so far.
+    total: ExecStats,
+}
+
+impl Database {
+    /// Create an empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Register a table; its name must be unique.
+    pub fn register(&mut self, table: Table) -> Result<()> {
+        let name = table.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(DbTouchError::AlreadyExists(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// The registered table names, sorted.
+    pub fn catalog(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// A registered table by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| DbTouchError::NotFound(format!("table {name}")))
+    }
+
+    /// Cumulative statistics across all queries run through this database.
+    pub fn total_stats(&self) -> ExecStats {
+        self.total
+    }
+
+    /// Parse and run a SQL-ish query string.
+    pub fn run_sql(&mut self, sql: &str) -> Result<QueryResult> {
+        let query = crate::parser::parse_query(sql)?;
+        self.run(&query)
+    }
+
+    /// Run a query.
+    pub fn run(&mut self, query: &Query) -> Result<QueryResult> {
+        let started = Instant::now();
+        if query.select.is_empty() {
+            return Err(DbTouchError::InvalidPlan("empty select list".into()));
+        }
+        let table = self.table(&query.from)?;
+        let mut stats = ExecStats::default();
+
+        // 1. Full scan + filters over the FROM table (blocking).
+        let mut rows = ops::all_rows(table.row_count());
+        for cond in &query.filters {
+            // Conditions that reference the joined table are applied later.
+            if table.column(&cond.column).is_err() {
+                continue;
+            }
+            let col = table.column(&cond.column)?;
+            Self::charge_scan(&mut stats, col.len(), col.data_type().width_bytes());
+            rows = ops::filter_column(col, cond, Some(&rows))?;
+        }
+
+        // 2. Optional equi-join (blocking hash join over full inputs).
+        let joined: Option<(Vec<(RowId, RowId)>, &Table)> = match &query.join {
+            Some(j) => {
+                let right = self.table(&j.table)?;
+                let left_key = table.column(&j.left_column)?;
+                let right_key = right.column(&j.right_column)?;
+                let right_rows = ops::all_rows(right.row_count());
+                Self::charge_scan(&mut stats, left_key.len(), left_key.data_type().width_bytes());
+                Self::charge_scan(&mut stats, right_key.len(), right_key.data_type().width_bytes());
+                let pairs = ops::hash_join(left_key, &rows, right_key, &right_rows)?;
+                Some((pairs, right))
+            }
+            None => None,
+        };
+
+        // Helper resolving a column either from the FROM table or the joined one.
+        let resolve = |name: &str| -> Result<(&Table, bool)> {
+            if table.column(name).is_ok() {
+                Ok((table, false))
+            } else if let Some((_, right)) = &joined {
+                if right.column(name).is_ok() {
+                    return Ok((*right, true));
+                }
+                Err(DbTouchError::NotFound(format!("column {name}")))
+            } else {
+                Err(DbTouchError::NotFound(format!("column {name}")))
+            }
+        };
+
+        // Materialize the effective row set as pairs (left row, optional right row).
+        let effective: Vec<(RowId, Option<RowId>)> = match &joined {
+            Some((pairs, right)) => {
+                // Apply remaining filters that reference the joined table.
+                let mut pairs: Vec<(RowId, Option<RowId>)> =
+                    pairs.iter().map(|(l, r)| (*l, Some(*r))).collect();
+                for cond in &query.filters {
+                    if table.column(&cond.column).is_ok() {
+                        continue;
+                    }
+                    let col = right.column(&cond.column)?;
+                    Self::charge_scan(&mut stats, pairs.len() as u64, col.data_type().width_bytes());
+                    pairs.retain(|(_, r)| {
+                        r.map(|r| col.get(r).map(|v| cond.matches(&v)).unwrap_or(false))
+                            .unwrap_or(false)
+                    });
+                }
+                pairs
+            }
+            None => rows.iter().map(|r| (*r, None)).collect(),
+        };
+
+        // 3. Aggregation / projection.
+        let columns: Vec<String> = query.select.iter().map(SelectItem::label).collect();
+        let mut out_rows: Vec<Vec<Value>> = Vec::new();
+
+        let read_value = |item_col: &str, pair: &(RowId, Option<RowId>)| -> Result<Value> {
+            let (tbl, is_right) = resolve(item_col)?;
+            let row = if is_right {
+                pair.1.ok_or_else(|| {
+                    DbTouchError::InvalidPlan(format!("column {item_col} needs a join"))
+                })?
+            } else {
+                pair.0
+            };
+            tbl.column(item_col)?.get(row)
+        };
+
+        if query.is_aggregate_query() || query.group_by.is_some() {
+            // Group rows (a single implicit group when no GROUP BY).
+            let groups: Vec<(Option<Value>, Vec<(RowId, Option<RowId>)>)> = match &query.group_by {
+                Some(gcol) => {
+                    let (tbl, is_right) = resolve(gcol)?;
+                    let col = tbl.column(gcol)?;
+                    Self::charge_scan(&mut stats, effective.len() as u64, col.data_type().width_bytes());
+                    let mut map: HashMap<String, (Value, Vec<(RowId, Option<RowId>)>)> =
+                        HashMap::new();
+                    for pair in &effective {
+                        let row = if is_right { pair.1.unwrap_or(pair.0) } else { pair.0 };
+                        let v = col.get(row)?;
+                        let key = match v.as_f64() {
+                            Ok(n) => format!("n:{n}"),
+                            Err(_) => format!("s:{v}"),
+                        };
+                        map.entry(key).or_insert_with(|| (v.clone(), Vec::new())).1.push(*pair);
+                    }
+                    let mut gs: Vec<(Option<Value>, Vec<(RowId, Option<RowId>)>)> =
+                        map.into_values().map(|(v, rows)| (Some(v), rows)).collect();
+                    gs.sort_by(|a, b| a.0.as_ref().unwrap().total_cmp(b.0.as_ref().unwrap()));
+                    gs
+                }
+                None => vec![(None, effective.clone())],
+            };
+
+            for (group_value, pairs) in groups {
+                let mut row_out = Vec::with_capacity(query.select.len());
+                for item in &query.select {
+                    match item {
+                        SelectItem::Column(c) => {
+                            // In an aggregate query a plain column must be the group key.
+                            if Some(c) == query.group_by.as_ref() {
+                                row_out.push(group_value.clone().unwrap_or(Value::Int(0)));
+                            } else {
+                                return Err(DbTouchError::InvalidPlan(format!(
+                                    "column {c} must appear in group by"
+                                )));
+                            }
+                        }
+                        SelectItem::Aggregate { func, column } => {
+                            let value = match column {
+                                None => Value::Int(pairs.len() as i64),
+                                Some(c) => {
+                                    let (tbl, is_right) = resolve(c)?;
+                                    let col = tbl.column(c)?;
+                                    Self::charge_scan(
+                                        &mut stats,
+                                        pairs.len() as u64,
+                                        col.data_type().width_bytes(),
+                                    );
+                                    let rows: Vec<RowId> = pairs
+                                        .iter()
+                                        .map(|p| if is_right { p.1.unwrap_or(p.0) } else { p.0 })
+                                        .collect();
+                                    ops::aggregate_rows(*func, Some(col), &rows, rows.len() as u64)?
+                                }
+                            };
+                            row_out.push(value);
+                        }
+                    }
+                }
+                out_rows.push(row_out);
+            }
+        } else {
+            // Plain projection.
+            for pair in &effective {
+                let mut row_out = Vec::with_capacity(query.select.len());
+                for item in &query.select {
+                    match item {
+                        SelectItem::Column(c) => row_out.push(read_value(c, pair)?),
+                        SelectItem::Aggregate { .. } => unreachable!("handled above"),
+                    }
+                }
+                out_rows.push(row_out);
+                if let Some(limit) = query.limit {
+                    if out_rows.len() as u64 >= limit {
+                        break;
+                    }
+                }
+            }
+            // Charge the projection scans (whole qualifying set per projected column).
+            for item in &query.select {
+                if let SelectItem::Column(c) = item {
+                    if let Ok((tbl, _)) = resolve(c) {
+                        if let Ok(col) = tbl.column(c) {
+                            Self::charge_scan(
+                                &mut stats,
+                                effective.len() as u64,
+                                col.data_type().width_bytes(),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        if let Some(limit) = query.limit {
+            out_rows.truncate(limit as usize);
+        }
+
+        stats.rows_returned = out_rows.len() as u64;
+        stats.elapsed_nanos = started.elapsed().as_nanos() as u64;
+        self.total.rows_scanned += stats.rows_scanned;
+        self.total.bytes_scanned += stats.bytes_scanned;
+        self.total.rows_returned += stats.rows_returned;
+        self.total.elapsed_nanos += stats.elapsed_nanos;
+
+        Ok(QueryResult {
+            columns,
+            rows: out_rows,
+            stats,
+        })
+    }
+
+    fn charge_scan(stats: &mut ExecStats, rows: u64, width: usize) {
+        stats.rows_scanned += rows;
+        stats.bytes_scanned += rows * width as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{AggFunc, Condition, ConditionOp, JoinClause};
+    use dbtouch_storage::column::Column;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.register(
+            Table::from_columns(
+                "events",
+                vec![
+                    Column::from_i64("id", (0..1000).collect()),
+                    Column::from_f64("value", (0..1000).map(|i| (i % 100) as f64).collect()),
+                    Column::from_i64("kind", (0..1000).map(|i| i % 4).collect()),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db.register(
+            Table::from_columns(
+                "kinds",
+                vec![
+                    Column::from_i64("kind_id", vec![0, 1, 2, 3]),
+                    Column::from_strings("name", 8, &["alpha", "beta", "gamma", "delta"]).unwrap(),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn catalog_and_duplicate_registration() {
+        let mut db = db();
+        assert_eq!(db.catalog(), vec!["events".to_string(), "kinds".to_string()]);
+        let dup = Table::from_columns("events", vec![Column::from_i64("x", vec![1])]).unwrap();
+        assert!(db.register(dup).is_err());
+        assert!(db.table("missing").is_err());
+    }
+
+    #[test]
+    fn projection_with_filter_and_limit() {
+        let mut db = db();
+        let q = Query::from_table("events")
+            .select_column("id")
+            .select_column("value")
+            .filter(Condition::new("value", ConditionOp::Ge, 98i64))
+            .limit(5);
+        let r = db.run(&q).unwrap();
+        assert_eq!(r.columns, vec!["id".to_string(), "value".to_string()]);
+        assert_eq!(r.rows.len(), 5);
+        for row in &r.rows {
+            assert!(row[1].as_f64().unwrap() >= 98.0);
+        }
+        // the filter scanned the whole value column: blocking behaviour
+        assert!(r.stats.rows_scanned >= 1000);
+        assert!(r.stats.bytes_scanned >= 8000);
+    }
+
+    #[test]
+    fn scalar_aggregate() {
+        let mut db = db();
+        let q = Query::from_table("events").select_aggregate(AggFunc::Avg, Some("value"));
+        let r = db.run(&q).unwrap();
+        let avg = r.scalar().unwrap().as_f64().unwrap();
+        assert!((avg - 49.5).abs() < 1e-9);
+        assert_eq!(r.stats.rows_returned, 1);
+    }
+
+    #[test]
+    fn count_star() {
+        let mut db = db();
+        let q = Query::from_table("events").select_aggregate(AggFunc::Count, None);
+        let r = db.run(&q).unwrap();
+        assert_eq!(r.scalar().unwrap(), &Value::Int(1000));
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let mut db = db();
+        let q = Query::from_table("events")
+            .select_column("kind")
+            .select_aggregate(AggFunc::Count, None)
+            .select_aggregate(AggFunc::Avg, Some("value"))
+            .group_by("kind");
+        let r = db.run(&q).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0][0], Value::Int(0));
+        assert_eq!(r.rows[0][1], Value::Int(250));
+        // selecting a non-group column in an aggregate query fails
+        let bad = Query::from_table("events")
+            .select_column("id")
+            .select_aggregate(AggFunc::Count, None)
+            .group_by("kind");
+        assert!(db.run(&bad).is_err());
+    }
+
+    #[test]
+    fn join_query() {
+        let mut db = db();
+        let q = Query::from_table("events")
+            .select_column("id")
+            .select_column("name")
+            .join(JoinClause {
+                table: "kinds".into(),
+                left_column: "kind".into(),
+                right_column: "kind_id".into(),
+            })
+            .filter(Condition::new("name", ConditionOp::Eq, "alpha"))
+            .limit(3);
+        let r = db.run(&q).unwrap();
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert_eq!(row[1], Value::Str("alpha".into()));
+            // kind 0 rows are ids divisible by 4
+            assert_eq!(row[0].as_i64().unwrap() % 4, 0);
+        }
+    }
+
+    #[test]
+    fn aggregate_over_join() {
+        let mut db = db();
+        let q = Query::from_table("events")
+            .select_column("name")
+            .select_aggregate(AggFunc::Count, None)
+            .join(JoinClause {
+                table: "kinds".into(),
+                left_column: "kind".into(),
+                right_column: "kind_id".into(),
+            })
+            .group_by("name");
+        let r = db.run(&q).unwrap();
+        assert_eq!(r.rows.len(), 4);
+        let total: i64 = r.rows.iter().map(|row| row[1].as_i64().unwrap()).sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn empty_select_rejected_and_unknown_table() {
+        let mut db = db();
+        assert!(db.run(&Query::from_table("events")).is_err());
+        assert!(db
+            .run(&Query::from_table("missing").select_column("x"))
+            .is_err());
+    }
+
+    #[test]
+    fn total_stats_accumulate() {
+        let mut db = db();
+        let q = Query::from_table("events").select_aggregate(AggFunc::Sum, Some("value"));
+        db.run(&q).unwrap();
+        db.run(&q).unwrap();
+        assert!(db.total_stats().rows_scanned >= 2000);
+    }
+
+    #[test]
+    fn run_sql_end_to_end() {
+        let mut db = db();
+        let r = db
+            .run_sql("select avg(value) from events where kind = 2")
+            .unwrap();
+        let avg = r.scalar().unwrap().as_f64().unwrap();
+        assert!(avg > 0.0 && avg < 100.0);
+    }
+}

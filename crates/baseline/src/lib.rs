@@ -1,0 +1,31 @@
+//! # dbtouch-baseline
+//!
+//! A small, traditional, blocking column-store executor used as the comparison
+//! system for dbTouch.
+//!
+//! The paper contrasts dbTouch with "state-of-the-art database systems" in two
+//! places: conceptually throughout Section 2 ("In traditional systems, once a
+//! query is posed, the database controls the data flow"), and concretely in the
+//! Appendix A demo, where one participant explores data through dbTouch on a
+//! tablet while another fires SQL at "the open-source column store DBMS" on a
+//! laptop. This crate is that laptop system, reduced to what the comparison
+//! needs:
+//!
+//! * [`query`] — a tiny query model: projections, aggregates, a WHERE
+//!   condition, GROUP BY, an equi-join and LIMIT.
+//! * [`parser`] — a small SQL-ish text front end for that model, so the
+//!   "exploration contest" can literally fire query strings.
+//! * [`ops`] — the blocking operators: full-column scans, filters, hash
+//!   aggregation and a build-then-probe hash join.
+//! * [`engine`] — the executor: it always consumes entire columns before
+//!   producing a result (the monolithic behaviour dbTouch is designed to
+//!   avoid), and reports how many rows and bytes each query touched.
+
+pub mod engine;
+pub mod ops;
+pub mod parser;
+pub mod query;
+
+pub use engine::{Database, ExecStats, QueryResult};
+pub use parser::parse_query;
+pub use query::{AggFunc, Condition, ConditionOp, JoinClause, Query, SelectItem};

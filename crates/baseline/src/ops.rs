@@ -1,0 +1,234 @@
+//! Blocking operators of the baseline executor.
+//!
+//! Everything here consumes its entire input before producing output — that is
+//! the defining property the dbTouch kernel moves away from. The operators work
+//! over row-id selections so the engine can compose scan → filter → join →
+//! aggregate in the classical way.
+
+use crate::query::{AggFunc, Condition};
+use dbtouch_storage::column::Column;
+use dbtouch_types::{DbTouchError, Result, RowId, Value};
+use std::collections::HashMap;
+
+/// Apply one condition over a column, returning the qualifying row ids from the
+/// candidate set (or all rows when `candidates` is `None`). Scans every
+/// candidate row — no indexes, no early exit.
+pub fn filter_column(
+    column: &Column,
+    condition: &Condition,
+    candidates: Option<&[RowId]>,
+) -> Result<Vec<RowId>> {
+    let mut out = Vec::new();
+    match candidates {
+        Some(rows) => {
+            for &row in rows {
+                if condition.matches(&column.get(row)?) {
+                    out.push(row);
+                }
+            }
+        }
+        None => {
+            for i in 0..column.len() {
+                let row = RowId(i);
+                if condition.matches(&column.get(row)?) {
+                    out.push(row);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Compute one aggregate over the given rows of a column. `column = None` is
+/// only valid for `Count` (i.e. `count(*)`), in which case `row_count` is used.
+pub fn aggregate_rows(
+    func: AggFunc,
+    column: Option<&Column>,
+    rows: &[RowId],
+    row_count: u64,
+) -> Result<Value> {
+    match (func, column) {
+        (AggFunc::Count, None) => Ok(Value::Int(row_count as i64)),
+        (AggFunc::Count, Some(_)) => Ok(Value::Int(rows.len() as i64)),
+        (_, None) => Err(DbTouchError::InvalidPlan(format!(
+            "{} requires a column",
+            func.name()
+        ))),
+        (func, Some(col)) => {
+            let mut count = 0u64;
+            let mut sum = 0.0;
+            let mut min: Option<f64> = None;
+            let mut max: Option<f64> = None;
+            for &row in rows {
+                let x = col.f64_at(row)?;
+                count += 1;
+                sum += x;
+                min = Some(min.map_or(x, |m| m.min(x)));
+                max = Some(max.map_or(x, |m| m.max(x)));
+            }
+            Ok(match func {
+                AggFunc::Sum => Value::Float(sum),
+                AggFunc::Avg => {
+                    if count == 0 {
+                        Value::Float(f64::NAN)
+                    } else {
+                        Value::Float(sum / count as f64)
+                    }
+                }
+                AggFunc::Min => Value::Float(min.unwrap_or(f64::NAN)),
+                AggFunc::Max => Value::Float(max.unwrap_or(f64::NAN)),
+                AggFunc::Count => unreachable!("handled above"),
+            })
+        }
+    }
+}
+
+/// Group the given rows by the values of `group_column`, returning
+/// `(group value, rows of that group)` pairs sorted by group value.
+pub fn group_rows(group_column: &Column, rows: &[RowId]) -> Result<Vec<(Value, Vec<RowId>)>> {
+    let mut groups: HashMap<String, (Value, Vec<RowId>)> = HashMap::new();
+    for &row in rows {
+        let v = group_column.get(row)?;
+        let key = match v.as_f64() {
+            Ok(n) => format!("n:{n}"),
+            Err(_) => format!("s:{v}"),
+        };
+        groups.entry(key).or_insert_with(|| (v.clone(), Vec::new())).1.push(row);
+    }
+    let mut out: Vec<(Value, Vec<RowId>)> = groups.into_values().collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    Ok(out)
+}
+
+/// A classical build-then-probe equi-join over two columns. Returns pairs of
+/// `(left row, right row)` with equal keys. The whole build side is consumed
+/// before any output is produced.
+pub fn hash_join(
+    left_key: &Column,
+    left_rows: &[RowId],
+    right_key: &Column,
+    right_rows: &[RowId],
+) -> Result<Vec<(RowId, RowId)>> {
+    let mut table: HashMap<String, Vec<RowId>> = HashMap::new();
+    for &row in left_rows {
+        let v = left_key.get(row)?;
+        let key = match v.as_f64() {
+            Ok(n) => format!("n:{n}"),
+            Err(_) => format!("s:{v}"),
+        };
+        table.entry(key).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    for &row in right_rows {
+        let v = right_key.get(row)?;
+        let key = match v.as_f64() {
+            Ok(n) => format!("n:{n}"),
+            Err(_) => format!("s:{v}"),
+        };
+        if let Some(matches) = table.get(&key) {
+            for &l in matches {
+                out.push((l, row));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// All row ids of a column (the full-scan candidate set).
+pub fn all_rows(len: u64) -> Vec<RowId> {
+    (0..len).map(RowId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::ConditionOp;
+
+    fn col() -> Column {
+        Column::from_i64("v", vec![5, 1, 9, 3, 7, 1])
+    }
+
+    #[test]
+    fn filter_full_and_candidates() {
+        let c = col();
+        let cond = Condition::new("v", ConditionOp::Gt, 3i64);
+        let all = filter_column(&c, &cond, None).unwrap();
+        assert_eq!(all, vec![RowId(0), RowId(2), RowId(4)]);
+        let subset = filter_column(&c, &cond, Some(&[RowId(0), RowId(1)])).unwrap();
+        assert_eq!(subset, vec![RowId(0)]);
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = col();
+        let rows = all_rows(c.len());
+        assert_eq!(
+            aggregate_rows(AggFunc::Count, None, &rows, c.len()).unwrap(),
+            Value::Int(6)
+        );
+        assert_eq!(
+            aggregate_rows(AggFunc::Sum, Some(&c), &rows, c.len()).unwrap(),
+            Value::Float(26.0)
+        );
+        assert_eq!(
+            aggregate_rows(AggFunc::Min, Some(&c), &rows, c.len()).unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            aggregate_rows(AggFunc::Max, Some(&c), &rows, c.len()).unwrap(),
+            Value::Float(9.0)
+        );
+        let avg = aggregate_rows(AggFunc::Avg, Some(&c), &rows, c.len()).unwrap();
+        assert_eq!(avg, Value::Float(26.0 / 6.0));
+        assert!(aggregate_rows(AggFunc::Sum, None, &rows, c.len()).is_err());
+    }
+
+    #[test]
+    fn empty_rows_aggregate() {
+        let c = col();
+        assert_eq!(
+            aggregate_rows(AggFunc::Count, Some(&c), &[], c.len()).unwrap(),
+            Value::Int(0)
+        );
+        match aggregate_rows(AggFunc::Avg, Some(&c), &[], c.len()).unwrap() {
+            Value::Float(v) => assert!(v.is_nan()),
+            other => panic!("expected float, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grouping() {
+        let groups_col = Column::from_strings("g", 4, &["a", "b", "a", "b", "a"]).unwrap();
+        let rows = all_rows(groups_col.len());
+        let groups = group_rows(&groups_col, &rows).unwrap();
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, Value::Str("a".into()));
+        assert_eq!(groups[0].1.len(), 3);
+        assert_eq!(groups[1].1.len(), 2);
+    }
+
+    #[test]
+    fn join_produces_all_pairs() {
+        let left = Column::from_i64("k", vec![1, 2, 3, 2]);
+        let right = Column::from_i64("k", vec![2, 2, 4]);
+        let pairs = hash_join(
+            &left,
+            &all_rows(left.len()),
+            &right,
+            &all_rows(right.len()),
+        )
+        .unwrap();
+        // left rows 1 and 3 have key 2; right rows 0 and 1 have key 2 -> 4 pairs
+        assert_eq!(pairs.len(), 4);
+        assert!(pairs.contains(&(RowId(1), RowId(0))));
+        assert!(pairs.contains(&(RowId(3), RowId(1))));
+    }
+
+    #[test]
+    fn join_numeric_keys_across_types() {
+        let left = Column::from_i64("k", vec![1, 2]);
+        let right = Column::from_f64("k", vec![2.0]);
+        let pairs = hash_join(&left, &all_rows(2), &right, &all_rows(1)).unwrap();
+        assert_eq!(pairs, vec![(RowId(1), RowId(0))]);
+    }
+}

@@ -1,0 +1,362 @@
+//! A small SQL-ish parser for the baseline query model.
+//!
+//! Supports exactly the grammar the exploration-contest scenarios need:
+//!
+//! ```text
+//! SELECT item (, item)*
+//! FROM table
+//! [JOIN table ON col = col]
+//! [WHERE cond (AND cond)*]
+//! [GROUP BY col]
+//! [LIMIT n]
+//!
+//! item  := col | count(*) | count(col) | sum(col) | avg(col) | min(col) | max(col)
+//! cond  := col op literal | col BETWEEN literal AND literal
+//! op    := = | != | <> | < | <= | > | >=
+//! literal := integer | float | 'string'
+//! ```
+//!
+//! Keywords are case-insensitive; identifiers are case-sensitive.
+
+use crate::query::{AggFunc, Condition, ConditionOp, JoinClause, Query, SelectItem};
+use dbtouch_types::{DbTouchError, Result, Value};
+
+/// Parse a query string into a [`Query`].
+pub fn parse_query(sql: &str) -> Result<Query> {
+    Parser::new(sql).parse()
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Parser {
+        Parser {
+            tokens: tokenize(sql),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> DbTouchError {
+        DbTouchError::ParseError(format!("{} (near token {})", msg.into(), self.pos))
+    }
+
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(t) => Err(self.err(format!("expected {kw}, found {t}"))),
+            None => Err(self.err(format!("expected {kw}, found end of input"))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw))
+    }
+
+    fn parse(mut self) -> Result<Query> {
+        self.expect_keyword("select")?;
+        let select = self.parse_select_list()?;
+        self.expect_keyword("from")?;
+        let from = self
+            .next()
+            .ok_or_else(|| self.err("expected table name"))?;
+        let mut query = Query {
+            select,
+            from,
+            join: None,
+            filters: Vec::new(),
+            group_by: None,
+            limit: None,
+        };
+        if self.peek_keyword("join") {
+            self.next();
+            let table = self.next().ok_or_else(|| self.err("expected join table"))?;
+            self.expect_keyword("on")?;
+            let left = self.next().ok_or_else(|| self.err("expected join column"))?;
+            self.expect_keyword("=")?;
+            let right = self.next().ok_or_else(|| self.err("expected join column"))?;
+            query.join = Some(JoinClause {
+                table,
+                left_column: left,
+                right_column: right,
+            });
+        }
+        if self.peek_keyword("where") {
+            self.next();
+            loop {
+                query.filters.push(self.parse_condition()?);
+                if self.peek_keyword("and") {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        if self.peek_keyword("group") {
+            self.next();
+            self.expect_keyword("by")?;
+            query.group_by = Some(self.next().ok_or_else(|| self.err("expected group column"))?);
+        }
+        if self.peek_keyword("limit") {
+            self.next();
+            let n = self.next().ok_or_else(|| self.err("expected limit value"))?;
+            query.limit = Some(
+                n.parse::<u64>()
+                    .map_err(|_| self.err(format!("invalid limit {n}")))?,
+            );
+        }
+        if let Some(extra) = self.peek() {
+            return Err(self.err(format!("unexpected trailing token {extra}")));
+        }
+        if query.select.is_empty() {
+            return Err(self.err("empty select list"));
+        }
+        Ok(query)
+    }
+
+    fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if self.peek() == Some(",") {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        Ok(items)
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem> {
+        let token = self.next().ok_or_else(|| self.err("expected select item"))?;
+        let func = match token.to_ascii_lowercase().as_str() {
+            "count" => Some(AggFunc::Count),
+            "sum" => Some(AggFunc::Sum),
+            "avg" => Some(AggFunc::Avg),
+            "min" => Some(AggFunc::Min),
+            "max" => Some(AggFunc::Max),
+            _ => None,
+        };
+        match func {
+            Some(func) if self.peek() == Some("(") => {
+                self.next(); // (
+                let arg = self.next().ok_or_else(|| self.err("expected aggregate argument"))?;
+                if self.next().as_deref() != Some(")") {
+                    return Err(self.err("expected )"));
+                }
+                let column = if arg == "*" {
+                    if func != AggFunc::Count {
+                        return Err(self.err("only count(*) may use *"));
+                    }
+                    None
+                } else {
+                    Some(arg)
+                };
+                Ok(SelectItem::Aggregate { func, column })
+            }
+            _ => Ok(SelectItem::Column(token)),
+        }
+    }
+
+    fn parse_condition(&mut self) -> Result<Condition> {
+        let column = self.next().ok_or_else(|| self.err("expected column"))?;
+        let op_token = self.next().ok_or_else(|| self.err("expected operator"))?;
+        if op_token.eq_ignore_ascii_case("between") {
+            let low = self.parse_literal()?;
+            self.expect_keyword("and")?;
+            let high = self.parse_literal()?;
+            return Ok(Condition {
+                column,
+                op: ConditionOp::Between,
+                value: low,
+                upper: Some(high),
+            });
+        }
+        let op = match op_token.as_str() {
+            "=" => ConditionOp::Eq,
+            "!=" | "<>" => ConditionOp::Ne,
+            "<" => ConditionOp::Lt,
+            "<=" => ConditionOp::Le,
+            ">" => ConditionOp::Gt,
+            ">=" => ConditionOp::Ge,
+            other => return Err(self.err(format!("unknown operator {other}"))),
+        };
+        let value = self.parse_literal()?;
+        Ok(Condition {
+            column,
+            op,
+            value,
+            upper: None,
+        })
+    }
+
+    fn parse_literal(&mut self) -> Result<Value> {
+        let token = self.next().ok_or_else(|| self.err("expected literal"))?;
+        if let Some(stripped) = token.strip_prefix('\'') {
+            let s = stripped.strip_suffix('\'').unwrap_or(stripped);
+            return Ok(Value::Str(s.to_string()));
+        }
+        if let Ok(i) = token.parse::<i64>() {
+            return Ok(Value::Int(i));
+        }
+        if let Ok(f) = token.parse::<f64>() {
+            return Ok(Value::Float(f));
+        }
+        Err(self.err(format!("invalid literal {token}")))
+    }
+}
+
+/// Split a query string into tokens: identifiers/numbers, quoted strings,
+/// punctuation and multi-character operators.
+fn tokenize(sql: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '\'' {
+            // quoted string literal, kept with its quotes
+            let mut j = i + 1;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            let end = (j + 1).min(chars.len());
+            tokens.push(chars[i..end].iter().collect());
+            i = end;
+        } else if c == '(' || c == ')' || c == ',' || c == '*' || c == '=' {
+            tokens.push(c.to_string());
+            i += 1;
+        } else if c == '<' || c == '>' || c == '!' {
+            if i + 1 < chars.len() && (chars[i + 1] == '=' || (c == '<' && chars[i + 1] == '>')) {
+                tokens.push(chars[i..=i + 1].iter().collect());
+                i += 2;
+            } else {
+                tokens.push(c.to_string());
+                i += 1;
+            }
+        } else {
+            let mut j = i;
+            while j < chars.len()
+                && !chars[j].is_whitespace()
+                && !"(),*=<>!'".contains(chars[j])
+            {
+                j += 1;
+            }
+            tokens.push(chars[i..j].iter().collect());
+            i = j;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_splits_operators_and_strings() {
+        assert_eq!(
+            tokenize("a>=5 and b='x y'"),
+            vec!["a", ">=", "5", "and", "b", "=", "'x y'"]
+        );
+        assert_eq!(tokenize("count(*)"), vec!["count", "(", "*", ")"]);
+        assert_eq!(tokenize("a <> 3"), vec!["a", "<>", "3"]);
+    }
+
+    #[test]
+    fn parse_simple_projection() {
+        let q = parse_query("select id, value from events limit 10").unwrap();
+        assert_eq!(q.from, "events");
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.limit, Some(10));
+        assert!(q.filters.is_empty());
+    }
+
+    #[test]
+    fn parse_aggregates_and_group_by() {
+        let q = parse_query("SELECT kind, COUNT(*), AVG(value) FROM events GROUP BY kind").unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert!(q.is_aggregate_query());
+        assert_eq!(q.group_by.as_deref(), Some("kind"));
+        assert_eq!(
+            q.select[1],
+            SelectItem::Aggregate { func: AggFunc::Count, column: None }
+        );
+        assert_eq!(
+            q.select[2],
+            SelectItem::Aggregate { func: AggFunc::Avg, column: Some("value".into()) }
+        );
+    }
+
+    #[test]
+    fn parse_where_conditions() {
+        let q = parse_query(
+            "select id from events where value >= 10.5 and kind != 2 and name = 'alpha'",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 3);
+        assert_eq!(q.filters[0].op, ConditionOp::Ge);
+        assert_eq!(q.filters[0].value, Value::Float(10.5));
+        assert_eq!(q.filters[1].op, ConditionOp::Ne);
+        assert_eq!(q.filters[2].value, Value::Str("alpha".into()));
+    }
+
+    #[test]
+    fn parse_between() {
+        let q = parse_query("select id from events where value between 5 and 9").unwrap();
+        assert_eq!(q.filters.len(), 1);
+        assert_eq!(q.filters[0].op, ConditionOp::Between);
+        assert_eq!(q.filters[0].value, Value::Int(5));
+        assert_eq!(q.filters[0].upper, Some(Value::Int(9)));
+    }
+
+    #[test]
+    fn parse_join() {
+        let q = parse_query(
+            "select id, name from events join kinds on kind = kind_id where name = 'beta'",
+        )
+        .unwrap();
+        let j = q.join.unwrap();
+        assert_eq!(j.table, "kinds");
+        assert_eq!(j.left_column, "kind");
+        assert_eq!(j.right_column, "kind_id");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_query("selekt x from t").is_err());
+        assert!(parse_query("select from t").is_err());
+        assert!(parse_query("select x t").is_err());
+        assert!(parse_query("select x from t where").is_err());
+        assert!(parse_query("select x from t where a ~ 3").is_err());
+        assert!(parse_query("select x from t limit ten").is_err());
+        assert!(parse_query("select sum(*) from t").is_err());
+        assert!(parse_query("select x from t garbage").is_err());
+    }
+
+    #[test]
+    fn round_trip_display_reparses() {
+        let original = parse_query(
+            "select kind, avg(value) from events where value > 10 group by kind limit 5",
+        )
+        .unwrap();
+        let reparsed = parse_query(&original.to_string()).unwrap();
+        assert_eq!(original, reparsed);
+    }
+}

@@ -1,0 +1,335 @@
+//! The baseline system's query model.
+//!
+//! A deliberately small subset of SQL: enough for the exploration-contest
+//! scenarios (point probes, range filters, aggregates, group-bys and a simple
+//! equi-join) without growing into a full planner.
+
+use dbtouch_types::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate functions supported by the baseline executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AggFunc {
+    /// `count(*)` / `count(col)`.
+    Count,
+    /// `sum(col)`.
+    Sum,
+    /// `avg(col)`.
+    Avg,
+    /// `min(col)`.
+    Min,
+    /// `max(col)`.
+    Max,
+}
+
+impl AggFunc {
+    /// Lowercase SQL name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SelectItem {
+    /// A plain column reference.
+    Column(String),
+    /// An aggregate over a column; `column = None` means `count(*)`.
+    Aggregate {
+        /// The aggregate function.
+        func: AggFunc,
+        /// The aggregated column (`None` only for `count(*)`).
+        column: Option<String>,
+    },
+}
+
+impl SelectItem {
+    /// Display name used as the output column header.
+    pub fn label(&self) -> String {
+        match self {
+            SelectItem::Column(c) => c.clone(),
+            SelectItem::Aggregate { func, column } => match column {
+                Some(c) => format!("{}({c})", func.name()),
+                None => format!("{}(*)", func.name()),
+            },
+        }
+    }
+
+    /// True if this item is an aggregate.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, SelectItem::Aggregate { .. })
+    }
+}
+
+/// Comparison operators of WHERE conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConditionOp {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `BETWEEN low AND high`
+    Between,
+}
+
+/// A WHERE condition over one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// The restricted column.
+    pub column: String,
+    /// The comparison operator.
+    pub op: ConditionOp,
+    /// The comparison constant (the lower bound for `Between`).
+    pub value: Value,
+    /// The upper bound for `Between`, unused otherwise.
+    pub upper: Option<Value>,
+}
+
+impl Condition {
+    /// Build a simple comparison condition.
+    pub fn new(column: impl Into<String>, op: ConditionOp, value: impl Into<Value>) -> Condition {
+        Condition {
+            column: column.into(),
+            op,
+            value: value.into(),
+            upper: None,
+        }
+    }
+
+    /// Build a BETWEEN condition.
+    pub fn between(
+        column: impl Into<String>,
+        low: impl Into<Value>,
+        high: impl Into<Value>,
+    ) -> Condition {
+        Condition {
+            column: column.into(),
+            op: ConditionOp::Between,
+            value: low.into(),
+            upper: Some(high.into()),
+        }
+    }
+
+    /// Evaluate the condition against a value of the restricted column.
+    pub fn matches(&self, v: &Value) -> bool {
+        use std::cmp::Ordering::*;
+        match self.op {
+            ConditionOp::Eq => v.total_cmp(&self.value) == Equal,
+            ConditionOp::Ne => v.total_cmp(&self.value) != Equal,
+            ConditionOp::Lt => v.total_cmp(&self.value) == Less,
+            ConditionOp::Le => v.total_cmp(&self.value) != Greater,
+            ConditionOp::Gt => v.total_cmp(&self.value) == Greater,
+            ConditionOp::Ge => v.total_cmp(&self.value) != Less,
+            ConditionOp::Between => {
+                let upper = self.upper.as_ref().unwrap_or(&self.value);
+                v.total_cmp(&self.value) != Less && v.total_cmp(upper) != Greater
+            }
+        }
+    }
+}
+
+/// An equi-join clause: `JOIN <table> ON <left_column> = <right_column>`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JoinClause {
+    /// The right-hand table.
+    pub table: String,
+    /// Join column of the FROM table.
+    pub left_column: String,
+    /// Join column of the joined table.
+    pub right_column: String,
+}
+
+/// A query over the baseline database.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The SELECT list (never empty).
+    pub select: Vec<SelectItem>,
+    /// The FROM table.
+    pub from: String,
+    /// Optional equi-join.
+    pub join: Option<JoinClause>,
+    /// Optional WHERE conditions (conjunction).
+    pub filters: Vec<Condition>,
+    /// Optional GROUP BY column.
+    pub group_by: Option<String>,
+    /// Optional LIMIT on the produced rows.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Start building a query over a table.
+    pub fn from_table(table: impl Into<String>) -> Query {
+        Query {
+            select: Vec::new(),
+            from: table.into(),
+            join: None,
+            filters: Vec::new(),
+            group_by: None,
+            limit: None,
+        }
+    }
+
+    /// Add a plain column to the SELECT list.
+    pub fn select_column(mut self, column: impl Into<String>) -> Query {
+        self.select.push(SelectItem::Column(column.into()));
+        self
+    }
+
+    /// Add an aggregate to the SELECT list.
+    pub fn select_aggregate(mut self, func: AggFunc, column: Option<&str>) -> Query {
+        self.select.push(SelectItem::Aggregate {
+            func,
+            column: column.map(str::to_string),
+        });
+        self
+    }
+
+    /// Add a WHERE condition (conditions are ANDed).
+    pub fn filter(mut self, condition: Condition) -> Query {
+        self.filters.push(condition);
+        self
+    }
+
+    /// Set the GROUP BY column.
+    pub fn group_by(mut self, column: impl Into<String>) -> Query {
+        self.group_by = Some(column.into());
+        self
+    }
+
+    /// Set an equi-join.
+    pub fn join(mut self, clause: JoinClause) -> Query {
+        self.join = Some(clause);
+        self
+    }
+
+    /// Set the LIMIT.
+    pub fn limit(mut self, n: u64) -> Query {
+        self.limit = Some(n);
+        self
+    }
+
+    /// True if the query has any aggregate select item.
+    pub fn is_aggregate_query(&self) -> bool {
+        self.select.iter().any(SelectItem::is_aggregate)
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let select: Vec<String> = self.select.iter().map(SelectItem::label).collect();
+        write!(f, "select {} from {}", select.join(", "), self.from)?;
+        if let Some(j) = &self.join {
+            write!(f, " join {} on {} = {}", j.table, j.left_column, j.right_column)?;
+        }
+        if !self.filters.is_empty() {
+            let conds: Vec<String> = self
+                .filters
+                .iter()
+                .map(|c| match c.op {
+                    ConditionOp::Between => format!(
+                        "{} between {} and {}",
+                        c.column,
+                        c.value,
+                        c.upper.as_ref().unwrap_or(&c.value)
+                    ),
+                    _ => format!("{} {} {}", c.column, op_symbol(c.op), c.value),
+                })
+                .collect();
+            write!(f, " where {}", conds.join(" and "))?;
+        }
+        if let Some(g) = &self.group_by {
+            write!(f, " group by {g}")?;
+        }
+        if let Some(l) = self.limit {
+            write!(f, " limit {l}")?;
+        }
+        Ok(())
+    }
+}
+
+fn op_symbol(op: ConditionOp) -> &'static str {
+    match op {
+        ConditionOp::Eq => "=",
+        ConditionOp::Ne => "!=",
+        ConditionOp::Lt => "<",
+        ConditionOp::Le => "<=",
+        ConditionOp::Gt => ">",
+        ConditionOp::Ge => ">=",
+        ConditionOp::Between => "between",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_display() {
+        let q = Query::from_table("events")
+            .select_column("kind")
+            .select_aggregate(AggFunc::Avg, Some("value"))
+            .filter(Condition::new("value", ConditionOp::Gt, 10i64))
+            .group_by("kind")
+            .limit(5);
+        assert!(q.is_aggregate_query());
+        assert_eq!(
+            q.to_string(),
+            "select kind, avg(value) from events where value > 10 group by kind limit 5"
+        );
+    }
+
+    #[test]
+    fn select_item_labels() {
+        assert_eq!(SelectItem::Column("x".into()).label(), "x");
+        assert_eq!(
+            SelectItem::Aggregate { func: AggFunc::Count, column: None }.label(),
+            "count(*)"
+        );
+        assert_eq!(
+            SelectItem::Aggregate { func: AggFunc::Max, column: Some("v".into()) }.label(),
+            "max(v)"
+        );
+    }
+
+    #[test]
+    fn condition_matching() {
+        let c = Condition::new("v", ConditionOp::Ge, 10i64);
+        assert!(c.matches(&Value::Int(10)));
+        assert!(c.matches(&Value::Int(11)));
+        assert!(!c.matches(&Value::Int(9)));
+        let b = Condition::between("v", 5i64, 7i64);
+        assert!(b.matches(&Value::Int(5)));
+        assert!(b.matches(&Value::Int(7)));
+        assert!(!b.matches(&Value::Int(8)));
+        let ne = Condition::new("v", ConditionOp::Ne, 3i64);
+        assert!(ne.matches(&Value::Int(4)));
+        assert!(!ne.matches(&Value::Int(3)));
+    }
+
+    #[test]
+    fn join_display() {
+        let q = Query::from_table("a")
+            .select_column("a.x")
+            .join(JoinClause {
+                table: "b".into(),
+                left_column: "id".into(),
+                right_column: "a_id".into(),
+            });
+        assert!(q.to_string().contains("join b on id = a_id"));
+    }
+}

@@ -1,0 +1,67 @@
+//! Criterion benches for the ablation studies A1–A6 and the exploration
+//! contest, measuring the end-to-end cost of each experiment at a reduced,
+//! bench-friendly scale. The full-scale numbers reported in EXPERIMENTS.md come
+//! from the `ablations` and `contest` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbtouch_bench::ablations;
+use dbtouch_bench::contest::{run_contest, ContestScenario};
+
+const ROWS: u64 = 400_000;
+
+fn bench_ablation_samples(c: &mut Criterion) {
+    c.bench_function("a1_sample_hierarchy", |b| {
+        b.iter(|| ablations::ablation_samples(ROWS).expect("a1"));
+    });
+}
+
+fn bench_ablation_prefetch(c: &mut Criterion) {
+    c.bench_function("a2_prefetching", |b| {
+        b.iter(|| ablations::ablation_prefetch(ROWS).expect("a2"));
+    });
+}
+
+fn bench_ablation_cache(c: &mut Criterion) {
+    c.bench_function("a3_caching", |b| {
+        b.iter(|| ablations::ablation_cache(ROWS).expect("a3"));
+    });
+}
+
+fn bench_ablation_join(c: &mut Criterion) {
+    c.bench_function("a4_nonblocking_join", |b| {
+        b.iter(|| ablations::ablation_join(50_000).expect("a4"));
+    });
+}
+
+fn bench_ablation_rotation(c: &mut Criterion) {
+    c.bench_function("a5_incremental_rotation", |b| {
+        b.iter(|| ablations::ablation_rotation(100_000, 10_000).expect("a5"));
+    });
+}
+
+fn bench_ablation_budget(c: &mut Criterion) {
+    c.bench_function("a6_response_budget", |b| {
+        b.iter(|| ablations::ablation_budget(ROWS, 80_000, 200).expect("a6"));
+    });
+}
+
+fn bench_contest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("contest");
+    group.sample_size(10);
+    group.bench_function("dbtouch_vs_sql_200k", |b| {
+        b.iter(|| run_contest(ContestScenario::Contest, 200_000, 7, 0.02).expect("contest"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ablation_samples,
+    bench_ablation_prefetch,
+    bench_ablation_cache,
+    bench_ablation_join,
+    bench_ablation_rotation,
+    bench_ablation_budget,
+    bench_contest
+);
+criterion_main!(benches);

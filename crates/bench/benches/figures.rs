@@ -1,0 +1,52 @@
+//! Criterion benches for the Figure 4 reproduction: the per-gesture cost of an
+//! interactive-summaries session as the gesture speed (Figure 4a) and the
+//! object size (Figure 4b) vary.
+//!
+//! These measure the kernel-side cost of reacting to an entire synthesized
+//! gesture; the entry counts themselves are produced by the `fig4a`/`fig4b`
+//! binaries and recorded in EXPERIMENTS.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbtouch_bench::figures::{run_figure4a, run_figure4b, FigureConfig};
+
+fn bench_config() -> FigureConfig {
+    FigureConfig {
+        rows: 1_000_000,
+        ..FigureConfig::default()
+    }
+}
+
+fn bench_fig4a(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig4a_gesture_speed");
+    group.sample_size(10);
+    for secs in [0.5, 1.0, 2.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{secs}s")),
+            &secs,
+            |b, &secs| {
+                b.iter(|| run_figure4a(&config, &[secs]).expect("fig4a"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig4b_object_size");
+    group.sample_size(10);
+    for doublings in [0u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{doublings}_doublings")),
+            &doublings,
+            |b, &doublings| {
+                b.iter(|| run_figure4b(&config, doublings).expect("fig4b"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the kernel's per-touch building blocks.
+//!
+//! The interactive-behaviour requirement of Section 4 — "there should always be
+//! a maximum possible wait time for a single touch" — makes the cost of the
+//! per-touch path the central performance number of a dbTouch kernel. These
+//! benches measure each stage of that path in isolation: mapping a touch to a
+//! tuple identifier, computing one interactive summary (as a function of the
+//! window size), probing the zone-map index, looking up the region cache, and
+//! one full end-to-end touch through the session machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbtouch_core::kernel::{Kernel, TouchAction};
+use dbtouch_core::mapping::TouchMapper;
+use dbtouch_core::operators::aggregate::AggregateKind;
+use dbtouch_core::operators::summary::InteractiveSummary;
+use dbtouch_gesture::synthesizer::GestureSynthesizer;
+use dbtouch_gesture::view::View;
+use dbtouch_storage::cache::RegionCache;
+use dbtouch_storage::column::Column;
+use dbtouch_storage::index::ZoneMapIndex;
+use dbtouch_types::{KernelConfig, PointCm, RowId, RowRange, SizeCm};
+use std::hint::black_box;
+
+const ROWS: u64 = 10_000_000;
+
+fn bench_touch_mapping(c: &mut Criterion) {
+    let view = View::for_column("c", ROWS, SizeCm::new(2.0, 10.0)).unwrap();
+    c.bench_function("touch_to_rowid_rule_of_three", |b| {
+        let mut y = 0.0f64;
+        b.iter(|| {
+            y = (y + 0.37) % 10.0;
+            black_box(TouchMapper::row_for_touch(&view, PointCm::new(1.0, y)).unwrap())
+        });
+    });
+}
+
+fn bench_interactive_summary(c: &mut Criterion) {
+    let column = Column::from_i64("c", (0..1_000_000).collect());
+    let mut group = c.benchmark_group("interactive_summary_window");
+    for k in [5u64, 50, 500, 5_000] {
+        let summary = InteractiveSummary::new(k, AggregateKind::Avg);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("k={k}")), &k, |b, _| {
+            let mut center = 0u64;
+            b.iter(|| {
+                center = (center + 77_777) % 1_000_000;
+                black_box(summary.summarize(&column, RowId(center)).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_zone_map_probe(c: &mut Criterion) {
+    let column = Column::from_i64("c", (0..1_000_000).collect());
+    let index = ZoneMapIndex::build(&column, 4096).unwrap();
+    c.bench_function("zone_map_row_probe", |b| {
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 99_991) % 1_000_000;
+            black_box(index.row_block_may_match(row, 990_000.0, f64::INFINITY))
+        });
+    });
+}
+
+fn bench_region_cache(c: &mut Criterion) {
+    let mut cache = RegionCache::new(1 << 20);
+    for i in 0..64u64 {
+        cache.insert(RowRange::new(i * 10_000, i * 10_000 + 2_000));
+    }
+    c.bench_function("region_cache_lookup", |b| {
+        let mut row = 0u64;
+        b.iter(|| {
+            row = (row + 37_337) % 640_000;
+            black_box(cache.lookup(RowId(row)))
+        });
+    });
+}
+
+fn bench_end_to_end_touch(c: &mut Criterion) {
+    // Cost of one full gesture sample through the session machinery, amortized
+    // over a one-second slide.
+    let mut kernel = Kernel::new(KernelConfig::figure4());
+    let id = kernel
+        .load_column("c", (0..1_000_000).collect(), SizeCm::new(2.0, 10.0))
+        .unwrap();
+    kernel
+        .set_action(
+            id,
+            TouchAction::Summary {
+                half_window: Some(5),
+                kind: AggregateKind::Avg,
+            },
+        )
+        .unwrap();
+    let view = kernel.view(id).unwrap();
+    let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+    let touches = trace.len() as u64;
+    let mut group = c.benchmark_group("session");
+    group.throughput(criterion::Throughput::Elements(touches));
+    group.bench_function("per_touch_summary_session", |b| {
+        b.iter(|| black_box(kernel.run_trace(id, &trace).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_touch_mapping,
+    bench_interactive_summary,
+    bench_zone_map_probe,
+    bench_region_cache,
+    bench_end_to_end_touch
+);
+criterion_main!(benches);

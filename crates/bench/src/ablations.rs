@@ -1,0 +1,432 @@
+//! Ablation studies for the design choices the paper calls out.
+//!
+//! The paper's own evaluation is limited to Figure 4; Section 2.6–2.9 and
+//! Section 4, however, argue for a set of mechanisms (sample-based storage,
+//! prefetching, caching, non-blocking joins, incremental layout rotation, a
+//! per-touch response budget). Each function here isolates one of those
+//! mechanisms and measures the quantity it is supposed to improve, with the
+//! mechanism switched on and off. DESIGN.md maps these to experiment ids
+//! A1–A6.
+
+use dbtouch_core::kernel::{Kernel, TouchAction};
+use dbtouch_core::operators::aggregate::AggregateKind;
+use dbtouch_core::operators::join::{BlockingHashJoin, JoinSide, SymmetricHashJoin};
+use dbtouch_gesture::synthesizer::GestureSynthesizer;
+use dbtouch_storage::column::Column;
+use dbtouch_storage::rotation::RotationTask;
+use dbtouch_storage::table::Table;
+use dbtouch_storage::matrix::Matrix;
+use dbtouch_types::{KernelConfig, Result, RowId, SizeCm, Value};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A1 — sample-based storage (Section 2.6, "Sample-based Storage").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplesAblation {
+    /// Entries returned with adaptive sample selection.
+    pub adaptive_entries: u64,
+    /// Entries returned when always reading base data.
+    pub naive_entries: u64,
+    /// Bytes of the array the adaptive run actually reads from (its working
+    /// set: the dominant sample level).
+    pub adaptive_working_set_bytes: u64,
+    /// Bytes of the base array the naive run reads from.
+    pub naive_working_set_bytes: u64,
+    /// Wall-clock nanoseconds of the adaptive session.
+    pub adaptive_wall_nanos: u64,
+    /// Wall-clock nanoseconds of the naive session.
+    pub naive_wall_nanos: u64,
+}
+
+/// Run ablation A1 on a column of `rows` integers with a ~1.5s slide.
+pub fn ablation_samples(rows: u64) -> Result<SamplesAblation> {
+    let run = |config: KernelConfig| -> Result<(u64, u64, u64)> {
+        let mut kernel = Kernel::new(config);
+        let id = kernel.load_column(
+            "a1",
+            (0..rows as i64).collect(),
+            SizeCm::new(2.0, 10.0),
+        )?;
+        kernel.set_action(
+            id,
+            TouchAction::Summary {
+                half_window: Some(5),
+                kind: AggregateKind::Avg,
+            },
+        )?;
+        let view = kernel.view(id)?;
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.5);
+        let started = Instant::now();
+        let outcome = kernel.run_trace(id, &trace)?;
+        let wall = started.elapsed().as_nanos() as u64;
+        let dominant = outcome
+            .stats
+            .sample_level_usage
+            .iter()
+            .max_by_key(|(_, c)| **c)
+            .map(|(l, _)| *l)
+            .unwrap_or(0);
+        // Working set: the size of the array actually served from.
+        let working_set = rows / (1 << dominant) * 8;
+        Ok((outcome.stats.entries_returned, working_set, wall))
+    };
+    let (adaptive_entries, adaptive_ws, adaptive_wall) = run(KernelConfig::default())?;
+    let (naive_entries, naive_ws, naive_wall) =
+        run(KernelConfig::default().with_adaptive_sampling(false))?;
+    Ok(SamplesAblation {
+        adaptive_entries,
+        naive_entries,
+        adaptive_working_set_bytes: adaptive_ws,
+        naive_working_set_bytes: naive_ws,
+        adaptive_wall_nanos: adaptive_wall,
+        naive_wall_nanos: naive_wall,
+    })
+}
+
+/// A2 — prefetching (Section 2.6, "Prefetching Data").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrefetchAblation {
+    /// Prefetch requests issued when enabled.
+    pub prefetches_issued: u64,
+    /// Fraction of touched rows served warm (prefetched) when enabled.
+    pub warm_fraction_with: f64,
+    /// Fraction of touched rows served warm when disabled (always cold).
+    pub warm_fraction_without: f64,
+    /// Simulated memory-access nanoseconds with prefetching.
+    pub access_nanos_with: u64,
+    /// Simulated memory-access nanoseconds without prefetching.
+    pub access_nanos_without: u64,
+}
+
+/// Run ablation A2: an exploratory slide (pause, backtrack, resume) with and
+/// without the gesture-extrapolation prefetcher.
+pub fn ablation_prefetch(rows: u64) -> Result<PrefetchAblation> {
+    let run = |config: KernelConfig| -> Result<(u64, f64, u64)> {
+        let mut kernel = Kernel::new(config);
+        let id = kernel.load_column(
+            "a2",
+            (0..rows as i64).collect(),
+            SizeCm::new(2.0, 10.0),
+        )?;
+        kernel.set_action(id, TouchAction::Scan)?;
+        let view = kernel.view(id)?;
+        let trace = GestureSynthesizer::new(60.0).exploratory_slide(&view, 4.0);
+        let outcome = kernel.run_trace(id, &trace)?;
+        let (_, prefetch_stats) = kernel.object_stats(id)?;
+        Ok((
+            outcome.stats.prefetches_issued,
+            prefetch_stats.hit_rate(),
+            outcome.stats.simulated_access_nanos,
+        ))
+    };
+    let (issued, warm_with, nanos_with) = run(KernelConfig::default())?;
+    let (_, warm_without, nanos_without) = run(KernelConfig::default().with_prefetch(false))?;
+    Ok(PrefetchAblation {
+        prefetches_issued: issued,
+        warm_fraction_with: warm_with,
+        warm_fraction_without: warm_without,
+        access_nanos_with: nanos_with,
+        access_nanos_without: nanos_without,
+    })
+}
+
+/// A3 — caching (Section 2.6, "Caching Data").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheAblation {
+    /// Cache hit rate on the second pass over the same region, cache enabled.
+    pub second_pass_hit_rate_with: f64,
+    /// Cache hit rate on the second pass, cache disabled.
+    pub second_pass_hit_rate_without: f64,
+    /// Cache hits observed during the second pass with the cache enabled.
+    pub second_pass_hits: u64,
+}
+
+/// Run ablation A3: slide over a region, then re-examine the same region.
+pub fn ablation_cache(rows: u64) -> Result<CacheAblation> {
+    let run = |config: KernelConfig| -> Result<(f64, u64)> {
+        let mut kernel = Kernel::new(config);
+        let id = kernel.load_column(
+            "a3",
+            (0..rows as i64).collect(),
+            SizeCm::new(2.0, 10.0),
+        )?;
+        kernel.set_action(id, TouchAction::Scan)?;
+        let view = kernel.view(id)?;
+        let mut synthesizer = GestureSynthesizer::new(60.0);
+        // First pass over the middle region, then a second pass over the same region.
+        let first = synthesizer.slide(&view, 0.4, 0.6, 1.0);
+        kernel.run_trace(id, &first)?;
+        let second = synthesizer.slide(&view, 0.4, 0.6, 1.0);
+        let outcome = kernel.run_trace(id, &second)?;
+        let total = outcome.stats.cache_hits + outcome.stats.cache_misses;
+        let rate = if total == 0 {
+            0.0
+        } else {
+            outcome.stats.cache_hits as f64 / total as f64
+        };
+        Ok((rate, outcome.stats.cache_hits))
+    };
+    let (with, hits) = run(KernelConfig::default())?;
+    let (without, _) = run(KernelConfig::default().with_cache(false))?;
+    Ok(CacheAblation {
+        second_pass_hit_rate_with: with,
+        second_pass_hit_rate_without: without,
+        second_pass_hits: hits,
+    })
+}
+
+/// A4 — non-blocking joins (Section 2.9, "Joins").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinAblation {
+    /// Rows consumed before the symmetric join produced its first match.
+    pub symmetric_rows_to_first_match: u64,
+    /// Rows consumed before the blocking join produced its first match (it
+    /// must finish building its entire left side first).
+    pub blocking_rows_to_first_match: u64,
+    /// Total matches produced by both strategies (must agree).
+    pub total_matches: u64,
+    /// Wall-clock nanoseconds for the symmetric join.
+    pub symmetric_wall_nanos: u64,
+    /// Wall-clock nanoseconds for the blocking join.
+    pub blocking_wall_nanos: u64,
+}
+
+/// Run ablation A4: the same interleaved stream of touched rows through a
+/// symmetric hash join and a classical build-then-probe hash join.
+pub fn ablation_join(rows_per_side: u64) -> Result<JoinAblation> {
+    // Keys overlap on every 16th row so matches are sparse but present early.
+    let left: Vec<(RowId, Value)> = (0..rows_per_side)
+        .map(|i| (RowId(i), Value::Int((i % (rows_per_side / 16).max(1)) as i64)))
+        .collect();
+    let right: Vec<(RowId, Value)> = (0..rows_per_side)
+        .map(|i| (RowId(i), Value::Int((i % (rows_per_side / 16).max(1)) as i64)))
+        .collect();
+
+    // Symmetric: the gesture interleaves both sides touch by touch.
+    let started = Instant::now();
+    let mut symmetric = SymmetricHashJoin::new();
+    let mut sym_first = 0u64;
+    let mut consumed = 0u64;
+    let mut sym_total = 0u64;
+    for i in 0..rows_per_side as usize {
+        for (side, row) in [(JoinSide::Left, &left[i]), (JoinSide::Right, &right[i])] {
+            consumed += 1;
+            let matches = symmetric.push(side, row.0, row.1.clone());
+            if !matches.is_empty() && sym_first == 0 {
+                sym_first = consumed;
+            }
+            sym_total += matches.len() as u64;
+        }
+    }
+    let symmetric_wall = started.elapsed().as_nanos() as u64;
+
+    // Blocking: the entire left side must be consumed before probing begins.
+    let started = Instant::now();
+    let mut blocking = BlockingHashJoin::new();
+    let mut consumed = 0u64;
+    for (row, key) in &left {
+        consumed += 1;
+        blocking.build_row(*row, key.clone());
+    }
+    blocking.finish_build();
+    let mut blk_first = 0u64;
+    let mut blk_total = 0u64;
+    for (row, key) in &right {
+        consumed += 1;
+        let matches = blocking.probe(*row, key.clone());
+        if !matches.is_empty() && blk_first == 0 {
+            blk_first = consumed;
+        }
+        blk_total += matches.len() as u64;
+    }
+    let blocking_wall = started.elapsed().as_nanos() as u64;
+
+    debug_assert_eq!(sym_total, blk_total);
+    Ok(JoinAblation {
+        symmetric_rows_to_first_match: sym_first,
+        blocking_rows_to_first_match: blk_first,
+        total_matches: sym_total,
+        symmetric_wall_nanos: symmetric_wall,
+        blocking_wall_nanos: blocking_wall,
+    })
+}
+
+/// A5 — incremental rotation (Section 2.8).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RotationAblation {
+    /// Nanoseconds until the object is first queryable in the new layout with
+    /// eager (all-at-once) rotation: the full conversion time.
+    pub eager_first_queryable_nanos: u64,
+    /// Nanoseconds until the object is first queryable (first chunk converted)
+    /// with incremental rotation.
+    pub incremental_first_queryable_nanos: u64,
+    /// Total nanoseconds for the incremental rotation to finish.
+    pub incremental_total_nanos: u64,
+    /// Rows converted per incremental step.
+    pub chunk_rows: u64,
+}
+
+/// Run ablation A5 on a two-column table of `rows` rows.
+pub fn ablation_rotation(rows: u64, chunk_rows: u64) -> Result<RotationAblation> {
+    let table = Table::from_columns(
+        "a5",
+        vec![
+            Column::from_i64("id", (0..rows as i64).collect()),
+            Column::from_f64("v", (0..rows).map(|i| i as f64).collect()),
+        ],
+    )?;
+    let matrix = Matrix::from_table(table);
+
+    // Eager: first queryable only when the whole conversion is done.
+    let started = Instant::now();
+    let task = RotationTask::new(matrix.clone(), rows.max(1));
+    let _rotated = task.finish()?;
+    let eager = started.elapsed().as_nanos() as u64;
+
+    // Incremental: queryable after the first chunk; total includes all chunks.
+    let started = Instant::now();
+    let mut task = RotationTask::new(matrix, chunk_rows.max(1));
+    task.step()?;
+    let first_chunk = started.elapsed().as_nanos() as u64;
+    // The partially rotated object is queryable right now.
+    let _ = task.get(RowId(0), 0)?;
+    while !task.is_complete() {
+        task.step()?;
+    }
+    let total = started.elapsed().as_nanos() as u64;
+
+    Ok(RotationAblation {
+        eager_first_queryable_nanos: eager,
+        incremental_first_queryable_nanos: first_chunk,
+        incremental_total_nanos: total,
+        chunk_rows: chunk_rows.max(1),
+    })
+}
+
+/// A6 — per-touch response budget (Section 4, "Interactive Behavior").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetAblation {
+    /// Maximum rows aggregated for a single touch with the budget enabled.
+    pub max_rows_per_touch_with: u64,
+    /// Maximum rows aggregated for a single touch without a budget.
+    pub max_rows_per_touch_without: u64,
+    /// Refinement steps executed with the budget enabled.
+    pub refinements_with: u64,
+    /// Entries returned with the budget enabled.
+    pub entries_with: u64,
+    /// Entries returned without a budget.
+    pub entries_without: u64,
+}
+
+/// Run ablation A6: interactive summaries with an oversized half-window so a
+/// full window cannot fit the per-touch budget of `budget_micros`
+/// microseconds; the comparison run has no budget at all.
+pub fn ablation_budget(rows: u64, half_window: u64, budget_micros: u64) -> Result<BudgetAblation> {
+    let run = |budget_micros: u64| -> Result<(u64, u64, u64)> {
+        let mut config = KernelConfig::default().with_adaptive_sampling(false);
+        config.touch_budget_micros = budget_micros;
+        let mut kernel = Kernel::new(config);
+        let id = kernel.load_column(
+            "a6",
+            (0..rows as i64).collect(),
+            SizeCm::new(2.0, 10.0),
+        )?;
+        kernel.set_action(
+            id,
+            TouchAction::Summary {
+                half_window: Some(half_window),
+                kind: AggregateKind::Avg,
+            },
+        )?;
+        let view = kernel.view(id)?;
+        // An exploratory slide includes pauses, giving the budgeted kernel idle
+        // time to pay down refinement debt.
+        let trace = GestureSynthesizer::new(60.0).exploratory_slide(&view, 2.0);
+        let outcome = kernel.run_trace(id, &trace)?;
+        let max_rows_per_touch = if outcome.stats.entries_returned == 0 {
+            0
+        } else {
+            // rows_touched / entries is the average; for the unlimited run every
+            // touch aggregates the full window so the average equals the max.
+            outcome.stats.rows_touched / outcome.stats.entries_returned.max(1)
+        };
+        Ok((
+            max_rows_per_touch,
+            outcome.stats.refinements,
+            outcome.stats.entries_returned,
+        ))
+    };
+    let (with_max, refinements, entries_with) = run(budget_micros.max(1))?;
+    let (without_max, _, entries_without) = run(u64::MAX)?;
+    Ok(BudgetAblation {
+        max_rows_per_touch_with: with_max,
+        max_rows_per_touch_without: without_max,
+        refinements_with: refinements,
+        entries_with,
+        entries_without,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a1_samples_shrink_working_set() {
+        let r = ablation_samples(400_000).unwrap();
+        assert!(r.adaptive_working_set_bytes * 8 <= r.naive_working_set_bytes);
+        // both runs deliver a comparable number of entries
+        let ratio = r.adaptive_entries as f64 / r.naive_entries.max(1) as f64;
+        assert!(ratio > 0.8 && ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn a2_prefetching_warms_accesses() {
+        let r = ablation_prefetch(400_000).unwrap();
+        assert!(r.prefetches_issued > 0);
+        assert!(r.warm_fraction_with > r.warm_fraction_without);
+        assert_eq!(r.warm_fraction_without, 0.0);
+        assert!(r.access_nanos_with < r.access_nanos_without);
+    }
+
+    #[test]
+    fn a3_cache_hits_on_reexamination() {
+        let r = ablation_cache(200_000).unwrap();
+        assert!(r.second_pass_hit_rate_with > 0.5, "hit rate {}", r.second_pass_hit_rate_with);
+        assert_eq!(r.second_pass_hit_rate_without, 0.0);
+        assert!(r.second_pass_hits > 0);
+    }
+
+    #[test]
+    fn a4_symmetric_join_produces_results_earlier() {
+        let r = ablation_join(10_000).unwrap();
+        assert!(r.symmetric_rows_to_first_match < 100);
+        assert!(r.blocking_rows_to_first_match > 10_000);
+        assert!(r.total_matches > 0);
+    }
+
+    #[test]
+    fn a5_incremental_rotation_queryable_sooner() {
+        let r = ablation_rotation(200_000, 10_000).unwrap();
+        assert!(
+            r.incremental_first_queryable_nanos * 2 < r.eager_first_queryable_nanos,
+            "incremental {} vs eager {}",
+            r.incremental_first_queryable_nanos,
+            r.eager_first_queryable_nanos
+        );
+        assert!(r.incremental_total_nanos >= r.incremental_first_queryable_nanos);
+    }
+
+    #[test]
+    fn a6_budget_caps_per_touch_work() {
+        let r = ablation_budget(500_000, 100_000, 200).unwrap();
+        assert!(
+            r.max_rows_per_touch_with < r.max_rows_per_touch_without,
+            "with {} without {}",
+            r.max_rows_per_touch_with,
+            r.max_rows_per_touch_without
+        );
+        assert!(r.entries_with > 0);
+        assert!(r.entries_without > 0);
+    }
+}

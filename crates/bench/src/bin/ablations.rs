@@ -1,0 +1,148 @@
+//! Run the ablation studies A1–A6 (see DESIGN.md) and print their reports.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin ablations [rows]
+//! ```
+
+use dbtouch_bench::ablations;
+use dbtouch_bench::report::{fmt_count, fmt_f64, render_table};
+
+fn main() {
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(2_000_000);
+
+    let a1 = ablations::ablation_samples(rows).expect("A1 failed");
+    println!(
+        "A1 sample-based storage ({} rows)\n{}",
+        fmt_count(rows),
+        render_table(
+            &["variant", "entries", "working set (bytes)", "wall time (ms)"],
+            &[
+                vec![
+                    "adaptive samples".into(),
+                    a1.adaptive_entries.to_string(),
+                    fmt_count(a1.adaptive_working_set_bytes),
+                    fmt_f64(a1.adaptive_wall_nanos as f64 / 1e6, 2),
+                ],
+                vec![
+                    "base data only".into(),
+                    a1.naive_entries.to_string(),
+                    fmt_count(a1.naive_working_set_bytes),
+                    fmt_f64(a1.naive_wall_nanos as f64 / 1e6, 2),
+                ],
+            ],
+        )
+    );
+
+    let a2 = ablations::ablation_prefetch(rows).expect("A2 failed");
+    println!(
+        "A2 prefetching\n{}",
+        render_table(
+            &["variant", "prefetches", "warm fraction", "simulated access (µs)"],
+            &[
+                vec![
+                    "prefetch on".into(),
+                    a2.prefetches_issued.to_string(),
+                    fmt_f64(a2.warm_fraction_with, 3),
+                    fmt_f64(a2.access_nanos_with as f64 / 1e3, 1),
+                ],
+                vec![
+                    "prefetch off".into(),
+                    "0".into(),
+                    fmt_f64(a2.warm_fraction_without, 3),
+                    fmt_f64(a2.access_nanos_without as f64 / 1e3, 1),
+                ],
+            ],
+        )
+    );
+
+    let a3 = ablations::ablation_cache(rows).expect("A3 failed");
+    println!(
+        "A3 caching (second pass over a previously touched region)\n{}",
+        render_table(
+            &["variant", "second-pass hit rate", "hits"],
+            &[
+                vec![
+                    "cache on".into(),
+                    fmt_f64(a3.second_pass_hit_rate_with, 3),
+                    a3.second_pass_hits.to_string(),
+                ],
+                vec![
+                    "cache off".into(),
+                    fmt_f64(a3.second_pass_hit_rate_without, 3),
+                    "0".into(),
+                ],
+            ],
+        )
+    );
+
+    let a4 = ablations::ablation_join(rows.min(200_000)).expect("A4 failed");
+    println!(
+        "A4 non-blocking join ({} rows per side)\n{}",
+        fmt_count(rows.min(200_000)),
+        render_table(
+            &["variant", "rows consumed before first match", "total matches", "wall time (ms)"],
+            &[
+                vec![
+                    "symmetric hash join".into(),
+                    fmt_count(a4.symmetric_rows_to_first_match),
+                    fmt_count(a4.total_matches),
+                    fmt_f64(a4.symmetric_wall_nanos as f64 / 1e6, 2),
+                ],
+                vec![
+                    "blocking hash join".into(),
+                    fmt_count(a4.blocking_rows_to_first_match),
+                    fmt_count(a4.total_matches),
+                    fmt_f64(a4.blocking_wall_nanos as f64 / 1e6, 2),
+                ],
+            ],
+        )
+    );
+
+    let a5 = ablations::ablation_rotation(rows.min(1_000_000), 65_536).expect("A5 failed");
+    println!(
+        "A5 incremental rotation ({} rows, chunk {})\n{}",
+        fmt_count(rows.min(1_000_000)),
+        fmt_count(a5.chunk_rows),
+        render_table(
+            &["variant", "first queryable (ms)", "fully rotated (ms)"],
+            &[
+                vec![
+                    "incremental".into(),
+                    fmt_f64(a5.incremental_first_queryable_nanos as f64 / 1e6, 2),
+                    fmt_f64(a5.incremental_total_nanos as f64 / 1e6, 2),
+                ],
+                vec![
+                    "eager".into(),
+                    fmt_f64(a5.eager_first_queryable_nanos as f64 / 1e6, 2),
+                    fmt_f64(a5.eager_first_queryable_nanos as f64 / 1e6, 2),
+                ],
+            ],
+        )
+    );
+
+    let a6 = ablations::ablation_budget(rows, rows / 5, 500).expect("A6 failed");
+    println!(
+        "A6 per-touch response budget (oversized summary windows)\n{}",
+        render_table(
+            &["variant", "avg rows per touch", "refinements", "entries"],
+            &[
+                vec![
+                    "budget 500µs".into(),
+                    fmt_count(a6.max_rows_per_touch_with),
+                    a6.refinements_with.to_string(),
+                    a6.entries_with.to_string(),
+                ],
+                vec![
+                    "unlimited".into(),
+                    fmt_count(a6.max_rows_per_touch_without),
+                    "0".into(),
+                    a6.entries_without.to_string(),
+                ],
+            ],
+        )
+    );
+}

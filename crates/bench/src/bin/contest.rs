@@ -1,0 +1,28 @@
+//! Reproduce the Appendix A exploration contest: a simulated dbTouch user and a
+//! simulated SQL user race to localize a hidden pattern in the same data set.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin contest [rows] [seed]
+//! ```
+//! Runs all three scenarios (generic contest data, sky survey, monitoring
+//! stream) and prints a side-by-side comparison for each.
+
+use dbtouch_bench::contest::{render_contest, run_contest, ContestScenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = args
+        .get(1)
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(2_000_000);
+    let seed = args.get(2).and_then(|s| s.parse::<u64>().ok()).unwrap_or(42);
+    for scenario in [
+        ContestScenario::Contest,
+        ContestScenario::SkySurvey,
+        ContestScenario::Monitoring,
+    ] {
+        let report = run_contest(scenario, rows, seed, 0.01).expect("contest run failed");
+        println!("{}", render_contest(&report));
+    }
+}

@@ -1,0 +1,36 @@
+//! Reproduce Figure 4(a): effect of varying the slide-gesture speed on the
+//! number of data entries returned by an interactive-summaries query.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin fig4a [rows] [touch_rate_hz]
+//! ```
+//! Defaults match the paper: a 10^7-integer column, a 10 cm object, summaries
+//! averaging ~10 entries. Pass a second argument of `15` to approximate the
+//! iPad 1's effective touch delivery rate (closer to the paper's absolute
+//! numbers).
+
+use dbtouch_bench::figures::{render_report, run_figure4a, FigureConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = args
+        .get(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(10_000_000);
+    let touch_rate = args
+        .get(2)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(60.0);
+    let config = FigureConfig {
+        rows,
+        touch_rate_hz: touch_rate,
+        ..FigureConfig::default()
+    };
+    let report = run_figure4a(&config, &[]).expect("figure 4a run failed");
+    println!("{}", render_report(&report));
+    println!(
+        "paper reference (iPad 1): ~5 entries at 0.5s up to ~55 entries at 4s; the reproduction\n\
+         target is the shape (roughly linear growth with gesture duration), not the absolute count."
+    );
+}

@@ -1,0 +1,32 @@
+//! Reproduce Figure 4(b): effect of varying the data-object size (via zoom-in
+//! gestures) on the number of data entries returned by an interactive-summaries
+//! query executed at a constant slide speed.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin fig4b [rows] [doublings]
+//! ```
+
+use dbtouch_bench::figures::{render_report, run_figure4b, FigureConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let rows = args
+        .get(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(10_000_000);
+    let doublings = args
+        .get(2)
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(4);
+    let config = FigureConfig {
+        rows,
+        ..FigureConfig::default()
+    };
+    let report = run_figure4b(&config, doublings).expect("figure 4b run failed");
+    println!("{}", render_report(&report));
+    println!(
+        "paper reference (iPad 1): entries roughly double each time the object size doubles\n\
+         (same slide speed, therefore double the slide time); the reproduction target is that shape."
+    );
+}

@@ -1,0 +1,20 @@
+//! Parameter sweeps around the Figure 4 setup: summary window size and device
+//! touch rate.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin sweeps [rows]
+//! ```
+
+use dbtouch_bench::sweeps::{render_sweep, sweep_summary_window, sweep_touch_rate};
+
+fn main() {
+    let rows = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(10_000_000);
+    let k_sweep = sweep_summary_window(rows, &[]).expect("summary window sweep failed");
+    println!("{}", render_sweep(&k_sweep));
+    let rate_sweep = sweep_touch_rate(rows, &[]).expect("touch rate sweep failed");
+    println!("{}", render_sweep(&rate_sweep));
+}

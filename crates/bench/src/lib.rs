@@ -1,0 +1,24 @@
+//! # dbtouch-bench
+//!
+//! The experiment harness: code that regenerates every figure of the paper's
+//! evaluation (Section 3), the Appendix A exploration contest, and the ablation
+//! studies for the design choices called out in DESIGN.md.
+//!
+//! Each experiment is a plain function returning a serializable report, so it
+//! can be driven three ways:
+//!
+//! * the `fig4a`, `fig4b`, `contest` and `ablations` binaries print the same
+//!   rows/series the paper reports (see EXPERIMENTS.md),
+//! * the Criterion benches in `benches/` measure the underlying per-touch and
+//!   per-query costs,
+//! * the integration tests run reduced-scale versions to keep CI fast.
+
+pub mod ablations;
+pub mod contest;
+pub mod figures;
+pub mod report;
+pub mod sweeps;
+
+pub use contest::{run_contest, ContestReport};
+pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};
+pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};

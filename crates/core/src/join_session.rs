@@ -1,0 +1,253 @@
+//! Gesture-driven join sessions (Section 2.9, "Complex Queries" / "Joins").
+//!
+//! "We can enable a join for a pair of columns. Then, with the slide gesture
+//! over one of the columns [...] a user can go through the data and drive the
+//! query processing steps. The tuple identifiers captured in the object where
+//! we apply the slide gesture define the data processed."
+//!
+//! A [`JoinSession`] binds two column objects on their key attributes. The user
+//! slides over the *driving* (left) object; every touch maps to a left tuple,
+//! which is pushed into a non-blocking symmetric hash join. Because the paper's
+//! kernel must produce results without consuming the full right input up front,
+//! the session also streams the right side incrementally: for every touched
+//! left tuple it feeds the right-object rows at the same relative position
+//! (same fraction of the object), modelling a user sweeping both objects
+//! together — the closest gesture-level analogue of pipelined join execution.
+//! Matches appear immediately as they are found.
+
+use crate::kernel::{Kernel, ObjectId};
+use crate::mapping::TouchMapper;
+use crate::operators::join::{JoinMatch, JoinSide, SymmetricHashJoin};
+use dbtouch_gesture::recognizer::{GestureEvent, GestureRecognizer};
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_types::{DbTouchError, Result, RowId};
+use serde::{Deserialize, Serialize};
+
+/// Statistics of a join session.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinSessionStats {
+    /// Touches on the driving object that addressed a new tuple.
+    pub driving_touches: u64,
+    /// Rows fed from the left (driving) object.
+    pub left_rows: u64,
+    /// Rows fed from the right object.
+    pub right_rows: u64,
+    /// Matches produced.
+    pub matches: u64,
+    /// Rows consumed before the first match appeared (0 when no match).
+    pub rows_to_first_match: u64,
+}
+
+/// The outcome of a gesture-driven join.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct JoinOutcome {
+    /// All matches in production order.
+    pub matches: Vec<JoinMatch>,
+    /// Session statistics.
+    pub stats: JoinSessionStats,
+}
+
+/// Configuration of a gesture-driven join between two column objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinSpec {
+    /// The object the user slides over.
+    pub driving: ObjectId,
+    /// The other join input.
+    pub other: ObjectId,
+    /// Key attribute index of the driving object.
+    pub driving_key: usize,
+    /// Key attribute index of the other object.
+    pub other_key: usize,
+}
+
+/// Runs gesture traces as join sessions on top of a [`Kernel`].
+#[derive(Debug)]
+pub struct JoinSession<'a> {
+    kernel: &'a Kernel,
+    spec: JoinSpec,
+    join: SymmetricHashJoin,
+    /// Rows of the other object already fed (monotone cursor).
+    other_cursor: u64,
+    stats: JoinSessionStats,
+    last_left_row: Option<RowId>,
+}
+
+impl<'a> JoinSession<'a> {
+    /// Create a join session; both objects must exist and the key attributes
+    /// must be valid.
+    pub fn new(kernel: &'a Kernel, spec: JoinSpec) -> Result<JoinSession<'a>> {
+        for (id, attr) in [(spec.driving, spec.driving_key), (spec.other, spec.other_key)] {
+            let schema_len = kernel.schema(id)?.len();
+            if attr >= schema_len {
+                return Err(DbTouchError::NotFound(format!(
+                    "join key attribute {attr} (object has {schema_len} attributes)"
+                )));
+            }
+        }
+        Ok(JoinSession {
+            kernel,
+            spec,
+            join: SymmetricHashJoin::new(),
+            other_cursor: 0,
+            stats: JoinSessionStats::default(),
+            last_left_row: None,
+        })
+    }
+
+    /// Run a gesture trace over the driving object and return the join outcome.
+    pub fn run(mut self, trace: &GestureTrace) -> Result<JoinOutcome> {
+        trace.validate()?;
+        let mut recognizer = GestureRecognizer::default();
+        let mut matches = Vec::new();
+        let driving_view = self.kernel.view(self.spec.driving)?;
+        let other_rows = self.kernel.row_count(self.spec.other)?;
+        let driving_rows = self.kernel.row_count(self.spec.driving)?;
+
+        for event in &trace.events {
+            for gesture in recognizer.feed(event) {
+                let location = match gesture {
+                    GestureEvent::Tap { location, .. }
+                    | GestureEvent::SlideBegan { location, .. }
+                    | GestureEvent::SlideStep { location, .. } => location,
+                    _ => continue,
+                };
+                let Some(left_row) = TouchMapper::row_for_touch(&driving_view, location)? else {
+                    continue;
+                };
+                if self.last_left_row == Some(left_row) {
+                    continue;
+                }
+                self.last_left_row = Some(left_row);
+                self.stats.driving_touches += 1;
+
+                // Feed the touched left tuple.
+                let left_key = self
+                    .kernel
+                    .cell(self.spec.driving, left_row, self.spec.driving_key)?;
+                self.stats.left_rows += 1;
+                let new_matches = self.join.push(JoinSide::Left, left_row, left_key);
+                self.absorb(new_matches, &mut matches);
+
+                // Stream the right side up to the same relative position, so the
+                // join state on both sides advances with the gesture.
+                if driving_rows > 0 && other_rows > 0 {
+                    let target = ((left_row.0 + 1) as f64 / driving_rows as f64
+                        * other_rows as f64)
+                        .ceil() as u64;
+                    let target = target.min(other_rows);
+                    while self.other_cursor < target {
+                        let right_row = RowId(self.other_cursor);
+                        let right_key =
+                            self.kernel
+                                .cell(self.spec.other, right_row, self.spec.other_key)?;
+                        self.stats.right_rows += 1;
+                        let new_matches = self.join.push(JoinSide::Right, right_row, right_key);
+                        self.absorb(new_matches, &mut matches);
+                        self.other_cursor += 1;
+                    }
+                }
+            }
+        }
+        self.stats.matches = matches.len() as u64;
+        Ok(JoinOutcome {
+            matches,
+            stats: self.stats,
+        })
+    }
+
+    fn absorb(&mut self, new_matches: Vec<JoinMatch>, out: &mut Vec<JoinMatch>) {
+        if !new_matches.is_empty() && self.stats.rows_to_first_match == 0 {
+            self.stats.rows_to_first_match = self.stats.left_rows + self.stats.right_rows;
+        }
+        out.extend(new_matches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::Kernel;
+    use dbtouch_gesture::synthesizer::GestureSynthesizer;
+    use dbtouch_types::{KernelConfig, SizeCm};
+
+    fn kernel_with_join_inputs() -> (Kernel, ObjectId, ObjectId) {
+        let mut kernel = Kernel::new(KernelConfig::default());
+        // left: keys 0..100 repeated; right: keys 0..50 repeated -> plenty of matches
+        let left = kernel
+            .load_column(
+                "orders",
+                (0..20_000).map(|i| i % 100).collect(),
+                SizeCm::new(2.0, 10.0),
+            )
+            .unwrap();
+        let right = kernel
+            .load_column(
+                "customers",
+                (0..10_000).map(|i| i % 50).collect(),
+                SizeCm::new(2.0, 10.0),
+            )
+            .unwrap();
+        (kernel, left, right)
+    }
+
+    #[test]
+    fn gesture_driven_join_produces_matches_incrementally() {
+        let (kernel, left, right) = kernel_with_join_inputs();
+        let spec = JoinSpec {
+            driving: left,
+            other: right,
+            driving_key: 0,
+            other_key: 0,
+        };
+        let view = kernel.view(left).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = JoinSession::new(&kernel, spec).unwrap().run(&trace).unwrap();
+        assert!(outcome.stats.matches > 0);
+        assert_eq!(outcome.matches.len() as u64, outcome.stats.matches);
+        // non-blocking: the first match appears long before both inputs are consumed
+        assert!(outcome.stats.rows_to_first_match > 0);
+        assert!(
+            outcome.stats.rows_to_first_match
+                < (outcome.stats.left_rows + outcome.stats.right_rows) / 2
+        );
+        // only a fraction of the right side was streamed per touch granularity
+        assert!(outcome.stats.right_rows <= 10_000);
+        // every produced match really joins equal keys
+        for m in outcome.matches.iter().take(50) {
+            let l = kernel.cell(left, m.left_row, 0).unwrap();
+            let r = kernel.cell(right, m.right_row, 0).unwrap();
+            assert_eq!(l.as_i64().unwrap(), r.as_i64().unwrap());
+        }
+    }
+
+    #[test]
+    fn partial_slide_joins_only_touched_prefix() {
+        let (kernel, left, right) = kernel_with_join_inputs();
+        let spec = JoinSpec {
+            driving: left,
+            other: right,
+            driving_key: 0,
+            other_key: 0,
+        };
+        let view = kernel.view(left).unwrap();
+        let mut synthesizer = GestureSynthesizer::new(60.0);
+        // slide only over the first 30% of the driving object
+        let trace = synthesizer.slide(&view, 0.0, 0.3, 1.0);
+        let outcome = JoinSession::new(&kernel, spec).unwrap().run(&trace).unwrap();
+        // the right side was only streamed up to ~30% as well
+        assert!(outcome.stats.right_rows < 4_000);
+        assert!(outcome.matches.iter().all(|m| m.left_row.0 <= 6_100));
+    }
+
+    #[test]
+    fn invalid_key_attribute_rejected() {
+        let (kernel, left, right) = kernel_with_join_inputs();
+        let bad = JoinSpec {
+            driving: left,
+            other: right,
+            driving_key: 3,
+            other_key: 0,
+        };
+        assert!(JoinSession::new(&kernel, bad).is_err());
+    }
+}

@@ -1,0 +1,711 @@
+//! The dbTouch kernel: catalog of data objects and the top-level API.
+//!
+//! The kernel owns the data objects visible on the (simulated) screen. For each
+//! object it keeps the dense matrix, the per-column sample hierarchies, the
+//! zone-map indexes, the view geometry, the per-object touch action and the
+//! per-object cache and prefetcher. The public API mirrors what a dbTouch
+//! front-end needs:
+//!
+//! * load columns/tables ([`Kernel::load_column`], [`Kernel::load_table`]),
+//! * choose the query action a gesture triggers ([`Kernel::set_action`]),
+//! * run gesture traces ([`Kernel::run_trace`]) — the per-touch processing
+//!   itself lives in [`crate::session`],
+//! * apply schema/layout gestures: zoom, rotate, drag a column out of a table,
+//!   group columns into a table (Section 2.8).
+
+use crate::operators::aggregate::AggregateKind;
+use crate::operators::filter::Predicate;
+use crate::session::{Session, SessionOutcome};
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_gesture::view::View;
+use dbtouch_storage::cache::RegionCache;
+use dbtouch_storage::column::Column;
+use dbtouch_storage::index::ZoneMapIndex;
+use dbtouch_storage::layout::Layout;
+use dbtouch_storage::matrix::Matrix;
+use dbtouch_storage::prefetch::Prefetcher;
+use dbtouch_storage::rotation::RotationTask;
+use dbtouch_storage::sample::SampleHierarchy;
+use dbtouch_storage::table::Table;
+use dbtouch_types::{DbTouchError, KernelConfig, Result, SizeCm};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a data object in the kernel's catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ObjectId(pub u64);
+
+/// The per-touch query action configured for a data object.
+///
+/// "Users define the query they wish to run by choosing a few query actions
+/// (say a scan or an aggregate for simplicity) and then they start a slide
+/// gesture over a column or a table." (Section 2.3)
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TouchAction {
+    /// Deliver the touched raw value.
+    Scan,
+    /// Maintain a running aggregate of all touched values.
+    Aggregate(AggregateKind),
+    /// Interactive summaries: aggregate the `[id-k, id+k]` window around each
+    /// touch (Section 2.7). `half_window = None` uses the kernel default.
+    Summary {
+        /// Half-window `k`; `None` uses [`KernelConfig::summary_half_window`].
+        half_window: Option<u64>,
+        /// Aggregate applied inside the window.
+        kind: AggregateKind,
+    },
+    /// Deliver touched values that satisfy a where-restriction.
+    FilteredScan {
+        /// The where-restriction.
+        predicate: Predicate,
+    },
+    /// Maintain a running aggregate of the touched values that satisfy a
+    /// where-restriction.
+    FilteredAggregate {
+        /// The where-restriction.
+        predicate: Predicate,
+        /// The aggregate maintained over passing values.
+        kind: AggregateKind,
+    },
+    /// Deliver the full tuple at the touched position (tables).
+    Tuple,
+    /// Incrementally group the touched tuples of a table object: the touched
+    /// row's `group_attribute` value selects the group and its
+    /// `value_attribute` value feeds that group's running aggregate
+    /// (Section 2.9, hash-based grouping made non-blocking).
+    GroupBy {
+        /// Attribute index whose value identifies the group.
+        group_attribute: usize,
+        /// Attribute index whose (numeric) value is aggregated per group.
+        value_attribute: usize,
+        /// The per-group aggregate.
+        kind: AggregateKind,
+    },
+}
+
+impl TouchAction {
+    /// The aggregate kind this action maintains across touches, if any.
+    pub fn aggregate_kind(&self) -> Option<AggregateKind> {
+        match self {
+            TouchAction::Aggregate(kind)
+            | TouchAction::FilteredAggregate { kind, .. }
+            | TouchAction::Summary { kind, .. } => Some(*kind),
+            _ => None,
+        }
+    }
+}
+
+/// One data object in the catalog: its storage, geometry and policies.
+#[derive(Debug)]
+pub(crate) struct DataObject {
+    pub(crate) name: String,
+    pub(crate) matrix: Matrix,
+    pub(crate) hierarchies: Vec<SampleHierarchy>,
+    pub(crate) indexes: Vec<Option<ZoneMapIndex>>,
+    pub(crate) view: View,
+    pub(crate) action: TouchAction,
+    pub(crate) cache: RegionCache,
+    pub(crate) prefetcher: Prefetcher,
+}
+
+impl DataObject {
+    pub(crate) fn row_count(&self) -> u64 {
+        self.matrix.row_count()
+    }
+
+    /// The sample hierarchy of an attribute. Non-numeric attributes have a
+    /// degenerate single-level hierarchy (base data only).
+    pub(crate) fn hierarchy(&self, attribute: usize) -> Result<&SampleHierarchy> {
+        self.hierarchies
+            .get(attribute)
+            .ok_or_else(|| DbTouchError::NotFound(format!("attribute {attribute}")))
+    }
+
+    /// Flip the physical layout of the object's matrix, converting
+    /// `chunk_rows` rows at a time (incremental rotation, Section 2.8).
+    pub(crate) fn rotate_layout(&mut self, chunk_rows: u64) -> Result<()> {
+        let task = RotationTask::new(self.matrix.clone(), chunk_rows);
+        self.matrix = task.finish()?;
+        self.view = self.view.rotated();
+        Ok(())
+    }
+}
+
+/// The dbTouch kernel.
+///
+/// ```
+/// use dbtouch_core::kernel::{Kernel, TouchAction};
+/// use dbtouch_core::operators::aggregate::AggregateKind;
+/// use dbtouch_gesture::synthesizer::GestureSynthesizer;
+/// use dbtouch_types::{KernelConfig, SizeCm};
+///
+/// let mut kernel = Kernel::new(KernelConfig::default());
+/// let object = kernel
+///     .load_column("readings", (0..100_000).collect(), SizeCm::new(2.0, 10.0))
+///     .unwrap();
+/// kernel
+///     .set_action(object, TouchAction::Summary { half_window: Some(5), kind: AggregateKind::Avg })
+///     .unwrap();
+///
+/// let view = kernel.view(object).unwrap();
+/// let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+/// let outcome = kernel.run_trace(object, &trace).unwrap();
+/// assert!(outcome.stats.entries_returned > 0);
+/// assert!(outcome.stats.rows_touched < 100_000);
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    config: KernelConfig,
+    objects: Vec<DataObject>,
+}
+
+impl Kernel {
+    /// Create a kernel with the given configuration.
+    pub fn new(config: KernelConfig) -> Kernel {
+        Kernel {
+            config,
+            objects: Vec::new(),
+        }
+    }
+
+    /// The kernel configuration.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Number of data objects in the catalog.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The names of all data objects, in load order. Just by glancing at this
+    /// list (the screen), users know what data is available — no schema
+    /// knowledge required (Section 2.2, "Schema-less Querying").
+    pub fn catalog(&self) -> Vec<String> {
+        self.objects.iter().map(|o| o.name.clone()).collect()
+    }
+
+    /// Look up an object id by name.
+    pub fn object_id(&self, name: &str) -> Result<ObjectId> {
+        self.objects
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| ObjectId(i as u64))
+            .ok_or_else(|| DbTouchError::NotFound(name.to_string()))
+    }
+
+    fn object(&self, id: ObjectId) -> Result<&DataObject> {
+        self.objects
+            .get(id.0 as usize)
+            .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
+    }
+
+    fn object_mut(&mut self, id: ObjectId) -> Result<&mut DataObject> {
+        self.objects
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
+    }
+
+    fn register(&mut self, matrix: Matrix, view: View) -> ObjectId {
+        let config = &self.config;
+        let hierarchies = Self::build_hierarchies(&matrix, config);
+        let indexes = Self::build_indexes(&matrix);
+        let id = ObjectId(self.objects.len() as u64);
+        self.objects.push(DataObject {
+            name: matrix.name().to_string(),
+            matrix,
+            hierarchies,
+            indexes,
+            view,
+            action: TouchAction::Scan,
+            cache: if config.cache_enabled {
+                RegionCache::new(config.cache_capacity_rows)
+            } else {
+                RegionCache::disabled()
+            },
+            prefetcher: if config.prefetch_enabled {
+                Prefetcher::new(16)
+            } else {
+                Prefetcher::disabled()
+            },
+        });
+        id
+    }
+
+    fn build_hierarchies(matrix: &Matrix, config: &KernelConfig) -> Vec<SampleHierarchy> {
+        let levels = config.sample_levels;
+        match matrix.columns() {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    let depth = if c.data_type().is_numeric() { levels } else { 1 };
+                    SampleHierarchy::build(c.clone(), depth)
+                })
+                .collect(),
+            None => {
+                // Row-major load: build degenerate hierarchies from a columnar copy.
+                let columnar = matrix
+                    .converted_to(Layout::ColumnMajor)
+                    .expect("layout conversion of a valid matrix cannot fail");
+                columnar
+                    .columns()
+                    .expect("column-major matrix has columns")
+                    .iter()
+                    .map(|c| {
+                        let depth = if c.data_type().is_numeric() { levels } else { 1 };
+                        SampleHierarchy::build(c.clone(), depth)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    fn build_indexes(matrix: &Matrix) -> Vec<Option<ZoneMapIndex>> {
+        const INDEX_BLOCK_ROWS: u64 = 4096;
+        match matrix.columns() {
+            Some(cols) => cols
+                .iter()
+                .map(|c| {
+                    c.data_type()
+                        .is_numeric()
+                        .then(|| ZoneMapIndex::build(c, INDEX_BLOCK_ROWS).ok())
+                        .flatten()
+                })
+                .collect(),
+            None => vec![None; matrix.column_count()],
+        }
+    }
+
+    /// Load a column of integers as a new data object rendered at `size`.
+    pub fn load_column(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<i64>,
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        self.load_column_typed(Column::from_i64(name.into(), values), size)
+    }
+
+    /// Load a column of floats as a new data object rendered at `size`.
+    pub fn load_column_f64(
+        &mut self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        self.load_column_typed(Column::from_f64(name.into(), values), size)
+    }
+
+    /// Load an already-built column as a new data object rendered at `size`.
+    pub fn load_column_typed(&mut self, column: Column, size: SizeCm) -> Result<ObjectId> {
+        self.config.validate()?;
+        let name = column.name().to_string();
+        if self.object_id(&name).is_ok() {
+            return Err(DbTouchError::AlreadyExists(name));
+        }
+        let tuple_count = column.len();
+        let view = View::for_column(name, tuple_count, size)?;
+        let matrix = Matrix::from_column(column);
+        Ok(self.register(matrix, view))
+    }
+
+    /// Load a table as a single "fat rectangle" data object rendered at `size`.
+    pub fn load_table(&mut self, table: Table, size: SizeCm) -> Result<ObjectId> {
+        self.config.validate()?;
+        let name = table.name().to_string();
+        if self.object_id(&name).is_ok() {
+            return Err(DbTouchError::AlreadyExists(name));
+        }
+        let view = View::for_table(name, table.row_count(), table.column_count(), size)?;
+        let matrix = Matrix::from_table(table);
+        Ok(self.register(matrix, view))
+    }
+
+    /// Set the per-touch query action of an object.
+    pub fn set_action(&mut self, id: ObjectId, action: TouchAction) -> Result<()> {
+        // Aggregation-style actions require a numeric target column.
+        if action.aggregate_kind().is_some() {
+            let obj = self.object(id)?;
+            let numeric = obj
+                .matrix
+                .schema()
+                .iter()
+                .any(|(_, dt)| dt.is_numeric());
+            if !numeric {
+                return Err(DbTouchError::TypeMismatch {
+                    expected: "numeric column".into(),
+                    found: "no numeric attribute in object".into(),
+                });
+            }
+        }
+        if let TouchAction::GroupBy {
+            group_attribute,
+            value_attribute,
+            ..
+        } = &action
+        {
+            let obj = self.object(id)?;
+            let schema = obj.matrix.schema();
+            let value_type = schema
+                .get(*value_attribute)
+                .ok_or_else(|| DbTouchError::NotFound(format!("attribute {value_attribute}")))?
+                .1;
+            if schema.get(*group_attribute).is_none() {
+                return Err(DbTouchError::NotFound(format!(
+                    "attribute {group_attribute}"
+                )));
+            }
+            if !value_type.is_numeric() {
+                return Err(DbTouchError::TypeMismatch {
+                    expected: "numeric value attribute".into(),
+                    found: value_type.name(),
+                });
+            }
+        }
+        self.object_mut(id)?.action = action;
+        Ok(())
+    }
+
+    /// The currently configured action of an object.
+    pub fn action(&self, id: ObjectId) -> Result<&TouchAction> {
+        Ok(&self.object(id)?.action)
+    }
+
+    /// A copy of the object's current view (geometry, orientation, zoom).
+    pub fn view(&self, id: ObjectId) -> Result<View> {
+        Ok(self.object(id)?.view.clone())
+    }
+
+    /// The number of tuples in an object.
+    pub fn row_count(&self, id: ObjectId) -> Result<u64> {
+        Ok(self.object(id)?.row_count())
+    }
+
+    /// The current physical layout of an object.
+    pub fn layout(&self, id: ObjectId) -> Result<Layout> {
+        Ok(self.object(id)?.matrix.layout())
+    }
+
+    /// The schema of an object as `(name, type)` pairs.
+    pub fn schema(&self, id: ObjectId) -> Result<&[(String, dbtouch_types::DataType)]> {
+        Ok(self.object(id)?.matrix.schema())
+    }
+
+    /// Read one cell of an object directly (used by join sessions and tests;
+    /// ordinary exploration goes through gesture traces instead).
+    pub fn cell(
+        &self,
+        id: ObjectId,
+        row: dbtouch_types::RowId,
+        attribute: usize,
+    ) -> Result<dbtouch_types::Value> {
+        self.object(id)?.matrix.get(row, attribute)
+    }
+
+    /// Run a gesture trace over an object, returning the produced results and
+    /// statistics. This is the main query entry point: the trace plays the role
+    /// the SQL string plays in a traditional system.
+    pub fn run_trace(&mut self, id: ObjectId, trace: &GestureTrace) -> Result<SessionOutcome> {
+        let config = self.config.clone();
+        let object = self.object_mut(id)?;
+        Session::new(object, &config).run(trace)
+    }
+
+    /// Apply a zoom directly (equivalent to a pinch gesture handled outside a
+    /// session, e.g. from a UI button).
+    pub fn zoom(&mut self, id: ObjectId, factor: f64) -> Result<View> {
+        let object = self.object_mut(id)?;
+        object.view = object.view.zoomed(factor)?;
+        Ok(object.view.clone())
+    }
+
+    /// Apply the rotate gesture directly: flips both the on-screen orientation
+    /// and the physical layout of the object (Section 2.8).
+    pub fn rotate(&mut self, id: ObjectId) -> Result<Layout> {
+        let chunk = self.config.rotation_chunk_rows;
+        let object = self.object_mut(id)?;
+        object.rotate_layout(chunk)?;
+        Ok(object.matrix.layout())
+    }
+
+    /// Drag a column out of a table object into a new standalone column object
+    /// (Section 2.8). The new object is rendered at `size` and the original
+    /// table keeps its remaining columns.
+    pub fn drag_column_out(
+        &mut self,
+        table_id: ObjectId,
+        column_name: &str,
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        let (column, remaining) = {
+            let obj = self.object(table_id)?;
+            let columnar = obj.matrix.converted_to(Layout::ColumnMajor)?;
+            let cols = columnar
+                .columns()
+                .expect("column-major matrix has columns")
+                .to_vec();
+            let idx = cols
+                .iter()
+                .position(|c| c.name() == column_name)
+                .ok_or_else(|| DbTouchError::NotFound(format!("column {column_name}")))?;
+            let mut cols = cols;
+            let column = cols.remove(idx);
+            (column, cols)
+        };
+        if remaining.is_empty() {
+            return Err(DbTouchError::InvalidPlan(
+                "cannot drag the last column out of a table".into(),
+            ));
+        }
+        // Rebuild the source table object with the remaining columns.
+        let obj = self.object(table_id)?;
+        let table_name = obj.name.clone();
+        let old_view = obj.view.clone();
+        let new_table = Table::from_columns(table_name, remaining)?;
+        let new_view = View::for_table(
+            new_table.name().to_string(),
+            new_table.row_count(),
+            new_table.column_count(),
+            old_view.size(),
+        )?;
+        let rebuilt = Matrix::from_table(new_table);
+        {
+            let config = self.config.clone();
+            let obj = self.object_mut(table_id)?;
+            obj.hierarchies = Self::build_hierarchies(&rebuilt, &config);
+            obj.indexes = Self::build_indexes(&rebuilt);
+            obj.matrix = rebuilt;
+            obj.view = new_view;
+        }
+        // Register the dragged-out column as its own object.
+        self.load_column_typed(column, size)
+    }
+
+    /// Group standalone column objects into a new table object (the "drag and
+    /// drop actions in a table placeholder" of Section 2.8). The source column
+    /// objects remain in the catalog.
+    pub fn group_into_table(
+        &mut self,
+        name: impl Into<String>,
+        column_ids: &[ObjectId],
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        if column_ids.is_empty() {
+            return Err(DbTouchError::InvalidPlan(
+                "grouping requires at least one column object".into(),
+            ));
+        }
+        let mut columns = Vec::with_capacity(column_ids.len());
+        for id in column_ids {
+            let obj = self.object(*id)?;
+            let col = obj
+                .matrix
+                .columns()
+                .and_then(|c| c.first())
+                .ok_or_else(|| {
+                    DbTouchError::InvalidPlan(format!(
+                        "object {} is not a standalone column-major column",
+                        obj.name
+                    ))
+                })?;
+            columns.push(col.clone());
+        }
+        let table = Table::from_columns(name.into(), columns)?;
+        self.load_table(table, size)
+    }
+
+    /// Cache and prefetcher statistics of an object (for the benchmarks and the
+    /// examples' reporting).
+    pub fn object_stats(
+        &self,
+        id: ObjectId,
+    ) -> Result<(dbtouch_storage::cache::CacheStats, dbtouch_storage::prefetch::PrefetchStats)>
+    {
+        let obj = self.object(id)?;
+        Ok((obj.cache.stats(), obj.prefetcher.stats()))
+    }
+
+    /// The zone-map index of an attribute, if one was built (numeric columns).
+    pub fn index(&self, id: ObjectId, attribute: usize) -> Result<Option<&ZoneMapIndex>> {
+        let obj = self.object(id)?;
+        Ok(obj.indexes.get(attribute).and_then(|i| i.as_ref()))
+    }
+
+    /// Reveal a single value by tapping at a fraction of the object's extent —
+    /// the schema-discovery interaction of Section 2.2 ("a single tap anywhere
+    /// on a column data object reveals a single column value, allowing to
+    /// easily recognize the data type of the column").
+    pub fn tap(&mut self, id: ObjectId, fraction: f64) -> Result<SessionOutcome> {
+        let view = self.view(id)?;
+        let mut synthesizer = dbtouch_gesture::synthesizer::GestureSynthesizer::new(
+            self.config.touch_sample_rate_hz,
+        );
+        let trace = synthesizer.tap(&view, fraction.clamp(0.0, 1.0));
+        self.run_trace(id, &trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_types::Value;
+
+    fn kernel() -> Kernel {
+        Kernel::new(KernelConfig::default())
+    }
+
+    #[test]
+    fn load_and_catalog() {
+        let mut k = kernel();
+        let a = k.load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let b = k.load_column_f64("b", vec![1.0; 50], SizeCm::new(2.0, 8.0)).unwrap();
+        assert_eq!(k.object_count(), 2);
+        assert_eq!(k.catalog(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(k.object_id("a").unwrap(), a);
+        assert_eq!(k.object_id("b").unwrap(), b);
+        assert!(k.object_id("missing").is_err());
+        assert_eq!(k.row_count(a).unwrap(), 100);
+        assert_eq!(k.layout(a).unwrap(), Layout::ColumnMajor);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut k = kernel();
+        k.load_column("a", vec![1, 2, 3], SizeCm::new(2.0, 10.0)).unwrap();
+        assert!(matches!(
+            k.load_column("a", vec![4, 5], SizeCm::new(2.0, 10.0)),
+            Err(DbTouchError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_view_size_rejected() {
+        let mut k = kernel();
+        assert!(k.load_column("a", vec![1], SizeCm::new(0.0, 10.0)).is_err());
+    }
+
+    #[test]
+    fn default_action_is_scan_and_can_change() {
+        let mut k = kernel();
+        let id = k.load_column("a", (0..10).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        assert_eq!(k.action(id).unwrap(), &TouchAction::Scan);
+        k.set_action(id, TouchAction::Aggregate(AggregateKind::Sum)).unwrap();
+        assert!(matches!(k.action(id).unwrap(), TouchAction::Aggregate(AggregateKind::Sum)));
+    }
+
+    #[test]
+    fn aggregate_action_requires_numeric_column() {
+        let mut k = kernel();
+        let strings = Column::from_strings("s", 4, &["a", "b", "c"]).unwrap();
+        let id = k.load_column_typed(strings, SizeCm::new(2.0, 10.0)).unwrap();
+        assert!(k.set_action(id, TouchAction::Aggregate(AggregateKind::Avg)).is_err());
+        assert!(k.set_action(id, TouchAction::Scan).is_ok());
+    }
+
+    #[test]
+    fn tap_reveals_a_value_for_schema_discovery() {
+        let mut k = kernel();
+        let id = k.load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let outcome = k.tap(id, 0.5).unwrap();
+        assert_eq!(outcome.results.len(), 1);
+        let v = outcome.results.latest().unwrap().value().unwrap().clone();
+        assert!(matches!(v, Value::Int(_)));
+    }
+
+    #[test]
+    fn zoom_updates_view_geometry() {
+        let mut k = kernel();
+        let id = k.load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let v = k.zoom(id, 2.0).unwrap();
+        assert_eq!(v.size(), SizeCm::new(4.0, 20.0));
+        assert_eq!(k.view(id).unwrap().zoom, 2.0);
+        assert!(k.zoom(id, 0.0).is_err());
+    }
+
+    #[test]
+    fn rotate_flips_layout_and_view() {
+        let mut k = kernel();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..500).collect()),
+                Column::from_f64("v", (0..500).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let id = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        assert_eq!(k.layout(id).unwrap(), Layout::ColumnMajor);
+        assert_eq!(k.rotate(id).unwrap(), Layout::RowMajor);
+        assert_eq!(k.view(id).unwrap().orientation, dbtouch_types::Orientation::Horizontal);
+        assert_eq!(k.rotate(id).unwrap(), Layout::ColumnMajor);
+    }
+
+    #[test]
+    fn drag_column_out_creates_new_object() {
+        let mut k = kernel();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..100).collect()),
+                Column::from_f64("price", (0..100).map(|i| i as f64).collect()),
+                Column::from_i64("qty", (0..100).map(|i| i % 7).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let cid = k.drag_column_out(tid, "price", SizeCm::new(2.0, 10.0)).unwrap();
+        assert_eq!(k.catalog(), vec!["t".to_string(), "price".to_string()]);
+        assert_eq!(k.row_count(cid).unwrap(), 100);
+        assert_eq!(k.view(tid).unwrap().attribute_count, 2);
+        assert!(k.drag_column_out(tid, "missing", SizeCm::new(2.0, 10.0)).is_err());
+    }
+
+    #[test]
+    fn drag_last_column_out_rejected() {
+        let mut k = kernel();
+        let table = Table::from_columns("t", vec![Column::from_i64("only", vec![1, 2, 3])]).unwrap();
+        let tid = k.load_table(table, SizeCm::new(2.0, 10.0)).unwrap();
+        assert!(k.drag_column_out(tid, "only", SizeCm::new(2.0, 10.0)).is_err());
+    }
+
+    #[test]
+    fn group_columns_into_table() {
+        let mut k = kernel();
+        let a = k.load_column("a", (0..50).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let b = k.load_column("b", (100..150).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let t = k.group_into_table("grouped", &[a, b], SizeCm::new(4.0, 10.0)).unwrap();
+        assert_eq!(k.row_count(t).unwrap(), 50);
+        assert_eq!(k.view(t).unwrap().attribute_count, 2);
+        // mismatched lengths fail
+        let c = k.load_column("c", (0..10).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        assert!(k.group_into_table("bad", &[a, c], SizeCm::new(4.0, 10.0)).is_err());
+        assert!(k.group_into_table("empty", &[], SizeCm::new(4.0, 10.0)).is_err());
+    }
+
+    #[test]
+    fn indexes_built_for_numeric_columns() {
+        let mut k = kernel();
+        let id = k.load_column("a", (0..10_000).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        assert!(k.index(id, 0).unwrap().is_some());
+        let strings = Column::from_strings("s", 4, &["x", "y"]).unwrap();
+        let sid = k.load_column_typed(strings, SizeCm::new(2.0, 10.0)).unwrap();
+        assert!(k.index(sid, 0).unwrap().is_none());
+        assert!(k.index(id, 5).unwrap().is_none());
+    }
+
+    #[test]
+    fn object_stats_accessible() {
+        let mut k = kernel();
+        let id = k.load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let (cache, prefetch) = k.object_stats(id).unwrap();
+        assert_eq!(cache.hits, 0);
+        assert_eq!(prefetch.requests, 0);
+    }
+
+    #[test]
+    fn unknown_object_errors() {
+        let mut k = kernel();
+        assert!(k.view(ObjectId(9)).is_err());
+        assert!(k.set_action(ObjectId(9), TouchAction::Scan).is_err());
+        assert!(k.rotate(ObjectId(9)).is_err());
+    }
+}

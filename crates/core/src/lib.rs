@@ -1,0 +1,56 @@
+//! # dbtouch-core
+//!
+//! The dbTouch kernel: the paper's primary contribution.
+//!
+//! dbTouch redefines query, query plan and data flow around touch input. A
+//! query is a *session* of gestures; every touch is a request to run an
+//! operator (or a small pipeline of operators) over the part of the data the
+//! touch addresses; the user — not the database — controls the data flow by
+//! varying the gesture's speed, direction and the object's size.
+//!
+//! The crate is organized following the system layers of the paper's Figure 3:
+//!
+//! * [`mapping`] — *Map touch to data*: the Rule-of-Three translation of touch
+//!   locations into tuple identifiers, for columns, tables and rotated objects
+//!   (Section 2.4).
+//! * [`operators`] — *Execute*: per-touch operators — point scans, running
+//!   aggregates, interactive summaries, selections, incremental group-bys and
+//!   non-blocking joins (Sections 2.3, 2.7, 2.9).
+//! * [`session`] — query sessions that feed recognized gestures through the
+//!   operators and collect the result stream and its statistics.
+//! * [`kernel`] — the catalog of data objects and the top-level API: load data,
+//!   choose per-object touch actions, run gesture traces, apply zoom/rotate/
+//!   drag-out layout gestures (Sections 2.2, 2.5, 2.8).
+//! * [`adaptive`] — touch-granularity and sample-level selection from gesture
+//!   speed and object size (Sections 2.5, 2.6).
+//! * [`prefetch_policy`] — gesture extrapolation into prefetch requests
+//!   (Section 2.6).
+//! * [`response`] — per-touch response-time budget with approximate-first
+//!   refinement (Section 4, "Interactive Behavior").
+//! * [`optimizer`] — adaptive ordering of filter pipelines under user-controlled
+//!   data flow (Section 2.9, "Optimization").
+//! * [`remote`] — simulated remote/cloud processing where the device holds only
+//!   small samples (Section 4, "Remote Processing").
+//! * [`result`] — the result stream with in-place, fading result values
+//!   (Section 2.3, "Inspecting Results").
+
+pub mod adaptive;
+pub mod join_session;
+pub mod kernel;
+pub mod mapping;
+pub mod operators;
+pub mod optimizer;
+pub mod prefetch_policy;
+pub mod remote;
+pub mod response;
+pub mod result;
+pub mod screen_session;
+pub mod session;
+
+pub use adaptive::GranularityPolicy;
+pub use join_session::{JoinOutcome, JoinSession, JoinSpec};
+pub use kernel::{Kernel, ObjectId, TouchAction};
+pub use mapping::TouchMapper;
+pub use result::{ResultStream, TouchResult};
+pub use screen_session::{ScreenOutcome, ScreenSession};
+pub use session::{Session, SessionOutcome, SessionStats};

@@ -1,0 +1,242 @@
+//! From touch to tuple identifiers (Section 2.4).
+//!
+//! "If the touch location is `t`, the size of the data object is `o` and the
+//! number of total tuples is `n`, then the tuple identifier we are looking for
+//! is `id = n * t / o`."
+//!
+//! For single-column objects only the scroll-axis dimension is used. For table
+//! objects both dimensions may be needed: the scroll axis addresses the tuple
+//! and the cross axis addresses the attribute. Rotated objects need no special
+//! handling because the mapping always works in the view's own coordinate
+//! space along its (possibly flipped) scroll axis.
+
+use dbtouch_gesture::view::View;
+use dbtouch_types::{DbTouchError, PointCm, Result, RowId};
+
+/// Maps touch locations within a view to tuple identifiers and attribute
+/// indexes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TouchMapper;
+
+impl TouchMapper {
+    /// Map a touch at `location` (view-local coordinates) to a tuple identifier
+    /// using the Rule of Three. Returns `None` for an empty data object.
+    ///
+    /// Locations outside the view are clamped to its edge — the touch OS only
+    /// delivers in-view touches, but synthesized traces with jitter may fall a
+    /// hair outside.
+    pub fn row_for_touch(view: &View, location: PointCm) -> Result<Option<RowId>> {
+        if !location.is_finite() {
+            return Err(DbTouchError::InvalidGeometry(format!(
+                "touch location {location} is not finite"
+            )));
+        }
+        let extent = view.scroll_extent();
+        if extent <= 0.0 {
+            return Err(DbTouchError::InvalidGeometry(format!(
+                "view {} has zero scroll extent",
+                view.name
+            )));
+        }
+        if view.tuple_count == 0 {
+            return Ok(None);
+        }
+        let t = view.orientation.scroll_coordinate(location).clamp(0.0, extent);
+        // Rule of Three: id = n * t / o.
+        let id = (view.tuple_count as f64 * t / extent) as u64;
+        Ok(Some(RowId(id.min(view.tuple_count - 1))))
+    }
+
+    /// Map a touch to `(tuple identifier, attribute index)` for a table object:
+    /// the scroll axis picks the tuple, the cross axis picks the attribute.
+    pub fn row_and_attribute_for_touch(
+        view: &View,
+        location: PointCm,
+    ) -> Result<Option<(RowId, usize)>> {
+        let row = match Self::row_for_touch(view, location)? {
+            Some(row) => row,
+            None => return Ok(None),
+        };
+        let cross_extent = view.cross_extent();
+        if cross_extent <= 0.0 || view.attribute_count == 0 {
+            return Ok(Some((row, 0)));
+        }
+        let c = view
+            .orientation
+            .cross_coordinate(location)
+            .clamp(0.0, cross_extent);
+        let attr = ((view.attribute_count as f64 * c / cross_extent) as usize)
+            .min(view.attribute_count - 1);
+        Ok(Some((row, attr)))
+    }
+
+    /// The number of base rows between the tuples addressed by two adjacent
+    /// distinguishable touch positions. This is the object's *touch
+    /// granularity* (Section 2.5): the physical limit on how many tuples a
+    /// slide over this object can process.
+    pub fn rows_per_touch_position(view: &View, touch_resolution_cm: f64) -> u64 {
+        let positions = view.addressable_positions(touch_resolution_cm);
+        if positions == 0 {
+            return view.tuple_count.max(1);
+        }
+        (view.tuple_count / positions).max(1)
+    }
+
+    /// The fraction of the object (in `[0, 1]`) a given tuple identifier
+    /// corresponds to: the inverse of the Rule of Three, used to place results
+    /// on screen "in place".
+    pub fn fraction_for_row(view: &View, row: RowId) -> f64 {
+        if view.tuple_count == 0 {
+            return 0.0;
+        }
+        (row.0 as f64 / view.tuple_count as f64).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_types::SizeCm;
+
+    fn column_view(tuples: u64) -> View {
+        View::for_column("c", tuples, SizeCm::new(2.0, 10.0)).unwrap()
+    }
+
+    #[test]
+    fn rule_of_three_basic() {
+        let v = column_view(1000);
+        // touch at 5cm of a 10cm object with 1000 tuples -> tuple 500
+        let row = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 5.0)).unwrap();
+        assert_eq!(row, Some(RowId(500)));
+        // top edge
+        assert_eq!(
+            TouchMapper::row_for_touch(&v, PointCm::new(1.0, 0.0)).unwrap(),
+            Some(RowId(0))
+        );
+        // bottom edge clamps to the last tuple
+        assert_eq!(
+            TouchMapper::row_for_touch(&v, PointCm::new(1.0, 10.0)).unwrap(),
+            Some(RowId(999))
+        );
+    }
+
+    #[test]
+    fn out_of_view_touches_clamp() {
+        let v = column_view(1000);
+        assert_eq!(
+            TouchMapper::row_for_touch(&v, PointCm::new(1.0, -3.0)).unwrap(),
+            Some(RowId(0))
+        );
+        assert_eq!(
+            TouchMapper::row_for_touch(&v, PointCm::new(1.0, 30.0)).unwrap(),
+            Some(RowId(999))
+        );
+    }
+
+    #[test]
+    fn non_finite_touch_rejected() {
+        let v = column_view(1000);
+        assert!(TouchMapper::row_for_touch(&v, PointCm::new(1.0, f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn empty_object_maps_to_none() {
+        let v = column_view(0);
+        assert_eq!(TouchMapper::row_for_touch(&v, PointCm::new(1.0, 5.0)).unwrap(), None);
+    }
+
+    #[test]
+    fn mapping_is_monotone_in_touch_position() {
+        let v = column_view(12345);
+        let mut last = 0u64;
+        for i in 0..100 {
+            let y = 10.0 * i as f64 / 99.0;
+            let row = TouchMapper::row_for_touch(&v, PointCm::new(1.0, y))
+                .unwrap()
+                .unwrap();
+            assert!(row.0 >= last);
+            last = row.0;
+        }
+        assert_eq!(last, 12344);
+    }
+
+    #[test]
+    fn zoom_in_gives_finer_mapping() {
+        let v = column_view(10_000_000);
+        let z = v.zoomed(2.0).unwrap();
+        // the same physical movement (0.1cm) addresses fewer tuples on the
+        // zoomed (larger) object -> finer granularity
+        let before = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 0.1)).unwrap().unwrap();
+        let after = TouchMapper::row_for_touch(&z, PointCm::new(1.0, 0.1)).unwrap().unwrap();
+        assert!(after.0 < before.0);
+        assert_eq!(before.0, 100_000);
+        assert_eq!(after.0, 50_000);
+    }
+
+    #[test]
+    fn rotated_object_maps_along_new_axis() {
+        let v = column_view(1000);
+        let r = v.rotated();
+        // After rotation the object lies horizontally: x addresses tuples.
+        let row = TouchMapper::row_for_touch(&r, PointCm::new(5.0, 1.0)).unwrap();
+        assert_eq!(row, Some(RowId(500)));
+        // The same relative position maps to the same tuple before and after
+        // rotation (Section 2.4).
+        let before = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 2.5)).unwrap();
+        let after = TouchMapper::row_for_touch(&r, PointCm::new(2.5, 1.0)).unwrap();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn table_touch_selects_attribute_by_cross_axis() {
+        let v = View::for_table("t", 1000, 4, SizeCm::new(8.0, 10.0)).unwrap();
+        let (row, attr) =
+            TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(1.0, 5.0))
+                .unwrap()
+                .unwrap();
+        assert_eq!(row, RowId(500));
+        assert_eq!(attr, 0);
+        let (_, attr) = TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(7.9, 5.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr, 3);
+        let (_, attr) = TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(4.1, 5.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(attr, 2);
+    }
+
+    #[test]
+    fn horizontal_table_slide_walks_attributes_vertically() {
+        let v = View::for_table("t", 1000, 4, SizeCm::new(8.0, 10.0))
+            .unwrap()
+            .rotated();
+        // now the scroll axis is x (10cm wide after transpose? size transposed to 10x8)
+        let (row, attr) = TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(5.0, 2.0))
+            .unwrap()
+            .unwrap();
+        assert_eq!(row, RowId(500));
+        assert_eq!(attr, 1);
+    }
+
+    #[test]
+    fn rows_per_touch_position() {
+        let v = column_view(10_000_000);
+        // 10cm / 0.05cm = 200 positions -> 50k rows between adjacent positions
+        assert_eq!(TouchMapper::rows_per_touch_position(&v, 0.05), 50_000);
+        let z = v.zoomed(2.0).unwrap();
+        assert_eq!(TouchMapper::rows_per_touch_position(&z, 0.05), 25_000);
+        // tiny object: at least 1
+        let small = column_view(10);
+        assert_eq!(TouchMapper::rows_per_touch_position(&small, 0.05), 1);
+    }
+
+    #[test]
+    fn fraction_for_row_inverse_of_mapping() {
+        let v = column_view(1000);
+        let row = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 7.0)).unwrap().unwrap();
+        let frac = TouchMapper::fraction_for_row(&v, row);
+        assert!((frac - 0.7).abs() < 1e-3);
+        assert_eq!(TouchMapper::fraction_for_row(&column_view(0), RowId(5)), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! Point scans: delivering the touched value itself.
+//!
+//! The plain-scan action "delivers the actual data as is" (Section 2.3): each
+//! touch reveals the value (or the full tuple, for table objects) stored at the
+//! tuple identifier the touch mapped to.
+
+use dbtouch_storage::matrix::Matrix;
+use dbtouch_types::{Result, RowId, Value};
+
+/// Reads individual values or tuples addressed by touches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PointScan;
+
+impl PointScan {
+    /// Read a single attribute value at `(row, attribute)`.
+    pub fn value(matrix: &Matrix, row: RowId, attribute: usize) -> Result<Value> {
+        matrix.get(row, attribute)
+    }
+
+    /// Read the whole tuple at `row` (what a tap over a table object reveals).
+    pub fn tuple(matrix: &Matrix, row: RowId) -> Result<Vec<Value>> {
+        matrix.get_row(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_storage::column::Column;
+    use dbtouch_storage::table::Table;
+
+    fn matrix() -> Matrix {
+        Matrix::from_table(
+            Table::from_columns(
+                "t",
+                vec![
+                    Column::from_i64("id", vec![10, 20, 30]),
+                    Column::from_strings("tag", 4, &["a", "b", "c"]).unwrap(),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn point_value() {
+        let m = matrix();
+        assert_eq!(PointScan::value(&m, RowId(1), 0).unwrap(), Value::Int(20));
+        assert_eq!(PointScan::value(&m, RowId(2), 1).unwrap(), Value::Str("c".into()));
+        assert!(PointScan::value(&m, RowId(9), 0).is_err());
+    }
+
+    #[test]
+    fn full_tuple() {
+        let m = matrix();
+        assert_eq!(
+            PointScan::tuple(&m, RowId(0)).unwrap(),
+            vec![Value::Int(10), Value::Str("a".into())]
+        );
+        assert!(PointScan::tuple(&m, RowId(3)).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Interactive summaries (Section 2.7).
+//!
+//! "When during a slide we register position p which corresponds to tuple
+//! identifier id_p, then dbTouch scans all entries within the tuple identifier
+//! range [id_p − k, id_p + k] and calculates a single aggregate value."
+//!
+//! Summaries let each touch inspect more data than the single touched entry and
+//! expose local patterns (the aggregate of a small, controlled group of rows).
+
+use crate::operators::aggregate::AggregateKind;
+use dbtouch_storage::column::Column;
+use dbtouch_types::{Result, RowId, RowRange};
+use serde::{Deserialize, Serialize};
+
+/// The aggregate of one summary window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryValue {
+    /// The touched tuple identifier at the centre of the window.
+    pub center: RowId,
+    /// The window of rows actually aggregated (clamped to the data bounds).
+    pub window: RowRange,
+    /// Number of rows aggregated.
+    pub count: u64,
+    /// The aggregate value (`None` only for an empty window with a non-count
+    /// aggregate, which can only happen on an empty column).
+    pub value: Option<f64>,
+}
+
+/// Computes `[id−k, id+k]` window aggregates around touched rows.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InteractiveSummary {
+    /// Half-window `k`.
+    pub half_window: u64,
+    /// Aggregate used inside the window. The paper recommends average as the
+    /// default.
+    pub kind: AggregateKind,
+}
+
+impl Default for InteractiveSummary {
+    fn default() -> Self {
+        InteractiveSummary {
+            half_window: 5,
+            kind: AggregateKind::Avg,
+        }
+    }
+}
+
+impl InteractiveSummary {
+    /// Create a summary operator with half-window `k` and aggregate `kind`.
+    pub fn new(half_window: u64, kind: AggregateKind) -> InteractiveSummary {
+        InteractiveSummary { half_window, kind }
+    }
+
+    /// Number of rows a full (unclamped) window covers: `2k + 1`.
+    pub fn window_rows(&self) -> u64 {
+        2 * self.half_window + 1
+    }
+
+    /// Compute the summary for a touch that mapped to `center` over `column`.
+    pub fn summarize(&self, column: &Column, center: RowId) -> Result<SummaryValue> {
+        let window = RowRange::window(center, self.half_window, column.len());
+        let (count, sum, min, max) = column.numeric_range_stats(window)?;
+        let value = match self.kind {
+            AggregateKind::Count => Some(count as f64),
+            AggregateKind::Sum => (count > 0).then_some(sum),
+            AggregateKind::Avg => (count > 0).then(|| sum / count as f64),
+            AggregateKind::Min => min,
+            AggregateKind::Max => max,
+        };
+        Ok(SummaryValue {
+            center,
+            window,
+            count,
+            value,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col() -> Column {
+        Column::from_i64("c", (0..100).collect())
+    }
+
+    #[test]
+    fn window_rows() {
+        assert_eq!(InteractiveSummary::new(5, AggregateKind::Avg).window_rows(), 11);
+        assert_eq!(InteractiveSummary::new(0, AggregateKind::Avg).window_rows(), 1);
+    }
+
+    #[test]
+    fn average_summary_centre_of_column() {
+        let s = InteractiveSummary::new(2, AggregateKind::Avg);
+        let v = s.summarize(&col(), RowId(50)).unwrap();
+        assert_eq!(v.window, RowRange::new(48, 53));
+        assert_eq!(v.count, 5);
+        assert_eq!(v.value, Some(50.0));
+        assert_eq!(v.center, RowId(50));
+    }
+
+    #[test]
+    fn summary_clamped_at_edges() {
+        let s = InteractiveSummary::new(5, AggregateKind::Avg);
+        let start = s.summarize(&col(), RowId(1)).unwrap();
+        assert_eq!(start.window, RowRange::new(0, 7));
+        assert_eq!(start.count, 7);
+        assert_eq!(start.value, Some(3.0));
+        let end = s.summarize(&col(), RowId(99)).unwrap();
+        assert_eq!(end.window, RowRange::new(94, 100));
+        assert_eq!(end.value, Some(96.5));
+    }
+
+    #[test]
+    fn different_aggregate_kinds() {
+        let c = col();
+        let min = InteractiveSummary::new(3, AggregateKind::Min).summarize(&c, RowId(10)).unwrap();
+        assert_eq!(min.value, Some(7.0));
+        let max = InteractiveSummary::new(3, AggregateKind::Max).summarize(&c, RowId(10)).unwrap();
+        assert_eq!(max.value, Some(13.0));
+        let sum = InteractiveSummary::new(1, AggregateKind::Sum).summarize(&c, RowId(10)).unwrap();
+        assert_eq!(sum.value, Some(9.0 + 10.0 + 11.0));
+        let count = InteractiveSummary::new(1, AggregateKind::Count).summarize(&c, RowId(10)).unwrap();
+        assert_eq!(count.value, Some(3.0));
+    }
+
+    #[test]
+    fn zero_half_window_is_point_read() {
+        let s = InteractiveSummary::new(0, AggregateKind::Avg);
+        let v = s.summarize(&col(), RowId(42)).unwrap();
+        assert_eq!(v.count, 1);
+        assert_eq!(v.value, Some(42.0));
+    }
+
+    #[test]
+    fn empty_column_summary() {
+        let empty = Column::from_i64("e", vec![]);
+        let s = InteractiveSummary::default();
+        let v = s.summarize(&empty, RowId(0)).unwrap();
+        assert_eq!(v.count, 0);
+        assert_eq!(v.value, None);
+    }
+
+    #[test]
+    fn non_numeric_column_rejected() {
+        let strings = Column::from_strings("s", 4, &["a", "b"]).unwrap();
+        assert!(InteractiveSummary::default().summarize(&strings, RowId(0)).is_err());
+    }
+
+    #[test]
+    fn center_beyond_column_clamps() {
+        let s = InteractiveSummary::new(2, AggregateKind::Avg);
+        let v = s.summarize(&col(), RowId(500)).unwrap();
+        assert_eq!(v.window, RowRange::new(97, 100));
+        assert_eq!(v.value, Some(98.0));
+    }
+}

@@ -1,0 +1,237 @@
+//! Adaptive optimization of per-touch pipelines.
+//!
+//! Section 2.9 ("Optimization"): with complex queries the order of operators
+//! matters, but dbTouch "does not know up front how much data we are going to
+//! process" and different data areas have different properties, so the kernel
+//! must "figure out the proper optimization decisions on-the-fly" and keep
+//! adapting them as the slide moves into new data regions.
+//!
+//! [`AdaptiveFilterOrder`] maintains, for a conjunction of predicates, running
+//! estimates of each predicate's observed selectivity and evaluation cost over
+//! the most recent touches, and evaluates the cheapest/most-selective
+//! predicates first. Because the estimates are windowed, the order re-adapts
+//! when the gesture moves into a data region with different properties.
+
+use crate::operators::filter::Predicate;
+use dbtouch_types::{Result, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Per-predicate observed statistics over a sliding window of evaluations.
+#[derive(Debug, Clone)]
+struct PredicateStats {
+    predicate: Predicate,
+    cost: u64,
+    recent: VecDeque<bool>,
+    window: usize,
+}
+
+impl PredicateStats {
+    fn new(predicate: Predicate, window: usize) -> PredicateStats {
+        let cost = predicate.cost();
+        PredicateStats {
+            predicate,
+            cost,
+            recent: VecDeque::new(),
+            window,
+        }
+    }
+
+    fn observe(&mut self, passed: bool) {
+        self.recent.push_back(passed);
+        while self.recent.len() > self.window {
+            self.recent.pop_front();
+        }
+    }
+
+    /// Estimated probability that the predicate passes (optimistic 1.0 when
+    /// nothing has been observed yet so that new predicates get explored).
+    fn selectivity(&self) -> f64 {
+        if self.recent.is_empty() {
+            return 1.0;
+        }
+        self.recent.iter().filter(|&&b| b).count() as f64 / self.recent.len() as f64
+    }
+
+    /// Rank: predicates that are cheap and likely to reject come first
+    /// (classical `cost / (1 - selectivity)` rank, guarded for selectivity 1).
+    fn rank(&self) -> f64 {
+        let reject_prob = 1.0 - self.selectivity();
+        if reject_prob <= 1e-9 {
+            f64::MAX
+        } else {
+            self.cost as f64 / reject_prob
+        }
+    }
+}
+
+/// A summary of the optimizer's current ordering decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OptimizerSnapshot {
+    /// Predicate display strings in current evaluation order.
+    pub order: Vec<String>,
+    /// Observed pass rate of each predicate, in the same order.
+    pub selectivities: Vec<f64>,
+    /// Number of values evaluated so far.
+    pub evaluations: u64,
+    /// Number of re-orderings performed.
+    pub reorderings: u64,
+}
+
+/// Adaptively ordered conjunction of predicates.
+#[derive(Debug, Clone)]
+pub struct AdaptiveFilterOrder {
+    stats: Vec<PredicateStats>,
+    evaluations: u64,
+    reorderings: u64,
+    reorder_every: u64,
+}
+
+impl AdaptiveFilterOrder {
+    /// Create an adaptive conjunction over `predicates`, re-evaluating the
+    /// order every `reorder_every` evaluations (window of the same size).
+    pub fn new(predicates: Vec<Predicate>, reorder_every: u64) -> AdaptiveFilterOrder {
+        let window = reorder_every.clamp(8, 4096) as usize;
+        AdaptiveFilterOrder {
+            stats: predicates
+                .into_iter()
+                .map(|p| PredicateStats::new(p, window))
+                .collect(),
+            evaluations: 0,
+            reorderings: 0,
+            reorder_every: reorder_every.max(1),
+        }
+    }
+
+    /// Number of predicates in the conjunction.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// True if there are no predicates (everything passes).
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Evaluate the conjunction against a value, updating the observed
+    /// statistics and periodically re-ordering the predicates. Short-circuits
+    /// on the first failing predicate, exactly like a static conjunction — only
+    /// the order differs.
+    pub fn eval(&mut self, value: &Value) -> Result<bool> {
+        self.evaluations += 1;
+        let mut verdict = true;
+        for s in self.stats.iter_mut() {
+            if !verdict {
+                break;
+            }
+            let passed = s.predicate.eval(value)?;
+            s.observe(passed);
+            verdict = passed;
+        }
+        if self.evaluations % self.reorder_every == 0 {
+            self.reorder();
+        }
+        Ok(verdict)
+    }
+
+    fn reorder(&mut self) {
+        let before: Vec<String> = self.stats.iter().map(|s| s.predicate.to_string()).collect();
+        self.stats
+            .sort_by(|a, b| a.rank().partial_cmp(&b.rank()).unwrap_or(std::cmp::Ordering::Equal));
+        let after: Vec<String> = self.stats.iter().map(|s| s.predicate.to_string()).collect();
+        if before != after {
+            self.reorderings += 1;
+        }
+    }
+
+    /// A snapshot of the current ordering and statistics.
+    pub fn snapshot(&self) -> OptimizerSnapshot {
+        OptimizerSnapshot {
+            order: self.stats.iter().map(|s| s.predicate.to_string()).collect(),
+            selectivities: self.stats.iter().map(|s| s.selectivity()).collect(),
+            evaluations: self.evaluations,
+            reorderings: self.reorderings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operators::filter::CompareOp;
+
+    #[test]
+    fn empty_conjunction_passes_everything() {
+        let mut f = AdaptiveFilterOrder::new(vec![], 16);
+        assert!(f.is_empty());
+        assert!(f.eval(&Value::Int(5)).unwrap());
+    }
+
+    #[test]
+    fn conjunction_semantics_preserved() {
+        let mut f = AdaptiveFilterOrder::new(
+            vec![
+                Predicate::compare(CompareOp::Ge, 0i64),
+                Predicate::compare(CompareOp::Lt, 10i64),
+            ],
+            16,
+        );
+        assert!(f.eval(&Value::Int(5)).unwrap());
+        assert!(!f.eval(&Value::Int(-1)).unwrap());
+        assert!(!f.eval(&Value::Int(20)).unwrap());
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn selective_predicate_moves_to_front() {
+        // First predicate almost always passes; second almost always rejects.
+        let mut f = AdaptiveFilterOrder::new(
+            vec![
+                Predicate::compare(CompareOp::Ge, 0i64),      // always true for our data
+                Predicate::compare(CompareOp::Gt, 1_000i64),  // always false for our data
+            ],
+            32,
+        );
+        let initial_order = f.snapshot().order;
+        for i in 0..200i64 {
+            let _ = f.eval(&Value::Int(i % 100)).unwrap();
+        }
+        let snap = f.snapshot();
+        assert_ne!(snap.order, initial_order, "the rejecting predicate should move first");
+        assert_eq!(snap.order[0], "x > 1000");
+        assert!(snap.reorderings >= 1);
+        assert_eq!(snap.evaluations, 200);
+        // semantics still correct after reordering
+        assert!(!f.eval(&Value::Int(50)).unwrap());
+        assert!(f.eval(&Value::Int(2_000)).unwrap());
+    }
+
+    #[test]
+    fn order_matches_static_conjunction_results() {
+        let preds = vec![
+            Predicate::between(10i64, 90i64),
+            Predicate::compare(CompareOp::Ne, 50i64),
+            Predicate::compare(CompareOp::Lt, 80i64),
+        ];
+        let mut adaptive = AdaptiveFilterOrder::new(preds.clone(), 8);
+        for i in 0..200i64 {
+            let v = Value::Int(i % 100);
+            let expected = preds.iter().all(|p| p.eval(&v).unwrap());
+            assert_eq!(adaptive.eval(&v).unwrap(), expected, "mismatch at {i}");
+        }
+    }
+
+    #[test]
+    fn snapshot_selectivities_are_probabilities() {
+        let mut f = AdaptiveFilterOrder::new(
+            vec![Predicate::compare(CompareOp::Lt, 50i64)],
+            200,
+        );
+        for i in 0..100i64 {
+            let _ = f.eval(&Value::Int(i)).unwrap();
+        }
+        let snap = f.snapshot();
+        assert_eq!(snap.selectivities.len(), 1);
+        assert!(snap.selectivities[0] > 0.0 && snap.selectivities[0] < 1.0);
+    }
+}

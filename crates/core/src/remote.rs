@@ -1,0 +1,259 @@
+//! Simulated remote processing (Section 4, "Remote Processing").
+//!
+//! "The server may store the base data and the big samples, while the touch
+//! device may store only small samples. Then, during query processing dbTouch
+//! may use both local and remote data to process queries; as users request more
+//! detail, more requests are shipped to the server. [...] dbTouch needs to
+//! carefully exploit both local and remote data, i.e., use local data to feed
+//! partial answers, while in the mean time more fine-grained answers are
+//! produced and delivered by the server."
+//!
+//! The paper has no real deployment; we model the split with a
+//! [`RemoteStore`]: the device keeps the coarse sample levels of a column, the
+//! simulated server keeps everything, and each request is charged a latency and
+//! a bandwidth cost. The router answers immediately from local data when it
+//! can, and reports what a remote round trip would have cost otherwise — which
+//! is what the remote-processing example and tests measure.
+
+use dbtouch_storage::sample::SampleHierarchy;
+use dbtouch_types::{DbTouchError, Result, RowRange};
+use serde::{Deserialize, Serialize};
+
+/// Where a request was served from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServedFrom {
+    /// Answered entirely from the device's local samples.
+    Local,
+    /// Required a round trip to the simulated server.
+    Remote,
+}
+
+/// The outcome of one data request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RemoteFetch {
+    /// Where the rows came from.
+    pub served_from: ServedFrom,
+    /// Rows transferred.
+    pub rows: u64,
+    /// Simulated time to answer, in microseconds.
+    pub simulated_micros: u64,
+}
+
+/// Accumulated traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RemoteStats {
+    /// Requests answered locally.
+    pub local_requests: u64,
+    /// Requests that went to the server.
+    pub remote_requests: u64,
+    /// Rows shipped from the server.
+    pub rows_shipped: u64,
+    /// Total simulated time spent waiting on the server, in microseconds.
+    pub remote_wait_micros: u64,
+}
+
+/// Network model of the simulated server link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Round-trip latency per request, in microseconds.
+    pub round_trip_micros: u64,
+    /// Transfer throughput in rows per millisecond.
+    pub rows_per_milli: u64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        // A reasonable WAN: 40ms round trip, ~2000 rows (16KB of int64) per ms.
+        NetworkModel {
+            round_trip_micros: 40_000,
+            rows_per_milli: 2_000,
+        }
+    }
+}
+
+/// A column split between a thin device store and a simulated remote server.
+#[derive(Debug, Clone)]
+pub struct RemoteStore {
+    hierarchy: SampleHierarchy,
+    /// Coarsest level range kept on the device: levels `>= local_min_level`.
+    local_min_level: u8,
+    network: NetworkModel,
+    stats: RemoteStats,
+}
+
+impl RemoteStore {
+    /// Split a sample hierarchy: the device keeps levels `>= local_min_level`
+    /// (the coarse, small samples), the server keeps everything.
+    pub fn new(
+        hierarchy: SampleHierarchy,
+        local_min_level: u8,
+        network: NetworkModel,
+    ) -> Result<RemoteStore> {
+        if local_min_level >= hierarchy.level_count() {
+            return Err(DbTouchError::InvalidSampleLevel {
+                level: local_min_level,
+                max: hierarchy.level_count(),
+            });
+        }
+        Ok(RemoteStore {
+            hierarchy,
+            local_min_level,
+            network,
+            stats: RemoteStats::default(),
+        })
+    }
+
+    /// The sample hierarchy (base data + all levels, i.e. the server's copy).
+    pub fn hierarchy(&self) -> &SampleHierarchy {
+        &self.hierarchy
+    }
+
+    /// The coarsest level held locally.
+    pub fn local_min_level(&self) -> u8 {
+        self.local_min_level
+    }
+
+    /// Device-resident bytes (the local sample levels only).
+    pub fn local_bytes(&self) -> u64 {
+        (self.local_min_level..self.hierarchy.level_count())
+            .filter_map(|l| self.hierarchy.level(l).ok())
+            .map(|c| c.byte_size())
+            .sum()
+    }
+
+    /// True if a request at `level` can be served from the device.
+    pub fn is_local(&self, level: u8) -> bool {
+        level >= self.local_min_level
+    }
+
+    /// Request `range` (in base-row coordinates) at `level`, returning where it
+    /// was served from and the simulated cost. Local requests are free in this
+    /// model (in-memory), remote requests pay a round trip plus transfer time.
+    pub fn fetch(&mut self, range: RowRange, level: u8) -> Result<RemoteFetch> {
+        let mapped = self.hierarchy.map_range(range, level)?;
+        let rows = mapped.len();
+        if self.is_local(level) {
+            self.stats.local_requests += 1;
+            Ok(RemoteFetch {
+                served_from: ServedFrom::Local,
+                rows,
+                simulated_micros: 0,
+            })
+        } else {
+            self.stats.remote_requests += 1;
+            self.stats.rows_shipped += rows;
+            let transfer_micros = if self.network.rows_per_milli == 0 {
+                0
+            } else {
+                rows * 1000 / self.network.rows_per_milli
+            };
+            let micros = self.network.round_trip_micros + transfer_micros;
+            self.stats.remote_wait_micros += micros;
+            Ok(RemoteFetch {
+                served_from: ServedFrom::Remote,
+                rows,
+                simulated_micros: micros,
+            })
+        }
+    }
+
+    /// Answer a detail request the dbTouch way: first return the best local
+    /// answer (coarse but instant), then the remote answer (fine but slow).
+    /// Returns `(local, Option<remote>)`; the remote part is `None` when the
+    /// requested level is already local.
+    pub fn fetch_progressive(
+        &mut self,
+        range: RowRange,
+        requested_level: u8,
+    ) -> Result<(RemoteFetch, Option<RemoteFetch>)> {
+        if self.is_local(requested_level) {
+            return Ok((self.fetch(range, requested_level)?, None));
+        }
+        let local = self.fetch(range, self.local_min_level)?;
+        let remote = self.fetch(range, requested_level)?;
+        Ok((local, Some(remote)))
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> RemoteStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_storage::column::Column;
+
+    fn store() -> RemoteStore {
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..100_000).collect()), 8);
+        RemoteStore::new(h, 4, NetworkModel::default()).unwrap()
+    }
+
+    #[test]
+    fn split_levels() {
+        let s = store();
+        assert!(s.is_local(4));
+        assert!(s.is_local(7));
+        assert!(!s.is_local(0));
+        assert!(!s.is_local(3));
+        assert!(s.local_bytes() < s.hierarchy().base().byte_size() / 4);
+    }
+
+    #[test]
+    fn invalid_split_rejected() {
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..100).collect()), 3);
+        assert!(RemoteStore::new(h, 9, NetworkModel::default()).is_err());
+    }
+
+    #[test]
+    fn local_fetch_is_free() {
+        let mut s = store();
+        let f = s.fetch(RowRange::new(0, 10_000), 5).unwrap();
+        assert_eq!(f.served_from, ServedFrom::Local);
+        assert_eq!(f.simulated_micros, 0);
+        assert_eq!(s.stats().local_requests, 1);
+        assert_eq!(s.stats().remote_requests, 0);
+    }
+
+    #[test]
+    fn remote_fetch_pays_latency_and_transfer() {
+        let mut s = store();
+        let f = s.fetch(RowRange::new(0, 20_000), 0).unwrap();
+        assert_eq!(f.served_from, ServedFrom::Remote);
+        assert_eq!(f.rows, 20_000);
+        assert_eq!(f.simulated_micros, 40_000 + 20_000 * 1000 / 2_000);
+        assert_eq!(s.stats().remote_requests, 1);
+        assert_eq!(s.stats().rows_shipped, 20_000);
+    }
+
+    #[test]
+    fn progressive_fetch_serves_coarse_then_fine() {
+        let mut s = store();
+        let (local, remote) = s.fetch_progressive(RowRange::new(0, 16_000), 1).unwrap();
+        assert_eq!(local.served_from, ServedFrom::Local);
+        let remote = remote.unwrap();
+        assert_eq!(remote.served_from, ServedFrom::Remote);
+        // the coarse local answer covers far fewer rows than the fine remote one
+        assert!(local.rows < remote.rows);
+        // when the requested level is already local there is no remote part
+        let (_, none) = s.fetch_progressive(RowRange::new(0, 16_000), 6).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn zero_bandwidth_model_only_charges_latency() {
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..1000).collect()), 4);
+        let mut s = RemoteStore::new(
+            h,
+            2,
+            NetworkModel {
+                round_trip_micros: 1_000,
+                rows_per_milli: 0,
+            },
+        )
+        .unwrap();
+        let f = s.fetch(RowRange::new(0, 100), 0).unwrap();
+        assert_eq!(f.simulated_micros, 1_000);
+    }
+}

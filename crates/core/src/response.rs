@@ -1,0 +1,185 @@
+//! Per-touch response-time budget with approximate-first refinement.
+//!
+//! Section 4 ("Interactive Behavior"): "There should always be a maximum
+//! possible wait time for a single touch regardless of the query and the data
+//! sizes. Approximate query processing in combination with dbTouch may be an
+//! interesting direction, i.e., results appear within the expected response
+//! time and then they are continuously refined."
+//!
+//! [`ResponseBudget`] enforces a per-touch micro-budget: a window aggregation is
+//! first computed over a shrunken window that fits the budget (based on a
+//! calibrated per-row cost), delivered immediately, and the remaining rows are
+//! recorded as *refinement debt* that is paid off on subsequent touches or
+//! pauses, continuously improving the delivered result.
+
+use dbtouch_types::{RowRange, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A pending refinement: rows that were skipped to meet the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefinementDebt {
+    /// The rows still to be aggregated.
+    pub remaining: RowRange,
+    /// When the approximate result was delivered.
+    pub deferred_at: Timestamp,
+}
+
+/// Statistics about budget decisions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetStats {
+    /// Touches answered exactly (full window within budget).
+    pub exact: u64,
+    /// Touches answered approximately (window truncated).
+    pub approximate: u64,
+    /// Refinement steps executed afterwards.
+    pub refinements: u64,
+    /// Rows deferred in total.
+    pub rows_deferred: u64,
+}
+
+/// Enforces the per-touch response-time budget.
+#[derive(Debug, Clone)]
+pub struct ResponseBudget {
+    budget_micros: u64,
+    /// Calibrated cost of aggregating one row, in nanoseconds.
+    nanos_per_row: f64,
+    debts: VecDeque<RefinementDebt>,
+    stats: BudgetStats,
+    enabled: bool,
+}
+
+impl ResponseBudget {
+    /// Create a budget of `budget_micros` microseconds per touch assuming the
+    /// given per-row aggregation cost in nanoseconds.
+    pub fn new(budget_micros: u64, nanos_per_row: f64) -> ResponseBudget {
+        ResponseBudget {
+            budget_micros: budget_micros.max(1),
+            nanos_per_row: nanos_per_row.max(0.01),
+            debts: VecDeque::new(),
+            stats: BudgetStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// A budget that never truncates windows (used by ablations).
+    pub fn unlimited() -> ResponseBudget {
+        ResponseBudget {
+            budget_micros: u64::MAX,
+            nanos_per_row: 0.01,
+            debts: VecDeque::new(),
+            stats: BudgetStats::default(),
+            enabled: false,
+        }
+    }
+
+    /// Whether the budget actively truncates work.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Maximum rows that fit the budget.
+    pub fn rows_within_budget(&self) -> u64 {
+        if !self.enabled {
+            return u64::MAX;
+        }
+        ((self.budget_micros as f64 * 1000.0) / self.nanos_per_row).floor().max(1.0) as u64
+    }
+
+    /// Admit a window for processing: returns the (possibly truncated) range to
+    /// process now. The truncated remainder, if any, is queued as refinement
+    /// debt. The processed part is centred on the original window's start so
+    /// the touched row itself is always covered.
+    pub fn admit(&mut self, window: RowRange, now: Timestamp) -> RowRange {
+        let limit = self.rows_within_budget();
+        if window.len() <= limit {
+            self.stats.exact += 1;
+            return window;
+        }
+        let process = RowRange::new(window.start, window.start + limit);
+        let remaining = RowRange::new(window.start + limit, window.end);
+        self.stats.approximate += 1;
+        self.stats.rows_deferred += remaining.len();
+        self.debts.push_back(RefinementDebt {
+            remaining,
+            deferred_at: now,
+        });
+        process
+    }
+
+    /// Pop the next refinement debt (oldest first), if any. The caller
+    /// aggregates those rows and merges them into the already-delivered result,
+    /// realizing the "continuously refined" behaviour.
+    pub fn next_refinement(&mut self) -> Option<RefinementDebt> {
+        let debt = self.debts.pop_front()?;
+        self.stats.refinements += 1;
+        Some(debt)
+    }
+
+    /// Number of outstanding refinement debts.
+    pub fn pending_refinements(&self) -> usize {
+        self.debts.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BudgetStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_windows_pass_untouched() {
+        let mut b = ResponseBudget::new(1_000, 100.0); // 10k rows fit
+        let w = RowRange::new(0, 500);
+        assert_eq!(b.admit(w, Timestamp::ZERO), w);
+        assert_eq!(b.stats().exact, 1);
+        assert_eq!(b.pending_refinements(), 0);
+    }
+
+    #[test]
+    fn oversized_windows_truncated_and_deferred() {
+        let mut b = ResponseBudget::new(100, 1000.0); // 100 rows fit
+        let w = RowRange::new(1000, 2000);
+        let processed = b.admit(w, Timestamp::from_millis(5));
+        assert_eq!(processed, RowRange::new(1000, 1100));
+        assert_eq!(b.stats().approximate, 1);
+        assert_eq!(b.stats().rows_deferred, 900);
+        assert_eq!(b.pending_refinements(), 1);
+        let debt = b.next_refinement().unwrap();
+        assert_eq!(debt.remaining, RowRange::new(1100, 2000));
+        assert_eq!(debt.deferred_at, Timestamp::from_millis(5));
+        assert_eq!(b.stats().refinements, 1);
+        assert!(b.next_refinement().is_none());
+    }
+
+    #[test]
+    fn rows_within_budget_scales() {
+        let b = ResponseBudget::new(2_000, 20.0);
+        assert_eq!(b.rows_within_budget(), 100_000);
+        let tight = ResponseBudget::new(1, 1_000_000.0);
+        assert_eq!(tight.rows_within_budget(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_never_defers() {
+        let mut b = ResponseBudget::unlimited();
+        assert!(!b.is_enabled());
+        let w = RowRange::new(0, 10_000_000);
+        assert_eq!(b.admit(w, Timestamp::ZERO), w);
+        assert_eq!(b.pending_refinements(), 0);
+    }
+
+    #[test]
+    fn refinements_served_oldest_first() {
+        let mut b = ResponseBudget::new(100, 1000.0); // 100 rows per touch
+        b.admit(RowRange::new(0, 300), Timestamp::from_millis(1));
+        b.admit(RowRange::new(1000, 1300), Timestamp::from_millis(2));
+        assert_eq!(b.pending_refinements(), 2);
+        assert_eq!(b.next_refinement().unwrap().remaining.start, 100);
+        assert_eq!(b.next_refinement().unwrap().remaining.start, 1100);
+    }
+}

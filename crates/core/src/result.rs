@@ -1,0 +1,262 @@
+//! Result delivery: in-place, fading result values.
+//!
+//! Section 2.3 ("Inspecting Results"): results appear in place as the gesture
+//! progresses — "every single result value pops up from the position in the
+//! data object where the raw value responsible for this result lies" — and
+//! "soon after a result value becomes visible, it subsequently fades away,
+//! making room for more results".
+//!
+//! The [`ResultStream`] keeps every produced [`TouchResult`] together with the
+//! information a front-end needs to render that behaviour: where on the object
+//! the value belongs (as a fraction of the object extent) and how visible it is
+//! at a given time according to the fade policy.
+
+use dbtouch_types::{RowId, Timestamp, Value};
+use serde::{Deserialize, Serialize};
+
+/// What kind of computation produced a result value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResultKind {
+    /// A plain scan: the touched raw value itself.
+    Scan,
+    /// A running aggregate over everything touched so far.
+    RunningAggregate,
+    /// An interactive summary of a `[id-k, id+k]` window.
+    Summary,
+    /// A value that passed a where-restriction.
+    FilteredScan,
+    /// A join match (the value is the join key).
+    JoinMatch,
+    /// A group-by partial result (the value is the group's aggregate).
+    GroupResult,
+    /// A full tuple revealed by a tap on a table.
+    Tuple,
+}
+
+/// One result value produced in response to one touch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TouchResult {
+    /// The tuple identifier responsible for the result.
+    pub row: RowId,
+    /// Where the result appears on the object, as a fraction of its scroll
+    /// extent in `[0, 1]` (used to render "in place").
+    pub position_fraction: f64,
+    /// The produced value(s). Scans and aggregates produce one value; tuple
+    /// taps produce one value per attribute.
+    pub values: Vec<Value>,
+    /// When the result was produced (session-relative).
+    pub produced_at: Timestamp,
+    /// What produced it.
+    pub kind: ResultKind,
+}
+
+impl TouchResult {
+    /// Convenience constructor for a single-value result.
+    pub fn single(
+        row: RowId,
+        position_fraction: f64,
+        value: Value,
+        produced_at: Timestamp,
+        kind: ResultKind,
+    ) -> TouchResult {
+        TouchResult {
+            row,
+            position_fraction,
+            values: vec![value],
+            produced_at,
+            kind,
+        }
+    }
+
+    /// The first (usually only) value.
+    pub fn value(&self) -> Option<&Value> {
+        self.values.first()
+    }
+}
+
+/// The fade policy: how long results stay visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FadePolicy {
+    /// Milliseconds a result stays fully visible.
+    pub visible_ms: u64,
+    /// Milliseconds over which it then fades to invisible.
+    pub fade_ms: u64,
+}
+
+impl Default for FadePolicy {
+    fn default() -> Self {
+        FadePolicy {
+            visible_ms: 400,
+            fade_ms: 800,
+        }
+    }
+}
+
+impl FadePolicy {
+    /// Opacity of a result produced at `produced_at` when observed at `now`:
+    /// 1.0 while fully visible, linearly decreasing to 0.0 over the fade
+    /// window, 0.0 afterwards.
+    pub fn opacity(&self, produced_at: Timestamp, now: Timestamp) -> f64 {
+        let age_ms = now.since(produced_at).as_millis() as u64;
+        if age_ms <= self.visible_ms {
+            1.0
+        } else if self.fade_ms == 0 {
+            0.0
+        } else {
+            let fade_age = age_ms - self.visible_ms;
+            (1.0 - fade_age as f64 / self.fade_ms as f64).max(0.0)
+        }
+    }
+}
+
+/// The ordered stream of results produced during a session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResultStream {
+    results: Vec<TouchResult>,
+    fade: FadePolicy,
+}
+
+impl ResultStream {
+    /// Create an empty stream with the given fade policy.
+    pub fn new(fade: FadePolicy) -> ResultStream {
+        ResultStream {
+            results: Vec::new(),
+            fade,
+        }
+    }
+
+    /// Append a result.
+    pub fn push(&mut self, result: TouchResult) {
+        self.results.push(result);
+    }
+
+    /// Number of results produced.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True if nothing has been produced.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// All results in production order.
+    pub fn results(&self) -> &[TouchResult] {
+        &self.results
+    }
+
+    /// The most recent result (the boldest one on screen).
+    pub fn latest(&self) -> Option<&TouchResult> {
+        self.results.last()
+    }
+
+    /// The results still visible at `now` (opacity > 0), most recent last.
+    pub fn visible_at(&self, now: Timestamp) -> Vec<(&TouchResult, f64)> {
+        self.results
+            .iter()
+            .filter_map(|r| {
+                let o = self.fade.opacity(r.produced_at, now);
+                (o > 0.0).then_some((r, o))
+            })
+            .collect()
+    }
+
+    /// Count of results of a given kind.
+    pub fn count_of(&self, kind: ResultKind) -> usize {
+        self.results.iter().filter(|r| r.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result_at(ms: u64, row: u64) -> TouchResult {
+        TouchResult::single(
+            RowId(row),
+            row as f64 / 100.0,
+            Value::Int(row as i64),
+            Timestamp::from_millis(ms),
+            ResultKind::Scan,
+        )
+    }
+
+    #[test]
+    fn stream_collects_results_in_order() {
+        let mut s = ResultStream::default();
+        assert!(s.is_empty());
+        s.push(result_at(0, 1));
+        s.push(result_at(10, 2));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.latest().unwrap().row, RowId(2));
+        assert_eq!(s.results()[0].row, RowId(1));
+        assert_eq!(s.count_of(ResultKind::Scan), 2);
+        assert_eq!(s.count_of(ResultKind::Summary), 0);
+    }
+
+    #[test]
+    fn single_value_accessor() {
+        let r = result_at(0, 7);
+        assert_eq!(r.value(), Some(&Value::Int(7)));
+        assert_eq!(r.position_fraction, 0.07);
+    }
+
+    #[test]
+    fn opacity_fully_visible_then_fades() {
+        let fade = FadePolicy {
+            visible_ms: 100,
+            fade_ms: 100,
+        };
+        let produced = Timestamp::from_millis(1000);
+        assert_eq!(fade.opacity(produced, Timestamp::from_millis(1000)), 1.0);
+        assert_eq!(fade.opacity(produced, Timestamp::from_millis(1100)), 1.0);
+        let half = fade.opacity(produced, Timestamp::from_millis(1150));
+        assert!((half - 0.5).abs() < 1e-9);
+        assert_eq!(fade.opacity(produced, Timestamp::from_millis(1300)), 0.0);
+    }
+
+    #[test]
+    fn zero_fade_duration_disappears_instantly() {
+        let fade = FadePolicy {
+            visible_ms: 50,
+            fade_ms: 0,
+        };
+        let produced = Timestamp::ZERO;
+        assert_eq!(fade.opacity(produced, Timestamp::from_millis(50)), 1.0);
+        assert_eq!(fade.opacity(produced, Timestamp::from_millis(51)), 0.0);
+    }
+
+    #[test]
+    fn visible_at_filters_faded_results() {
+        let mut s = ResultStream::new(FadePolicy {
+            visible_ms: 100,
+            fade_ms: 100,
+        });
+        s.push(result_at(0, 1)); // fully faded by t=500
+        s.push(result_at(450, 2)); // still visible at t=500
+        let visible = s.visible_at(Timestamp::from_millis(500));
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].0.row, RowId(2));
+        assert_eq!(visible[0].1, 1.0);
+        // at t=120 the first result is mid-fade and the second not yet produced
+        let visible = s.visible_at(Timestamp::from_millis(120));
+        assert_eq!(visible.len(), 2); // produced_at in the future -> age 0 -> visible
+    }
+
+    #[test]
+    fn most_recent_result_is_boldest() {
+        // "the most recently touched data entry is responsible for the most
+        // bold result value visible"
+        let mut s = ResultStream::new(FadePolicy {
+            visible_ms: 0,
+            fade_ms: 1000,
+        });
+        s.push(result_at(0, 1));
+        s.push(result_at(400, 2));
+        let now = Timestamp::from_millis(500);
+        let visible = s.visible_at(now);
+        let older = visible.iter().find(|(r, _)| r.row == RowId(1)).unwrap().1;
+        let newer = visible.iter().find(|(r, _)| r.row == RowId(2)).unwrap().1;
+        assert!(newer > older);
+    }
+}

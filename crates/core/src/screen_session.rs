@@ -1,0 +1,240 @@
+//! Screen-level sessions: several data objects visible and touchable at once.
+//!
+//! Section 2.2: "several objects may be visible at any time, representing data
+//! (columns and tables) stored in the database. The user has the option to
+//! touch and manipulate whole tables or to visualize and work on the columns of
+//! a table independently."
+//!
+//! The per-object [`crate::session::Session`] assumes the touch trace is aimed
+//! at one object (that is what the touch OS delivers once a gesture is bound to
+//! a view). The [`ScreenSession`] sits one level above: it owns the screen
+//! layout — where each object's view is placed inside the master view — and
+//! routes raw *screen-coordinate* touch traces to whichever object they land
+//! on, so exploration across multiple objects can be driven by a single
+//! recorded trace.
+
+use crate::kernel::{Kernel, ObjectId};
+use crate::session::SessionOutcome;
+use dbtouch_gesture::touch::TouchEvent;
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_gesture::view::Screen;
+use dbtouch_types::{DbTouchError, PointCm, Result};
+use std::collections::HashMap;
+
+/// The outcome of a screen-level trace: one session outcome per object touched,
+/// plus the touches that landed on empty space.
+#[derive(Debug, Clone, Default)]
+pub struct ScreenOutcome {
+    /// Per-object outcomes, keyed by object id, in no particular order.
+    pub per_object: HashMap<ObjectId, SessionOutcome>,
+    /// Touch samples that did not hit any object.
+    pub missed_touches: u64,
+}
+
+impl ScreenOutcome {
+    /// Total entries returned across all touched objects.
+    pub fn total_entries(&self) -> u64 {
+        self.per_object.values().map(|o| o.stats.entries_returned).sum()
+    }
+
+    /// Total rows touched across all touched objects.
+    pub fn total_rows_touched(&self) -> u64 {
+        self.per_object.values().map(|o| o.stats.rows_touched).sum()
+    }
+}
+
+/// A screen layout binding kernel objects to positions in the master view.
+#[derive(Debug)]
+pub struct ScreenSession {
+    screen: Screen,
+    names: HashMap<String, ObjectId>,
+}
+
+impl ScreenSession {
+    /// Create an empty screen.
+    pub fn new() -> ScreenSession {
+        ScreenSession {
+            screen: Screen::new(),
+            names: HashMap::new(),
+        }
+    }
+
+    /// Place an object's view at `origin` (screen coordinates, centimetres).
+    /// The view geometry is taken from the kernel's current view of the object.
+    pub fn place(&mut self, kernel: &Kernel, id: ObjectId, origin: PointCm) -> Result<()> {
+        let view = kernel.view(id)?;
+        if self.names.contains_key(&view.name) {
+            return Err(DbTouchError::AlreadyExists(view.name));
+        }
+        self.names.insert(view.name.clone(), id);
+        self.screen.add(view.positioned_at(origin));
+        Ok(())
+    }
+
+    /// Number of placed objects.
+    pub fn placed_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Which object (if any) a screen-coordinate point lands on.
+    pub fn hit(&self, point: PointCm) -> Option<ObjectId> {
+        self.screen
+            .hit_test(point)
+            .and_then(|(view, _)| self.names.get(&view.name).copied())
+    }
+
+    /// Run a screen-coordinate touch trace: every touch is hit-tested, its
+    /// location translated into the target view's local coordinates, and the
+    /// per-object sub-traces are then executed as ordinary kernel sessions.
+    ///
+    /// Gestures that span multiple objects are split at the object boundary
+    /// (each object sees its own sub-trace), which matches how view-bound
+    /// gesture recognizers behave on a touch OS.
+    pub fn run_trace(&self, kernel: &mut Kernel, trace: &GestureTrace) -> Result<ScreenOutcome> {
+        trace.validate()?;
+        let mut per_object_events: HashMap<ObjectId, Vec<TouchEvent>> = HashMap::new();
+        let mut missed = 0u64;
+        for event in &trace.events {
+            match self.screen.hit_test(event.location) {
+                Some((view, local)) => {
+                    let id = self
+                        .names
+                        .get(&view.name)
+                        .copied()
+                        .ok_or_else(|| DbTouchError::NotFound(view.name.clone()))?;
+                    let mut translated = *event;
+                    translated.location = local;
+                    per_object_events.entry(id).or_default().push(translated);
+                }
+                None => missed += 1,
+            }
+        }
+
+        let mut outcome = ScreenOutcome {
+            missed_touches: missed,
+            ..ScreenOutcome::default()
+        };
+        for (id, mut events) in per_object_events {
+            // Each sub-trace must start with a Began sample for the recognizer.
+            if let Some(first) = events.first_mut() {
+                first.phase = dbtouch_gesture::touch::TouchPhase::Began;
+            }
+            let sub_trace = GestureTrace::from_events(
+                kernel.view(id)?.name.clone(),
+                events,
+            )?;
+            let session_outcome = kernel.run_trace(id, &sub_trace)?;
+            outcome.per_object.insert(id, session_outcome);
+        }
+        Ok(outcome)
+    }
+}
+
+impl Default for ScreenSession {
+    fn default() -> Self {
+        ScreenSession::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::TouchAction;
+    use dbtouch_gesture::touch::TouchPhase;
+    use dbtouch_types::{KernelConfig, SizeCm, Timestamp};
+
+    fn setup() -> (Kernel, ScreenSession, ObjectId, ObjectId) {
+        let mut kernel = Kernel::new(KernelConfig::default());
+        let a = kernel
+            .load_column("a", (0..10_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let b = kernel
+            .load_column("b", (10_000..20_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        kernel.set_action(a, TouchAction::Scan).unwrap();
+        kernel.set_action(b, TouchAction::Scan).unwrap();
+        let mut screen = ScreenSession::new();
+        // two columns side by side with a 1cm gap
+        screen.place(&kernel, a, PointCm::new(1.0, 1.0)).unwrap();
+        screen.place(&kernel, b, PointCm::new(4.0, 1.0)).unwrap();
+        (kernel, screen, a, b)
+    }
+
+    fn screen_slide(xs: &[(f64, f64)]) -> GestureTrace {
+        let mut trace = GestureTrace::new("screen");
+        for (i, (x, y)) in xs.iter().enumerate() {
+            let phase = if i == 0 {
+                TouchPhase::Began
+            } else if i + 1 == xs.len() {
+                TouchPhase::Ended
+            } else {
+                TouchPhase::Moved
+            };
+            trace.push(TouchEvent::new(
+                PointCm::new(*x, *y),
+                Timestamp::from_millis(i as u64 * 16),
+                phase,
+            ));
+        }
+        trace
+    }
+
+    #[test]
+    fn placement_and_hit_testing() {
+        let (_, screen, a, b) = setup();
+        assert_eq!(screen.placed_count(), 2);
+        assert_eq!(screen.hit(PointCm::new(2.0, 5.0)), Some(a));
+        assert_eq!(screen.hit(PointCm::new(5.0, 5.0)), Some(b));
+        assert_eq!(screen.hit(PointCm::new(3.5, 5.0)), None); // the gap
+        assert_eq!(screen.hit(PointCm::new(50.0, 50.0)), None);
+    }
+
+    #[test]
+    fn duplicate_placement_rejected() {
+        let (kernel, mut screen, a, _) = setup();
+        assert!(screen.place(&kernel, a, PointCm::new(8.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn trace_routed_to_the_touched_object() {
+        let (mut kernel, screen, a, b) = setup();
+        // a vertical slide entirely within object a
+        let points: Vec<(f64, f64)> = (0..30).map(|i| (2.0, 1.5 + i as f64 * 0.3)).collect();
+        let outcome = screen.run_trace(&mut kernel, &screen_slide(&points)).unwrap();
+        assert!(outcome.per_object.contains_key(&a));
+        assert!(!outcome.per_object.contains_key(&b));
+        assert_eq!(outcome.missed_touches, 0);
+        assert!(outcome.total_entries() > 5);
+    }
+
+    #[test]
+    fn trace_spanning_two_objects_splits() {
+        let (mut kernel, screen, a, b) = setup();
+        // a horizontal sweep crossing a, the gap, then b
+        let points: Vec<(f64, f64)> = (0..40).map(|i| (1.2 + i as f64 * 0.15, 5.0)).collect();
+        let outcome = screen.run_trace(&mut kernel, &screen_slide(&points)).unwrap();
+        assert!(outcome.per_object.contains_key(&a));
+        assert!(outcome.per_object.contains_key(&b));
+        assert!(outcome.missed_touches > 0); // the gap between the objects
+        // values delivered by each object come from that object's data
+        let a_values = &outcome.per_object[&a];
+        for r in a_values.results.results() {
+            assert!(r.value().unwrap().as_i64().unwrap() < 10_000);
+        }
+        let b_values = &outcome.per_object[&b];
+        for r in b_values.results.results() {
+            assert!(r.value().unwrap().as_i64().unwrap() >= 10_000);
+        }
+    }
+
+    #[test]
+    fn touches_on_empty_space_are_counted() {
+        let (mut kernel, screen, _, _) = setup();
+        let points: Vec<(f64, f64)> = (0..10).map(|i| (20.0, 1.0 + i as f64)).collect();
+        let outcome = screen.run_trace(&mut kernel, &screen_slide(&points)).unwrap();
+        assert_eq!(outcome.missed_touches, 10);
+        assert!(outcome.per_object.is_empty());
+        assert_eq!(outcome.total_entries(), 0);
+        assert_eq!(outcome.total_rows_touched(), 0);
+    }
+}

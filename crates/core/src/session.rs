@@ -1,0 +1,768 @@
+//! Query sessions: gestures driving per-touch query processing.
+//!
+//! "In dbTouch, a query is a session of one or more continuous gestures and the
+//! system needs to react to every touch, while the user is now in control of the
+//! data flow."
+//!
+//! A [`Session`] consumes the gesture events recognized from a touch trace over
+//! one data object and, for every touch, (1) maps the touch to a tuple
+//! identifier, (2) picks the granularity / sample level from the gesture speed
+//! and object size, (3) runs the object's configured per-touch action, and
+//! (4) appends the produced value to the result stream. Pauses trigger the
+//! prefetching policy and pay down any refinement debt left by the response
+//! budget.
+
+use crate::adaptive::GranularityPolicy;
+use crate::kernel::{DataObject, TouchAction};
+use crate::mapping::TouchMapper;
+use crate::operators::aggregate::RunningAggregate;
+use crate::operators::groupby::IncrementalGroupBy;
+use crate::operators::scan::PointScan;
+use crate::prefetch_policy::PrefetchPolicy;
+use crate::response::ResponseBudget;
+use crate::result::{FadePolicy, ResultKind, ResultStream, TouchResult};
+use dbtouch_gesture::kinematics::GestureKinematics;
+use dbtouch_gesture::recognizer::{GestureEvent, GestureRecognizer};
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_types::{KernelConfig, PointCm, Result, RowId, RowRange, Timestamp, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Statistics collected while a session runs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Raw touch samples consumed.
+    pub touches: u64,
+    /// Gesture events recognized.
+    pub gesture_events: u64,
+    /// Result values delivered (the paper's "# of data entries returned").
+    pub entries_returned: u64,
+    /// Rows read from storage (including summary windows and refinements).
+    pub rows_touched: u64,
+    /// Bytes read from storage.
+    pub bytes_touched: u64,
+    /// Touches skipped because they mapped to the same tuple as the previous
+    /// touch (no new data requested).
+    pub duplicate_touches: u64,
+    /// Zoom gestures applied.
+    pub zooms: u64,
+    /// Rotate gestures applied.
+    pub rotations: u64,
+    /// Prefetch requests issued by the policy.
+    pub prefetches_issued: u64,
+    /// Refinement steps executed.
+    pub refinements: u64,
+    /// Touches answered without reading data because the zone-map index proved
+    /// the touched block cannot satisfy the filter predicate (Section 2.6,
+    /// "Indexing": the slide becomes an index scan).
+    pub index_skips: u64,
+    /// Simulated memory-access cost accumulated (nanoseconds).
+    pub simulated_access_nanos: u64,
+    /// Real compute time spent inside per-touch processing (nanoseconds).
+    pub compute_nanos: u64,
+    /// Maximum per-touch processing time observed (nanoseconds).
+    pub max_touch_nanos: u64,
+    /// Histogram of sample levels used: level -> touches served from it.
+    pub sample_level_usage: BTreeMap<u8, u64>,
+    /// Cache hits and misses observed during the session.
+    pub cache_hits: u64,
+    /// Cache misses observed during the session.
+    pub cache_misses: u64,
+}
+
+impl SessionStats {
+    /// Mean per-touch processing time in nanoseconds (0 when no touches).
+    pub fn mean_touch_nanos(&self) -> u64 {
+        if self.touches == 0 {
+            0
+        } else {
+            (self.compute_nanos + self.simulated_access_nanos) / self.touches
+        }
+    }
+}
+
+/// The outcome of running a gesture trace through a session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// The result stream produced, in production order.
+    pub results: ResultStream,
+    /// Statistics about the processing.
+    pub stats: SessionStats,
+    /// Final value of the running aggregate, if the action maintains one.
+    pub final_aggregate: Option<f64>,
+    /// Final per-group aggregates, if the action is a group-by (sorted by
+    /// group value).
+    pub final_groups: Vec<(Value, f64)>,
+}
+
+/// A query session over one data object.
+pub struct Session<'a> {
+    object: &'a mut DataObject,
+    config: &'a KernelConfig,
+    recognizer: GestureRecognizer,
+    kinematics: GestureKinematics,
+    granularity: GranularityPolicy,
+    prefetch_policy: PrefetchPolicy,
+    budget: ResponseBudget,
+    aggregate: Option<RunningAggregate>,
+    groupby: Option<IncrementalGroupBy>,
+    results: ResultStream,
+    stats: SessionStats,
+    last_row: Option<RowId>,
+}
+
+impl<'a> Session<'a> {
+    /// Create a session over `object` with the kernel configuration.
+    pub(crate) fn new(object: &'a mut DataObject, config: &'a KernelConfig) -> Session<'a> {
+        let aggregate = object.action.aggregate_kind().map(RunningAggregate::new);
+        let groupby = match &object.action {
+            TouchAction::GroupBy { kind, .. } => Some(IncrementalGroupBy::new(*kind)),
+            _ => None,
+        };
+        let budget = if config.touch_budget_micros == u64::MAX {
+            ResponseBudget::unlimited()
+        } else {
+            // ~4ns per aggregated row is a reasonable in-memory estimate; the
+            // budget only needs the right order of magnitude.
+            ResponseBudget::new(config.touch_budget_micros, 4.0)
+        };
+        Session {
+            object,
+            config,
+            recognizer: GestureRecognizer::default(),
+            kinematics: GestureKinematics::default(),
+            granularity: GranularityPolicy::new(config.clone()),
+            prefetch_policy: PrefetchPolicy::new(config),
+            budget,
+            aggregate,
+            groupby,
+            results: ResultStream::new(FadePolicy {
+                visible_ms: config.result_fade_after_ms,
+                fade_ms: config.result_fade_duration_ms,
+            }),
+            stats: SessionStats::default(),
+            last_row: None,
+        }
+    }
+
+    /// Run a full gesture trace through the session and return its outcome.
+    pub fn run(mut self, trace: &GestureTrace) -> Result<SessionOutcome> {
+        trace.validate()?;
+        for event in &trace.events {
+            self.stats.touches += 1;
+            self.kinematics.observe(event);
+            let gestures = self.recognizer.feed(event);
+            for g in gestures {
+                self.stats.gesture_events += 1;
+                self.handle_gesture(g)?;
+            }
+        }
+        Ok(SessionOutcome {
+            final_aggregate: self.aggregate.and_then(|a| a.value()),
+            final_groups: self
+                .groupby
+                .as_ref()
+                .map(|g| g.results())
+                .unwrap_or_default(),
+            results: self.results,
+            stats: self.stats,
+        })
+    }
+
+    fn handle_gesture(&mut self, gesture: GestureEvent) -> Result<()> {
+        match gesture {
+            GestureEvent::Tap { location, timestamp }
+            | GestureEvent::SlideBegan { location, timestamp }
+            | GestureEvent::SlideStep { location, timestamp } => {
+                self.process_touch(location, timestamp)
+            }
+            GestureEvent::SlidePaused { location, timestamp } => {
+                self.on_pause(location, timestamp)
+            }
+            GestureEvent::SlideEnded { .. } => {
+                self.last_row = None;
+                Ok(())
+            }
+            GestureEvent::Pinch { scale, .. } => {
+                self.object.view = self.object.view.zoomed(scale)?;
+                self.stats.zooms += 1;
+                Ok(())
+            }
+            GestureEvent::Rotate { .. } => {
+                self.object.rotate_layout(self.config.rotation_chunk_rows)?;
+                self.stats.rotations += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Process one touch that addresses data.
+    fn process_touch(&mut self, location: PointCm, timestamp: Timestamp) -> Result<()> {
+        let started = Instant::now();
+        let mapped =
+            TouchMapper::row_and_attribute_for_touch(&self.object.view, location)?;
+        let (row, attribute) = match mapped {
+            Some(m) => m,
+            None => return Ok(()),
+        };
+        if self.last_row == Some(row) {
+            self.stats.duplicate_touches += 1;
+            return Ok(());
+        }
+        self.last_row = Some(row);
+
+        // Cache / prefetch accounting for the touched row.
+        if self.object.cache.lookup(row) {
+            self.stats.cache_hits += 1;
+        } else {
+            self.stats.cache_misses += 1;
+        }
+        self.stats.simulated_access_nanos += self.object.prefetcher.access_cost_nanos(row);
+
+        let fraction = TouchMapper::fraction_for_row(&self.object.view, row);
+        let action = self.object.action.clone();
+        match action {
+            TouchAction::Scan => self.do_scan(row, attribute, fraction, timestamp, None)?,
+            TouchAction::FilteredScan { predicate } => {
+                self.do_scan(row, attribute, fraction, timestamp, Some(&predicate))?
+            }
+            TouchAction::Aggregate(_) => {
+                self.do_aggregate(row, attribute, fraction, timestamp, None)?
+            }
+            TouchAction::FilteredAggregate { predicate, .. } => {
+                self.do_aggregate(row, attribute, fraction, timestamp, Some(&predicate))?
+            }
+            TouchAction::Summary { half_window, kind } => {
+                let k = half_window.unwrap_or(self.config.summary_half_window);
+                self.do_summary(row, attribute, fraction, timestamp, k, kind)?
+            }
+            TouchAction::Tuple => self.do_tuple(row, fraction, timestamp)?,
+            TouchAction::GroupBy {
+                group_attribute,
+                value_attribute,
+                ..
+            } => self.do_group_by(row, group_attribute, value_attribute, fraction, timestamp)?,
+        }
+
+        // Keep the touched neighbourhood warm for re-examination.
+        if self.config.cache_enabled {
+            let window = RowRange::window(row, self.config.summary_half_window, self.object.row_count());
+            self.object.cache.insert(window);
+        }
+
+        let elapsed = started.elapsed().as_nanos() as u64;
+        self.stats.compute_nanos += elapsed;
+        self.stats.max_touch_nanos = self.stats.max_touch_nanos.max(elapsed);
+        Ok(())
+    }
+
+    fn emit(&mut self, result: TouchResult) {
+        self.stats.entries_returned += 1;
+        self.results.push(result);
+    }
+
+    fn charge_rows(&mut self, rows: u64) {
+        self.stats.rows_touched += rows;
+        self.stats.bytes_touched += rows * 8; // fixed-width 8-byte numeric fields
+    }
+
+    fn do_scan(
+        &mut self,
+        row: RowId,
+        attribute: usize,
+        fraction: f64,
+        timestamp: Timestamp,
+        predicate: Option<&crate::operators::filter::Predicate>,
+    ) -> Result<()> {
+        // Index scan path (Section 2.6): if the predicate's bounds prove the
+        // touched block cannot contain a match, answer without touching data.
+        if let Some(p) = predicate {
+            if self.index_proves_no_match(row, attribute, p) {
+                self.stats.index_skips += 1;
+                return Ok(());
+            }
+        }
+        let value = PointScan::value(&self.object.matrix, row, attribute)?;
+        self.charge_rows(1);
+        let kind = if let Some(p) = predicate {
+            if !p.eval(&value)? {
+                return Ok(());
+            }
+            ResultKind::FilteredScan
+        } else {
+            ResultKind::Scan
+        };
+        self.emit(TouchResult::single(row, fraction, value, timestamp, kind));
+        Ok(())
+    }
+
+    /// True if the object's zone-map index proves that the block containing
+    /// `row` has no value within the predicate's numeric bounds.
+    fn index_proves_no_match(
+        &self,
+        row: RowId,
+        attribute: usize,
+        predicate: &crate::operators::filter::Predicate,
+    ) -> bool {
+        let Some((lo, hi)) = predicate.numeric_bounds() else {
+            return false;
+        };
+        match self.object.indexes.get(attribute).and_then(|i| i.as_ref()) {
+            Some(index) => !index.row_block_may_match(row.0, lo, hi),
+            None => false,
+        }
+    }
+
+    fn do_group_by(
+        &mut self,
+        row: RowId,
+        group_attribute: usize,
+        value_attribute: usize,
+        fraction: f64,
+        timestamp: Timestamp,
+    ) -> Result<()> {
+        let group = PointScan::value(&self.object.matrix, row, group_attribute)?;
+        let value = PointScan::value(&self.object.matrix, row, value_attribute)?.as_f64()?;
+        self.charge_rows(2);
+        let groupby = self
+            .groupby
+            .as_mut()
+            .expect("group-by action always has group-by state");
+        groupby.update(group.clone(), value);
+        let current = groupby.group(&group).expect("group just updated");
+        self.emit(TouchResult {
+            row,
+            position_fraction: fraction,
+            values: vec![group, Value::Float(current)],
+            produced_at: timestamp,
+            kind: ResultKind::GroupResult,
+        });
+        Ok(())
+    }
+
+    fn do_aggregate(
+        &mut self,
+        row: RowId,
+        attribute: usize,
+        fraction: f64,
+        timestamp: Timestamp,
+        predicate: Option<&crate::operators::filter::Predicate>,
+    ) -> Result<()> {
+        let value = PointScan::value(&self.object.matrix, row, attribute)?;
+        self.charge_rows(1);
+        if let Some(p) = predicate {
+            if !p.eval(&value)? {
+                return Ok(());
+            }
+        }
+        let numeric = value.as_f64()?;
+        let agg = self
+            .aggregate
+            .as_mut()
+            .expect("aggregate action always has aggregate state");
+        agg.update(numeric);
+        let current = agg.value().expect("non-empty aggregate");
+        self.emit(TouchResult::single(
+            row,
+            fraction,
+            Value::Float(current),
+            timestamp,
+            ResultKind::RunningAggregate,
+        ));
+        Ok(())
+    }
+
+    fn do_summary(
+        &mut self,
+        row: RowId,
+        attribute: usize,
+        fraction: f64,
+        timestamp: Timestamp,
+        half_window: u64,
+        kind: crate::operators::aggregate::AggregateKind,
+    ) -> Result<()> {
+        // Pick the sample level from gesture speed and object size.
+        let hierarchy = self.object.hierarchy(attribute)?;
+        let decision =
+            self.granularity
+                .decide(&self.object.view, hierarchy, self.kinematics.speed_cm_per_s());
+        *self
+            .stats
+            .sample_level_usage
+            .entry(decision.sample_level)
+            .or_insert(0) += 1;
+
+        let column = hierarchy.level(decision.sample_level)?;
+        let center = hierarchy.map_row(row, decision.sample_level)?;
+        let full_window = RowRange::window(center, half_window, column.len());
+        let admitted = self.budget.admit(full_window, timestamp);
+        // Aggregate only the admitted part of the window; any truncated tail is
+        // queued as refinement debt and merged in during pauses. (This is the
+        // session-integrated version of [`InteractiveSummary::summarize`].)
+        let (count, sum, min, max) = column.numeric_range_stats(admitted)?;
+        self.charge_rows(count);
+        let value = match kind {
+            crate::operators::aggregate::AggregateKind::Count => Some(count as f64),
+            crate::operators::aggregate::AggregateKind::Sum => (count > 0).then_some(sum),
+            crate::operators::aggregate::AggregateKind::Avg => {
+                (count > 0).then(|| sum / count as f64)
+            }
+            crate::operators::aggregate::AggregateKind::Min => min,
+            crate::operators::aggregate::AggregateKind::Max => max,
+        };
+        if let Some(v) = value {
+            if let Some(agg) = self.aggregate.as_mut() {
+                agg.update_batch(count, sum, min, max);
+            }
+            self.emit(TouchResult::single(
+                row,
+                fraction,
+                Value::Float(v),
+                timestamp,
+                ResultKind::Summary,
+            ));
+        }
+        Ok(())
+    }
+
+    fn do_tuple(&mut self, row: RowId, fraction: f64, timestamp: Timestamp) -> Result<()> {
+        let values = PointScan::tuple(&self.object.matrix, row)?;
+        self.charge_rows(1);
+        self.emit(TouchResult {
+            row,
+            position_fraction: fraction,
+            values,
+            produced_at: timestamp,
+            kind: ResultKind::Tuple,
+        });
+        Ok(())
+    }
+
+    /// A paused gesture: extrapolate and prefetch, and pay down refinement debt.
+    fn on_pause(&mut self, location: PointCm, _timestamp: Timestamp) -> Result<()> {
+        if let Ok(Some(row)) = TouchMapper::row_for_touch(&self.object.view, location) {
+            if let Some(range) = self.prefetch_policy.plan_and_submit(
+                &self.object.view,
+                &self.kinematics,
+                row.0,
+                &mut self.object.prefetcher,
+            ) {
+                self.stats.prefetches_issued += 1;
+                if self.config.cache_enabled {
+                    self.object.cache.insert(range);
+                }
+            }
+        }
+        // Use the idle time to refine a previously truncated summary.
+        if let Some(debt) = self.budget.next_refinement() {
+            if let Ok(hierarchy) = self.object.hierarchy(0) {
+                let column = hierarchy.base();
+                let (count, sum, min, max) =
+                    column.numeric_range_stats(debt.remaining.clamp_to(column.len()))?;
+                self.charge_rows(count);
+                if let Some(agg) = self.aggregate.as_mut() {
+                    agg.update_batch(count, sum, min, max);
+                }
+                self.stats.refinements += 1;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Kernel, TouchAction};
+    use crate::operators::aggregate::AggregateKind;
+    use crate::operators::filter::{CompareOp, Predicate};
+    use dbtouch_gesture::synthesizer::GestureSynthesizer;
+    use dbtouch_types::SizeCm;
+
+    fn kernel_with_column(n: i64) -> (Kernel, crate::kernel::ObjectId) {
+        let mut kernel = Kernel::new(KernelConfig::default());
+        let id = kernel
+            .load_column("col", (0..n).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        (kernel, id)
+    }
+
+    #[test]
+    fn scan_session_returns_touched_values() {
+        let (mut kernel, id) = kernel_with_column(100_000);
+        kernel.set_action(id, TouchAction::Scan).unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(outcome.stats.entries_returned > 30);
+        assert_eq!(
+            outcome.stats.entries_returned as usize,
+            outcome.results.len()
+        );
+        // values are the raw data and rows increase monotonically for a
+        // top-to-bottom slide
+        let rows: Vec<u64> = outcome.results.results().iter().map(|r| r.row.0).collect();
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        assert_eq!(rows, sorted);
+        for r in outcome.results.results() {
+            assert_eq!(r.value().unwrap(), &Value::Int(r.row.0 as i64));
+        }
+    }
+
+    #[test]
+    fn slower_slides_return_more_entries() {
+        let (mut kernel, id) = kernel_with_column(1_000_000);
+        kernel
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let fast = GestureSynthesizer::new(60.0).slide_down(&view, 0.5);
+        let slow = GestureSynthesizer::new(60.0).slide_down(&view, 3.0);
+        let fast_out = kernel.run_trace(id, &fast).unwrap();
+        let slow_out = kernel.run_trace(id, &slow).unwrap();
+        assert!(
+            slow_out.stats.entries_returned > 3 * fast_out.stats.entries_returned,
+            "slow {} vs fast {}",
+            slow_out.stats.entries_returned,
+            fast_out.stats.entries_returned
+        );
+    }
+
+    #[test]
+    fn aggregate_session_maintains_running_average() {
+        let (mut kernel, id) = kernel_with_column(10_000);
+        kernel
+            .set_action(id, TouchAction::Aggregate(AggregateKind::Avg))
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        let final_agg = outcome.final_aggregate.unwrap();
+        // A full top-to-bottom slide over 0..10_000 should land near the middle.
+        assert!(final_agg > 3_000.0 && final_agg < 7_000.0, "avg {final_agg}");
+        // The running aggregate is emitted per touch and changes over time.
+        assert!(outcome.results.len() > 10);
+    }
+
+    #[test]
+    fn filtered_scan_only_emits_matching_values() {
+        let (mut kernel, id) = kernel_with_column(10_000);
+        kernel
+            .set_action(
+                id,
+                TouchAction::FilteredScan {
+                    predicate: Predicate::compare(CompareOp::Ge, 5_000i64),
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(!outcome.results.is_empty());
+        for r in outcome.results.results() {
+            assert!(r.value().unwrap().as_i64().unwrap() >= 5_000);
+            assert_eq!(r.kind, ResultKind::FilteredScan);
+        }
+        // roughly half of the touches are filtered out
+        assert!(outcome.stats.entries_returned < outcome.stats.touches);
+    }
+
+    #[test]
+    fn summary_session_uses_sample_levels_adaptively() {
+        let (mut kernel, id) = kernel_with_column(1_000_000);
+        kernel
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        // With default adaptive sampling on a 1M-row, 10cm object the kernel
+        // should never read base data directly.
+        assert!(outcome.stats.sample_level_usage.keys().all(|&l| l > 0));
+        assert!(outcome.stats.rows_touched > 0);
+        assert!(outcome.stats.entries_returned > 0);
+    }
+
+    #[test]
+    fn naive_config_reads_base_data() {
+        let mut kernel = Kernel::new(KernelConfig::naive());
+        let id = kernel
+            .load_column("col", (0..100_000i64).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        kernel
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 0.5);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert_eq!(outcome.stats.sample_level_usage.keys().copied().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn pauses_trigger_prefetching() {
+        let (mut kernel, id) = kernel_with_column(1_000_000);
+        kernel.set_action(id, TouchAction::Scan).unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).exploratory_slide(&view, 3.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(outcome.stats.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn duplicate_touches_are_skipped() {
+        let (mut kernel, id) = kernel_with_column(10);
+        kernel.set_action(id, TouchAction::Scan).unwrap();
+        let view = kernel.view(id).unwrap();
+        // A slow slide over a 10-row object maps many samples to the same rows.
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 2.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(outcome.stats.duplicate_touches > 50);
+        assert!(outcome.stats.entries_returned <= 10);
+    }
+
+    #[test]
+    fn tuple_action_returns_full_rows() {
+        let mut kernel = Kernel::new(KernelConfig::default());
+        let table = dbtouch_storage::table::Table::from_columns(
+            "t",
+            vec![
+                dbtouch_storage::column::Column::from_i64("id", (0..1000).collect()),
+                dbtouch_storage::column::Column::from_f64(
+                    "v",
+                    (0..1000).map(|i| i as f64).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let id = kernel.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        kernel.set_action(id, TouchAction::Tuple).unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 0.5);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(!outcome.results.is_empty());
+        for r in outcome.results.results() {
+            assert_eq!(r.values.len(), 2);
+            assert_eq!(r.kind, ResultKind::Tuple);
+        }
+    }
+
+    #[test]
+    fn group_by_action_maintains_per_group_aggregates() {
+        let mut kernel = Kernel::new(KernelConfig::default());
+        let table = dbtouch_storage::table::Table::from_columns(
+            "sales",
+            vec![
+                dbtouch_storage::column::Column::from_i64(
+                    "region",
+                    (0..50_000).map(|i| i % 4).collect(),
+                ),
+                dbtouch_storage::column::Column::from_f64(
+                    "amount",
+                    (0..50_000).map(|i| (i % 100) as f64).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let id = kernel.load_table(table, SizeCm::new(4.0, 10.0)).unwrap();
+        kernel
+            .set_action(
+                id,
+                TouchAction::GroupBy {
+                    group_attribute: 0,
+                    value_attribute: 1,
+                    kind: AggregateKind::Count,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 2.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(!outcome.final_groups.is_empty());
+        assert!(outcome.final_groups.len() <= 4);
+        let total: f64 = outcome.final_groups.iter().map(|(_, v)| v).sum();
+        assert_eq!(total as u64, outcome.stats.entries_returned);
+        for r in outcome.results.results() {
+            assert_eq!(r.kind, ResultKind::GroupResult);
+            assert_eq!(r.values.len(), 2);
+        }
+    }
+
+    #[test]
+    fn group_by_action_validation() {
+        let (mut kernel, id) = kernel_with_column(100);
+        // single-column object: value attribute 1 does not exist
+        assert!(kernel
+            .set_action(
+                id,
+                TouchAction::GroupBy {
+                    group_attribute: 0,
+                    value_attribute: 1,
+                    kind: AggregateKind::Sum,
+                },
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn filtered_scan_uses_index_to_skip_blocks() {
+        // Sorted data: a selective predicate on the high end means most touched
+        // blocks provably cannot match and are skipped without reading data.
+        let (mut kernel, id) = kernel_with_column(1_000_000);
+        kernel
+            .set_action(
+                id,
+                TouchAction::FilteredScan {
+                    predicate: Predicate::compare(CompareOp::Ge, 990_000i64),
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 2.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        assert!(outcome.stats.index_skips > 50, "skips {}", outcome.stats.index_skips);
+        // skipped touches read no rows
+        assert!(outcome.stats.rows_touched < outcome.stats.touches);
+        // everything that was emitted satisfies the predicate
+        for r in outcome.results.results() {
+            assert!(r.value().unwrap().as_i64().unwrap() >= 990_000);
+        }
+    }
+
+    #[test]
+    fn session_stats_are_consistent() {
+        let (mut kernel, id) = kernel_with_column(100_000);
+        kernel.set_action(id, TouchAction::Scan).unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        let s = &outcome.stats;
+        assert_eq!(s.touches as usize, trace.len());
+        assert!(s.gesture_events > 0);
+        assert!(s.rows_touched >= s.entries_returned);
+        assert_eq!(s.bytes_touched, s.rows_touched * 8);
+        assert!(s.mean_touch_nanos() > 0);
+        assert!(s.max_touch_nanos >= s.compute_nanos / s.touches.max(1));
+        // every emitted scan result corresponds to exactly one cache lookup
+        assert_eq!(s.cache_hits + s.cache_misses, s.entries_returned);
+    }
+}

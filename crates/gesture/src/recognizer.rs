@@ -1,0 +1,412 @@
+//! Gesture recognition: from touch events to gesture events.
+//!
+//! The touch OS layer of Figure 3 ("Recognize Touch / Recognize Gesture")
+//! classifies raw touch samples into the gestures dbTouch reacts to: single tap,
+//! slide (with its per-sample steps and pauses), two-finger pinch (zoom-in /
+//! zoom-out) and two-finger rotate. The recognizer is a small state machine fed
+//! one [`TouchEvent`] at a time; it emits zero or more [`GestureEvent`]s per
+//! sample so the kernel can react to *every* touch, which is the paper's central
+//! requirement.
+
+use crate::touch::{TouchEvent, TouchPhase};
+use dbtouch_types::{PointCm, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// A recognized gesture event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum GestureEvent {
+    /// A quick touch without movement: reveals a single value (schema
+    /// discovery, Section 2.2).
+    Tap { location: PointCm, timestamp: Timestamp },
+    /// A slide has started at this location.
+    SlideBegan { location: PointCm, timestamp: Timestamp },
+    /// The slide moved to a new location; the kernel processes data for every
+    /// such step.
+    SlideStep { location: PointCm, timestamp: Timestamp },
+    /// The finger is resting without moving mid-slide.
+    SlidePaused { location: PointCm, timestamp: Timestamp },
+    /// The slide ended (finger lifted).
+    SlideEnded { location: PointCm, timestamp: Timestamp },
+    /// A two-finger pinch completed; `scale > 1` is a zoom-in, `scale < 1` a
+    /// zoom-out.
+    Pinch { scale: f64, timestamp: Timestamp },
+    /// A two-finger rotation completed (a quarter turn), flipping the object's
+    /// physical design between row-store and column-store (Section 2.8).
+    Rotate { clockwise: bool, timestamp: Timestamp },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SingleState {
+    Idle,
+    /// Finger down, movement still below the tap threshold.
+    Pending { start: PointCm, start_ts: Timestamp },
+    /// Movement exceeded the threshold: this is a slide.
+    Sliding { last: PointCm },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FingerTrack {
+    location: PointCm,
+    active: bool,
+}
+
+/// Configuration thresholds of the recognizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecognizerConfig {
+    /// Maximum movement (cm) for a touch to still count as a tap.
+    pub tap_movement_cm: f64,
+    /// Maximum duration (ms) for a touch to still count as a tap.
+    pub tap_duration_ms: u64,
+    /// Relative change in finger distance needed to classify a two-finger
+    /// gesture as a pinch.
+    pub pinch_threshold: f64,
+    /// Angle change (radians) needed to classify a two-finger gesture as a
+    /// rotation.
+    pub rotate_threshold_rad: f64,
+}
+
+impl Default for RecognizerConfig {
+    fn default() -> Self {
+        RecognizerConfig {
+            tap_movement_cm: 0.2,
+            tap_duration_ms: 250,
+            pinch_threshold: 0.15,
+            rotate_threshold_rad: std::f64::consts::FRAC_PI_4,
+        }
+    }
+}
+
+/// The gesture-recognition state machine.
+#[derive(Debug, Clone)]
+pub struct GestureRecognizer {
+    config: RecognizerConfig,
+    single: SingleState,
+    fingers: [Option<FingerTrack>; 2],
+    /// Initial distance/angle between the two fingers of a two-finger gesture.
+    two_finger_start: Option<(f64, f64)>,
+    two_finger_last: Option<(f64, f64)>,
+}
+
+impl Default for GestureRecognizer {
+    fn default() -> Self {
+        GestureRecognizer::new(RecognizerConfig::default())
+    }
+}
+
+impl GestureRecognizer {
+    /// Create a recognizer with the given thresholds.
+    pub fn new(config: RecognizerConfig) -> GestureRecognizer {
+        GestureRecognizer {
+            config,
+            single: SingleState::Idle,
+            fingers: [None, None],
+            two_finger_start: None,
+            two_finger_last: None,
+        }
+    }
+
+    /// Feed one touch event, receiving the gesture events it triggers.
+    pub fn feed(&mut self, event: &TouchEvent) -> Vec<GestureEvent> {
+        self.track_finger(event);
+        if self.both_fingers_seen() {
+            self.feed_two_finger(event)
+        } else {
+            self.feed_single_finger(event)
+        }
+    }
+
+    /// Feed an entire trace, collecting all gesture events.
+    pub fn feed_trace<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a TouchEvent>,
+    ) -> Vec<GestureEvent> {
+        events.into_iter().flat_map(|e| self.feed(e)).collect()
+    }
+
+    fn track_finger(&mut self, event: &TouchEvent) {
+        let idx = (event.finger.min(1)) as usize;
+        match event.phase {
+            TouchPhase::Ended => {
+                if let Some(t) = &mut self.fingers[idx] {
+                    t.location = event.location;
+                    t.active = false;
+                }
+            }
+            _ => {
+                self.fingers[idx] = Some(FingerTrack {
+                    location: event.location,
+                    active: true,
+                });
+            }
+        }
+    }
+
+    fn both_fingers_seen(&self) -> bool {
+        self.fingers.iter().all(|f| f.is_some())
+    }
+
+    fn finger_geometry(&self) -> Option<(f64, f64)> {
+        let a = self.fingers[0]?.location;
+        let b = self.fingers[1]?.location;
+        let distance = a.distance(&b);
+        let angle = (b.y - a.y).atan2(b.x - a.x);
+        Some((distance, angle))
+    }
+
+    fn feed_single_finger(&mut self, event: &TouchEvent) -> Vec<GestureEvent> {
+        let ts = event.timestamp;
+        let loc = event.location;
+        let mut out = Vec::new();
+        match (self.single, event.phase) {
+            (SingleState::Idle, TouchPhase::Began) => {
+                self.single = SingleState::Pending { start: loc, start_ts: ts };
+            }
+            (SingleState::Pending { start, start_ts }, TouchPhase::Moved)
+            | (SingleState::Pending { start, start_ts }, TouchPhase::Stationary) => {
+                if start.distance(&loc) > self.config.tap_movement_cm {
+                    out.push(GestureEvent::SlideBegan { location: start, timestamp: start_ts });
+                    out.push(GestureEvent::SlideStep { location: loc, timestamp: ts });
+                    self.single = SingleState::Sliding { last: loc };
+                } else {
+                    self.single = SingleState::Pending { start, start_ts };
+                }
+            }
+            (SingleState::Pending { start, start_ts }, TouchPhase::Ended) => {
+                let quick = ts.since(start_ts).as_millis() as u64 <= self.config.tap_duration_ms;
+                let still = start.distance(&loc) <= self.config.tap_movement_cm;
+                if quick && still {
+                    out.push(GestureEvent::Tap { location: loc, timestamp: ts });
+                } else {
+                    // A long press or slow micro-movement: treat as a degenerate
+                    // slide so the kernel still reacts to it.
+                    out.push(GestureEvent::SlideBegan { location: start, timestamp: start_ts });
+                    out.push(GestureEvent::SlideEnded { location: loc, timestamp: ts });
+                }
+                self.single = SingleState::Idle;
+            }
+            (SingleState::Sliding { last }, TouchPhase::Moved) => {
+                if last.distance(&loc) > 1e-6 {
+                    out.push(GestureEvent::SlideStep { location: loc, timestamp: ts });
+                    self.single = SingleState::Sliding { last: loc };
+                } else {
+                    out.push(GestureEvent::SlidePaused { location: loc, timestamp: ts });
+                }
+            }
+            (SingleState::Sliding { .. }, TouchPhase::Stationary) => {
+                out.push(GestureEvent::SlidePaused { location: loc, timestamp: ts });
+            }
+            (SingleState::Sliding { .. }, TouchPhase::Ended) => {
+                out.push(GestureEvent::SlideEnded { location: loc, timestamp: ts });
+                self.single = SingleState::Idle;
+            }
+            // Began while already tracking (shouldn't happen in valid traces):
+            // restart the state machine.
+            (_, TouchPhase::Began) => {
+                self.single = SingleState::Pending { start: loc, start_ts: ts };
+            }
+            (SingleState::Idle, _) => {}
+        }
+        out
+    }
+
+    fn feed_two_finger(&mut self, event: &TouchEvent) -> Vec<GestureEvent> {
+        let mut out = Vec::new();
+        // Any single-finger slide in progress is cancelled by the second finger.
+        self.single = SingleState::Idle;
+        if let Some(geom) = self.finger_geometry() {
+            if self.two_finger_start.is_none() {
+                self.two_finger_start = Some(geom);
+            }
+            self.two_finger_last = Some(geom);
+        }
+        if event.phase == TouchPhase::Ended {
+            if let (Some((d0, a0)), Some((d1, a1))) = (self.two_finger_start, self.two_finger_last)
+            {
+                let scale = if d0 > 1e-9 { d1 / d0 } else { 1.0 };
+                let mut angle_delta = a1 - a0;
+                // Normalize to (-pi, pi].
+                while angle_delta > std::f64::consts::PI {
+                    angle_delta -= 2.0 * std::f64::consts::PI;
+                }
+                while angle_delta <= -std::f64::consts::PI {
+                    angle_delta += 2.0 * std::f64::consts::PI;
+                }
+                if (scale - 1.0).abs() > self.config.pinch_threshold {
+                    out.push(GestureEvent::Pinch { scale, timestamp: event.timestamp });
+                } else if angle_delta.abs() > self.config.rotate_threshold_rad {
+                    out.push(GestureEvent::Rotate {
+                        clockwise: angle_delta > 0.0,
+                        timestamp: event.timestamp,
+                    });
+                }
+            }
+            // Reset the two-finger gesture once either finger lifts.
+            self.two_finger_start = None;
+            self.two_finger_last = None;
+            self.fingers = [None, None];
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(x: f64, y: f64, ms: u64, phase: TouchPhase) -> TouchEvent {
+        TouchEvent::new(PointCm::new(x, y), Timestamp::from_millis(ms), phase)
+    }
+
+    #[test]
+    fn tap_recognized() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 1.0, 0, TouchPhase::Began),
+            ev(1.05, 1.02, 80, TouchPhase::Ended),
+        ]);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], GestureEvent::Tap { .. }));
+    }
+
+    #[test]
+    fn long_press_is_not_a_tap() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 1.0, 0, TouchPhase::Began),
+            ev(1.0, 1.0, 500, TouchPhase::Ended),
+        ]);
+        assert!(matches!(events[0], GestureEvent::SlideBegan { .. }));
+        assert!(matches!(events[1], GestureEvent::SlideEnded { .. }));
+    }
+
+    #[test]
+    fn slide_emits_step_per_sample() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 0.0, 0, TouchPhase::Began),
+            ev(1.0, 1.0, 16, TouchPhase::Moved),
+            ev(1.0, 2.0, 33, TouchPhase::Moved),
+            ev(1.0, 3.0, 50, TouchPhase::Moved),
+            ev(1.0, 3.0, 66, TouchPhase::Ended),
+        ]);
+        let begans = events.iter().filter(|e| matches!(e, GestureEvent::SlideBegan { .. })).count();
+        let steps = events.iter().filter(|e| matches!(e, GestureEvent::SlideStep { .. })).count();
+        let ends = events.iter().filter(|e| matches!(e, GestureEvent::SlideEnded { .. })).count();
+        assert_eq!(begans, 1);
+        assert_eq!(steps, 3);
+        assert_eq!(ends, 1);
+    }
+
+    #[test]
+    fn paused_slide_emits_pause_events() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 0.0, 0, TouchPhase::Began),
+            ev(1.0, 1.0, 16, TouchPhase::Moved),
+            ev(1.0, 1.0, 33, TouchPhase::Stationary),
+            ev(1.0, 1.0, 50, TouchPhase::Stationary),
+            ev(1.0, 2.0, 66, TouchPhase::Moved),
+            ev(1.0, 2.0, 83, TouchPhase::Ended),
+        ]);
+        let pauses = events.iter().filter(|e| matches!(e, GestureEvent::SlidePaused { .. })).count();
+        assert_eq!(pauses, 2);
+    }
+
+    #[test]
+    fn slide_step_not_emitted_for_zero_movement_moved() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 0.0, 0, TouchPhase::Began),
+            ev(1.0, 1.0, 16, TouchPhase::Moved),
+            ev(1.0, 1.0, 33, TouchPhase::Moved), // same location: pause
+        ]);
+        assert!(matches!(events.last().unwrap(), GestureEvent::SlidePaused { .. }));
+    }
+
+    #[test]
+    fn pinch_zoom_in_recognized() {
+        let mut r = GestureRecognizer::default();
+        // Two fingers moving apart: distance grows from 1cm to 3cm.
+        let events = r.feed_trace(&[
+            ev(2.0, 5.0, 0, TouchPhase::Began),
+            ev(3.0, 5.0, 0, TouchPhase::Began).with_finger(1),
+            ev(1.5, 5.0, 50, TouchPhase::Moved),
+            ev(3.5, 5.0, 50, TouchPhase::Moved).with_finger(1),
+            ev(1.0, 5.0, 100, TouchPhase::Moved),
+            ev(4.0, 5.0, 100, TouchPhase::Moved).with_finger(1),
+            ev(4.0, 5.0, 120, TouchPhase::Ended).with_finger(1),
+        ]);
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            GestureEvent::Pinch { scale, .. } => assert!(scale > 2.0),
+            other => panic!("expected pinch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pinch_zoom_out_recognized() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 5.0, 0, TouchPhase::Began),
+            ev(4.0, 5.0, 0, TouchPhase::Began).with_finger(1),
+            ev(2.0, 5.0, 60, TouchPhase::Moved),
+            ev(3.0, 5.0, 60, TouchPhase::Moved).with_finger(1),
+            ev(3.0, 5.0, 90, TouchPhase::Ended).with_finger(1),
+        ]);
+        match events[0] {
+            GestureEvent::Pinch { scale, .. } => assert!(scale < 0.5),
+            other => panic!("expected pinch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rotate_recognized() {
+        let mut r = GestureRecognizer::default();
+        // Two fingers orbiting: angle changes by ~90 degrees, distance constant.
+        let events = r.feed_trace(&[
+            ev(2.0, 5.0, 0, TouchPhase::Began),
+            ev(4.0, 5.0, 0, TouchPhase::Began).with_finger(1),
+            ev(3.0, 4.0, 60, TouchPhase::Moved),
+            ev(3.0, 6.0, 60, TouchPhase::Moved).with_finger(1),
+            ev(3.0, 6.0, 90, TouchPhase::Ended).with_finger(1),
+        ]);
+        assert_eq!(events.len(), 1);
+        match events[0] {
+            GestureEvent::Rotate { clockwise, .. } => assert!(clockwise),
+            other => panic!("expected rotate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_finger_cancels_slide() {
+        let mut r = GestureRecognizer::default();
+        let events = r.feed_trace(&[
+            ev(1.0, 0.0, 0, TouchPhase::Began),
+            ev(1.0, 1.0, 16, TouchPhase::Moved),
+            ev(2.0, 1.0, 20, TouchPhase::Began).with_finger(1),
+            ev(1.0, 1.5, 40, TouchPhase::Moved),
+        ]);
+        // After the second finger lands, no more slide steps are produced.
+        let steps_after: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, GestureEvent::SlideStep { timestamp, .. } if timestamp.as_millis() >= 20))
+            .collect();
+        assert!(steps_after.is_empty());
+    }
+
+    #[test]
+    fn recognizer_reusable_across_gestures() {
+        let mut r = GestureRecognizer::default();
+        let first = r.feed_trace(&[
+            ev(1.0, 1.0, 0, TouchPhase::Began),
+            ev(1.0, 1.0, 50, TouchPhase::Ended),
+        ]);
+        let second = r.feed_trace(&[
+            ev(1.0, 0.0, 100, TouchPhase::Began),
+            ev(1.0, 2.0, 150, TouchPhase::Moved),
+            ev(1.0, 2.0, 200, TouchPhase::Ended),
+        ]);
+        assert!(matches!(first[0], GestureEvent::Tap { .. }));
+        assert!(matches!(second[0], GestureEvent::SlideBegan { .. }));
+    }
+}

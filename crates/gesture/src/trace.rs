@@ -1,0 +1,241 @@
+//! Recorded gesture traces.
+//!
+//! A [`GestureTrace`] is an ordered sequence of touch events aimed at one data
+//! object (view). Traces are what the synthesizer produces, what the kernel
+//! consumes, and what the experiment harnesses serialize so that every figure
+//! can be regenerated from the exact same input.
+
+use crate::touch::{TouchEvent, TouchPhase};
+use dbtouch_types::{DbTouchError, Result};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// An ordered sequence of touch events over a single view.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GestureTrace {
+    /// Name of the view/data object the trace is aimed at (informational).
+    pub target: String,
+    /// The touch samples in time order.
+    pub events: Vec<TouchEvent>,
+}
+
+impl GestureTrace {
+    /// Create an empty trace for a target object.
+    pub fn new(target: impl Into<String>) -> GestureTrace {
+        GestureTrace {
+            target: target.into(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Create a trace from events, validating it.
+    pub fn from_events(target: impl Into<String>, events: Vec<TouchEvent>) -> Result<GestureTrace> {
+        let t = GestureTrace {
+            target: target.into(),
+            events,
+        };
+        t.validate()?;
+        Ok(t)
+    }
+
+    /// Append an event.
+    pub fn push(&mut self, event: TouchEvent) {
+        self.events.push(event);
+    }
+
+    /// Number of touch samples.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the trace has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Duration from the first to the last sample.
+    pub fn duration(&self) -> Duration {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => b.timestamp.since(a.timestamp),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// The events of a specific finger.
+    pub fn finger(&self, finger: u8) -> impl Iterator<Item = &TouchEvent> {
+        self.events.iter().filter(move |e| e.finger == finger)
+    }
+
+    /// Validate the trace: per-finger timestamps must be non-decreasing, every
+    /// finger must begin with a `Began` phase and locations must be finite.
+    pub fn validate(&self) -> Result<()> {
+        for finger in 0..=1u8 {
+            let mut last_ts = None;
+            let mut seen_any = false;
+            for e in self.finger(finger) {
+                if !e.location.is_finite() {
+                    return Err(DbTouchError::InvalidGesture(format!(
+                        "non-finite touch location {:?}",
+                        e.location
+                    )));
+                }
+                if !seen_any && e.phase != TouchPhase::Began {
+                    return Err(DbTouchError::InvalidGesture(format!(
+                        "finger {finger} does not start with a Began phase"
+                    )));
+                }
+                if let Some(last) = last_ts {
+                    if e.timestamp < last {
+                        return Err(DbTouchError::InvalidGesture(format!(
+                            "timestamps go backwards at {}",
+                            e.timestamp
+                        )));
+                    }
+                }
+                last_ts = Some(e.timestamp);
+                seen_any = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Serialize the trace to JSON (for storing experiment inputs).
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self)
+            .map_err(|e| DbTouchError::Internal(format!("trace serialization failed: {e}")))
+    }
+
+    /// Deserialize a trace from JSON.
+    pub fn from_json(json: &str) -> Result<GestureTrace> {
+        let trace: GestureTrace = serde_json::from_str(json)
+            .map_err(|e| DbTouchError::ParseError(format!("trace deserialization failed: {e}")))?;
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Concatenate another trace after this one (a session of several gestures
+    /// over the same object). The other trace's timestamps must not precede
+    /// this trace's last timestamp.
+    pub fn chain(mut self, other: &GestureTrace) -> Result<GestureTrace> {
+        if let (Some(last), Some(first)) = (self.events.last(), other.events.first()) {
+            if first.timestamp < last.timestamp {
+                return Err(DbTouchError::InvalidGesture(
+                    "chained trace starts before the current trace ends".into(),
+                ));
+            }
+        }
+        self.events.extend(other.events.iter().copied());
+        Ok(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_types::{PointCm, Timestamp};
+
+    fn ev(y: f64, ms: u64, phase: TouchPhase) -> TouchEvent {
+        TouchEvent::new(PointCm::new(1.0, y), Timestamp::from_millis(ms), phase)
+    }
+
+    fn valid_trace() -> GestureTrace {
+        GestureTrace::from_events(
+            "col",
+            vec![
+                ev(0.0, 0, TouchPhase::Began),
+                ev(1.0, 16, TouchPhase::Moved),
+                ev(2.0, 33, TouchPhase::Moved),
+                ev(2.0, 50, TouchPhase::Ended),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_duration() {
+        let t = valid_trace();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.duration(), Duration::from_millis(50));
+        assert_eq!(t.target, "col");
+    }
+
+    #[test]
+    fn empty_trace_duration_zero() {
+        let t = GestureTrace::new("x");
+        assert!(t.is_empty());
+        assert_eq!(t.duration(), Duration::ZERO);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_backwards_time() {
+        let r = GestureTrace::from_events(
+            "col",
+            vec![
+                ev(0.0, 100, TouchPhase::Began),
+                ev(1.0, 50, TouchPhase::Moved),
+            ],
+        );
+        assert!(matches!(r, Err(DbTouchError::InvalidGesture(_))));
+    }
+
+    #[test]
+    fn validation_rejects_missing_began() {
+        let r = GestureTrace::from_events("col", vec![ev(0.0, 0, TouchPhase::Moved)]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn validation_rejects_nan_location() {
+        let r = GestureTrace::from_events(
+            "col",
+            vec![TouchEvent::new(
+                PointCm::new(f64::NAN, 0.0),
+                Timestamp::ZERO,
+                TouchPhase::Began,
+            )],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn per_finger_validation_is_independent() {
+        // Finger 1 begins "later" than finger 0's moves; that is fine as long as
+        // each finger starts with Began.
+        let t = GestureTrace::from_events(
+            "col",
+            vec![
+                ev(0.0, 0, TouchPhase::Began),
+                ev(0.0, 10, TouchPhase::Began).with_finger(1),
+                ev(1.0, 20, TouchPhase::Moved),
+                ev(1.0, 20, TouchPhase::Moved).with_finger(1),
+            ],
+        );
+        assert!(t.is_ok());
+        assert_eq!(t.unwrap().finger(1).count(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = valid_trace();
+        let json = t.to_json().unwrap();
+        let back = GestureTrace::from_json(&json).unwrap();
+        assert_eq!(back, t);
+        assert!(GestureTrace::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn chain_traces() {
+        let first = valid_trace();
+        let second = GestureTrace::from_events(
+            "col",
+            vec![ev(5.0, 100, TouchPhase::Began), ev(6.0, 120, TouchPhase::Ended)],
+        )
+        .unwrap();
+        let chained = first.clone().chain(&second).unwrap();
+        assert_eq!(chained.len(), 6);
+        // chaining something that starts earlier fails
+        assert!(second.chain(&first).is_err());
+    }
+}

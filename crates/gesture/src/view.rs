@@ -1,0 +1,327 @@
+//! Views: the visual placeholders for data objects.
+//!
+//! Section 2.4 ("Object Views"): "In order to translate the location of a touch
+//! to a tuple identifier, dbTouch exploits the view concept of modern
+//! touch-based operating systems. Views are placeholders for visual objects
+//! [...] Each view has a set of properties associated with it which are readily
+//! accessible by the touch OS, such as the size of the view, the location of the
+//! view within its master view, what kind of gestures are allowed over the view."
+//!
+//! dbTouch adds database properties to each view: the number of tuples the
+//! object represents, the number of attributes, and the data types. [`View`]
+//! models exactly this: geometry plus the dbTouch-specific properties that the
+//! mapping layer of the kernel needs. A [`Screen`] is the master view holding
+//! the data-object views and supports hit testing.
+
+use dbtouch_types::{
+    DbTouchError, Orientation, PointCm, Rect, Result, SizeCm,
+};
+use serde::{Deserialize, Serialize};
+
+/// A view representing one data object on the touch screen.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct View {
+    /// Name of the data object the view renders (column or table name).
+    pub name: String,
+    /// Frame of the view inside its master view.
+    pub frame: Rect,
+    /// Orientation of the object: vertical objects are scrolled with vertical
+    /// slides, horizontal objects with horizontal slides.
+    pub orientation: Orientation,
+    /// Number of tuples in the underlying data object (`n` in the Rule of
+    /// Three).
+    pub tuple_count: u64,
+    /// Number of attributes rendered side by side (1 for a single column).
+    pub attribute_count: usize,
+    /// Current zoom factor relative to the view's initial size (1.0 = initial).
+    pub zoom: f64,
+}
+
+impl View {
+    /// Create a view for a single-column object standing vertically.
+    pub fn for_column(name: impl Into<String>, tuple_count: u64, size: SizeCm) -> Result<View> {
+        Self::validated(View {
+            name: name.into(),
+            frame: Rect::new(PointCm::ORIGIN, size),
+            orientation: Orientation::Vertical,
+            tuple_count,
+            attribute_count: 1,
+            zoom: 1.0,
+        })
+    }
+
+    /// Create a view for a table object with `attribute_count` attributes.
+    pub fn for_table(
+        name: impl Into<String>,
+        tuple_count: u64,
+        attribute_count: usize,
+        size: SizeCm,
+    ) -> Result<View> {
+        if attribute_count == 0 {
+            return Err(DbTouchError::InvalidGeometry(
+                "a table view needs at least one attribute".into(),
+            ));
+        }
+        Self::validated(View {
+            name: name.into(),
+            frame: Rect::new(PointCm::ORIGIN, size),
+            orientation: Orientation::Vertical,
+            tuple_count,
+            attribute_count,
+            zoom: 1.0,
+        })
+    }
+
+    fn validated(view: View) -> Result<View> {
+        if !view.frame.size.is_valid() {
+            return Err(DbTouchError::InvalidGeometry(format!(
+                "view {} has invalid size {}",
+                view.name, view.frame.size
+            )));
+        }
+        Ok(view)
+    }
+
+    /// Physical size of the view.
+    pub fn size(&self) -> SizeCm {
+        self.frame.size
+    }
+
+    /// Extent of the view along the scroll axis (the axis that addresses
+    /// tuples): the height for vertical objects, the width for horizontal ones.
+    pub fn scroll_extent(&self) -> f64 {
+        self.frame.size.extent_along(self.orientation)
+    }
+
+    /// Extent across the scroll axis (the axis that addresses attributes).
+    pub fn cross_extent(&self) -> f64 {
+        self.frame
+            .size
+            .extent_along(self.orientation.rotated())
+    }
+
+    /// Place the view at a position inside its master view.
+    pub fn positioned_at(mut self, origin: PointCm) -> View {
+        self.frame.origin = origin;
+        self
+    }
+
+    /// True if the point (in the view's local coordinates) lies inside the view.
+    pub fn contains_local(&self, p: PointCm) -> bool {
+        p.x >= 0.0 && p.y >= 0.0 && p.x < self.frame.size.width && p.y < self.frame.size.height
+    }
+
+    /// Apply a zoom gesture: scale the view by `factor` (>1 zoom-in, <1
+    /// zoom-out). The zoom factor is clamped so the view never collapses or
+    /// explodes (between 1/64x and 64x of the original size).
+    pub fn zoomed(&self, factor: f64) -> Result<View> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(DbTouchError::InvalidGeometry(format!(
+                "zoom factor {factor} must be finite and positive"
+            )));
+        }
+        let new_zoom = (self.zoom * factor).clamp(1.0 / 64.0, 64.0);
+        let effective = new_zoom / self.zoom;
+        let mut v = self.clone();
+        v.zoom = new_zoom;
+        v.frame.size = self.frame.size.scaled(effective);
+        Ok(v)
+    }
+
+    /// Apply the rotate gesture: the view is transposed and its orientation
+    /// flips. Touch-to-tuple mapping is unaffected because it always works along
+    /// the (new) scroll axis (Section 2.4: "when we rotate an object [...]
+    /// touches and identifiers calculated relative to the object view are not
+    /// affected").
+    pub fn rotated(&self) -> View {
+        let mut v = self.clone();
+        v.orientation = self.orientation.rotated();
+        v.frame.size = self.frame.size.transposed();
+        v
+    }
+
+    /// The distinct number of touch positions available along the scroll axis
+    /// given a touch resolution in centimetres. This is the physical limit the
+    /// paper discusses: a small object can only address a limited number of
+    /// tuples per slide.
+    pub fn addressable_positions(&self, touch_resolution_cm: f64) -> u64 {
+        if touch_resolution_cm <= 0.0 {
+            return u64::MAX;
+        }
+        (self.scroll_extent() / touch_resolution_cm).floor().max(1.0) as u64
+    }
+}
+
+/// The master view: a screen containing data-object views.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Screen {
+    views: Vec<View>,
+}
+
+impl Screen {
+    /// An empty screen.
+    pub fn new() -> Screen {
+        Screen { views: Vec::new() }
+    }
+
+    /// Add a view to the screen.
+    pub fn add(&mut self, view: View) {
+        self.views.push(view);
+    }
+
+    /// All views.
+    pub fn views(&self) -> &[View] {
+        &self.views
+    }
+
+    /// Find the view (by name) and the local coordinates of a touch given in
+    /// screen coordinates. Returns `None` if the touch lands on empty space.
+    pub fn hit_test(&self, p: PointCm) -> Option<(&View, PointCm)> {
+        // Iterate in reverse so that views added later (rendered on top) win.
+        self.views
+            .iter()
+            .rev()
+            .find(|v| v.frame.contains(p))
+            .map(|v| (v, v.frame.to_local(p)))
+    }
+
+    /// Find a view by the name of its data object.
+    pub fn view(&self, name: &str) -> Result<&View> {
+        self.views
+            .iter()
+            .find(|v| v.name == name)
+            .ok_or_else(|| DbTouchError::NotFound(format!("view {name}")))
+    }
+
+    /// Mutable access to a view by name.
+    pub fn view_mut(&mut self, name: &str) -> Result<&mut View> {
+        self.views
+            .iter_mut()
+            .find(|v| v.name == name)
+            .ok_or_else(|| DbTouchError::NotFound(format!("view {name}")))
+    }
+
+    /// Replace a view (after zooming or rotating it).
+    pub fn replace(&mut self, view: View) -> Result<()> {
+        let slot = self.view_mut(&view.name)?;
+        *slot = view;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column_view() -> View {
+        // The paper's Figure 4 object: a 10cm tall column object.
+        View::for_column("measurements", 10_000_000, SizeCm::new(2.0, 10.0)).unwrap()
+    }
+
+    #[test]
+    fn construction_and_extents() {
+        let v = column_view();
+        assert_eq!(v.scroll_extent(), 10.0);
+        assert_eq!(v.cross_extent(), 2.0);
+        assert_eq!(v.attribute_count, 1);
+        assert_eq!(v.zoom, 1.0);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected() {
+        assert!(View::for_column("x", 10, SizeCm::new(0.0, 10.0)).is_err());
+        assert!(View::for_table("t", 10, 0, SizeCm::new(2.0, 2.0)).is_err());
+        assert!(View::for_column("x", 10, SizeCm::new(2.0, f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn zoom_in_doubles_size() {
+        let v = column_view();
+        let z = v.zoomed(2.0).unwrap();
+        assert_eq!(z.size(), SizeCm::new(4.0, 20.0));
+        assert_eq!(z.zoom, 2.0);
+        // zoom back out restores the original size
+        let back = z.zoomed(0.5).unwrap();
+        assert!((back.size().height - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zoom_clamped_to_bounds() {
+        let v = column_view();
+        let huge = v.zoomed(1e9).unwrap();
+        assert_eq!(huge.zoom, 64.0);
+        let tiny = v.zoomed(1e-9).unwrap();
+        assert_eq!(tiny.zoom, 1.0 / 64.0);
+        assert!(v.zoomed(0.0).is_err());
+        assert!(v.zoomed(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rotation_transposes_and_flips_axis() {
+        let v = column_view();
+        let r = v.rotated();
+        assert_eq!(r.orientation, Orientation::Horizontal);
+        assert_eq!(r.size(), SizeCm::new(10.0, 2.0));
+        assert_eq!(r.scroll_extent(), 10.0); // still 10cm along the scroll axis
+        assert_eq!(r.rotated().orientation, Orientation::Vertical);
+    }
+
+    #[test]
+    fn addressable_positions_scale_with_size() {
+        let v = column_view();
+        let fine = v.addressable_positions(0.05);
+        assert_eq!(fine, 200);
+        let zoomed = v.zoomed(2.0).unwrap();
+        assert_eq!(zoomed.addressable_positions(0.05), 400);
+        assert_eq!(v.addressable_positions(0.0), u64::MAX);
+    }
+
+    #[test]
+    fn contains_local() {
+        let v = column_view();
+        assert!(v.contains_local(PointCm::new(1.0, 5.0)));
+        assert!(!v.contains_local(PointCm::new(3.0, 5.0)));
+        assert!(!v.contains_local(PointCm::new(1.0, -0.1)));
+    }
+
+    #[test]
+    fn screen_hit_testing() {
+        let mut s = Screen::new();
+        s.add(
+            View::for_column("a", 100, SizeCm::new(2.0, 10.0))
+                .unwrap()
+                .positioned_at(PointCm::new(1.0, 1.0)),
+        );
+        s.add(
+            View::for_column("b", 100, SizeCm::new(2.0, 10.0))
+                .unwrap()
+                .positioned_at(PointCm::new(5.0, 1.0)),
+        );
+        let (v, local) = s.hit_test(PointCm::new(5.5, 2.0)).unwrap();
+        assert_eq!(v.name, "b");
+        assert_eq!(local, PointCm::new(0.5, 1.0));
+        assert!(s.hit_test(PointCm::new(20.0, 20.0)).is_none());
+        assert!(s.view("a").is_ok());
+        assert!(s.view("missing").is_err());
+    }
+
+    #[test]
+    fn screen_overlapping_views_topmost_wins() {
+        let mut s = Screen::new();
+        s.add(View::for_column("under", 100, SizeCm::new(4.0, 4.0)).unwrap());
+        s.add(View::for_column("over", 100, SizeCm::new(4.0, 4.0)).unwrap());
+        let (v, _) = s.hit_test(PointCm::new(1.0, 1.0)).unwrap();
+        assert_eq!(v.name, "over");
+    }
+
+    #[test]
+    fn screen_replace_view() {
+        let mut s = Screen::new();
+        s.add(column_view());
+        let zoomed = s.view("measurements").unwrap().zoomed(2.0).unwrap();
+        s.replace(zoomed).unwrap();
+        assert_eq!(s.view("measurements").unwrap().zoom, 2.0);
+        let bogus = View::for_column("nope", 1, SizeCm::new(1.0, 1.0)).unwrap();
+        assert!(s.replace(bogus).is_err());
+    }
+}

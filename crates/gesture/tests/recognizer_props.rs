@@ -1,0 +1,100 @@
+//! Property tests for the gesture recognizer and kinematics: they must be
+//! total (never panic) and well-behaved on arbitrary touch-event sequences,
+//! because on a real device the touch OS can deliver odd sequences (dropped
+//! samples, out-of-order fingers, repeated begans).
+
+use dbtouch_gesture::kinematics::GestureKinematics;
+use dbtouch_gesture::recognizer::{GestureEvent, GestureRecognizer};
+use dbtouch_gesture::touch::{TouchEvent, TouchPhase};
+use dbtouch_types::{PointCm, Timestamp};
+use proptest::prelude::*;
+
+fn arb_phase() -> impl Strategy<Value = TouchPhase> {
+    prop_oneof![
+        Just(TouchPhase::Began),
+        Just(TouchPhase::Moved),
+        Just(TouchPhase::Stationary),
+        Just(TouchPhase::Ended),
+    ]
+}
+
+fn arb_event() -> impl Strategy<Value = TouchEvent> {
+    (
+        -5.0f64..20.0,
+        -5.0f64..30.0,
+        0u64..10_000,
+        arb_phase(),
+        0u8..2,
+    )
+        .prop_map(|(x, y, ms, phase, finger)| {
+            TouchEvent::new(PointCm::new(x, y), Timestamp::from_millis(ms), phase)
+                .with_finger(finger)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The recognizer never panics and never emits more gesture events than it
+    /// received touch samples (every sample triggers at most a began+step pair).
+    #[test]
+    fn recognizer_is_total_and_bounded(events in prop::collection::vec(arb_event(), 0..120)) {
+        let mut recognizer = GestureRecognizer::default();
+        let mut emitted = 0usize;
+        for event in &events {
+            emitted += recognizer.feed(event).len();
+        }
+        prop_assert!(emitted <= 2 * events.len());
+    }
+
+    /// Kinematics never panic, never report non-finite speeds, and pause
+    /// detection implies (near-)zero speed.
+    #[test]
+    fn kinematics_speeds_are_finite(events in prop::collection::vec(arb_event(), 0..120)) {
+        let mut kinematics = GestureKinematics::default();
+        for event in &events {
+            kinematics.observe(event);
+            let speed = kinematics.speed_cm_per_s();
+            prop_assert!(speed.is_finite());
+            prop_assert!(speed >= 0.0);
+            if kinematics.is_paused() {
+                prop_assert!(speed < 0.05);
+            }
+            if let Some(p) = kinematics.extrapolate(0.25) {
+                prop_assert!(p.x.is_finite() && p.y.is_finite());
+            }
+        }
+    }
+
+    /// A well-formed single-finger slide (monotone time, began/moved/ended) is
+    /// recognized as exactly one slide: one began, one ended, steps in between.
+    #[test]
+    fn well_formed_slides_recognized_once(
+        steps in 4usize..60,
+        dy in 0.25f64..0.5,
+    ) {
+        let mut recognizer = GestureRecognizer::default();
+        let mut all = Vec::new();
+        for i in 0..steps {
+            let phase = if i == 0 {
+                TouchPhase::Began
+            } else if i == steps - 1 {
+                TouchPhase::Ended
+            } else {
+                TouchPhase::Moved
+            };
+            let event = TouchEvent::new(
+                PointCm::new(1.0, i as f64 * dy),
+                Timestamp::from_millis(i as u64 * 16),
+                phase,
+            );
+            all.extend(recognizer.feed(&event));
+        }
+        let begans = all.iter().filter(|e| matches!(e, GestureEvent::SlideBegan { .. })).count();
+        let ends = all.iter().filter(|e| matches!(e, GestureEvent::SlideEnded { .. })).count();
+        let taps = all.iter().filter(|e| matches!(e, GestureEvent::Tap { .. })).count();
+        prop_assert_eq!(begans, 1);
+        prop_assert_eq!(ends, 1);
+        prop_assert_eq!(taps, 0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Region cache for touched data areas.
+//!
+//! Section 2.6 ("Caching Data"): "caching can be exploited such that dbTouch is
+//! ready if the user decides to re-examine a data area already seen. dbTouch
+//! needs to observe the gesture patterns and adjust the caching policy according
+//! to the expected progression of the gesture."
+//!
+//! [`RegionCache`] is a capacity-bounded (in rows) LRU cache of row ranges. It
+//! does not hold the data itself — the matrixes are all in memory in this
+//! reproduction — but it models *which* regions are hot and therefore cheap to
+//! re-access, and it produces the hit/miss statistics that the kernel's caching
+//! policy and the ablation benchmarks rely on. The kernel charges a (simulated)
+//! higher access cost for rows served outside any cached or prefetched region.
+
+use dbtouch_types::{RowId, RowRange};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Statistics maintained by a [`RegionCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups that found their row in a cached region.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Regions evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Rows currently covered by cached regions.
+    pub resident_rows: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// An LRU cache of row ranges with a row-count capacity.
+#[derive(Debug, Clone)]
+pub struct RegionCache {
+    /// Most-recently-used at the back.
+    regions: VecDeque<RowRange>,
+    capacity_rows: u64,
+    stats: CacheStats,
+    enabled: bool,
+}
+
+impl RegionCache {
+    /// Create a cache bounded to `capacity_rows` rows in total.
+    pub fn new(capacity_rows: u64) -> RegionCache {
+        RegionCache {
+            regions: VecDeque::new(),
+            capacity_rows,
+            stats: CacheStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// Create a disabled cache: every lookup misses and nothing is admitted.
+    /// Used by the ablation configuration.
+    pub fn disabled() -> RegionCache {
+        RegionCache {
+            regions: VecDeque::new(),
+            capacity_rows: 0,
+            stats: CacheStats::default(),
+            enabled: false,
+        }
+    }
+
+    /// Whether the cache admits and serves regions.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Capacity in rows.
+    pub fn capacity_rows(&self) -> u64 {
+        self.capacity_rows
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            resident_rows: self.resident_rows(),
+            ..self.stats
+        }
+    }
+
+    /// Rows currently covered (regions may not overlap, see `insert`).
+    pub fn resident_rows(&self) -> u64 {
+        self.regions.iter().map(|r| r.len()).sum()
+    }
+
+    /// Number of distinct cached regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Look up a single row, recording a hit or a miss. A hit refreshes the
+    /// containing region's recency.
+    pub fn lookup(&mut self, row: RowId) -> bool {
+        if !self.enabled {
+            self.stats.misses += 1;
+            return false;
+        }
+        if let Some(pos) = self.regions.iter().position(|r| r.contains(row)) {
+            let region = self.regions.remove(pos).expect("position valid");
+            self.regions.push_back(region);
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// True if every row of `range` is covered by cached regions (does not
+    /// update recency or statistics).
+    pub fn covers(&self, range: RowRange) -> bool {
+        if range.is_empty() {
+            return true;
+        }
+        // Regions are disjoint; walk the range and greedily consume coverage.
+        let mut cursor = range.start;
+        while cursor < range.end {
+            match self
+                .regions
+                .iter()
+                .find(|r| r.contains(RowId(cursor)))
+            {
+                Some(r) => cursor = r.end,
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Admit a region (e.g. a region just touched or just prefetched). The
+    /// region is merged with any overlapping cached regions so that cached
+    /// regions stay disjoint, then placed at the most-recent position. Evicts
+    /// least-recently-used regions if the capacity is exceeded.
+    pub fn insert(&mut self, range: RowRange) {
+        if !self.enabled || range.is_empty() {
+            return;
+        }
+        let mut merged = range;
+        let mut i = 0;
+        while i < self.regions.len() {
+            if self.regions[i].overlaps(&merged)
+                || self.regions[i].end == merged.start
+                || merged.end == self.regions[i].start
+            {
+                merged = merged.union_hull(&self.regions[i]);
+                self.regions.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.regions.push_back(merged);
+        self.evict_to_capacity();
+    }
+
+    /// Drop everything.
+    pub fn clear(&mut self) {
+        self.regions.clear();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.resident_rows() > self.capacity_rows && self.regions.len() > 1 {
+            self.regions.pop_front();
+            self.stats.evictions += 1;
+        }
+        // A single region larger than the capacity is trimmed to its tail
+        // (most recently touched rows are at the end of a slide).
+        if self.resident_rows() > self.capacity_rows {
+            if let Some(r) = self.regions.front_mut() {
+                let excess = r.len() - self.capacity_rows;
+                *r = RowRange::new(r.start + excess, r.end);
+                self.stats.evictions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = RegionCache::new(100);
+        assert!(!c.lookup(RowId(5)));
+        c.insert(RowRange::new(0, 10));
+        assert!(c.lookup(RowId(5)));
+        assert!(!c.lookup(RowId(10)));
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = RegionCache::disabled();
+        c.insert(RowRange::new(0, 10));
+        assert!(!c.lookup(RowId(5)));
+        assert_eq!(c.region_count(), 0);
+        assert!(!c.is_enabled());
+    }
+
+    #[test]
+    fn overlapping_regions_merge() {
+        let mut c = RegionCache::new(1000);
+        c.insert(RowRange::new(0, 10));
+        c.insert(RowRange::new(5, 20));
+        c.insert(RowRange::new(20, 30)); // adjacent also merges
+        assert_eq!(c.region_count(), 1);
+        assert_eq!(c.resident_rows(), 30);
+        assert!(c.covers(RowRange::new(0, 30)));
+    }
+
+    #[test]
+    fn disjoint_regions_stay_separate() {
+        let mut c = RegionCache::new(1000);
+        c.insert(RowRange::new(0, 10));
+        c.insert(RowRange::new(50, 60));
+        assert_eq!(c.region_count(), 2);
+        assert!(!c.covers(RowRange::new(0, 60)));
+        assert!(c.covers(RowRange::new(52, 58)));
+    }
+
+    #[test]
+    fn lru_eviction_on_capacity() {
+        let mut c = RegionCache::new(25);
+        c.insert(RowRange::new(0, 10));
+        c.insert(RowRange::new(100, 110));
+        c.insert(RowRange::new(200, 210));
+        // 30 rows > 25 capacity: the least recently used region (0..10) is gone
+        assert_eq!(c.region_count(), 2);
+        assert!(!c.lookup(RowId(5)));
+        assert!(c.lookup(RowId(105)));
+        assert!(c.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn lookup_refreshes_recency() {
+        let mut c = RegionCache::new(25);
+        c.insert(RowRange::new(0, 10));
+        c.insert(RowRange::new(100, 110));
+        // touch the old region so it becomes most recent
+        assert!(c.lookup(RowId(3)));
+        c.insert(RowRange::new(200, 210));
+        // now the middle region (100..110) should have been evicted instead
+        assert!(c.lookup(RowId(3)));
+        assert!(!c.lookup(RowId(105)));
+    }
+
+    #[test]
+    fn oversized_single_region_trimmed_to_tail() {
+        let mut c = RegionCache::new(10);
+        c.insert(RowRange::new(0, 100));
+        assert_eq!(c.resident_rows(), 10);
+        assert!(c.lookup(RowId(95)));
+        assert!(!c.lookup(RowId(5)));
+    }
+
+    #[test]
+    fn empty_range_insert_is_noop() {
+        let mut c = RegionCache::new(10);
+        c.insert(RowRange::empty(5));
+        assert_eq!(c.region_count(), 0);
+        assert!(c.covers(RowRange::empty(3)));
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let mut c = RegionCache::new(100);
+        c.insert(RowRange::new(0, 10));
+        c.clear();
+        assert_eq!(c.region_count(), 0);
+        assert!(!c.lookup(RowId(5)));
+    }
+
+    #[test]
+    fn hit_rate_zero_when_untouched() {
+        let c = RegionCache::new(10);
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,539 @@
+//! Fixed-width dense columns.
+//!
+//! A [`Column`] is the basic storage unit: a dense, fixed-width array of values
+//! of a single data type. The paper's prototype stores data exactly this way
+//! ("data is stored in fixed-width dense arrays or matrixes") because the
+//! touch-to-tuple mapping and the tuple-to-byte-offset mapping must both be pure
+//! arithmetic to keep per-touch response times low.
+
+use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
+use serde::{Deserialize, Serialize};
+
+/// Typed storage for a column's values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum ColumnData {
+    Int64(Vec<i64>),
+    Float64(Vec<f64>),
+    Bool(Vec<bool>),
+    /// Fixed-width, zero-padded UTF-8 strings stored back-to-back.
+    FixedStr {
+        width: u16,
+        bytes: Vec<u8>,
+    },
+    Timestamp(Vec<i64>),
+}
+
+/// A named, fixed-width, dense column.
+///
+/// ```
+/// use dbtouch_storage::column::Column;
+/// use dbtouch_types::{RowId, RowRange, Value};
+///
+/// let column = Column::from_i64("measurements", vec![10, 20, 30, 40]);
+/// assert_eq!(column.len(), 4);
+/// assert_eq!(column.get(RowId(2)).unwrap(), Value::Int(30));
+///
+/// // Range statistics are the building block of interactive summaries.
+/// let (count, sum, min, max) = column.numeric_range_stats(RowRange::new(1, 4)).unwrap();
+/// assert_eq!((count, sum), (3, 90.0));
+/// assert_eq!((min, max), (Some(20.0), Some(40.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Build an `Int64` column from raw values.
+    pub fn from_i64(name: impl Into<String>, values: Vec<i64>) -> Column {
+        Column {
+            name: name.into(),
+            data: ColumnData::Int64(values),
+        }
+    }
+
+    /// Build a `Float64` column from raw values.
+    pub fn from_f64(name: impl Into<String>, values: Vec<f64>) -> Column {
+        Column {
+            name: name.into(),
+            data: ColumnData::Float64(values),
+        }
+    }
+
+    /// Build a `Bool` column from raw values.
+    pub fn from_bool(name: impl Into<String>, values: Vec<bool>) -> Column {
+        Column {
+            name: name.into(),
+            data: ColumnData::Bool(values),
+        }
+    }
+
+    /// Build a `Timestamp` column from raw millisecond values.
+    pub fn from_timestamps(name: impl Into<String>, values: Vec<i64>) -> Column {
+        Column {
+            name: name.into(),
+            data: ColumnData::Timestamp(values),
+        }
+    }
+
+    /// Build a fixed-width string column. Strings longer than `width` bytes are
+    /// rejected.
+    pub fn from_strings(
+        name: impl Into<String>,
+        width: u16,
+        values: &[impl AsRef<str>],
+    ) -> Result<Column> {
+        let mut bytes = vec![0u8; values.len() * width as usize];
+        for (i, s) in values.iter().enumerate() {
+            let s = s.as_ref().as_bytes();
+            if s.len() > width as usize {
+                return Err(DbTouchError::TypeMismatch {
+                    expected: format!("str{width}"),
+                    found: format!("str of {} bytes", s.len()),
+                });
+            }
+            bytes[i * width as usize..i * width as usize + s.len()].copy_from_slice(s);
+        }
+        Ok(Column {
+            name: name.into(),
+            data: ColumnData::FixedStr { width, bytes },
+        })
+    }
+
+    /// Build an empty column of the given type.
+    pub fn empty(name: impl Into<String>, dt: DataType) -> Column {
+        let data = match dt {
+            DataType::Int64 => ColumnData::Int64(Vec::new()),
+            DataType::Float64 => ColumnData::Float64(Vec::new()),
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::TimestampMillis => ColumnData::Timestamp(Vec::new()),
+            DataType::FixedStr(w) => ColumnData::FixedStr {
+                width: w,
+                bytes: Vec::new(),
+            },
+        };
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Build a column of the given type from dynamically typed values.
+    pub fn from_values(
+        name: impl Into<String>,
+        dt: DataType,
+        values: &[Value],
+    ) -> Result<Column> {
+        let mut col = Column::empty(name, dt);
+        for v in values {
+            col.push(v.clone())?;
+        }
+        Ok(col)
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the column (used when a column is dragged out of a table into a
+    /// new standalone object).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Data type of the column.
+    pub fn data_type(&self) -> DataType {
+        match &self.data {
+            ColumnData::Int64(_) => DataType::Int64,
+            ColumnData::Float64(_) => DataType::Float64,
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::FixedStr { width, .. } => DataType::FixedStr(*width),
+            ColumnData::Timestamp(_) => DataType::TimestampMillis,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> u64 {
+        (match &self.data {
+            ColumnData::Int64(v) => v.len(),
+            ColumnData::Float64(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::FixedStr { width, bytes } => {
+                if *width == 0 {
+                    0
+                } else {
+                    bytes.len() / *width as usize
+                }
+            }
+            ColumnData::Timestamp(v) => v.len(),
+        }) as u64
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the column's data in bytes (used to account for bytes touched in
+    /// the benchmarks).
+    pub fn byte_size(&self) -> u64 {
+        self.len() * self.data_type().width_bytes() as u64
+    }
+
+    /// Append a value; its type must match the column type.
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (&mut self.data, value) {
+            (ColumnData::Int64(v), Value::Int(x)) => v.push(x),
+            (ColumnData::Float64(v), Value::Float(x)) => v.push(x),
+            (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
+            (ColumnData::Timestamp(v), Value::Timestamp(x)) => v.push(x),
+            (ColumnData::FixedStr { width, bytes }, Value::Str(s)) => {
+                let s = s.as_bytes();
+                if s.len() > *width as usize {
+                    return Err(DbTouchError::TypeMismatch {
+                        expected: format!("str{width}"),
+                        found: format!("str of {} bytes", s.len()),
+                    });
+                }
+                let start = bytes.len();
+                bytes.resize(start + *width as usize, 0);
+                bytes[start..start + s.len()].copy_from_slice(s);
+            }
+            (_, v) => {
+                return Err(DbTouchError::TypeMismatch {
+                    expected: self.data_type().name(),
+                    found: v.data_type().name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Read the value at `row`.
+    pub fn get(&self, row: RowId) -> Result<Value> {
+        let i = row.index();
+        let len = self.len();
+        if row.0 >= len {
+            return Err(DbTouchError::RowOutOfBounds { row: row.0, len });
+        }
+        Ok(match &self.data {
+            ColumnData::Int64(v) => Value::Int(v[i]),
+            ColumnData::Float64(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Timestamp(v) => Value::Timestamp(v[i]),
+            ColumnData::FixedStr { width, bytes } => {
+                let w = *width as usize;
+                let slice = &bytes[i * w..(i + 1) * w];
+                let end = slice.iter().position(|&b| b == 0).unwrap_or(w);
+                Value::Str(String::from_utf8_lossy(&slice[..end]).into_owned())
+            }
+        })
+    }
+
+    /// Fast numeric accessor: the value at `row` as `f64`. Errors for
+    /// non-numeric columns or out-of-bounds rows. This is the hot path used by
+    /// running aggregates and interactive summaries.
+    pub fn f64_at(&self, row: RowId) -> Result<f64> {
+        let i = row.index();
+        let len = self.len();
+        if row.0 >= len {
+            return Err(DbTouchError::RowOutOfBounds { row: row.0, len });
+        }
+        match &self.data {
+            ColumnData::Int64(v) => Ok(v[i] as f64),
+            ColumnData::Float64(v) => Ok(v[i]),
+            ColumnData::Timestamp(v) => Ok(v[i] as f64),
+            _ => Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: self.data_type().name(),
+            }),
+        }
+    }
+
+    /// Materialize the values in a row range (clamped to the column length).
+    pub fn slice(&self, range: RowRange) -> Vec<Value> {
+        let range = range.clamp_to(self.len());
+        range.iter().map(|r| self.get(r).expect("clamped")).collect()
+    }
+
+    /// Sum, count, minimum and maximum of the numeric values in `range`
+    /// (clamped). Returns `(count, sum, min, max)`; `min`/`max` are `None` when
+    /// the clamped range is empty. Errors for non-numeric columns.
+    pub fn numeric_range_stats(
+        &self,
+        range: RowRange,
+    ) -> Result<(u64, f64, Option<f64>, Option<f64>)> {
+        if !self.data_type().is_numeric() {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: self.data_type().name(),
+            });
+        }
+        let range = range.clamp_to(self.len());
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut min: Option<f64> = None;
+        let mut max: Option<f64> = None;
+        // Iterate over the typed storage directly to avoid per-row enum overhead.
+        match &self.data {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
+                for &x in &v[range.as_usize_range()] {
+                    let x = x as f64;
+                    count += 1;
+                    sum += x;
+                    min = Some(min.map_or(x, |m| m.min(x)));
+                    max = Some(max.map_or(x, |m| m.max(x)));
+                }
+            }
+            ColumnData::Float64(v) => {
+                for &x in &v[range.as_usize_range()] {
+                    count += 1;
+                    sum += x;
+                    min = Some(min.map_or(x, |m| m.min(x)));
+                    max = Some(max.map_or(x, |m| m.max(x)));
+                }
+            }
+            _ => unreachable!("checked numeric above"),
+        }
+        Ok((count, sum, min, max))
+    }
+
+    /// Build a new column containing every `step`-th row starting at row 0.
+    /// This is the primitive used to build the sample hierarchy. A `step` of 0
+    /// is treated as 1.
+    pub fn strided_sample(&self, step: u64) -> Column {
+        let step = step.max(1) as usize;
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(v.iter().step_by(step).copied().collect()),
+            ColumnData::Float64(v) => {
+                ColumnData::Float64(v.iter().step_by(step).copied().collect())
+            }
+            ColumnData::Bool(v) => ColumnData::Bool(v.iter().step_by(step).copied().collect()),
+            ColumnData::Timestamp(v) => {
+                ColumnData::Timestamp(v.iter().step_by(step).copied().collect())
+            }
+            ColumnData::FixedStr { width, bytes } => {
+                let w = *width as usize;
+                let n = if w == 0 { 0 } else { bytes.len() / w };
+                let mut out = Vec::with_capacity((n / step + 1) * w);
+                let mut i = 0;
+                while i < n {
+                    out.extend_from_slice(&bytes[i * w..(i + 1) * w]);
+                    i += step;
+                }
+                ColumnData::FixedStr {
+                    width: *width,
+                    bytes: out,
+                }
+            }
+        };
+        Column {
+            name: self.name.clone(),
+            data,
+        }
+    }
+
+    /// Build a new column restricted to the rows of `range` (clamped).
+    pub fn project_range(&self, range: RowRange) -> Column {
+        let range = range.clamp_to(self.len());
+        let r = range.as_usize_range();
+        let data = match &self.data {
+            ColumnData::Int64(v) => ColumnData::Int64(v[r].to_vec()),
+            ColumnData::Float64(v) => ColumnData::Float64(v[r].to_vec()),
+            ColumnData::Bool(v) => ColumnData::Bool(v[r].to_vec()),
+            ColumnData::Timestamp(v) => ColumnData::Timestamp(v[r].to_vec()),
+            ColumnData::FixedStr { width, bytes } => {
+                let w = *width as usize;
+                ColumnData::FixedStr {
+                    width: *width,
+                    bytes: bytes[r.start * w..r.end * w].to_vec(),
+                }
+            }
+        };
+        Column {
+            name: self.name.clone(),
+            data,
+        }
+    }
+
+    /// Iterate over all values (allocates per string row only).
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(RowId(i)).expect("in bounds"))
+    }
+
+    /// Direct access to `i64` data when the column is an integer column; used by
+    /// hot paths in the benchmark workloads.
+    pub fn as_i64_slice(&self) -> Option<&[i64]> {
+        match &self.data {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Direct access to `f64` data when the column is a float column.
+    pub fn as_f64_slice(&self) -> Option<&[f64]> {
+        match &self.data {
+            ColumnData::Float64(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col() -> Column {
+        Column::from_i64("c", (0..10).collect())
+    }
+
+    #[test]
+    fn construction_and_metadata() {
+        let c = int_col();
+        assert_eq!(c.name(), "c");
+        assert_eq!(c.len(), 10);
+        assert!(!c.is_empty());
+        assert_eq!(c.data_type(), DataType::Int64);
+        assert_eq!(c.byte_size(), 80);
+    }
+
+    #[test]
+    fn get_in_and_out_of_bounds() {
+        let c = int_col();
+        assert_eq!(c.get(RowId(3)).unwrap(), Value::Int(3));
+        assert!(matches!(
+            c.get(RowId(10)),
+            Err(DbTouchError::RowOutOfBounds { row: 10, len: 10 })
+        ));
+    }
+
+    #[test]
+    fn f64_at_fast_path() {
+        let c = int_col();
+        assert_eq!(c.f64_at(RowId(7)).unwrap(), 7.0);
+        let s = Column::from_strings("s", 4, &["a", "b"]).unwrap();
+        assert!(s.f64_at(RowId(0)).is_err());
+        assert!(c.f64_at(RowId(99)).is_err());
+    }
+
+    #[test]
+    fn push_type_checked() {
+        let mut c = Column::empty("x", DataType::Int64);
+        c.push(Value::Int(5)).unwrap();
+        assert!(c.push(Value::Float(1.0)).is_err());
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn string_column_round_trip() {
+        let c = Column::from_strings("names", 8, &["ann", "bob", "charlie"]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.get(RowId(0)).unwrap(), Value::Str("ann".into()));
+        assert_eq!(c.get(RowId(2)).unwrap(), Value::Str("charlie".into()));
+        assert_eq!(c.data_type(), DataType::FixedStr(8));
+    }
+
+    #[test]
+    fn string_too_wide_rejected() {
+        assert!(Column::from_strings("names", 2, &["abc"]).is_err());
+        let mut c = Column::empty("n", DataType::FixedStr(2));
+        assert!(c.push(Value::Str("abc".into())).is_err());
+    }
+
+    #[test]
+    fn from_values_dynamic() {
+        let vals = vec![Value::Float(1.0), Value::Float(2.5)];
+        let c = Column::from_values("f", DataType::Float64, &vals).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(RowId(1)).unwrap(), Value::Float(2.5));
+        assert!(Column::from_values("f", DataType::Int64, &vals).is_err());
+    }
+
+    #[test]
+    fn slice_clamps() {
+        let c = int_col();
+        let vals = c.slice(RowRange::new(8, 20));
+        assert_eq!(vals, vec![Value::Int(8), Value::Int(9)]);
+        assert!(c.slice(RowRange::new(20, 30)).is_empty());
+    }
+
+    #[test]
+    fn numeric_range_stats_basic() {
+        let c = int_col();
+        let (count, sum, min, max) = c.numeric_range_stats(RowRange::new(2, 5)).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(sum, 2.0 + 3.0 + 4.0);
+        assert_eq!(min, Some(2.0));
+        assert_eq!(max, Some(4.0));
+    }
+
+    #[test]
+    fn numeric_range_stats_empty_and_nonnumeric() {
+        let c = int_col();
+        let (count, sum, min, max) = c.numeric_range_stats(RowRange::new(10, 20)).unwrap();
+        assert_eq!((count, sum, min, max), (0, 0.0, None, None));
+        let s = Column::from_strings("s", 4, &["a"]).unwrap();
+        assert!(s.numeric_range_stats(RowRange::new(0, 1)).is_err());
+    }
+
+    #[test]
+    fn strided_sample_every_other_row() {
+        let c = int_col();
+        let s = c.strided_sample(2);
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.get(RowId(2)).unwrap(), Value::Int(4));
+        // step 0 behaves as step 1
+        assert_eq!(c.strided_sample(0).len(), 10);
+    }
+
+    #[test]
+    fn strided_sample_strings() {
+        let c = Column::from_strings("s", 4, &["a", "b", "c", "d", "e"]).unwrap();
+        let s = c.strided_sample(2);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.get(RowId(1)).unwrap(), Value::Str("c".into()));
+    }
+
+    #[test]
+    fn project_range_copies_rows() {
+        let c = int_col();
+        let p = c.project_range(RowRange::new(3, 6));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(RowId(0)).unwrap(), Value::Int(3));
+        let s = Column::from_strings("s", 4, &["a", "b", "c"]).unwrap();
+        let sp = s.project_range(RowRange::new(1, 3));
+        assert_eq!(sp.get(RowId(0)).unwrap(), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn iter_yields_everything() {
+        let c = int_col();
+        let total: i64 = c.iter().map(|v| v.as_i64().unwrap()).sum();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn typed_slice_accessors() {
+        let c = int_col();
+        assert_eq!(c.as_i64_slice().unwrap().len(), 10);
+        assert!(c.as_f64_slice().is_none());
+        let f = Column::from_f64("f", vec![1.0, 2.0]);
+        assert!(f.as_f64_slice().is_some());
+    }
+
+    #[test]
+    fn rename() {
+        let mut c = int_col();
+        c.set_name("renamed");
+        assert_eq!(c.name(), "renamed");
+    }
+
+    #[test]
+    fn empty_string_column_len() {
+        let c = Column::empty("s", DataType::FixedStr(0));
+        assert_eq!(c.len(), 0);
+        assert!(c.is_empty());
+    }
+}

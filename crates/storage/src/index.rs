@@ -1,0 +1,183 @@
+//! Zone-map indexing per sample level.
+//!
+//! Section 2.6 ("Indexing"): "When querying an indexed column or sets of
+//! columns, then the slide gesture becomes the equivalent of an index scan.
+//! Having a hierarchy of samples directly affects indexing decisions; for
+//! example, dbTouch can maintain a separate index for each sample level."
+//!
+//! A [`ZoneMapIndex`] partitions a column into fixed-size blocks and keeps the
+//! minimum and maximum value of each block. Selection predicates can then skip
+//! blocks whose `[min, max]` interval cannot contain matching rows, which is
+//! what turns a slide over an indexed column into an index scan: touches that
+//! land in skippable blocks are answered without reading the block at all.
+
+use crate::column::Column;
+use dbtouch_types::{DbTouchError, Result, RowRange};
+use serde::{Deserialize, Serialize};
+
+/// Per-block minimum/maximum index over a numeric column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneMapIndex {
+    block_rows: u64,
+    column_len: u64,
+    /// `(min, max)` per block, in block order.
+    zones: Vec<(f64, f64)>,
+}
+
+impl ZoneMapIndex {
+    /// Build a zone map with `block_rows` rows per block over a numeric column.
+    pub fn build(column: &Column, block_rows: u64) -> Result<ZoneMapIndex> {
+        if !column.data_type().is_numeric() {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: column.data_type().name(),
+            });
+        }
+        let block_rows = block_rows.max(1);
+        let len = column.len();
+        let block_count = len.div_ceil(block_rows);
+        let mut zones = Vec::with_capacity(block_count as usize);
+        for b in 0..block_count {
+            let range = RowRange::new(b * block_rows, ((b + 1) * block_rows).min(len));
+            let (_, _, min, max) = column.numeric_range_stats(range)?;
+            // Blocks are never empty because block_count is derived from len.
+            zones.push((min.unwrap_or(f64::NAN), max.unwrap_or(f64::NAN)));
+        }
+        Ok(ZoneMapIndex {
+            block_rows,
+            column_len: len,
+            zones,
+        })
+    }
+
+    /// Rows per block.
+    pub fn block_rows(&self) -> u64 {
+        self.block_rows
+    }
+
+    /// Number of blocks.
+    pub fn block_count(&self) -> usize {
+        self.zones.len()
+    }
+
+    /// The row range covered by block `b`.
+    pub fn block_range(&self, b: usize) -> RowRange {
+        let start = b as u64 * self.block_rows;
+        RowRange::new(start, (start + self.block_rows).min(self.column_len))
+    }
+
+    /// `(min, max)` of block `b`.
+    pub fn block_bounds(&self, b: usize) -> Option<(f64, f64)> {
+        self.zones.get(b).copied()
+    }
+
+    /// True if block `b` might contain a value in `[lo, hi]`.
+    pub fn block_may_match(&self, b: usize, lo: f64, hi: f64) -> bool {
+        match self.zones.get(b) {
+            Some(&(bmin, bmax)) => bmax >= lo && bmin <= hi,
+            None => false,
+        }
+    }
+
+    /// True if the block containing `row` might contain a value in `[lo, hi]`.
+    /// Rows beyond the column are reported as non-matching.
+    pub fn row_block_may_match(&self, row: u64, lo: f64, hi: f64) -> bool {
+        if row >= self.column_len {
+            return false;
+        }
+        self.block_may_match((row / self.block_rows) as usize, lo, hi)
+    }
+
+    /// The row ranges of all blocks that may contain values in `[lo, hi]`.
+    pub fn candidate_ranges(&self, lo: f64, hi: f64) -> Vec<RowRange> {
+        (0..self.block_count())
+            .filter(|&b| self.block_may_match(b, lo, hi))
+            .map(|b| self.block_range(b))
+            .collect()
+    }
+
+    /// Fraction of blocks skipped for a `[lo, hi]` predicate.
+    pub fn selectivity(&self, lo: f64, hi: f64) -> f64 {
+        if self.zones.is_empty() {
+            return 0.0;
+        }
+        let matching = (0..self.block_count())
+            .filter(|&b| self.block_may_match(b, lo, hi))
+            .count();
+        1.0 - matching as f64 / self.block_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_column() -> Column {
+        Column::from_i64("c", (0..100).collect())
+    }
+
+    #[test]
+    fn build_and_block_geometry() {
+        let idx = ZoneMapIndex::build(&sorted_column(), 10).unwrap();
+        assert_eq!(idx.block_count(), 10);
+        assert_eq!(idx.block_rows(), 10);
+        assert_eq!(idx.block_range(0), RowRange::new(0, 10));
+        assert_eq!(idx.block_range(9), RowRange::new(90, 100));
+        assert_eq!(idx.block_bounds(3), Some((30.0, 39.0)));
+        assert_eq!(idx.block_bounds(10), None);
+    }
+
+    #[test]
+    fn uneven_last_block() {
+        let c = Column::from_i64("c", (0..25).collect());
+        let idx = ZoneMapIndex::build(&c, 10).unwrap();
+        assert_eq!(idx.block_count(), 3);
+        assert_eq!(idx.block_range(2), RowRange::new(20, 25));
+        assert_eq!(idx.block_bounds(2), Some((20.0, 24.0)));
+    }
+
+    #[test]
+    fn block_matching() {
+        let idx = ZoneMapIndex::build(&sorted_column(), 10).unwrap();
+        assert!(idx.block_may_match(2, 25.0, 27.0));
+        assert!(!idx.block_may_match(2, 35.0, 40.0));
+        assert!(idx.row_block_may_match(22, 25.0, 27.0));
+        assert!(!idx.row_block_may_match(55, 25.0, 27.0));
+        assert!(!idx.row_block_may_match(1000, 0.0, 100.0));
+    }
+
+    #[test]
+    fn candidate_ranges_and_selectivity() {
+        let idx = ZoneMapIndex::build(&sorted_column(), 10).unwrap();
+        let ranges = idx.candidate_ranges(15.0, 34.0);
+        assert_eq!(
+            ranges,
+            vec![RowRange::new(10, 20), RowRange::new(20, 30), RowRange::new(30, 40)]
+        );
+        assert!((idx.selectivity(15.0, 34.0) - 0.7).abs() < 1e-12);
+        assert_eq!(idx.selectivity(-100.0, 1000.0), 0.0);
+        assert_eq!(idx.selectivity(1000.0, 2000.0), 1.0);
+    }
+
+    #[test]
+    fn non_numeric_rejected() {
+        let c = Column::from_strings("s", 4, &["a", "b"]).unwrap();
+        assert!(ZoneMapIndex::build(&c, 10).is_err());
+    }
+
+    #[test]
+    fn empty_column_index() {
+        let c = Column::from_i64("c", vec![]);
+        let idx = ZoneMapIndex::build(&c, 10).unwrap();
+        assert_eq!(idx.block_count(), 0);
+        assert!(idx.candidate_ranges(0.0, 1.0).is_empty());
+        assert_eq!(idx.selectivity(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn zero_block_rows_clamped() {
+        let idx = ZoneMapIndex::build(&sorted_column(), 0).unwrap();
+        assert_eq!(idx.block_rows(), 1);
+        assert_eq!(idx.block_count(), 100);
+    }
+}

@@ -1,0 +1,70 @@
+//! Physical layout descriptors.
+//!
+//! dbTouch "does not pose any particular restrictions on the underlying storage
+//! model. It can be row-store, column-store or a hybrid format" (Section 2.6).
+//! The rotate gesture flips a data object between a row-oriented and a
+//! column-oriented physical layout (Section 2.8).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physical layout of a matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Layout {
+    /// Each attribute is stored in its own dense fixed-width array
+    /// (column-store). The default for standalone column objects.
+    #[default]
+    ColumnMajor,
+    /// All attributes of a tuple are stored contiguously, tuple after tuple
+    /// (row-store). Favoured for full-tuple access patterns.
+    RowMajor,
+}
+
+impl Layout {
+    /// The layout produced by applying the rotate gesture.
+    pub fn rotated(self) -> Layout {
+        match self {
+            Layout::ColumnMajor => Layout::RowMajor,
+            Layout::RowMajor => Layout::ColumnMajor,
+        }
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Layout::ColumnMajor => "column-major",
+            Layout::RowMajor => "row-major",
+        }
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rotation_is_involutive() {
+        assert_eq!(Layout::ColumnMajor.rotated(), Layout::RowMajor);
+        assert_eq!(Layout::RowMajor.rotated(), Layout::ColumnMajor);
+        for l in [Layout::ColumnMajor, Layout::RowMajor] {
+            assert_eq!(l.rotated().rotated(), l);
+        }
+    }
+
+    #[test]
+    fn default_is_column_major() {
+        assert_eq!(Layout::default(), Layout::ColumnMajor);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Layout::ColumnMajor.to_string(), "column-major");
+        assert_eq!(Layout::RowMajor.to_string(), "row-major");
+    }
+}

@@ -1,0 +1,46 @@
+//! # dbtouch-storage
+//!
+//! The storage substrate of the dbTouch reproduction.
+//!
+//! The paper (Section 2.6) prescribes a storage design tailored to touch-driven
+//! exploration:
+//!
+//! * **Fixed-width dense arrays / matrixes** — every attribute is stored with a
+//!   fixed width so that mapping a touch location to a tuple identifier (and the
+//!   identifier to a byte offset) is pure arithmetic. See [`column`] and
+//!   [`matrix`].
+//! * **Row-store, column-store and hybrid layouts** with **incremental
+//!   rotation** between them, driven by the rotate gesture (Section 2.8). See
+//!   [`layout`] and [`rotation`].
+//! * **Sample-based storage** — a hierarchy of progressively coarser samples of
+//!   each column so that coarse-granularity slides read the matched sample level
+//!   instead of the full base data. See [`sample`].
+//! * **Caching** of touched regions and **prefetching** of the regions the
+//!   gesture is extrapolated to reach next. See [`cache`] and [`prefetch`].
+//! * **Per-sample-level indexing** (zone maps) so that a slide over an indexed
+//!   column becomes the equivalent of an index scan. See [`index`].
+//!
+//! The adaptive *policies* that decide when to use which mechanism live in
+//! `dbtouch-core`; this crate provides the mechanisms.
+
+pub mod cache;
+pub mod column;
+pub mod index;
+pub mod layout;
+pub mod matrix;
+pub mod prefetch;
+pub mod rotation;
+pub mod sample;
+pub mod stats;
+pub mod table;
+
+pub use cache::{CacheStats, RegionCache};
+pub use column::Column;
+pub use index::ZoneMapIndex;
+pub use layout::Layout;
+pub use matrix::Matrix;
+pub use prefetch::{PrefetchStats, Prefetcher};
+pub use rotation::RotationTask;
+pub use sample::SampleHierarchy;
+pub use stats::ColumnStats;
+pub use table::Table;

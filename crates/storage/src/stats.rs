@@ -1,0 +1,125 @@
+//! Column statistics.
+//!
+//! Lightweight summaries used by the adaptive optimizer (Section 2.9:
+//! "for different parts of the data in the same table, different properties may
+//! apply") and by the exploration scenarios to verify that a discovered pattern
+//! is real.
+
+use crate::column::Column;
+use dbtouch_types::{Result, RowRange};
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of (a range of) a numeric column.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Number of rows summarized.
+    pub count: u64,
+    /// Sum of values.
+    pub sum: f64,
+    /// Minimum value (`None` when `count == 0`).
+    pub min: Option<f64>,
+    /// Maximum value (`None` when `count == 0`).
+    pub max: Option<f64>,
+    /// Mean value (`None` when `count == 0`).
+    pub mean: Option<f64>,
+    /// Population standard deviation (`None` when `count == 0`).
+    pub std_dev: Option<f64>,
+}
+
+impl ColumnStats {
+    /// Compute statistics over a full numeric column.
+    pub fn of_column(column: &Column) -> Result<ColumnStats> {
+        Self::of_range(column, RowRange::new(0, column.len()))
+    }
+
+    /// Compute statistics over a row range of a numeric column (clamped).
+    pub fn of_range(column: &Column, range: RowRange) -> Result<ColumnStats> {
+        let range = range.clamp_to(column.len());
+        let (count, sum, min, max) = column.numeric_range_stats(range)?;
+        if count == 0 {
+            return Ok(ColumnStats {
+                count: 0,
+                sum: 0.0,
+                min: None,
+                max: None,
+                mean: None,
+                std_dev: None,
+            });
+        }
+        let mean = sum / count as f64;
+        // Second pass for the variance; ranges here are small (summary windows)
+        // or executed offline (scenario validation), so two passes are fine.
+        let mut sq_sum = 0.0;
+        for row in range.iter() {
+            let x = column.f64_at(row)?;
+            sq_sum += (x - mean) * (x - mean);
+        }
+        Ok(ColumnStats {
+            count,
+            sum,
+            min,
+            max,
+            mean: Some(mean),
+            std_dev: Some((sq_sum / count as f64).sqrt()),
+        })
+    }
+
+    /// The spread `max - min`, or 0 when empty.
+    pub fn spread(&self) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => hi - lo,
+            _ => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_simple_column() {
+        let c = Column::from_i64("c", vec![1, 2, 3, 4, 5]);
+        let s = ColumnStats::of_column(&c).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 15.0);
+        assert_eq!(s.min, Some(1.0));
+        assert_eq!(s.max, Some(5.0));
+        assert_eq!(s.mean, Some(3.0));
+        assert!((s.std_dev.unwrap() - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(s.spread(), 4.0);
+    }
+
+    #[test]
+    fn stats_of_range_clamped() {
+        let c = Column::from_i64("c", (0..10).collect());
+        let s = ColumnStats::of_range(&c, RowRange::new(5, 100)).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.min, Some(5.0));
+        assert_eq!(s.max, Some(9.0));
+    }
+
+    #[test]
+    fn stats_of_empty_range() {
+        let c = Column::from_i64("c", (0..10).collect());
+        let s = ColumnStats::of_range(&c, RowRange::new(20, 30)).unwrap();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, None);
+        assert_eq!(s.std_dev, None);
+        assert_eq!(s.spread(), 0.0);
+    }
+
+    #[test]
+    fn stats_reject_non_numeric() {
+        let c = Column::from_strings("s", 4, &["a", "b"]).unwrap();
+        assert!(ColumnStats::of_column(&c).is_err());
+    }
+
+    #[test]
+    fn constant_column_zero_stddev() {
+        let c = Column::from_f64("c", vec![4.0; 8]);
+        let s = ColumnStats::of_column(&c).unwrap();
+        assert_eq!(s.std_dev, Some(0.0));
+        assert_eq!(s.mean, Some(4.0));
+    }
+}

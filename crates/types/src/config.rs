@@ -1,0 +1,244 @@
+//! Kernel configuration.
+//!
+//! The paper leaves most policy parameters open ("parameter k can be defined by
+//! the users according to their exploration requirements as well as by system
+//! parameters"). `KernelConfig` gathers every tunable in one place so the figure
+//! harnesses can sweep them and the examples can show sensible defaults.
+
+use crate::error::{DbTouchError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a dbTouch kernel instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Touch sampling rate of the (simulated) touch OS, in events per second.
+    /// iOS-class devices register roughly 60 touch samples per second, which is
+    /// the default. Figure 4(a) depends directly on this rate: a slower gesture
+    /// lasts longer and therefore registers more touch samples.
+    pub touch_sample_rate_hz: f64,
+
+    /// Minimum on-screen distance between two successive touch locations that
+    /// the kernel treats as distinct, in centimetres. This models the physical
+    /// limit the paper mentions: "for each possible size of a visual object,
+    /// there is a limited amount of touch locations which can be registered".
+    pub touch_resolution_cm: f64,
+
+    /// Default half-window `k` for interactive summaries (Section 2.7): each
+    /// touch aggregates the tuple-identifier range `[id - k, id + k]`.
+    pub summary_half_window: u64,
+
+    /// Number of sample levels to build per column (level 0 is base data, level
+    /// `i` keeps every 2^i-th row). Section 2.6 "Sample-based Storage".
+    pub sample_levels: u8,
+
+    /// Capacity of the region cache in rows (across all cached regions).
+    pub cache_capacity_rows: u64,
+
+    /// How many rows ahead of the gesture the prefetcher fetches when it
+    /// extrapolates the gesture movement (Section 2.6 "Prefetching Data").
+    pub prefetch_horizon_rows: u64,
+
+    /// Maximum time the kernel may spend answering one touch, in microseconds.
+    /// Section 4: "There should always be a maximum possible wait time for a
+    /// single touch regardless of the query and the data sizes."
+    pub touch_budget_micros: u64,
+
+    /// Milliseconds a result value stays fully visible before it starts fading.
+    pub result_fade_after_ms: u64,
+
+    /// Milliseconds a fading result takes to disappear completely.
+    pub result_fade_duration_ms: u64,
+
+    /// Rows converted per step when a layout rotation is performed
+    /// incrementally (Section 2.8).
+    pub rotation_chunk_rows: u64,
+
+    /// When `true`, the kernel picks the sample level adaptively from the
+    /// gesture speed and object size; when `false` it always reads base data.
+    pub adaptive_sampling: bool,
+
+    /// When `true`, the prefetcher runs during pauses/slowdowns.
+    pub prefetch_enabled: bool,
+
+    /// When `true`, touched regions are cached for re-examination.
+    pub cache_enabled: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            touch_sample_rate_hz: 60.0,
+            touch_resolution_cm: 0.05,
+            summary_half_window: 5,
+            sample_levels: 8,
+            cache_capacity_rows: 1 << 20,
+            prefetch_horizon_rows: 4096,
+            touch_budget_micros: 2_000,
+            result_fade_after_ms: 400,
+            result_fade_duration_ms: 800,
+            rotation_chunk_rows: 65_536,
+            adaptive_sampling: true,
+            prefetch_enabled: true,
+            cache_enabled: true,
+        }
+    }
+}
+
+impl KernelConfig {
+    /// Validate the configuration, returning a descriptive error for the first
+    /// out-of-range field found.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.touch_sample_rate_hz.is_finite() && self.touch_sample_rate_hz > 0.0) {
+            return Err(DbTouchError::InvalidConfig(
+                "touch_sample_rate_hz must be finite and > 0".into(),
+            ));
+        }
+        if !(self.touch_resolution_cm.is_finite() && self.touch_resolution_cm >= 0.0) {
+            return Err(DbTouchError::InvalidConfig(
+                "touch_resolution_cm must be finite and >= 0".into(),
+            ));
+        }
+        if self.sample_levels == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "sample_levels must be at least 1 (level 0 is base data)".into(),
+            ));
+        }
+        if self.rotation_chunk_rows == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "rotation_chunk_rows must be > 0".into(),
+            ));
+        }
+        if self.touch_budget_micros == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "touch_budget_micros must be > 0".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Configuration used by the paper's Figure 4 experiments: interactive
+    /// summaries averaging 10 entries per summary over a 10^7-integer column.
+    /// The paper uses "10 data entries for each summary", which we model as a
+    /// half-window of 5 (the touched row plus ~5 on each side, clamped).
+    pub fn figure4() -> Self {
+        KernelConfig {
+            summary_half_window: 5,
+            ..KernelConfig::default()
+        }
+    }
+
+    /// A configuration with every adaptive optimization disabled; used by the
+    /// ablation benchmarks as the "naive" kernel.
+    pub fn naive() -> Self {
+        KernelConfig {
+            adaptive_sampling: false,
+            prefetch_enabled: false,
+            cache_enabled: false,
+            ..KernelConfig::default()
+        }
+    }
+
+    /// Builder-style setter for the summary half-window.
+    pub fn with_summary_half_window(mut self, k: u64) -> Self {
+        self.summary_half_window = k;
+        self
+    }
+
+    /// Builder-style setter for the touch sampling rate.
+    pub fn with_touch_sample_rate(mut self, hz: f64) -> Self {
+        self.touch_sample_rate_hz = hz;
+        self
+    }
+
+    /// Builder-style setter for the number of sample levels.
+    pub fn with_sample_levels(mut self, levels: u8) -> Self {
+        self.sample_levels = levels;
+        self
+    }
+
+    /// Builder-style toggles for the adaptive features.
+    pub fn with_adaptive_sampling(mut self, on: bool) -> Self {
+        self.adaptive_sampling = on;
+        self
+    }
+
+    /// Builder-style toggle for prefetching.
+    pub fn with_prefetch(mut self, on: bool) -> Self {
+        self.prefetch_enabled = on;
+        self
+    }
+
+    /// Builder-style toggle for the region cache.
+    pub fn with_cache(mut self, on: bool) -> Self {
+        self.cache_enabled = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(KernelConfig::default().validate().is_ok());
+        assert!(KernelConfig::figure4().validate().is_ok());
+        assert!(KernelConfig::naive().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_sample_rate_rejected() {
+        let mut c = KernelConfig::default();
+        c.touch_sample_rate_hz = 0.0;
+        assert!(c.validate().is_err());
+        c.touch_sample_rate_hz = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_sample_levels_rejected() {
+        let c = KernelConfig::default().with_sample_levels(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_rotation_chunk_rejected() {
+        let mut c = KernelConfig::default();
+        c.rotation_chunk_rows = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_budget_rejected() {
+        let mut c = KernelConfig::default();
+        c.touch_budget_micros = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn naive_disables_adaptivity() {
+        let c = KernelConfig::naive();
+        assert!(!c.adaptive_sampling);
+        assert!(!c.prefetch_enabled);
+        assert!(!c.cache_enabled);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = KernelConfig::default()
+            .with_summary_half_window(9)
+            .with_touch_sample_rate(120.0)
+            .with_adaptive_sampling(false)
+            .with_prefetch(false)
+            .with_cache(false);
+        assert_eq!(c.summary_half_window, 9);
+        assert_eq!(c.touch_sample_rate_hz, 120.0);
+        assert!(!c.adaptive_sampling && !c.prefetch_enabled && !c.cache_enabled);
+    }
+
+    #[test]
+    fn figure4_uses_ten_entry_summaries() {
+        // half-window 5 -> 11 rows max per summary, ~10 as in the paper's setup
+        assert_eq!(KernelConfig::figure4().summary_half_window, 5);
+    }
+}

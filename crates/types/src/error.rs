@@ -1,0 +1,117 @@
+//! Error type shared by every dbTouch crate.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, DbTouchError>;
+
+/// Errors produced by the dbTouch kernel and its substrates.
+///
+/// The kernel is interactive: most conditions that a batch database would treat
+/// as query failures (e.g. touching outside an object) are simply ignored by the
+/// front-end. The error type therefore focuses on genuine programming or
+/// catalog-level mistakes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbTouchError {
+    /// A column, table, or data object name was not found in the catalog.
+    NotFound(String),
+    /// An object with the same name already exists.
+    AlreadyExists(String),
+    /// The requested operation does not match the data type of the target
+    /// (e.g. numeric aggregation over a string column).
+    TypeMismatch { expected: String, found: String },
+    /// A tuple identifier lies outside the bounds of its column or table.
+    RowOutOfBounds { row: u64, len: u64 },
+    /// Columns of mismatched length were combined into one table/matrix.
+    LengthMismatch { expected: u64, found: u64 },
+    /// A touch location or view size was invalid (negative, NaN, zero-sized view).
+    InvalidGeometry(String),
+    /// A gesture trace or session was malformed (e.g. touches out of time order).
+    InvalidGesture(String),
+    /// The requested sample level does not exist in the sample hierarchy.
+    InvalidSampleLevel { level: u8, max: u8 },
+    /// A configuration value was out of its accepted range.
+    InvalidConfig(String),
+    /// The query/session pipeline was used incorrectly (e.g. join without a
+    /// second input bound).
+    InvalidPlan(String),
+    /// Parsing a baseline query failed.
+    ParseError(String),
+    /// An internal invariant was violated; indicates a bug in this library.
+    Internal(String),
+}
+
+impl fmt::Display for DbTouchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbTouchError::NotFound(name) => write!(f, "object not found: {name}"),
+            DbTouchError::AlreadyExists(name) => write!(f, "object already exists: {name}"),
+            DbTouchError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DbTouchError::RowOutOfBounds { row, len } => {
+                write!(f, "row {row} out of bounds for length {len}")
+            }
+            DbTouchError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            DbTouchError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            DbTouchError::InvalidGesture(msg) => write!(f, "invalid gesture: {msg}"),
+            DbTouchError::InvalidSampleLevel { level, max } => {
+                write!(f, "invalid sample level {level}, hierarchy has {max} levels")
+            }
+            DbTouchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            DbTouchError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            DbTouchError::ParseError(msg) => write!(f, "parse error: {msg}"),
+            DbTouchError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbTouchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_not_found() {
+        let e = DbTouchError::NotFound("lineitem".into());
+        assert_eq!(e.to_string(), "object not found: lineitem");
+    }
+
+    #[test]
+    fn display_row_out_of_bounds() {
+        let e = DbTouchError::RowOutOfBounds { row: 10, len: 5 };
+        assert!(e.to_string().contains("row 10"));
+        assert!(e.to_string().contains("length 5"));
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = DbTouchError::TypeMismatch {
+            expected: "Int64".into(),
+            found: "Float64".into(),
+        };
+        assert!(e.to_string().contains("Int64"));
+        assert!(e.to_string().contains("Float64"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&DbTouchError::Internal("x".into()));
+    }
+
+    #[test]
+    fn errors_compare_equal() {
+        assert_eq!(
+            DbTouchError::NotFound("a".into()),
+            DbTouchError::NotFound("a".into())
+        );
+        assert_ne!(
+            DbTouchError::NotFound("a".into()),
+            DbTouchError::NotFound("b".into())
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # dbtouch-types
+//!
+//! Shared foundation types for the dbTouch reproduction: the value and data-type
+//! model used by the storage engine, tuple identifiers, screen geometry expressed
+//! in centimetres (the paper describes data objects by their physical size on the
+//! touch screen), timestamps, configuration, and the common error type.
+//!
+//! Everything in this crate is deliberately small and dependency-free so that the
+//! substrates (`dbtouch-storage`, `dbtouch-gesture`) and the kernel
+//! (`dbtouch-core`) can share vocabulary without cyclic dependencies.
+
+pub mod config;
+pub mod datatype;
+pub mod error;
+pub mod geometry;
+pub mod rowid;
+pub mod time;
+pub mod value;
+
+pub use config::KernelConfig;
+pub use datatype::DataType;
+pub use error::{DbTouchError, Result};
+pub use geometry::{Centimeters, Orientation, PointCm, Rect, SizeCm};
+pub use rowid::{RowId, RowRange};
+pub use time::{Millis, Timestamp};
+pub use value::Value;

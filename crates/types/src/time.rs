@@ -1,0 +1,133 @@
+//! Timestamps and durations for gesture traces and result streams.
+//!
+//! Touch events carry timestamps relative to the start of an exploration
+//! session. Using plain milliseconds keeps gesture traces serializable,
+//! deterministic and independent of wall-clock time, which matters for the
+//! reproducible figure harnesses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+use std::time::Duration;
+
+/// A duration in milliseconds.
+pub type Millis = u64;
+
+/// A timestamp in milliseconds since the start of the session.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Session start.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Build a timestamp from milliseconds.
+    pub fn from_millis(ms: u64) -> Timestamp {
+        Timestamp(ms)
+    }
+
+    /// Build a timestamp from whole seconds.
+    pub fn from_secs(secs: u64) -> Timestamp {
+        Timestamp(secs * 1000)
+    }
+
+    /// Build a timestamp from fractional seconds (negative values clamp to 0).
+    pub fn from_secs_f64(secs: f64) -> Timestamp {
+        if secs.is_finite() && secs > 0.0 {
+            Timestamp((secs * 1000.0).round() as u64)
+        } else {
+            Timestamp(0)
+        }
+    }
+
+    /// Milliseconds since session start.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since session start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Elapsed time since an earlier timestamp; saturates at zero if `earlier`
+    /// is actually later.
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_millis(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two timestamps.
+    pub fn max(self, other: Timestamp) -> Timestamp {
+        Timestamp(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.as_millis() as u64)
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        self.since(rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Timestamp::from_millis(1500).as_millis(), 1500);
+        assert_eq!(Timestamp::from_secs(2).as_millis(), 2000);
+        assert_eq!(Timestamp::from_secs_f64(1.5).as_millis(), 1500);
+        assert_eq!(Timestamp::from_secs_f64(-4.0).as_millis(), 0);
+        assert_eq!(Timestamp::from_secs_f64(f64::NAN).as_millis(), 0);
+    }
+
+    #[test]
+    fn as_secs_round_trip() {
+        let t = Timestamp::from_secs_f64(3.25);
+        assert!((t.as_secs_f64() - 3.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = Timestamp::from_millis(100);
+        let b = Timestamp::from_millis(400);
+        assert_eq!(b.since(a), Duration::from_millis(300));
+        assert_eq!(a.since(b), Duration::ZERO);
+        assert_eq!(b - a, Duration::from_millis(300));
+    }
+
+    #[test]
+    fn add_duration() {
+        let a = Timestamp::from_millis(100);
+        assert_eq!((a + Duration::from_millis(50)).as_millis(), 150);
+    }
+
+    #[test]
+    fn ordering_and_max() {
+        let a = Timestamp::from_millis(100);
+        let b = Timestamp::from_millis(200);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Timestamp::from_millis(42).to_string(), "42ms");
+    }
+}

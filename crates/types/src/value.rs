@@ -1,0 +1,293 @@
+//! The runtime value model.
+//!
+//! A [`Value`] is a single cell as delivered to the user: when a touch is mapped
+//! to a tuple identifier, the kernel reads the underlying fixed-width field and
+//! materializes it as a `Value` that the front-end can display (and fade out).
+
+use crate::datatype::DataType;
+use crate::error::{DbTouchError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single materialized cell value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// Boolean.
+    Bool(bool),
+    /// UTF-8 string (already stripped of fixed-width padding).
+    Str(String),
+    /// Timestamp in milliseconds since an arbitrary epoch.
+    Timestamp(i64),
+}
+
+impl Value {
+    /// The data type this value most naturally belongs to. `FixedStr` width is
+    /// reported as the string's byte length.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Int(_) => DataType::Int64,
+            Value::Float(_) => DataType::Float64,
+            Value::Bool(_) => DataType::Bool,
+            Value::Str(s) => DataType::FixedStr(s.len().min(u16::MAX as usize) as u16),
+            Value::Timestamp(_) => DataType::TimestampMillis,
+        }
+    }
+
+    /// Interpret the value as a double, which is how running aggregates are
+    /// accumulated. Strings and booleans are not numeric.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::Int(v) => Ok(*v as f64),
+            Value::Float(v) => Ok(*v),
+            Value::Timestamp(v) => Ok(*v as f64),
+            other => Err(DbTouchError::TypeMismatch {
+                expected: "numeric".to_string(),
+                found: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// Interpret the value as an integer, truncating floats.
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::Float(v) => Ok(*v as i64),
+            Value::Timestamp(v) => Ok(*v),
+            other => Err(DbTouchError::TypeMismatch {
+                expected: "integer".to_string(),
+                found: other.data_type().name(),
+            }),
+        }
+    }
+
+    /// True if the value is numeric (int, float or timestamp).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Timestamp(_))
+    }
+
+    /// Total ordering used by filters and group-by on mixed numeric values.
+    /// Numeric values compare by their `f64` interpretation; other comparisons
+    /// fall back to type-then-value ordering so that sorting is always defined.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self.as_f64(), other.as_f64()) {
+            (Ok(a), Ok(b)) => a.total_cmp(&b),
+            _ => match (self, other) {
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+                _ => self.type_rank().cmp(&other.type_rank()),
+            },
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Bool(_) => 0,
+            Value::Int(_) => 1,
+            Value::Float(_) => 2,
+            Value::Timestamp(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+
+    /// Encode into a fixed-width byte buffer of exactly `dt.width_bytes()` bytes.
+    /// Used by the storage layer to build dense matrixes.
+    pub fn encode(&self, dt: DataType) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; dt.width_bytes()];
+        match (self, dt) {
+            (Value::Int(v), DataType::Int64) => buf.copy_from_slice(&v.to_le_bytes()),
+            (Value::Timestamp(v), DataType::TimestampMillis) => {
+                buf.copy_from_slice(&v.to_le_bytes())
+            }
+            (Value::Float(v), DataType::Float64) => buf.copy_from_slice(&v.to_le_bytes()),
+            (Value::Bool(v), DataType::Bool) => buf[0] = u8::from(*v),
+            (Value::Str(s), DataType::FixedStr(w)) => {
+                let bytes = s.as_bytes();
+                if bytes.len() > w as usize {
+                    return Err(DbTouchError::TypeMismatch {
+                        expected: format!("str{w}"),
+                        found: format!("str of {} bytes", bytes.len()),
+                    });
+                }
+                buf[..bytes.len()].copy_from_slice(bytes);
+            }
+            (v, dt) => {
+                return Err(DbTouchError::TypeMismatch {
+                    expected: dt.name(),
+                    found: v.data_type().name(),
+                })
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decode a fixed-width byte buffer previously produced by [`Value::encode`].
+    pub fn decode(bytes: &[u8], dt: DataType) -> Result<Value> {
+        if bytes.len() != dt.width_bytes() {
+            return Err(DbTouchError::Internal(format!(
+                "decode: expected {} bytes for {dt}, got {}",
+                dt.width_bytes(),
+                bytes.len()
+            )));
+        }
+        Ok(match dt {
+            DataType::Int64 => Value::Int(i64::from_le_bytes(bytes.try_into().unwrap())),
+            DataType::TimestampMillis => {
+                Value::Timestamp(i64::from_le_bytes(bytes.try_into().unwrap()))
+            }
+            DataType::Float64 => Value::Float(f64::from_le_bytes(bytes.try_into().unwrap())),
+            DataType::Bool => Value::Bool(bytes[0] != 0),
+            DataType::FixedStr(_) => {
+                let end = bytes.iter().position(|&b| b == 0).unwrap_or(bytes.len());
+                Value::Str(String::from_utf8_lossy(&bytes[..end]).into_owned())
+            }
+        })
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Timestamp(v) => write!(f, "@{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn as_f64_numeric() {
+        assert_eq!(Value::Int(4).as_f64().unwrap(), 4.0);
+        assert_eq!(Value::Float(2.5).as_f64().unwrap(), 2.5);
+        assert_eq!(Value::Timestamp(7).as_f64().unwrap(), 7.0);
+        assert!(Value::Str("x".into()).as_f64().is_err());
+        assert!(Value::Bool(true).as_f64().is_err());
+    }
+
+    #[test]
+    fn as_i64_truncates_floats() {
+        assert_eq!(Value::Float(2.9).as_i64().unwrap(), 2);
+        assert_eq!(Value::Int(-3).as_i64().unwrap(), -3);
+        assert!(Value::Bool(false).as_i64().is_err());
+    }
+
+    #[test]
+    fn encode_decode_int_round_trip() {
+        let v = Value::Int(-123456789);
+        let bytes = v.encode(DataType::Int64).unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(Value::decode(&bytes, DataType::Int64).unwrap(), v);
+    }
+
+    #[test]
+    fn encode_decode_float_round_trip() {
+        let v = Value::Float(3.25);
+        let bytes = v.encode(DataType::Float64).unwrap();
+        assert_eq!(Value::decode(&bytes, DataType::Float64).unwrap(), v);
+    }
+
+    #[test]
+    fn encode_decode_str_round_trip_with_padding() {
+        let v = Value::Str("hi".into());
+        let bytes = v.encode(DataType::FixedStr(8)).unwrap();
+        assert_eq!(bytes.len(), 8);
+        assert_eq!(
+            Value::decode(&bytes, DataType::FixedStr(8)).unwrap(),
+            Value::Str("hi".into())
+        );
+    }
+
+    #[test]
+    fn encode_str_too_long_fails() {
+        let v = Value::Str("toolongvalue".into());
+        assert!(v.encode(DataType::FixedStr(4)).is_err());
+    }
+
+    #[test]
+    fn encode_type_mismatch_fails() {
+        assert!(Value::Int(1).encode(DataType::Float64).is_err());
+        assert!(Value::Bool(true).encode(DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn decode_wrong_width_fails() {
+        assert!(Value::decode(&[0u8; 4], DataType::Int64).is_err());
+    }
+
+    #[test]
+    fn total_cmp_mixed_numeric() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.0).total_cmp(&Value::Int(3)),
+            Ordering::Equal
+        );
+        assert_eq!(
+            Value::Str("b".into()).total_cmp(&Value::Str("a".into())),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::Str("abc".into()).to_string(), "abc");
+        assert_eq!(Value::Timestamp(9).to_string(), "@9");
+    }
+
+    #[test]
+    fn from_conversions() {
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from(1.5f64), Value::Float(1.5));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("s"), Value::Str("s".into()));
+    }
+
+    #[test]
+    fn bool_encode_decode() {
+        for b in [true, false] {
+            let v = Value::Bool(b);
+            let bytes = v.encode(DataType::Bool).unwrap();
+            assert_eq!(Value::decode(&bytes, DataType::Bool).unwrap(), v);
+        }
+    }
+}

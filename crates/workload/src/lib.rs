@@ -1,0 +1,32 @@
+//! # dbtouch-workload
+//!
+//! Synthetic data, hidden patterns and simulated explorers for the dbTouch
+//! evaluation.
+//!
+//! The paper motivates dbTouch with two exploration scenarios — an astronomer
+//! browsing parts of the sky and an IT analyst browsing monitoring streams —
+//! and evaluates the prototype's exploration value with a demo contest where a
+//! dbTouch user and a SQL user race to discover hidden data properties
+//! (Appendix A). This crate makes those scenarios executable and repeatable:
+//!
+//! * [`datagen`] — seeded generators for the base signals (uniform, Gaussian,
+//!   Zipf-like, daily-periodic monitoring load).
+//! * [`patterns`] — injectable, ground-truthed anomalies (outlier clusters,
+//!   level shifts, linear trends) that the explorers are asked to find.
+//! * [`scenarios`] — the packaged data sets: the sky survey and the monitoring
+//!   stream, each a column (or table) plus the ground truth of what is hidden
+//!   inside it.
+//! * [`explorer`] — simulated users: a dbTouch explorer that slides, reads
+//!   interactive summaries and zooms into suspicious regions, and a SQL
+//!   explorer that fires aggregate queries at the baseline engine. Both report
+//!   how much data they touched and how close they got to the hidden pattern.
+
+pub mod datagen;
+pub mod explorer;
+pub mod patterns;
+pub mod scenarios;
+
+pub use datagen::DataGenerator;
+pub use explorer::{DbTouchExplorer, DiscoveryReport, SqlExplorer, UnsteeredExplorer};
+pub use patterns::{Pattern, PatternKind};
+pub use scenarios::Scenario;

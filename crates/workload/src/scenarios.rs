@@ -1,0 +1,178 @@
+//! Packaged exploration scenarios.
+//!
+//! Each scenario bundles a generated data set with the ground truth of the
+//! pattern hidden inside it, matching the two motivating use cases of the
+//! paper's introduction (astronomy sky survey, IT monitoring stream) plus the
+//! generic contest data set of Appendix A.
+
+use crate::datagen::DataGenerator;
+use crate::patterns::{Pattern, PatternKind};
+use dbtouch_storage::column::Column;
+use dbtouch_storage::table::Table;
+use dbtouch_types::Result;
+use serde::{Deserialize, Serialize};
+
+/// A generated exploration scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (also used as the table/column name).
+    pub name: String,
+    /// Human-readable description of what an explorer should look for.
+    pub task: String,
+    /// The signal column the pattern is hidden in.
+    pub signal: Vec<f64>,
+    /// Additional context columns (identifiers, timestamps, categories).
+    pub extra_columns: Vec<(String, Vec<i64>)>,
+    /// The hidden patterns (ground truth).
+    pub patterns: Vec<Pattern>,
+}
+
+impl Scenario {
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.signal.len() as u64
+    }
+
+    /// The main pattern's centre as a fraction of the data (the value an
+    /// explorer is trying to locate).
+    pub fn target_fraction(&self) -> f64 {
+        self.patterns
+            .first()
+            .map(|p| p.center_fraction(self.rows()))
+            .unwrap_or(0.5)
+    }
+
+    /// The signal as a storage column named after the scenario.
+    pub fn signal_column(&self) -> Column {
+        Column::from_f64(self.name.clone(), self.signal.clone())
+    }
+
+    /// The full scenario as a table: signal plus extra columns.
+    pub fn table(&self) -> Result<Table> {
+        let mut columns = vec![self.signal_column()];
+        for (name, values) in &self.extra_columns {
+            columns.push(Column::from_i64(name.clone(), values.clone()));
+        }
+        Table::from_columns(format!("{}_table", self.name), columns)
+    }
+
+    /// Astronomy: a sky-brightness scan with one unusually bright region
+    /// (e.g. a transient event) hidden at a seeded random position.
+    pub fn sky_survey(rows: usize, seed: u64) -> Scenario {
+        let mut generator = DataGenerator::new(seed);
+        let mut signal = generator.sky_brightness(rows);
+        let center = 0.15 + 0.7 * (seed % 97) as f64 / 97.0;
+        let pattern = Pattern::outlier_at(rows as u64, center, 0.01, 25.0);
+        pattern.apply(&mut signal);
+        let declination = generator.uniform_ints(rows, -90, 90);
+        Scenario {
+            name: "sky_brightness".to_string(),
+            task: "find the unusually bright sky region".to_string(),
+            signal,
+            extra_columns: vec![("declination".to_string(), declination)],
+            patterns: vec![pattern],
+        }
+    }
+
+    /// IT monitoring: a daily-periodic load signal with a sustained level shift
+    /// (an incident) starting at a seeded random position.
+    pub fn monitoring_stream(rows: usize, seed: u64) -> Scenario {
+        let mut generator = DataGenerator::new(seed ^ 0x5eed);
+        let mut signal = generator.periodic_load(rows, rows / 20 + 1, 100.0, 15.0, 3.0);
+        let start_fraction = 0.2 + 0.6 * (seed % 89) as f64 / 89.0;
+        let start_row = (rows as f64 * start_fraction) as u64;
+        let len = (rows as u64 / 15).max(1);
+        let pattern = Pattern {
+            kind: PatternKind::LevelShift { delta: 60.0 },
+            start_row,
+            len_rows: len,
+        };
+        pattern.apply(&mut signal);
+        let user_ids = generator.zipf(rows, 1000, 1.1);
+        Scenario {
+            name: "request_latency".to_string(),
+            task: "find when the latency incident happened".to_string(),
+            signal,
+            extra_columns: vec![("user_id".to_string(), user_ids)],
+            patterns: vec![pattern],
+        }
+    }
+
+    /// The generic contest data set of Appendix A: uniform noise with a single
+    /// strong outlier cluster.
+    pub fn contest(rows: usize, seed: u64) -> Scenario {
+        let mut generator = DataGenerator::new(seed.wrapping_mul(0x9e37_79b9));
+        let mut signal = generator.gaussian(rows, 50.0, 5.0);
+        let center = 0.1 + 0.8 * (seed % 101) as f64 / 101.0;
+        let pattern = Pattern::outlier_at(rows as u64, center, 0.02, 40.0);
+        pattern.apply(&mut signal);
+        Scenario {
+            name: "contest_measurements".to_string(),
+            task: "find the region of anomalously large measurements".to_string(),
+            signal,
+            extra_columns: Vec::new(),
+            patterns: vec![pattern],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sky_survey_hides_a_bright_region() {
+        let s = Scenario::sky_survey(100_000, 42);
+        assert_eq!(s.rows(), 100_000);
+        assert_eq!(s.patterns.len(), 1);
+        let p = s.patterns[0];
+        // inside the pattern the signal is clearly brighter than the background
+        let inside: f64 = (p.start_row..p.start_row + p.len_rows)
+            .map(|i| s.signal[i as usize])
+            .sum::<f64>()
+            / p.len_rows as f64;
+        let outside: f64 = s.signal[..1000].iter().sum::<f64>() / 1000.0;
+        assert!(inside > outside + 15.0, "inside {inside} outside {outside}");
+        assert!(s.target_fraction() > 0.1 && s.target_fraction() < 0.9);
+    }
+
+    #[test]
+    fn monitoring_stream_hides_a_level_shift() {
+        let s = Scenario::monitoring_stream(50_000, 7);
+        let p = s.patterns[0];
+        let inside = s.signal[p.start_row as usize + 1];
+        let before = s.signal[p.start_row as usize - 100];
+        assert!(inside > before + 20.0);
+        assert_eq!(s.extra_columns[0].0, "user_id");
+    }
+
+    #[test]
+    fn scenarios_are_deterministic_per_seed() {
+        let a = Scenario::contest(10_000, 5);
+        let b = Scenario::contest(10_000, 5);
+        let c = Scenario::contest(10_000, 6);
+        assert_eq!(a.signal, b.signal);
+        assert_eq!(a.patterns, b.patterns);
+        assert_ne!(a.patterns[0].start_row, c.patterns[0].start_row);
+    }
+
+    #[test]
+    fn scenario_table_includes_extra_columns() {
+        let s = Scenario::sky_survey(1000, 1);
+        let t = s.table().unwrap();
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(t.column_count(), 2);
+        assert!(t.column("sky_brightness").is_ok());
+        assert!(t.column("declination").is_ok());
+        let contest = Scenario::contest(1000, 1);
+        assert_eq!(contest.table().unwrap().column_count(), 1);
+    }
+
+    #[test]
+    fn signal_column_matches_signal() {
+        let s = Scenario::contest(500, 3);
+        let c = s.signal_column();
+        assert_eq!(c.len(), 500);
+        assert_eq!(c.name(), "contest_measurements");
+    }
+}

@@ -1,0 +1,124 @@
+//! Complex queries via gestures (Section 2.9): joins, group-bys and filtered
+//! aggregates driven by slides, plus a multi-object screen.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example complex_queries
+//! ```
+
+use dbtouch::core::join_session::{JoinSession, JoinSpec};
+use dbtouch::core::kernel::TouchAction;
+use dbtouch::core::operators::aggregate::AggregateKind;
+use dbtouch::core::operators::filter::{CompareOp, Predicate};
+use dbtouch::core::screen_session::ScreenSession;
+use dbtouch::prelude::*;
+use dbtouch::storage::column::Column as StorageColumn;
+
+fn main() -> Result<()> {
+    let mut kernel = Kernel::new(KernelConfig::default());
+    let mut synthesizer = GestureSynthesizer::new(60.0);
+
+    // A small star-schema-ish pair: orders reference one of 200 customers.
+    let n_orders = 500_000usize;
+    let orders_customer: Vec<i64> = (0..n_orders as i64).map(|i| (i * 37) % 200).collect();
+    let orders_amount: Vec<f64> = (0..n_orders).map(|i| ((i * 13) % 1000) as f64 / 10.0).collect();
+
+    let orders = kernel.load_table(
+        Table::from_columns(
+            "orders",
+            vec![
+                StorageColumn::from_i64("customer", orders_customer.clone()),
+                StorageColumn::from_f64("amount", orders_amount),
+            ],
+        )?,
+        SizeCm::new(4.0, 10.0),
+    )?;
+    let order_keys =
+        kernel.load_column("order_customer", orders_customer, SizeCm::new(2.0, 10.0))?;
+    let customers =
+        kernel.load_column("customer_id", (0..200).collect(), SizeCm::new(2.0, 6.0))?;
+
+    // 1. Gesture-driven group-by: slide over the orders table while it groups
+    //    touched tuples by customer region-of-200 and keeps a running average.
+    kernel.set_action(
+        orders,
+        TouchAction::GroupBy {
+            group_attribute: 0,
+            value_attribute: 1,
+            kind: AggregateKind::Avg,
+        },
+    )?;
+    let view = kernel.view(orders)?;
+    let outcome = kernel.run_trace(orders, &synthesizer.slide_down(&view, 3.0))?;
+    println!(
+        "group-by slide: {} touched tuples spread over {} customer groups (showing 5):",
+        outcome.stats.entries_returned,
+        outcome.final_groups.len()
+    );
+    for (group, avg) in outcome.final_groups.iter().take(5) {
+        println!("  customer {group}: running avg amount {avg:.2}");
+    }
+
+    // 2. Filtered aggregate: running average of only the large orders touched.
+    kernel.set_action(
+        orders,
+        TouchAction::FilteredAggregate {
+            predicate: Predicate::compare(CompareOp::Ge, 80.0),
+            kind: AggregateKind::Avg,
+        },
+    )?;
+    let outcome = kernel.run_trace(orders, &synthesizer.slide_down(&view, 2.0))?;
+    println!(
+        "filtered aggregate (amount >= 80): avg {:.2} over {} qualifying touches",
+        outcome.final_aggregate.unwrap_or(f64::NAN),
+        outcome.stats.entries_returned
+    );
+
+    // 3. A gesture-driven join: slide over the order keys; matches with the
+    //    customer column appear immediately (non-blocking symmetric hash join).
+    let spec = JoinSpec {
+        driving: order_keys,
+        other: customers,
+        driving_key: 0,
+        other_key: 0,
+    };
+    let view = kernel.view(order_keys)?;
+    let join_outcome = JoinSession::new(&kernel, spec)?
+        .run(&synthesizer.slide_down(&view, 2.0))?;
+    println!(
+        "join slide: {} matches; the first match appeared after only {} consumed rows \
+         (of {} fed in total)",
+        join_outcome.stats.matches,
+        join_outcome.stats.rows_to_first_match,
+        join_outcome.stats.left_rows + join_outcome.stats.right_rows
+    );
+
+    // 4. A screen with two objects side by side: one horizontal sweep touches
+    //    both objects and each delivers its own results.
+    kernel.set_action(order_keys, TouchAction::Scan)?;
+    kernel.set_action(customers, TouchAction::Scan)?;
+    let mut screen = ScreenSession::new();
+    screen.place(&kernel, order_keys, PointCm::new(1.0, 1.0))?;
+    screen.place(&kernel, customers, PointCm::new(5.0, 1.0))?;
+    let mut sweep = dbtouch::gesture::trace::GestureTrace::new("screen");
+    for i in 0..60 {
+        let phase = match i {
+            0 => dbtouch::gesture::touch::TouchPhase::Began,
+            59 => dbtouch::gesture::touch::TouchPhase::Ended,
+            _ => dbtouch::gesture::touch::TouchPhase::Moved,
+        };
+        sweep.push(dbtouch::gesture::touch::TouchEvent::new(
+            PointCm::new(1.2 + i as f64 * 0.1, 4.0),
+            Timestamp::from_millis(i * 16),
+            phase,
+        ));
+    }
+    let screen_outcome = screen.run_trace(&mut kernel, &sweep)?;
+    println!(
+        "screen sweep: touched {} objects, {} total entries, {} touches landed on empty space",
+        screen_outcome.per_object.len(),
+        screen_outcome.total_entries(),
+        screen_outcome.missed_touches
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Integration tests that run the experiment harnesses at reduced scale and
+//! assert the *shapes* the paper reports: Figure 4(a) (entries grow with
+//! gesture duration), Figure 4(b) (entries double with object size), the
+//! exploration contest (dbTouch touches orders of magnitude less data), and
+//! the parameter sweeps.
+
+use dbtouch_bench::ablations;
+use dbtouch_bench::contest::{run_contest, ContestScenario};
+use dbtouch_bench::figures::{run_figure4a, run_figure4b, FigureConfig};
+use dbtouch_bench::sweeps::{sweep_summary_window, sweep_touch_rate};
+
+fn small_config() -> FigureConfig {
+    FigureConfig {
+        rows: 300_000,
+        ..FigureConfig::default()
+    }
+}
+
+#[test]
+fn figure4a_shape_entries_grow_linearly_with_duration() {
+    let report = run_figure4a(&small_config(), &[0.5, 1.0, 2.0, 4.0]).unwrap();
+    let entries: Vec<u64> = report.points.iter().map(|p| p.entries_returned).collect();
+    assert!(entries.windows(2).all(|w| w[1] > w[0]), "{entries:?}");
+    // 8x longer gesture -> roughly 8x the entries (paper: ~5 -> ~55, i.e. ~11x
+    // on the iPad; we accept 4x-12x as "linear-ish").
+    let ratio = entries[3] as f64 / entries[0] as f64;
+    assert!((4.0..12.0).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn figure4a_ipad_rate_matches_paper_magnitude() {
+    let config = FigureConfig {
+        rows: 300_000,
+        ..FigureConfig::ipad_like()
+    };
+    let report = run_figure4a(&config, &[0.5, 4.0]).unwrap();
+    // Paper: ~5 entries at 0.5s, ~55 at 4s on the iPad 1.
+    assert!((3..=15).contains(&report.points[0].entries_returned));
+    assert!((40..=80).contains(&report.points[1].entries_returned));
+}
+
+#[test]
+fn figure4b_shape_entries_double_with_object_size() {
+    let report = run_figure4b(&small_config(), 3).unwrap();
+    for pair in report.points.windows(2) {
+        let ratio = pair[1].entries_returned as f64 / pair[0].entries_returned as f64;
+        assert!(
+            (1.6..2.5).contains(&ratio),
+            "doubling the object size should roughly double the entries, got {ratio}"
+        );
+    }
+}
+
+#[test]
+fn contest_shape_dbtouch_wins_on_data_and_time() {
+    let report = run_contest(ContestScenario::Contest, 120_000, 5, 0.02).unwrap();
+    assert!(report.dbtouch.found);
+    assert!(report.sql.found);
+    assert_eq!(report.winner_by_time(), "dbtouch");
+    assert!(report.data_touched_ratio() > 10.0);
+}
+
+#[test]
+fn sweeps_shapes() {
+    let k_sweep = sweep_summary_window(150_000, &[0, 10, 50]).unwrap();
+    assert!(k_sweep.points[2].rows_touched > 3 * k_sweep.points[0].rows_touched);
+    let rate_sweep = sweep_touch_rate(150_000, &[15.0, 60.0]).unwrap();
+    assert!(rate_sweep.points[1].entries_returned > 3 * rate_sweep.points[0].entries_returned);
+}
+
+#[test]
+fn ablation_shapes_hold_at_reduced_scale() {
+    let a1 = ablations::ablation_samples(200_000).unwrap();
+    assert!(a1.adaptive_working_set_bytes < a1.naive_working_set_bytes);
+
+    let a4 = ablations::ablation_join(20_000).unwrap();
+    assert!(a4.symmetric_rows_to_first_match < 100);
+    assert!(a4.blocking_rows_to_first_match > 20_000);
+
+    let a5 = ablations::ablation_rotation(100_000, 5_000).unwrap();
+    assert!(a5.incremental_first_queryable_nanos < a5.eager_first_queryable_nanos);
+}

@@ -1,0 +1,230 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! touch→tuple mapping, sample hierarchies, running aggregates, joins, layout
+//! rotation and the gesture synthesizer.
+
+use dbtouch::core::mapping::TouchMapper;
+use dbtouch::core::operators::aggregate::{AggregateKind, RunningAggregate};
+use dbtouch::core::operators::join::{BlockingHashJoin, JoinSide, SymmetricHashJoin};
+use dbtouch::gesture::view::View;
+use dbtouch::prelude::*;
+use dbtouch::storage::column::Column as StorageColumn;
+use dbtouch::storage::layout::Layout;
+use dbtouch::storage::matrix::Matrix;
+use dbtouch::storage::rotation::RotationTask;
+use dbtouch::storage::sample::SampleHierarchy;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Rule-of-Three mapping is monotone in the touch location and always
+    /// within bounds, for any object geometry and tuple count.
+    #[test]
+    fn touch_mapping_is_monotone_and_bounded(
+        tuples in 1u64..5_000_000,
+        height in 1.0f64..40.0,
+        samples in 2usize..40,
+    ) {
+        let view = View::for_column("c", tuples, SizeCm::new(2.0, height)).unwrap();
+        let mut last = 0u64;
+        for i in 0..samples {
+            let y = height * i as f64 / (samples - 1) as f64;
+            let row = TouchMapper::row_for_touch(&view, PointCm::new(1.0, y))
+                .unwrap()
+                .unwrap();
+            prop_assert!(row.0 < tuples);
+            prop_assert!(row.0 >= last);
+            last = row.0;
+        }
+        // The last touch addresses the last tuple.
+        prop_assert_eq!(last, tuples - 1);
+    }
+
+    /// Rotating a view never changes which tuple a given fraction of the object
+    /// addresses (Section 2.4).
+    #[test]
+    fn rotation_preserves_touch_mapping(
+        tuples in 1u64..1_000_000,
+        fraction in 0.0f64..1.0,
+    ) {
+        let view = View::for_column("c", tuples, SizeCm::new(2.0, 10.0)).unwrap();
+        let rotated = view.rotated();
+        let before = TouchMapper::row_for_touch(&view, PointCm::new(1.0, 10.0 * fraction)).unwrap();
+        let after = TouchMapper::row_for_touch(&rotated, PointCm::new(10.0 * fraction, 1.0)).unwrap();
+        prop_assert_eq!(before, after);
+    }
+
+    /// Every sample level contains only values present in the base data, level
+    /// sizes shrink geometrically, and row mapping stays within bounds.
+    #[test]
+    fn sample_hierarchy_is_consistent(
+        len in 1u64..20_000,
+        levels in 1u8..10,
+        probe in 0u64..20_000,
+    ) {
+        let base: Vec<i64> = (0..len as i64).map(|i| i * 3 + 1).collect();
+        let hierarchy = SampleHierarchy::build(StorageColumn::from_i64("c", base.clone()), levels);
+        for level in 0..hierarchy.level_count() {
+            let col = hierarchy.level(level).unwrap();
+            let stride = hierarchy.stride(level);
+            prop_assert_eq!(col.len(), len.div_ceil(stride));
+            // spot-check values come from the base data at the expected stride
+            for i in (0..col.len()).step_by(7) {
+                let v = col.get(RowId(i)).unwrap().as_i64().unwrap();
+                prop_assert_eq!(v, base[(i * stride) as usize]);
+            }
+        }
+        let probe = probe % len;
+        for level in 0..hierarchy.level_count() {
+            let mapped = hierarchy.map_row(RowId(probe), level).unwrap();
+            prop_assert!(mapped.0 < hierarchy.level(level).unwrap().len());
+            let back = hierarchy.unmap_row(mapped, level).unwrap();
+            prop_assert!(back.distance(RowId(probe)) < hierarchy.stride(level));
+        }
+    }
+
+    /// A running aggregate fed value-by-value matches a batch recomputation
+    /// over the same values.
+    #[test]
+    fn running_aggregate_matches_batch(values in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        for kind in AggregateKind::ALL {
+            let mut agg = RunningAggregate::new(kind);
+            for &v in &values {
+                agg.update(v);
+            }
+            let expected = match kind {
+                AggregateKind::Count => values.len() as f64,
+                AggregateKind::Sum => values.iter().sum(),
+                AggregateKind::Avg => values.iter().sum::<f64>() / values.len() as f64,
+                AggregateKind::Min => values.iter().cloned().fold(f64::MAX, f64::min),
+                AggregateKind::Max => values.iter().cloned().fold(f64::MIN, f64::max),
+            };
+            let got = agg.value().unwrap();
+            prop_assert!((got - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+                "{kind:?}: got {got}, expected {expected}");
+        }
+    }
+
+    /// The non-blocking symmetric hash join produces exactly the same matched
+    /// pairs as the classical blocking hash join, for any inputs and any
+    /// interleaving of the two sides.
+    #[test]
+    fn symmetric_join_equals_blocking_join(
+        left in prop::collection::vec(0i64..30, 0..60),
+        right in prop::collection::vec(0i64..30, 0..60),
+        interleave_seed in 0u64..1000,
+    ) {
+        let mut symmetric = SymmetricHashJoin::new();
+        let mut sym_pairs = Vec::new();
+        // Deterministic pseudo-random interleaving of the two sides.
+        let mut li = 0usize;
+        let mut ri = 0usize;
+        let mut state = interleave_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        while li < left.len() || ri < right.len() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let take_left = ri >= right.len() || (li < left.len() && state % 2 == 0);
+            if take_left {
+                sym_pairs.extend(symmetric.push(JoinSide::Left, RowId(li as u64), Value::Int(left[li])));
+                li += 1;
+            } else {
+                sym_pairs.extend(symmetric.push(JoinSide::Right, RowId(ri as u64), Value::Int(right[ri])));
+                ri += 1;
+            }
+        }
+
+        let mut blocking = BlockingHashJoin::new();
+        for (i, &k) in left.iter().enumerate() {
+            blocking.build_row(RowId(i as u64), Value::Int(k));
+        }
+        blocking.finish_build();
+        let mut blk_pairs = Vec::new();
+        for (i, &k) in right.iter().enumerate() {
+            blk_pairs.extend(blocking.probe(RowId(i as u64), Value::Int(k)));
+        }
+
+        let normalize = |pairs: Vec<dbtouch::core::operators::join::JoinMatch>| {
+            let mut v: Vec<(u64, u64)> = pairs.iter().map(|m| (m.left_row.0, m.right_row.0)).collect();
+            v.sort_unstable();
+            v
+        };
+        prop_assert_eq!(normalize(sym_pairs), normalize(blk_pairs));
+    }
+
+    /// Rotating a matrix to the other layout and back preserves every cell.
+    #[test]
+    fn rotation_round_trips(
+        rows in 1u64..500,
+        chunk in 1u64..600,
+    ) {
+        let table = Table::from_columns(
+            "t",
+            vec![
+                StorageColumn::from_i64("a", (0..rows as i64).collect()),
+                StorageColumn::from_f64("b", (0..rows).map(|i| i as f64 / 3.0).collect()),
+            ],
+        )
+        .unwrap();
+        let original = Matrix::from_table(table);
+        let once = RotationTask::new(original.clone(), chunk).finish().unwrap();
+        prop_assert_eq!(once.layout(), Layout::RowMajor);
+        let twice = RotationTask::new(once, chunk).finish().unwrap();
+        prop_assert_eq!(twice.layout(), Layout::ColumnMajor);
+        for probe in [0, rows / 2, rows - 1] {
+            prop_assert_eq!(
+                twice.get_row(RowId(probe)).unwrap(),
+                original.get_row(RowId(probe)).unwrap()
+            );
+        }
+    }
+
+    /// Synthesized slides are always valid traces whose sample count scales
+    /// with duration and sampling rate.
+    #[test]
+    fn synthesized_slides_are_valid(
+        duration in 0.2f64..5.0,
+        rate in 20.0f64..120.0,
+        height in 2.0f64..30.0,
+    ) {
+        let view = View::for_column("c", 1_000_000, SizeCm::new(2.0, height)).unwrap();
+        let trace = GestureSynthesizer::new(rate).slide_down(&view, duration);
+        prop_assert!(trace.validate().is_ok());
+        let expected = (duration * rate) as i64;
+        prop_assert!((trace.len() as i64 - expected).abs() <= expected / 5 + 4,
+            "trace has {} samples, expected ~{expected}", trace.len());
+        // the slide covers the object end to end
+        let last = trace.events.last().unwrap().location;
+        prop_assert!((last.y - height).abs() < 1e-6);
+    }
+
+    /// Running a session never reports more entries than touches, and the
+    /// per-touch accounting stays internally consistent.
+    #[test]
+    fn session_accounting_invariants(
+        rows in 1_000i64..200_000,
+        duration in 0.3f64..2.0,
+    ) {
+        let mut kernel = Kernel::new(KernelConfig::default());
+        let id = kernel
+            .load_column("c", (0..rows).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        kernel
+            .set_action(
+                id,
+                dbtouch::core::kernel::TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, duration);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        let s = &outcome.stats;
+        prop_assert_eq!(s.touches as usize, trace.len());
+        prop_assert!(s.entries_returned <= s.touches);
+        prop_assert!(s.entries_returned as usize == outcome.results.len());
+        prop_assert!(s.rows_touched >= s.entries_returned);
+        prop_assert_eq!(s.bytes_touched, s.rows_touched * 8);
+        prop_assert!(s.duplicate_touches + s.entries_returned <= s.touches);
+    }
+}
