@@ -18,6 +18,11 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// A matched row pair: a left row and (after a join) its right-side match.
+type RowPair = (RowId, Option<RowId>);
+/// Grouped row pairs keyed by an optional group value.
+type GroupedRows = Vec<(Option<Value>, Vec<RowPair>)>;
+
 /// Execution statistics of one query.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecStats {
@@ -149,8 +154,16 @@ impl Database {
                 let left_key = table.column(&j.left_column)?;
                 let right_key = right.column(&j.right_column)?;
                 let right_rows = ops::all_rows(right.row_count());
-                Self::charge_scan(&mut stats, left_key.len(), left_key.data_type().width_bytes());
-                Self::charge_scan(&mut stats, right_key.len(), right_key.data_type().width_bytes());
+                Self::charge_scan(
+                    &mut stats,
+                    left_key.len(),
+                    left_key.data_type().width_bytes(),
+                );
+                Self::charge_scan(
+                    &mut stats,
+                    right_key.len(),
+                    right_key.data_type().width_bytes(),
+                );
                 let pairs = ops::hash_join(left_key, &rows, right_key, &right_rows)?;
                 Some((pairs, right))
             }
@@ -182,7 +195,11 @@ impl Database {
                         continue;
                     }
                     let col = right.column(&cond.column)?;
-                    Self::charge_scan(&mut stats, pairs.len() as u64, col.data_type().width_bytes());
+                    Self::charge_scan(
+                        &mut stats,
+                        pairs.len() as u64,
+                        col.data_type().width_bytes(),
+                    );
                     pairs.retain(|(_, r)| {
                         r.map(|r| col.get(r).map(|v| cond.matches(&v)).unwrap_or(false))
                             .unwrap_or(false)
@@ -211,23 +228,33 @@ impl Database {
 
         if query.is_aggregate_query() || query.group_by.is_some() {
             // Group rows (a single implicit group when no GROUP BY).
-            let groups: Vec<(Option<Value>, Vec<(RowId, Option<RowId>)>)> = match &query.group_by {
+            let groups: GroupedRows = match &query.group_by {
                 Some(gcol) => {
                     let (tbl, is_right) = resolve(gcol)?;
                     let col = tbl.column(gcol)?;
-                    Self::charge_scan(&mut stats, effective.len() as u64, col.data_type().width_bytes());
-                    let mut map: HashMap<String, (Value, Vec<(RowId, Option<RowId>)>)> =
-                        HashMap::new();
+                    Self::charge_scan(
+                        &mut stats,
+                        effective.len() as u64,
+                        col.data_type().width_bytes(),
+                    );
+                    let mut map: HashMap<String, (Value, Vec<RowPair>)> = HashMap::new();
                     for pair in &effective {
-                        let row = if is_right { pair.1.unwrap_or(pair.0) } else { pair.0 };
+                        let row = if is_right {
+                            pair.1.unwrap_or(pair.0)
+                        } else {
+                            pair.0
+                        };
                         let v = col.get(row)?;
                         let key = match v.as_f64() {
                             Ok(n) => format!("n:{n}"),
                             Err(_) => format!("s:{v}"),
                         };
-                        map.entry(key).or_insert_with(|| (v.clone(), Vec::new())).1.push(*pair);
+                        map.entry(key)
+                            .or_insert_with(|| (v.clone(), Vec::new()))
+                            .1
+                            .push(*pair);
                     }
-                    let mut gs: Vec<(Option<Value>, Vec<(RowId, Option<RowId>)>)> =
+                    let mut gs: GroupedRows =
                         map.into_values().map(|(v, rows)| (Some(v), rows)).collect();
                     gs.sort_by(|a, b| a.0.as_ref().unwrap().total_cmp(b.0.as_ref().unwrap()));
                     gs
@@ -367,7 +394,10 @@ mod tests {
     #[test]
     fn catalog_and_duplicate_registration() {
         let mut db = db();
-        assert_eq!(db.catalog(), vec!["events".to_string(), "kinds".to_string()]);
+        assert_eq!(
+            db.catalog(),
+            vec!["events".to_string(), "kinds".to_string()]
+        );
         let dup = Table::from_columns("events", vec![Column::from_i64("x", vec![1])]).unwrap();
         assert!(db.register(dup).is_err());
         assert!(db.table("missing").is_err());

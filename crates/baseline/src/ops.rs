@@ -93,7 +93,11 @@ pub fn group_rows(group_column: &Column, rows: &[RowId]) -> Result<Vec<(Value, V
             Ok(n) => format!("n:{n}"),
             Err(_) => format!("s:{v}"),
         };
-        groups.entry(key).or_insert_with(|| (v.clone(), Vec::new())).1.push(row);
+        groups
+            .entry(key)
+            .or_insert_with(|| (v.clone(), Vec::new()))
+            .1
+            .push(row);
     }
     let mut out: Vec<(Value, Vec<RowId>)> = groups.into_values().collect();
     out.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -211,13 +215,8 @@ mod tests {
     fn join_produces_all_pairs() {
         let left = Column::from_i64("k", vec![1, 2, 3, 2]);
         let right = Column::from_i64("k", vec![2, 2, 4]);
-        let pairs = hash_join(
-            &left,
-            &all_rows(left.len()),
-            &right,
-            &all_rows(right.len()),
-        )
-        .unwrap();
+        let pairs =
+            hash_join(&left, &all_rows(left.len()), &right, &all_rows(right.len())).unwrap();
         // left rows 1 and 3 have key 2; right rows 0 and 1 have key 2 -> 4 pairs
         assert_eq!(pairs.len(), 4);
         assert!(pairs.contains(&(RowId(1), RowId(0))));

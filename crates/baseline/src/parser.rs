@@ -71,9 +71,7 @@ impl Parser {
         self.expect_keyword("select")?;
         let select = self.parse_select_list()?;
         self.expect_keyword("from")?;
-        let from = self
-            .next()
-            .ok_or_else(|| self.err("expected table name"))?;
+        let from = self.next().ok_or_else(|| self.err("expected table name"))?;
         let mut query = Query {
             select,
             from,
@@ -86,9 +84,13 @@ impl Parser {
             self.next();
             let table = self.next().ok_or_else(|| self.err("expected join table"))?;
             self.expect_keyword("on")?;
-            let left = self.next().ok_or_else(|| self.err("expected join column"))?;
+            let left = self
+                .next()
+                .ok_or_else(|| self.err("expected join column"))?;
             self.expect_keyword("=")?;
-            let right = self.next().ok_or_else(|| self.err("expected join column"))?;
+            let right = self
+                .next()
+                .ok_or_else(|| self.err("expected join column"))?;
             query.join = Some(JoinClause {
                 table,
                 left_column: left,
@@ -109,11 +111,16 @@ impl Parser {
         if self.peek_keyword("group") {
             self.next();
             self.expect_keyword("by")?;
-            query.group_by = Some(self.next().ok_or_else(|| self.err("expected group column"))?);
+            query.group_by = Some(
+                self.next()
+                    .ok_or_else(|| self.err("expected group column"))?,
+            );
         }
         if self.peek_keyword("limit") {
             self.next();
-            let n = self.next().ok_or_else(|| self.err("expected limit value"))?;
+            let n = self
+                .next()
+                .ok_or_else(|| self.err("expected limit value"))?;
             query.limit = Some(
                 n.parse::<u64>()
                     .map_err(|_| self.err(format!("invalid limit {n}")))?,
@@ -142,7 +149,9 @@ impl Parser {
     }
 
     fn parse_select_item(&mut self) -> Result<SelectItem> {
-        let token = self.next().ok_or_else(|| self.err("expected select item"))?;
+        let token = self
+            .next()
+            .ok_or_else(|| self.err("expected select item"))?;
         let func = match token.to_ascii_lowercase().as_str() {
             "count" => Some(AggFunc::Count),
             "sum" => Some(AggFunc::Sum),
@@ -154,7 +163,9 @@ impl Parser {
         match func {
             Some(func) if self.peek() == Some("(") => {
                 self.next(); // (
-                let arg = self.next().ok_or_else(|| self.err("expected aggregate argument"))?;
+                let arg = self
+                    .next()
+                    .ok_or_else(|| self.err("expected aggregate argument"))?;
                 if self.next().as_deref() != Some(")") {
                     return Err(self.err("expected )"));
                 }
@@ -252,10 +263,7 @@ fn tokenize(sql: &str) -> Vec<String> {
             }
         } else {
             let mut j = i;
-            while j < chars.len()
-                && !chars[j].is_whitespace()
-                && !"(),*=<>!'".contains(chars[j])
-            {
+            while j < chars.len() && !chars[j].is_whitespace() && !"(),*=<>!'".contains(chars[j]) {
                 j += 1;
             }
             tokens.push(chars[i..j].iter().collect());
@@ -296,11 +304,17 @@ mod tests {
         assert_eq!(q.group_by.as_deref(), Some("kind"));
         assert_eq!(
             q.select[1],
-            SelectItem::Aggregate { func: AggFunc::Count, column: None }
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                column: None
+            }
         );
         assert_eq!(
             q.select[2],
-            SelectItem::Aggregate { func: AggFunc::Avg, column: Some("value".into()) }
+            SelectItem::Aggregate {
+                func: AggFunc::Avg,
+                column: Some("value".into())
+            }
         );
     }
 

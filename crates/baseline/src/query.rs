@@ -234,7 +234,11 @@ impl fmt::Display for Query {
         let select: Vec<String> = self.select.iter().map(SelectItem::label).collect();
         write!(f, "select {} from {}", select.join(", "), self.from)?;
         if let Some(j) = &self.join {
-            write!(f, " join {} on {} = {}", j.table, j.left_column, j.right_column)?;
+            write!(
+                f,
+                " join {} on {} = {}",
+                j.table, j.left_column, j.right_column
+            )?;
         }
         if !self.filters.is_empty() {
             let conds: Vec<String> = self
@@ -297,11 +301,19 @@ mod tests {
     fn select_item_labels() {
         assert_eq!(SelectItem::Column("x".into()).label(), "x");
         assert_eq!(
-            SelectItem::Aggregate { func: AggFunc::Count, column: None }.label(),
+            SelectItem::Aggregate {
+                func: AggFunc::Count,
+                column: None
+            }
+            .label(),
             "count(*)"
         );
         assert_eq!(
-            SelectItem::Aggregate { func: AggFunc::Max, column: Some("v".into()) }.label(),
+            SelectItem::Aggregate {
+                func: AggFunc::Max,
+                column: Some("v".into())
+            }
+            .label(),
             "max(v)"
         );
     }

@@ -13,9 +13,9 @@ use dbtouch_core::operators::aggregate::AggregateKind;
 use dbtouch_core::operators::join::{BlockingHashJoin, JoinSide, SymmetricHashJoin};
 use dbtouch_gesture::synthesizer::GestureSynthesizer;
 use dbtouch_storage::column::Column;
+use dbtouch_storage::matrix::Matrix;
 use dbtouch_storage::rotation::RotationTask;
 use dbtouch_storage::table::Table;
-use dbtouch_storage::matrix::Matrix;
 use dbtouch_types::{KernelConfig, Result, RowId, SizeCm, Value};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
@@ -42,11 +42,7 @@ pub struct SamplesAblation {
 pub fn ablation_samples(rows: u64) -> Result<SamplesAblation> {
     let run = |config: KernelConfig| -> Result<(u64, u64, u64)> {
         let mut kernel = Kernel::new(config);
-        let id = kernel.load_column(
-            "a1",
-            (0..rows as i64).collect(),
-            SizeCm::new(2.0, 10.0),
-        )?;
+        let id = kernel.load_column("a1", (0..rows as i64).collect(), SizeCm::new(2.0, 10.0))?;
         kernel.set_action(
             id,
             TouchAction::Summary {
@@ -103,11 +99,7 @@ pub struct PrefetchAblation {
 pub fn ablation_prefetch(rows: u64) -> Result<PrefetchAblation> {
     let run = |config: KernelConfig| -> Result<(u64, f64, u64)> {
         let mut kernel = Kernel::new(config);
-        let id = kernel.load_column(
-            "a2",
-            (0..rows as i64).collect(),
-            SizeCm::new(2.0, 10.0),
-        )?;
+        let id = kernel.load_column("a2", (0..rows as i64).collect(), SizeCm::new(2.0, 10.0))?;
         kernel.set_action(id, TouchAction::Scan)?;
         let view = kernel.view(id)?;
         let trace = GestureSynthesizer::new(60.0).exploratory_slide(&view, 4.0);
@@ -145,11 +137,7 @@ pub struct CacheAblation {
 pub fn ablation_cache(rows: u64) -> Result<CacheAblation> {
     let run = |config: KernelConfig| -> Result<(f64, u64)> {
         let mut kernel = Kernel::new(config);
-        let id = kernel.load_column(
-            "a3",
-            (0..rows as i64).collect(),
-            SizeCm::new(2.0, 10.0),
-        )?;
+        let id = kernel.load_column("a3", (0..rows as i64).collect(), SizeCm::new(2.0, 10.0))?;
         kernel.set_action(id, TouchAction::Scan)?;
         let view = kernel.view(id)?;
         let mut synthesizer = GestureSynthesizer::new(60.0);
@@ -196,10 +184,20 @@ pub struct JoinAblation {
 pub fn ablation_join(rows_per_side: u64) -> Result<JoinAblation> {
     // Keys overlap on every 16th row so matches are sparse but present early.
     let left: Vec<(RowId, Value)> = (0..rows_per_side)
-        .map(|i| (RowId(i), Value::Int((i % (rows_per_side / 16).max(1)) as i64)))
+        .map(|i| {
+            (
+                RowId(i),
+                Value::Int((i % (rows_per_side / 16).max(1)) as i64),
+            )
+        })
         .collect();
     let right: Vec<(RowId, Value)> = (0..rows_per_side)
-        .map(|i| (RowId(i), Value::Int((i % (rows_per_side / 16).max(1)) as i64)))
+        .map(|i| {
+            (
+                RowId(i),
+                Value::Int((i % (rows_per_side / 16).max(1)) as i64),
+            )
+        })
         .collect();
 
     // Symmetric: the gesture interleaves both sides touch by touch.
@@ -326,11 +324,7 @@ pub fn ablation_budget(rows: u64, half_window: u64, budget_micros: u64) -> Resul
         let mut config = KernelConfig::default().with_adaptive_sampling(false);
         config.touch_budget_micros = budget_micros;
         let mut kernel = Kernel::new(config);
-        let id = kernel.load_column(
-            "a6",
-            (0..rows as i64).collect(),
-            SizeCm::new(2.0, 10.0),
-        )?;
+        let id = kernel.load_column("a6", (0..rows as i64).collect(), SizeCm::new(2.0, 10.0))?;
         kernel.set_action(
             id,
             TouchAction::Summary {
@@ -392,7 +386,11 @@ mod tests {
     #[test]
     fn a3_cache_hits_on_reexamination() {
         let r = ablation_cache(200_000).unwrap();
-        assert!(r.second_pass_hit_rate_with > 0.5, "hit rate {}", r.second_pass_hit_rate_with);
+        assert!(
+            r.second_pass_hit_rate_with > 0.5,
+            "hit rate {}",
+            r.second_pass_hit_rate_with
+        );
         assert_eq!(r.second_pass_hit_rate_without, 0.0);
         assert!(r.second_pass_hits > 0);
     }

@@ -19,7 +19,12 @@ fn main() {
         "A1 sample-based storage ({} rows)\n{}",
         fmt_count(rows),
         render_table(
-            &["variant", "entries", "working set (bytes)", "wall time (ms)"],
+            &[
+                "variant",
+                "entries",
+                "working set (bytes)",
+                "wall time (ms)"
+            ],
             &[
                 vec![
                     "adaptive samples".into(),
@@ -41,7 +46,12 @@ fn main() {
     println!(
         "A2 prefetching\n{}",
         render_table(
-            &["variant", "prefetches", "warm fraction", "simulated access (µs)"],
+            &[
+                "variant",
+                "prefetches",
+                "warm fraction",
+                "simulated access (µs)"
+            ],
             &[
                 vec![
                     "prefetch on".into(),
@@ -84,7 +94,12 @@ fn main() {
         "A4 non-blocking join ({} rows per side)\n{}",
         fmt_count(rows.min(200_000)),
         render_table(
-            &["variant", "rows consumed before first match", "total matches", "wall time (ms)"],
+            &[
+                "variant",
+                "rows consumed before first match",
+                "total matches",
+                "wall time (ms)"
+            ],
             &[
                 vec![
                     "symmetric hash join".into(),

@@ -1,0 +1,28 @@
+//! Concurrency benchmark binary: touches/sec and p50/p99 per-touch latency
+//! versus simultaneous session count, verified against the sequential replay.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin concurrency [rows] [traces_per_session]
+//! ```
+
+use dbtouch_bench::concurrency::run_concurrency_sweep;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let session_counts = [1, 2, 4, 8, 16, 32];
+    match run_concurrency_sweep(rows, &session_counts, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            if report.points.iter().any(|p| !p.matches_sequential) {
+                eprintln!("ERROR: a concurrent run diverged from the sequential replay");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("concurrency sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -16,7 +16,10 @@ fn main() {
         .get(1)
         .and_then(|s| s.parse::<usize>().ok())
         .unwrap_or(2_000_000);
-    let seed = args.get(2).and_then(|s| s.parse::<u64>().ok()).unwrap_or(42);
+    let seed = args
+        .get(2)
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(42);
     for scenario in [
         ContestScenario::Contest,
         ContestScenario::SkySurvey,

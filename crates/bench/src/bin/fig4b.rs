@@ -15,10 +15,7 @@ fn main() {
         .get(1)
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or(10_000_000);
-    let doublings = args
-        .get(2)
-        .and_then(|s| s.parse::<u32>().ok())
-        .unwrap_or(4);
+    let doublings = args.get(2).and_then(|s| s.parse::<u32>().ok()).unwrap_or(4);
     let config = FigureConfig {
         rows,
         ..FigureConfig::default()

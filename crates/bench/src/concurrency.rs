@@ -1,0 +1,138 @@
+//! Concurrency benchmark: aggregate touch throughput and per-touch tail
+//! latency as a function of simultaneous session count.
+//!
+//! Every point of the sweep drives K seeded explorers concurrently through
+//! `dbtouch-server` over one shared catalog, then replays the identical plans
+//! sequentially through the single-user kernel and checks the result digests
+//! match — the throughput numbers are only meaningful if the concurrent
+//! execution is computing the same answers.
+
+use dbtouch_server::ServerConfig;
+use dbtouch_types::{KernelConfig, Result};
+use dbtouch_workload::concurrent::{
+    plan_explorers, run_concurrent, run_sequential, scenario_catalog,
+};
+use dbtouch_workload::Scenario;
+
+/// One measured point of the concurrency sweep.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyPoint {
+    /// Simultaneous sessions driven.
+    pub sessions: usize,
+    /// Worker threads serving them.
+    pub workers: usize,
+    /// Total touch samples processed.
+    pub total_touches: u64,
+    /// Total result entries returned.
+    pub total_entries: u64,
+    /// Aggregate throughput: touches per second of wall time.
+    pub touches_per_sec: f64,
+    /// Median of per-trace mean per-touch time, microseconds.
+    pub p50_touch_micros: f64,
+    /// 99th percentile of per-trace mean per-touch time, microseconds.
+    pub p99_touch_micros: f64,
+    /// Worst single-touch time observed in any trace, microseconds.
+    pub worst_touch_micros: f64,
+    /// Wall time of the whole concurrent run, milliseconds.
+    pub wall_millis: f64,
+    /// Whether every session's results matched the sequential replay.
+    pub matches_sequential: bool,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct ConcurrencyReport {
+    /// Rows in the shared scenario column.
+    pub rows: u64,
+    /// Gesture traces each session performs.
+    pub traces_per_session: usize,
+    /// Measured points, in session-count order.
+    pub points: Vec<ConcurrencyPoint>,
+}
+
+/// Run the sweep: for each session count, K concurrent explorers over one
+/// sky-survey catalog, verified against the sequential replay.
+pub fn run_concurrency_sweep(
+    rows: usize,
+    session_counts: &[usize],
+    traces_per_session: usize,
+) -> Result<ConcurrencyReport> {
+    let scenario = Scenario::sky_survey(rows, 17);
+    let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default())?;
+    let mut points = Vec::with_capacity(session_counts.len());
+    for &sessions in session_counts {
+        let plans = plan_explorers(&catalog, object, sessions, traces_per_session, 1234)?;
+        let server_config = ServerConfig::default();
+        let workers = server_config.worker_threads;
+        let concurrent = run_concurrent(&catalog, object, &plans, server_config)?;
+        let sequential = run_sequential(&catalog, object, &plans)?;
+        let latency = concurrent.latency_summary();
+        points.push(ConcurrencyPoint {
+            sessions,
+            workers,
+            total_touches: concurrent.total_touches(),
+            total_entries: concurrent.total_entries(),
+            touches_per_sec: concurrent.touches_per_sec(),
+            p50_touch_micros: latency.p50_nanos as f64 / 1e3,
+            p99_touch_micros: latency.p99_nanos as f64 / 1e3,
+            worst_touch_micros: latency.max_nanos as f64 / 1e3,
+            wall_millis: concurrent.wall_nanos as f64 / 1e6,
+            matches_sequential: concurrent.digests() == sequential
+                && concurrent.errors().is_empty(),
+        });
+    }
+    Ok(ConcurrencyReport {
+        rows: rows as u64,
+        traces_per_session,
+        points,
+    })
+}
+
+impl ConcurrencyReport {
+    /// Render the sweep as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "concurrency sweep — {} rows, {} traces/session\n",
+            self.rows, self.traces_per_session
+        ));
+        // p50/p99 are percentiles of per-trace MEAN per-touch time; "worst"
+        // is the slowest single touch observed anywhere (the paper's
+        // maximum-wait-per-touch bound).
+        out.push_str(
+            "sessions  workers     touches   touches/s   p50 us/touch   p99 us/touch   worst us   wall ms   identical\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>8}  {:>7}  {:>10}  {:>10.0}  {:>13.2}  {:>13.2}  {:>9.2}  {:>8.1}  {}\n",
+                p.sessions,
+                p.workers,
+                p.total_touches,
+                p.touches_per_sec,
+                p.p50_touch_micros,
+                p.p99_touch_micros,
+                p.worst_touch_micros,
+                p.wall_millis,
+                if p.matches_sequential { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_stays_deterministic() {
+        let report = run_concurrency_sweep(20_000, &[1, 4], 2).unwrap();
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert!(point.matches_sequential, "point {point:?}");
+            assert!(point.total_touches > 0);
+            assert!(point.touches_per_sec > 0.0);
+        }
+        assert!(report.table().contains("sessions"));
+    }
+}

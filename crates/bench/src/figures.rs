@@ -211,7 +211,12 @@ pub fn render_report(report: &Figure4Report) -> String {
         crate::report::fmt_count(report.config.rows),
         report.config.touch_rate_hz,
         crate::report::render_table(
-            &[x_label, "# entries returned", "rows touched", "sample level"],
+            &[
+                x_label,
+                "# entries returned",
+                "rows touched",
+                "sample level"
+            ],
             &rows,
         )
     )

@@ -14,11 +14,13 @@
 //! * the integration tests run reduced-scale versions to keep CI fast.
 
 pub mod ablations;
+pub mod concurrency;
 pub mod contest;
 pub mod figures;
 pub mod report;
 pub mod sweeps;
 
+pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport};
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};
 pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};

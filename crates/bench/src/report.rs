@@ -15,7 +15,13 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         let padded: Vec<String> = cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:<width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect();
         format!("| {} |", padded.join(" | "))
     };

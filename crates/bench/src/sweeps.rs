@@ -134,7 +134,12 @@ pub fn render_sweep(report: &SweepReport) -> String {
         report.sweep,
         crate::report::fmt_count(report.rows),
         crate::report::render_table(
-            &[param_label, "# entries returned", "rows touched", "mean ns/touch"],
+            &[
+                param_label,
+                "# entries returned",
+                "rows touched",
+                "mean ns/touch"
+            ],
             &rows,
         )
     )

@@ -1,0 +1,597 @@
+//! The shared data catalog: immutable loaded data, separated from per-session
+//! exploration state.
+//!
+//! The seed reproduction bundled everything a touch session needs — the dense
+//! matrix, sample hierarchies, zone-map indexes, view geometry, region cache
+//! and prefetcher — into one mutable `DataObject`, which forced `&mut self`
+//! through the whole kernel and limited the system to a single explorer. This
+//! module splits that bundle along the concurrency boundary:
+//!
+//! * [`ObjectData`] — what was *loaded*: the matrix, the per-attribute sample
+//!   hierarchies and zone-map indexes, plus the default view geometry and
+//!   touch action. Immutable after load, shared across sessions behind `Arc`.
+//! * [`ObjectState`] — what a *session* does with it: the session's view
+//!   (zoom/rotation), its chosen touch action, its region cache, its
+//!   prefetcher, and (after a rotate gesture) its privately rotated copy of
+//!   the matrix. Cheap to create, owned by exactly one session.
+//! * [`SharedCatalog`] — the `Send + Sync` registry of loaded objects. Many
+//!   sessions on many threads [`checkout`](SharedCatalog::checkout) state
+//!   from one catalog concurrently; loading new objects takes a write lock.
+//!
+//! The single-user [`crate::kernel::Kernel`] is now a thin facade: one
+//! `SharedCatalog` plus one `ObjectState` per object. `dbtouch-server` runs
+//! many sessions against the same catalog from worker threads.
+
+use crate::kernel::{ObjectId, TouchAction};
+use dbtouch_gesture::view::View;
+use dbtouch_storage::cache::RegionCache;
+use dbtouch_storage::column::Column;
+use dbtouch_storage::index::ZoneMapIndex;
+use dbtouch_storage::layout::Layout;
+use dbtouch_storage::matrix::Matrix;
+use dbtouch_storage::prefetch::Prefetcher;
+use dbtouch_storage::rotation::RotationTask;
+use dbtouch_storage::sample::SampleHierarchy;
+use dbtouch_storage::table::Table;
+use dbtouch_types::{DataType, DbTouchError, KernelConfig, Result, SizeCm};
+use std::sync::{Arc, RwLock};
+
+/// The immutable, shareable part of a loaded data object.
+///
+/// Everything here is fixed at load (or restructure) time. Sessions read it
+/// concurrently through `Arc<ObjectData>`; nothing in it ever mutates.
+#[derive(Debug, Clone)]
+pub struct ObjectData {
+    name: String,
+    matrix: Arc<Matrix>,
+    hierarchies: Arc<Vec<SampleHierarchy>>,
+    indexes: Arc<Vec<Option<ZoneMapIndex>>>,
+    base_view: View,
+    default_action: TouchAction,
+}
+
+impl ObjectData {
+    /// The object's catalog name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The loaded matrix (base layout, before any per-session rotation).
+    pub fn matrix(&self) -> &Arc<Matrix> {
+        &self.matrix
+    }
+
+    /// Per-attribute sample hierarchies.
+    pub fn hierarchies(&self) -> &[SampleHierarchy] {
+        &self.hierarchies
+    }
+
+    /// Per-attribute zone-map indexes (numeric attributes only).
+    pub fn indexes(&self) -> &[Option<ZoneMapIndex>] {
+        &self.indexes
+    }
+
+    /// The default view new sessions start from.
+    pub fn base_view(&self) -> &View {
+        &self.base_view
+    }
+
+    /// The default touch action new sessions start from.
+    pub fn default_action(&self) -> &TouchAction {
+        &self.default_action
+    }
+
+    /// Number of tuples.
+    pub fn row_count(&self) -> u64 {
+        self.matrix.row_count()
+    }
+
+    /// The schema as `(name, type)` pairs.
+    pub fn schema(&self) -> &[(String, DataType)] {
+        self.matrix.schema()
+    }
+}
+
+/// The mutable, per-session part of exploring one data object.
+///
+/// Owned by exactly one session; never shared. Holds `Arc` handles into the
+/// shared [`ObjectData`], so creating one is cheap (no data copies) — until
+/// the session rotates the object's layout, at which point it gets its own
+/// rotated matrix without disturbing other sessions.
+#[derive(Debug)]
+pub struct ObjectState {
+    pub(crate) data: Arc<ObjectData>,
+    /// The matrix this session reads: the shared one, or a session-private
+    /// rotated copy after a rotate gesture.
+    pub(crate) matrix: Arc<Matrix>,
+    pub(crate) view: View,
+    pub(crate) action: TouchAction,
+    pub(crate) cache: RegionCache,
+    pub(crate) prefetcher: Prefetcher,
+}
+
+impl ObjectState {
+    /// The shared data this state explores.
+    pub fn data(&self) -> &Arc<ObjectData> {
+        &self.data
+    }
+
+    /// The session's current view (geometry, orientation, zoom).
+    pub fn view(&self) -> &View {
+        &self.view
+    }
+
+    /// The session's current touch action.
+    pub fn action(&self) -> &TouchAction {
+        &self.action
+    }
+
+    /// Change the session's touch action (validate against
+    /// [`ObjectData::schema`] first via [`validate_action`]).
+    pub fn set_action(&mut self, action: TouchAction) {
+        self.action = action;
+    }
+
+    /// Number of tuples visible to this session.
+    pub fn row_count(&self) -> u64 {
+        self.matrix.row_count()
+    }
+
+    /// The sample hierarchy of an attribute. Non-numeric attributes have a
+    /// degenerate single-level hierarchy (base data only).
+    pub fn hierarchy(&self, attribute: usize) -> Result<&SampleHierarchy> {
+        self.data
+            .hierarchies
+            .get(attribute)
+            .ok_or_else(|| DbTouchError::NotFound(format!("attribute {attribute}")))
+    }
+
+    /// Flip the physical layout of this session's matrix, converting
+    /// `chunk_rows` rows at a time (incremental rotation, Section 2.8). Only
+    /// this session sees the rotated copy; the shared catalog is untouched.
+    pub(crate) fn rotate_layout(&mut self, chunk_rows: u64) -> Result<()> {
+        let task = RotationTask::new((*self.matrix).clone(), chunk_rows);
+        self.matrix = Arc::new(task.finish()?);
+        self.view = self.view.rotated();
+        Ok(())
+    }
+}
+
+/// The concurrent registry of loaded data objects.
+///
+/// `SharedCatalog` is `Send + Sync`: loading takes a brief write lock, and any
+/// number of sessions on any threads checkout per-session [`ObjectState`] and
+/// read the shared `Arc<ObjectData>` concurrently.
+#[derive(Debug)]
+pub struct SharedCatalog {
+    config: KernelConfig,
+    objects: RwLock<Vec<Arc<ObjectData>>>,
+}
+
+impl SharedCatalog {
+    /// Create an empty catalog with the given kernel configuration.
+    pub fn new(config: KernelConfig) -> SharedCatalog {
+        SharedCatalog {
+            config,
+            objects: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// The kernel configuration sessions run under.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// Number of loaded objects.
+    pub fn object_count(&self) -> usize {
+        self.read_objects().len()
+    }
+
+    /// The names of all objects, in load order (the paper's "screen": glancing
+    /// at it tells users what data exists, no schema knowledge required).
+    pub fn names(&self) -> Vec<String> {
+        self.read_objects().iter().map(|o| o.name.clone()).collect()
+    }
+
+    /// Look up an object id by name.
+    pub fn object_id(&self, name: &str) -> Result<ObjectId> {
+        self.read_objects()
+            .iter()
+            .position(|o| o.name == name)
+            .map(|i| ObjectId(i as u64))
+            .ok_or_else(|| DbTouchError::NotFound(name.to_string()))
+    }
+
+    /// The shared data of an object.
+    pub fn data(&self, id: ObjectId) -> Result<Arc<ObjectData>> {
+        self.read_objects()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
+    }
+
+    /// Create fresh per-session state for an object: the default view and
+    /// action, an empty cache and prefetcher, and the shared matrix.
+    pub fn checkout(&self, id: ObjectId) -> Result<ObjectState> {
+        let data = self.data(id)?;
+        let config = &self.config;
+        Ok(ObjectState {
+            matrix: data.matrix.clone(),
+            view: data.base_view.clone(),
+            action: data.default_action.clone(),
+            cache: if config.cache_enabled {
+                RegionCache::new(config.cache_capacity_rows)
+            } else {
+                RegionCache::disabled()
+            },
+            prefetcher: if config.prefetch_enabled {
+                Prefetcher::new(16)
+            } else {
+                Prefetcher::disabled()
+            },
+            data,
+        })
+    }
+
+    /// Load a column of integers as a new data object rendered at `size`.
+    pub fn load_column(
+        &self,
+        name: impl Into<String>,
+        values: Vec<i64>,
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        self.load_column_typed(Column::from_i64(name.into(), values), size)
+    }
+
+    /// Load a column of floats as a new data object rendered at `size`.
+    pub fn load_column_f64(
+        &self,
+        name: impl Into<String>,
+        values: Vec<f64>,
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        self.load_column_typed(Column::from_f64(name.into(), values), size)
+    }
+
+    /// Load an already-built column as a new data object rendered at `size`.
+    pub fn load_column_typed(&self, column: Column, size: SizeCm) -> Result<ObjectId> {
+        self.config.validate()?;
+        let name = column.name().to_string();
+        let tuple_count = column.len();
+        let view = View::for_column(name, tuple_count, size)?;
+        let matrix = Matrix::from_column(column);
+        self.register(matrix, view)
+    }
+
+    /// Load a table as a single "fat rectangle" data object rendered at `size`.
+    pub fn load_table(&self, table: Table, size: SizeCm) -> Result<ObjectId> {
+        self.config.validate()?;
+        let view = View::for_table(
+            table.name().to_string(),
+            table.row_count(),
+            table.column_count(),
+            size,
+        )?;
+        let matrix = Matrix::from_table(table);
+        self.register(matrix, view)
+    }
+
+    /// Change the default touch action new sessions start from. Existing
+    /// checked-out states are unaffected (they own their action). Validation
+    /// happens under the write lock, against the schema the action will
+    /// actually be stored with — a concurrent restructure cannot slip an
+    /// invalid default in.
+    pub fn set_default_action(&self, id: ObjectId, action: TouchAction) -> Result<()> {
+        let mut objects = self.write_objects();
+        let slot = objects
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))?;
+        validate_action(&action, slot.matrix.schema())?;
+        let mut updated = (**slot).clone();
+        updated.default_action = action;
+        *slot = Arc::new(updated);
+        Ok(())
+    }
+
+    /// Drag a column out of a table object into a new standalone column object
+    /// (Section 2.8), atomically: the name-clash check, the table restructure
+    /// and the new object's registration happen under one write lock, so a
+    /// concurrent load cannot leave the table restructured with the dragged
+    /// column lost. Sessions holding the old table `Arc` keep reading the old
+    /// data; new checkouts see the restructured table.
+    pub fn drag_column_out(
+        &self,
+        table_id: ObjectId,
+        column_name: &str,
+        size: SizeCm,
+    ) -> Result<ObjectId> {
+        let mut objects = self.write_objects();
+        let obj = objects
+            .get(table_id.0 as usize)
+            .ok_or_else(|| DbTouchError::NotFound(format!("object {}", table_id.0)))?;
+        let columnar = obj.matrix.converted_to(Layout::ColumnMajor)?;
+        let mut cols = columnar
+            .columns()
+            .expect("column-major matrix has columns")
+            .to_vec();
+        let idx = cols
+            .iter()
+            .position(|c| c.name() == column_name)
+            .ok_or_else(|| DbTouchError::NotFound(format!("column {column_name}")))?;
+        let column = cols.remove(idx);
+        if cols.is_empty() {
+            return Err(DbTouchError::InvalidPlan(
+                "cannot drag the last column out of a table".into(),
+            ));
+        }
+        if objects.iter().any(|o| o.name == column_name) {
+            return Err(DbTouchError::AlreadyExists(column_name.to_string()));
+        }
+        // Build both replacement objects before touching the catalog, so any
+        // failure leaves it unchanged.
+        let table_name = obj.name.clone();
+        let old_size = obj.base_view.size();
+        let new_table = Table::from_columns(table_name, cols)?;
+        let new_view = View::for_table(
+            new_table.name().to_string(),
+            new_table.row_count(),
+            new_table.column_count(),
+            old_size,
+        )?;
+        let rebuilt = self.build_data(Matrix::from_table(new_table), new_view);
+        let column_view = View::for_column(column.name().to_string(), column.len(), size)?;
+        let standalone = self.build_data(Matrix::from_column(column), column_view);
+        // Commit.
+        objects[table_id.0 as usize] = Arc::new(rebuilt);
+        let id = ObjectId(objects.len() as u64);
+        objects.push(Arc::new(standalone));
+        Ok(id)
+    }
+
+    fn register(&self, matrix: Matrix, view: View) -> Result<ObjectId> {
+        // Cheap duplicate check first: building sample hierarchies and indexes
+        // is O(rows), so don't pay it for a name that will be rejected. The
+        // check is repeated under the write lock for the race where two
+        // loaders register the same name concurrently.
+        if self.object_id(matrix.name()).is_ok() {
+            return Err(DbTouchError::AlreadyExists(matrix.name().to_string()));
+        }
+        let data = self.build_data(matrix, view);
+        let mut objects = self.write_objects();
+        if objects.iter().any(|o| o.name == data.name) {
+            return Err(DbTouchError::AlreadyExists(data.name.clone()));
+        }
+        let id = ObjectId(objects.len() as u64);
+        objects.push(Arc::new(data));
+        Ok(id)
+    }
+
+    fn build_data(&self, matrix: Matrix, view: View) -> ObjectData {
+        let hierarchies = build_hierarchies(&matrix, &self.config);
+        let indexes = build_indexes(&matrix);
+        ObjectData {
+            name: matrix.name().to_string(),
+            matrix: Arc::new(matrix),
+            hierarchies: Arc::new(hierarchies),
+            indexes: Arc::new(indexes),
+            base_view: view,
+            default_action: TouchAction::Scan,
+        }
+    }
+
+    fn read_objects(&self) -> std::sync::RwLockReadGuard<'_, Vec<Arc<ObjectData>>> {
+        self.objects.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_objects(&self) -> std::sync::RwLockWriteGuard<'_, Vec<Arc<ObjectData>>> {
+        self.objects.write().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Validate that `action` is runnable against `schema` (shared by the kernel,
+/// the catalog and the server's session workers).
+pub fn validate_action(action: &TouchAction, schema: &[(String, DataType)]) -> Result<()> {
+    if action.aggregate_kind().is_some() {
+        let numeric = schema.iter().any(|(_, dt)| dt.is_numeric());
+        if !numeric {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric column".into(),
+                found: "no numeric attribute in object".into(),
+            });
+        }
+    }
+    if let TouchAction::GroupBy {
+        group_attribute,
+        value_attribute,
+        ..
+    } = action
+    {
+        let value_type = schema
+            .get(*value_attribute)
+            .ok_or_else(|| DbTouchError::NotFound(format!("attribute {value_attribute}")))?
+            .1;
+        if schema.get(*group_attribute).is_none() {
+            return Err(DbTouchError::NotFound(format!(
+                "attribute {group_attribute}"
+            )));
+        }
+        if !value_type.is_numeric() {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric value attribute".into(),
+                found: value_type.name(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn build_hierarchies(matrix: &Matrix, config: &KernelConfig) -> Vec<SampleHierarchy> {
+    let levels = config.sample_levels;
+    match matrix.columns() {
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                let depth = if c.data_type().is_numeric() {
+                    levels
+                } else {
+                    1
+                };
+                SampleHierarchy::build(c.clone(), depth)
+            })
+            .collect(),
+        None => {
+            // Row-major load: build degenerate hierarchies from a columnar copy.
+            let columnar = matrix
+                .converted_to(Layout::ColumnMajor)
+                .expect("layout conversion of a valid matrix cannot fail");
+            columnar
+                .columns()
+                .expect("column-major matrix has columns")
+                .iter()
+                .map(|c| {
+                    let depth = if c.data_type().is_numeric() {
+                        levels
+                    } else {
+                        1
+                    };
+                    SampleHierarchy::build(c.clone(), depth)
+                })
+                .collect()
+        }
+    }
+}
+
+fn build_indexes(matrix: &Matrix) -> Vec<Option<ZoneMapIndex>> {
+    const INDEX_BLOCK_ROWS: u64 = 4096;
+    match matrix.columns() {
+        Some(cols) => cols
+            .iter()
+            .map(|c| {
+                c.data_type()
+                    .is_numeric()
+                    .then(|| ZoneMapIndex::build(c, INDEX_BLOCK_ROWS).ok())
+                    .flatten()
+            })
+            .collect(),
+        None => vec![None; matrix.column_count()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use dbtouch_gesture::synthesizer::GestureSynthesizer;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn shared_catalog_is_send_and_sync() {
+        assert_send_sync::<SharedCatalog>();
+        assert_send_sync::<Arc<ObjectData>>();
+        assert_send_sync::<ObjectState>();
+    }
+
+    #[test]
+    fn checkout_shares_data_without_copying() {
+        let catalog = SharedCatalog::new(KernelConfig::default());
+        let id = catalog
+            .load_column("a", (0..10_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let s1 = catalog.checkout(id).unwrap();
+        let s2 = catalog.checkout(id).unwrap();
+        assert!(Arc::ptr_eq(&s1.matrix, &s2.matrix));
+        assert!(Arc::ptr_eq(&s1.data, &s2.data));
+        assert_eq!(s1.row_count(), 10_000);
+    }
+
+    #[test]
+    fn per_session_rotation_does_not_disturb_other_sessions() {
+        let catalog = SharedCatalog::new(KernelConfig::default());
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..100).collect()),
+                Column::from_f64("v", (0..100).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let id = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let mut s1 = catalog.checkout(id).unwrap();
+        let s2 = catalog.checkout(id).unwrap();
+        s1.rotate_layout(16).unwrap();
+        assert_eq!(s1.matrix.layout(), Layout::RowMajor);
+        assert_eq!(s2.matrix.layout(), Layout::ColumnMajor);
+        assert_eq!(
+            catalog.checkout(id).unwrap().matrix.layout(),
+            Layout::ColumnMajor
+        );
+    }
+
+    #[test]
+    fn default_action_applies_to_new_checkouts_only() {
+        let catalog = SharedCatalog::new(KernelConfig::default());
+        let id = catalog
+            .load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let before = catalog.checkout(id).unwrap();
+        catalog
+            .set_default_action(
+                id,
+                TouchAction::Aggregate(crate::operators::aggregate::AggregateKind::Sum),
+            )
+            .unwrap();
+        let after = catalog.checkout(id).unwrap();
+        assert_eq!(before.action(), &TouchAction::Scan);
+        assert!(matches!(after.action(), TouchAction::Aggregate(_)));
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let catalog = SharedCatalog::new(KernelConfig::default());
+        catalog
+            .load_column("a", vec![1, 2, 3], SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert!(matches!(
+            catalog.load_column("a", vec![4], SizeCm::new(2.0, 10.0)),
+            Err(DbTouchError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_checkouts_run_identical_sessions() {
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let id = catalog
+            .load_column("col", (0..100_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let baseline = {
+            let mut state = catalog.checkout(id).unwrap();
+            Session::new(&mut state, catalog.config())
+                .run(&trace)
+                .unwrap()
+        };
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let catalog = Arc::clone(&catalog);
+                let trace = trace.clone();
+                std::thread::spawn(move || {
+                    let mut state = catalog.checkout(id).unwrap();
+                    Session::new(&mut state, catalog.config())
+                        .run(&trace)
+                        .unwrap()
+                })
+            })
+            .collect();
+        for handle in handles {
+            let outcome = handle.join().unwrap();
+            assert_eq!(outcome.results, baseline.results);
+            assert_eq!(
+                outcome.stats.entries_returned,
+                baseline.stats.entries_returned
+            );
+            assert_eq!(outcome.stats.rows_touched, baseline.stats.rows_touched);
+        }
+    }
+}

@@ -76,7 +76,10 @@ impl<'a> JoinSession<'a> {
     /// Create a join session; both objects must exist and the key attributes
     /// must be valid.
     pub fn new(kernel: &'a Kernel, spec: JoinSpec) -> Result<JoinSession<'a>> {
-        for (id, attr) in [(spec.driving, spec.driving_key), (spec.other, spec.other_key)] {
+        for (id, attr) in [
+            (spec.driving, spec.driving_key),
+            (spec.other, spec.other_key),
+        ] {
             let schema_len = kernel.schema(id)?.len();
             if attr >= schema_len {
                 return Err(DbTouchError::NotFound(format!(
@@ -121,9 +124,9 @@ impl<'a> JoinSession<'a> {
                 self.stats.driving_touches += 1;
 
                 // Feed the touched left tuple.
-                let left_key = self
-                    .kernel
-                    .cell(self.spec.driving, left_row, self.spec.driving_key)?;
+                let left_key =
+                    self.kernel
+                        .cell(self.spec.driving, left_row, self.spec.driving_key)?;
                 self.stats.left_rows += 1;
                 let new_matches = self.join.push(JoinSide::Left, left_row, left_key);
                 self.absorb(new_matches, &mut matches);
@@ -131,8 +134,7 @@ impl<'a> JoinSession<'a> {
                 // Stream the right side up to the same relative position, so the
                 // join state on both sides advances with the gesture.
                 if driving_rows > 0 && other_rows > 0 {
-                    let target = ((left_row.0 + 1) as f64 / driving_rows as f64
-                        * other_rows as f64)
+                    let target = ((left_row.0 + 1) as f64 / driving_rows as f64 * other_rows as f64)
                         .ceil() as u64;
                     let target = target.min(other_rows);
                     while self.other_cursor < target {
@@ -201,7 +203,10 @@ mod tests {
         };
         let view = kernel.view(left).unwrap();
         let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
-        let outcome = JoinSession::new(&kernel, spec).unwrap().run(&trace).unwrap();
+        let outcome = JoinSession::new(&kernel, spec)
+            .unwrap()
+            .run(&trace)
+            .unwrap();
         assert!(outcome.stats.matches > 0);
         assert_eq!(outcome.matches.len() as u64, outcome.stats.matches);
         // non-blocking: the first match appears long before both inputs are consumed
@@ -233,7 +238,10 @@ mod tests {
         let mut synthesizer = GestureSynthesizer::new(60.0);
         // slide only over the first 30% of the driving object
         let trace = synthesizer.slide(&view, 0.0, 0.3, 1.0);
-        let outcome = JoinSession::new(&kernel, spec).unwrap().run(&trace).unwrap();
+        let outcome = JoinSession::new(&kernel, spec)
+            .unwrap()
+            .run(&trace)
+            .unwrap();
         // the right side was only streamed up to ~30% as well
         assert!(outcome.stats.right_rows < 4_000);
         assert!(outcome.matches.iter().all(|m| m.left_row.0 <= 6_100));

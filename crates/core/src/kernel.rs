@@ -1,10 +1,9 @@
-//! The dbTouch kernel: catalog of data objects and the top-level API.
+//! The dbTouch kernel: a single-user facade over the shared catalog.
 //!
-//! The kernel owns the data objects visible on the (simulated) screen. For each
-//! object it keeps the dense matrix, the per-column sample hierarchies, the
-//! zone-map indexes, the view geometry, the per-object touch action and the
-//! per-object cache and prefetcher. The public API mirrors what a dbTouch
-//! front-end needs:
+//! The kernel pairs one [`SharedCatalog`] (the immutable loaded data: matrixes,
+//! sample hierarchies, zone-map indexes) with one [`ObjectState`] per object
+//! (the mutable exploration state: view geometry, touch action, region cache,
+//! prefetcher). The public API mirrors what a dbTouch front-end needs:
 //!
 //! * load columns/tables ([`Kernel::load_column`], [`Kernel::load_table`]),
 //! * choose the query action a gesture triggers ([`Kernel::set_action`]),
@@ -12,23 +11,24 @@
 //!   itself lives in [`crate::session`],
 //! * apply schema/layout gestures: zoom, rotate, drag a column out of a table,
 //!   group columns into a table (Section 2.8).
+//!
+//! For many concurrent explorers over the same data, share the kernel's
+//! catalog ([`Kernel::catalog`]) with `dbtouch-server`'s session manager —
+//! every session checks out its own state and the loaded data is never copied.
 
+use crate::catalog::{validate_action, ObjectState, SharedCatalog};
 use crate::operators::aggregate::AggregateKind;
 use crate::operators::filter::Predicate;
 use crate::session::{Session, SessionOutcome};
 use dbtouch_gesture::trace::GestureTrace;
 use dbtouch_gesture::view::View;
-use dbtouch_storage::cache::RegionCache;
 use dbtouch_storage::column::Column;
 use dbtouch_storage::index::ZoneMapIndex;
 use dbtouch_storage::layout::Layout;
-use dbtouch_storage::matrix::Matrix;
-use dbtouch_storage::prefetch::Prefetcher;
-use dbtouch_storage::rotation::RotationTask;
-use dbtouch_storage::sample::SampleHierarchy;
 use dbtouch_storage::table::Table;
 use dbtouch_types::{DbTouchError, KernelConfig, Result, SizeCm};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Identifier of a data object in the kernel's catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -94,42 +94,6 @@ impl TouchAction {
     }
 }
 
-/// One data object in the catalog: its storage, geometry and policies.
-#[derive(Debug)]
-pub(crate) struct DataObject {
-    pub(crate) name: String,
-    pub(crate) matrix: Matrix,
-    pub(crate) hierarchies: Vec<SampleHierarchy>,
-    pub(crate) indexes: Vec<Option<ZoneMapIndex>>,
-    pub(crate) view: View,
-    pub(crate) action: TouchAction,
-    pub(crate) cache: RegionCache,
-    pub(crate) prefetcher: Prefetcher,
-}
-
-impl DataObject {
-    pub(crate) fn row_count(&self) -> u64 {
-        self.matrix.row_count()
-    }
-
-    /// The sample hierarchy of an attribute. Non-numeric attributes have a
-    /// degenerate single-level hierarchy (base data only).
-    pub(crate) fn hierarchy(&self, attribute: usize) -> Result<&SampleHierarchy> {
-        self.hierarchies
-            .get(attribute)
-            .ok_or_else(|| DbTouchError::NotFound(format!("attribute {attribute}")))
-    }
-
-    /// Flip the physical layout of the object's matrix, converting
-    /// `chunk_rows` rows at a time (incremental rotation, Section 2.8).
-    pub(crate) fn rotate_layout(&mut self, chunk_rows: u64) -> Result<()> {
-        let task = RotationTask::new(self.matrix.clone(), chunk_rows);
-        self.matrix = task.finish()?;
-        self.view = self.view.rotated();
-        Ok(())
-    }
-}
-
 /// The dbTouch kernel.
 ///
 /// ```
@@ -154,125 +118,90 @@ impl DataObject {
 /// ```
 #[derive(Debug)]
 pub struct Kernel {
-    config: KernelConfig,
-    objects: Vec<DataObject>,
+    catalog: Arc<SharedCatalog>,
+    states: Vec<ObjectState>,
 }
 
 impl Kernel {
-    /// Create a kernel with the given configuration.
+    /// Create a kernel with the given configuration (and a fresh catalog).
     pub fn new(config: KernelConfig) -> Kernel {
         Kernel {
-            config,
-            objects: Vec::new(),
+            catalog: Arc::new(SharedCatalog::new(config)),
+            states: Vec::new(),
         }
+    }
+
+    /// A single-user kernel over an existing shared catalog (for comparing a
+    /// sequential run against concurrent server sessions on the same data).
+    /// State for the objects already loaded is checked out immediately.
+    pub fn from_catalog(catalog: Arc<SharedCatalog>) -> Kernel {
+        let mut kernel = Kernel {
+            catalog,
+            states: Vec::new(),
+        };
+        // Only fails for ids beyond the catalog's length, which cannot happen
+        // while we hold the ids we are iterating.
+        kernel.sync_states().expect("checkout of existing objects");
+        kernel
+    }
+
+    /// The shared catalog behind this kernel. Hand a clone of this to
+    /// `dbtouch-server` to serve the same data to many concurrent sessions.
+    pub fn catalog(&self) -> &Arc<SharedCatalog> {
+        &self.catalog
     }
 
     /// The kernel configuration.
     pub fn config(&self) -> &KernelConfig {
-        &self.config
+        self.catalog.config()
     }
 
     /// Number of data objects in the catalog.
     pub fn object_count(&self) -> usize {
-        self.objects.len()
+        self.catalog.object_count()
     }
 
     /// The names of all data objects, in load order. Just by glancing at this
     /// list (the screen), users know what data is available — no schema
     /// knowledge required (Section 2.2, "Schema-less Querying").
-    pub fn catalog(&self) -> Vec<String> {
-        self.objects.iter().map(|o| o.name.clone()).collect()
+    pub fn catalog_names(&self) -> Vec<String> {
+        self.catalog.names()
     }
 
     /// Look up an object id by name.
     pub fn object_id(&self, name: &str) -> Result<ObjectId> {
-        self.objects
-            .iter()
-            .position(|o| o.name == name)
-            .map(|i| ObjectId(i as u64))
-            .ok_or_else(|| DbTouchError::NotFound(name.to_string()))
+        self.catalog.object_id(name)
     }
 
-    fn object(&self, id: ObjectId) -> Result<&DataObject> {
-        self.objects
+    /// Checkout any catalog objects this kernel has no local state for yet
+    /// (objects loaded through the catalog handle or another kernel). The
+    /// mutating entry points call this automatically; call it explicitly
+    /// before using the read-only accessors (`view`, `schema`, `row_count`,
+    /// …) on an object that was loaded through the shared catalog handle
+    /// after this kernel was built.
+    pub fn refresh(&mut self) -> Result<()> {
+        self.sync_states()
+    }
+
+    fn sync_states(&mut self) -> Result<()> {
+        while self.states.len() < self.catalog.object_count() {
+            let id = ObjectId(self.states.len() as u64);
+            self.states.push(self.catalog.checkout(id)?);
+        }
+        Ok(())
+    }
+
+    fn state(&self, id: ObjectId) -> Result<&ObjectState> {
+        self.states
             .get(id.0 as usize)
             .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
     }
 
-    fn object_mut(&mut self, id: ObjectId) -> Result<&mut DataObject> {
-        self.objects
+    fn state_mut(&mut self, id: ObjectId) -> Result<&mut ObjectState> {
+        self.sync_states()?;
+        self.states
             .get_mut(id.0 as usize)
             .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
-    }
-
-    fn register(&mut self, matrix: Matrix, view: View) -> ObjectId {
-        let config = &self.config;
-        let hierarchies = Self::build_hierarchies(&matrix, config);
-        let indexes = Self::build_indexes(&matrix);
-        let id = ObjectId(self.objects.len() as u64);
-        self.objects.push(DataObject {
-            name: matrix.name().to_string(),
-            matrix,
-            hierarchies,
-            indexes,
-            view,
-            action: TouchAction::Scan,
-            cache: if config.cache_enabled {
-                RegionCache::new(config.cache_capacity_rows)
-            } else {
-                RegionCache::disabled()
-            },
-            prefetcher: if config.prefetch_enabled {
-                Prefetcher::new(16)
-            } else {
-                Prefetcher::disabled()
-            },
-        });
-        id
-    }
-
-    fn build_hierarchies(matrix: &Matrix, config: &KernelConfig) -> Vec<SampleHierarchy> {
-        let levels = config.sample_levels;
-        match matrix.columns() {
-            Some(cols) => cols
-                .iter()
-                .map(|c| {
-                    let depth = if c.data_type().is_numeric() { levels } else { 1 };
-                    SampleHierarchy::build(c.clone(), depth)
-                })
-                .collect(),
-            None => {
-                // Row-major load: build degenerate hierarchies from a columnar copy.
-                let columnar = matrix
-                    .converted_to(Layout::ColumnMajor)
-                    .expect("layout conversion of a valid matrix cannot fail");
-                columnar
-                    .columns()
-                    .expect("column-major matrix has columns")
-                    .iter()
-                    .map(|c| {
-                        let depth = if c.data_type().is_numeric() { levels } else { 1 };
-                        SampleHierarchy::build(c.clone(), depth)
-                    })
-                    .collect()
-            }
-        }
-    }
-
-    fn build_indexes(matrix: &Matrix) -> Vec<Option<ZoneMapIndex>> {
-        const INDEX_BLOCK_ROWS: u64 = 4096;
-        match matrix.columns() {
-            Some(cols) => cols
-                .iter()
-                .map(|c| {
-                    c.data_type()
-                        .is_numeric()
-                        .then(|| ZoneMapIndex::build(c, INDEX_BLOCK_ROWS).ok())
-                        .flatten()
-                })
-                .collect(),
-            None => vec![None; matrix.column_count()],
-        }
     }
 
     /// Load a column of integers as a new data object rendered at `size`.
@@ -282,7 +211,9 @@ impl Kernel {
         values: Vec<i64>,
         size: SizeCm,
     ) -> Result<ObjectId> {
-        self.load_column_typed(Column::from_i64(name.into(), values), size)
+        let id = self.catalog.load_column(name, values, size)?;
+        self.sync_states()?;
+        Ok(id)
     }
 
     /// Load a column of floats as a new data object rendered at `size`.
@@ -292,102 +223,57 @@ impl Kernel {
         values: Vec<f64>,
         size: SizeCm,
     ) -> Result<ObjectId> {
-        self.load_column_typed(Column::from_f64(name.into(), values), size)
+        let id = self.catalog.load_column_f64(name, values, size)?;
+        self.sync_states()?;
+        Ok(id)
     }
 
     /// Load an already-built column as a new data object rendered at `size`.
     pub fn load_column_typed(&mut self, column: Column, size: SizeCm) -> Result<ObjectId> {
-        self.config.validate()?;
-        let name = column.name().to_string();
-        if self.object_id(&name).is_ok() {
-            return Err(DbTouchError::AlreadyExists(name));
-        }
-        let tuple_count = column.len();
-        let view = View::for_column(name, tuple_count, size)?;
-        let matrix = Matrix::from_column(column);
-        Ok(self.register(matrix, view))
+        let id = self.catalog.load_column_typed(column, size)?;
+        self.sync_states()?;
+        Ok(id)
     }
 
     /// Load a table as a single "fat rectangle" data object rendered at `size`.
     pub fn load_table(&mut self, table: Table, size: SizeCm) -> Result<ObjectId> {
-        self.config.validate()?;
-        let name = table.name().to_string();
-        if self.object_id(&name).is_ok() {
-            return Err(DbTouchError::AlreadyExists(name));
-        }
-        let view = View::for_table(name, table.row_count(), table.column_count(), size)?;
-        let matrix = Matrix::from_table(table);
-        Ok(self.register(matrix, view))
+        let id = self.catalog.load_table(table, size)?;
+        self.sync_states()?;
+        Ok(id)
     }
 
-    /// Set the per-touch query action of an object.
+    /// Set the per-touch query action of an object (this kernel's sessions
+    /// only; other sessions over the same catalog keep their own action).
     pub fn set_action(&mut self, id: ObjectId, action: TouchAction) -> Result<()> {
-        // Aggregation-style actions require a numeric target column.
-        if action.aggregate_kind().is_some() {
-            let obj = self.object(id)?;
-            let numeric = obj
-                .matrix
-                .schema()
-                .iter()
-                .any(|(_, dt)| dt.is_numeric());
-            if !numeric {
-                return Err(DbTouchError::TypeMismatch {
-                    expected: "numeric column".into(),
-                    found: "no numeric attribute in object".into(),
-                });
-            }
-        }
-        if let TouchAction::GroupBy {
-            group_attribute,
-            value_attribute,
-            ..
-        } = &action
-        {
-            let obj = self.object(id)?;
-            let schema = obj.matrix.schema();
-            let value_type = schema
-                .get(*value_attribute)
-                .ok_or_else(|| DbTouchError::NotFound(format!("attribute {value_attribute}")))?
-                .1;
-            if schema.get(*group_attribute).is_none() {
-                return Err(DbTouchError::NotFound(format!(
-                    "attribute {group_attribute}"
-                )));
-            }
-            if !value_type.is_numeric() {
-                return Err(DbTouchError::TypeMismatch {
-                    expected: "numeric value attribute".into(),
-                    found: value_type.name(),
-                });
-            }
-        }
-        self.object_mut(id)?.action = action;
+        let state = self.state_mut(id)?;
+        validate_action(&action, state.data().schema())?;
+        state.action = action;
         Ok(())
     }
 
     /// The currently configured action of an object.
     pub fn action(&self, id: ObjectId) -> Result<&TouchAction> {
-        Ok(&self.object(id)?.action)
+        Ok(self.state(id)?.action())
     }
 
     /// A copy of the object's current view (geometry, orientation, zoom).
     pub fn view(&self, id: ObjectId) -> Result<View> {
-        Ok(self.object(id)?.view.clone())
+        Ok(self.state(id)?.view().clone())
     }
 
     /// The number of tuples in an object.
     pub fn row_count(&self, id: ObjectId) -> Result<u64> {
-        Ok(self.object(id)?.row_count())
+        Ok(self.state(id)?.row_count())
     }
 
-    /// The current physical layout of an object.
+    /// The current physical layout of an object (as this kernel sees it).
     pub fn layout(&self, id: ObjectId) -> Result<Layout> {
-        Ok(self.object(id)?.matrix.layout())
+        Ok(self.state(id)?.matrix.layout())
     }
 
     /// The schema of an object as `(name, type)` pairs.
     pub fn schema(&self, id: ObjectId) -> Result<&[(String, dbtouch_types::DataType)]> {
-        Ok(self.object(id)?.matrix.schema())
+        Ok(self.state(id)?.matrix.schema())
     }
 
     /// Read one cell of an object directly (used by join sessions and tests;
@@ -398,86 +284,67 @@ impl Kernel {
         row: dbtouch_types::RowId,
         attribute: usize,
     ) -> Result<dbtouch_types::Value> {
-        self.object(id)?.matrix.get(row, attribute)
+        self.state(id)?.matrix.get(row, attribute)
     }
 
     /// Run a gesture trace over an object, returning the produced results and
     /// statistics. This is the main query entry point: the trace plays the role
     /// the SQL string plays in a traditional system.
     pub fn run_trace(&mut self, id: ObjectId, trace: &GestureTrace) -> Result<SessionOutcome> {
-        let config = self.config.clone();
-        let object = self.object_mut(id)?;
-        Session::new(object, &config).run(trace)
+        let config = self.catalog.config().clone();
+        let state = self.state_mut(id)?;
+        Session::new(state, &config).run(trace)
     }
 
     /// Apply a zoom directly (equivalent to a pinch gesture handled outside a
     /// session, e.g. from a UI button).
     pub fn zoom(&mut self, id: ObjectId, factor: f64) -> Result<View> {
-        let object = self.object_mut(id)?;
-        object.view = object.view.zoomed(factor)?;
-        Ok(object.view.clone())
+        let state = self.state_mut(id)?;
+        state.view = state.view.zoomed(factor)?;
+        Ok(state.view.clone())
     }
 
     /// Apply the rotate gesture directly: flips both the on-screen orientation
-    /// and the physical layout of the object (Section 2.8).
+    /// and the physical layout of the object (Section 2.8). The rotation is
+    /// session-local: other sessions over the same catalog are undisturbed.
     pub fn rotate(&mut self, id: ObjectId) -> Result<Layout> {
-        let chunk = self.config.rotation_chunk_rows;
-        let object = self.object_mut(id)?;
-        object.rotate_layout(chunk)?;
-        Ok(object.matrix.layout())
+        let chunk = self.catalog.config().rotation_chunk_rows;
+        let state = self.state_mut(id)?;
+        state.rotate_layout(chunk)?;
+        Ok(state.matrix.layout())
     }
 
     /// Drag a column out of a table object into a new standalone column object
     /// (Section 2.8). The new object is rendered at `size` and the original
-    /// table keeps its remaining columns.
+    /// table keeps its remaining columns. This restructures the shared
+    /// catalog: new checkouts see the restructured table.
     pub fn drag_column_out(
         &mut self,
         table_id: ObjectId,
         column_name: &str,
         size: SizeCm,
     ) -> Result<ObjectId> {
-        let (column, remaining) = {
-            let obj = self.object(table_id)?;
-            let columnar = obj.matrix.converted_to(Layout::ColumnMajor)?;
-            let cols = columnar
-                .columns()
-                .expect("column-major matrix has columns")
-                .to_vec();
-            let idx = cols
-                .iter()
-                .position(|c| c.name() == column_name)
-                .ok_or_else(|| DbTouchError::NotFound(format!("column {column_name}")))?;
-            let mut cols = cols;
-            let column = cols.remove(idx);
-            (column, cols)
-        };
-        if remaining.is_empty() {
-            return Err(DbTouchError::InvalidPlan(
-                "cannot drag the last column out of a table".into(),
-            ));
+        self.sync_states()?;
+        self.state(table_id)?; // surface NotFound before touching the catalog
+        let id = self.catalog.drag_column_out(table_id, column_name, size)?;
+        // Refresh this kernel's state for the rebuilt table, carrying the
+        // session's exploration knobs (action, cache, prefetcher) across the
+        // restructure. An action that referenced the dragged-out attribute no
+        // longer validates against the new schema and falls back to the
+        // default.
+        let old = std::mem::replace(
+            &mut self.states[table_id.0 as usize],
+            self.catalog.checkout(table_id)?,
+        );
+        let state = &mut self.states[table_id.0 as usize];
+        if validate_action(old.action(), state.data().schema()).is_ok() {
+            state.set_action(old.action().clone());
         }
-        // Rebuild the source table object with the remaining columns.
-        let obj = self.object(table_id)?;
-        let table_name = obj.name.clone();
-        let old_view = obj.view.clone();
-        let new_table = Table::from_columns(table_name, remaining)?;
-        let new_view = View::for_table(
-            new_table.name().to_string(),
-            new_table.row_count(),
-            new_table.column_count(),
-            old_view.size(),
-        )?;
-        let rebuilt = Matrix::from_table(new_table);
-        {
-            let config = self.config.clone();
-            let obj = self.object_mut(table_id)?;
-            obj.hierarchies = Self::build_hierarchies(&rebuilt, &config);
-            obj.indexes = Self::build_indexes(&rebuilt);
-            obj.matrix = rebuilt;
-            obj.view = new_view;
-        }
-        // Register the dragged-out column as its own object.
-        self.load_column_typed(column, size)
+        state.cache = old.cache;
+        state.prefetcher = old.prefetcher;
+        // Checkout state for the newly registered column object.
+        self.sync_states()?;
+        Ok(id)
     }
 
     /// Group standalone column objects into a new table object (the "drag and
@@ -496,15 +363,15 @@ impl Kernel {
         }
         let mut columns = Vec::with_capacity(column_ids.len());
         for id in column_ids {
-            let obj = self.object(*id)?;
-            let col = obj
+            let state = self.state(*id)?;
+            let col = state
                 .matrix
                 .columns()
                 .and_then(|c| c.first())
                 .ok_or_else(|| {
                     DbTouchError::InvalidPlan(format!(
                         "object {} is not a standalone column-major column",
-                        obj.name
+                        state.data().name()
                     ))
                 })?;
             columns.push(col.clone());
@@ -518,16 +385,18 @@ impl Kernel {
     pub fn object_stats(
         &self,
         id: ObjectId,
-    ) -> Result<(dbtouch_storage::cache::CacheStats, dbtouch_storage::prefetch::PrefetchStats)>
-    {
-        let obj = self.object(id)?;
-        Ok((obj.cache.stats(), obj.prefetcher.stats()))
+    ) -> Result<(
+        dbtouch_storage::cache::CacheStats,
+        dbtouch_storage::prefetch::PrefetchStats,
+    )> {
+        let state = self.state(id)?;
+        Ok((state.cache.stats(), state.prefetcher.stats()))
     }
 
     /// The zone-map index of an attribute, if one was built (numeric columns).
     pub fn index(&self, id: ObjectId, attribute: usize) -> Result<Option<&ZoneMapIndex>> {
-        let obj = self.object(id)?;
-        Ok(obj.indexes.get(attribute).and_then(|i| i.as_ref()))
+        let state = self.state(id)?;
+        Ok(state.data.indexes().get(attribute).and_then(|i| i.as_ref()))
     }
 
     /// Reveal a single value by tapping at a fraction of the object's extent —
@@ -535,9 +404,10 @@ impl Kernel {
     /// on a column data object reveals a single column value, allowing to
     /// easily recognize the data type of the column").
     pub fn tap(&mut self, id: ObjectId, fraction: f64) -> Result<SessionOutcome> {
+        self.sync_states()?;
         let view = self.view(id)?;
         let mut synthesizer = dbtouch_gesture::synthesizer::GestureSynthesizer::new(
-            self.config.touch_sample_rate_hz,
+            self.catalog.config().touch_sample_rate_hz,
         );
         let trace = synthesizer.tap(&view, fraction.clamp(0.0, 1.0));
         self.run_trace(id, &trace)
@@ -556,10 +426,14 @@ mod tests {
     #[test]
     fn load_and_catalog() {
         let mut k = kernel();
-        let a = k.load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0)).unwrap();
-        let b = k.load_column_f64("b", vec![1.0; 50], SizeCm::new(2.0, 8.0)).unwrap();
+        let a = k
+            .load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let b = k
+            .load_column_f64("b", vec![1.0; 50], SizeCm::new(2.0, 8.0))
+            .unwrap();
         assert_eq!(k.object_count(), 2);
-        assert_eq!(k.catalog(), vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(k.catalog_names(), vec!["a".to_string(), "b".to_string()]);
         assert_eq!(k.object_id("a").unwrap(), a);
         assert_eq!(k.object_id("b").unwrap(), b);
         assert!(k.object_id("missing").is_err());
@@ -570,7 +444,8 @@ mod tests {
     #[test]
     fn duplicate_names_rejected() {
         let mut k = kernel();
-        k.load_column("a", vec![1, 2, 3], SizeCm::new(2.0, 10.0)).unwrap();
+        k.load_column("a", vec![1, 2, 3], SizeCm::new(2.0, 10.0))
+            .unwrap();
         assert!(matches!(
             k.load_column("a", vec![4, 5], SizeCm::new(2.0, 10.0)),
             Err(DbTouchError::AlreadyExists(_))
@@ -586,25 +461,37 @@ mod tests {
     #[test]
     fn default_action_is_scan_and_can_change() {
         let mut k = kernel();
-        let id = k.load_column("a", (0..10).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let id = k
+            .load_column("a", (0..10).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
         assert_eq!(k.action(id).unwrap(), &TouchAction::Scan);
-        k.set_action(id, TouchAction::Aggregate(AggregateKind::Sum)).unwrap();
-        assert!(matches!(k.action(id).unwrap(), TouchAction::Aggregate(AggregateKind::Sum)));
+        k.set_action(id, TouchAction::Aggregate(AggregateKind::Sum))
+            .unwrap();
+        assert!(matches!(
+            k.action(id).unwrap(),
+            TouchAction::Aggregate(AggregateKind::Sum)
+        ));
     }
 
     #[test]
     fn aggregate_action_requires_numeric_column() {
         let mut k = kernel();
         let strings = Column::from_strings("s", 4, &["a", "b", "c"]).unwrap();
-        let id = k.load_column_typed(strings, SizeCm::new(2.0, 10.0)).unwrap();
-        assert!(k.set_action(id, TouchAction::Aggregate(AggregateKind::Avg)).is_err());
+        let id = k
+            .load_column_typed(strings, SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert!(k
+            .set_action(id, TouchAction::Aggregate(AggregateKind::Avg))
+            .is_err());
         assert!(k.set_action(id, TouchAction::Scan).is_ok());
     }
 
     #[test]
     fn tap_reveals_a_value_for_schema_discovery() {
         let mut k = kernel();
-        let id = k.load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let id = k
+            .load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
         let outcome = k.tap(id, 0.5).unwrap();
         assert_eq!(outcome.results.len(), 1);
         let v = outcome.results.latest().unwrap().value().unwrap().clone();
@@ -614,7 +501,9 @@ mod tests {
     #[test]
     fn zoom_updates_view_geometry() {
         let mut k = kernel();
-        let id = k.load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let id = k
+            .load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
         let v = k.zoom(id, 2.0).unwrap();
         assert_eq!(v.size(), SizeCm::new(4.0, 20.0));
         assert_eq!(k.view(id).unwrap().zoom, 2.0);
@@ -635,7 +524,10 @@ mod tests {
         let id = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
         assert_eq!(k.layout(id).unwrap(), Layout::ColumnMajor);
         assert_eq!(k.rotate(id).unwrap(), Layout::RowMajor);
-        assert_eq!(k.view(id).unwrap().orientation, dbtouch_types::Orientation::Horizontal);
+        assert_eq!(
+            k.view(id).unwrap().orientation,
+            dbtouch_types::Orientation::Horizontal
+        );
         assert_eq!(k.rotate(id).unwrap(), Layout::ColumnMajor);
     }
 
@@ -652,42 +544,149 @@ mod tests {
         )
         .unwrap();
         let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
-        let cid = k.drag_column_out(tid, "price", SizeCm::new(2.0, 10.0)).unwrap();
-        assert_eq!(k.catalog(), vec!["t".to_string(), "price".to_string()]);
+        let cid = k
+            .drag_column_out(tid, "price", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert_eq!(
+            k.catalog_names(),
+            vec!["t".to_string(), "price".to_string()]
+        );
         assert_eq!(k.row_count(cid).unwrap(), 100);
         assert_eq!(k.view(tid).unwrap().attribute_count, 2);
-        assert!(k.drag_column_out(tid, "missing", SizeCm::new(2.0, 10.0)).is_err());
+        assert!(k
+            .drag_column_out(tid, "missing", SizeCm::new(2.0, 10.0))
+            .is_err());
+    }
+
+    #[test]
+    fn drag_column_out_name_clash_leaves_table_intact() {
+        let mut k = kernel();
+        // A standalone object already claims the name "price".
+        k.load_column("price", (0..10).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..100).collect()),
+                Column::from_f64("price", (0..100).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        assert!(matches!(
+            k.drag_column_out(tid, "price", SizeCm::new(2.0, 10.0)),
+            Err(DbTouchError::AlreadyExists(_))
+        ));
+        // The failed drag must not have stripped the column from the table.
+        assert_eq!(k.schema(tid).unwrap().len(), 2);
+        assert_eq!(k.view(tid).unwrap().attribute_count, 2);
+    }
+
+    #[test]
+    fn refresh_exposes_late_catalog_loads_to_readers() {
+        let mut a = kernel();
+        a.load_column("first", (0..100).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let catalog = std::sync::Arc::clone(a.catalog());
+        let late = catalog
+            .load_column("late", (0..50).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        a.refresh().unwrap();
+        assert_eq!(a.row_count(late).unwrap(), 50);
+        assert_eq!(a.view(late).unwrap().tuple_count, 50);
+        // tap() syncs on its own even without an explicit refresh.
+        let mut b = Kernel::from_catalog(std::sync::Arc::clone(&catalog));
+        let later = catalog
+            .load_column("later", (0..30).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert_eq!(b.tap(later, 0.5).unwrap().results.len(), 1);
+    }
+
+    #[test]
+    fn drag_column_out_preserves_session_action() {
+        let mut k = kernel();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..200).collect()),
+                Column::from_f64("price", (0..200).map(|i| i as f64).collect()),
+                Column::from_i64("qty", (0..200).map(|i| i % 7).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        k.set_action(tid, TouchAction::Aggregate(AggregateKind::Sum))
+            .unwrap();
+        k.drag_column_out(tid, "qty", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        // The configured action survives the restructure...
+        assert!(matches!(
+            k.action(tid).unwrap(),
+            TouchAction::Aggregate(AggregateKind::Sum)
+        ));
+        // ...but an action referencing a now-invalid attribute falls back.
+        k.set_action(
+            tid,
+            TouchAction::GroupBy {
+                group_attribute: 0,
+                value_attribute: 1,
+                kind: AggregateKind::Sum,
+            },
+        )
+        .unwrap();
+        k.drag_column_out(tid, "price", SizeCm::new(2.1, 10.0))
+            .unwrap();
+        assert_eq!(k.action(tid).unwrap(), &TouchAction::Scan);
     }
 
     #[test]
     fn drag_last_column_out_rejected() {
         let mut k = kernel();
-        let table = Table::from_columns("t", vec![Column::from_i64("only", vec![1, 2, 3])]).unwrap();
+        let table =
+            Table::from_columns("t", vec![Column::from_i64("only", vec![1, 2, 3])]).unwrap();
         let tid = k.load_table(table, SizeCm::new(2.0, 10.0)).unwrap();
-        assert!(k.drag_column_out(tid, "only", SizeCm::new(2.0, 10.0)).is_err());
+        assert!(k
+            .drag_column_out(tid, "only", SizeCm::new(2.0, 10.0))
+            .is_err());
     }
 
     #[test]
     fn group_columns_into_table() {
         let mut k = kernel();
-        let a = k.load_column("a", (0..50).collect(), SizeCm::new(2.0, 10.0)).unwrap();
-        let b = k.load_column("b", (100..150).collect(), SizeCm::new(2.0, 10.0)).unwrap();
-        let t = k.group_into_table("grouped", &[a, b], SizeCm::new(4.0, 10.0)).unwrap();
+        let a = k
+            .load_column("a", (0..50).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let b = k
+            .load_column("b", (100..150).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let t = k
+            .group_into_table("grouped", &[a, b], SizeCm::new(4.0, 10.0))
+            .unwrap();
         assert_eq!(k.row_count(t).unwrap(), 50);
         assert_eq!(k.view(t).unwrap().attribute_count, 2);
         // mismatched lengths fail
-        let c = k.load_column("c", (0..10).collect(), SizeCm::new(2.0, 10.0)).unwrap();
-        assert!(k.group_into_table("bad", &[a, c], SizeCm::new(4.0, 10.0)).is_err());
-        assert!(k.group_into_table("empty", &[], SizeCm::new(4.0, 10.0)).is_err());
+        let c = k
+            .load_column("c", (0..10).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert!(k
+            .group_into_table("bad", &[a, c], SizeCm::new(4.0, 10.0))
+            .is_err());
+        assert!(k
+            .group_into_table("empty", &[], SizeCm::new(4.0, 10.0))
+            .is_err());
     }
 
     #[test]
     fn indexes_built_for_numeric_columns() {
         let mut k = kernel();
-        let id = k.load_column("a", (0..10_000).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let id = k
+            .load_column("a", (0..10_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
         assert!(k.index(id, 0).unwrap().is_some());
         let strings = Column::from_strings("s", 4, &["x", "y"]).unwrap();
-        let sid = k.load_column_typed(strings, SizeCm::new(2.0, 10.0)).unwrap();
+        let sid = k
+            .load_column_typed(strings, SizeCm::new(2.0, 10.0))
+            .unwrap();
         assert!(k.index(sid, 0).unwrap().is_none());
         assert!(k.index(id, 5).unwrap().is_none());
     }
@@ -695,7 +694,9 @@ mod tests {
     #[test]
     fn object_stats_accessible() {
         let mut k = kernel();
-        let id = k.load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0)).unwrap();
+        let id = k
+            .load_column("a", (0..100).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
         let (cache, prefetch) = k.object_stats(id).unwrap();
         assert_eq!(cache.hits, 0);
         assert_eq!(prefetch.requests, 0);
@@ -707,5 +708,17 @@ mod tests {
         assert!(k.view(ObjectId(9)).is_err());
         assert!(k.set_action(ObjectId(9), TouchAction::Scan).is_err());
         assert!(k.rotate(ObjectId(9)).is_err());
+    }
+
+    #[test]
+    fn kernel_from_shared_catalog_sees_loaded_objects() {
+        let mut loader = kernel();
+        let id = loader
+            .load_column("a", (0..1000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let mut other = Kernel::from_catalog(std::sync::Arc::clone(loader.catalog()));
+        let outcome = other.tap(id, 0.25).unwrap();
+        assert_eq!(outcome.results.len(), 1);
+        assert_eq!(other.row_count(id).unwrap(), 1000);
     }
 }

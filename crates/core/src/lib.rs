@@ -18,9 +18,12 @@
 //!   non-blocking joins (Sections 2.3, 2.7, 2.9).
 //! * [`session`] — query sessions that feed recognized gestures through the
 //!   operators and collect the result stream and its statistics.
-//! * [`kernel`] — the catalog of data objects and the top-level API: load data,
-//!   choose per-object touch actions, run gesture traces, apply zoom/rotate/
-//!   drag-out layout gestures (Sections 2.2, 2.5, 2.8).
+//! * [`catalog`] — the shared data catalog: immutable loaded data (matrixes,
+//!   sample hierarchies, indexes) behind `Arc`, split from per-session mutable
+//!   exploration state so many concurrent sessions can share one load.
+//! * [`kernel`] — the single-user facade over the catalog and the top-level
+//!   API: load data, choose per-object touch actions, run gesture traces,
+//!   apply zoom/rotate/drag-out layout gestures (Sections 2.2, 2.5, 2.8).
 //! * [`adaptive`] — touch-granularity and sample-level selection from gesture
 //!   speed and object size (Sections 2.5, 2.6).
 //! * [`prefetch_policy`] — gesture extrapolation into prefetch requests
@@ -35,6 +38,7 @@
 //!   (Section 2.3, "Inspecting Results").
 
 pub mod adaptive;
+pub mod catalog;
 pub mod join_session;
 pub mod kernel;
 pub mod mapping;
@@ -48,6 +52,7 @@ pub mod screen_session;
 pub mod session;
 
 pub use adaptive::GranularityPolicy;
+pub use catalog::{ObjectData, ObjectState, SharedCatalog};
 pub use join_session::{JoinOutcome, JoinSession, JoinSpec};
 pub use kernel::{Kernel, ObjectId, TouchAction};
 pub use mapping::TouchMapper;

@@ -41,7 +41,10 @@ impl TouchMapper {
         if view.tuple_count == 0 {
             return Ok(None);
         }
-        let t = view.orientation.scroll_coordinate(location).clamp(0.0, extent);
+        let t = view
+            .orientation
+            .scroll_coordinate(location)
+            .clamp(0.0, extent);
         // Rule of Three: id = n * t / o.
         let id = (view.tuple_count as f64 * t / extent) as u64;
         Ok(Some(RowId(id.min(view.tuple_count - 1))))
@@ -142,7 +145,10 @@ mod tests {
     #[test]
     fn empty_object_maps_to_none() {
         let v = column_view(0);
-        assert_eq!(TouchMapper::row_for_touch(&v, PointCm::new(1.0, 5.0)).unwrap(), None);
+        assert_eq!(
+            TouchMapper::row_for_touch(&v, PointCm::new(1.0, 5.0)).unwrap(),
+            None
+        );
     }
 
     #[test]
@@ -166,8 +172,12 @@ mod tests {
         let z = v.zoomed(2.0).unwrap();
         // the same physical movement (0.1cm) addresses fewer tuples on the
         // zoomed (larger) object -> finer granularity
-        let before = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 0.1)).unwrap().unwrap();
-        let after = TouchMapper::row_for_touch(&z, PointCm::new(1.0, 0.1)).unwrap().unwrap();
+        let before = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 0.1))
+            .unwrap()
+            .unwrap();
+        let after = TouchMapper::row_for_touch(&z, PointCm::new(1.0, 0.1))
+            .unwrap()
+            .unwrap();
         assert!(after.0 < before.0);
         assert_eq!(before.0, 100_000);
         assert_eq!(after.0, 50_000);
@@ -190,10 +200,9 @@ mod tests {
     #[test]
     fn table_touch_selects_attribute_by_cross_axis() {
         let v = View::for_table("t", 1000, 4, SizeCm::new(8.0, 10.0)).unwrap();
-        let (row, attr) =
-            TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(1.0, 5.0))
-                .unwrap()
-                .unwrap();
+        let (row, attr) = TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(1.0, 5.0))
+            .unwrap()
+            .unwrap();
         assert_eq!(row, RowId(500));
         assert_eq!(attr, 0);
         let (_, attr) = TouchMapper::row_and_attribute_for_touch(&v, PointCm::new(7.9, 5.0))
@@ -234,9 +243,14 @@ mod tests {
     #[test]
     fn fraction_for_row_inverse_of_mapping() {
         let v = column_view(1000);
-        let row = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 7.0)).unwrap().unwrap();
+        let row = TouchMapper::row_for_touch(&v, PointCm::new(1.0, 7.0))
+            .unwrap()
+            .unwrap();
         let frac = TouchMapper::fraction_for_row(&v, row);
         assert!((frac - 0.7).abs() < 1e-3);
-        assert_eq!(TouchMapper::fraction_for_row(&column_view(0), RowId(5)), 0.0);
+        assert_eq!(
+            TouchMapper::fraction_for_row(&column_view(0), RowId(5)),
+            0.0
+        );
     }
 }

@@ -156,8 +156,10 @@ mod tests {
     #[test]
     fn count_sum_avg_min_max() {
         let values = [3.0, 1.0, 4.0, 1.0, 5.0];
-        let mut aggs: Vec<RunningAggregate> =
-            AggregateKind::ALL.iter().map(|k| RunningAggregate::new(*k)).collect();
+        let mut aggs: Vec<RunningAggregate> = AggregateKind::ALL
+            .iter()
+            .map(|k| RunningAggregate::new(*k))
+            .collect();
         for v in values {
             for a in &mut aggs {
                 a.update(v);
@@ -172,7 +174,10 @@ mod tests {
 
     #[test]
     fn empty_aggregates() {
-        assert_eq!(RunningAggregate::new(AggregateKind::Count).value(), Some(0.0));
+        assert_eq!(
+            RunningAggregate::new(AggregateKind::Count).value(),
+            Some(0.0)
+        );
         assert_eq!(RunningAggregate::new(AggregateKind::Sum).value(), None);
         assert_eq!(RunningAggregate::new(AggregateKind::Avg).value(), None);
         assert_eq!(RunningAggregate::new(AggregateKind::Min).value(), None);

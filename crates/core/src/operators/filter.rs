@@ -129,7 +129,9 @@ impl Predicate {
         match self {
             Predicate::Compare { .. } => 1,
             Predicate::Between { .. } => 2,
-            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().map(Predicate::cost).sum::<u64>() + 1,
+            Predicate::And(ps) | Predicate::Or(ps) => {
+                ps.iter().map(Predicate::cost).sum::<u64>() + 1
+            }
             Predicate::Not(p) => p.cost() + 1,
         }
     }
@@ -147,9 +149,7 @@ impl Predicate {
                     CompareOp::Ne => return None,
                 })
             }
-            Predicate::Between { low, high } => {
-                Some((low.as_f64().ok()?, high.as_f64().ok()?))
-            }
+            Predicate::Between { low, high } => Some((low.as_f64().ok()?, high.as_f64().ok()?)),
             Predicate::And(ps) => {
                 let mut lo = f64::NEG_INFINITY;
                 let mut hi = f64::INFINITY;
@@ -205,8 +205,12 @@ mod tests {
     #[test]
     fn mixed_numeric_comparison() {
         // ints compare against float constants via total numeric ordering
-        assert!(Predicate::compare(CompareOp::Gt, 4.5f64).eval(&Value::Int(5)).unwrap());
-        assert!(!Predicate::compare(CompareOp::Gt, 5.5f64).eval(&Value::Int(5)).unwrap());
+        assert!(Predicate::compare(CompareOp::Gt, 4.5f64)
+            .eval(&Value::Int(5))
+            .unwrap());
+        assert!(!Predicate::compare(CompareOp::Gt, 5.5f64)
+            .eval(&Value::Int(5))
+            .unwrap());
     }
 
     #[test]
@@ -270,7 +274,9 @@ mod tests {
             Predicate::compare(CompareOp::Eq, 3i64).numeric_bounds(),
             Some((3.0, 3.0))
         );
-        let (lo, hi) = Predicate::compare(CompareOp::Gt, 7i64).numeric_bounds().unwrap();
+        let (lo, hi) = Predicate::compare(CompareOp::Gt, 7i64)
+            .numeric_bounds()
+            .unwrap();
         assert_eq!(lo, 7.0);
         assert!(hi.is_infinite());
         let and = Predicate::And(vec![
@@ -278,7 +284,10 @@ mod tests {
             Predicate::compare(CompareOp::Le, 9i64),
         ]);
         assert_eq!(and.numeric_bounds(), Some((0.0, 9.0)));
-        assert_eq!(Predicate::compare(CompareOp::Ne, 3i64).numeric_bounds(), None);
+        assert_eq!(
+            Predicate::compare(CompareOp::Ne, 3i64).numeric_bounds(),
+            None
+        );
         assert_eq!(
             Predicate::compare(CompareOp::Eq, "abc").numeric_bounds(),
             None
@@ -288,6 +297,9 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Predicate::compare(CompareOp::Gt, 5i64).to_string(), "x > 5");
-        assert_eq!(Predicate::between(1i64, 2i64).to_string(), "x between 1 and 2");
+        assert_eq!(
+            Predicate::between(1i64, 2i64).to_string(),
+            "x between 1 and 2"
+        );
     }
 }

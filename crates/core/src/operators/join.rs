@@ -213,14 +213,20 @@ mod tests {
         j.push(JoinSide::Left, RowId(0), Value::Str("eu".into()));
         let m = j.push(JoinSide::Right, RowId(1), Value::Str("eu".into()));
         assert_eq!(m.len(), 1);
-        assert!(j.push(JoinSide::Right, RowId(2), Value::Str("us".into())).is_empty());
+        assert!(j
+            .push(JoinSide::Right, RowId(2), Value::Str("us".into()))
+            .is_empty());
     }
 
     #[test]
     fn symmetric_matches_blocking_results() {
         // Same inputs through both joins produce the same set of matched pairs.
-        let left: Vec<(RowId, Value)> = (0..20).map(|i| (RowId(i), Value::Int((i % 5) as i64))).collect();
-        let right: Vec<(RowId, Value)> = (0..15).map(|i| (RowId(i), Value::Int((i % 7) as i64))).collect();
+        let left: Vec<(RowId, Value)> = (0..20)
+            .map(|i| (RowId(i), Value::Int((i % 5) as i64)))
+            .collect();
+        let right: Vec<(RowId, Value)> = (0..15)
+            .map(|i| (RowId(i), Value::Int((i % 7) as i64)))
+            .collect();
 
         let mut sym = SymmetricHashJoin::new();
         let mut sym_pairs = Vec::new();

@@ -46,7 +46,10 @@ mod tests {
     fn point_value() {
         let m = matrix();
         assert_eq!(PointScan::value(&m, RowId(1), 0).unwrap(), Value::Int(20));
-        assert_eq!(PointScan::value(&m, RowId(2), 1).unwrap(), Value::Str("c".into()));
+        assert_eq!(
+            PointScan::value(&m, RowId(2), 1).unwrap(),
+            Value::Str("c".into())
+        );
         assert!(PointScan::value(&m, RowId(9), 0).is_err());
     }
 

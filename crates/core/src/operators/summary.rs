@@ -86,8 +86,14 @@ mod tests {
 
     #[test]
     fn window_rows() {
-        assert_eq!(InteractiveSummary::new(5, AggregateKind::Avg).window_rows(), 11);
-        assert_eq!(InteractiveSummary::new(0, AggregateKind::Avg).window_rows(), 1);
+        assert_eq!(
+            InteractiveSummary::new(5, AggregateKind::Avg).window_rows(),
+            11
+        );
+        assert_eq!(
+            InteractiveSummary::new(0, AggregateKind::Avg).window_rows(),
+            1
+        );
     }
 
     #[test]
@@ -115,13 +121,21 @@ mod tests {
     #[test]
     fn different_aggregate_kinds() {
         let c = col();
-        let min = InteractiveSummary::new(3, AggregateKind::Min).summarize(&c, RowId(10)).unwrap();
+        let min = InteractiveSummary::new(3, AggregateKind::Min)
+            .summarize(&c, RowId(10))
+            .unwrap();
         assert_eq!(min.value, Some(7.0));
-        let max = InteractiveSummary::new(3, AggregateKind::Max).summarize(&c, RowId(10)).unwrap();
+        let max = InteractiveSummary::new(3, AggregateKind::Max)
+            .summarize(&c, RowId(10))
+            .unwrap();
         assert_eq!(max.value, Some(13.0));
-        let sum = InteractiveSummary::new(1, AggregateKind::Sum).summarize(&c, RowId(10)).unwrap();
+        let sum = InteractiveSummary::new(1, AggregateKind::Sum)
+            .summarize(&c, RowId(10))
+            .unwrap();
         assert_eq!(sum.value, Some(9.0 + 10.0 + 11.0));
-        let count = InteractiveSummary::new(1, AggregateKind::Count).summarize(&c, RowId(10)).unwrap();
+        let count = InteractiveSummary::new(1, AggregateKind::Count)
+            .summarize(&c, RowId(10))
+            .unwrap();
         assert_eq!(count.value, Some(3.0));
     }
 
@@ -145,7 +159,9 @@ mod tests {
     #[test]
     fn non_numeric_column_rejected() {
         let strings = Column::from_strings("s", 4, &["a", "b"]).unwrap();
-        assert!(InteractiveSummary::default().summarize(&strings, RowId(0)).is_err());
+        assert!(InteractiveSummary::default()
+            .summarize(&strings, RowId(0))
+            .is_err());
     }
 
     #[test]

@@ -128,7 +128,7 @@ impl AdaptiveFilterOrder {
             s.observe(passed);
             verdict = passed;
         }
-        if self.evaluations % self.reorder_every == 0 {
+        if self.evaluations.is_multiple_of(self.reorder_every) {
             self.reorder();
         }
         Ok(verdict)
@@ -136,8 +136,11 @@ impl AdaptiveFilterOrder {
 
     fn reorder(&mut self) {
         let before: Vec<String> = self.stats.iter().map(|s| s.predicate.to_string()).collect();
-        self.stats
-            .sort_by(|a, b| a.rank().partial_cmp(&b.rank()).unwrap_or(std::cmp::Ordering::Equal));
+        self.stats.sort_by(|a, b| {
+            a.rank()
+                .partial_cmp(&b.rank())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let after: Vec<String> = self.stats.iter().map(|s| s.predicate.to_string()).collect();
         if before != after {
             self.reorderings += 1;
@@ -187,8 +190,8 @@ mod tests {
         // First predicate almost always passes; second almost always rejects.
         let mut f = AdaptiveFilterOrder::new(
             vec![
-                Predicate::compare(CompareOp::Ge, 0i64),      // always true for our data
-                Predicate::compare(CompareOp::Gt, 1_000i64),  // always false for our data
+                Predicate::compare(CompareOp::Ge, 0i64), // always true for our data
+                Predicate::compare(CompareOp::Gt, 1_000i64), // always false for our data
             ],
             32,
         );
@@ -197,7 +200,10 @@ mod tests {
             let _ = f.eval(&Value::Int(i % 100)).unwrap();
         }
         let snap = f.snapshot();
-        assert_ne!(snap.order, initial_order, "the rejecting predicate should move first");
+        assert_ne!(
+            snap.order, initial_order,
+            "the rejecting predicate should move first"
+        );
         assert_eq!(snap.order[0], "x > 1000");
         assert!(snap.reorderings >= 1);
         assert_eq!(snap.evaluations, 200);
@@ -223,10 +229,7 @@ mod tests {
 
     #[test]
     fn snapshot_selectivities_are_probabilities() {
-        let mut f = AdaptiveFilterOrder::new(
-            vec![Predicate::compare(CompareOp::Lt, 50i64)],
-            200,
-        );
+        let mut f = AdaptiveFilterOrder::new(vec![Predicate::compare(CompareOp::Lt, 50i64)], 200);
         for i in 0..100i64 {
             let _ = f.eval(&Value::Int(i)).unwrap();
         }

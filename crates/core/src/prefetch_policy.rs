@@ -61,7 +61,11 @@ impl PrefetchPolicy {
             let end = predicted_row
                 .0
                 .saturating_add(1)
-                .min(current_row.saturating_add(self.horizon_rows).saturating_add(1))
+                .min(
+                    current_row
+                        .saturating_add(self.horizon_rows)
+                        .saturating_add(1),
+                )
                 .min(view.tuple_count);
             RowRange::new(current_row + 1, end)
         } else {
@@ -148,7 +152,9 @@ mod tests {
     fn no_plan_when_disabled_or_stationary() {
         let disabled = PrefetchPolicy::new(&KernelConfig::naive());
         assert!(!disabled.is_enabled());
-        assert!(disabled.plan(&view(), &moving_kinematics(), 250_000).is_none());
+        assert!(disabled
+            .plan(&view(), &moving_kinematics(), 250_000)
+            .is_none());
 
         let policy = PrefetchPolicy::new(&KernelConfig::default());
         let mut still = GestureKinematics::default();

@@ -142,11 +142,9 @@ impl RemoteStore {
         } else {
             self.stats.remote_requests += 1;
             self.stats.rows_shipped += rows;
-            let transfer_micros = if self.network.rows_per_milli == 0 {
-                0
-            } else {
-                rows * 1000 / self.network.rows_per_milli
-            };
+            let transfer_micros = (rows * 1000)
+                .checked_div(self.network.rows_per_milli)
+                .unwrap_or(0);
             let micros = self.network.round_trip_micros + transfer_micros;
             self.stats.remote_wait_micros += micros;
             Ok(RemoteFetch {

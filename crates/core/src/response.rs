@@ -83,7 +83,9 @@ impl ResponseBudget {
         if !self.enabled {
             return u64::MAX;
         }
-        ((self.budget_micros as f64 * 1000.0) / self.nanos_per_row).floor().max(1.0) as u64
+        ((self.budget_micros as f64 * 1000.0) / self.nanos_per_row)
+            .floor()
+            .max(1.0) as u64
     }
 
     /// Admit a window for processing: returns the (possibly truncated) range to

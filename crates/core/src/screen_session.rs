@@ -34,7 +34,10 @@ pub struct ScreenOutcome {
 impl ScreenOutcome {
     /// Total entries returned across all touched objects.
     pub fn total_entries(&self) -> u64 {
-        self.per_object.values().map(|o| o.stats.entries_returned).sum()
+        self.per_object
+            .values()
+            .map(|o| o.stats.entries_returned)
+            .sum()
     }
 
     /// Total rows touched across all touched objects.
@@ -119,10 +122,7 @@ impl ScreenSession {
             if let Some(first) = events.first_mut() {
                 first.phase = dbtouch_gesture::touch::TouchPhase::Began;
             }
-            let sub_trace = GestureTrace::from_events(
-                kernel.view(id)?.name.clone(),
-                events,
-            )?;
+            let sub_trace = GestureTrace::from_events(kernel.view(id)?.name.clone(), events)?;
             let session_outcome = kernel.run_trace(id, &sub_trace)?;
             outcome.per_object.insert(id, session_outcome);
         }
@@ -200,7 +200,9 @@ mod tests {
         let (mut kernel, screen, a, b) = setup();
         // a vertical slide entirely within object a
         let points: Vec<(f64, f64)> = (0..30).map(|i| (2.0, 1.5 + i as f64 * 0.3)).collect();
-        let outcome = screen.run_trace(&mut kernel, &screen_slide(&points)).unwrap();
+        let outcome = screen
+            .run_trace(&mut kernel, &screen_slide(&points))
+            .unwrap();
         assert!(outcome.per_object.contains_key(&a));
         assert!(!outcome.per_object.contains_key(&b));
         assert_eq!(outcome.missed_touches, 0);
@@ -212,11 +214,13 @@ mod tests {
         let (mut kernel, screen, a, b) = setup();
         // a horizontal sweep crossing a, the gap, then b
         let points: Vec<(f64, f64)> = (0..40).map(|i| (1.2 + i as f64 * 0.15, 5.0)).collect();
-        let outcome = screen.run_trace(&mut kernel, &screen_slide(&points)).unwrap();
+        let outcome = screen
+            .run_trace(&mut kernel, &screen_slide(&points))
+            .unwrap();
         assert!(outcome.per_object.contains_key(&a));
         assert!(outcome.per_object.contains_key(&b));
         assert!(outcome.missed_touches > 0); // the gap between the objects
-        // values delivered by each object come from that object's data
+                                             // values delivered by each object come from that object's data
         let a_values = &outcome.per_object[&a];
         for r in a_values.results.results() {
             assert!(r.value().unwrap().as_i64().unwrap() < 10_000);
@@ -231,7 +235,9 @@ mod tests {
     fn touches_on_empty_space_are_counted() {
         let (mut kernel, screen, _, _) = setup();
         let points: Vec<(f64, f64)> = (0..10).map(|i| (20.0, 1.0 + i as f64)).collect();
-        let outcome = screen.run_trace(&mut kernel, &screen_slide(&points)).unwrap();
+        let outcome = screen
+            .run_trace(&mut kernel, &screen_slide(&points))
+            .unwrap();
         assert_eq!(outcome.missed_touches, 10);
         assert!(outcome.per_object.is_empty());
         assert_eq!(outcome.total_entries(), 0);

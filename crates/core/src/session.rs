@@ -13,7 +13,8 @@
 //! budget.
 
 use crate::adaptive::GranularityPolicy;
-use crate::kernel::{DataObject, TouchAction};
+use crate::catalog::ObjectState;
+use crate::kernel::TouchAction;
 use crate::mapping::TouchMapper;
 use crate::operators::aggregate::RunningAggregate;
 use crate::operators::groupby::IncrementalGroupBy;
@@ -74,11 +75,9 @@ pub struct SessionStats {
 impl SessionStats {
     /// Mean per-touch processing time in nanoseconds (0 when no touches).
     pub fn mean_touch_nanos(&self) -> u64 {
-        if self.touches == 0 {
-            0
-        } else {
-            (self.compute_nanos + self.simulated_access_nanos) / self.touches
-        }
+        (self.compute_nanos + self.simulated_access_nanos)
+            .checked_div(self.touches)
+            .unwrap_or(0)
     }
 }
 
@@ -97,8 +96,13 @@ pub struct SessionOutcome {
 }
 
 /// A query session over one data object.
+///
+/// A session borrows one [`ObjectState`] (per-session mutable exploration
+/// state) and reads the shared, immutable object data through it. Sessions on
+/// different states never contend: `dbtouch-server` runs many of them
+/// concurrently over one [`crate::catalog::SharedCatalog`].
 pub struct Session<'a> {
-    object: &'a mut DataObject,
+    object: &'a mut ObjectState,
     config: &'a KernelConfig,
     recognizer: GestureRecognizer,
     kinematics: GestureKinematics,
@@ -113,8 +117,10 @@ pub struct Session<'a> {
 }
 
 impl<'a> Session<'a> {
-    /// Create a session over `object` with the kernel configuration.
-    pub(crate) fn new(object: &'a mut DataObject, config: &'a KernelConfig) -> Session<'a> {
+    /// Create a session over checked-out object state with the kernel
+    /// configuration (use [`crate::catalog::SharedCatalog::checkout`] to
+    /// obtain the state).
+    pub fn new(object: &'a mut ObjectState, config: &'a KernelConfig) -> Session<'a> {
         let aggregate = object.action.aggregate_kind().map(RunningAggregate::new);
         let groupby = match &object.action {
             TouchAction::GroupBy { kind, .. } => Some(IncrementalGroupBy::new(*kind)),
@@ -172,14 +178,22 @@ impl<'a> Session<'a> {
 
     fn handle_gesture(&mut self, gesture: GestureEvent) -> Result<()> {
         match gesture {
-            GestureEvent::Tap { location, timestamp }
-            | GestureEvent::SlideBegan { location, timestamp }
-            | GestureEvent::SlideStep { location, timestamp } => {
-                self.process_touch(location, timestamp)
+            GestureEvent::Tap {
+                location,
+                timestamp,
             }
-            GestureEvent::SlidePaused { location, timestamp } => {
-                self.on_pause(location, timestamp)
+            | GestureEvent::SlideBegan {
+                location,
+                timestamp,
             }
+            | GestureEvent::SlideStep {
+                location,
+                timestamp,
+            } => self.process_touch(location, timestamp),
+            GestureEvent::SlidePaused {
+                location,
+                timestamp,
+            } => self.on_pause(location, timestamp),
             GestureEvent::SlideEnded { .. } => {
                 self.last_row = None;
                 Ok(())
@@ -200,8 +214,7 @@ impl<'a> Session<'a> {
     /// Process one touch that addresses data.
     fn process_touch(&mut self, location: PointCm, timestamp: Timestamp) -> Result<()> {
         let started = Instant::now();
-        let mapped =
-            TouchMapper::row_and_attribute_for_touch(&self.object.view, location)?;
+        let mapped = TouchMapper::row_and_attribute_for_touch(&self.object.view, location)?;
         let (row, attribute) = match mapped {
             Some(m) => m,
             None => return Ok(()),
@@ -247,7 +260,11 @@ impl<'a> Session<'a> {
 
         // Keep the touched neighbourhood warm for re-examination.
         if self.config.cache_enabled {
-            let window = RowRange::window(row, self.config.summary_half_window, self.object.row_count());
+            let window = RowRange::window(
+                row,
+                self.config.summary_half_window,
+                self.object.row_count(),
+            );
             self.object.cache.insert(window);
         }
 
@@ -308,7 +325,13 @@ impl<'a> Session<'a> {
         let Some((lo, hi)) = predicate.numeric_bounds() else {
             return false;
         };
-        match self.object.indexes.get(attribute).and_then(|i| i.as_ref()) {
+        match self
+            .object
+            .data()
+            .indexes()
+            .get(attribute)
+            .and_then(|i| i.as_ref())
+        {
             Some(index) => !index.row_block_may_match(row.0, lo, hi),
             None => false,
         }
@@ -384,9 +407,11 @@ impl<'a> Session<'a> {
     ) -> Result<()> {
         // Pick the sample level from gesture speed and object size.
         let hierarchy = self.object.hierarchy(attribute)?;
-        let decision =
-            self.granularity
-                .decide(&self.object.view, hierarchy, self.kinematics.speed_cm_per_s());
+        let decision = self.granularity.decide(
+            &self.object.view,
+            hierarchy,
+            self.kinematics.speed_cm_per_s(),
+        );
         *self
             .stats
             .sample_level_usage
@@ -547,7 +572,10 @@ mod tests {
         let outcome = kernel.run_trace(id, &trace).unwrap();
         let final_agg = outcome.final_aggregate.unwrap();
         // A full top-to-bottom slide over 0..10_000 should land near the middle.
-        assert!(final_agg > 3_000.0 && final_agg < 7_000.0, "avg {final_agg}");
+        assert!(
+            final_agg > 3_000.0 && final_agg < 7_000.0,
+            "avg {final_agg}"
+        );
         // The running aggregate is emitted per touch and changes over time.
         assert!(outcome.results.len() > 10);
     }
@@ -615,7 +643,15 @@ mod tests {
         let view = kernel.view(id).unwrap();
         let trace = GestureSynthesizer::new(60.0).slide_down(&view, 0.5);
         let outcome = kernel.run_trace(id, &trace).unwrap();
-        assert_eq!(outcome.stats.sample_level_usage.keys().copied().collect::<Vec<_>>(), vec![0]);
+        assert_eq!(
+            outcome
+                .stats
+                .sample_level_usage
+                .keys()
+                .copied()
+                .collect::<Vec<_>>(),
+            vec![0]
+        );
     }
 
     #[test]
@@ -739,7 +775,11 @@ mod tests {
         let view = kernel.view(id).unwrap();
         let trace = GestureSynthesizer::new(60.0).slide_down(&view, 2.0);
         let outcome = kernel.run_trace(id, &trace).unwrap();
-        assert!(outcome.stats.index_skips > 50, "skips {}", outcome.stats.index_skips);
+        assert!(
+            outcome.stats.index_skips > 50,
+            "skips {}",
+            outcome.stats.index_skips
+        );
         // skipped touches read no rows
         assert!(outcome.stats.rows_touched < outcome.stats.touches);
         // everything that was emitted satisfies the predicate

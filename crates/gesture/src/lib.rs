@@ -23,7 +23,9 @@
 //!   a physical touch screen and is what the figure harnesses drive.
 //! * [`trace`] — recorded gesture traces with serialization, so experiments are
 //!   reproducible.
+//! * [`json`] — the dependency-free JSON codec backing trace serialization.
 
+pub mod json;
 pub mod kinematics;
 pub mod recognizer;
 pub mod synthesizer;

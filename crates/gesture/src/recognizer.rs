@@ -17,31 +17,54 @@ use serde::{Deserialize, Serialize};
 pub enum GestureEvent {
     /// A quick touch without movement: reveals a single value (schema
     /// discovery, Section 2.2).
-    Tap { location: PointCm, timestamp: Timestamp },
+    Tap {
+        location: PointCm,
+        timestamp: Timestamp,
+    },
     /// A slide has started at this location.
-    SlideBegan { location: PointCm, timestamp: Timestamp },
+    SlideBegan {
+        location: PointCm,
+        timestamp: Timestamp,
+    },
     /// The slide moved to a new location; the kernel processes data for every
     /// such step.
-    SlideStep { location: PointCm, timestamp: Timestamp },
+    SlideStep {
+        location: PointCm,
+        timestamp: Timestamp,
+    },
     /// The finger is resting without moving mid-slide.
-    SlidePaused { location: PointCm, timestamp: Timestamp },
+    SlidePaused {
+        location: PointCm,
+        timestamp: Timestamp,
+    },
     /// The slide ended (finger lifted).
-    SlideEnded { location: PointCm, timestamp: Timestamp },
+    SlideEnded {
+        location: PointCm,
+        timestamp: Timestamp,
+    },
     /// A two-finger pinch completed; `scale > 1` is a zoom-in, `scale < 1` a
     /// zoom-out.
     Pinch { scale: f64, timestamp: Timestamp },
     /// A two-finger rotation completed (a quarter turn), flipping the object's
     /// physical design between row-store and column-store (Section 2.8).
-    Rotate { clockwise: bool, timestamp: Timestamp },
+    Rotate {
+        clockwise: bool,
+        timestamp: Timestamp,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum SingleState {
     Idle,
     /// Finger down, movement still below the tap threshold.
-    Pending { start: PointCm, start_ts: Timestamp },
+    Pending {
+        start: PointCm,
+        start_ts: Timestamp,
+    },
     /// Movement exceeded the threshold: this is a slide.
-    Sliding { last: PointCm },
+    Sliding {
+        last: PointCm,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -159,13 +182,22 @@ impl GestureRecognizer {
         let mut out = Vec::new();
         match (self.single, event.phase) {
             (SingleState::Idle, TouchPhase::Began) => {
-                self.single = SingleState::Pending { start: loc, start_ts: ts };
+                self.single = SingleState::Pending {
+                    start: loc,
+                    start_ts: ts,
+                };
             }
             (SingleState::Pending { start, start_ts }, TouchPhase::Moved)
             | (SingleState::Pending { start, start_ts }, TouchPhase::Stationary) => {
                 if start.distance(&loc) > self.config.tap_movement_cm {
-                    out.push(GestureEvent::SlideBegan { location: start, timestamp: start_ts });
-                    out.push(GestureEvent::SlideStep { location: loc, timestamp: ts });
+                    out.push(GestureEvent::SlideBegan {
+                        location: start,
+                        timestamp: start_ts,
+                    });
+                    out.push(GestureEvent::SlideStep {
+                        location: loc,
+                        timestamp: ts,
+                    });
                     self.single = SingleState::Sliding { last: loc };
                 } else {
                     self.single = SingleState::Pending { start, start_ts };
@@ -175,34 +207,58 @@ impl GestureRecognizer {
                 let quick = ts.since(start_ts).as_millis() as u64 <= self.config.tap_duration_ms;
                 let still = start.distance(&loc) <= self.config.tap_movement_cm;
                 if quick && still {
-                    out.push(GestureEvent::Tap { location: loc, timestamp: ts });
+                    out.push(GestureEvent::Tap {
+                        location: loc,
+                        timestamp: ts,
+                    });
                 } else {
                     // A long press or slow micro-movement: treat as a degenerate
                     // slide so the kernel still reacts to it.
-                    out.push(GestureEvent::SlideBegan { location: start, timestamp: start_ts });
-                    out.push(GestureEvent::SlideEnded { location: loc, timestamp: ts });
+                    out.push(GestureEvent::SlideBegan {
+                        location: start,
+                        timestamp: start_ts,
+                    });
+                    out.push(GestureEvent::SlideEnded {
+                        location: loc,
+                        timestamp: ts,
+                    });
                 }
                 self.single = SingleState::Idle;
             }
             (SingleState::Sliding { last }, TouchPhase::Moved) => {
                 if last.distance(&loc) > 1e-6 {
-                    out.push(GestureEvent::SlideStep { location: loc, timestamp: ts });
+                    out.push(GestureEvent::SlideStep {
+                        location: loc,
+                        timestamp: ts,
+                    });
                     self.single = SingleState::Sliding { last: loc };
                 } else {
-                    out.push(GestureEvent::SlidePaused { location: loc, timestamp: ts });
+                    out.push(GestureEvent::SlidePaused {
+                        location: loc,
+                        timestamp: ts,
+                    });
                 }
             }
             (SingleState::Sliding { .. }, TouchPhase::Stationary) => {
-                out.push(GestureEvent::SlidePaused { location: loc, timestamp: ts });
+                out.push(GestureEvent::SlidePaused {
+                    location: loc,
+                    timestamp: ts,
+                });
             }
             (SingleState::Sliding { .. }, TouchPhase::Ended) => {
-                out.push(GestureEvent::SlideEnded { location: loc, timestamp: ts });
+                out.push(GestureEvent::SlideEnded {
+                    location: loc,
+                    timestamp: ts,
+                });
                 self.single = SingleState::Idle;
             }
             // Began while already tracking (shouldn't happen in valid traces):
             // restart the state machine.
             (_, TouchPhase::Began) => {
-                self.single = SingleState::Pending { start: loc, start_ts: ts };
+                self.single = SingleState::Pending {
+                    start: loc,
+                    start_ts: ts,
+                };
             }
             (SingleState::Idle, _) => {}
         }
@@ -232,7 +288,10 @@ impl GestureRecognizer {
                     angle_delta += 2.0 * std::f64::consts::PI;
                 }
                 if (scale - 1.0).abs() > self.config.pinch_threshold {
-                    out.push(GestureEvent::Pinch { scale, timestamp: event.timestamp });
+                    out.push(GestureEvent::Pinch {
+                        scale,
+                        timestamp: event.timestamp,
+                    });
                 } else if angle_delta.abs() > self.config.rotate_threshold_rad {
                     out.push(GestureEvent::Rotate {
                         clockwise: angle_delta > 0.0,
@@ -289,9 +348,18 @@ mod tests {
             ev(1.0, 3.0, 50, TouchPhase::Moved),
             ev(1.0, 3.0, 66, TouchPhase::Ended),
         ]);
-        let begans = events.iter().filter(|e| matches!(e, GestureEvent::SlideBegan { .. })).count();
-        let steps = events.iter().filter(|e| matches!(e, GestureEvent::SlideStep { .. })).count();
-        let ends = events.iter().filter(|e| matches!(e, GestureEvent::SlideEnded { .. })).count();
+        let begans = events
+            .iter()
+            .filter(|e| matches!(e, GestureEvent::SlideBegan { .. }))
+            .count();
+        let steps = events
+            .iter()
+            .filter(|e| matches!(e, GestureEvent::SlideStep { .. }))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| matches!(e, GestureEvent::SlideEnded { .. }))
+            .count();
         assert_eq!(begans, 1);
         assert_eq!(steps, 3);
         assert_eq!(ends, 1);
@@ -308,7 +376,10 @@ mod tests {
             ev(1.0, 2.0, 66, TouchPhase::Moved),
             ev(1.0, 2.0, 83, TouchPhase::Ended),
         ]);
-        let pauses = events.iter().filter(|e| matches!(e, GestureEvent::SlidePaused { .. })).count();
+        let pauses = events
+            .iter()
+            .filter(|e| matches!(e, GestureEvent::SlidePaused { .. }))
+            .count();
         assert_eq!(pauses, 2);
     }
 
@@ -320,7 +391,10 @@ mod tests {
             ev(1.0, 1.0, 16, TouchPhase::Moved),
             ev(1.0, 1.0, 33, TouchPhase::Moved), // same location: pause
         ]);
-        assert!(matches!(events.last().unwrap(), GestureEvent::SlidePaused { .. }));
+        assert!(matches!(
+            events.last().unwrap(),
+            GestureEvent::SlidePaused { .. }
+        ));
     }
 
     #[test]

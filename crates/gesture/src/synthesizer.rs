@@ -168,7 +168,11 @@ impl GestureSynthesizer {
     ) -> GestureTrace {
         self.slide_profile(
             view,
-            &[SlideSegment::movement(from_fraction, to_fraction, duration_s)],
+            &[SlideSegment::movement(
+                from_fraction,
+                to_fraction,
+                duration_s,
+            )],
             Timestamp::ZERO,
         )
     }
@@ -250,7 +254,11 @@ impl GestureSynthesizer {
             dbtouch_types::Orientation::Vertical => center,
             dbtouch_types::Orientation::Horizontal => PointCm::new(center.y, center.x),
         };
-        let scale = if scale.is_finite() && scale > 0.0 { scale } else { 1.0 };
+        let scale = if scale.is_finite() && scale > 0.0 {
+            scale
+        } else {
+            1.0
+        };
         let start_half = 1.0_f64.min(view.scroll_extent() / 4.0).max(0.2);
         let end_half = start_half * scale;
         let interval = self.sample_interval_ms();
@@ -260,7 +268,11 @@ impl GestureSynthesizer {
         let mut trace = GestureTrace::new(view.name.clone());
         let f0 = |half: f64| PointCm::new(center.x, center.y - half);
         let f1 = |half: f64| PointCm::new(center.x, center.y + half);
-        trace.push(TouchEvent::new(f0(start_half), Timestamp::ZERO, TouchPhase::Began));
+        trace.push(TouchEvent::new(
+            f0(start_half),
+            Timestamp::ZERO,
+            TouchPhase::Began,
+        ));
         trace.push(
             TouchEvent::new(f1(start_half), Timestamp::ZERO, TouchPhase::Began).with_finger(1),
         );
@@ -299,12 +311,23 @@ impl GestureSynthesizer {
         };
 
         let at_angle = |theta: f64, opposite: bool| {
-            let theta = if opposite { theta + std::f64::consts::PI } else { theta };
-            PointCm::new(center.x + radius * theta.cos(), center.y + radius * theta.sin())
+            let theta = if opposite {
+                theta + std::f64::consts::PI
+            } else {
+                theta
+            };
+            PointCm::new(
+                center.x + radius * theta.cos(),
+                center.y + radius * theta.sin(),
+            )
         };
 
         let mut trace = GestureTrace::new(view.name.clone());
-        trace.push(TouchEvent::new(at_angle(0.0, false), Timestamp::ZERO, TouchPhase::Began));
+        trace.push(TouchEvent::new(
+            at_angle(0.0, false),
+            Timestamp::ZERO,
+            TouchPhase::Began,
+        ));
         trace.push(
             TouchEvent::new(at_angle(0.0, true), Timestamp::ZERO, TouchPhase::Began).with_finger(1),
         );
@@ -314,12 +337,21 @@ impl GestureSynthesizer {
             let t = step as f64 / steps as f64;
             let theta = total_angle * t;
             let ts = Timestamp::from_millis(now_ms);
-            trace.push(TouchEvent::new(at_angle(theta, false), ts, TouchPhase::Moved));
-            trace.push(TouchEvent::new(at_angle(theta, true), ts, TouchPhase::Moved).with_finger(1));
+            trace.push(TouchEvent::new(
+                at_angle(theta, false),
+                ts,
+                TouchPhase::Moved,
+            ));
+            trace
+                .push(TouchEvent::new(at_angle(theta, true), ts, TouchPhase::Moved).with_finger(1));
         }
         now_ms += interval;
         let ts = Timestamp::from_millis(now_ms);
-        trace.push(TouchEvent::new(at_angle(total_angle, false), ts, TouchPhase::Ended));
+        trace.push(TouchEvent::new(
+            at_angle(total_angle, false),
+            ts,
+            TouchPhase::Ended,
+        ));
         trace.push(
             TouchEvent::new(at_angle(total_angle, true), ts, TouchPhase::Ended).with_finger(1),
         );
@@ -358,7 +390,10 @@ mod tests {
         assert!(first.y.abs() < 1e-9);
         assert!((last.y - 10.0).abs() < 1e-9);
         // x stays within the view
-        assert!(t.events.iter().all(|e| e.location.x >= 0.0 && e.location.x <= 2.0));
+        assert!(t
+            .events
+            .iter()
+            .all(|e| e.location.x >= 0.0 && e.location.x <= 2.0));
     }
 
     #[test]
@@ -408,9 +443,7 @@ mod tests {
         let ys: Vec<f64> = t.events.iter().map(|e| e.location.y).collect();
         let max_before_end = ys[..ys.len() - 10].iter().cloned().fold(f64::MIN, f64::max);
         // the slide backtracks: some later sample is lower than an earlier peak
-        let reversed = ys
-            .windows(2)
-            .any(|w| w[1] < w[0] - 1e-9);
+        let reversed = ys.windows(2).any(|w| w[1] < w[0] - 1e-9);
         assert!(reversed);
         assert!(max_before_end > 5.0);
     }
@@ -437,12 +470,16 @@ mod tests {
         let zoom_in = s.pinch(&view(), 2.0, 0.5);
         let mut r = GestureRecognizer::default();
         let events = r.feed_trace(&zoom_in.events);
-        assert!(events.iter().any(|e| matches!(e, GestureEvent::Pinch { scale, .. } if *scale > 1.2)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, GestureEvent::Pinch { scale, .. } if *scale > 1.2)));
 
         let zoom_out = s.pinch(&view(), 0.5, 0.5);
         let mut r = GestureRecognizer::default();
         let events = r.feed_trace(&zoom_out.events);
-        assert!(events.iter().any(|e| matches!(e, GestureEvent::Pinch { scale, .. } if *scale < 0.8)));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, GestureEvent::Pinch { scale, .. } if *scale < 0.8)));
     }
 
     #[test]
@@ -451,9 +488,13 @@ mod tests {
         let t = s.rotate(&view(), true, 0.5);
         let mut r = GestureRecognizer::default();
         let events = r.feed_trace(&t.events);
-        assert!(events
-            .iter()
-            .any(|e| matches!(e, GestureEvent::Rotate { clockwise: true, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            GestureEvent::Rotate {
+                clockwise: true,
+                ..
+            }
+        )));
     }
 
     #[test]

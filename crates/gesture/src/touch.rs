@@ -68,7 +68,11 @@ mod tests {
 
     #[test]
     fn constructor_defaults_to_first_finger() {
-        let e = TouchEvent::new(PointCm::new(1.0, 2.0), Timestamp::from_millis(5), TouchPhase::Began);
+        let e = TouchEvent::new(
+            PointCm::new(1.0, 2.0),
+            Timestamp::from_millis(5),
+            TouchPhase::Began,
+        );
         assert_eq!(e.finger, 0);
         assert_eq!(e.location.y, 2.0);
         assert!(e.is_active());

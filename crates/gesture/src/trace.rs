@@ -5,10 +5,31 @@
 //! consumes, and what the experiment harnesses serialize so that every figure
 //! can be regenerated from the exact same input.
 
+use crate::json::Json;
 use crate::touch::{TouchEvent, TouchPhase};
-use dbtouch_types::{DbTouchError, Result};
+use dbtouch_types::{DbTouchError, PointCm, Result, Timestamp};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+fn phase_name(phase: TouchPhase) -> &'static str {
+    match phase {
+        TouchPhase::Began => "Began",
+        TouchPhase::Moved => "Moved",
+        TouchPhase::Stationary => "Stationary",
+        TouchPhase::Ended => "Ended",
+    }
+}
+
+fn phase_from_name(name: &str) -> Option<TouchPhase> {
+    match name {
+        "Began" => Some(TouchPhase::Began),
+        "Moved" => Some(TouchPhase::Moved),
+        "Stationary" => Some(TouchPhase::Stationary),
+        "Ended" => Some(TouchPhase::Ended),
+        _ => None,
+    }
+}
 
 /// An ordered sequence of touch events over a single view.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -101,14 +122,78 @@ impl GestureTrace {
 
     /// Serialize the trace to JSON (for storing experiment inputs).
     pub fn to_json(&self) -> Result<String> {
-        serde_json::to_string_pretty(self)
-            .map_err(|e| DbTouchError::Internal(format!("trace serialization failed: {e}")))
+        let events = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut map = BTreeMap::new();
+                map.insert("x".to_string(), Json::Number(e.location.x));
+                map.insert("y".to_string(), Json::Number(e.location.y));
+                map.insert(
+                    "ms".to_string(),
+                    Json::Number(e.timestamp.as_millis() as f64),
+                );
+                map.insert(
+                    "phase".to_string(),
+                    Json::String(phase_name(e.phase).to_string()),
+                );
+                map.insert("finger".to_string(), Json::Number(e.finger as f64));
+                Json::Object(map)
+            })
+            .collect();
+        let mut root = BTreeMap::new();
+        root.insert("target".to_string(), Json::String(self.target.clone()));
+        root.insert("events".to_string(), Json::Array(events));
+        Ok(Json::Object(root).pretty())
     }
 
     /// Deserialize a trace from JSON.
     pub fn from_json(json: &str) -> Result<GestureTrace> {
-        let trace: GestureTrace = serde_json::from_str(json)
-            .map_err(|e| DbTouchError::ParseError(format!("trace deserialization failed: {e}")))?;
+        let parse_err =
+            |msg: String| DbTouchError::ParseError(format!("trace deserialization failed: {msg}"));
+        let root = crate::json::parse(json).map_err(parse_err)?;
+        let target = root
+            .get("target")
+            .and_then(Json::as_str)
+            .ok_or_else(|| parse_err("missing string field 'target'".to_string()))?
+            .to_string();
+        let mut events = Vec::new();
+        for (i, ev) in root
+            .get("events")
+            .and_then(Json::as_array)
+            .ok_or_else(|| parse_err("missing array field 'events'".to_string()))?
+            .iter()
+            .enumerate()
+        {
+            let field_err = |field: &str| parse_err(format!("event {i}: bad field '{field}'"));
+            let x = ev
+                .get("x")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_err("x"))?;
+            let y = ev
+                .get("y")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| field_err("y"))?;
+            let ms = ev
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| field_err("ms"))?;
+            let phase = ev
+                .get("phase")
+                .and_then(Json::as_str)
+                .and_then(phase_from_name)
+                .ok_or_else(|| field_err("phase"))?;
+            let finger = ev
+                .get("finger")
+                .and_then(Json::as_u64)
+                .filter(|&f| f <= u8::MAX as u64)
+                .ok_or_else(|| field_err("finger"))? as u8;
+            events.push(
+                TouchEvent::new(PointCm::new(x, y), Timestamp::from_millis(ms), phase)
+                    .with_finger(finger),
+            );
+        }
+        let trace = GestureTrace { target, events };
         trace.validate()?;
         Ok(trace)
     }
@@ -230,7 +315,10 @@ mod tests {
         let first = valid_trace();
         let second = GestureTrace::from_events(
             "col",
-            vec![ev(5.0, 100, TouchPhase::Began), ev(6.0, 120, TouchPhase::Ended)],
+            vec![
+                ev(5.0, 100, TouchPhase::Began),
+                ev(6.0, 120, TouchPhase::Ended),
+            ],
         )
         .unwrap();
         let chained = first.clone().chain(&second).unwrap();

@@ -13,9 +13,7 @@
 //! mapping layer of the kernel needs. A [`Screen`] is the master view holding
 //! the data-object views and supports hit testing.
 
-use dbtouch_types::{
-    DbTouchError, Orientation, PointCm, Rect, Result, SizeCm,
-};
+use dbtouch_types::{DbTouchError, Orientation, PointCm, Rect, Result, SizeCm};
 use serde::{Deserialize, Serialize};
 
 /// A view representing one data object on the touch screen.
@@ -95,9 +93,7 @@ impl View {
 
     /// Extent across the scroll axis (the axis that addresses attributes).
     pub fn cross_extent(&self) -> f64 {
-        self.frame
-            .size
-            .extent_along(self.orientation.rotated())
+        self.frame.size.extent_along(self.orientation.rotated())
     }
 
     /// Place the view at a position inside its master view.
@@ -148,7 +144,9 @@ impl View {
         if touch_resolution_cm <= 0.0 {
             return u64::MAX;
         }
-        (self.scroll_extent() / touch_resolution_cm).floor().max(1.0) as u64
+        (self.scroll_extent() / touch_resolution_cm)
+            .floor()
+            .max(1.0) as u64
     }
 }
 

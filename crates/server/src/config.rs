@@ -1,0 +1,56 @@
+//! Server configuration.
+
+/// Configuration of the exploration server's worker pool and queues.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Number of worker threads processing sessions. Each session is pinned
+    /// to one worker; a worker multiplexes many sessions.
+    pub worker_threads: usize,
+    /// Maximum number of in-flight events per session. A session submitting
+    /// faster than its worker drains blocks on [`SessionHandle::run_trace`]
+    /// (backpressure) instead of queueing without bound.
+    ///
+    /// [`SessionHandle::run_trace`]: crate::manager::SessionHandle::run_trace
+    pub session_queue_depth: usize,
+}
+
+impl ServerConfig {
+    /// `worker_threads` sized to the machine, depth 64.
+    pub fn auto() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// A specific worker count with the default queue depth.
+    pub fn with_workers(worker_threads: usize) -> ServerConfig {
+        ServerConfig {
+            worker_threads: worker_threads.max(1),
+            ..ServerConfig::default()
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            worker_threads: parallelism.clamp(2, 16),
+            session_queue_depth: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.worker_threads >= 2);
+        assert!(c.session_queue_depth > 0);
+        assert_eq!(ServerConfig::with_workers(0).worker_threads, 1);
+        assert_eq!(ServerConfig::with_workers(5).worker_threads, 5);
+    }
+}

@@ -1,0 +1,150 @@
+//! Per-touch latency accounting for served sessions.
+//!
+//! The paper's interactive-behaviour requirement (Section 4) — "there should
+//! always be a maximum possible wait time for a single touch" — becomes, in a
+//! serving context, a tail-latency requirement: the server must know its p99
+//! per-touch time under load, not just its throughput.
+
+/// Wall-clock measurement of one processed gesture trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySample {
+    /// Wall time the worker spent processing the trace, in nanoseconds.
+    pub nanos: u64,
+    /// Touch samples in the trace.
+    pub touches: u64,
+    /// Worst single-touch processing time inside the trace, in nanoseconds
+    /// (from the session's own per-touch measurement). This is what the
+    /// paper's "maximum possible wait time for a single touch" bounds; the
+    /// per-trace mean cannot stand in for it.
+    pub max_touch_nanos: u64,
+}
+
+impl LatencySample {
+    /// Mean per-touch processing time within this trace.
+    pub fn per_touch_nanos(&self) -> u64 {
+        self.nanos / self.touches.max(1)
+    }
+}
+
+/// Percentile over an unsorted slice (nearest-rank). Returns 0 when empty.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    percentile_sorted(&sorted, p)
+}
+
+/// Nearest-rank percentile over an already-sorted slice. Returns 0 when empty.
+fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Summary of per-touch latency across many traces.
+///
+/// The percentiles are over each trace's *mean* per-touch time — the
+/// distribution of how fast whole gestures were served. `max_nanos` is the
+/// true worst single touch across every trace (not the worst mean), so the
+/// tail a slow individual touch creates is never averaged away.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of traces measured.
+    pub count: usize,
+    /// Mean per-touch nanoseconds across traces.
+    pub mean_nanos: u64,
+    /// Median of per-trace mean per-touch nanoseconds.
+    pub p50_nanos: u64,
+    /// 90th percentile of per-trace mean per-touch nanoseconds.
+    pub p90_nanos: u64,
+    /// 99th percentile of per-trace mean per-touch nanoseconds.
+    pub p99_nanos: u64,
+    /// Worst single-touch nanoseconds observed in any trace.
+    pub max_nanos: u64,
+}
+
+impl LatencySummary {
+    /// Summarize per-touch latencies of a set of trace samples.
+    pub fn from_samples(samples: &[LatencySample]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary::default();
+        }
+        let mut per_touch: Vec<u64> = samples.iter().map(LatencySample::per_touch_nanos).collect();
+        per_touch.sort_unstable();
+        let sum: u64 = per_touch.iter().sum();
+        // The worst single touch anywhere; a sample that never recorded one
+        // (max_touch_nanos == 0) falls back to its mean.
+        let max_nanos = samples
+            .iter()
+            .map(|s| s.max_touch_nanos.max(s.per_touch_nanos()))
+            .max()
+            .unwrap_or(0);
+        LatencySummary {
+            count: per_touch.len(),
+            mean_nanos: sum / per_touch.len() as u64,
+            p50_nanos: percentile_sorted(&per_touch, 50.0),
+            p90_nanos: percentile_sorted(&per_touch, 90.0),
+            p99_nanos: percentile_sorted(&per_touch, 99.0),
+            max_nanos,
+        }
+    }
+
+    /// Merge per-trace samples from several sessions into one summary.
+    pub fn merged<'a>(
+        per_session: impl IntoIterator<Item = &'a [LatencySample]>,
+    ) -> LatencySummary {
+        let all: Vec<LatencySample> = per_session.into_iter().flatten().copied().collect();
+        LatencySummary::from_samples(&all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 50.0), 50);
+        assert_eq!(percentile(&samples, 99.0), 99);
+        assert_eq!(percentile(&samples, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn summary_per_touch() {
+        let samples = [
+            LatencySample {
+                nanos: 1_000,
+                touches: 10,
+                max_touch_nanos: 400,
+            }, // mean 100 ns/touch, worst touch 400
+            LatencySample {
+                nanos: 9_000,
+                touches: 30,
+                max_touch_nanos: 5_000,
+            }, // mean 300 ns/touch, worst touch 5000
+        ];
+        let s = LatencySummary::from_samples(&samples);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_nanos, 200);
+        assert_eq!(s.p50_nanos, 100);
+        // max is the worst single touch, not the worst per-trace mean.
+        assert_eq!(s.max_nanos, 5_000);
+    }
+
+    #[test]
+    fn empty_and_zero_touch_safe() {
+        assert_eq!(LatencySummary::from_samples(&[]), LatencySummary::default());
+        let z = LatencySample {
+            nanos: 5,
+            touches: 0,
+            max_touch_nanos: 0,
+        };
+        assert_eq!(z.per_touch_nanos(), 5);
+        // A sample without a recorded worst touch falls back to its mean.
+        assert_eq!(LatencySummary::from_samples(&[z]).max_nanos, 5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # dbtouch-server
+//!
+//! A concurrent multi-session exploration service over a shared dbTouch
+//! catalog.
+//!
+//! dbTouch (CIDR 2013) frames data exploration as continuous gesture
+//! *sessions*. The kernel in `dbtouch-core` serves one explorer; this crate
+//! turns the reproduction into the skeleton of a serving system: many
+//! simultaneous explorers, each running independent gesture sessions against
+//! one immutable, shared data catalog.
+//!
+//! The design follows the standard idiom of concurrent columnar engines:
+//! loaded data is immutable and shared (`Arc<ObjectData>` inside
+//! [`dbtouch_core::catalog::SharedCatalog`]); everything mutable — view
+//! geometry, touch action, region cache, prefetcher, result stream — is
+//! per-session state checked out per explorer. Because sessions share nothing
+//! mutable, per-touch processing takes no locks and concurrent results are
+//! bit-identical to a sequential run of the same traces.
+//!
+//! * [`ExplorationServer`] — owns N worker threads; sessions are pinned
+//!   round-robin; each worker multiplexes its sessions' event queues.
+//! * [`SessionHandle`] — submit gesture traces with backpressure (bounded
+//!   per-session in-flight events), change actions, snapshot, close.
+//! * [`SessionReport`] — trace outcomes in submission order, error log, and
+//!   wall-clock [`LatencySample`]s for throughput/tail-latency reporting.
+
+pub mod config;
+pub mod latency;
+pub mod manager;
+pub mod report;
+
+pub use config::ServerConfig;
+pub use latency::{LatencySample, LatencySummary};
+pub use manager::{ExplorationServer, SessionHandle};
+pub use report::{digest_outcomes, SessionId, SessionReport, TraceOutcome};

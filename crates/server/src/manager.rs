@@ -1,0 +1,665 @@
+//! The session manager: worker threads multiplexing many exploration
+//! sessions over one shared catalog.
+//!
+//! Topology:
+//!
+//! ```text
+//!                    ┌──────────────────────────────┐
+//!  SessionHandle ──▶ │ worker 0: sessions {1, 4, …} │──┐
+//!  SessionHandle ──▶ │ worker 1: sessions {2, 5, …} │──┼──▶ Arc<SharedCatalog>
+//!  SessionHandle ──▶ │ worker 2: sessions {3, 6, …} │──┘      (read-only)
+//!                    └──────────────────────────────┘
+//! ```
+//!
+//! * Sessions are pinned round-robin to one of N worker threads; a worker owns
+//!   the per-session [`ObjectState`]s outright, so per-touch processing takes
+//!   no locks at all — the only shared structure is the catalog's `Arc`'d
+//!   immutable data.
+//! * Every session has a bounded event budget ([`ServerConfig::session_queue_depth`]):
+//!   a producer that outruns its worker blocks in [`SessionHandle::run_trace`]
+//!   until earlier events drain (backpressure), so one runaway explorer cannot
+//!   queue unbounded work.
+//! * Processing errors (bad trace, unknown object, invalid action) are
+//!   recorded in the session's report instead of killing the worker.
+
+use crate::config::ServerConfig;
+use crate::latency::LatencySample;
+use crate::report::{SessionId, SessionReport, TraceOutcome};
+use dbtouch_core::catalog::{validate_action, ObjectState, SharedCatalog};
+use dbtouch_core::kernel::{ObjectId, TouchAction};
+use dbtouch_core::session::Session;
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_types::{DbTouchError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// One queued event of one session.
+enum SessionEvent {
+    /// Change the session's touch action for an object.
+    SetAction {
+        object: ObjectId,
+        action: TouchAction,
+    },
+    /// Run a gesture trace over an object.
+    RunTrace {
+        object: ObjectId,
+        trace: GestureTrace,
+    },
+    /// Reply with a copy of the session's report so far.
+    Snapshot { reply: SyncSender<SessionReport> },
+    /// Tear the session down and reply with its final report.
+    Close { reply: SyncSender<SessionReport> },
+}
+
+/// What travels to a worker.
+enum Envelope {
+    /// One queued event: the session it belongs to and the gate to release
+    /// once the event is processed.
+    Event {
+        session: SessionId,
+        gate: Arc<QueueGate>,
+        event: SessionEvent,
+    },
+    /// Shutdown signal: drain what is queued, wake every blocked producer,
+    /// exit. Sent by the server so workers terminate even while session
+    /// handles (and their `Sender` clones) are still alive.
+    Terminate,
+}
+
+struct GateState {
+    in_flight: usize,
+    closed: bool,
+}
+
+/// Counting gate bounding a session's in-flight events (a tiny closable
+/// semaphore). `close()` permanently wakes and rejects blocked producers so a
+/// worker that terminates — cleanly or by panic — cannot strand them.
+struct QueueGate {
+    depth: usize,
+    state: Mutex<GateState>,
+    drained: Condvar,
+}
+
+impl QueueGate {
+    fn new(depth: usize) -> QueueGate {
+        QueueGate {
+            depth: depth.max(1),
+            state: Mutex::new(GateState {
+                in_flight: 0,
+                closed: false,
+            }),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// Block until the session is below its depth, then take a slot. Returns
+    /// `false` (immediately or on wake) once the gate is closed.
+    fn acquire(&self) -> bool {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.in_flight < self.depth {
+                state.in_flight += 1;
+                return true;
+            }
+            state = self.drained.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Return a slot (called by the worker after processing an event).
+    fn release(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.in_flight = state.in_flight.saturating_sub(1);
+        self.drained.notify_one();
+    }
+
+    /// Reject current and future acquirers (worker gone).
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        self.drained.notify_all();
+    }
+}
+
+/// A handle to one served exploration session.
+///
+/// Events submitted through the handle are processed in order by the worker
+/// the session is pinned to. [`run_trace`](SessionHandle::run_trace) is
+/// asynchronous (fire-and-forget with backpressure);
+/// [`snapshot`](SessionHandle::snapshot) and [`close`](SessionHandle::close)
+/// are synchronous barriers.
+pub struct SessionHandle {
+    id: SessionId,
+    sender: Sender<Envelope>,
+    gate: Arc<QueueGate>,
+    closed: bool,
+}
+
+impl SessionHandle {
+    /// The session's id.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    fn submit(&self, event: SessionEvent) -> Result<()> {
+        if !self.gate.acquire() {
+            return Err(DbTouchError::Internal(
+                "exploration server has shut down".into(),
+            ));
+        }
+        self.sender
+            .send(Envelope::Event {
+                session: self.id,
+                gate: Arc::clone(&self.gate),
+                event,
+            })
+            .map_err(|_| {
+                self.gate.release();
+                DbTouchError::Internal("exploration server has shut down".into())
+            })
+    }
+
+    /// Choose the touch action subsequent traces over `object` run (this
+    /// session only; other sessions keep their own action).
+    pub fn set_action(&self, object: ObjectId, action: TouchAction) -> Result<()> {
+        self.submit(SessionEvent::SetAction { object, action })
+    }
+
+    /// Enqueue a gesture trace. Returns as soon as the event is queued; blocks
+    /// only when the session already has `session_queue_depth` events in
+    /// flight (backpressure).
+    pub fn run_trace(&self, object: ObjectId, trace: GestureTrace) -> Result<()> {
+        self.submit(SessionEvent::RunTrace { object, trace })
+    }
+
+    /// Wait for everything submitted so far to finish and return a copy of
+    /// the session's report.
+    pub fn snapshot(&self) -> Result<SessionReport> {
+        let (reply, receive) = sync_channel(1);
+        self.submit(SessionEvent::Snapshot { reply })?;
+        receive
+            .recv()
+            .map_err(|_| DbTouchError::Internal("exploration server has shut down".into()))
+    }
+
+    /// Wait for everything submitted so far to finish, tear the session down
+    /// and return its final report.
+    pub fn close(mut self) -> Result<SessionReport> {
+        let (reply, receive) = sync_channel(1);
+        self.submit(SessionEvent::Close { reply })?;
+        self.closed = true;
+        receive
+            .recv()
+            .map_err(|_| DbTouchError::Internal("exploration server has shut down".into()))
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Best-effort teardown so a leaked handle does not leave session
+            // state resident in its worker for the server's lifetime.
+            let (reply, _discard) = sync_channel(1);
+            let _ = self.sender.send(Envelope::Event {
+                session: self.id,
+                gate: Arc::clone(&self.gate),
+                event: SessionEvent::Close { reply },
+            });
+        }
+    }
+}
+
+struct WorkerHandle {
+    sender: Option<Sender<Envelope>>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A concurrent multi-session exploration service over one shared catalog.
+///
+/// ```
+/// use dbtouch_core::catalog::SharedCatalog;
+/// use dbtouch_core::kernel::TouchAction;
+/// use dbtouch_gesture::synthesizer::GestureSynthesizer;
+/// use dbtouch_server::{ExplorationServer, ServerConfig};
+/// use dbtouch_types::{KernelConfig, SizeCm};
+/// use std::sync::Arc;
+///
+/// let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+/// let object = catalog
+///     .load_column("readings", (0..50_000).collect(), SizeCm::new(2.0, 10.0))
+///     .unwrap();
+/// let view = catalog.data(object).unwrap().base_view().clone();
+///
+/// let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+/// let session = server.open_session();
+/// session.set_action(object, TouchAction::Scan).unwrap();
+/// session
+///     .run_trace(object, GestureSynthesizer::new(60.0).slide_down(&view, 0.5))
+///     .unwrap();
+/// let report = session.close().unwrap();
+/// assert!(report.total_entries() > 0);
+/// assert!(report.errors.is_empty());
+/// server.shutdown();
+/// ```
+pub struct ExplorationServer {
+    catalog: Arc<SharedCatalog>,
+    workers: Vec<WorkerHandle>,
+    queue_depth: usize,
+    next_session: AtomicU64,
+    next_worker: AtomicUsize,
+}
+
+impl ExplorationServer {
+    /// Spawn the worker pool over `catalog`.
+    pub fn start(catalog: Arc<SharedCatalog>, config: ServerConfig) -> ExplorationServer {
+        let workers = (0..config.worker_threads.max(1))
+            .map(|index| {
+                let (sender, receiver) = channel();
+                let catalog = Arc::clone(&catalog);
+                let join = std::thread::Builder::new()
+                    .name(format!("dbtouch-worker-{index}"))
+                    .spawn(move || worker_loop(catalog, receiver))
+                    .expect("spawn worker thread");
+                WorkerHandle {
+                    sender: Some(sender),
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ExplorationServer {
+            catalog,
+            workers,
+            queue_depth: config.session_queue_depth,
+            next_session: AtomicU64::new(1),
+            next_worker: AtomicUsize::new(0),
+        }
+    }
+
+    /// The catalog this server serves.
+    pub fn catalog(&self) -> &Arc<SharedCatalog> {
+        &self.catalog
+    }
+
+    /// Number of worker threads.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Open a new exploration session, pinned round-robin to a worker.
+    pub fn open_session(&self) -> SessionHandle {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let worker = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        SessionHandle {
+            id,
+            sender: self.workers[worker].sender.clone().expect("server running"),
+            gate: Arc::new(QueueGate::new(self.queue_depth)),
+            closed: false,
+        }
+    }
+
+    /// Stop serving and join the workers. Queued-but-unprocessed events are
+    /// discarded; session handles still alive get "server has shut down"
+    /// errors from further submissions instead of blocking.
+    pub fn shutdown(mut self) {
+        self.join_workers();
+    }
+
+    fn join_workers(&mut self) {
+        // An explicit Terminate (rather than relying on channel disconnect)
+        // lets workers exit even while session handles still hold Sender
+        // clones of their queues.
+        for worker in &mut self.workers {
+            if let Some(sender) = &worker.sender {
+                let _ = sender.send(Envelope::Terminate);
+            }
+        }
+        for worker in &mut self.workers {
+            if let Some(join) = worker.join.take() {
+                let _ = join.join();
+            }
+            worker.sender = None;
+        }
+    }
+}
+
+impl Drop for ExplorationServer {
+    fn drop(&mut self) {
+        self.join_workers();
+    }
+}
+
+/// Per-session state owned by a worker.
+#[derive(Default)]
+struct SessionSlot {
+    states: HashMap<ObjectId, ObjectState>,
+    report: SessionReport,
+}
+
+impl SessionSlot {
+    fn state_for<'a>(
+        states: &'a mut HashMap<ObjectId, ObjectState>,
+        catalog: &SharedCatalog,
+        object: ObjectId,
+    ) -> Result<&'a mut ObjectState> {
+        use std::collections::hash_map::Entry;
+        match states.entry(object) {
+            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Vacant(entry) => Ok(entry.insert(catalog.checkout(object)?)),
+        }
+    }
+}
+
+fn worker_loop(catalog: Arc<SharedCatalog>, receiver: Receiver<Envelope>) {
+    let mut gates: HashMap<SessionId, Arc<QueueGate>> = HashMap::new();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve(&catalog, &receiver, &mut gates)
+    }));
+    // Whether the loop ended by Terminate, channel disconnect or a panic
+    // inside per-touch processing: drain what is still queued and close every
+    // gate this worker has seen, so no producer stays blocked in
+    // `QueueGate::acquire` waiting for a worker that is gone.
+    while let Ok(envelope) = receiver.try_recv() {
+        if let Envelope::Event { gate, .. } = envelope {
+            gate.release();
+            gate.close();
+        }
+    }
+    for gate in gates.values() {
+        gate.close();
+    }
+    if let Err(panic) = outcome {
+        let name = std::thread::current()
+            .name()
+            .unwrap_or("dbtouch-worker")
+            .to_string();
+        eprintln!("{name}: worker panicked; its sessions are closed: {panic:?}");
+    }
+}
+
+fn serve(
+    catalog: &Arc<SharedCatalog>,
+    receiver: &Receiver<Envelope>,
+    gates: &mut HashMap<SessionId, Arc<QueueGate>>,
+) {
+    let config = catalog.config().clone();
+    let mut sessions: HashMap<SessionId, SessionSlot> = HashMap::new();
+    while let Ok(envelope) = receiver.recv() {
+        let Envelope::Event {
+            session,
+            gate,
+            event,
+        } = envelope
+        else {
+            break; // Terminate
+        };
+        gates.entry(session).or_insert_with(|| Arc::clone(&gate));
+        let slot = sessions.entry(session).or_insert_with(|| SessionSlot {
+            report: SessionReport {
+                session_id: session,
+                ..SessionReport::default()
+            },
+            ..SessionSlot::default()
+        });
+        match event {
+            SessionEvent::SetAction { object, action } => {
+                let applied =
+                    SessionSlot::state_for(&mut slot.states, catalog, object).and_then(|state| {
+                        validate_action(&action, state.data().schema())?;
+                        state.set_action(action);
+                        Ok(())
+                    });
+                if let Err(e) = applied {
+                    slot.report
+                        .errors
+                        .push(format!("set_action on object {}: {e}", object.0));
+                }
+            }
+            SessionEvent::RunTrace { object, trace } => {
+                match SessionSlot::state_for(&mut slot.states, catalog, object) {
+                    Ok(state) => {
+                        let started = Instant::now();
+                        match Session::new(state, &config).run(&trace) {
+                            Ok(outcome) => {
+                                slot.report.latencies.push(LatencySample {
+                                    nanos: started.elapsed().as_nanos() as u64,
+                                    touches: trace.len() as u64,
+                                    max_touch_nanos: outcome.stats.max_touch_nanos,
+                                });
+                                slot.report.outcomes.push(TraceOutcome { object, outcome });
+                            }
+                            Err(e) => slot
+                                .report
+                                .errors
+                                .push(format!("trace over object {}: {e}", object.0)),
+                        }
+                    }
+                    Err(e) => slot
+                        .report
+                        .errors
+                        .push(format!("checkout of object {}: {e}", object.0)),
+                }
+            }
+            SessionEvent::Snapshot { reply } => {
+                let _ = reply.send(slot.report.clone());
+            }
+            SessionEvent::Close { reply } => {
+                let slot = sessions.remove(&session).expect("slot exists");
+                // The handle is consumed by close() (or gone, on the Drop
+                // path), so nobody can block on this gate again: drop it from
+                // the registry rather than retaining one entry per session
+                // ever served.
+                gates.remove(&session);
+                let _ = reply.send(slot.report);
+            }
+        }
+        gate.release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_core::operators::aggregate::AggregateKind;
+    use dbtouch_gesture::synthesizer::GestureSynthesizer;
+    use dbtouch_types::{KernelConfig, SizeCm};
+
+    fn catalog_with_column(rows: i64) -> (Arc<SharedCatalog>, ObjectId) {
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let id = catalog
+            .load_column("col", (0..rows).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        (catalog, id)
+    }
+
+    #[test]
+    fn single_session_round_trip() {
+        let (catalog, id) = catalog_with_column(100_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let session = server.open_session();
+        session
+            .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 1.0))
+            .unwrap();
+        let report = session.close().unwrap();
+        assert_eq!(report.traces_run(), 1);
+        assert!(report.total_entries() > 0);
+        assert!(report.errors.is_empty());
+        assert_eq!(report.latencies.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let (catalog, id) = catalog_with_column(50_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let scan = server.open_session();
+        let agg = server.open_session();
+        agg.set_action(id, TouchAction::Aggregate(AggregateKind::Avg))
+            .unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        scan.run_trace(id, trace.clone()).unwrap();
+        agg.run_trace(id, trace).unwrap();
+        let scan_report = scan.close().unwrap();
+        let agg_report = agg.close().unwrap();
+        assert!(scan_report.outcomes[0].outcome.final_aggregate.is_none());
+        assert!(agg_report.outcomes[0].outcome.final_aggregate.is_some());
+        server.shutdown();
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        let (catalog, id) = catalog_with_column(1_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(1));
+        let session = server.open_session();
+        // Unknown object: recorded, session continues.
+        session
+            .run_trace(
+                ObjectId(99),
+                GestureSynthesizer::new(60.0).slide_down(&view, 0.2),
+            )
+            .unwrap();
+        // Invalid action for the schema on a valid object.
+        session
+            .set_action(
+                id,
+                TouchAction::GroupBy {
+                    group_attribute: 0,
+                    value_attribute: 9,
+                    kind: AggregateKind::Sum,
+                },
+            )
+            .unwrap();
+        session
+            .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.2))
+            .unwrap();
+        let report = session.close().unwrap();
+        assert_eq!(report.errors.len(), 2, "errors: {:?}", report.errors);
+        assert_eq!(report.traces_run(), 1); // the valid trace still ran
+        server.shutdown();
+    }
+
+    #[test]
+    fn snapshot_is_a_barrier() {
+        let (catalog, id) = catalog_with_column(200_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(1));
+        let session = server.open_session();
+        for _ in 0..5 {
+            session
+                .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.5))
+                .unwrap();
+        }
+        let snapshot = session.snapshot().unwrap();
+        assert_eq!(snapshot.traces_run(), 5);
+        let report = session.close().unwrap();
+        assert_eq!(report.traces_run(), 5);
+        server.shutdown();
+    }
+
+    #[test]
+    fn backpressure_bounds_the_queue() {
+        let (catalog, id) = catalog_with_column(500_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(
+            catalog,
+            ServerConfig {
+                worker_threads: 1,
+                session_queue_depth: 2,
+            },
+        );
+        let session = server.open_session();
+        // Many more submissions than the depth: finishes only if the worker
+        // drains while we block, and every trace must be accounted for.
+        for _ in 0..20 {
+            session
+                .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.3))
+                .unwrap();
+        }
+        let report = session.close().unwrap();
+        assert_eq!(report.traces_run(), 20);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_with_live_handle_does_not_hang() {
+        let (catalog, id) = catalog_with_column(10_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(2));
+        let session = server.open_session();
+        session
+            .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.2))
+            .unwrap();
+        // The handle is still alive (holds a Sender clone): shutdown must
+        // still terminate the workers...
+        server.shutdown();
+        // ...and the orphaned handle must get errors, not block forever.
+        let err = session.run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.2));
+        assert!(err.is_err());
+        assert!(session.snapshot().is_err());
+    }
+
+    #[test]
+    fn backpressured_producer_is_released_on_shutdown() {
+        let (catalog, id) = catalog_with_column(400_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(
+            catalog,
+            ServerConfig {
+                worker_threads: 1,
+                session_queue_depth: 1,
+            },
+        );
+        let session = server.open_session();
+        let producer = std::thread::spawn(move || {
+            // Depth 1: this producer spends most of its time blocked in the
+            // gate. Once the server shuts down it must get errors instead of
+            // hanging; early submissions may succeed. The workload is sized
+            // to take far longer than the sleep below, so the shutdown always
+            // lands mid-stream.
+            let mut errors = 0;
+            for _ in 0..400 {
+                if session
+                    .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 2.0))
+                    .is_err()
+                {
+                    errors += 1;
+                }
+            }
+            drop(session);
+            errors
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        server.shutdown();
+        let errors = producer.join().expect("producer must terminate");
+        assert!(errors > 0, "late submissions should error after shutdown");
+    }
+
+    #[test]
+    fn dropped_handle_tears_session_down() {
+        let (catalog, id) = catalog_with_column(10_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(1));
+        {
+            let session = server.open_session();
+            session
+                .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.2))
+                .unwrap();
+            // dropped without close()
+        }
+        // A later session on the same worker still works.
+        let session = server.open_session();
+        session
+            .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.2))
+            .unwrap();
+        assert_eq!(session.close().unwrap().traces_run(), 1);
+        server.shutdown();
+    }
+}

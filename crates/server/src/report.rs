@@ -1,0 +1,156 @@
+//! Session reports: what a served exploration session produced.
+
+use crate::latency::{LatencySample, LatencySummary};
+use dbtouch_core::kernel::ObjectId;
+use dbtouch_core::session::SessionOutcome;
+
+/// Identifier of a served session.
+pub type SessionId = u64;
+
+/// The outcome of one gesture trace run inside a served session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutcome {
+    /// The object the trace explored.
+    pub object: ObjectId,
+    /// The per-touch results and statistics the session produced.
+    pub outcome: SessionOutcome,
+}
+
+/// Everything a session produced: trace outcomes in submission order, wall
+/// clock latency samples, and any per-event errors (a bad trace or unknown
+/// object records an error instead of killing the session).
+#[derive(Debug, Clone, Default)]
+pub struct SessionReport {
+    /// The session this report describes.
+    pub session_id: SessionId,
+    /// One entry per completed `run_trace`, in submission order.
+    pub outcomes: Vec<TraceOutcome>,
+    /// One wall-clock sample per completed `run_trace`.
+    pub latencies: Vec<LatencySample>,
+    /// Errors encountered while processing events, in order.
+    pub errors: Vec<String>,
+}
+
+impl SessionReport {
+    /// Number of traces that completed.
+    pub fn traces_run(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Total touch samples consumed across all traces.
+    pub fn total_touches(&self) -> u64 {
+        self.outcomes.iter().map(|t| t.outcome.stats.touches).sum()
+    }
+
+    /// Total result entries returned across all traces.
+    pub fn total_entries(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.entries_returned)
+            .sum()
+    }
+
+    /// Total rows read from storage across all traces.
+    pub fn total_rows_touched(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.rows_touched)
+            .sum()
+    }
+
+    /// Per-touch latency summary of this session.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::from_samples(&self.latencies)
+    }
+
+    /// Order-sensitive digest of the *deterministic* part of the outcomes
+    /// (results, rows, aggregates — not wall-clock timings). Two runs of the
+    /// same traces against the same catalog produce the same digest, whether
+    /// they ran sequentially in a [`dbtouch_core::kernel::Kernel`] or
+    /// concurrently through the server.
+    pub fn result_digest(&self) -> u64 {
+        digest_outcomes(self.outcomes.iter())
+    }
+}
+
+/// FNV-1a digest over the deterministic fields of trace outcomes. Wall-clock
+/// statistics (`compute_nanos`, `max_touch_nanos`) are excluded: they vary
+/// run to run; everything the user *sees* is included.
+pub fn digest_outcomes<'a>(outcomes: impl Iterator<Item = &'a TraceOutcome>) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for t in outcomes {
+        mix(&t.object.0.to_le_bytes());
+        let s = &t.outcome.stats;
+        for v in [
+            s.touches,
+            s.gesture_events,
+            s.entries_returned,
+            s.rows_touched,
+            s.bytes_touched,
+            s.duplicate_touches,
+            s.index_skips,
+        ] {
+            mix(&v.to_le_bytes());
+        }
+        for r in t.outcome.results.results() {
+            mix(&r.row.0.to_le_bytes());
+            mix(format!("{:?}", r.values).as_bytes());
+        }
+        if let Some(a) = t.outcome.final_aggregate {
+            mix(&a.to_bits().to_le_bytes());
+        }
+        for (group, value) in &t.outcome.final_groups {
+            mix(format!("{group:?}").as_bytes());
+            mix(&value.to_bits().to_le_bytes());
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let a = TraceOutcome {
+            object: ObjectId(0),
+            outcome: SessionOutcome::default(),
+        };
+        let mut b = TraceOutcome {
+            object: ObjectId(1),
+            outcome: SessionOutcome::default(),
+        };
+        b.outcome.stats.entries_returned = 3;
+        let d1 = digest_outcomes([a.clone(), b.clone()].iter());
+        let d2 = digest_outcomes([a.clone(), b.clone()].iter());
+        let d3 = digest_outcomes([b, a].iter());
+        assert_eq!(d1, d2);
+        assert_ne!(d1, d3);
+    }
+
+    #[test]
+    fn report_totals_sum_over_outcomes() {
+        let mut report = SessionReport::default();
+        for entries in [2u64, 5] {
+            let mut outcome = SessionOutcome::default();
+            outcome.stats.entries_returned = entries;
+            outcome.stats.touches = entries * 10;
+            outcome.stats.rows_touched = entries * 3;
+            report.outcomes.push(TraceOutcome {
+                object: ObjectId(0),
+                outcome,
+            });
+        }
+        assert_eq!(report.traces_run(), 2);
+        assert_eq!(report.total_entries(), 7);
+        assert_eq!(report.total_touches(), 70);
+        assert_eq!(report.total_rows_touched(), 21);
+    }
+}

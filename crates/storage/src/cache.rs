@@ -128,11 +128,7 @@ impl RegionCache {
         // Regions are disjoint; walk the range and greedily consume coverage.
         let mut cursor = range.start;
         while cursor < range.end {
-            match self
-                .regions
-                .iter()
-                .find(|r| r.contains(RowId(cursor)))
-            {
+            match self.regions.iter().find(|r| r.contains(RowId(cursor))) {
                 Some(r) => cursor = r.end,
                 None => return false,
             }

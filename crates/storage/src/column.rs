@@ -120,11 +120,7 @@ impl Column {
     }
 
     /// Build a column of the given type from dynamically typed values.
-    pub fn from_values(
-        name: impl Into<String>,
-        dt: DataType,
-        values: &[Value],
-    ) -> Result<Column> {
+    pub fn from_values(name: impl Into<String>, dt: DataType, values: &[Value]) -> Result<Column> {
         let mut col = Column::empty(name, dt);
         for v in values {
             col.push(v.clone())?;
@@ -255,7 +251,10 @@ impl Column {
     /// Materialize the values in a row range (clamped to the column length).
     pub fn slice(&self, range: RowRange) -> Vec<Value> {
         let range = range.clamp_to(self.len());
-        range.iter().map(|r| self.get(r).expect("clamped")).collect()
+        range
+            .iter()
+            .map(|r| self.get(r).expect("clamped"))
+            .collect()
     }
 
     /// Sum, count, minimum and maximum of the numeric values in `range`
@@ -316,7 +315,7 @@ impl Column {
             }
             ColumnData::FixedStr { width, bytes } => {
                 let w = *width as usize;
-                let n = if w == 0 { 0 } else { bytes.len() / w };
+                let n = bytes.len().checked_div(w).unwrap_or(0);
                 let mut out = Vec::with_capacity((n / step + 1) * w);
                 let mut i = 0;
                 while i < n {

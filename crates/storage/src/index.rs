@@ -152,7 +152,11 @@ mod tests {
         let ranges = idx.candidate_ranges(15.0, 34.0);
         assert_eq!(
             ranges,
-            vec![RowRange::new(10, 20), RowRange::new(20, 30), RowRange::new(30, 40)]
+            vec![
+                RowRange::new(10, 20),
+                RowRange::new(20, 30),
+                RowRange::new(30, 40)
+            ]
         );
         assert!((idx.selectivity(15.0, 34.0) - 0.7).abs() < 1e-12);
         assert_eq!(idx.selectivity(-100.0, 1000.0), 0.0);

@@ -238,8 +238,7 @@ impl Matrix {
         let range = range.clamp_to(self.row_count);
         match &self.data {
             MatrixData::Columns(cols) => {
-                let projected: Vec<Column> =
-                    cols.iter().map(|c| c.project_range(range)).collect();
+                let projected: Vec<Column> = cols.iter().map(|c| c.project_range(range)).collect();
                 Ok(Matrix {
                     name: self.name.clone(),
                     schema: self.schema.clone(),
@@ -415,7 +414,10 @@ mod tests {
         assert_eq!(rm.layout(), Layout::RowMajor);
         assert_eq!(rm.row_count(), 6);
         for row in 0..6 {
-            assert_eq!(rm.get_row(RowId(row)).unwrap(), cm.get_row(RowId(row)).unwrap());
+            assert_eq!(
+                rm.get_row(RowId(row)).unwrap(),
+                cm.get_row(RowId(row)).unwrap()
+            );
         }
         let back = rm.converted_to(Layout::ColumnMajor).unwrap();
         assert_eq!(back.layout(), Layout::ColumnMajor);
@@ -480,18 +482,27 @@ mod tests {
         let cm = Matrix::from_table(demo_table());
         let mut acc = cm.empty_like(Layout::ColumnMajor);
         assert_eq!(acc.row_count(), 0);
-        acc.append(&cm.project_rows(RowRange::new(0, 3)).unwrap()).unwrap();
-        acc.append(&cm.project_rows(RowRange::new(3, 6)).unwrap()).unwrap();
+        acc.append(&cm.project_rows(RowRange::new(0, 3)).unwrap())
+            .unwrap();
+        acc.append(&cm.project_rows(RowRange::new(3, 6)).unwrap())
+            .unwrap();
         assert_eq!(acc.row_count(), 6);
         for row in 0..6 {
-            assert_eq!(acc.get_row(RowId(row)).unwrap(), cm.get_row(RowId(row)).unwrap());
+            assert_eq!(
+                acc.get_row(RowId(row)).unwrap(),
+                cm.get_row(RowId(row)).unwrap()
+            );
         }
 
         let rm = cm.converted_to(Layout::RowMajor).unwrap();
         let mut racc = cm.empty_like(Layout::RowMajor);
-        racc.append(&rm.project_rows(RowRange::new(0, 6)).unwrap()).unwrap();
+        racc.append(&rm.project_rows(RowRange::new(0, 6)).unwrap())
+            .unwrap();
         assert_eq!(racc.row_count(), 6);
-        assert_eq!(racc.get_row(RowId(5)).unwrap(), cm.get_row(RowId(5)).unwrap());
+        assert_eq!(
+            racc.get_row(RowId(5)).unwrap(),
+            cm.get_row(RowId(5)).unwrap()
+        );
 
         // mismatched layout append fails
         assert!(acc.append(&rm).is_err());
@@ -500,7 +511,9 @@ mod tests {
     #[test]
     fn converted_range_partial_rotation() {
         let cm = Matrix::from_table(demo_table());
-        let chunk = cm.converted_range(Layout::RowMajor, RowRange::new(0, 2)).unwrap();
+        let chunk = cm
+            .converted_range(Layout::RowMajor, RowRange::new(0, 2))
+            .unwrap();
         assert_eq!(chunk.layout(), Layout::RowMajor);
         assert_eq!(chunk.row_count(), 2);
         assert_eq!(chunk.get(RowId(1), 0).unwrap(), Value::Int(1));

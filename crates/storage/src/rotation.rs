@@ -169,9 +169,15 @@ mod tests {
         let mut task = RotationTask::new(m.clone(), 30);
         task.step().unwrap();
         // converted region served from the new layout
-        assert_eq!(task.get(RowId(10), 0).unwrap(), m.get(RowId(10), 0).unwrap());
+        assert_eq!(
+            task.get(RowId(10), 0).unwrap(),
+            m.get(RowId(10), 0).unwrap()
+        );
         // unconverted region served from the old layout
-        assert_eq!(task.get(RowId(90), 1).unwrap(), m.get(RowId(90), 1).unwrap());
+        assert_eq!(
+            task.get(RowId(90), 1).unwrap(),
+            m.get(RowId(90), 1).unwrap()
+        );
         assert_eq!(task.partial_target().row_count(), 30);
         assert_eq!(task.source().row_count(), 100);
     }

@@ -20,7 +20,9 @@ fn build_matrix(rows: u64) -> Matrix {
                 Column::from_strings(
                     "c",
                     6,
-                    &(0..rows).map(|i| format!("s{}", i % 100)).collect::<Vec<_>>(),
+                    &(0..rows)
+                        .map(|i| format!("s{}", i % 100))
+                        .collect::<Vec<_>>(),
                 )
                 .unwrap(),
             ],

@@ -188,10 +188,15 @@ mod tests {
 
     #[test]
     fn invalid_sample_rate_rejected() {
-        let mut c = KernelConfig::default();
-        c.touch_sample_rate_hz = 0.0;
+        let c = KernelConfig {
+            touch_sample_rate_hz: 0.0,
+            ..KernelConfig::default()
+        };
         assert!(c.validate().is_err());
-        c.touch_sample_rate_hz = f64::NAN;
+        let c = KernelConfig {
+            touch_sample_rate_hz: f64::NAN,
+            ..KernelConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -203,15 +208,19 @@ mod tests {
 
     #[test]
     fn invalid_rotation_chunk_rejected() {
-        let mut c = KernelConfig::default();
-        c.rotation_chunk_rows = 0;
+        let c = KernelConfig {
+            rotation_chunk_rows: 0,
+            ..KernelConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn invalid_budget_rejected() {
-        let mut c = KernelConfig::default();
-        c.touch_budget_micros = 0;
+        let c = KernelConfig {
+            touch_budget_micros: 0,
+            ..KernelConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

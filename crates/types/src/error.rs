@@ -58,7 +58,10 @@ impl fmt::Display for DbTouchError {
             DbTouchError::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
             DbTouchError::InvalidGesture(msg) => write!(f, "invalid gesture: {msg}"),
             DbTouchError::InvalidSampleLevel { level, max } => {
-                write!(f, "invalid sample level {level}, hierarchy has {max} levels")
+                write!(
+                    f,
+                    "invalid sample level {level}, hierarchy has {max} levels"
+                )
             }
             DbTouchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DbTouchError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),

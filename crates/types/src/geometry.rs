@@ -348,7 +348,10 @@ mod tests {
     #[test]
     fn orientation_rotation_is_involutive() {
         assert_eq!(Orientation::Vertical.rotated(), Orientation::Horizontal);
-        assert_eq!(Orientation::Vertical.rotated().rotated(), Orientation::Vertical);
+        assert_eq!(
+            Orientation::Vertical.rotated().rotated(),
+            Orientation::Vertical
+        );
     }
 
     #[test]

@@ -257,10 +257,7 @@ mod tests {
     #[test]
     fn total_cmp_mixed_numeric() {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
-        assert_eq!(
-            Value::Float(3.0).total_cmp(&Value::Int(3)),
-            Ordering::Equal
-        );
+        assert_eq!(Value::Float(3.0).total_cmp(&Value::Int(3)), Ordering::Equal);
         assert_eq!(
             Value::Str("b".into()).total_cmp(&Value::Str("a".into())),
             Ordering::Greater

@@ -1,0 +1,253 @@
+//! Concurrent workload driver: K simultaneous explorers over one catalog.
+//!
+//! The paper imagines a *room* of analysts, each sliding over the same data
+//! from their own device. This module simulates that: it plans a deterministic
+//! gesture workload for each of K explorers (sky-survey or monitoring-stream
+//! style), drives all of them concurrently through `dbtouch-server`'s session
+//! manager, and — because every plan is seeded — can replay the exact same
+//! workload sequentially through the single-user [`Kernel`] to prove the
+//! concurrent results are identical.
+
+use dbtouch_core::catalog::SharedCatalog;
+use dbtouch_core::kernel::{Kernel, ObjectId, TouchAction};
+use dbtouch_core::operators::aggregate::AggregateKind;
+use dbtouch_core::operators::filter::{CompareOp, Predicate};
+use dbtouch_gesture::synthesizer::GestureSynthesizer;
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_server::{
+    digest_outcomes, ExplorationServer, LatencySummary, ServerConfig, SessionReport, TraceOutcome,
+};
+use dbtouch_types::{KernelConfig, Result, SizeCm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::scenarios::Scenario;
+
+/// The gesture plan of one simulated explorer: a touch action and a sequence
+/// of gesture traces, all derived deterministically from a seed.
+#[derive(Debug, Clone)]
+pub struct ExplorerPlan {
+    /// The per-touch action this explorer configures before sliding.
+    pub action: TouchAction,
+    /// The traces the explorer performs, in order.
+    pub traces: Vec<GestureTrace>,
+}
+
+impl ExplorerPlan {
+    /// Total touch samples across the plan's traces.
+    pub fn touches(&self) -> u64 {
+        self.traces.iter().map(|t| t.len() as u64).sum()
+    }
+}
+
+/// Load a scenario's signal column into a fresh shared catalog.
+pub fn scenario_catalog(
+    scenario: &Scenario,
+    config: KernelConfig,
+) -> Result<(Arc<SharedCatalog>, ObjectId)> {
+    let catalog = Arc::new(SharedCatalog::new(config));
+    let id = catalog.load_column_typed(scenario.signal_column(), SizeCm::new(2.0, 12.0))?;
+    Ok((catalog, id))
+}
+
+/// Plan workloads for `explorers` simultaneous users of `object`.
+///
+/// Explorers differ deterministically: the action cycles through a survey-ish
+/// mix (interactive summaries, plain scans, running aggregates, selective
+/// filtered scans) and each explorer's slide durations and pauses come from
+/// its own seeded stream. Same seed → same plans → same results, bit for bit.
+pub fn plan_explorers(
+    catalog: &SharedCatalog,
+    object: ObjectId,
+    explorers: usize,
+    traces_per_explorer: usize,
+    seed: u64,
+) -> Result<Vec<ExplorerPlan>> {
+    let data = catalog.data(object)?;
+    let view = data.base_view().clone();
+    // Filtered explorers keep values above the column mean, so the predicate
+    // stays selective-but-satisfiable whatever the scenario's value range is.
+    let mean = {
+        let base = data.hierarchies()[0].base();
+        let (count, sum, _, _) =
+            base.numeric_range_stats(dbtouch_types::RowRange::new(0, base.len()))?;
+        if count > 0 {
+            sum / count as f64
+        } else {
+            0.0
+        }
+    };
+    (0..explorers)
+        .map(|index| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0x9e37 + index as u64 * 0x1_0001));
+            let action = match index % 4 {
+                0 => TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+                1 => TouchAction::Scan,
+                2 => TouchAction::Aggregate(AggregateKind::Avg),
+                _ => TouchAction::FilteredScan {
+                    predicate: Predicate::compare(CompareOp::Ge, mean),
+                },
+            };
+            let mut synthesizer = GestureSynthesizer::new(60.0);
+            let traces = (0..traces_per_explorer)
+                .map(|_| {
+                    let duration = rng.gen_range(0.4f64..1.6);
+                    if rng.gen_range(0.0f64..1.0) < 0.25 {
+                        synthesizer.exploratory_slide(&view, duration + 1.0)
+                    } else {
+                        synthesizer.slide_down(&view, duration)
+                    }
+                })
+                .collect();
+            Ok(ExplorerPlan { action, traces })
+        })
+        .collect()
+}
+
+/// The outcome of driving a concurrent workload.
+#[derive(Debug)]
+pub struct ConcurrentRunReport {
+    /// Per-explorer session reports, in explorer order.
+    pub sessions: Vec<SessionReport>,
+    /// Wall time from first submission to last session close.
+    pub wall_nanos: u64,
+}
+
+impl ConcurrentRunReport {
+    /// Total touch samples processed across all sessions.
+    pub fn total_touches(&self) -> u64 {
+        self.sessions.iter().map(SessionReport::total_touches).sum()
+    }
+
+    /// Total result entries returned across all sessions.
+    pub fn total_entries(&self) -> u64 {
+        self.sessions.iter().map(SessionReport::total_entries).sum()
+    }
+
+    /// Aggregate throughput in touches per second of wall time.
+    pub fn touches_per_sec(&self) -> f64 {
+        self.total_touches() as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
+    }
+
+    /// Per-touch latency percentiles across every session's traces.
+    pub fn latency_summary(&self) -> LatencySummary {
+        LatencySummary::merged(self.sessions.iter().map(|s| s.latencies.as_slice()))
+    }
+
+    /// Per-explorer digests of the deterministic outcome (order matches the
+    /// plans handed to [`run_concurrent`]).
+    pub fn digests(&self) -> Vec<u64> {
+        self.sessions
+            .iter()
+            .map(SessionReport::result_digest)
+            .collect()
+    }
+
+    /// Errors across all sessions.
+    pub fn errors(&self) -> Vec<&String> {
+        self.sessions.iter().flat_map(|s| s.errors.iter()).collect()
+    }
+}
+
+/// Drive all `plans` concurrently: one served session per explorer, one
+/// submitting thread per explorer, all over one shared catalog.
+pub fn run_concurrent(
+    catalog: &Arc<SharedCatalog>,
+    object: ObjectId,
+    plans: &[ExplorerPlan],
+    server_config: ServerConfig,
+) -> Result<ConcurrentRunReport> {
+    let server = ExplorationServer::start(Arc::clone(catalog), server_config);
+    let started = Instant::now();
+    let drivers: Vec<_> = plans
+        .iter()
+        .map(|plan| {
+            let session = server.open_session();
+            let plan = plan.clone();
+            std::thread::spawn(move || -> Result<SessionReport> {
+                session.set_action(object, plan.action)?;
+                for trace in plan.traces {
+                    session.run_trace(object, trace)?;
+                }
+                session.close()
+            })
+        })
+        .collect();
+    let mut sessions = Vec::with_capacity(drivers.len());
+    for driver in drivers {
+        let report = driver.join().map_err(|_| {
+            dbtouch_types::DbTouchError::Internal("driver thread panicked".into())
+        })??;
+        sessions.push(report);
+    }
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    server.shutdown();
+    Ok(ConcurrentRunReport {
+        sessions,
+        wall_nanos,
+    })
+}
+
+/// Replay the same plans one explorer at a time through the single-user
+/// [`Kernel`], returning each explorer's outcome digest. Every explorer gets a
+/// fresh kernel over the same catalog — exactly the state a served session
+/// starts from.
+pub fn run_sequential(
+    catalog: &Arc<SharedCatalog>,
+    object: ObjectId,
+    plans: &[ExplorerPlan],
+) -> Result<Vec<u64>> {
+    plans
+        .iter()
+        .map(|plan| {
+            let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+            kernel.set_action(object, plan.action.clone())?;
+            let mut outcomes = Vec::with_capacity(plan.traces.len());
+            for trace in &plan.traces {
+                outcomes.push(TraceOutcome {
+                    object,
+                    outcome: kernel.run_trace(object, trace)?,
+                });
+            }
+            Ok(digest_outcomes(outcomes.iter()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic() {
+        let scenario = Scenario::sky_survey(20_000, 7);
+        let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default()).unwrap();
+        let a = plan_explorers(&catalog, object, 4, 3, 42).unwrap();
+        let b = plan_explorers(&catalog, object, 4, 3, 42).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.action, y.action);
+            assert_eq!(x.traces, y.traces);
+        }
+        let c = plan_explorers(&catalog, object, 4, 3, 43).unwrap();
+        assert_ne!(a[0].traces, c[0].traces);
+    }
+
+    #[test]
+    fn concurrent_matches_sequential_on_monitoring_stream() {
+        let scenario = Scenario::monitoring_stream(30_000, 11);
+        let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default()).unwrap();
+        let plans = plan_explorers(&catalog, object, 6, 2, 99).unwrap();
+        let concurrent =
+            run_concurrent(&catalog, object, &plans, ServerConfig::with_workers(3)).unwrap();
+        assert!(concurrent.errors().is_empty(), "{:?}", concurrent.errors());
+        let sequential = run_sequential(&catalog, object, &plans).unwrap();
+        assert_eq!(concurrent.digests(), sequential);
+        assert!(concurrent.total_entries() > 0);
+        assert!(concurrent.touches_per_sec() > 0.0);
+    }
+}

@@ -22,7 +22,11 @@ impl DataGenerator {
 
     /// `n` integers uniform in `[low, high)`.
     pub fn uniform_ints(&mut self, n: usize, low: i64, high: i64) -> Vec<i64> {
-        let (low, high) = if low < high { (low, high) } else { (high, low + 1) };
+        let (low, high) = if low < high {
+            (low, high)
+        } else {
+            (high, low + 1)
+        };
         (0..n).map(|_| self.rng.gen_range(low..high)).collect()
     }
 
@@ -67,7 +71,14 @@ impl DataGenerator {
 
     /// A daily-periodic monitoring signal: `n` samples of a sinusoidal load with
     /// Gaussian noise, `period` samples per "day".
-    pub fn periodic_load(&mut self, n: usize, period: usize, base: f64, amplitude: f64, noise: f64) -> Vec<f64> {
+    pub fn periodic_load(
+        &mut self,
+        n: usize,
+        period: usize,
+        base: f64,
+        amplitude: f64,
+        noise: f64,
+    ) -> Vec<f64> {
         let period = period.max(1) as f64;
         let noise_samples = self.gaussian(n, 0.0, noise);
         (0..n)

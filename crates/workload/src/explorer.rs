@@ -124,8 +124,8 @@ impl DbTouchExplorer {
             bytes_touched += outcome.stats.bytes_touched;
             entries += outcome.stats.entries_returned;
             elapsed += self.slide_seconds + self.think_seconds;
-            elapsed += (outcome.stats.compute_nanos + outcome.stats.simulated_access_nanos) as f64
-                / 1e9;
+            elapsed +=
+                (outcome.stats.compute_nanos + outcome.stats.simulated_access_nanos) as f64 / 1e9;
 
             // The simulated analyst looks for the most anomalous summary value.
             let best = outcome

@@ -20,12 +20,19 @@
 //!   interactive summaries and zooms into suspicious regions, and a SQL
 //!   explorer that fires aggregate queries at the baseline engine. Both report
 //!   how much data they touched and how close they got to the hidden pattern.
+//! * [`concurrent`] — K simultaneous explorers driven through
+//!   `dbtouch-server` against one shared catalog, with a seeded sequential
+//!   replay that proves the concurrent results are identical.
 
+pub mod concurrent;
 pub mod datagen;
 pub mod explorer;
 pub mod patterns;
 pub mod scenarios;
 
+pub use concurrent::{
+    plan_explorers, run_concurrent, run_sequential, ConcurrentRunReport, ExplorerPlan,
+};
 pub use datagen::DataGenerator;
 pub use explorer::{DbTouchExplorer, DiscoveryReport, SqlExplorer, UnsteeredExplorer};
 pub use patterns::{Pattern, PatternKind};

@@ -92,7 +92,9 @@ impl Pattern {
     ) -> Pattern {
         let len = ((total_rows as f64 * width_fraction).round() as u64).max(1);
         let center = (total_rows as f64 * center_fraction.clamp(0.0, 1.0)) as u64;
-        let start = center.saturating_sub(len / 2).min(total_rows.saturating_sub(len));
+        let start = center
+            .saturating_sub(len / 2)
+            .min(total_rows.saturating_sub(len));
         Pattern {
             kind: PatternKind::OutlierCluster { magnitude },
             start_row: start,
@@ -131,11 +133,16 @@ mod tests {
             len_rows: 5,
         }
         .apply(&mut shift);
-        assert_eq!(shift, vec![0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 3.0, 3.0, 3.0, 3.0]);
+        assert_eq!(
+            shift,
+            vec![0.0, 0.0, 0.0, 0.0, 0.0, 3.0, 3.0, 3.0, 3.0, 3.0]
+        );
 
         let mut trend = vec![0.0; 10];
         Pattern {
-            kind: PatternKind::Trend { total_increase: 10.0 },
+            kind: PatternKind::Trend {
+                total_increase: 10.0,
+            },
             start_row: 0,
             len_rows: 10,
         }

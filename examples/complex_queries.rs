@@ -21,7 +21,9 @@ fn main() -> Result<()> {
     // A small star-schema-ish pair: orders reference one of 200 customers.
     let n_orders = 500_000usize;
     let orders_customer: Vec<i64> = (0..n_orders as i64).map(|i| (i * 37) % 200).collect();
-    let orders_amount: Vec<f64> = (0..n_orders).map(|i| ((i * 13) % 1000) as f64 / 10.0).collect();
+    let orders_amount: Vec<f64> = (0..n_orders)
+        .map(|i| ((i * 13) % 1000) as f64 / 10.0)
+        .collect();
 
     let orders = kernel.load_table(
         Table::from_columns(
@@ -35,8 +37,7 @@ fn main() -> Result<()> {
     )?;
     let order_keys =
         kernel.load_column("order_customer", orders_customer, SizeCm::new(2.0, 10.0))?;
-    let customers =
-        kernel.load_column("customer_id", (0..200).collect(), SizeCm::new(2.0, 6.0))?;
+    let customers = kernel.load_column("customer_id", (0..200).collect(), SizeCm::new(2.0, 6.0))?;
 
     // 1. Gesture-driven group-by: slide over the orders table while it groups
     //    touched tuples by customer region-of-200 and keeps a running average.
@@ -83,8 +84,7 @@ fn main() -> Result<()> {
         other_key: 0,
     };
     let view = kernel.view(order_keys)?;
-    let join_outcome = JoinSession::new(&kernel, spec)?
-        .run(&synthesizer.slide_down(&view, 2.0))?;
+    let join_outcome = JoinSession::new(&kernel, spec)?.run(&synthesizer.slide_down(&view, 2.0))?;
     println!(
         "join slide: {} matches; the first match appeared after only {} consumed rows \
          (of {} fed in total)",

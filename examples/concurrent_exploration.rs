@@ -1,0 +1,84 @@
+//! Concurrent exploration: a room full of analysts over one shared catalog.
+//!
+//! dbTouch frames a query as a session of gestures from one explorer. This
+//! example runs **twelve** explorers at once — each with their own touch
+//! action, slide cadence and session state — against a single sky-survey
+//! catalog served by `dbtouch-server`'s worker pool. It reports the aggregate
+//! touch throughput and the per-touch latency tail, then replays the exact
+//! same gesture plans one explorer at a time through the single-user kernel
+//! and verifies the concurrent results are identical, explorer by explorer.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example concurrent_exploration
+//! ```
+
+use dbtouch::prelude::*;
+use dbtouch::workload::concurrent::{
+    plan_explorers, run_concurrent, run_sequential, scenario_catalog,
+};
+use dbtouch::workload::scenarios::Scenario;
+
+const EXPLORERS: usize = 12;
+const TRACES_PER_EXPLORER: usize = 4;
+
+fn main() -> Result<()> {
+    let scenario = Scenario::sky_survey(500_000, 20260613);
+    let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default())?;
+    println!(
+        "catalog: one `{}` column of {} rows, shared immutably by every session",
+        scenario.name,
+        scenario.rows()
+    );
+
+    let plans = plan_explorers(&catalog, object, EXPLORERS, TRACES_PER_EXPLORER, 42)?;
+    let planned_touches: u64 = plans.iter().map(|p| p.touches()).sum();
+    println!(
+        "planned: {EXPLORERS} explorers x {TRACES_PER_EXPLORER} gestures = {planned_touches} touch samples\n"
+    );
+
+    let server_config = ServerConfig::default();
+    let workers = server_config.worker_threads;
+    let concurrent = run_concurrent(&catalog, object, &plans, server_config)?;
+    let latency = concurrent.latency_summary();
+    println!(
+        "concurrent: {EXPLORERS} sessions over {workers} workers in {:.1} ms",
+        concurrent.wall_nanos as f64 / 1e6
+    );
+    println!(
+        "  aggregate throughput: {:.0} touches/sec ({} entries returned)",
+        concurrent.touches_per_sec(),
+        concurrent.total_entries()
+    );
+    println!(
+        "  per-touch latency: p50 {:.2} us, p90 {:.2} us, p99 {:.2} us (per-trace means), worst single touch {:.2} us",
+        latency.p50_nanos as f64 / 1e3,
+        latency.p90_nanos as f64 / 1e3,
+        latency.p99_nanos as f64 / 1e3,
+        latency.max_nanos as f64 / 1e3,
+    );
+    for error in concurrent.errors() {
+        println!("  session error: {error}");
+    }
+
+    println!("\nreplaying the same plans sequentially through the single-user kernel...");
+    let sequential = run_sequential(&catalog, object, &plans)?;
+    let concurrent_digests = concurrent.digests();
+    let mut identical = true;
+    for (index, (c, s)) in concurrent_digests.iter().zip(&sequential).enumerate() {
+        let matched = c == s;
+        identical &= matched;
+        println!(
+            "  explorer {index:>2}: {} entries, digest {c:016x} — {}",
+            concurrent.sessions[index].total_entries(),
+            if matched { "identical" } else { "DIVERGED" }
+        );
+    }
+    if !identical {
+        return Err(dbtouch::types::DbTouchError::Internal(
+            "concurrent execution diverged from the sequential baseline".into(),
+        ));
+    }
+    println!("\nall {EXPLORERS} concurrent sessions match the sequential baseline exactly.");
+    Ok(())
+}

@@ -16,7 +16,11 @@ use dbtouch::workload::scenarios::Scenario;
 
 fn main() -> Result<()> {
     let scenario = Scenario::contest(1_000_000, 99);
-    println!("contest data set: {} rows; task: {}", scenario.rows(), scenario.task);
+    println!(
+        "contest data set: {} rows; task: {}",
+        scenario.rows(),
+        scenario.task
+    );
     println!();
 
     let tolerance = 0.01;

@@ -27,12 +27,15 @@ fn main() -> Result<()> {
         "sales",
         vec![
             Column::from_i64("order_id", (0..rows as i64).collect()),
-            Column::from_f64("amount", (0..rows).map(|i| (i % 500) as f64 / 10.0).collect()),
+            Column::from_f64(
+                "amount",
+                (0..rows).map(|i| (i % 500) as f64 / 10.0).collect(),
+            ),
             Column::from_i64("region", (0..rows as i64).map(|i| i % 8).collect()),
         ],
     )?;
     let table = kernel.load_table(sales, SizeCm::new(6.0, 10.0))?;
-    println!("loaded table; catalog = {:?}", kernel.catalog());
+    println!("loaded table; catalog = {:?}", kernel.catalog_names());
     println!("initial layout: {}", kernel.layout(table)?);
 
     // Rotate gesture: the physical design flips to a row-store and the object
@@ -52,7 +55,10 @@ fn main() -> Result<()> {
     let tap = kernel.tap(table, 0.37)?;
     println!(
         "tap reveals the tuple {:?}",
-        tap.results.latest().map(|r| r.values.clone()).unwrap_or_default()
+        tap.results
+            .latest()
+            .map(|r| r.values.clone())
+            .unwrap_or_default()
     );
 
     // Drag the `amount` column out of the fat table: it becomes its own lean
@@ -60,12 +66,13 @@ fn main() -> Result<()> {
     let amount = kernel.drag_column_out(table, "amount", SizeCm::new(2.0, 10.0))?;
     println!(
         "after dragging `amount` out: catalog = {:?}, table now has {} attributes",
-        kernel.catalog(),
+        kernel.catalog_names(),
         kernel.view(table)?.attribute_count
     );
-    kernel.set_action(amount, TouchAction::Aggregate(
-        dbtouch::core::operators::aggregate::AggregateKind::Avg,
-    ))?;
+    kernel.set_action(
+        amount,
+        TouchAction::Aggregate(dbtouch::core::operators::aggregate::AggregateKind::Avg),
+    )?;
     let view = kernel.view(amount)?;
     let outcome = kernel.run_trace(amount, &synthesizer.slide_down(&view, 1.0))?;
     println!(
@@ -75,18 +82,29 @@ fn main() -> Result<()> {
     );
 
     // Group standalone columns into a new table placeholder.
-    let order_ids = kernel.load_column("order_id_copy", (0..rows as i64).collect(), SizeCm::new(2.0, 10.0))?;
-    let grouped = kernel.group_into_table("amount_by_order", &[order_ids, amount], SizeCm::new(4.0, 10.0))?;
+    let order_ids = kernel.load_column(
+        "order_id_copy",
+        (0..rows as i64).collect(),
+        SizeCm::new(2.0, 10.0),
+    )?;
+    let grouped = kernel.group_into_table(
+        "amount_by_order",
+        &[order_ids, amount],
+        SizeCm::new(4.0, 10.0),
+    )?;
     println!(
         "grouped columns into `{}` with {} attributes",
-        kernel.catalog().last().cloned().unwrap_or_default(),
+        kernel.catalog_names().last().cloned().unwrap_or_default(),
         kernel.view(grouped)?.attribute_count
     );
 
     // Remote processing (Section 4): the device keeps only coarse samples of the
     // amount column; fine-grained detail requests go to the simulated server.
     let hierarchy = SampleHierarchy::build(
-        Column::from_f64("amount", (0..rows).map(|i| (i % 500) as f64 / 10.0).collect()),
+        Column::from_f64(
+            "amount",
+            (0..rows).map(|i| (i % 500) as f64 / 10.0).collect(),
+        ),
         8,
     );
     let mut remote = RemoteStore::new(hierarchy, 4, NetworkModel::default())?;

@@ -10,9 +10,9 @@
 //! (schema discovery), a slide scans or aggregates the touched entries, a
 //! zoom-in makes the same gesture return more detail.
 
-use dbtouch::prelude::*;
 use dbtouch::core::kernel::TouchAction;
 use dbtouch::core::operators::aggregate::AggregateKind;
+use dbtouch::prelude::*;
 
 fn main() -> Result<()> {
     // 1. Create a kernel and load one million measurements as a column object
@@ -20,14 +20,17 @@ fn main() -> Result<()> {
     let mut kernel = Kernel::new(KernelConfig::default());
     let measurements: Vec<i64> = (0..1_000_000).map(|i| (i % 1_000) - 500).collect();
     let object = kernel.load_column("measurements", measurements, SizeCm::new(2.0, 10.0))?;
-    println!("catalog: {:?}", kernel.catalog());
+    println!("catalog: {:?}", kernel.catalog_names());
 
     // 2. Schema-less discovery: a single tap reveals one value, enough to see
     //    that this is an integer column.
     let tap = kernel.tap(object, 0.5)?;
     println!(
         "tap at the middle of the object reveals: {}",
-        tap.results.latest().and_then(|r| r.value().cloned()).unwrap()
+        tap.results
+            .latest()
+            .and_then(|r| r.value().cloned())
+            .unwrap()
     );
 
     // 3. A plain scan: slide a finger from the top to the bottom of the object

@@ -13,7 +13,11 @@
 //! * [`baseline`] — a traditional blocking column-store executor with a small
 //!   SQL-like query language, used as the comparison system.
 //! * [`workload`] — synthetic data generators, pattern injection and simulated
-//!   explorer policies for the evaluation scenarios.
+//!   explorer policies for the evaluation scenarios, including concurrent
+//!   multi-explorer drivers.
+//! * [`server`] — the concurrent exploration service: many simultaneous
+//!   gesture sessions multiplexed over worker threads, sharing one immutable
+//!   catalog ([`core::catalog::SharedCatalog`]).
 //!
 //! ## Quick start
 //!
@@ -46,18 +50,21 @@
 pub use dbtouch_baseline as baseline;
 pub use dbtouch_core as core;
 pub use dbtouch_gesture as gesture;
+pub use dbtouch_server as server;
 pub use dbtouch_storage as storage;
 pub use dbtouch_types as types;
 pub use dbtouch_workload as workload;
 
 /// Convenient single-import prelude used by the examples and tests.
 pub mod prelude {
+    pub use dbtouch_core::catalog::{ObjectData, ObjectState, SharedCatalog};
     pub use dbtouch_core::kernel::{Kernel, ObjectId, TouchAction};
     pub use dbtouch_core::result::{ResultStream, TouchResult};
     pub use dbtouch_core::session::{Session, SessionOutcome};
     pub use dbtouch_gesture::synthesizer::GestureSynthesizer;
     pub use dbtouch_gesture::touch::{TouchEvent, TouchPhase};
     pub use dbtouch_gesture::view::View;
+    pub use dbtouch_server::{ExplorationServer, ServerConfig, SessionReport};
     pub use dbtouch_storage::column::Column;
     pub use dbtouch_storage::table::Table;
     pub use dbtouch_types::{

@@ -1,0 +1,175 @@
+//! Concurrency integration tests: N threads of gesture sessions over one
+//! shared catalog must produce exactly the results of a single-threaded
+//! kernel run — the catalog split makes sessions share immutable data and
+//! nothing else, so interleaving cannot change what any explorer sees.
+
+use dbtouch::core::catalog::SharedCatalog;
+use dbtouch::core::kernel::{Kernel, TouchAction};
+use dbtouch::core::operators::aggregate::AggregateKind;
+use dbtouch::core::session::Session;
+use dbtouch::gesture::synthesizer::GestureSynthesizer;
+use dbtouch::server::{
+    digest_outcomes, ExplorationServer, ServerConfig, SessionReport, TraceOutcome,
+};
+use dbtouch::types::{KernelConfig, SizeCm};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const TRACES_PER_THREAD: usize = 5;
+
+fn shared_catalog(rows: i64) -> (Arc<SharedCatalog>, dbtouch::core::kernel::ObjectId) {
+    let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+    let id = catalog
+        .load_column("shared", (0..rows).collect(), SizeCm::new(2.0, 10.0))
+        .unwrap();
+    (catalog, id)
+}
+
+/// The trace plan every session runs: M slides of varying durations.
+fn slide_plan(
+    catalog: &SharedCatalog,
+    id: dbtouch::core::kernel::ObjectId,
+) -> Vec<dbtouch::gesture::trace::GestureTrace> {
+    let view = catalog.data(id).unwrap().base_view().clone();
+    let mut synthesizer = GestureSynthesizer::new(60.0);
+    (0..TRACES_PER_THREAD)
+        .map(|i| synthesizer.slide_down(&view, 0.4 + 0.2 * i as f64))
+        .collect()
+}
+
+/// Baseline: the same plan through the single-user kernel, fresh state.
+fn sequential_digest(
+    catalog: &Arc<SharedCatalog>,
+    id: dbtouch::core::kernel::ObjectId,
+    action: TouchAction,
+) -> (u64, u64) {
+    let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+    kernel.set_action(id, action).unwrap();
+    let mut outcomes = Vec::new();
+    for trace in slide_plan(catalog, id) {
+        outcomes.push(TraceOutcome {
+            object: id,
+            outcome: kernel.run_trace(id, &trace).unwrap(),
+        });
+    }
+    let entries: u64 = outcomes
+        .iter()
+        .map(|o| o.outcome.stats.entries_returned)
+        .sum();
+    (digest_outcomes(outcomes.iter()), entries)
+}
+
+#[test]
+fn raw_threads_over_checked_out_state_match_kernel() {
+    // The low-level form of the claim: N threads each checkout state and run
+    // sessions directly, no server machinery involved.
+    let (catalog, id) = shared_catalog(150_000);
+    let (expected_digest, expected_entries) = sequential_digest(&catalog, id, TouchAction::Scan);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let catalog = Arc::clone(&catalog);
+            std::thread::spawn(move || {
+                let config = catalog.config().clone();
+                let mut state = catalog.checkout(id).unwrap();
+                let mut outcomes = Vec::new();
+                for trace in slide_plan(&catalog, id) {
+                    outcomes.push(TraceOutcome {
+                        object: id,
+                        outcome: Session::new(&mut state, &config).run(&trace).unwrap(),
+                    });
+                }
+                (
+                    digest_outcomes(outcomes.iter()),
+                    outcomes
+                        .iter()
+                        .map(|o| o.outcome.stats.entries_returned)
+                        .sum::<u64>(),
+                )
+            })
+        })
+        .collect();
+    for handle in handles {
+        let (digest, entries) = handle.join().unwrap();
+        assert_eq!(entries, expected_entries);
+        assert_eq!(digest, expected_digest);
+    }
+}
+
+#[test]
+fn served_sessions_match_kernel_run() {
+    // The served form: N sessions through the exploration server's worker
+    // pool, each with a different action mix, all checked against the
+    // sequential kernel replay.
+    let (catalog, id) = shared_catalog(150_000);
+    let actions = [
+        TouchAction::Scan,
+        TouchAction::Aggregate(AggregateKind::Avg),
+        TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Avg,
+        },
+    ];
+    let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(4));
+    let drivers: Vec<_> = (0..THREADS)
+        .map(|i| {
+            let session = server.open_session();
+            let catalog = Arc::clone(&catalog);
+            let action = actions[i % actions.len()].clone();
+            std::thread::spawn(move || -> (TouchAction, SessionReport) {
+                session.set_action(id, action.clone()).unwrap();
+                for trace in slide_plan(&catalog, id) {
+                    session.run_trace(id, trace).unwrap();
+                }
+                (action, session.close().unwrap())
+            })
+        })
+        .collect();
+    let reports: Vec<(TouchAction, SessionReport)> =
+        drivers.into_iter().map(|d| d.join().unwrap()).collect();
+    server.shutdown();
+
+    for (action, report) in reports {
+        assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+        assert_eq!(report.traces_run(), TRACES_PER_THREAD);
+        let (expected_digest, expected_entries) = sequential_digest(&catalog, id, action.clone());
+        assert_eq!(
+            report.total_entries(),
+            expected_entries,
+            "entry count diverged for {action:?}"
+        );
+        assert_eq!(
+            report.result_digest(),
+            expected_digest,
+            "results diverged for {action:?}"
+        );
+    }
+}
+
+#[test]
+fn sessions_with_same_plan_agree_with_each_other() {
+    // Per-session determinism: every session running the identical plan must
+    // report the identical result counts and digests.
+    let (catalog, id) = shared_catalog(80_000);
+    let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(4));
+    let drivers: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let session = server.open_session();
+            let catalog = Arc::clone(&catalog);
+            std::thread::spawn(move || -> SessionReport {
+                for trace in slide_plan(&catalog, id) {
+                    session.run_trace(id, trace).unwrap();
+                }
+                session.close().unwrap()
+            })
+        })
+        .collect();
+    let reports: Vec<SessionReport> = drivers.into_iter().map(|d| d.join().unwrap()).collect();
+    server.shutdown();
+    let first_digest = reports[0].result_digest();
+    let first_entries = reports[0].total_entries();
+    assert!(first_entries > 0);
+    for report in &reports {
+        assert_eq!(report.result_digest(), first_digest);
+        assert_eq!(report.total_entries(), first_entries);
+    }
+}

@@ -60,7 +60,10 @@ fn summary_slide_average_tracks_touched_region() {
     assert!(outcome.stats.entries_returned > 10);
     for r in outcome.results.results() {
         let v = r.value().unwrap().as_f64().unwrap();
-        assert!(v >= 0.75 * 1_000_000.0 * 0.95, "summary {v} not from touched region");
+        assert!(
+            v >= 0.75 * 1_000_000.0 * 0.95,
+            "summary {v} not from touched region"
+        );
         assert!(r.position_fraction >= 0.74);
     }
 }
@@ -79,8 +82,12 @@ fn gesture_speed_controls_entries_and_granularity() {
         .unwrap();
     let view = kernel.view(id).unwrap();
     let mut synthesizer = GestureSynthesizer::new(60.0);
-    let fast = kernel.run_trace(id, &synthesizer.slide_down(&view, 0.5)).unwrap();
-    let slow = kernel.run_trace(id, &synthesizer.slide_down(&view, 4.0)).unwrap();
+    let fast = kernel
+        .run_trace(id, &synthesizer.slide_down(&view, 0.5))
+        .unwrap();
+    let slow = kernel
+        .run_trace(id, &synthesizer.slide_down(&view, 4.0))
+        .unwrap();
     assert!(slow.stats.entries_returned > 4 * fast.stats.entries_returned);
     // the faster slide is served from a coarser (or equal) sample level
     let max_level = |s: &dbtouch::core::session::SessionStats| {
@@ -104,12 +111,16 @@ fn zoom_in_then_slide_returns_more_entries() {
     let mut synthesizer = GestureSynthesizer::new(60.0);
     let view = kernel.view(id).unwrap();
     // constant speed: the zoomed object takes proportionally longer to traverse
-    let before = kernel.run_trace(id, &synthesizer.slide_down(&view, 1.0)).unwrap();
+    let before = kernel
+        .run_trace(id, &synthesizer.slide_down(&view, 1.0))
+        .unwrap();
     let pinch = synthesizer.pinch(&view, 2.0, 0.4);
     kernel.run_trace(id, &pinch).unwrap();
     let zoomed_view = kernel.view(id).unwrap();
     assert!(zoomed_view.size().height > view.size().height * 1.5);
-    let after = kernel.run_trace(id, &synthesizer.slide_down(&zoomed_view, 2.0)).unwrap();
+    let after = kernel
+        .run_trace(id, &synthesizer.slide_down(&zoomed_view, 2.0))
+        .unwrap();
     assert!(after.stats.entries_returned > before.stats.entries_returned * 3 / 2);
 }
 
@@ -147,8 +158,13 @@ fn rotate_gesture_flips_layout_and_data_survives() {
     let id = kernel.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
     let mut synthesizer = GestureSynthesizer::new(60.0);
     let view = kernel.view(id).unwrap();
-    kernel.run_trace(id, &synthesizer.rotate(&view, true, 0.5)).unwrap();
-    assert_eq!(kernel.layout(id).unwrap(), dbtouch::storage::layout::Layout::RowMajor);
+    kernel
+        .run_trace(id, &synthesizer.rotate(&view, true, 0.5))
+        .unwrap();
+    assert_eq!(
+        kernel.layout(id).unwrap(),
+        dbtouch::storage::layout::Layout::RowMajor
+    );
     // data is still correct after the physical rotation
     kernel.set_action(id, TouchAction::Tuple).unwrap();
     let tap = kernel.tap(id, 0.5).unwrap();
@@ -171,7 +187,9 @@ fn drag_out_and_group_round_trip() {
     )
     .unwrap();
     let tid = kernel.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
-    let amount = kernel.drag_column_out(tid, "amount", SizeCm::new(2.0, 10.0)).unwrap();
+    let amount = kernel
+        .drag_column_out(tid, "amount", SizeCm::new(2.0, 10.0))
+        .unwrap();
     assert_eq!(kernel.view(tid).unwrap().attribute_count, 2);
     let grouped = kernel
         .group_into_table("amounts", &[amount], SizeCm::new(2.0, 10.0))
@@ -183,7 +201,10 @@ fn drag_out_and_group_round_trip() {
         .unwrap();
     let view = kernel.view(amount).unwrap();
     let outcome = kernel
-        .run_trace(amount, &GestureSynthesizer::new(60.0).slide_down(&view, 0.5))
+        .run_trace(
+            amount,
+            &GestureSynthesizer::new(60.0).slide_down(&view, 0.5),
+        )
         .unwrap();
     assert!(outcome.final_aggregate.unwrap() > 9_000.0);
 }
@@ -207,7 +228,9 @@ fn remote_split_serves_coarse_locally_and_detail_remotely() {
     let mut store = RemoteStore::new(hierarchy, 4, NetworkModel::default()).unwrap();
     let coarse = store.fetch(RowRange::new(0, 50_000), 6).unwrap();
     assert_eq!(coarse.served_from, ServedFrom::Local);
-    let (quick, fine) = store.fetch_progressive(RowRange::new(0, 50_000), 0).unwrap();
+    let (quick, fine) = store
+        .fetch_progressive(RowRange::new(0, 50_000), 0)
+        .unwrap();
     assert_eq!(quick.served_from, ServedFrom::Local);
     let fine = fine.unwrap();
     assert_eq!(fine.served_from, ServedFrom::Remote);
@@ -252,14 +275,14 @@ fn gesture_driven_join_matches_baseline_join_semantics() {
     // every match joins equal keys
     for m in outcome.matches.iter().step_by(97) {
         assert_eq!(
-            left_keys[m.left_row.index()], right_keys[m.right_row.index()],
+            left_keys[m.left_row.index()],
+            right_keys[m.right_row.index()],
             "match {m:?} joins unequal keys"
         );
     }
     // non-blocking behaviour: first match long before all consumed rows
     assert!(
-        outcome.stats.rows_to_first_match * 10
-            < outcome.stats.left_rows + outcome.stats.right_rows
+        outcome.stats.rows_to_first_match * 10 < outcome.stats.left_rows + outcome.stats.right_rows
     );
 }
 
@@ -339,7 +362,9 @@ fn baseline_and_dbtouch_agree_on_the_data() {
         .unwrap();
 
     let mut kernel = Kernel::new(KernelConfig::default());
-    let id = kernel.load_column("v", values, SizeCm::new(2.0, 10.0)).unwrap();
+    let id = kernel
+        .load_column("v", values, SizeCm::new(2.0, 10.0))
+        .unwrap();
     kernel
         .set_action(
             id,

@@ -1,0 +1,270 @@
+//! Vendored minimal stand-in for the `criterion` benchmark harness (the build
+//! environment is offline).
+//!
+//! Implements the subset the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!`/`criterion_main!`
+//! macros — with a simple warmup + timed-sampling loop. Results are printed as
+//! mean ns/iter (plus throughput when declared). Statistical machinery
+//! (outlier rejection, confidence intervals, HTML reports) is intentionally
+//! absent; swap the workspace dependency back to the real criterion for
+//! publication-grade numbers.
+//!
+//! Set `DBTOUCH_BENCH_FAST=1` to shrink the measurement window (used by CI to
+//! smoke-test bench binaries quickly).
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared throughput of a benchmark, used to derive elements/sec reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id carrying just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    measurement: Duration,
+    samples: Vec<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly: a short warmup, then timed batches until the
+    /// measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + batch sizing: grow until one batch takes >= ~1ms.
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        let deadline = Instant::now() + self.measurement;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let took = start.elapsed();
+            self.samples.push(took / batch as u32);
+            self.iters_done += batch;
+        }
+        if self.samples.is_empty() {
+            // Measurement window shorter than one batch: take a single sample.
+            let start = Instant::now();
+            std_black_box(f());
+            self.samples.push(start.elapsed());
+            self.iters_done += 1;
+        }
+    }
+
+    fn mean_nanos(&self) -> f64 {
+        let total: f64 = self.samples.iter().map(|d| d.as_nanos() as f64).sum();
+        total / self.samples.len().max(1) as f64
+    }
+}
+
+fn measurement_window() -> Duration {
+    if std::env::var("DBTOUCH_BENCH_FAST").is_ok() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+fn report(name: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let mean = bencher.mean_nanos();
+    let mut line = format!("bench  {name:<48} {mean:>14.1} ns/iter");
+    if let Some(tp) = throughput {
+        let per_sec = |n: u64| n as f64 / (mean / 1e9);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  ({:.0} elem/s)", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  ({:.0} B/s)", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measurement: measurement_window(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            samples: Vec::new(),
+            iters_done: 0,
+        };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Criterion {
+        self
+    }
+
+    /// Shrink/grow the per-benchmark measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Criterion {
+        self.measurement = d;
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the per-iteration throughput of subsequent benches.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Shrink/grow the group's measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measurement = d;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            measurement: self.criterion.measurement,
+            samples: Vec::new(),
+            iters_done: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.id), &b, self.throughput);
+        self
+    }
+
+    /// Run one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (no-op in the shim; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Stand-in for `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,30 @@
+//! Deterministic randomness for the vendored proptest stand-in.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator handed to strategies. Seeded from the property's name (FNV-1a)
+/// so every run of a given test generates the same case sequence; set
+/// `PROPTEST_SEED` to explore a different sequence.
+pub struct TestRng {
+    pub(crate) rng: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic generator for a named property.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            if let Ok(extra) = seed.parse::<u64>() {
+                hash ^= extra.rotate_left(17);
+            }
+        }
+        TestRng {
+            rng: StdRng::seed_from_u64(hash),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Vendored stand-in for `serde` for the offline build environment.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so the
+//! `#[derive(Serialize, Deserialize)]` annotations across the workspace keep
+//! compiling unchanged. See `vendor/serde_derive` for the rationale.
+
+pub use serde_derive::{Deserialize, Serialize};

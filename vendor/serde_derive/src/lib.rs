@@ -1,0 +1,22 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The build environment is offline, so the real serde cannot be fetched. The
+//! code base only uses `#[derive(Serialize, Deserialize)]` as a marker (no
+//! generic serialization entry points exist in-tree; gesture traces use a
+//! hand-rolled JSON codec). These derives therefore expand to nothing: the
+//! derive lists stay intact and switching back to the real serde is a
+//! two-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive. Accepts (and ignores) `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
