@@ -1,0 +1,29 @@
+//! Shared-cache effectiveness binary: touches/sec and p50/p99 per-touch
+//! latency with the cross-session result cache off vs. on, over the skewed
+//! hot-object workload, verified result-transparent at every point.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin cache_effectiveness [rows] [traces_per_session]
+//! ```
+
+use dbtouch_bench::cache_effectiveness::run_cache_effectiveness_sweep;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let session_counts = [1, 2, 4, 8, 16, 32];
+    match run_cache_effectiveness_sweep(rows, &session_counts, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            if report.points.iter().any(|p| !p.result_transparent) {
+                eprintln!("ERROR: the shared cache changed results somewhere");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("cache effectiveness sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

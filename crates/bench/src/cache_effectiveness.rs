@@ -1,0 +1,177 @@
+//! Shared-result-cache effectiveness benchmark.
+//!
+//! Drives the skewed hot-object workload (every session runs the identical
+//! summary plan over one object — the "room of analysts" case) through the
+//! exploration server twice per session count: once with the shared
+//! cross-session result cache disabled and once with it enabled. Reports
+//! touches/s and p50/p99 per-touch latency for both configurations plus the
+//! cache hit rate, and verifies the cache is result-transparent: the
+//! cache-on digests must equal both the cache-off digests and the
+//! sequential replay, for every session count.
+
+use dbtouch_server::ServerConfig;
+use dbtouch_types::{KernelConfig, Result};
+use dbtouch_workload::concurrent::{
+    plan_hot_object, run_concurrent, run_sequential, scenario_catalog,
+};
+use dbtouch_workload::Scenario;
+
+/// One measured point: the same workload with the shared cache off vs. on.
+#[derive(Debug, Clone)]
+pub struct CacheEffectivenessPoint {
+    /// Simultaneous sessions driven.
+    pub sessions: usize,
+    /// Total touch samples processed (identical for both configurations).
+    pub total_touches: u64,
+    /// Throughput with the shared cache disabled, touches/s.
+    pub touches_per_sec_off: f64,
+    /// Throughput with the shared cache enabled, touches/s.
+    pub touches_per_sec_on: f64,
+    /// p50 of per-trace mean per-touch time, cache off, microseconds.
+    pub p50_micros_off: f64,
+    /// p50 of per-trace mean per-touch time, cache on, microseconds.
+    pub p50_micros_on: f64,
+    /// p99 of per-trace mean per-touch time, cache off, microseconds.
+    pub p99_micros_off: f64,
+    /// p99 of per-trace mean per-touch time, cache on, microseconds.
+    pub p99_micros_on: f64,
+    /// Shared-cache hits across all sessions (cache-on run).
+    pub shared_hits: u64,
+    /// Shared-cache misses across all sessions (cache-on run).
+    pub shared_misses: u64,
+    /// Shared-cache hit rate of the cache-on run in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Whether cache-on, cache-off and the sequential replay all produced
+    /// bit-identical result digests.
+    pub result_transparent: bool,
+}
+
+impl CacheEffectivenessPoint {
+    /// Throughput ratio on/off (>1 means the cache helped).
+    pub fn speedup(&self) -> f64 {
+        if self.touches_per_sec_off == 0.0 {
+            0.0
+        } else {
+            self.touches_per_sec_on / self.touches_per_sec_off
+        }
+    }
+}
+
+/// The full cache-effectiveness sweep.
+#[derive(Debug, Clone)]
+pub struct CacheEffectivenessReport {
+    /// Rows in the hot object.
+    pub rows: u64,
+    /// Gesture traces each session performs.
+    pub traces_per_session: usize,
+    /// Measured points, in session-count order.
+    pub points: Vec<CacheEffectivenessPoint>,
+}
+
+/// Run the sweep: for each session count, the identical hot-object plans with
+/// the shared cache off and on, both verified against the sequential replay.
+pub fn run_cache_effectiveness_sweep(
+    rows: usize,
+    session_counts: &[usize],
+    traces_per_session: usize,
+) -> Result<CacheEffectivenessReport> {
+    let scenario = Scenario::sky_survey(rows, 17);
+    let mut points = Vec::with_capacity(session_counts.len());
+    for &sessions in session_counts {
+        // Fresh catalogs per point so a previous point's warm cache cannot
+        // flatter a later measurement. Same scenario + seeds → identical data
+        // and plans in both configurations.
+        let (catalog_off, object_off) =
+            scenario_catalog(&scenario, KernelConfig::default().with_shared_cache(false))?;
+        let (catalog_on, object_on) =
+            scenario_catalog(&scenario, KernelConfig::default().with_shared_cache(true))?;
+        let plans_off =
+            plan_hot_object(&catalog_off, object_off, sessions, traces_per_session, 99)?;
+        let plans_on = plan_hot_object(&catalog_on, object_on, sessions, traces_per_session, 99)?;
+
+        let off = run_concurrent(
+            &catalog_off,
+            object_off,
+            &plans_off,
+            ServerConfig::default(),
+        )?;
+        let on = run_concurrent(&catalog_on, object_on, &plans_on, ServerConfig::default())?;
+        let sequential = run_sequential(&catalog_on, object_on, &plans_on)?;
+
+        let latency_off = off.latency_summary();
+        let latency_on = on.latency_summary();
+        points.push(CacheEffectivenessPoint {
+            sessions,
+            total_touches: on.total_touches(),
+            touches_per_sec_off: off.touches_per_sec(),
+            touches_per_sec_on: on.touches_per_sec(),
+            p50_micros_off: latency_off.p50_nanos as f64 / 1e3,
+            p50_micros_on: latency_on.p50_nanos as f64 / 1e3,
+            p99_micros_off: latency_off.p99_nanos as f64 / 1e3,
+            p99_micros_on: latency_on.p99_nanos as f64 / 1e3,
+            shared_hits: on.total_shared_cache_hits(),
+            shared_misses: on.total_shared_cache_misses(),
+            hit_rate: on.shared_cache_hit_rate(),
+            result_transparent: on.digests() == off.digests()
+                && on.digests() == sequential
+                && on.errors().is_empty()
+                && off.errors().is_empty(),
+        });
+    }
+    Ok(CacheEffectivenessReport {
+        rows: rows as u64,
+        traces_per_session,
+        points,
+    })
+}
+
+impl CacheEffectivenessReport {
+    /// Render the sweep as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "cache effectiveness sweep — {} rows, {} traces/session, hot-object workload\n",
+            self.rows, self.traces_per_session
+        ));
+        out.push_str(
+            "sessions     touches   touches/s off    touches/s on   speedup   p50 off   p50 on   p99 off   p99 on   hit rate   identical\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>8}  {:>10}  {:>14.0}  {:>14.0}  {:>8.2}  {:>8.2}  {:>7.2}  {:>8.2}  {:>7.2}  {:>9.3}  {}\n",
+                p.sessions,
+                p.total_touches,
+                p.touches_per_sec_off,
+                p.touches_per_sec_on,
+                p.speedup(),
+                p.p50_micros_off,
+                p.p50_micros_on,
+                p.p99_micros_off,
+                p.p99_micros_on,
+                p.hit_rate,
+                if p.result_transparent { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_transparent_and_hits_on_hot_objects() {
+        let report = run_cache_effectiveness_sweep(20_000, &[1, 4], 4).unwrap();
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert!(point.result_transparent, "point {point:?}");
+            assert!(point.total_touches > 0);
+            assert!(point.shared_hits > 0, "hot workload must hit: {point:?}");
+            assert!(point.hit_rate > 0.0);
+            assert!(point.touches_per_sec_off > 0.0);
+            assert!(point.touches_per_sec_on > 0.0);
+        }
+        assert!(report.table().contains("hit rate"));
+    }
+}

@@ -14,12 +14,16 @@
 //! * the integration tests run reduced-scale versions to keep CI fast.
 
 pub mod ablations;
+pub mod cache_effectiveness;
 pub mod concurrency;
 pub mod contest;
 pub mod figures;
 pub mod report;
 pub mod sweeps;
 
+pub use cache_effectiveness::{
+    run_cache_effectiveness_sweep, CacheEffectivenessPoint, CacheEffectivenessReport,
+};
 pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport};
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};

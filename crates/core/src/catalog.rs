@@ -32,6 +32,7 @@ use dbtouch_storage::matrix::Matrix;
 use dbtouch_storage::prefetch::Prefetcher;
 use dbtouch_storage::rotation::RotationTask;
 use dbtouch_storage::sample::SampleHierarchy;
+use dbtouch_storage::shared_cache::{next_object_identity, SharedResultCache};
 use dbtouch_storage::table::Table;
 use dbtouch_types::{DataType, DbTouchError, KernelConfig, Result, SizeCm};
 use std::sync::{Arc, RwLock};
@@ -43,6 +44,12 @@ use std::sync::{Arc, RwLock};
 #[derive(Debug, Clone)]
 pub struct ObjectData {
     name: String,
+    /// Process-unique generation of this immutable build. A restructure
+    /// (`drag_column_out`, `group_into_table`) builds fresh `ObjectData` with
+    /// a fresh identity, which is what keys (and thereby invalidates) the
+    /// shared cross-session result cache. Cloning with unchanged data (e.g.
+    /// `set_default_action`) keeps the identity — cached results stay valid.
+    identity: u64,
     matrix: Arc<Matrix>,
     hierarchies: Arc<Vec<SampleHierarchy>>,
     indexes: Arc<Vec<Option<ZoneMapIndex>>>,
@@ -54,6 +61,12 @@ impl ObjectData {
     /// The object's catalog name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The identity of this immutable build (see
+    /// [`dbtouch_storage::shared_cache::next_object_identity`]).
+    pub fn identity(&self) -> u64 {
+        self.identity
     }
 
     /// The loaded matrix (base layout, before any per-session rotation).
@@ -108,6 +121,9 @@ pub struct ObjectState {
     pub(crate) action: TouchAction,
     pub(crate) cache: RegionCache,
     pub(crate) prefetcher: Prefetcher,
+    /// Handle to the catalog-wide cross-session result cache, `None` when the
+    /// configuration disables it.
+    pub(crate) shared_cache: Option<Arc<SharedResultCache>>,
 }
 
 impl ObjectState {
@@ -149,11 +165,20 @@ impl ObjectState {
     /// Flip the physical layout of this session's matrix, converting
     /// `chunk_rows` rows at a time (incremental rotation, Section 2.8). Only
     /// this session sees the rotated copy; the shared catalog is untouched.
+    ///
+    /// The rotation reads through the shared `Arc<Matrix>` and builds only
+    /// the rotated target chunk by chunk — the source is never deep-copied,
+    /// so peak memory stays bounded by one extra (target) copy.
     pub(crate) fn rotate_layout(&mut self, chunk_rows: u64) -> Result<()> {
-        let task = RotationTask::new((*self.matrix).clone(), chunk_rows);
+        let task = RotationTask::over(Arc::clone(&self.matrix), chunk_rows);
         self.matrix = Arc::new(task.finish()?);
         self.view = self.view.rotated();
         Ok(())
+    }
+
+    /// The shared cross-session result cache, when enabled.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedResultCache>> {
+        self.shared_cache.as_ref()
     }
 }
 
@@ -166,20 +191,32 @@ impl ObjectState {
 pub struct SharedCatalog {
     config: KernelConfig,
     objects: RwLock<Vec<Arc<ObjectData>>>,
+    /// The cross-session result cache every checkout of this catalog shares,
+    /// `None` when [`KernelConfig::shared_cache_enabled`] is off.
+    shared_cache: Option<Arc<SharedResultCache>>,
 }
 
 impl SharedCatalog {
     /// Create an empty catalog with the given kernel configuration.
     pub fn new(config: KernelConfig) -> SharedCatalog {
+        let shared_cache = config
+            .shared_cache_enabled
+            .then(|| Arc::new(SharedResultCache::new(config.shared_cache_capacity)));
         SharedCatalog {
             config,
             objects: RwLock::new(Vec::new()),
+            shared_cache,
         }
     }
 
     /// The kernel configuration sessions run under.
     pub fn config(&self) -> &KernelConfig {
         &self.config
+    }
+
+    /// The catalog-wide cross-session result cache, when enabled.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedResultCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// Number of loaded objects.
@@ -229,6 +266,7 @@ impl SharedCatalog {
             } else {
                 Prefetcher::disabled()
             },
+            shared_cache: self.shared_cache.clone(),
             data,
         })
     }
@@ -341,10 +379,20 @@ impl SharedCatalog {
         let rebuilt = self.build_data(Matrix::from_table(new_table), new_view);
         let column_view = View::for_column(column.name().to_string(), column.len(), size)?;
         let standalone = self.build_data(Matrix::from_column(column), column_view);
-        // Commit.
+        // Commit. The rebuilt table carries a fresh identity, so shared-cache
+        // entries computed against the old table can never be served for it;
+        // eagerly dropping them just frees the memory sooner.
+        let old_identity = obj.identity;
         objects[table_id.0 as usize] = Arc::new(rebuilt);
         let id = ObjectId(objects.len() as u64);
         objects.push(Arc::new(standalone));
+        // Release the catalog lock before the O(cache-size) sweep: the
+        // invalidation is purely a memory optimization, so it must not stall
+        // other sessions' checkouts behind the objects write lock.
+        drop(objects);
+        if let Some(cache) = &self.shared_cache {
+            cache.invalidate_object(old_identity);
+        }
         Ok(id)
     }
 
@@ -371,6 +419,7 @@ impl SharedCatalog {
         let indexes = build_indexes(&matrix);
         ObjectData {
             name: matrix.name().to_string(),
+            identity: next_object_identity(),
             matrix: Arc::new(matrix),
             hierarchies: Arc::new(hierarchies),
             indexes: Arc::new(indexes),
@@ -556,6 +605,80 @@ mod tests {
             catalog.load_column("a", vec![4], SizeCm::new(2.0, 10.0)),
             Err(DbTouchError::AlreadyExists(_))
         ));
+    }
+
+    #[test]
+    fn restructure_mints_fresh_identity_but_metadata_edits_keep_it() {
+        let catalog = SharedCatalog::new(KernelConfig::default());
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..100).collect()),
+                Column::from_f64("v", (0..100).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let original = catalog.data(tid).unwrap().identity();
+
+        // Changing the default action does not change the data: identity (and
+        // therefore any cached results) must survive.
+        catalog
+            .set_default_action(
+                tid,
+                TouchAction::Aggregate(crate::operators::aggregate::AggregateKind::Sum),
+            )
+            .unwrap();
+        assert_eq!(catalog.data(tid).unwrap().identity(), original);
+
+        // A restructure rebuilds the data: both resulting objects get fresh
+        // identities, so stale cached windows can never be served.
+        let cid = catalog
+            .drag_column_out(tid, "v", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let rebuilt = catalog.data(tid).unwrap().identity();
+        let standalone = catalog.data(cid).unwrap().identity();
+        assert_ne!(rebuilt, original);
+        assert_ne!(standalone, original);
+        assert_ne!(rebuilt, standalone);
+    }
+
+    #[test]
+    fn restructure_drops_shared_cache_entries_of_the_old_build() {
+        use crate::kernel::TouchAction;
+        use dbtouch_gesture::synthesizer::GestureSynthesizer;
+
+        let catalog = SharedCatalog::new(KernelConfig::default());
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..200_000).collect()),
+                Column::from_f64("v", (0..200_000).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let view = catalog.data(tid).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let mut state = catalog.checkout(tid).unwrap();
+        state.set_action(TouchAction::Summary {
+            half_window: Some(5),
+            kind: crate::operators::aggregate::AggregateKind::Avg,
+        });
+        Session::new(&mut state, catalog.config())
+            .run(&trace)
+            .unwrap();
+        let cache = catalog.shared_cache().expect("enabled by default");
+        assert!(!cache.is_empty(), "summary run must populate the cache");
+
+        catalog
+            .drag_column_out(tid, "v", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert!(
+            cache.is_empty(),
+            "restructure must drop entries of the old build"
+        );
+        assert!(cache.stats().invalidated > 0);
     }
 
     #[test]

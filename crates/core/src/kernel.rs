@@ -327,11 +327,14 @@ impl Kernel {
         self.sync_states()?;
         self.state(table_id)?; // surface NotFound before touching the catalog
         let id = self.catalog.drag_column_out(table_id, column_name, size)?;
-        // Refresh this kernel's state for the rebuilt table, carrying the
-        // session's exploration knobs (action, cache, prefetcher) across the
-        // restructure. An action that referenced the dragged-out attribute no
-        // longer validates against the new schema and falls back to the
-        // default.
+        // Refresh this kernel's state for the rebuilt table. The configured
+        // action carries across the restructure (it describes intent, not
+        // data) unless it referenced the dragged-out attribute, in which case
+        // it no longer validates and falls back to the default. The region
+        // cache and prefetcher do NOT carry across: their row ranges were
+        // computed against the pre-restructure object, so "warm" regions and
+        // extrapolated prefetches would be stale fiction over the rebuilt
+        // matrix — the fresh checkout starts them empty.
         let old = std::mem::replace(
             &mut self.states[table_id.0 as usize],
             self.catalog.checkout(table_id)?,
@@ -340,8 +343,6 @@ impl Kernel {
         if validate_action(old.action(), state.data().schema()).is_ok() {
             state.set_action(old.action().clone());
         }
-        state.cache = old.cache;
-        state.prefetcher = old.prefetcher;
         // Checkout state for the newly registered column object.
         self.sync_states()?;
         Ok(id)
@@ -637,6 +638,60 @@ mod tests {
         k.drag_column_out(tid, "price", SizeCm::new(2.1, 10.0))
             .unwrap();
         assert_eq!(k.action(tid).unwrap(), &TouchAction::Scan);
+    }
+
+    #[test]
+    fn drag_column_out_resets_region_cache_and_prefetcher() {
+        // Regression: the restructure used to carry the old RegionCache and
+        // prefetcher verbatim, so regions "warmed" against the pre-restructure
+        // object survived into the rebuilt one.
+        let mut k = kernel();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..50_000).collect()),
+                Column::from_f64("price", (0..50_000).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let view = k.view(tid).unwrap();
+        let trace = dbtouch_gesture::synthesizer::GestureSynthesizer::new(60.0)
+            .exploratory_slide(&view, 2.0);
+        k.run_trace(tid, &trace).unwrap();
+        let (cache_before, prefetch_before) = k.object_stats(tid).unwrap();
+        assert!(cache_before.resident_rows > 0, "warm regions expected");
+        assert!(
+            prefetch_before.requests + prefetch_before.useful_hits + prefetch_before.cold_accesses
+                > 0,
+            "prefetcher activity expected"
+        );
+
+        k.drag_column_out(tid, "price", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let (cache_after, prefetch_after) = k.object_stats(tid).unwrap();
+        assert_eq!(
+            cache_after,
+            dbtouch_storage::cache::CacheStats::default(),
+            "region cache must start cold after a restructure"
+        );
+        assert_eq!(
+            prefetch_after,
+            dbtouch_storage::prefetch::PrefetchStats::default(),
+            "prefetcher must start cold after a restructure"
+        );
+        // The rebuilt object is still fully usable and re-warms from scratch.
+        let view = k.view(tid).unwrap();
+        let trace =
+            dbtouch_gesture::synthesizer::GestureSynthesizer::new(60.0).slide_down(&view, 0.5);
+        let outcome = k.run_trace(tid, &trace).unwrap();
+        assert!(outcome.stats.entries_returned > 0);
+        let (cache_rewarmed, _) = k.object_stats(tid).unwrap();
+        assert_eq!(
+            cache_rewarmed.hits + cache_rewarmed.misses,
+            outcome.stats.cache_hits + outcome.stats.cache_misses,
+            "post-restructure stats must come only from post-restructure touches"
+        );
     }
 
     #[test]

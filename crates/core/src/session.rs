@@ -25,6 +25,7 @@ use crate::result::{FadePolicy, ResultKind, ResultStream, TouchResult};
 use dbtouch_gesture::kinematics::GestureKinematics;
 use dbtouch_gesture::recognizer::{GestureEvent, GestureRecognizer};
 use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_storage::shared_cache::{RangeAggregate, SummaryKey};
 use dbtouch_types::{KernelConfig, PointCm, Result, RowId, RowRange, Timestamp, Value};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -70,6 +71,12 @@ pub struct SessionStats {
     pub cache_hits: u64,
     /// Cache misses observed during the session.
     pub cache_misses: u64,
+    /// Summary windows answered from the shared cross-session result cache.
+    pub shared_cache_hits: u64,
+    /// Summary windows the shared cache did not hold (computed from storage).
+    pub shared_cache_misses: u64,
+    /// Window aggregates this session inserted into the shared cache.
+    pub shared_cache_inserts: u64,
 }
 
 impl SessionStats {
@@ -425,7 +432,46 @@ impl<'a> Session<'a> {
         // Aggregate only the admitted part of the window; any truncated tail is
         // queued as refinement debt and merged in during pauses. (This is the
         // session-integrated version of [`InteractiveSummary::summarize`].)
-        let (count, sum, min, max) = column.numeric_range_stats(admitted)?;
+        //
+        // Concurrent explorers of the same object keep requesting the same
+        // windows; the shared cross-session cache serves the exact tuple a
+        // recomputation would produce (and the same rows are charged either
+        // way), so a hit only saves the compute — results and accounting stay
+        // bit-identical with the cache on or off.
+        let (count, sum, min, max) = match self.object.shared_cache.as_ref() {
+            Some(cache) => {
+                let key = SummaryKey {
+                    object: self.object.data.identity(),
+                    attribute: attribute as u32,
+                    level: decision.sample_level,
+                    kind: kind as u8,
+                    start: admitted.start,
+                    end: admitted.end,
+                };
+                match cache.get(&key) {
+                    Some(hit) => {
+                        self.stats.shared_cache_hits += 1;
+                        (hit.count, hit.sum, hit.min, hit.max)
+                    }
+                    None => {
+                        self.stats.shared_cache_misses += 1;
+                        let (count, sum, min, max) = column.numeric_range_stats(admitted)?;
+                        cache.insert(
+                            key,
+                            RangeAggregate {
+                                count,
+                                sum,
+                                min,
+                                max,
+                            },
+                        );
+                        self.stats.shared_cache_inserts += 1;
+                        (count, sum, min, max)
+                    }
+                }
+            }
+            None => column.numeric_range_stats(admitted)?,
+        };
         self.charge_rows(count);
         let value = match kind {
             crate::operators::aggregate::AggregateKind::Count => Some(count as f64),
@@ -804,5 +850,131 @@ mod tests {
         assert!(s.max_touch_nanos >= s.compute_nanos / s.touches.max(1));
         // every emitted scan result corresponds to exactly one cache lookup
         assert_eq!(s.cache_hits + s.cache_misses, s.entries_returned);
+        // a scan session never consults the shared summary cache
+        assert_eq!(s.shared_cache_hits + s.shared_cache_misses, 0);
+        assert_eq!(s.shared_cache_inserts, 0);
+    }
+
+    #[test]
+    fn cache_invariants_hold_with_region_cache_disabled() {
+        // With the region cache off every lookup is still counted (as a miss),
+        // so the lookup invariant must hold unchanged.
+        let mut kernel = Kernel::new(KernelConfig::default().with_cache(false));
+        let id = kernel
+            .load_column("col", (0..100_000i64).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        kernel.set_action(id, TouchAction::Scan).unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        let s = &outcome.stats;
+        assert_eq!(s.cache_hits, 0, "disabled cache can never hit");
+        assert_eq!(s.cache_hits + s.cache_misses, s.entries_returned);
+    }
+
+    #[test]
+    fn cache_layers_do_not_double_count() {
+        // Both cache layers on, Summary action: every emitted summary entry is
+        // exactly one region-cache lookup AND exactly one shared-cache lookup;
+        // every shared miss is exactly one insert. Neither layer's counters
+        // leak into the other's.
+        let (mut kernel, id) = kernel_with_column(1_000_000);
+        kernel
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        let s = &outcome.stats;
+        assert!(s.entries_returned > 0);
+        assert_eq!(s.cache_hits + s.cache_misses, s.entries_returned);
+        assert_eq!(
+            s.shared_cache_hits + s.shared_cache_misses,
+            s.entries_returned
+        );
+        assert_eq!(s.shared_cache_inserts, s.shared_cache_misses);
+    }
+
+    #[test]
+    fn shared_cache_counters_stay_zero_when_disabled() {
+        let mut kernel = Kernel::new(KernelConfig::default().with_shared_cache(false));
+        let id = kernel
+            .load_column("col", (0..1_000_000i64).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        kernel
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        let view = kernel.view(id).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let outcome = kernel.run_trace(id, &trace).unwrap();
+        let s = &outcome.stats;
+        assert!(s.entries_returned > 0);
+        assert_eq!(s.shared_cache_hits, 0);
+        assert_eq!(s.shared_cache_misses, 0);
+        assert_eq!(s.shared_cache_inserts, 0);
+        // The per-session region cache still does its job independently.
+        assert_eq!(s.cache_hits + s.cache_misses, s.entries_returned);
+    }
+
+    #[test]
+    fn shared_cache_serves_identical_windows_across_sessions() {
+        use crate::catalog::SharedCatalog;
+        use std::sync::Arc;
+
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let id = catalog
+            .load_column("col", (0..1_000_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let action = TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Avg,
+        };
+
+        let run = |catalog: &Arc<SharedCatalog>| {
+            let mut state = catalog.checkout(id).unwrap();
+            state.set_action(action.clone());
+            Session::new(&mut state, catalog.config())
+                .run(&trace)
+                .unwrap()
+        };
+        let first = run(&catalog);
+        let second = run(&catalog);
+
+        // The first session populates the cache; the second answers every
+        // window from it.
+        assert!(first.stats.shared_cache_misses > 0);
+        assert_eq!(first.stats.shared_cache_hits, 0);
+        assert_eq!(second.stats.shared_cache_misses, 0);
+        assert_eq!(
+            second.stats.shared_cache_hits,
+            second.stats.entries_returned
+        );
+        assert_eq!(second.stats.shared_cache_inserts, 0);
+
+        // Result transparency: hits change nothing the user (or the digest)
+        // sees — results, aggregates and logical accounting are identical.
+        assert_eq!(first.results, second.results);
+        assert_eq!(first.final_aggregate, second.final_aggregate);
+        assert_eq!(first.stats.rows_touched, second.stats.rows_touched);
+        assert_eq!(first.stats.bytes_touched, second.stats.bytes_touched);
+        assert_eq!(first.stats.entries_returned, second.stats.entries_returned);
+        assert_eq!(
+            catalog.shared_cache().unwrap().stats().inserts,
+            first.stats.shared_cache_inserts
+        );
     }
 }

@@ -15,7 +15,11 @@
 //! geometry, touch action, region cache, prefetcher, result stream — is
 //! per-session state checked out per explorer. Because sessions share nothing
 //! mutable, per-touch processing takes no locks and concurrent results are
-//! bit-identical to a sequential run of the same traces.
+//! bit-identical to a sequential run of the same traces. The one shared
+//! mutable structure is the optional cross-session result cache
+//! ([`dbtouch_storage::shared_cache::SharedResultCache`]), which is
+//! result-transparent: a hit returns the exact tuple a recomputation would,
+//! so the bit-identical guarantee holds with it on or off.
 //!
 //! * [`ExplorationServer`] — owns N worker threads; sessions are pinned
 //!   round-robin; each worker multiplexes its sessions' event queues.

@@ -58,6 +58,43 @@ impl SessionReport {
             .sum()
     }
 
+    /// Summary windows this session answered from the shared cross-session
+    /// result cache.
+    pub fn total_shared_cache_hits(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.shared_cache_hits)
+            .sum()
+    }
+
+    /// Summary windows this session had to compute from storage.
+    pub fn total_shared_cache_misses(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.shared_cache_misses)
+            .sum()
+    }
+
+    /// Window aggregates this session inserted into the shared cache.
+    pub fn total_shared_cache_inserts(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.shared_cache_inserts)
+            .sum()
+    }
+
+    /// Shared-cache hit rate of this session in `[0, 1]` (0 when the session
+    /// never consulted it).
+    pub fn shared_cache_hit_rate(&self) -> f64 {
+        let hits = self.total_shared_cache_hits();
+        let total = hits + self.total_shared_cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
     /// Per-touch latency summary of this session.
     pub fn latency_summary(&self) -> LatencySummary {
         LatencySummary::from_samples(&self.latencies)
@@ -143,6 +180,9 @@ mod tests {
             outcome.stats.entries_returned = entries;
             outcome.stats.touches = entries * 10;
             outcome.stats.rows_touched = entries * 3;
+            outcome.stats.shared_cache_hits = entries;
+            outcome.stats.shared_cache_misses = 1;
+            outcome.stats.shared_cache_inserts = 1;
             report.outcomes.push(TraceOutcome {
                 object: ObjectId(0),
                 outcome,
@@ -152,5 +192,16 @@ mod tests {
         assert_eq!(report.total_entries(), 7);
         assert_eq!(report.total_touches(), 70);
         assert_eq!(report.total_rows_touched(), 21);
+        assert_eq!(report.total_shared_cache_hits(), 7);
+        assert_eq!(report.total_shared_cache_misses(), 2);
+        assert_eq!(report.total_shared_cache_inserts(), 2);
+        assert!((report.shared_cache_hit_rate() - 7.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_hit_rate() {
+        let report = SessionReport::default();
+        assert_eq!(report.shared_cache_hit_rate(), 0.0);
+        assert_eq!(report.total_shared_cache_hits(), 0);
     }
 }

@@ -17,6 +17,9 @@
 //!   instead of the full base data. See [`sample`].
 //! * **Caching** of touched regions and **prefetching** of the regions the
 //!   gesture is extrapolated to reach next. See [`cache`] and [`prefetch`].
+//! * A **shared cross-session result cache** of summary-window aggregates,
+//!   keyed by immutable-object identity so catalog restructures invalidate
+//!   naturally. See [`shared_cache`].
 //! * **Per-sample-level indexing** (zone maps) so that a slide over an indexed
 //!   column becomes the equivalent of an index scan. See [`index`].
 //!
@@ -31,6 +34,7 @@ pub mod matrix;
 pub mod prefetch;
 pub mod rotation;
 pub mod sample;
+pub mod shared_cache;
 pub mod stats;
 pub mod table;
 
@@ -42,5 +46,8 @@ pub use matrix::Matrix;
 pub use prefetch::{PrefetchStats, Prefetcher};
 pub use rotation::RotationTask;
 pub use sample::SampleHierarchy;
+pub use shared_cache::{
+    next_object_identity, RangeAggregate, SharedCacheStats, SharedResultCache, SummaryKey,
+};
 pub use stats::ColumnStats;
 pub use table::Table;

@@ -14,11 +14,17 @@
 use crate::layout::Layout;
 use crate::matrix::Matrix;
 use dbtouch_types::{Result, RowId, RowRange, Value};
+use std::sync::Arc;
 
 /// A chunk-at-a-time conversion of a matrix to the rotated layout.
+///
+/// The source is held behind `Arc`, so starting a rotation never copies the
+/// source data: peak memory is the (shared) source plus the incrementally
+/// built target plus one in-flight chunk — never two full copies of the
+/// source at once.
 #[derive(Debug, Clone)]
 pub struct RotationTask {
-    source: Matrix,
+    source: Arc<Matrix>,
     target: Matrix,
     target_layout: Layout,
     converted_rows: u64,
@@ -29,6 +35,13 @@ impl RotationTask {
     /// Start rotating `source` to the opposite layout, converting `chunk_rows`
     /// rows per [`RotationTask::step`]. A chunk size of 0 is treated as 1.
     pub fn new(source: Matrix, chunk_rows: u64) -> RotationTask {
+        RotationTask::over(Arc::new(source), chunk_rows)
+    }
+
+    /// Start rotating an already-shared matrix without copying it. This is
+    /// the bounded-memory entry point sessions use: the catalog's matrix stays
+    /// shared while only the rotated target is built, chunk by chunk.
+    pub fn over(source: Arc<Matrix>, chunk_rows: u64) -> RotationTask {
         let target_layout = source.layout().rotated();
         let target = source.empty_like(target_layout);
         RotationTask {
@@ -111,6 +124,12 @@ impl RotationTask {
 
     /// Borrow the source matrix.
     pub fn source(&self) -> &Matrix {
+        &self.source
+    }
+
+    /// The shared handle to the source matrix (pointer-identical to the one
+    /// passed to [`RotationTask::over`]; no copy is ever made).
+    pub fn source_arc(&self) -> &Arc<Matrix> {
         &self.source
     }
 }
@@ -201,6 +220,45 @@ mod tests {
         let m = demo_matrix();
         let mut task = RotationTask::new(m, 0);
         assert_eq!(task.step().unwrap(), 1);
+    }
+
+    #[test]
+    fn over_shares_the_source_without_copying() {
+        // A large-ish matrix: the task must read through the shared Arc, not a
+        // private deep copy, so rotating doubles memory only by the target.
+        let m = Arc::new(Matrix::from_column(Column::from_i64(
+            "big",
+            (0..200_000).collect(),
+        )));
+        let task = RotationTask::over(Arc::clone(&m), 4096);
+        assert!(Arc::ptr_eq(task.source_arc(), &m));
+        assert_eq!(task.source() as *const Matrix, Arc::as_ptr(&m));
+        // Only the two handles exist — no hidden clone took a third.
+        assert_eq!(Arc::strong_count(&m), 2);
+        let rotated = task.finish().unwrap();
+        assert_eq!(rotated.layout(), Layout::RowMajor);
+        assert_eq!(rotated.row_count(), 200_000);
+        assert_eq!(rotated.get(RowId(123_456), 0).unwrap(), Value::Int(123_456));
+        // The shared source is untouched and still column-major.
+        assert_eq!(m.layout(), Layout::ColumnMajor);
+    }
+
+    #[test]
+    fn finish_honors_chunk_granularity() {
+        let m = demo_matrix();
+        let mut task = RotationTask::new(m.clone(), 9);
+        let mut steps = 0;
+        while !task.is_complete() {
+            let converted = task.step().unwrap();
+            assert!(converted <= 9, "chunk overshot: {converted}");
+            steps += 1;
+        }
+        assert_eq!(steps, 100_u64.div_ceil(9));
+        let rotated = task.finish().unwrap();
+        assert_eq!(
+            rotated.get_row(RowId(50)).unwrap(),
+            m.get_row(RowId(50)).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,343 @@
+//! Shared cross-session result cache for summary/aggregate windows.
+//!
+//! Concurrent explorers of the same object recompute identical summary
+//! windows: every session that slides over the same region at the same
+//! granularity aggregates the same `[start, end)` range of the same sample
+//! level. Under the "room of analysts" workload this is pure waste — the
+//! loaded data is immutable, so the aggregate of a window can be computed
+//! once and served to every session.
+//!
+//! [`SharedResultCache`] is that cache: a sharded concurrent map of
+//!
+//! ```text
+//! (object identity, attribute, sample level, window, action kind) → (count, sum, min, max)
+//! ```
+//!
+//! **Invalidation by identity.** The cache never observes catalog mutations.
+//! Instead, every immutable object build (load or restructure) is stamped
+//! with a fresh generation from [`next_object_identity`]; a catalog
+//! restructure (`drag_column_out`, `group_into_table`) builds new object data
+//! with a new identity, so entries computed against the pre-restructure data
+//! can never be returned for the rebuilt object — no coordination, no epochs,
+//! no locks on the touch path beyond one shard read-lock. Stale entries of a
+//! dead identity age out when their shard flushes at capacity (a restructure
+//! may also [`SharedResultCache::invalidate_object`] eagerly to free memory).
+//!
+//! **Result transparency.** The cached value is the raw `(count, sum, min,
+//! max)` tuple the storage layer would have computed, so a hit produces
+//! bit-identical results *and* bit-identical logical accounting to a miss;
+//! only the recomputation is saved. `tests/concurrent_sessions.rs` proves
+//! sequential-replay digests are unchanged by the cache.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Generation source for object identities. Starts at 1 so 0 can mean
+/// "no identity" in debugging output.
+static NEXT_OBJECT_IDENTITY: AtomicU64 = AtomicU64::new(1);
+
+/// Mint a fresh, process-unique identity for one immutable object build.
+///
+/// Identities are never reused, which makes them safe cache keys: unlike raw
+/// `Arc` pointer addresses, a freed object's identity cannot be recycled for
+/// a new allocation (no ABA).
+pub fn next_object_identity() -> u64 {
+    NEXT_OBJECT_IDENTITY.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Key of one cached window aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SummaryKey {
+    /// Identity of the immutable object build (see [`next_object_identity`]).
+    pub object: u64,
+    /// Attribute index within the object.
+    pub attribute: u32,
+    /// Sample-hierarchy level the window addresses.
+    pub level: u8,
+    /// Discriminant of the touch-action kind the result feeds.
+    pub kind: u8,
+    /// Window start row (inclusive), in level-local row ids.
+    pub start: u64,
+    /// Window end row (exclusive), in level-local row ids.
+    pub end: u64,
+}
+
+/// The cached aggregate of one window: exactly what
+/// `Column::numeric_range_stats` returns, so a hit is indistinguishable from
+/// recomputing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RangeAggregate {
+    /// Number of rows in the window.
+    pub count: u64,
+    /// Sum of the window's values.
+    pub sum: f64,
+    /// Minimum value, `None` for an empty window.
+    pub min: Option<f64>,
+    /// Maximum value, `None` for an empty window.
+    pub max: Option<f64>,
+}
+
+/// Counters accumulated by a [`SharedResultCache`] across all sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedCacheStats {
+    /// Lookups that found their window.
+    pub hits: u64,
+    /// Lookups that did not.
+    pub misses: u64,
+    /// Entries inserted.
+    pub inserts: u64,
+    /// Shard flushes performed to respect the capacity bound.
+    pub flushes: u64,
+    /// Entries dropped by explicit object invalidation.
+    pub invalidated: u64,
+}
+
+impl SharedCacheStats {
+    /// Hit rate in `[0, 1]`; 0 when no lookups have happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+const SHARD_COUNT: usize = 16;
+
+/// A concurrent, capacity-bounded map of window aggregates shared by every
+/// session of a catalog.
+///
+/// Sharded by key hash: a lookup takes one shard read-lock, an insert one
+/// shard write-lock, so sessions touching different windows rarely contend.
+/// When a shard reaches its capacity slice it is flushed wholesale (epoch
+/// eviction) — cheap, bounded, and harmless because the cache is purely an
+/// accelerator.
+#[derive(Debug)]
+pub struct SharedResultCache {
+    shards: Vec<RwLock<HashMap<SummaryKey, RangeAggregate>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    flushes: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl SharedResultCache {
+    /// Create a cache bounded to roughly `capacity_entries` entries in total.
+    pub fn new(capacity_entries: usize) -> SharedResultCache {
+        SharedResultCache {
+            shards: (0..SHARD_COUNT)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            per_shard_capacity: (capacity_entries / SHARD_COUNT).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &SummaryKey) -> &RwLock<HashMap<SummaryKey, RangeAggregate>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % SHARD_COUNT]
+    }
+
+    /// Look up a window aggregate, recording a hit or a miss.
+    pub fn get(&self, key: &SummaryKey) -> Option<RangeAggregate> {
+        let shard = self.shard(key).read().unwrap_or_else(|e| e.into_inner());
+        match shard.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(*v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a window aggregate, flushing the target shard first if it is at
+    /// capacity.
+    pub fn insert(&self, key: SummaryKey, value: RangeAggregate) {
+        let mut shard = self.shard(&key).write().unwrap_or_else(|e| e.into_inner());
+        if shard.len() >= self.per_shard_capacity {
+            shard.clear();
+            self.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.insert(key, value);
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Eagerly drop every entry of one object identity (e.g. after a catalog
+    /// restructure replaced it). Purely a memory optimization: identity
+    /// minting already guarantees stale entries can never be served.
+    pub fn invalidate_object(&self, object: u64) {
+        for shard in &self.shards {
+            let mut shard = shard.write().unwrap_or_else(|e| e.into_inner());
+            let before = shard.len();
+            shard.retain(|k, _| k.object != object);
+            self.invalidated
+                .fetch_add((before - shard.len()) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of entries currently cached.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity in entries (rounded to the shard grid).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * SHARD_COUNT
+    }
+
+    /// Snapshot of the cache-wide counters.
+    pub fn stats(&self) -> SharedCacheStats {
+        SharedCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(object: u64, start: u64, end: u64) -> SummaryKey {
+        SummaryKey {
+            object,
+            attribute: 0,
+            level: 3,
+            kind: 2,
+            start,
+            end,
+        }
+    }
+
+    fn aggregate(count: u64) -> RangeAggregate {
+        RangeAggregate {
+            count,
+            sum: count as f64 * 2.0,
+            min: Some(1.0),
+            max: Some(3.0),
+        }
+    }
+
+    #[test]
+    fn identities_are_unique() {
+        let a = next_object_identity();
+        let b = next_object_identity();
+        assert_ne!(a, b);
+        assert!(a > 0 && b > 0);
+    }
+
+    #[test]
+    fn miss_then_hit_round_trip() {
+        let cache = SharedResultCache::new(1024);
+        let k = key(1, 0, 10);
+        assert_eq!(cache.get(&k), None);
+        cache.insert(k, aggregate(10));
+        assert_eq!(cache.get(&k), Some(aggregate(10)));
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.inserts, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_key_dimensions_do_not_collide() {
+        let cache = SharedResultCache::new(1024);
+        let base = key(1, 0, 10);
+        cache.insert(base, aggregate(1));
+        for other in [
+            SummaryKey { object: 2, ..base },
+            SummaryKey {
+                attribute: 1,
+                ..base
+            },
+            SummaryKey { level: 4, ..base },
+            SummaryKey { kind: 3, ..base },
+            SummaryKey { start: 1, ..base },
+            SummaryKey { end: 11, ..base },
+        ] {
+            assert_eq!(cache.get(&other), None, "collided on {other:?}");
+        }
+        assert_eq!(cache.get(&base), Some(aggregate(1)));
+    }
+
+    #[test]
+    fn invalidate_object_drops_only_that_identity() {
+        let cache = SharedResultCache::new(1024);
+        for window in 0..20 {
+            cache.insert(key(7, window, window + 5), aggregate(5));
+            cache.insert(key(8, window, window + 5), aggregate(5));
+        }
+        assert_eq!(cache.len(), 40);
+        cache.invalidate_object(7);
+        assert_eq!(cache.len(), 20);
+        assert_eq!(cache.stats().invalidated, 20);
+        assert_eq!(cache.get(&key(7, 0, 5)), None);
+        assert_eq!(cache.get(&key(8, 0, 5)), Some(aggregate(5)));
+    }
+
+    #[test]
+    fn capacity_bounds_resident_entries() {
+        let cache = SharedResultCache::new(SHARD_COUNT * 4);
+        assert_eq!(cache.capacity(), SHARD_COUNT * 4);
+        for window in 0..10_000u64 {
+            cache.insert(key(1, window, window + 1), aggregate(1));
+        }
+        // Every shard holds at most its slice (the insert that triggers a
+        // flush lands in the freshly cleared shard).
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats().flushes > 0);
+    }
+
+    #[test]
+    fn concurrent_use_is_safe() {
+        let cache = std::sync::Arc::new(SharedResultCache::new(4096));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = std::sync::Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for window in 0..500u64 {
+                        let k = key(t % 2, window, window + 8);
+                        if cache.get(&k).is_none() {
+                            cache.insert(k, aggregate(8));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 2000);
+        assert!(stats.hits > 0);
+        // Two identities × 500 windows at most.
+        assert!(cache.len() <= 1000);
+    }
+}

@@ -62,6 +62,17 @@ pub struct KernelConfig {
 
     /// When `true`, touched regions are cached for re-examination.
     pub cache_enabled: bool,
+
+    /// When `true`, sessions of the same catalog share a cross-session result
+    /// cache of summary-window aggregates, keyed by immutable-object identity
+    /// (a catalog restructure mints a new identity, so stale entries can never
+    /// be served). The cache is result-transparent: hits return the exact
+    /// tuple a recomputation would.
+    pub shared_cache_enabled: bool,
+
+    /// Capacity of the shared result cache in entries (ignored when
+    /// `shared_cache_enabled` is `false`).
+    pub shared_cache_capacity: usize,
 }
 
 impl Default for KernelConfig {
@@ -80,6 +91,8 @@ impl Default for KernelConfig {
             adaptive_sampling: true,
             prefetch_enabled: true,
             cache_enabled: true,
+            shared_cache_enabled: true,
+            shared_cache_capacity: 1 << 16,
         }
     }
 }
@@ -113,6 +126,11 @@ impl KernelConfig {
                 "touch_budget_micros must be > 0".into(),
             ));
         }
+        if self.shared_cache_enabled && self.shared_cache_capacity == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "shared_cache_capacity must be > 0 when the shared cache is enabled".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -134,6 +152,7 @@ impl KernelConfig {
             adaptive_sampling: false,
             prefetch_enabled: false,
             cache_enabled: false,
+            shared_cache_enabled: false,
             ..KernelConfig::default()
         }
     }
@@ -171,6 +190,12 @@ impl KernelConfig {
     /// Builder-style toggle for the region cache.
     pub fn with_cache(mut self, on: bool) -> Self {
         self.cache_enabled = on;
+        self
+    }
+
+    /// Builder-style toggle for the shared cross-session result cache.
+    pub fn with_shared_cache(mut self, on: bool) -> Self {
+        self.shared_cache_enabled = on;
         self
     }
 }
@@ -230,6 +255,23 @@ mod tests {
         assert!(!c.adaptive_sampling);
         assert!(!c.prefetch_enabled);
         assert!(!c.cache_enabled);
+        assert!(!c.shared_cache_enabled);
+    }
+
+    #[test]
+    fn invalid_shared_cache_capacity_rejected() {
+        let c = KernelConfig {
+            shared_cache_capacity: 0,
+            ..KernelConfig::default()
+        };
+        assert!(c.validate().is_err());
+        // A zero capacity is fine while the shared cache is off.
+        let c = KernelConfig {
+            shared_cache_capacity: 0,
+            ..KernelConfig::default()
+        }
+        .with_shared_cache(false);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -109,6 +109,54 @@ pub fn plan_explorers(
         .collect()
 }
 
+/// Plan a *skewed hot-object* workload: every explorer runs the identical
+/// summary plan over the same object.
+///
+/// This models the other extreme from [`plan_explorers`]' survey mix — a
+/// dashboard or a "room of analysts" where millions of users look at the same
+/// hot data the same way. Each plan cycles through a small pool of seeded
+/// slide traces, so the same summary windows recur both *within* a session
+/// (a trace repeats later in the plan) and *across* sessions (all explorers
+/// run the same traces). Without the shared result cache every session
+/// recomputes every window; with it, one computation serves them all.
+pub fn plan_hot_object(
+    catalog: &SharedCatalog,
+    object: ObjectId,
+    explorers: usize,
+    traces_per_explorer: usize,
+    seed: u64,
+) -> Result<Vec<ExplorerPlan>> {
+    let data = catalog.data(object)?;
+    let view = data.base_view().clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_ab1e);
+    let mut synthesizer = GestureSynthesizer::new(60.0);
+    // A small pool of distinct slides, cycled to plan length: even a single
+    // session revisits each window once the pool wraps.
+    let pool_size = (traces_per_explorer / 2).max(1);
+    let pool: Vec<GestureTrace> = (0..pool_size)
+        .map(|_| {
+            let duration = rng.gen_range(0.5f64..1.2);
+            synthesizer.slide_down(&view, duration)
+        })
+        .collect();
+    let traces: Vec<GestureTrace> = (0..traces_per_explorer)
+        .map(|i| pool[i % pool_size].clone())
+        .collect();
+    // Wide summary windows: a dashboard-style "aggregate the visible region"
+    // touch that reads thousands of rows per window, so recomputation is
+    // expensive enough for shared-cache hits to matter.
+    let action = TouchAction::Summary {
+        half_window: Some(2_000),
+        kind: AggregateKind::Avg,
+    };
+    Ok((0..explorers)
+        .map(|_| ExplorerPlan {
+            action: action.clone(),
+            traces: traces.clone(),
+        })
+        .collect())
+}
+
 /// The outcome of driving a concurrent workload.
 #[derive(Debug)]
 pub struct ConcurrentRunReport {
@@ -151,6 +199,34 @@ impl ConcurrentRunReport {
     /// Errors across all sessions.
     pub fn errors(&self) -> Vec<&String> {
         self.sessions.iter().flat_map(|s| s.errors.iter()).collect()
+    }
+
+    /// Summary windows answered from the shared result cache, across all
+    /// sessions.
+    pub fn total_shared_cache_hits(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(SessionReport::total_shared_cache_hits)
+            .sum()
+    }
+
+    /// Summary windows computed from storage, across all sessions.
+    pub fn total_shared_cache_misses(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(SessionReport::total_shared_cache_misses)
+            .sum()
+    }
+
+    /// Shared-cache hit rate across all sessions in `[0, 1]`.
+    pub fn shared_cache_hit_rate(&self) -> f64 {
+        let hits = self.total_shared_cache_hits();
+        let total = hits + self.total_shared_cache_misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
     }
 }
 
@@ -235,6 +311,32 @@ mod tests {
         }
         let c = plan_explorers(&catalog, object, 4, 3, 43).unwrap();
         assert_ne!(a[0].traces, c[0].traces);
+    }
+
+    #[test]
+    fn hot_object_plans_repeat_windows_within_and_across_sessions() {
+        let scenario = Scenario::sky_survey(30_000, 5);
+        let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default()).unwrap();
+        let plans = plan_hot_object(&catalog, object, 4, 4, 7).unwrap();
+        assert_eq!(plans.len(), 4);
+        for plan in &plans {
+            assert_eq!(plan.action, plans[0].action);
+            assert_eq!(plan.traces, plans[0].traces);
+            // The pool cycles: the plan revisits its own traces.
+            assert_eq!(plan.traces[0], plan.traces[2]);
+        }
+        let concurrent =
+            run_concurrent(&catalog, object, &plans, ServerConfig::with_workers(2)).unwrap();
+        assert!(concurrent.errors().is_empty(), "{:?}", concurrent.errors());
+        // Repeated windows must be served from the shared cache...
+        assert!(
+            concurrent.total_shared_cache_hits() > 0,
+            "hot-object workload must hit the shared cache"
+        );
+        assert!(concurrent.shared_cache_hit_rate() > 0.0);
+        // ...without changing a single result bit vs. the sequential replay.
+        let sequential = run_sequential(&catalog, object, &plans).unwrap();
+        assert_eq!(concurrent.digests(), sequential);
     }
 
     #[test]

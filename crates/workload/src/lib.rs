@@ -31,7 +31,8 @@ pub mod patterns;
 pub mod scenarios;
 
 pub use concurrent::{
-    plan_explorers, run_concurrent, run_sequential, ConcurrentRunReport, ExplorerPlan,
+    plan_explorers, plan_hot_object, run_concurrent, run_sequential, ConcurrentRunReport,
+    ExplorerPlan,
 };
 pub use datagen::DataGenerator;
 pub use explorer::{DbTouchExplorer, DiscoveryReport, SqlExplorer, UnsteeredExplorer};

@@ -146,6 +146,79 @@ fn served_sessions_match_kernel_run() {
 }
 
 #[test]
+fn shared_result_cache_is_result_transparent() {
+    // Two catalogs with identical data, differing only in the shared-cache
+    // knob, each served to N summary sessions running the identical plan —
+    // the hot-object case the cache exists for. Every session's digest must
+    // be identical across cache-on, cache-off and the sequential replay, and
+    // the cache-on run must actually have served windows from the cache.
+    let make_catalog = |shared_cache: bool| {
+        let config = KernelConfig::default().with_shared_cache(shared_cache);
+        let catalog = Arc::new(SharedCatalog::new(config));
+        let id = catalog
+            .load_column("shared", (0..150_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        (catalog, id)
+    };
+    let action = TouchAction::Summary {
+        half_window: Some(5),
+        kind: AggregateKind::Avg,
+    };
+
+    let run_served = |catalog: &Arc<SharedCatalog>, id| -> Vec<SessionReport> {
+        let server = ExplorationServer::start(Arc::clone(catalog), ServerConfig::with_workers(4));
+        let drivers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let session = server.open_session();
+                let catalog = Arc::clone(catalog);
+                let action = action.clone();
+                std::thread::spawn(move || -> SessionReport {
+                    session.set_action(id, action).unwrap();
+                    for trace in slide_plan(&catalog, id) {
+                        session.run_trace(id, trace).unwrap();
+                    }
+                    session.close().unwrap()
+                })
+            })
+            .collect();
+        let reports = drivers.into_iter().map(|d| d.join().unwrap()).collect();
+        server.shutdown();
+        reports
+    };
+
+    let (catalog_on, id_on) = make_catalog(true);
+    let (catalog_off, id_off) = make_catalog(false);
+    let reports_on = run_served(&catalog_on, id_on);
+    let reports_off = run_served(&catalog_off, id_off);
+
+    let (expected_digest, expected_entries) =
+        sequential_digest(&catalog_off, id_off, action.clone());
+    let mut total_hits = 0;
+    for (on, off) in reports_on.iter().zip(&reports_off) {
+        assert!(on.errors.is_empty(), "errors: {:?}", on.errors);
+        assert_eq!(on.result_digest(), expected_digest);
+        assert_eq!(off.result_digest(), expected_digest);
+        assert_eq!(on.total_entries(), expected_entries);
+        assert_eq!(on.total_rows_touched(), off.total_rows_touched());
+        assert_eq!(
+            off.total_shared_cache_hits() + off.total_shared_cache_misses(),
+            0,
+            "disabled cache must not be consulted"
+        );
+        total_hits += on.total_shared_cache_hits();
+    }
+    // 8 sessions × the same 5-slide plan: windows repeat across sessions, so
+    // the cache-on run must have answered some of them without recomputing.
+    assert!(total_hits > 0, "shared cache never hit on a hot object");
+
+    // The sequential replay with the cache enabled (and by now warm) is also
+    // bit-identical: hits change no observable result.
+    let (warm_digest, warm_entries) = sequential_digest(&catalog_on, id_on, action);
+    assert_eq!(warm_digest, expected_digest);
+    assert_eq!(warm_entries, expected_entries);
+}
+
+#[test]
 fn sessions_with_same_plan_agree_with_each_other() {
     // Per-session determinism: every session running the identical plan must
     // report the identical result counts and digests.
