@@ -1,0 +1,38 @@
+//! Catalog-churn binary: touch throughput, per-touch p50/p99 and
+//! checkout-path p50/p99 while 0, 1 and N mutator threads continuously
+//! restructure the catalog, verified bit-identical to the churn-free
+//! sequential replay at every point and monotone in epoch.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin catalog_churn [rows] [traces_per_session]
+//! ```
+
+use dbtouch_bench::catalog_churn::run_catalog_churn_sweep;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let session_counts = [1, 2, 4, 8, 16, 32];
+    let mutator_counts = [0, 1, 4];
+    match run_catalog_churn_sweep(rows, &session_counts, &mutator_counts, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let broken = report.points.iter().any(|p| {
+                !p.verified
+                    || p.touches_per_sec <= 0.0
+                    || p.checkouts_per_sec <= 0.0
+                    || p.final_epoch < p.first_epoch
+                    || (p.mutators > 0 && p.final_epoch <= p.first_epoch)
+            });
+            if broken {
+                eprintln!("ERROR: churn broke verification, throughput or epoch monotonicity");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("catalog churn sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

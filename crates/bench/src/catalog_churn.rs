@@ -1,0 +1,233 @@
+//! Catalog-churn benchmark: checkout and touch performance while mutator
+//! threads continuously restructure the catalog.
+//!
+//! Before the epoch-versioned catalog, every checkout shared one
+//! `RwLock` with the restructure path, so a single `drag_column_out` — an
+//! O(rows) rebuild performed under the write lock — stalled every session's
+//! checkout behind it. Snapshots make the checkout path wait-free and move
+//! the rebuild off-lock; this sweep quantifies that: for each session count
+//! and mutator count it drives K seeded explorers (plus one dedicated
+//! checkout-hammering thread) while M mutators ping-pong columns out of and
+//! back into a churn table, reporting touch throughput, per-touch p50/p99,
+//! and checkout-path p50/p99.
+//!
+//! Every point is verified: explorer digests must be bit-identical to the
+//! churn-free sequential replay (restructures of unrelated objects must
+//! never change answers), identical for a given explorer across every
+//! session and mutator count, and the catalog epoch must advance
+//! monotonically by at least the restructures performed.
+
+use dbtouch_server::latency::percentile;
+use dbtouch_server::ServerConfig;
+use dbtouch_types::{KernelConfig, Result};
+use dbtouch_workload::churn::{churn_catalog, run_concurrent_with_churn};
+use dbtouch_workload::concurrent::{plan_explorers, run_sequential};
+use dbtouch_workload::Scenario;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One measured point of the churn sweep.
+#[derive(Debug, Clone)]
+pub struct CatalogChurnPoint {
+    /// Simultaneous explorer sessions driven.
+    pub sessions: usize,
+    /// Mutator threads restructuring the churn table.
+    pub mutators: usize,
+    /// Total touch samples processed.
+    pub total_touches: u64,
+    /// Aggregate throughput: touches per second of wall time.
+    pub touches_per_sec: f64,
+    /// Median of per-trace mean per-touch time, microseconds.
+    pub p50_touch_micros: f64,
+    /// 99th percentile of per-trace mean per-touch time, microseconds.
+    pub p99_touch_micros: f64,
+    /// Checkouts per second sustained by the dedicated checkout thread.
+    pub checkouts_per_sec: f64,
+    /// Median checkout latency, nanoseconds.
+    pub checkout_p50_nanos: u64,
+    /// 99th-percentile checkout latency, nanoseconds.
+    pub checkout_p99_nanos: u64,
+    /// Restructures the mutators performed during the run.
+    pub restructures: u64,
+    /// Catalog epoch before the run.
+    pub first_epoch: u64,
+    /// Catalog epoch after the run.
+    pub final_epoch: u64,
+    /// Whether digests matched the churn-free sequential replay (and the
+    /// same explorer's digest at every other point), with no errors and a
+    /// monotone epoch.
+    pub verified: bool,
+}
+
+/// The full churn sweep.
+#[derive(Debug, Clone)]
+pub struct CatalogChurnReport {
+    /// Rows in the explored signal column.
+    pub rows: u64,
+    /// Rows per churn-table column (the size of each restructure rebuild).
+    pub churn_rows: u64,
+    /// Gesture traces each session performs.
+    pub traces_per_session: usize,
+    /// Measured points, session-major then mutator-count order.
+    pub points: Vec<CatalogChurnPoint>,
+}
+
+/// Run the sweep: for each `(sessions, mutators)` pair, K concurrent
+/// explorers over the signal column while M mutators churn, verified against
+/// the churn-free sequential replay.
+pub fn run_catalog_churn_sweep(
+    rows: usize,
+    session_counts: &[usize],
+    mutator_counts: &[usize],
+    traces_per_session: usize,
+) -> Result<CatalogChurnReport> {
+    let scenario = Scenario::sky_survey(rows, 17);
+    let churn_rows = (rows / 4).clamp(1_024, 65_536);
+    let mut points = Vec::with_capacity(session_counts.len() * mutator_counts.len());
+    // A given explorer's plan is a pure function of its index and the seed,
+    // so its digest must be identical at every point of the sweep — whether
+    // 1 or 32 sessions run, with churn on or off.
+    let mut expected_digests: Vec<u64> = Vec::new();
+    for &sessions in session_counts {
+        for &mutators in mutator_counts {
+            // Fresh catalog per point: churn must never warm a later point.
+            let (catalog, signal, churn) =
+                churn_catalog(&scenario, KernelConfig::default(), churn_rows)?;
+            let plans = plan_explorers(&catalog, signal, sessions, traces_per_session, 1234)?;
+
+            // A dedicated thread hammers the checkout path for the duration
+            // of the run — the operation the old RwLock serialized against
+            // restructures. Latency is sampled 1-in-16 to bound memory.
+            let stop = Arc::new(AtomicBool::new(false));
+            let sampler = {
+                let catalog = Arc::clone(&catalog);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || -> (u64, Vec<u64>, u64) {
+                    let mut count = 0u64;
+                    let mut samples = Vec::new();
+                    let started = Instant::now();
+                    while !stop.load(Ordering::Relaxed) {
+                        if count.is_multiple_of(16) {
+                            let t = Instant::now();
+                            let state = catalog.checkout(signal);
+                            samples.push(t.elapsed().as_nanos() as u64);
+                            drop(state);
+                        } else {
+                            drop(catalog.checkout(signal));
+                        }
+                        count += 1;
+                    }
+                    (count, samples, started.elapsed().as_nanos() as u64)
+                })
+            };
+            let outcome = run_concurrent_with_churn(
+                &catalog,
+                signal,
+                &plans,
+                ServerConfig::default(),
+                churn,
+                mutators,
+            );
+            stop.store(true, Ordering::Relaxed);
+            let (checkouts, samples, sampler_nanos) =
+                sampler.join().expect("checkout sampler must not panic");
+            let outcome = outcome?;
+
+            let sequential = run_sequential(&catalog, signal, &plans)?;
+            let digests = outcome.run.digests();
+            let mut verified = digests == sequential
+                && outcome.run.errors().is_empty()
+                && outcome.mutator_errors.is_empty()
+                && outcome.final_epoch >= outcome.first_epoch + outcome.restructures;
+            for (i, &digest) in digests.iter().enumerate() {
+                match expected_digests.get(i) {
+                    Some(&expected) => verified &= digest == expected,
+                    None => expected_digests.push(digest),
+                }
+            }
+
+            let latency = outcome.run.latency_summary();
+            points.push(CatalogChurnPoint {
+                sessions,
+                mutators,
+                total_touches: outcome.run.total_touches(),
+                touches_per_sec: outcome.run.touches_per_sec(),
+                p50_touch_micros: latency.p50_nanos as f64 / 1e3,
+                p99_touch_micros: latency.p99_nanos as f64 / 1e3,
+                checkouts_per_sec: checkouts as f64 / (sampler_nanos.max(1) as f64 / 1e9),
+                checkout_p50_nanos: percentile(&samples, 50.0),
+                checkout_p99_nanos: percentile(&samples, 99.0),
+                restructures: outcome.restructures,
+                first_epoch: outcome.first_epoch,
+                final_epoch: outcome.final_epoch,
+                verified,
+            });
+        }
+    }
+    Ok(CatalogChurnReport {
+        rows: rows as u64,
+        churn_rows: churn_rows as u64,
+        traces_per_session,
+        points,
+    })
+}
+
+impl CatalogChurnReport {
+    /// Render the sweep as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "catalog churn sweep — {} signal rows, {} churn rows/column, {} traces/session\n",
+            self.rows, self.churn_rows, self.traces_per_session
+        ));
+        out.push_str(
+            "sessions  mutators     touches   touches/s   p50 us/touch   p99 us/touch   checkouts/s   co p50 ns   co p99 ns   restructures    epochs   identical\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>8}  {:>8}  {:>10}  {:>10.0}  {:>13.2}  {:>13.2}  {:>12.0}  {:>10}  {:>10}  {:>12}  {:>3}->{:<4}  {}\n",
+                p.sessions,
+                p.mutators,
+                p.total_touches,
+                p.touches_per_sec,
+                p.p50_touch_micros,
+                p.p99_touch_micros,
+                p.checkouts_per_sec,
+                p.checkout_p50_nanos,
+                p.checkout_p99_nanos,
+                p.restructures,
+                p.first_epoch,
+                p.final_epoch,
+                if p.verified { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_verifies_and_epochs_advance_under_churn() {
+        let report = run_catalog_churn_sweep(20_000, &[1, 4], &[0, 2], 2).unwrap();
+        assert_eq!(report.points.len(), 4);
+        for point in &report.points {
+            assert!(point.verified, "point {point:?}");
+            assert!(point.total_touches > 0);
+            assert!(point.touches_per_sec > 0.0);
+            assert!(point.checkouts_per_sec > 0.0);
+            assert!(point.final_epoch >= point.first_epoch);
+            if point.mutators == 0 {
+                assert_eq!(point.restructures, 0);
+                assert_eq!(point.final_epoch, point.first_epoch);
+            } else {
+                assert!(point.restructures >= 2);
+                assert!(point.final_epoch > point.first_epoch);
+            }
+        }
+        assert!(report.table().contains("restructures"));
+    }
+}

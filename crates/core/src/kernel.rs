@@ -9,8 +9,16 @@
 //! * choose the query action a gesture triggers ([`Kernel::set_action`]),
 //! * run gesture traces ([`Kernel::run_trace`]) — the per-touch processing
 //!   itself lives in [`crate::session`],
-//! * apply schema/layout gestures: zoom, rotate, drag a column out of a table,
-//!   group columns into a table (Section 2.8).
+//! * apply schema/layout gestures: zoom, rotate, drag a column out of a table
+//!   (and back in), group columns into a table (Section 2.8).
+//!
+//! The catalog is epoch-versioned: [`Kernel::run_trace`] is a gesture
+//! boundary, so the touched object's state observes the newest catalog epoch
+//! right before the trace runs and then keeps that exact view for the whole
+//! trace — a restructure published mid-trace (by this kernel's catalog handle
+//! or any concurrent session) becomes visible only at the next boundary.
+//! [`Kernel::observed_epoch`] and [`Kernel::restructures_seen`] expose what a
+//! kernel session has seen.
 //!
 //! For many concurrent explorers over the same data, share the kernel's
 //! catalog ([`Kernel::catalog`]) with `dbtouch-server`'s session manager —
@@ -119,7 +127,9 @@ impl TouchAction {
 #[derive(Debug)]
 pub struct Kernel {
     catalog: Arc<SharedCatalog>,
-    states: Vec<ObjectState>,
+    /// One state slot per catalog id; `None` marks an object removed from the
+    /// catalog (its id is a permanent tombstone).
+    states: Vec<Option<ObjectState>>,
 }
 
 impl Kernel {
@@ -173,27 +183,66 @@ impl Kernel {
         self.catalog.object_id(name)
     }
 
-    /// Checkout any catalog objects this kernel has no local state for yet
-    /// (objects loaded through the catalog handle or another kernel). The
+    /// Bring this kernel's session state up to the newest catalog epoch:
+    /// checkout objects it has no local state for yet (loaded through the
+    /// catalog handle or another kernel), observe restructures of objects it
+    /// does (cold caches, action kept when it still validates — see
+    /// [`ObjectState::refresh`]) and drop state for removed objects. The
     /// mutating entry points call this automatically; call it explicitly
     /// before using the read-only accessors (`view`, `schema`, `row_count`,
-    /// …) on an object that was loaded through the shared catalog handle
-    /// after this kernel was built.
+    /// …) after the shared catalog handle changed.
     pub fn refresh(&mut self) -> Result<()> {
-        self.sync_states()
+        self.sync_states()?;
+        for slot in &mut self.states {
+            let Some(state) = slot else { continue };
+            match state.refresh(&self.catalog) {
+                Ok(_) => {}
+                Err(DbTouchError::NotFound(_)) => *slot = None,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
     }
 
     fn sync_states(&mut self) -> Result<()> {
-        while self.states.len() < self.catalog.object_count() {
+        let snapshot = self.catalog.snapshot();
+        while self.states.len() < snapshot.slot_count() {
             let id = ObjectId(self.states.len() as u64);
-            self.states.push(self.catalog.checkout(id)?);
+            self.states.push(match snapshot.object(id) {
+                Ok(_) => Some(self.catalog.checkout_from(&snapshot, id)?),
+                Err(_) => None,
+            });
         }
         Ok(())
+    }
+
+    /// Gesture-boundary refresh of one object's state (the epoch semantics:
+    /// a trace runs against exactly one snapshot, observed at its start).
+    fn refresh_state(&mut self, id: ObjectId) -> Result<&mut ObjectState> {
+        self.sync_states()?;
+        let slot = self
+            .states
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))?;
+        let refreshed = match slot.as_mut() {
+            Some(state) => state.refresh(&self.catalog),
+            None => Err(DbTouchError::NotFound(format!("object {}", id.0))),
+        };
+        match refreshed {
+            Ok(_) => Ok(slot.as_mut().expect("state present: refresh succeeded")),
+            Err(e) => {
+                if matches!(e, DbTouchError::NotFound(_)) {
+                    *slot = None;
+                }
+                Err(e)
+            }
+        }
     }
 
     fn state(&self, id: ObjectId) -> Result<&ObjectState> {
         self.states
             .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
             .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
     }
 
@@ -201,6 +250,7 @@ impl Kernel {
         self.sync_states()?;
         self.states
             .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
             .ok_or_else(|| DbTouchError::NotFound(format!("object {}", id.0)))
     }
 
@@ -245,7 +295,11 @@ impl Kernel {
     /// Set the per-touch query action of an object (this kernel's sessions
     /// only; other sessions over the same catalog keep their own action).
     pub fn set_action(&mut self, id: ObjectId, action: TouchAction) -> Result<()> {
-        let state = self.state_mut(id)?;
+        // A gesture boundary, like the server's SetAction event: observe the
+        // newest epoch first so the action is validated against the schema it
+        // will actually run under — accepting it against a stale schema would
+        // just silently fall back to the default at the next trace.
+        let state = self.refresh_state(id)?;
         validate_action(&action, state.data().schema())?;
         state.action = action;
         Ok(())
@@ -290,10 +344,25 @@ impl Kernel {
     /// Run a gesture trace over an object, returning the produced results and
     /// statistics. This is the main query entry point: the trace plays the role
     /// the SQL string plays in a traditional system.
+    ///
+    /// The call is a gesture boundary: the object's state observes the newest
+    /// catalog epoch first, then the whole trace runs against that one
+    /// consistent snapshot.
     pub fn run_trace(&mut self, id: ObjectId, trace: &GestureTrace) -> Result<SessionOutcome> {
         let config = self.catalog.config().clone();
-        let state = self.state_mut(id)?;
+        let state = self.refresh_state(id)?;
         Session::new(state, &config).run(trace)
+    }
+
+    /// The catalog epoch this kernel's session over `id` last observed (at
+    /// checkout or its most recent gesture boundary).
+    pub fn observed_epoch(&self, id: ObjectId) -> Result<u64> {
+        Ok(self.state(id)?.epoch())
+    }
+
+    /// How many restructures of `id` this kernel's session has observed.
+    pub fn restructures_seen(&self, id: ObjectId) -> Result<u64> {
+        Ok(self.state(id)?.restructures_seen())
     }
 
     /// Apply a zoom directly (equivalent to a pinch gesture handled outside a
@@ -327,58 +396,45 @@ impl Kernel {
         self.sync_states()?;
         self.state(table_id)?; // surface NotFound before touching the catalog
         let id = self.catalog.drag_column_out(table_id, column_name, size)?;
-        // Refresh this kernel's state for the rebuilt table. The configured
-        // action carries across the restructure (it describes intent, not
-        // data) unless it referenced the dragged-out attribute, in which case
-        // it no longer validates and falls back to the default. The region
-        // cache and prefetcher do NOT carry across: their row ranges were
-        // computed against the pre-restructure object, so "warm" regions and
-        // extrapolated prefetches would be stale fiction over the rebuilt
-        // matrix — the fresh checkout starts them empty.
-        let old = std::mem::replace(
-            &mut self.states[table_id.0 as usize],
-            self.catalog.checkout(table_id)?,
-        );
-        let state = &mut self.states[table_id.0 as usize];
-        if validate_action(old.action(), state.data().schema()).is_ok() {
-            state.set_action(old.action().clone());
-        }
-        // Checkout state for the newly registered column object.
-        self.sync_states()?;
+        // Observe the restructure immediately (the kernel performed it, so
+        // this *is* its gesture boundary): the rebuilt table's state starts
+        // with cold region cache and prefetcher — their row ranges described
+        // the pre-restructure build — while the configured action carries
+        // across when it still validates (it describes intent, not data).
+        // The newly registered column object is checked out alongside.
+        self.refresh()?;
         Ok(id)
+    }
+
+    /// Drag a standalone column object back into a table — the inverse of
+    /// [`Kernel::drag_column_out`]. The table is rebuilt with the column
+    /// appended and the standalone object is removed from the catalog; its id
+    /// becomes a permanent tombstone and this kernel's state for it is
+    /// dropped.
+    pub fn drag_column_into(&mut self, table_id: ObjectId, column_id: ObjectId) -> Result<()> {
+        self.sync_states()?;
+        self.state(table_id)?;
+        self.state(column_id)?;
+        self.catalog.drag_column_into(table_id, column_id)?;
+        self.refresh()?;
+        Ok(())
     }
 
     /// Group standalone column objects into a new table object (the "drag and
     /// drop actions in a table placeholder" of Section 2.8). The source column
-    /// objects remain in the catalog.
+    /// objects remain in the catalog; the new table starts with fresh session
+    /// state — no region cache, prefetcher or action carries over from the
+    /// source objects' sessions.
     pub fn group_into_table(
         &mut self,
         name: impl Into<String>,
         column_ids: &[ObjectId],
         size: SizeCm,
     ) -> Result<ObjectId> {
-        if column_ids.is_empty() {
-            return Err(DbTouchError::InvalidPlan(
-                "grouping requires at least one column object".into(),
-            ));
-        }
-        let mut columns = Vec::with_capacity(column_ids.len());
-        for id in column_ids {
-            let state = self.state(*id)?;
-            let col = state
-                .matrix
-                .columns()
-                .and_then(|c| c.first())
-                .ok_or_else(|| {
-                    DbTouchError::InvalidPlan(format!(
-                        "object {} is not a standalone column-major column",
-                        state.data().name()
-                    ))
-                })?;
-            columns.push(col.clone());
-        }
-        let table = Table::from_columns(name.into(), columns)?;
-        self.load_table(table, size)
+        self.sync_states()?;
+        let id = self.catalog.group_into_table(name, column_ids, size)?;
+        self.sync_states()?;
+        Ok(id)
     }
 
     /// Cache and prefetcher statistics of an object (for the benchmarks and the
@@ -763,6 +819,127 @@ mod tests {
         assert!(k.view(ObjectId(9)).is_err());
         assert!(k.set_action(ObjectId(9), TouchAction::Scan).is_err());
         assert!(k.rotate(ObjectId(9)).is_err());
+    }
+
+    #[test]
+    fn group_into_table_starts_cold_no_cache_or_prefetcher_carryover() {
+        // Regression guard (the drag_column_out analogue): the grouped table
+        // is a fresh object with fresh per-session state — nothing from the
+        // source columns' warmed-up sessions may leak into it.
+        let mut k = kernel();
+        let a = k
+            .load_column("a", (0..50_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let b = k
+            .load_column(
+                "b",
+                (0..50_000).map(|i| i * 2).collect(),
+                SizeCm::new(2.0, 10.0),
+            )
+            .unwrap();
+        // Warm the source sessions: region cache and prefetcher activity.
+        let view = k.view(a).unwrap();
+        let trace = dbtouch_gesture::synthesizer::GestureSynthesizer::new(60.0)
+            .exploratory_slide(&view, 2.0);
+        k.run_trace(a, &trace).unwrap();
+        let (cache_a, prefetch_a) = k.object_stats(a).unwrap();
+        assert!(cache_a.resident_rows > 0, "warm regions expected on source");
+        assert!(
+            prefetch_a.requests + prefetch_a.useful_hits + prefetch_a.cold_accesses > 0,
+            "prefetcher activity expected on source"
+        );
+        k.set_action(a, TouchAction::Aggregate(AggregateKind::Sum))
+            .unwrap();
+
+        let t = k
+            .group_into_table("grouped", &[a, b], SizeCm::new(4.0, 10.0))
+            .unwrap();
+        let (cache_t, prefetch_t) = k.object_stats(t).unwrap();
+        assert_eq!(
+            cache_t,
+            dbtouch_storage::cache::CacheStats::default(),
+            "grouped table must start with a cold region cache"
+        );
+        assert_eq!(
+            prefetch_t,
+            dbtouch_storage::prefetch::PrefetchStats::default(),
+            "grouped table must start with a cold prefetcher"
+        );
+        // The source session's action does not leak either: the new object
+        // starts from the default.
+        assert_eq!(k.action(t).unwrap(), &TouchAction::Scan);
+        // And the source objects are untouched (same identity, same state).
+        assert!(matches!(
+            k.action(a).unwrap(),
+            TouchAction::Aggregate(AggregateKind::Sum)
+        ));
+        let (cache_a_after, _) = k.object_stats(a).unwrap();
+        assert_eq!(cache_a_after, cache_a);
+    }
+
+    #[test]
+    fn run_trace_is_a_gesture_boundary_for_catalog_restructures() {
+        let mut k = kernel();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..5_000).collect()),
+                Column::from_f64("v", (0..5_000).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        k.set_action(tid, TouchAction::Tuple).unwrap();
+        let epoch_before = k.observed_epoch(tid).unwrap();
+        assert_eq!(k.restructures_seen(tid).unwrap(), 0);
+
+        // A restructure published through the *catalog handle* (as another
+        // session would): this kernel sees it at its next trace boundary.
+        let catalog = std::sync::Arc::clone(k.catalog());
+        catalog
+            .drag_column_out(tid, "v", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert_eq!(k.observed_epoch(tid).unwrap(), epoch_before);
+        assert_eq!(k.schema(tid).unwrap().len(), 2, "pre-boundary view");
+
+        let view = k.view(tid).unwrap();
+        let trace =
+            dbtouch_gesture::synthesizer::GestureSynthesizer::new(60.0).slide_down(&view, 0.3);
+        let outcome = k.run_trace(tid, &trace).unwrap();
+        assert!(k.observed_epoch(tid).unwrap() > epoch_before);
+        assert_eq!(k.restructures_seen(tid).unwrap(), 1);
+        assert_eq!(k.schema(tid).unwrap().len(), 1, "post-boundary view");
+        // The whole trace ran against the rebuilt single-column table.
+        for r in outcome.results.results() {
+            assert_eq!(r.values.len(), 1);
+        }
+    }
+
+    #[test]
+    fn drag_column_into_restores_table_and_drops_column_state() {
+        let mut k = kernel();
+        let table = Table::from_columns(
+            "t",
+            vec![
+                Column::from_i64("id", (0..100).collect()),
+                Column::from_f64("price", (0..100).map(|i| i as f64).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = k.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let cid = k
+            .drag_column_out(tid, "price", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        assert_eq!(k.schema(tid).unwrap().len(), 1);
+        k.drag_column_into(tid, cid).unwrap();
+        assert_eq!(k.schema(tid).unwrap().len(), 2);
+        assert_eq!(k.catalog_names(), vec!["t".to_string()]);
+        // The removed object's id is a tombstone everywhere.
+        assert!(k.view(cid).is_err());
+        assert!(k
+            .run_trace(cid, &dbtouch_gesture::trace::GestureTrace::default())
+            .is_err());
+        assert_eq!(k.restructures_seen(tid).unwrap(), 2);
     }
 
     #[test]

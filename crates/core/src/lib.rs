@@ -20,7 +20,11 @@
 //!   operators and collect the result stream and its statistics.
 //! * [`catalog`] — the shared data catalog: immutable loaded data (matrixes,
 //!   sample hierarchies, indexes) behind `Arc`, split from per-session mutable
-//!   exploration state so many concurrent sessions can share one load.
+//!   exploration state so many concurrent sessions can share one load. The
+//!   catalog is epoch-versioned: readers take wait-free snapshots, mutators
+//!   publish successors by compare-and-swap.
+//! * [`epoch`] — the wait-free snapshot cell (userspace-RCU style) the
+//!   catalog publishes through.
 //! * [`kernel`] — the single-user facade over the catalog and the top-level
 //!   API: load data, choose per-object touch actions, run gesture traces,
 //!   apply zoom/rotate/drag-out layout gestures (Sections 2.2, 2.5, 2.8).
@@ -39,6 +43,7 @@
 
 pub mod adaptive;
 pub mod catalog;
+pub mod epoch;
 pub mod join_session;
 pub mod kernel;
 pub mod mapping;
@@ -52,7 +57,8 @@ pub mod screen_session;
 pub mod session;
 
 pub use adaptive::GranularityPolicy;
-pub use catalog::{ObjectData, ObjectState, SharedCatalog};
+pub use catalog::{CatalogSnapshot, ObjectData, ObjectState, SharedCatalog};
+pub use epoch::EpochCell;
 pub use join_session::{JoinOutcome, JoinSession, JoinSpec};
 pub use kernel::{Kernel, ObjectId, TouchAction};
 pub use mapping::TouchMapper;

@@ -21,11 +21,21 @@
 //! result-transparent: a hit returns the exact tuple a recomputation would,
 //! so the bit-identical guarantee holds with it on or off.
 //!
-//! * [`ExplorationServer`] — owns N worker threads; sessions are pinned
-//!   round-robin; each worker multiplexes its sessions' event queues.
+//! The catalog itself is epoch-versioned
+//! ([`dbtouch_core::catalog::CatalogSnapshot`]): checkouts are wait-free and
+//! restructures publish new snapshots by compare-and-swap. Workers treat
+//! every submitted event as a gesture boundary — the session's state observes
+//! the newest epoch right before a trace runs, then keeps that one snapshot
+//! for the whole trace, so live restructures are atomic from every session's
+//! point of view.
+//!
+//! * [`ExplorationServer`] — owns N worker threads; sessions are pinned at
+//!   creation to the least-loaded worker (round-robin tiebreak); each worker
+//!   multiplexes its sessions' event queues.
 //! * [`SessionHandle`] — submit gesture traces with backpressure (bounded
 //!   per-session in-flight events), change actions, snapshot, close.
-//! * [`SessionReport`] — trace outcomes in submission order, error log, and
+//! * [`SessionReport`] — trace outcomes in submission order, the catalog
+//!   epoch each trace ran against, restructures observed, error log, and
 //!   wall-clock [`LatencySample`]s for throughput/tail-latency reporting.
 
 pub mod config;

@@ -11,10 +11,16 @@
 //!                    └──────────────────────────────┘
 //! ```
 //!
-//! * Sessions are pinned round-robin to one of N worker threads; a worker owns
-//!   the per-session [`ObjectState`]s outright, so per-touch processing takes
+//! * Sessions are pinned at creation to the worker currently serving the
+//!   fewest live sessions (round-robin breaks ties); a worker owns the
+//!   per-session [`ObjectState`]s outright, so per-touch processing takes
 //!   no locks at all — the only shared structure is the catalog's `Arc`'d
 //!   immutable data.
+//! * Every `SetAction`/`RunTrace` event is a gesture boundary: the session's
+//!   state observes the newest catalog epoch first
+//!   ([`ObjectState::refresh`]), then the whole trace runs against that one
+//!   snapshot. [`SessionReport`] records the epoch each trace ran against
+//!   and how many restructures the session observed.
 //! * Every session has a bounded event budget ([`ServerConfig::session_queue_depth`]):
 //!   a producer that outruns its worker blocks in [`SessionHandle::run_trace`]
 //!   until earlier events drain (backpressure), so one runaway explorer cannot
@@ -218,6 +224,10 @@ impl Drop for SessionHandle {
 struct WorkerHandle {
     sender: Option<Sender<Envelope>>,
     join: Option<JoinHandle<()>>,
+    /// Sessions currently pinned to this worker: incremented at
+    /// `open_session`, decremented when the worker processes the session's
+    /// `Close`. Drives least-loaded placement.
+    live_sessions: Arc<AtomicUsize>,
 }
 
 /// A concurrent multi-session exploration service over one shared catalog.
@@ -262,13 +272,16 @@ impl ExplorationServer {
             .map(|index| {
                 let (sender, receiver) = channel();
                 let catalog = Arc::clone(&catalog);
+                let live_sessions = Arc::new(AtomicUsize::new(0));
+                let live = Arc::clone(&live_sessions);
                 let join = std::thread::Builder::new()
                     .name(format!("dbtouch-worker-{index}"))
-                    .spawn(move || worker_loop(catalog, receiver))
+                    .spawn(move || worker_loop(catalog, receiver, live))
                     .expect("spawn worker thread");
                 WorkerHandle {
                     sender: Some(sender),
                     join: Some(join),
+                    live_sessions,
                 }
             })
             .collect();
@@ -291,16 +304,40 @@ impl ExplorationServer {
         self.workers.len()
     }
 
-    /// Open a new exploration session, pinned round-robin to a worker.
+    /// Open a new exploration session, pinned to the worker currently
+    /// serving the fewest live sessions. Ties are broken round-robin, so
+    /// uniform load degenerates to the classic rotation while skewed load
+    /// (long-lived sessions piling up on one worker) steers new sessions to
+    /// the idle workers — the first concrete step toward session migration.
     pub fn open_session(&self) -> SessionHandle {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        let worker = self.next_worker.fetch_add(1, Ordering::Relaxed) % self.workers.len();
+        let start = self.next_worker.fetch_add(1, Ordering::Relaxed);
+        let count = self.workers.len();
+        let worker = (0..count)
+            .map(|offset| (start + offset) % count)
+            .min_by_key(|&index| self.workers[index].live_sessions.load(Ordering::Relaxed))
+            .expect("at least one worker");
+        // checked_add leaves a poisoned (usize::MAX) counter of a panicked
+        // worker untouched instead of wrapping it back to an attractive 0.
+        let _ = self.workers[worker].live_sessions.fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |live| live.checked_add(1),
+        );
         SessionHandle {
             id,
             sender: self.workers[worker].sender.clone().expect("server running"),
             gate: Arc::new(QueueGate::new(self.queue_depth)),
             closed: false,
         }
+    }
+
+    /// Live sessions currently pinned to each worker, in worker order.
+    pub fn worker_loads(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .map(|w| w.live_sessions.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Stop serving and join the workers. Queued-but-unprocessed events are
@@ -342,23 +379,45 @@ struct SessionSlot {
 }
 
 impl SessionSlot {
-    fn state_for<'a>(
+    /// Checkout-or-reuse the session's state for `object`, applying the
+    /// gesture-boundary epoch refresh: an existing state observes the newest
+    /// catalog epoch (rebuilding against restructured data, counting it in
+    /// `restructures_seen`); a fresh checkout is already at the newest epoch.
+    /// A state whose object was removed from the catalog is dropped and the
+    /// lookup fails.
+    fn boundary_state<'a>(
         states: &'a mut HashMap<ObjectId, ObjectState>,
         catalog: &SharedCatalog,
         object: ObjectId,
+        restructures_seen: &mut u64,
     ) -> Result<&'a mut ObjectState> {
         use std::collections::hash_map::Entry;
         match states.entry(object) {
-            Entry::Occupied(entry) => Ok(entry.into_mut()),
+            Entry::Occupied(mut entry) => match entry.get_mut().refresh(catalog) {
+                Ok(rebuilt) => {
+                    if rebuilt {
+                        *restructures_seen += 1;
+                    }
+                    Ok(entry.into_mut())
+                }
+                Err(e) => {
+                    entry.remove();
+                    Err(e)
+                }
+            },
             Entry::Vacant(entry) => Ok(entry.insert(catalog.checkout(object)?)),
         }
     }
 }
 
-fn worker_loop(catalog: Arc<SharedCatalog>, receiver: Receiver<Envelope>) {
+fn worker_loop(
+    catalog: Arc<SharedCatalog>,
+    receiver: Receiver<Envelope>,
+    live_sessions: Arc<AtomicUsize>,
+) {
     let mut gates: HashMap<SessionId, Arc<QueueGate>> = HashMap::new();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        serve(&catalog, &receiver, &mut gates)
+        serve(&catalog, &receiver, &mut gates, &live_sessions)
     }));
     // Whether the loop ended by Terminate, channel disconnect or a panic
     // inside per-touch processing: drain what is still queued and close every
@@ -374,6 +433,11 @@ fn worker_loop(catalog: Arc<SharedCatalog>, receiver: Receiver<Envelope>) {
         gate.close();
     }
     if let Err(panic) = outcome {
+        // A dead worker can never serve another session: poison its load
+        // counter so least-loaded placement stops routing new sessions to it
+        // (its real count could otherwise look attractively low forever,
+        // since nothing will ever process its queued Close events).
+        live_sessions.store(usize::MAX, Ordering::Relaxed);
         let name = std::thread::current()
             .name()
             .unwrap_or("dbtouch-worker")
@@ -386,6 +450,7 @@ fn serve(
     catalog: &Arc<SharedCatalog>,
     receiver: &Receiver<Envelope>,
     gates: &mut HashMap<SessionId, Arc<QueueGate>>,
+    live_sessions: &AtomicUsize,
 ) {
     let config = catalog.config().clone();
     let mut sessions: HashMap<SessionId, SessionSlot> = HashMap::new();
@@ -408,39 +473,53 @@ fn serve(
         });
         match event {
             SessionEvent::SetAction { object, action } => {
-                let applied =
-                    SessionSlot::state_for(&mut slot.states, catalog, object).and_then(|state| {
-                        validate_action(&action, state.data().schema())?;
-                        state.set_action(action);
-                        Ok(())
-                    });
+                let report = &mut slot.report;
+                let applied = SessionSlot::boundary_state(
+                    &mut slot.states,
+                    catalog,
+                    object,
+                    &mut report.restructures_seen,
+                )
+                .and_then(|state| {
+                    // Validate against the schema the action will actually
+                    // run under — the state observed the newest epoch above.
+                    validate_action(&action, state.data().schema())?;
+                    state.set_action(action);
+                    Ok(())
+                });
                 if let Err(e) = applied {
-                    slot.report
+                    report
                         .errors
                         .push(format!("set_action on object {}: {e}", object.0));
                 }
             }
             SessionEvent::RunTrace { object, trace } => {
-                match SessionSlot::state_for(&mut slot.states, catalog, object) {
+                let report = &mut slot.report;
+                match SessionSlot::boundary_state(
+                    &mut slot.states,
+                    catalog,
+                    object,
+                    &mut report.restructures_seen,
+                ) {
                     Ok(state) => {
                         let started = Instant::now();
+                        let epoch = state.epoch();
                         match Session::new(state, &config).run(&trace) {
                             Ok(outcome) => {
-                                slot.report.latencies.push(LatencySample {
+                                report.latencies.push(LatencySample {
                                     nanos: started.elapsed().as_nanos() as u64,
                                     touches: trace.len() as u64,
                                     max_touch_nanos: outcome.stats.max_touch_nanos,
                                 });
-                                slot.report.outcomes.push(TraceOutcome { object, outcome });
+                                report.epochs.push(epoch);
+                                report.outcomes.push(TraceOutcome { object, outcome });
                             }
-                            Err(e) => slot
-                                .report
+                            Err(e) => report
                                 .errors
                                 .push(format!("trace over object {}: {e}", object.0)),
                         }
                     }
-                    Err(e) => slot
-                        .report
+                    Err(e) => report
                         .errors
                         .push(format!("checkout of object {}: {e}", object.0)),
                 }
@@ -455,6 +534,7 @@ fn serve(
                 // the registry rather than retaining one entry per session
                 // ever served.
                 gates.remove(&session);
+                live_sessions.fetch_sub(1, Ordering::Relaxed);
                 let _ = reply.send(slot.report);
             }
         }
@@ -640,6 +720,149 @@ mod tests {
         server.shutdown();
         let errors = producer.join().expect("producer must terminate");
         assert!(errors > 0, "late submissions should error after shutdown");
+    }
+
+    #[test]
+    fn sessions_go_to_the_least_loaded_worker() {
+        let (catalog, _id) = catalog_with_column(1_000);
+        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(2));
+        assert_eq!(server.worker_loads(), vec![0, 0]);
+        let s1 = server.open_session();
+        let s2 = server.open_session();
+        assert_eq!(server.worker_loads(), vec![1, 1], "ties rotate round-robin");
+        // Free worker 0 (close() is synchronous: the worker has processed the
+        // Close — and decremented its load — before it returns).
+        s1.close().unwrap();
+        assert_eq!(server.worker_loads().iter().sum::<usize>(), 1);
+        // The next two sessions must rebalance to [2, 1]+[0, 0]… i.e. end
+        // even at 2 total, not pile onto the round-robin cursor's pick.
+        let _s3 = server.open_session();
+        assert_eq!(server.worker_loads().iter().sum::<usize>(), 2);
+        assert_eq!(
+            server.worker_loads(),
+            vec![1, 1],
+            "new session must fill the idle worker, not follow round-robin"
+        );
+        drop(s2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn skewed_closes_keep_steering_new_sessions_to_idle_workers() {
+        let (catalog, _id) = catalog_with_column(1_000);
+        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(3));
+        // Eight long-lived sessions spread 3/3/2 by the tiebreak rotation.
+        let sessions: Vec<_> = (0..8).map(|_| server.open_session()).collect();
+        let loads = server.worker_loads();
+        assert_eq!(loads.iter().sum::<usize>(), 8);
+        assert!(loads.iter().all(|&l| l >= 2));
+        for s in sessions {
+            s.close().unwrap();
+        }
+        assert_eq!(server.worker_loads(), vec![0, 0, 0]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_sessions_observe_restructures_at_gesture_boundaries() {
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let table = dbtouch_storage::table::Table::from_columns(
+            "t",
+            vec![
+                dbtouch_storage::column::Column::from_i64("id", (0..20_000).collect()),
+                dbtouch_storage::column::Column::from_f64(
+                    "v",
+                    (0..20_000).map(|i| i as f64).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let view = catalog.data(tid).unwrap().base_view().clone();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(1));
+        let session = server.open_session();
+        session.set_action(tid, TouchAction::Tuple).unwrap();
+        session
+            .run_trace(tid, GestureSynthesizer::new(60.0).slide_down(&view, 0.3))
+            .unwrap();
+        // Barrier, then restructure: the next trace must observe it.
+        let before = session.snapshot().unwrap();
+        assert_eq!(before.restructures_seen, 0);
+        catalog
+            .drag_column_out(tid, "v", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        session
+            .run_trace(tid, GestureSynthesizer::new(60.0).slide_down(&view, 0.3))
+            .unwrap();
+        let report = session.close().unwrap();
+        assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+        assert_eq!(report.restructures_seen, 1);
+        assert_eq!(report.epochs.len(), 2);
+        assert!(
+            report.epochs[1] > report.epochs[0],
+            "epochs: {:?}",
+            report.epochs
+        );
+        // First trace saw both columns, second only the remaining one.
+        assert_eq!(
+            report.outcomes[0].outcome.results.results()[0].values.len(),
+            2
+        );
+        assert_eq!(
+            report.outcomes[1].outcome.results.results()[0].values.len(),
+            1
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn removed_objects_error_without_killing_the_session() {
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let table = dbtouch_storage::table::Table::from_columns(
+            "t",
+            vec![
+                dbtouch_storage::column::Column::from_i64("id", (0..5_000).collect()),
+                dbtouch_storage::column::Column::from_f64(
+                    "v",
+                    (0..5_000).map(|i| i as f64).collect(),
+                ),
+            ],
+        )
+        .unwrap();
+        let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        let cid = catalog
+            .drag_column_out(tid, "v", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let column_view = catalog.data(cid).unwrap().base_view().clone();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(1));
+        let session = server.open_session();
+        session
+            .run_trace(
+                cid,
+                GestureSynthesizer::new(60.0).slide_down(&column_view, 0.2),
+            )
+            .unwrap();
+        assert!(session.snapshot().unwrap().errors.is_empty());
+        // Merge the column back: its object is removed from the catalog.
+        catalog.drag_column_into(tid, cid).unwrap();
+        session
+            .run_trace(
+                cid,
+                GestureSynthesizer::new(60.0).slide_down(&column_view, 0.2),
+            )
+            .unwrap();
+        // The session keeps serving other objects.
+        let table_view = catalog.data(tid).unwrap().base_view().clone();
+        session
+            .run_trace(
+                tid,
+                GestureSynthesizer::new(60.0).slide_down(&table_view, 0.2),
+            )
+            .unwrap();
+        let report = session.close().unwrap();
+        assert_eq!(report.errors.len(), 1, "errors: {:?}", report.errors);
+        assert_eq!(report.traces_run(), 2);
+        server.shutdown();
     }
 
     #[test]

@@ -17,8 +17,9 @@ pub struct TraceOutcome {
 }
 
 /// Everything a session produced: trace outcomes in submission order, wall
-/// clock latency samples, and any per-event errors (a bad trace or unknown
-/// object records an error instead of killing the session).
+/// clock latency samples, the catalog epochs the session observed, and any
+/// per-event errors (a bad trace or unknown object records an error instead
+/// of killing the session).
 #[derive(Debug, Clone, Default)]
 pub struct SessionReport {
     /// The session this report describes.
@@ -27,6 +28,15 @@ pub struct SessionReport {
     pub outcomes: Vec<TraceOutcome>,
     /// One wall-clock sample per completed `run_trace`.
     pub latencies: Vec<LatencySample>,
+    /// The catalog epoch each completed trace ran against, parallel to
+    /// `outcomes`. A trace observes the newest epoch at its gesture boundary
+    /// and keeps it for the whole trace, so within a session this sequence is
+    /// non-decreasing. Excluded from [`result_digest`](Self::result_digest):
+    /// epochs depend on restructure timing, results must not.
+    pub epochs: Vec<u64>,
+    /// How many times a gesture-boundary refresh observed a restructure of an
+    /// object this session explores (its state was rebuilt against new data).
+    pub restructures_seen: u64,
     /// Errors encountered while processing events, in order.
     pub errors: Vec<String>,
 }
@@ -35,6 +45,11 @@ impl SessionReport {
     /// Number of traces that completed.
     pub fn traces_run(&self) -> usize {
         self.outcomes.len()
+    }
+
+    /// The newest catalog epoch this session observed (0 before any trace).
+    pub fn last_epoch(&self) -> u64 {
+        self.epochs.last().copied().unwrap_or(0)
     }
 
     /// Total touch samples consumed across all traces.
@@ -203,5 +218,25 @@ mod tests {
         let report = SessionReport::default();
         assert_eq!(report.shared_cache_hit_rate(), 0.0);
         assert_eq!(report.total_shared_cache_hits(), 0);
+        assert_eq!(report.last_epoch(), 0);
+        assert_eq!(report.restructures_seen, 0);
+    }
+
+    #[test]
+    fn epochs_do_not_perturb_the_digest() {
+        let outcome = TraceOutcome {
+            object: ObjectId(0),
+            outcome: SessionOutcome::default(),
+        };
+        let mut a = SessionReport::default();
+        a.outcomes.push(outcome.clone());
+        a.epochs.push(3);
+        let mut b = SessionReport::default();
+        b.outcomes.push(outcome);
+        b.epochs.push(9);
+        b.restructures_seen = 2;
+        assert_eq!(a.result_digest(), b.result_digest());
+        assert_eq!(a.last_epoch(), 3);
+        assert_eq!(b.last_epoch(), 9);
     }
 }

@@ -218,6 +218,21 @@ impl ConcurrentRunReport {
             .sum()
     }
 
+    /// Catalog restructures observed by sessions at gesture boundaries,
+    /// across all sessions.
+    pub fn total_restructures_seen(&self) -> u64 {
+        self.sessions.iter().map(|s| s.restructures_seen).sum()
+    }
+
+    /// The newest catalog epoch any session observed.
+    pub fn max_observed_epoch(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(SessionReport::last_epoch)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Shared-cache hit rate across all sessions in `[0, 1]`.
     pub fn shared_cache_hit_rate(&self) -> f64 {
         let hits = self.total_shared_cache_hits();
@@ -230,16 +245,15 @@ impl ConcurrentRunReport {
     }
 }
 
-/// Drive all `plans` concurrently: one served session per explorer, one
-/// submitting thread per explorer, all over one shared catalog.
-pub fn run_concurrent(
-    catalog: &Arc<SharedCatalog>,
+/// Drive all `plans` against an already-running server: one served session
+/// per explorer, one submitting thread per explorer. Shared by
+/// [`run_concurrent`] and the churn driver
+/// ([`crate::churn::run_concurrent_with_churn`]).
+pub(crate) fn drive_plans(
+    server: &ExplorationServer,
     object: ObjectId,
     plans: &[ExplorerPlan],
-    server_config: ServerConfig,
-) -> Result<ConcurrentRunReport> {
-    let server = ExplorationServer::start(Arc::clone(catalog), server_config);
-    let started = Instant::now();
+) -> Result<Vec<SessionReport>> {
     let drivers: Vec<_> = plans
         .iter()
         .map(|plan| {
@@ -261,6 +275,20 @@ pub fn run_concurrent(
         })??;
         sessions.push(report);
     }
+    Ok(sessions)
+}
+
+/// Drive all `plans` concurrently: one served session per explorer, one
+/// submitting thread per explorer, all over one shared catalog.
+pub fn run_concurrent(
+    catalog: &Arc<SharedCatalog>,
+    object: ObjectId,
+    plans: &[ExplorerPlan],
+    server_config: ServerConfig,
+) -> Result<ConcurrentRunReport> {
+    let server = ExplorationServer::start(Arc::clone(catalog), server_config);
+    let started = Instant::now();
+    let sessions = drive_plans(&server, object, plans)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;
     server.shutdown();
     Ok(ConcurrentRunReport {

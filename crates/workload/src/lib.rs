@@ -23,13 +23,18 @@
 //! * [`concurrent`] — K simultaneous explorers driven through
 //!   `dbtouch-server` against one shared catalog, with a seeded sequential
 //!   replay that proves the concurrent results are identical.
+//! * [`churn`] — the live-restructure scenario: the same explorers while
+//!   mutator threads continuously drag columns out of (and back into) a
+//!   churn table, exercising the epoch-versioned catalog under write load.
 
+pub mod churn;
 pub mod concurrent;
 pub mod datagen;
 pub mod explorer;
 pub mod patterns;
 pub mod scenarios;
 
+pub use churn::{churn_catalog, run_concurrent_with_churn, ChurnOutcome, MAX_CHURN_MUTATORS};
 pub use concurrent::{
     plan_explorers, plan_hot_object, run_concurrent, run_sequential, ConcurrentRunReport,
     ExplorerPlan,

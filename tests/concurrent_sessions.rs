@@ -219,6 +219,50 @@ fn shared_result_cache_is_result_transparent() {
 }
 
 #[test]
+fn catalog_churn_never_perturbs_unrelated_sessions() {
+    // End-to-end form of the epoch guarantee: THREADS sessions explore one
+    // column while mutator threads continuously restructure a disjoint churn
+    // table. Every session's digest must equal the churn-free sequential
+    // replay, and the epoch must have advanced by at least the restructures
+    // performed.
+    use dbtouch::workload::churn::{churn_catalog, run_concurrent_with_churn};
+    use dbtouch::workload::concurrent::{plan_explorers, run_sequential};
+    use dbtouch::workload::scenarios::Scenario;
+
+    let scenario = Scenario::sky_survey(60_000, 13);
+    let (catalog, signal, churn) =
+        churn_catalog(&scenario, KernelConfig::default(), 2_048).unwrap();
+    let plans = plan_explorers(&catalog, signal, THREADS, 3, 99).unwrap();
+    let outcome = run_concurrent_with_churn(
+        &catalog,
+        signal,
+        &plans,
+        ServerConfig::with_workers(4),
+        churn,
+        2,
+    )
+    .unwrap();
+    assert!(
+        outcome.mutator_errors.is_empty(),
+        "mutators: {:?}",
+        outcome.mutator_errors
+    );
+    assert!(
+        outcome.run.errors().is_empty(),
+        "sessions: {:?}",
+        outcome.run.errors()
+    );
+    assert!(outcome.restructures >= 4);
+    assert!(outcome.final_epoch >= outcome.first_epoch + outcome.restructures);
+    for report in &outcome.run.sessions {
+        // Within a session, observed epochs never go backwards.
+        assert!(report.epochs.windows(2).all(|w| w[0] <= w[1]));
+    }
+    let sequential = run_sequential(&catalog, signal, &plans).unwrap();
+    assert_eq!(outcome.run.digests(), sequential);
+}
+
+#[test]
 fn sessions_with_same_plan_agree_with_each_other() {
     // Per-session determinism: every session running the identical plan must
     // report the identical result counts and digests.

@@ -1,18 +1,21 @@
 //! Property-based tests over the core invariants of the reproduction:
 //! touch→tuple mapping, sample hierarchies, running aggregates, joins, layout
-//! rotation and the gesture synthesizer.
+//! rotation, the gesture synthesizer, and the epoch-versioned catalog's
+//! live-restructure atomicity.
 
 use dbtouch::core::mapping::TouchMapper;
 use dbtouch::core::operators::aggregate::{AggregateKind, RunningAggregate};
 use dbtouch::core::operators::join::{BlockingHashJoin, JoinSide, SymmetricHashJoin};
 use dbtouch::gesture::view::View;
 use dbtouch::prelude::*;
+use dbtouch::server::{digest_outcomes, TraceOutcome};
 use dbtouch::storage::column::Column as StorageColumn;
 use dbtouch::storage::layout::Layout;
 use dbtouch::storage::matrix::Matrix;
 use dbtouch::storage::rotation::RotationTask;
 use dbtouch::storage::sample::SampleHierarchy;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -226,5 +229,104 @@ proptest! {
         prop_assert!(s.rows_touched >= s.entries_returned);
         prop_assert_eq!(s.bytes_touched, s.rows_touched * 8);
         prop_assert!(s.duplicate_touches + s.entries_returned <= s.touches);
+    }
+}
+
+proptest! {
+    // Each case spawns a server plus a restructure thread; keep the case
+    // count modest — the property quantifies over scheduling anyway, so the
+    // interesting variation comes from the interleaving, not the inputs.
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Epoch-snapshot semantics: a gesture trace racing one catalog
+    /// restructure observes *exactly* the pre-restructure object or exactly
+    /// the post-restructure object — never a hybrid. Every session's digest
+    /// must equal one of the two sequential baselines, whatever the
+    /// interleaving.
+    #[test]
+    fn restructure_interleaving_is_atomic(
+        rows in 2_000i64..20_000,
+        sessions in 1usize..5,
+        spin in 0u32..50_000,
+    ) {
+        let build = || {
+            let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+            let table = Table::from_columns(
+                "t",
+                vec![
+                    StorageColumn::from_i64("id", (0..rows).collect()),
+                    StorageColumn::from_f64("price", (0..rows).map(|i| i as f64 / 2.0).collect()),
+                    StorageColumn::from_i64("qty", (0..rows).map(|i| i % 7).collect()),
+                ],
+            )
+            .unwrap();
+            let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+            (catalog, tid)
+        };
+
+        // Sequential baselines on a separate catalog with identical data:
+        // the all-before digest and (after dragging "qty" out) the all-after
+        // digest. Tuple results include the whole row, so the two differ.
+        let (baseline_catalog, baseline_tid) = build();
+        let view = baseline_catalog.data(baseline_tid).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 0.4);
+        let digest_now = |catalog: &Arc<SharedCatalog>, tid| {
+            let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+            kernel.set_action(tid, TouchAction::Tuple).unwrap();
+            let outcome = kernel.run_trace(tid, &trace).unwrap();
+            digest_outcomes([TraceOutcome { object: tid, outcome }].iter())
+        };
+        let before = digest_now(&baseline_catalog, baseline_tid);
+        baseline_catalog
+            .drag_column_out(baseline_tid, "qty", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let after = digest_now(&baseline_catalog, baseline_tid);
+        prop_assert_ne!(before, after);
+
+        // Live: K sessions each run the one trace concurrently with one
+        // restructure landing at an arbitrary point in the schedule.
+        let (catalog, tid) = build();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let mutator = {
+            let catalog = Arc::clone(&catalog);
+            std::thread::spawn(move || {
+                for _ in 0..spin {
+                    std::hint::spin_loop();
+                }
+                catalog
+                    .drag_column_out(tid, "qty", SizeCm::new(2.0, 10.0))
+                    .unwrap();
+            })
+        };
+        let drivers: Vec<_> = (0..sessions)
+            .map(|_| {
+                let session = server.open_session();
+                let trace = trace.clone();
+                std::thread::spawn(move || -> SessionReport {
+                    session.set_action(tid, TouchAction::Tuple).unwrap();
+                    session.run_trace(tid, trace).unwrap();
+                    session.close().unwrap()
+                })
+            })
+            .collect();
+        let reports: Vec<SessionReport> = drivers.into_iter().map(|d| d.join().unwrap()).collect();
+        mutator.join().unwrap();
+        server.shutdown();
+
+        for report in &reports {
+            prop_assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+            let digest = report.result_digest();
+            prop_assert!(
+                digest == before || digest == after,
+                "hybrid result observed: digest {digest} is neither the \
+                 all-before ({before}) nor the all-after ({after}) order"
+            );
+            // A session whose state was rebuilt at a gesture boundary must
+            // have produced the post-restructure answer (a fresh checkout
+            // after the restructure also yields it, with no rebuild seen).
+            if report.restructures_seen > 0 {
+                prop_assert_eq!(digest, after);
+            }
+        }
     }
 }
