@@ -7,6 +7,8 @@
 //! ```
 
 use dbtouch_bench::cache_effectiveness::run_cache_effectiveness_sweep;
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_types::json::Json;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -16,6 +18,35 @@ fn main() {
     match run_cache_effectiveness_sweep(rows, &session_counts, traces) {
         Ok(report) => {
             print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("sessions", Json::Number(p.sessions as f64)),
+                        ("total_touches", Json::Number(p.total_touches as f64)),
+                        ("touches_per_sec_off", Json::Number(p.touches_per_sec_off)),
+                        ("touches_per_sec_on", Json::Number(p.touches_per_sec_on)),
+                        ("shared_hits", Json::Number(p.shared_hits as f64)),
+                        ("shared_misses", Json::Number(p.shared_misses as f64)),
+                        ("hit_rate", Json::Number(p.hit_rate)),
+                        ("result_transparent", Json::Bool(p.result_transparent)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("cache_effectiveness".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                (
+                    "traces_per_session",
+                    Json::Number(report.traces_per_session as f64),
+                ),
+                ("points", Json::Array(points)),
+            ]);
+            match write_bench_json("cache_effectiveness", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
             if report.points.iter().any(|p| !p.result_transparent) {
                 eprintln!("ERROR: the shared cache changed results somewhere");
                 std::process::exit(1);

@@ -8,6 +8,8 @@
 //! ```
 
 use dbtouch_bench::catalog_churn::run_catalog_churn_sweep;
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_types::json::Json;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -18,6 +20,44 @@ fn main() {
     match run_catalog_churn_sweep(rows, &session_counts, &mutator_counts, traces) {
         Ok(report) => {
             print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("sessions", Json::Number(p.sessions as f64)),
+                        ("mutators", Json::Number(p.mutators as f64)),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("p50_touch_micros", Json::Number(p.p50_touch_micros)),
+                        ("p99_touch_micros", Json::Number(p.p99_touch_micros)),
+                        ("checkouts_per_sec", Json::Number(p.checkouts_per_sec)),
+                        (
+                            "checkout_p50_nanos",
+                            Json::Number(p.checkout_p50_nanos as f64),
+                        ),
+                        (
+                            "checkout_p99_nanos",
+                            Json::Number(p.checkout_p99_nanos as f64),
+                        ),
+                        ("restructures", Json::Number(p.restructures as f64)),
+                        ("verified", Json::Bool(p.verified)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("catalog_churn".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                ("churn_rows", Json::Number(report.churn_rows as f64)),
+                (
+                    "traces_per_session",
+                    Json::Number(report.traces_per_session as f64),
+                ),
+                ("points", Json::Array(points)),
+            ]);
+            match write_bench_json("catalog_churn", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
             let broken = report.points.iter().any(|p| {
                 !p.verified
                     || p.touches_per_sec <= 0.0

@@ -1,0 +1,71 @@
+//! Cold-start binary: open-to-first-touch latency and streaming touches/s of
+//! a reopened persistent catalog at buffer pools of 100%, 50% and 10% of the
+//! dataset, digest-verified against the in-memory catalog it was persisted
+//! from.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin cold_start [rows] [traces]
+//! ```
+
+use dbtouch_bench::cold_start::run_cold_start_sweep;
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_types::json::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let fractions = [1.0, 0.5, 0.1];
+    match run_cold_start_sweep(rows, &fractions, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("pool_fraction", Json::Number(p.pool_fraction)),
+                        ("pool_pages", Json::Number(p.pool_pages as f64)),
+                        ("open_micros", Json::Number(p.open_micros as f64)),
+                        (
+                            "first_touch_micros",
+                            Json::Number(p.first_touch_micros as f64),
+                        ),
+                        ("touches", Json::Number(p.touches as f64)),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("faults", Json::Number(p.faults as f64)),
+                        ("pool_hits", Json::Number(p.pool_hits as f64)),
+                        ("evictions", Json::Number(p.evictions as f64)),
+                        ("verified", Json::Bool(p.verified)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("cold_start".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                ("dataset_pages", Json::Number(report.dataset_pages as f64)),
+                ("traces", Json::Number(report.traces as f64)),
+                ("points", Json::Array(points)),
+            ]);
+            match write_bench_json("cold_start", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
+            if report
+                .points
+                .iter()
+                .any(|p| !p.verified || p.touches_per_sec <= 0.0)
+            {
+                eprintln!("ERROR: a cold-start point diverged from the in-memory baseline");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("cold start sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

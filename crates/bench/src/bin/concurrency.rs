@@ -6,6 +6,8 @@
 //! ```
 
 use dbtouch_bench::concurrency::run_concurrency_sweep;
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_types::json::Json;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -15,6 +17,33 @@ fn main() {
     match run_concurrency_sweep(rows, &session_counts, traces) {
         Ok(report) => {
             print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("sessions", Json::Number(p.sessions as f64)),
+                        ("workers", Json::Number(p.workers as f64)),
+                        ("total_touches", Json::Number(p.total_touches as f64)),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("wall_millis", Json::Number(p.wall_millis)),
+                        ("matches_sequential", Json::Bool(p.matches_sequential)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("concurrency".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                (
+                    "traces_per_session",
+                    Json::Number(report.traces_per_session as f64),
+                ),
+                ("points", Json::Array(points)),
+            ]);
+            match write_bench_json("concurrency", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
             if report.points.iter().any(|p| !p.matches_sequential) {
                 eprintln!("ERROR: a concurrent run diverged from the sequential replay");
                 std::process::exit(1);

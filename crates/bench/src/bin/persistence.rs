@@ -1,0 +1,101 @@
+//! Persistence round-trip binary: the fresh-process durability smoke.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin persistence -- build  <dir> [rows] [sessions] [traces] [seed]
+//! cargo run --release -p dbtouch-bench --bin persistence -- replay <dir>
+//! ```
+//!
+//! `build` loads a seeded catalog, drives the concurrent session workload,
+//! persists into `<dir>` and records the expected digests there. `replay` —
+//! run as a separate process, which is the point — reopens the directory,
+//! replays the identical seeded workload against the paged-backed catalog
+//! and exits non-zero unless every digest is bit-identical and the recovered
+//! epoch matches. CI runs the two as separate steps.
+
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_server::ServerConfig;
+use dbtouch_types::json::Json;
+use dbtouch_types::KernelConfig;
+use dbtouch_workload::persistence::{build_and_persist, replay_persisted, RoundTripSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = || -> ! {
+        eprintln!("usage: persistence build <dir> [rows] [sessions] [traces] [seed]");
+        eprintln!("       persistence replay <dir>");
+        std::process::exit(2);
+    };
+    let (mode, dir) = match (args.first().map(String::as_str), args.get(1)) {
+        (Some(mode @ ("build" | "replay")), Some(dir)) => (mode, dir.clone()),
+        _ => usage(),
+    };
+    let arg = |i: usize, default: u64| -> u64 {
+        args.get(i).and_then(|a| a.parse().ok()).unwrap_or(default)
+    };
+    match mode {
+        "build" => {
+            let spec = RoundTripSpec {
+                rows: arg(2, 200_000) as usize,
+                sessions: arg(3, 8) as usize,
+                traces_per_session: arg(4, 3) as usize,
+                seed: arg(5, 1234),
+            };
+            match build_and_persist(&dir, &spec, KernelConfig::default(), ServerConfig::auto()) {
+                Ok(record) => {
+                    println!(
+                        "persisted epoch {} with {} session digests into {dir}",
+                        record.epoch,
+                        record.digests.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("persistence build failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        "replay" => match replay_persisted(&dir, KernelConfig::default(), ServerConfig::auto()) {
+            Ok(outcome) => {
+                let verified = outcome.verified();
+                println!(
+                    "reopened epoch {} ({} sessions replayed): digests {}",
+                    outcome.reopened_epoch,
+                    outcome.actual.len(),
+                    if verified { "identical" } else { "DIVERGED" }
+                );
+                let doc = json_object(vec![
+                    ("bench", Json::String("persistence".into())),
+                    ("sessions", Json::Number(outcome.actual.len() as f64)),
+                    (
+                        "reopened_epoch",
+                        Json::Number(outcome.reopened_epoch as f64),
+                    ),
+                    (
+                        "digests",
+                        Json::Array(
+                            outcome
+                                .actual
+                                .iter()
+                                .map(|d| Json::String(format!("{d:016x}")))
+                                .collect(),
+                        ),
+                    ),
+                    ("verified", Json::Bool(verified)),
+                ]);
+                match write_bench_json("persistence", &doc) {
+                    Ok(path) => println!("wrote {}", path.display()),
+                    Err(e) => eprintln!("warning: could not write bench json: {e}"),
+                }
+                if !verified {
+                    eprintln!("ERROR: replay after reopen diverged from the recorded digests");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("persistence replay failed: {e}");
+                std::process::exit(1);
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -16,6 +16,7 @@
 pub mod ablations;
 pub mod cache_effectiveness;
 pub mod catalog_churn;
+pub mod cold_start;
 pub mod concurrency;
 pub mod contest;
 pub mod figures;
@@ -26,6 +27,7 @@ pub use cache_effectiveness::{
     run_cache_effectiveness_sweep, CacheEffectivenessPoint, CacheEffectivenessReport,
 };
 pub use catalog_churn::{run_catalog_churn_sweep, CatalogChurnPoint, CatalogChurnReport};
+pub use cold_start::{run_cold_start_sweep, ColdStartPoint, ColdStartReport};
 pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport};
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};

@@ -1,4 +1,26 @@
-//! Small plain-text table rendering for experiment reports.
+//! Small plain-text table rendering for experiment reports, plus the
+//! `BENCH_<name>.json` emitter CI uploads as per-PR artifacts.
+
+use dbtouch_types::json::Json;
+use std::path::PathBuf;
+
+/// Build a JSON object from `(key, value)` pairs; see
+/// [`dbtouch_types::json::object`].
+pub use dbtouch_types::json::object as json_object;
+
+/// Write a benchmark's machine-readable output as `BENCH_<name>.json` into
+/// `$DBTOUCH_BENCH_OUT` (or the working directory), returning the path. CI
+/// uploads these files as artifacts so benchmark trajectories are collected
+/// per PR.
+pub fn write_bench_json(name: &str, value: &Json) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("DBTOUCH_BENCH_OUT")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, value.pretty())?;
+    Ok(path)
+}
 
 /// Render an aligned plain-text table with a header row.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

@@ -103,7 +103,7 @@ mod tests {
     }
 
     fn hierarchy(rows: u64) -> SampleHierarchy {
-        SampleHierarchy::build(Column::from_i64("c", (0..rows as i64).collect()), 10)
+        SampleHierarchy::build(Column::from_i64("c", (0..rows as i64).collect()), 10).unwrap()
     }
 
     #[test]

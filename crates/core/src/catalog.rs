@@ -80,6 +80,30 @@ pub struct ObjectData {
 }
 
 impl ObjectData {
+    /// Assemble object data from already-built parts: the reopen path of the
+    /// persistent catalog (`crate::persist`), where columns, hierarchies and
+    /// indexes come from the on-disk store instead of an O(rows) build.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        name: String,
+        identity: u64,
+        matrix: Arc<Matrix>,
+        hierarchies: Arc<Vec<SampleHierarchy>>,
+        indexes: Arc<Vec<Option<ZoneMapIndex>>>,
+        base_view: View,
+        default_action: TouchAction,
+    ) -> ObjectData {
+        ObjectData {
+            name,
+            identity,
+            matrix,
+            hierarchies,
+            indexes,
+            base_view,
+            default_action,
+        }
+    }
+
     /// The object's catalog name.
     pub fn name(&self) -> &str {
         &self.name
@@ -158,6 +182,24 @@ pub struct CatalogSnapshot {
 }
 
 impl CatalogSnapshot {
+    /// Assemble a snapshot from persisted parts (`crate::persist`).
+    pub(crate) fn from_parts(
+        epoch: u64,
+        restructures: u64,
+        slots: Vec<Option<Arc<ObjectData>>>,
+    ) -> CatalogSnapshot {
+        CatalogSnapshot {
+            epoch,
+            restructures,
+            slots,
+        }
+    }
+
+    /// The object table, indexed by id; `None` marks a tombstone.
+    pub(crate) fn slots(&self) -> &[Option<Arc<ObjectData>>] {
+        &self.slots
+    }
+
     /// The snapshot's version number.
     pub fn epoch(&self) -> u64 {
         self.epoch
@@ -385,24 +427,47 @@ pub struct SharedCatalog {
     /// The cross-session result cache every checkout of this catalog shares,
     /// `None` when [`KernelConfig::shared_cache_enabled`] is off.
     shared_cache: Option<Arc<SharedResultCache>>,
+    /// The attached persistent store, when the catalog was opened from (or
+    /// created in) a directory via [`SharedCatalog::open`]. Attached catalogs
+    /// persist every published epoch; see `crate::persist`.
+    persistence: Option<Arc<crate::persist::Persistence>>,
 }
 
 impl SharedCatalog {
     /// Create an empty catalog with the given kernel configuration.
     pub fn new(config: KernelConfig) -> SharedCatalog {
+        let snapshot = CatalogSnapshot {
+            epoch: 0,
+            restructures: 0,
+            slots: Vec::new(),
+        };
+        Self::assemble(config, snapshot, None)
+    }
+
+    /// Assemble a catalog around an initial snapshot — shared by [`new`]
+    /// (empty, memory-only) and the persistent open path (`crate::persist`).
+    ///
+    /// [`new`]: SharedCatalog::new
+    pub(crate) fn assemble(
+        config: KernelConfig,
+        snapshot: CatalogSnapshot,
+        persistence: Option<Arc<crate::persist::Persistence>>,
+    ) -> SharedCatalog {
         let shared_cache = config
             .shared_cache_enabled
             .then(|| Arc::new(SharedResultCache::new(config.shared_cache_capacity)));
         SharedCatalog {
             config,
-            current: EpochCell::new(Arc::new(CatalogSnapshot {
-                epoch: 0,
-                restructures: 0,
-                slots: Vec::new(),
-            })),
+            current: EpochCell::new(Arc::new(snapshot)),
             mutators: Mutex::new(()),
             shared_cache,
+            persistence,
         }
+    }
+
+    /// The attached persistent store, if any.
+    pub(crate) fn persistence(&self) -> Option<&Arc<crate::persist::Persistence>> {
+        self.persistence.as_ref()
     }
 
     /// The kernel configuration sessions run under.
@@ -589,7 +654,7 @@ impl SharedCatalog {
             }
             let rebuilt = self.rebuild_table(obj, cols)?;
             let column_view = View::for_column(column.name().to_string(), column.len(), size)?;
-            let standalone = self.build_data(Matrix::from_column(column), column_view);
+            let standalone = self.build_data(Matrix::from_column(column), column_view)?;
             let old_identity = obj.identity;
             let mut slots = snapshot.slots.clone();
             slots[table_id.0 as usize] = Some(Arc::new(rebuilt));
@@ -691,7 +756,7 @@ impl SharedCatalog {
                 table.column_count(),
                 size,
             )?;
-            let data = self.build_data(Matrix::from_table(table), view);
+            let data = self.build_data(Matrix::from_table(table), view)?;
             let mut slots = snapshot.slots.clone();
             let id = ObjectId(slots.len() as u64);
             slots.push(Some(Arc::new(data)));
@@ -725,7 +790,15 @@ impl SharedCatalog {
                 restructures: current.restructures + restructured,
                 slots,
             });
-            if self.current.publish_if_current(&current, next) {
+            if self.current.publish_if_current(&current, Arc::clone(&next)) {
+                // Attached catalogs persist the epoch they just published —
+                // still under the mutators lock, so manifests land in epoch
+                // order and a directory is always exactly one epoch. The
+                // in-memory publish has already happened; a persist failure
+                // is reported to the mutator as the durability error it is.
+                if let Some(persistence) = &self.persistence {
+                    persistence.persist_snapshot(&next)?;
+                }
                 return Ok(out);
             }
         }
@@ -739,7 +812,7 @@ impl SharedCatalog {
         if self.object_id(matrix.name()).is_ok() {
             return Err(DbTouchError::AlreadyExists(matrix.name().to_string()));
         }
-        let data = Arc::new(self.build_data(matrix, view));
+        let data = Arc::new(self.build_data(matrix, view)?);
         self.publish(|snapshot| {
             if snapshot.object_id(&data.name).is_ok() {
                 return Err(DbTouchError::AlreadyExists(data.name.clone()));
@@ -751,10 +824,10 @@ impl SharedCatalog {
         })
     }
 
-    fn build_data(&self, matrix: Matrix, view: View) -> ObjectData {
-        let hierarchies = build_hierarchies(&matrix, &self.config);
+    fn build_data(&self, matrix: Matrix, view: View) -> Result<ObjectData> {
+        let hierarchies = build_hierarchies(&matrix, &self.config)?;
         let indexes = build_indexes(&matrix);
-        ObjectData {
+        Ok(ObjectData {
             name: matrix.name().to_string(),
             identity: next_object_identity(),
             matrix: Arc::new(matrix),
@@ -762,7 +835,7 @@ impl SharedCatalog {
             indexes: Arc::new(indexes),
             base_view: view,
             default_action: TouchAction::Scan,
-        }
+        })
     }
 
     /// Rebuild a table object's data from a new column set, keeping its name
@@ -776,7 +849,7 @@ impl SharedCatalog {
             table.column_count(),
             obj.base_view.size(),
         )?;
-        Ok(self.build_data(Matrix::from_table(table), view))
+        self.build_data(Matrix::from_table(table), view)
     }
 }
 
@@ -856,11 +929,10 @@ pub fn validate_action(action: &TouchAction, schema: &[(String, DataType)]) -> R
     Ok(())
 }
 
-fn build_hierarchies(matrix: &Matrix, config: &KernelConfig) -> Vec<SampleHierarchy> {
+fn build_hierarchies(matrix: &Matrix, config: &KernelConfig) -> Result<Vec<SampleHierarchy>> {
     let levels = config.sample_levels;
-    match matrix.columns() {
-        Some(cols) => cols
-            .iter()
+    let build_all = |cols: &[Column]| -> Result<Vec<SampleHierarchy>> {
+        cols.iter()
             .map(|c| {
                 let depth = if c.data_type().is_numeric() {
                     levels
@@ -869,25 +941,14 @@ fn build_hierarchies(matrix: &Matrix, config: &KernelConfig) -> Vec<SampleHierar
                 };
                 SampleHierarchy::build(c.clone(), depth)
             })
-            .collect(),
+            .collect()
+    };
+    match matrix.columns() {
+        Some(cols) => build_all(cols),
         None => {
             // Row-major load: build degenerate hierarchies from a columnar copy.
-            let columnar = matrix
-                .converted_to(Layout::ColumnMajor)
-                .expect("layout conversion of a valid matrix cannot fail");
-            columnar
-                .columns()
-                .expect("column-major matrix has columns")
-                .iter()
-                .map(|c| {
-                    let depth = if c.data_type().is_numeric() {
-                        levels
-                    } else {
-                        1
-                    };
-                    SampleHierarchy::build(c.clone(), depth)
-                })
-                .collect()
+            let columnar = matrix.converted_to(Layout::ColumnMajor)?;
+            build_all(columnar.columns().expect("column-major matrix has columns"))
         }
     }
 }

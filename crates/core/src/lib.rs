@@ -49,6 +49,7 @@ pub mod kernel;
 pub mod mapping;
 pub mod operators;
 pub mod optimizer;
+pub mod persist;
 pub mod prefetch_policy;
 pub mod remote;
 pub mod response;

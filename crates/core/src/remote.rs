@@ -184,7 +184,7 @@ mod tests {
     use dbtouch_storage::column::Column;
 
     fn store() -> RemoteStore {
-        let h = SampleHierarchy::build(Column::from_i64("c", (0..100_000).collect()), 8);
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..100_000).collect()), 8).unwrap();
         RemoteStore::new(h, 4, NetworkModel::default()).unwrap()
     }
 
@@ -200,7 +200,7 @@ mod tests {
 
     #[test]
     fn invalid_split_rejected() {
-        let h = SampleHierarchy::build(Column::from_i64("c", (0..100).collect()), 3);
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..100).collect()), 3).unwrap();
         assert!(RemoteStore::new(h, 9, NetworkModel::default()).is_err());
     }
 
@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn zero_bandwidth_model_only_charges_latency() {
-        let h = SampleHierarchy::build(Column::from_i64("c", (0..1000).collect()), 4);
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..1000).collect()), 4).unwrap();
         let mut s = RemoteStore::new(
             h,
             2,

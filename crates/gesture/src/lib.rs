@@ -25,7 +25,11 @@
 //!   reproducible.
 //! * [`json`] — the dependency-free JSON codec backing trace serialization.
 
-pub mod json;
+/// The dependency-free JSON codec (re-exported from `dbtouch-types`, where it
+/// moved so the storage layer's catalog manifest can share it).
+pub mod json {
+    pub use dbtouch_types::json::*;
+}
 pub mod kinematics;
 pub mod recognizer;
 pub mod synthesizer;

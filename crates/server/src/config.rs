@@ -1,5 +1,7 @@
 //! Server configuration.
 
+use std::path::PathBuf;
+
 /// Configuration of the exploration server's worker pool and queues.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -12,10 +14,19 @@ pub struct ServerConfig {
     ///
     /// [`SessionHandle::run_trace`]: crate::manager::SessionHandle::run_trace
     pub session_queue_depth: usize,
+    /// Directory of the persistent catalog. When set,
+    /// [`ExplorationServer::open`] opens an existing persisted catalog (or
+    /// creates the directory) on startup, and every published catalog epoch
+    /// — loads, metadata edits, restructures — is persisted as it happens,
+    /// so a restart resumes from the last published epoch. `None` serves a
+    /// memory-only catalog.
+    ///
+    /// [`ExplorationServer::open`]: crate::manager::ExplorationServer::open
+    pub catalog_dir: Option<PathBuf>,
 }
 
 impl ServerConfig {
-    /// `worker_threads` sized to the machine, depth 64.
+    /// `worker_threads` sized to the machine, depth 64, memory-only catalog.
     pub fn auto() -> ServerConfig {
         ServerConfig::default()
     }
@@ -27,6 +38,12 @@ impl ServerConfig {
             ..ServerConfig::default()
         }
     }
+
+    /// Builder-style setter for the persistent catalog directory.
+    pub fn with_catalog_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
+        self.catalog_dir = Some(dir.into());
+        self
+    }
 }
 
 impl Default for ServerConfig {
@@ -37,6 +54,7 @@ impl Default for ServerConfig {
         ServerConfig {
             worker_threads: parallelism.clamp(2, 16),
             session_queue_depth: 64,
+            catalog_dir: None,
         }
     }
 }

@@ -35,7 +35,7 @@ use dbtouch_core::catalog::{validate_action, ObjectState, SharedCatalog};
 use dbtouch_core::kernel::{ObjectId, TouchAction};
 use dbtouch_core::session::Session;
 use dbtouch_gesture::trace::GestureTrace;
-use dbtouch_types::{DbTouchError, Result};
+use dbtouch_types::{DbTouchError, KernelConfig, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
@@ -292,6 +292,20 @@ impl ExplorationServer {
             next_session: AtomicU64::new(1),
             next_worker: AtomicUsize::new(0),
         }
+    }
+
+    /// Open-or-create the configured catalog and spawn the worker pool over
+    /// it: the persistent-service entry point. With
+    /// [`ServerConfig::catalog_dir`] set, an existing directory is recovered
+    /// to its last published epoch (objects stream in lazily through the
+    /// buffer pool) and every epoch published while serving is persisted;
+    /// without it this is `start` over a fresh memory-only catalog.
+    pub fn open(kernel_config: KernelConfig, config: ServerConfig) -> Result<ExplorationServer> {
+        let catalog = match &config.catalog_dir {
+            Some(dir) => SharedCatalog::open(dir, kernel_config)?,
+            None => SharedCatalog::new(kernel_config),
+        };
+        Ok(ExplorationServer::start(Arc::new(catalog), config))
     }
 
     /// The catalog this server serves.
@@ -558,6 +572,68 @@ mod tests {
     }
 
     #[test]
+    fn open_serves_a_persistent_catalog_across_restarts() {
+        let dir =
+            std::env::temp_dir().join(format!("dbtouch-server-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = || ServerConfig::with_workers(2).with_catalog_dir(&dir);
+
+        // First service lifetime: create, load, serve, restructure.
+        let first = ExplorationServer::open(KernelConfig::default(), config()).unwrap();
+        let id = first
+            .catalog()
+            .load_column("col", (0..50_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let view = first.catalog().data(id).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 1.0);
+        let session = first.open_session();
+        session
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(25),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        session.run_trace(id, trace.clone()).unwrap();
+        let before = session.close().unwrap();
+        assert!(before.errors.is_empty(), "{:?}", before.errors);
+        let epoch = first.catalog().epoch();
+        first.shutdown();
+
+        // Second service lifetime: open resumes the persisted epoch and the
+        // same trace produces the identical digest from paged storage.
+        let second = ExplorationServer::open(KernelConfig::default(), config()).unwrap();
+        assert_eq!(second.catalog().epoch(), epoch);
+        assert_eq!(
+            second.catalog().catalog_dir().as_deref(),
+            Some(dir.as_path())
+        );
+        let id = second.catalog().object_id("col").unwrap();
+        let session = second.open_session();
+        session
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(25),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        session.run_trace(id, trace).unwrap();
+        let after = session.close().unwrap();
+        assert!(after.errors.is_empty(), "{:?}", after.errors);
+        assert_eq!(after.result_digest(), before.result_digest());
+        assert!(
+            second.catalog().pager_stats().unwrap().faults > 0,
+            "reopened service must stream pages"
+        );
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn single_session_round_trip() {
         let (catalog, id) = catalog_with_column(100_000);
         let view = catalog.data(id).unwrap().base_view().clone();
@@ -653,6 +729,7 @@ mod tests {
             ServerConfig {
                 worker_threads: 1,
                 session_queue_depth: 2,
+                catalog_dir: None,
             },
         );
         let session = server.open_session();
@@ -695,6 +772,7 @@ mod tests {
             ServerConfig {
                 worker_threads: 1,
                 session_queue_depth: 1,
+                catalog_dir: None,
             },
         );
         let session = server.open_session();

@@ -6,11 +6,12 @@
 //! touch-to-tuple mapping and the tuple-to-byte-offset mapping must both be pure
 //! arithmetic to keep per-touch response times low.
 
+use crate::pager::{append_row_bytes, ColumnExtent, PagedColumn, Pager};
 use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
 use serde::{Deserialize, Serialize};
 
 /// Typed storage for a column's values.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum ColumnData {
     Int64(Vec<i64>),
     Float64(Vec<f64>),
@@ -21,6 +22,11 @@ enum ColumnData {
         bytes: Vec<u8>,
     },
     Timestamp(Vec<i64>),
+    /// Rows live in a page extent of a persistent store and fault through
+    /// the store's buffer pool on first touch (see [`crate::pager`]). A
+    /// paged column is immutable and reads bit-identically to the in-memory
+    /// column it was persisted from.
+    Paged(PagedColumn),
 }
 
 /// A named, fixed-width, dense column.
@@ -38,10 +44,43 @@ enum ColumnData {
 /// assert_eq!((count, sum), (3, 90.0));
 /// assert_eq!((min, max), (Some(20.0), Some(40.0)));
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Column {
     name: String,
     data: ColumnData,
+}
+
+/// Columns compare by *logical content* — name, type and row values — so an
+/// in-memory column equals the paged-backed column it was persisted as.
+/// Inline columns of the same representation still compare storage-to-storage
+/// (no per-row decoding).
+impl PartialEq for Column {
+    fn eq(&self, other: &Column) -> bool {
+        if self.name != other.name {
+            return false;
+        }
+        match (&self.data, &other.data) {
+            (ColumnData::Int64(a), ColumnData::Int64(b)) => a == b,
+            (ColumnData::Float64(a), ColumnData::Float64(b)) => a == b,
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a == b,
+            (ColumnData::Timestamp(a), ColumnData::Timestamp(b)) => a == b,
+            (
+                ColumnData::FixedStr {
+                    width: wa,
+                    bytes: ba,
+                },
+                ColumnData::FixedStr {
+                    width: wb,
+                    bytes: bb,
+                },
+            ) => wa == wb && ba == bb,
+            _ => {
+                self.data_type() == other.data_type()
+                    && self.len() == other.len()
+                    && self.iter().eq(other.iter())
+            }
+        }
+    }
 }
 
 impl Column {
@@ -128,6 +167,63 @@ impl Column {
         Ok(col)
     }
 
+    /// Wrap a [`PagedColumn`] reader as a column: rows fault through the
+    /// store's buffer pool on first touch instead of living in memory. This
+    /// is how a reopened catalog's columns are built.
+    pub fn paged(name: impl Into<String>, reader: PagedColumn) -> Column {
+        Column {
+            name: name.into(),
+            data: ColumnData::Paged(reader),
+        }
+    }
+
+    /// The page extent behind this column, when it is paged-backed.
+    pub fn paged_extent(&self) -> Option<ColumnExtent> {
+        match &self.data {
+            ColumnData::Paged(p) => Some(p.extent()),
+            _ => None,
+        }
+    }
+
+    /// An in-memory copy of this column: a cheap clone when it is already
+    /// inline, a full read through the buffer pool when it is paged-backed.
+    pub fn materialized(&self) -> Result<Column> {
+        match &self.data {
+            ColumnData::Paged(p) => {
+                let mut col = Column::empty(self.name.clone(), p.data_type());
+                for row in 0..p.rows() {
+                    col.push(p.value_at(RowId(row))?)?;
+                }
+                Ok(col)
+            }
+            _ => Ok(self.clone()),
+        }
+    }
+
+    /// Append this column's rows to a persistent store's page file, returning
+    /// the extent written. The encoding is the same fixed-width little-endian
+    /// layout row-major matrixes use (`Value::encode`), so paged reads decode
+    /// bit-identically.
+    pub fn persist_to(&self, pager: &Pager) -> Result<ColumnExtent> {
+        let dt = self.data_type();
+        let row_bytes: Vec<u8> = match &self.data {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
+                v.iter().flat_map(|x| x.to_le_bytes()).collect()
+            }
+            ColumnData::Float64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
+            ColumnData::Bool(v) => v.iter().map(|&b| u8::from(b)).collect(),
+            ColumnData::FixedStr { bytes, .. } => bytes.clone(),
+            ColumnData::Paged(p) => {
+                let mut bytes = Vec::with_capacity((p.rows() * dt.width_bytes() as u64) as usize);
+                for payload in p.page_payloads() {
+                    bytes.extend_from_slice(&payload?);
+                }
+                bytes
+            }
+        };
+        append_row_bytes(pager, dt, self.len(), &row_bytes)
+    }
+
     /// Column name.
     pub fn name(&self) -> &str {
         &self.name
@@ -147,24 +243,26 @@ impl Column {
             ColumnData::Bool(_) => DataType::Bool,
             ColumnData::FixedStr { width, .. } => DataType::FixedStr(*width),
             ColumnData::Timestamp(_) => DataType::TimestampMillis,
+            ColumnData::Paged(p) => p.data_type(),
         }
     }
 
     /// Number of rows.
     pub fn len(&self) -> u64 {
-        (match &self.data {
-            ColumnData::Int64(v) => v.len(),
-            ColumnData::Float64(v) => v.len(),
-            ColumnData::Bool(v) => v.len(),
+        match &self.data {
+            ColumnData::Int64(v) => v.len() as u64,
+            ColumnData::Float64(v) => v.len() as u64,
+            ColumnData::Bool(v) => v.len() as u64,
             ColumnData::FixedStr { width, bytes } => {
                 if *width == 0 {
                     0
                 } else {
-                    bytes.len() / *width as usize
+                    (bytes.len() / *width as usize) as u64
                 }
             }
-            ColumnData::Timestamp(v) => v.len(),
-        }) as u64
+            ColumnData::Timestamp(v) => v.len() as u64,
+            ColumnData::Paged(p) => p.rows(),
+        }
     }
 
     /// True if the column has no rows.
@@ -178,9 +276,16 @@ impl Column {
         self.len() * self.data_type().width_bytes() as u64
     }
 
-    /// Append a value; its type must match the column type.
+    /// Append a value; its type must match the column type. Paged-backed
+    /// columns are immutable (their rows live in a published on-disk extent)
+    /// and reject every push.
     pub fn push(&mut self, value: Value) -> Result<()> {
         match (&mut self.data, value) {
+            (ColumnData::Paged(_), _) => {
+                return Err(DbTouchError::InvalidPlan(
+                    "paged columns are immutable; materialize before mutating".into(),
+                ))
+            }
             (ColumnData::Int64(v), Value::Int(x)) => v.push(x),
             (ColumnData::Float64(v), Value::Float(x)) => v.push(x),
             (ColumnData::Bool(v), Value::Bool(x)) => v.push(x),
@@ -225,6 +330,7 @@ impl Column {
                 let end = slice.iter().position(|&b| b == 0).unwrap_or(w);
                 Value::Str(String::from_utf8_lossy(&slice[..end]).into_owned())
             }
+            ColumnData::Paged(p) => return p.value_at(row),
         })
     }
 
@@ -241,6 +347,7 @@ impl Column {
             ColumnData::Int64(v) => Ok(v[i] as f64),
             ColumnData::Float64(v) => Ok(v[i]),
             ColumnData::Timestamp(v) => Ok(v[i] as f64),
+            ColumnData::Paged(p) => p.f64_at(row),
             _ => Err(DbTouchError::TypeMismatch {
                 expected: "numeric".into(),
                 found: self.data_type().name(),
@@ -269,6 +376,11 @@ impl Column {
                 expected: "numeric".into(),
                 found: self.data_type().name(),
             });
+        }
+        if let ColumnData::Paged(p) = &self.data {
+            // Same ascending fold as the inline arms below, reading through
+            // the buffer pool: results are bit-identical.
+            return p.numeric_range_stats(range);
         }
         let range = range.clamp_to(self.len());
         let mut count = 0u64;
@@ -301,9 +413,16 @@ impl Column {
 
     /// Build a new column containing every `step`-th row starting at row 0.
     /// This is the primitive used to build the sample hierarchy. A `step` of 0
-    /// is treated as 1.
-    pub fn strided_sample(&self, step: u64) -> Column {
+    /// is treated as 1. Errors only for paged-backed columns whose pages fail
+    /// to read (I/O fault or corruption) — inline columns cannot fail.
+    pub fn strided_sample(&self, step: u64) -> Result<Column> {
         let step = step.max(1) as usize;
+        if let ColumnData::Paged(_) = &self.data {
+            // Sampling a paged column materializes the sample in memory (it
+            // is a derived, smaller column); reads stream through the buffer
+            // pool.
+            return self.materialized()?.strided_sample(step as u64);
+        }
         let data = match &self.data {
             ColumnData::Int64(v) => ColumnData::Int64(v.iter().step_by(step).copied().collect()),
             ColumnData::Float64(v) => {
@@ -327,16 +446,22 @@ impl Column {
                     bytes: out,
                 }
             }
+            ColumnData::Paged(_) => unreachable!("materialized above"),
         };
-        Column {
+        Ok(Column {
             name: self.name.clone(),
             data,
-        }
+        })
     }
 
     /// Build a new column restricted to the rows of `range` (clamped).
-    pub fn project_range(&self, range: RowRange) -> Column {
+    /// Errors only for paged-backed columns whose pages fail to read.
+    pub fn project_range(&self, range: RowRange) -> Result<Column> {
         let range = range.clamp_to(self.len());
+        if let ColumnData::Paged(_) = &self.data {
+            let values: Vec<Value> = range.iter().map(|r| self.get(r)).collect::<Result<_>>()?;
+            return Column::from_values(self.name.clone(), self.data_type(), &values);
+        }
         let r = range.as_usize_range();
         let data = match &self.data {
             ColumnData::Int64(v) => ColumnData::Int64(v[r].to_vec()),
@@ -350,11 +475,12 @@ impl Column {
                     bytes: bytes[r.start * w..r.end * w].to_vec(),
                 }
             }
+            ColumnData::Paged(_) => unreachable!("materialized above"),
         };
-        Column {
+        Ok(Column {
             name: self.name.clone(),
             data,
-        }
+        })
     }
 
     /// Iterate over all values (allocates per string row only).
@@ -480,17 +606,17 @@ mod tests {
     #[test]
     fn strided_sample_every_other_row() {
         let c = int_col();
-        let s = c.strided_sample(2);
+        let s = c.strided_sample(2).unwrap();
         assert_eq!(s.len(), 5);
         assert_eq!(s.get(RowId(2)).unwrap(), Value::Int(4));
         // step 0 behaves as step 1
-        assert_eq!(c.strided_sample(0).len(), 10);
+        assert_eq!(c.strided_sample(0).unwrap().len(), 10);
     }
 
     #[test]
     fn strided_sample_strings() {
         let c = Column::from_strings("s", 4, &["a", "b", "c", "d", "e"]).unwrap();
-        let s = c.strided_sample(2);
+        let s = c.strided_sample(2).unwrap();
         assert_eq!(s.len(), 3);
         assert_eq!(s.get(RowId(1)).unwrap(), Value::Str("c".into()));
     }
@@ -498,11 +624,11 @@ mod tests {
     #[test]
     fn project_range_copies_rows() {
         let c = int_col();
-        let p = c.project_range(RowRange::new(3, 6));
+        let p = c.project_range(RowRange::new(3, 6)).unwrap();
         assert_eq!(p.len(), 3);
         assert_eq!(p.get(RowId(0)).unwrap(), Value::Int(3));
         let s = Column::from_strings("s", 4, &["a", "b", "c"]).unwrap();
-        let sp = s.project_range(RowRange::new(1, 3));
+        let sp = s.project_range(RowRange::new(1, 3)).unwrap();
         assert_eq!(sp.get(RowId(0)).unwrap(), Value::Str("b".into()));
     }
 

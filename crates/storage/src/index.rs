@@ -50,6 +50,38 @@ impl ZoneMapIndex {
         })
     }
 
+    /// Rebuild a zone map from its persisted parts (inverse of
+    /// [`zones`](ZoneMapIndex::zones) + the geometry accessors). The zone
+    /// count must match the geometry.
+    pub fn from_parts(
+        block_rows: u64,
+        column_len: u64,
+        zones: Vec<(f64, f64)>,
+    ) -> Result<ZoneMapIndex> {
+        let block_rows = block_rows.max(1);
+        if zones.len() as u64 != column_len.div_ceil(block_rows) {
+            return Err(DbTouchError::Corrupt(format!(
+                "zone map claims {} blocks for {column_len} rows of {block_rows}",
+                zones.len()
+            )));
+        }
+        Ok(ZoneMapIndex {
+            block_rows,
+            column_len,
+            zones,
+        })
+    }
+
+    /// The `(min, max)` pairs of every block, in block order.
+    pub fn zones(&self) -> &[(f64, f64)] {
+        &self.zones
+    }
+
+    /// Rows covered by the index (the indexed column's length).
+    pub fn column_len(&self) -> u64 {
+        self.column_len
+    }
+
     /// Rows per block.
     pub fn block_rows(&self) -> u64 {
         self.block_rows

@@ -20,6 +20,11 @@
 //! * A **shared cross-session result cache** of summary-window aggregates,
 //!   keyed by immutable-object identity so catalog restructures invalidate
 //!   naturally. See [`shared_cache`].
+//! * **Persistent paged storage** — a fixed-size-page on-disk column format
+//!   with checksummed page headers ([`page`]), a bounded buffer pool that
+//!   faults pages on first touch ([`pager`]), and an append-then-atomic-rename
+//!   manifest protocol that keeps a catalog directory recoverable to its last
+//!   published epoch ([`persist`]).
 //! * **Per-sample-level indexing** (zone maps) so that a slide over an indexed
 //!   column becomes the equivalent of an index scan. See [`index`].
 //!
@@ -31,6 +36,9 @@ pub mod column;
 pub mod index;
 pub mod layout;
 pub mod matrix;
+pub mod page;
+pub mod pager;
+pub mod persist;
 pub mod prefetch;
 pub mod rotation;
 pub mod sample;
@@ -43,6 +51,9 @@ pub use column::Column;
 pub use index::ZoneMapIndex;
 pub use layout::Layout;
 pub use matrix::Matrix;
+pub use page::DEFAULT_PAGE_SIZE;
+pub use pager::{ColumnExtent, PagedColumn, Pager, PagerStats};
+pub use persist::{CatalogStore, ObjectRecord, StoreManifest};
 pub use prefetch::{PrefetchStats, Prefetcher};
 pub use rotation::RotationTask;
 pub use sample::SampleHierarchy;

@@ -238,7 +238,10 @@ impl Matrix {
         let range = range.clamp_to(self.row_count);
         match &self.data {
             MatrixData::Columns(cols) => {
-                let projected: Vec<Column> = cols.iter().map(|c| c.project_range(range)).collect();
+                let projected: Vec<Column> = cols
+                    .iter()
+                    .map(|c| c.project_range(range))
+                    .collect::<Result<_>>()?;
                 Ok(Matrix {
                     name: self.name.clone(),
                     schema: self.schema.clone(),

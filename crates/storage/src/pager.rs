@@ -1,0 +1,679 @@
+//! The pager: a single append-only page file plus a bounded buffer pool.
+//!
+//! A persistent catalog directory stores all column data in one page file
+//! (`pages.dat`). Pages are never overwritten once referenced by a published
+//! manifest — writers only append — so a crash mid-persist leaves every
+//! previously published epoch intact and the tail garbage is simply ignored
+//! (see `crate::persist` for the manifest protocol built on top).
+//!
+//! Reads go through a [`Pager`]: a small buffer pool of verified page
+//! payloads with second-chance (CLOCK) eviction. The pool is the knob that
+//! lets a catalog larger than RAM stream under exploration — a touched region
+//! faults its pages in, cold regions get evicted, and memory stays bounded by
+//! `pool_pages * page_size` no matter how large the page file is.
+//!
+//! [`PagedColumn`] is the reader the in-memory [`Column`](crate::column)
+//! wraps after a catalog is reopened from disk: same accessors, same value
+//! encoding, same fold order — results are bit-identical to the in-memory
+//! column it was persisted from — but rows fault through the pool on first
+//! touch instead of living in a `Vec`.
+
+use crate::page::{
+    encode_page, payload_capacity, rows_per_page, verify_page, MIN_PAGE_SIZE, PAGE_HEADER_BYTES,
+};
+use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
+use std::collections::{HashMap, VecDeque};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Map an `std::io::Error` into the workspace error type.
+pub(crate) fn io_err(op: &str, e: std::io::Error) -> DbTouchError {
+    DbTouchError::Io(format!("{op}: {e}"))
+}
+
+/// A contiguous run of pages holding one column's rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnExtent {
+    /// First page id of the run.
+    pub start_page: u64,
+    /// Number of pages in the run.
+    pub page_count: u64,
+    /// Number of rows stored.
+    pub rows: u64,
+    /// Element type (fixes the row width and therefore the page geometry).
+    pub dt: DataType,
+}
+
+/// Counters accumulated by a [`Pager`] since it was opened.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerStats {
+    /// Page reads served from the buffer pool.
+    pub pool_hits: u64,
+    /// Page reads that faulted from disk.
+    pub faults: u64,
+    /// Pages evicted to respect the pool capacity.
+    pub evictions: u64,
+}
+
+struct PoolEntry {
+    payload: Arc<Vec<u8>>,
+    /// Second-chance bit: set on every hit, cleared once by the clock hand
+    /// before the entry becomes an eviction candidate.
+    referenced: bool,
+}
+
+struct Pool {
+    capacity: usize,
+    map: HashMap<u64, PoolEntry>,
+    /// Clock order: every resident page id appears exactly once.
+    queue: VecDeque<u64>,
+    evictions: u64,
+}
+
+impl Pool {
+    fn evict_to_capacity(&mut self) {
+        while self.map.len() >= self.capacity {
+            let Some(id) = self.queue.pop_front() else {
+                return;
+            };
+            let Some(entry) = self.map.get_mut(&id) else {
+                continue;
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                self.queue.push_back(id);
+            } else {
+                self.map.remove(&id);
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// One page file plus its buffer pool. Shared (via `Arc`) by every paged
+/// column of a reopened catalog, so the pool bound is per-catalog, not
+/// per-column.
+pub struct Pager {
+    path: PathBuf,
+    page_size: usize,
+    file: Mutex<File>,
+    pool: Mutex<Pool>,
+    /// Pages currently in the file (committed or not); the id source for
+    /// appends.
+    len_pages: AtomicU64,
+    pool_hits: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl std::fmt::Debug for Pager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pager")
+            .field("path", &self.path)
+            .field("page_size", &self.page_size)
+            .field("len_pages", &self.len_pages.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pager {
+    /// Open (or create) a page file with a pool of `pool_pages` pages.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        page_size: usize,
+        pool_pages: usize,
+    ) -> Result<Pager> {
+        if page_size < MIN_PAGE_SIZE {
+            return Err(DbTouchError::InvalidConfig(format!(
+                "page_size must be at least {MIN_PAGE_SIZE} bytes"
+            )));
+        }
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| io_err("open page file", e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err("stat page file", e))?
+            .len();
+        Ok(Pager {
+            path,
+            page_size,
+            file: Mutex::new(file),
+            pool: Mutex::new(Pool {
+                capacity: pool_pages.max(1),
+                map: HashMap::new(),
+                queue: VecDeque::new(),
+                evictions: 0,
+            }),
+            len_pages: AtomicU64::new(len / page_size as u64),
+            pool_hits: AtomicU64::new(0),
+            faults: AtomicU64::new(0),
+        })
+    }
+
+    /// The page size this file was opened with.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Pages currently in the file (including any uncommitted tail).
+    pub fn len_pages(&self) -> u64 {
+        self.len_pages.load(Ordering::Acquire)
+    }
+
+    /// Buffer-pool capacity in pages.
+    pub fn pool_pages(&self) -> usize {
+        self.pool.lock().unwrap_or_else(|e| e.into_inner()).capacity
+    }
+
+    /// Pool hit/fault/eviction counters since open.
+    pub fn stats(&self) -> PagerStats {
+        let evictions = {
+            let pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+            pool.evictions
+        };
+        PagerStats {
+            pool_hits: self.pool_hits.load(Ordering::Relaxed),
+            faults: self.faults.load(Ordering::Relaxed),
+            evictions,
+        }
+    }
+
+    fn read_image(&self, page_id: u64) -> Result<Vec<u8>> {
+        let mut image = vec![0u8; self.page_size];
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.seek(SeekFrom::Start(page_id * self.page_size as u64))
+            .map_err(|e| io_err("seek page", e))?;
+        file.read_exact(&mut image).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                DbTouchError::Corrupt(format!(
+                    "page {page_id} lies beyond the end of the page file"
+                ))
+            } else {
+                io_err("read page", e)
+            }
+        })?;
+        Ok(image)
+    }
+
+    /// Read one page's payload, faulting it into the buffer pool if absent.
+    /// The payload checksum is verified on every fault; corruption surfaces
+    /// as [`DbTouchError::Corrupt`], never a panic or a silent wrong answer.
+    pub fn read_page(self: &Arc<Self>, page_id: u64) -> Result<Arc<Vec<u8>>> {
+        {
+            let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = pool.map.get_mut(&page_id) {
+                entry.referenced = true;
+                self.pool_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&entry.payload));
+            }
+        }
+        // Fault outside the pool lock so concurrent sessions faulting other
+        // pages are not serialized behind this read. Two sessions faulting
+        // the same page concurrently both read it; one insert wins.
+        let image = self.read_image(page_id)?;
+        let payload = Arc::new(verify_page(&image, page_id, self.page_size)?.to_vec());
+        self.faults.fetch_add(1, Ordering::Relaxed);
+        let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = pool.map.get_mut(&page_id) {
+            entry.referenced = true;
+            return Ok(Arc::clone(&entry.payload));
+        }
+        pool.evict_to_capacity();
+        pool.map.insert(
+            page_id,
+            PoolEntry {
+                payload: Arc::clone(&payload),
+                referenced: true,
+            },
+        );
+        pool.queue.push_back(page_id);
+        Ok(payload)
+    }
+
+    /// Append page payloads, returning the id of the first page written. The
+    /// caller is responsible for serializing appends (the persist path holds
+    /// a store-wide lock) and for [`sync`](Pager::sync)ing before publishing
+    /// a manifest that references the new pages.
+    pub fn append_payloads<'a>(&self, payloads: impl IntoIterator<Item = &'a [u8]>) -> Result<u64> {
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        let first = self.len_pages.load(Ordering::Acquire);
+        file.seek(SeekFrom::Start(first * self.page_size as u64))
+            .map_err(|e| io_err("seek append", e))?;
+        let mut next = first;
+        for payload in payloads {
+            let image = encode_page(next, payload, self.page_size)?;
+            file.write_all(&image)
+                .map_err(|e| io_err("append page", e))?;
+            next += 1;
+        }
+        self.len_pages.store(next, Ordering::Release);
+        Ok(first)
+    }
+
+    /// Flush appended pages to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        let file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.sync_data().map_err(|e| io_err("sync page file", e))
+    }
+
+    /// Stream-verify every page of an extent without populating the pool:
+    /// full payload checksums, memory O(one page) regardless of extent size.
+    /// This is the exhaustive check (`fsck`); opening a catalog uses the
+    /// cheaper [`verify_extent_headers`](Pager::verify_extent_headers) and
+    /// leaves payload verification to fault time.
+    pub fn verify_extent(&self, extent: &ColumnExtent) -> Result<()> {
+        for page_id in extent.start_page..extent.start_page + extent.page_count {
+            let image = self.read_image(page_id)?;
+            verify_page(&image, page_id, self.page_size)?;
+        }
+        Ok(())
+    }
+
+    /// Verify only the headers of an extent's pages: magic, stored page id
+    /// and payload-length sanity. Reads `PAGE_HEADER_BYTES` per page instead
+    /// of whole pages, so open-time validation of a large catalog stays
+    /// cheap; payload checksums are still verified lazily on every fault.
+    pub fn verify_extent_headers(&self, extent: &ColumnExtent) -> Result<()> {
+        let mut header = [0u8; PAGE_HEADER_BYTES];
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        for page_id in extent.start_page..extent.start_page + extent.page_count {
+            file.seek(SeekFrom::Start(page_id * self.page_size as u64))
+                .map_err(|e| io_err("seek page header", e))?;
+            file.read_exact(&mut header).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    DbTouchError::Corrupt(format!(
+                        "page {page_id} lies beyond the end of the page file"
+                    ))
+                } else {
+                    io_err("read page header", e)
+                }
+            })?;
+            let decoded = crate::page::PageHeader::decode(&header, self.page_size)?;
+            if decoded.page_id != page_id {
+                return Err(DbTouchError::Corrupt(format!(
+                    "page id mismatch: expected {page_id}, found {}",
+                    decoded.page_id
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A column whose rows live in a contiguous page extent and fault through a
+/// shared [`Pager`] on first touch.
+#[derive(Clone)]
+pub struct PagedColumn {
+    pager: Arc<Pager>,
+    extent: ColumnExtent,
+    /// Rows per page, precomputed from the page size and row width.
+    rows_per_page: u64,
+}
+
+impl std::fmt::Debug for PagedColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagedColumn")
+            .field("extent", &self.extent)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PagedColumn {
+    /// Wrap an extent of `pager` as a readable column. Validates the page
+    /// geometry implied by the extent's type and row count.
+    pub fn new(pager: Arc<Pager>, extent: ColumnExtent) -> Result<PagedColumn> {
+        let width = extent.dt.width_bytes();
+        let rpp = rows_per_page(pager.page_size(), width);
+        if extent.rows > 0 {
+            if rpp == 0 {
+                return Err(DbTouchError::InvalidConfig(format!(
+                    "row width {width} does not fit the {}-byte page payload",
+                    payload_capacity(pager.page_size())
+                )));
+            }
+            let needed = extent.rows.div_ceil(rpp);
+            if needed != extent.page_count {
+                return Err(DbTouchError::Corrupt(format!(
+                    "extent claims {} pages for {} rows ({} expected)",
+                    extent.page_count, extent.rows, needed
+                )));
+            }
+        } else if extent.page_count != 0 {
+            return Err(DbTouchError::Corrupt(
+                "extent claims pages for an empty column".into(),
+            ));
+        }
+        Ok(PagedColumn {
+            pager,
+            extent,
+            rows_per_page: rpp,
+        })
+    }
+
+    /// The extent this column reads.
+    pub fn extent(&self) -> ColumnExtent {
+        self.extent
+    }
+
+    /// Element type.
+    pub fn data_type(&self) -> DataType {
+        self.extent.dt
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u64 {
+        self.extent.rows
+    }
+
+    fn check_row(&self, row: RowId) -> Result<()> {
+        if row.0 >= self.extent.rows {
+            return Err(DbTouchError::RowOutOfBounds {
+                row: row.0,
+                len: self.extent.rows,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fault the page containing `row` and return `(payload, byte offset of
+    /// the row within it)`.
+    fn page_for_row(&self, row: u64) -> Result<(Arc<Vec<u8>>, usize)> {
+        let width = self.extent.dt.width_bytes();
+        let page_idx = row / self.rows_per_page;
+        let offset = (row % self.rows_per_page) as usize * width;
+        let payload = self.pager.read_page(self.extent.start_page + page_idx)?;
+        if offset + width > payload.len() {
+            return Err(DbTouchError::Corrupt(format!(
+                "row {row} points past the payload of page {}",
+                self.extent.start_page + page_idx
+            )));
+        }
+        Ok((payload, offset))
+    }
+
+    /// The value at `row`, decoded exactly as the in-memory column (and the
+    /// row-major matrix) decode it.
+    pub fn value_at(&self, row: RowId) -> Result<Value> {
+        self.check_row(row)?;
+        let width = self.extent.dt.width_bytes();
+        let (payload, offset) = self.page_for_row(row.0)?;
+        Value::decode(&payload[offset..offset + width], self.extent.dt)
+    }
+
+    /// Fast numeric accessor mirroring `Column::f64_at`.
+    pub fn f64_at(&self, row: RowId) -> Result<f64> {
+        self.check_row(row)?;
+        match self.extent.dt {
+            DataType::Int64 | DataType::TimestampMillis => {
+                let (payload, offset) = self.page_for_row(row.0)?;
+                Ok(i64::from_le_bytes(payload[offset..offset + 8].try_into().unwrap()) as f64)
+            }
+            DataType::Float64 => {
+                let (payload, offset) = self.page_for_row(row.0)?;
+                Ok(f64::from_le_bytes(
+                    payload[offset..offset + 8].try_into().unwrap(),
+                ))
+            }
+            dt => Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: dt.name(),
+            }),
+        }
+    }
+
+    /// `(count, sum, min, max)` over `range`, folding rows in ascending order
+    /// — the identical accumulation order (and therefore identical floating
+    /// point result) as the in-memory column's `numeric_range_stats`.
+    pub fn numeric_range_stats(
+        &self,
+        range: RowRange,
+    ) -> Result<(u64, f64, Option<f64>, Option<f64>)> {
+        if !self.extent.dt.is_numeric() {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: self.extent.dt.name(),
+            });
+        }
+        let range = range.clamp_to(self.extent.rows);
+        let mut count = 0u64;
+        let mut sum = 0.0;
+        let mut min: Option<f64> = None;
+        let mut max: Option<f64> = None;
+        let mut row = range.start;
+        while row < range.end {
+            let (payload, offset) = self.page_for_row(row)?;
+            // Rows of this page inside the range.
+            let page_remaining = self.rows_per_page - (row % self.rows_per_page);
+            let take = page_remaining.min(range.end - row);
+            let integer = self.extent.dt.is_integer();
+            for i in 0..take as usize {
+                let at = offset + i * 8;
+                let bits: [u8; 8] = payload[at..at + 8].try_into().unwrap();
+                let x = if integer {
+                    i64::from_le_bytes(bits) as f64
+                } else {
+                    f64::from_le_bytes(bits)
+                };
+                count += 1;
+                sum += x;
+                min = Some(min.map_or(x, |m| m.min(x)));
+                max = Some(max.map_or(x, |m| m.max(x)));
+            }
+            row += take;
+        }
+        Ok((count, sum, min, max))
+    }
+
+    /// The raw payload of every page of the extent, in order (used when a
+    /// paged column is re-persisted into a different store).
+    pub fn page_payloads(&self) -> impl Iterator<Item = Result<Arc<Vec<u8>>>> + '_ {
+        (self.extent.start_page..self.extent.start_page + self.extent.page_count)
+            .map(move |id| self.pager.read_page(id))
+    }
+}
+
+/// Split a column's raw row bytes into page payloads and append them,
+/// returning the extent. `rows_bytes` must be `rows * width` long.
+pub fn append_row_bytes(
+    pager: &Pager,
+    dt: DataType,
+    rows: u64,
+    row_bytes: &[u8],
+) -> Result<ColumnExtent> {
+    let width = dt.width_bytes();
+    if row_bytes.len() as u64 != rows * width as u64 {
+        return Err(DbTouchError::Internal(format!(
+            "append_row_bytes: {} bytes for {rows} rows of width {width}",
+            row_bytes.len()
+        )));
+    }
+    if rows == 0 {
+        return Ok(ColumnExtent {
+            start_page: 0,
+            page_count: 0,
+            rows: 0,
+            dt,
+        });
+    }
+    let rpp = rows_per_page(pager.page_size(), width);
+    if rpp == 0 {
+        return Err(DbTouchError::InvalidConfig(format!(
+            "row width {width} does not fit the {}-byte page payload",
+            payload_capacity(pager.page_size())
+        )));
+    }
+    let chunk = rpp as usize * width;
+    let start_page = pager.append_payloads(row_bytes.chunks(chunk))?;
+    Ok(ColumnExtent {
+        start_page,
+        page_count: rows.div_ceil(rpp),
+        rows,
+        dt,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::DEFAULT_PAGE_SIZE;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_file(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dbtouch-pager-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("pages.dat")
+    }
+
+    fn i64_bytes(values: &[i64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn append_and_read_round_trip() {
+        let path = temp_file("round-trip");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
+        let values: Vec<i64> = (0..1000).collect();
+        let extent = append_row_bytes(&pager, DataType::Int64, 1000, &i64_bytes(&values)).unwrap();
+        assert!(extent.page_count > 1);
+        let col = PagedColumn::new(Arc::clone(&pager), extent).unwrap();
+        assert_eq!(col.rows(), 1000);
+        assert_eq!(col.value_at(RowId(0)).unwrap(), Value::Int(0));
+        assert_eq!(col.value_at(RowId(999)).unwrap(), Value::Int(999));
+        assert_eq!(col.f64_at(RowId(500)).unwrap(), 500.0);
+        assert!(col.value_at(RowId(1000)).is_err());
+        let (count, sum, min, max) = col.numeric_range_stats(RowRange::new(10, 20)).unwrap();
+        assert_eq!((count, sum), (10, (10..20).sum::<i64>() as f64));
+        assert_eq!((min, max), (Some(10.0), Some(19.0)));
+    }
+
+    #[test]
+    fn pool_stays_bounded_and_counts_evictions() {
+        let path = temp_file("bounded");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 3).unwrap());
+        let values: Vec<i64> = (0..1000).collect();
+        let extent = append_row_bytes(&pager, DataType::Int64, 1000, &i64_bytes(&values)).unwrap();
+        let col = PagedColumn::new(Arc::clone(&pager), extent).unwrap();
+        // Stream the whole column twice through a 3-page pool.
+        for _ in 0..2 {
+            let (count, ..) = col.numeric_range_stats(RowRange::new(0, 1000)).unwrap();
+            assert_eq!(count, 1000);
+        }
+        let stats = pager.stats();
+        assert!(stats.evictions > 0, "a 3-page pool must evict: {stats:?}");
+        let resident = {
+            let pool = pager.pool.lock().unwrap();
+            pool.map.len()
+        };
+        assert!(resident <= 3, "pool exceeded capacity: {resident}");
+    }
+
+    #[test]
+    fn repeated_reads_hit_the_pool() {
+        let path = temp_file("hits");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 64).unwrap());
+        let extent = append_row_bytes(
+            &pager,
+            DataType::Int64,
+            100,
+            &i64_bytes(&(0..100).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        let col = PagedColumn::new(Arc::clone(&pager), extent).unwrap();
+        for _ in 0..10 {
+            col.value_at(RowId(5)).unwrap();
+        }
+        let stats = pager.stats();
+        assert_eq!(stats.faults, 1);
+        assert!(stats.pool_hits >= 9);
+    }
+
+    #[test]
+    fn corruption_surfaces_as_error_not_panic() {
+        let path = temp_file("corrupt");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
+        let extent = append_row_bytes(
+            &pager,
+            DataType::Int64,
+            100,
+            &i64_bytes(&(0..100).collect::<Vec<_>>()),
+        )
+        .unwrap();
+        pager.sync().unwrap();
+        drop(pager);
+        // Flip a payload byte of the second page.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[256 + PAGE_HEADER_BYTES + 4] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
+        let col = PagedColumn::new(Arc::clone(&pager), extent).unwrap();
+        // First page still reads fine; the corrupted one errors.
+        assert!(col.value_at(RowId(0)).is_ok());
+        let first_bad = RowId(col.rows_per_page);
+        assert!(matches!(
+            col.value_at(first_bad),
+            Err(DbTouchError::Corrupt(_))
+        ));
+        assert!(pager.verify_extent(&extent).is_err());
+    }
+
+    #[test]
+    fn reads_beyond_eof_are_corrupt_errors() {
+        let path = temp_file("eof");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
+        let bogus = ColumnExtent {
+            start_page: 10,
+            page_count: 1,
+            rows: 4,
+            dt: DataType::Int64,
+        };
+        assert!(matches!(
+            pager.verify_extent(&bogus),
+            Err(DbTouchError::Corrupt(_))
+        ));
+        let col = PagedColumn::new(Arc::clone(&pager), bogus).unwrap();
+        assert!(col.value_at(RowId(0)).is_err());
+    }
+
+    #[test]
+    fn empty_and_oversized_extents_validated() {
+        let path = temp_file("validate");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
+        let empty = append_row_bytes(&pager, DataType::Int64, 0, &[]).unwrap();
+        assert_eq!(empty.page_count, 0);
+        let col = PagedColumn::new(Arc::clone(&pager), empty).unwrap();
+        assert_eq!(col.rows(), 0);
+        assert!(col.value_at(RowId(0)).is_err());
+        // A fixed string wider than the payload cannot be paged.
+        assert!(append_row_bytes(&pager, DataType::FixedStr(300), 1, &[0u8; 300]).is_err());
+        // Page-count/row mismatches are rejected.
+        let lying = ColumnExtent {
+            start_page: 0,
+            page_count: 99,
+            rows: 4,
+            dt: DataType::Int64,
+        };
+        assert!(PagedColumn::new(Arc::clone(&pager), lying).is_err());
+        assert!(Pager::open_or_create(path.with_extension("tiny"), 8, 4).is_err());
+    }
+
+    #[test]
+    fn default_page_size_is_sane() {
+        const { assert!(DEFAULT_PAGE_SIZE >= MIN_PAGE_SIZE) };
+        assert_eq!(rows_per_page(DEFAULT_PAGE_SIZE, 8), 1021);
+    }
+}

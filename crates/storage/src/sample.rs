@@ -25,7 +25,7 @@ use serde::{Deserialize, Serialize};
 /// use dbtouch_storage::sample::SampleHierarchy;
 /// use dbtouch_types::RowId;
 ///
-/// let hierarchy = SampleHierarchy::build(Column::from_i64("c", (0..1024).collect()), 6);
+/// let hierarchy = SampleHierarchy::build(Column::from_i64("c", (0..1024).collect()), 6).unwrap();
 /// // A gesture expected to skip ~16 base rows per touch reads level 4.
 /// let level = hierarchy.level_for_stride(16);
 /// assert_eq!(level, 4);
@@ -42,21 +42,48 @@ pub struct SampleHierarchy {
 impl SampleHierarchy {
     /// Build a hierarchy with `level_count` levels (including the base level).
     /// `level_count` is clamped to at least 1; levels whose stride exceeds the
-    /// column length are not materialized.
-    pub fn build(base: Column, level_count: u8) -> SampleHierarchy {
+    /// column length are not materialized. Errors only when the base is a
+    /// paged-backed column whose pages fail to read.
+    pub fn build(base: Column, level_count: u8) -> Result<SampleHierarchy> {
         let level_count = level_count.max(1);
-        let mut levels = Vec::with_capacity(level_count as usize);
         let base_len = base.len();
+        // Stride a paged base from one in-memory copy: striding the paged
+        // column directly would stream the whole column through the buffer
+        // pool once per level. The copy is transient (dropped after build);
+        // level 0 keeps the paged reader so the hierarchy itself stays lazy.
+        let materialized = base
+            .paged_extent()
+            .is_some()
+            .then(|| base.materialized())
+            .transpose()?;
+        let mut levels = Vec::with_capacity(level_count as usize);
         levels.push(base);
         for level in 1..level_count {
             let stride = 1u64 << level;
             if stride >= base_len.max(1) {
                 break;
             }
-            let sampled = levels[0].strided_sample(stride);
+            let sampled = materialized
+                .as_ref()
+                .unwrap_or(&levels[0])
+                .strided_sample(stride)?;
             levels.push(sampled);
         }
-        SampleHierarchy { levels }
+        Ok(SampleHierarchy { levels })
+    }
+
+    /// Rebuild a hierarchy from already-materialized levels (the persistent
+    /// catalog stores each level as its own paged column, so reopening a
+    /// catalog does not re-stride the base data). `levels[0]` must be the
+    /// base column; the caller is responsible for the levels actually being
+    /// `2^i`-strided samples of it.
+    pub fn from_levels(levels: Vec<Column>) -> Result<SampleHierarchy> {
+        if levels.is_empty() {
+            return Err(DbTouchError::Corrupt(
+                "a sample hierarchy needs at least its base level".into(),
+            ));
+        }
+        Ok(SampleHierarchy { levels })
     }
 
     /// Number of levels actually materialized (>= 1).
@@ -138,7 +165,7 @@ mod tests {
     use dbtouch_types::Value;
 
     fn hierarchy() -> SampleHierarchy {
-        SampleHierarchy::build(Column::from_i64("c", (0..1000).collect()), 6)
+        SampleHierarchy::build(Column::from_i64("c", (0..1000).collect()), 6).unwrap()
     }
 
     #[test]
@@ -162,21 +189,21 @@ mod tests {
 
     #[test]
     fn small_columns_do_not_materialize_useless_levels() {
-        let h = SampleHierarchy::build(Column::from_i64("c", (0..4).collect()), 8);
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..4).collect()), 8).unwrap();
         // strides 1, 2 are useful; stride 4 >= len so not materialized
         assert_eq!(h.level_count(), 2);
     }
 
     #[test]
     fn empty_column_has_single_level() {
-        let h = SampleHierarchy::build(Column::from_i64("c", vec![]), 4);
+        let h = SampleHierarchy::build(Column::from_i64("c", vec![]), 4).unwrap();
         assert_eq!(h.level_count(), 1);
         assert_eq!(h.base_len(), 0);
     }
 
     #[test]
     fn zero_level_count_clamped() {
-        let h = SampleHierarchy::build(Column::from_i64("c", (0..10).collect()), 0);
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..10).collect()), 0).unwrap();
         assert_eq!(h.level_count(), 1);
     }
 

@@ -73,6 +73,17 @@ pub struct KernelConfig {
     /// Capacity of the shared result cache in entries (ignored when
     /// `shared_cache_enabled` is `false`).
     pub shared_cache_capacity: usize,
+
+    /// Page size in bytes used when *creating* a persistent catalog store
+    /// (an existing store is always opened with the page size recorded in
+    /// its manifest).
+    pub page_size_bytes: usize,
+
+    /// Capacity of the persistent store's buffer pool, in pages. This bounds
+    /// the memory resident for paged-backed catalogs: a reopened catalog
+    /// larger than `buffer_pool_pages * page_size` streams under exploration
+    /// instead of loading fully.
+    pub buffer_pool_pages: usize,
 }
 
 impl Default for KernelConfig {
@@ -93,6 +104,8 @@ impl Default for KernelConfig {
             cache_enabled: true,
             shared_cache_enabled: true,
             shared_cache_capacity: 1 << 16,
+            page_size_bytes: 8192,
+            buffer_pool_pages: 4096,
         }
     }
 }
@@ -129,6 +142,18 @@ impl KernelConfig {
         if self.shared_cache_enabled && self.shared_cache_capacity == 0 {
             return Err(DbTouchError::InvalidConfig(
                 "shared_cache_capacity must be > 0 when the shared cache is enabled".into(),
+            ));
+        }
+        // 32 bytes = page header + one widest (8-byte) numeric row; the
+        // storage layer re-validates against its exact header size.
+        if self.page_size_bytes < 32 {
+            return Err(DbTouchError::InvalidConfig(
+                "page_size_bytes must be at least 32".into(),
+            ));
+        }
+        if self.buffer_pool_pages == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "buffer_pool_pages must be > 0".into(),
             ));
         }
         Ok(())
@@ -196,6 +221,20 @@ impl KernelConfig {
     /// Builder-style toggle for the shared cross-session result cache.
     pub fn with_shared_cache(mut self, on: bool) -> Self {
         self.shared_cache_enabled = on;
+        self
+    }
+
+    /// Builder-style setter for the persistent store's buffer-pool capacity
+    /// (in pages).
+    pub fn with_buffer_pool_pages(mut self, pages: usize) -> Self {
+        self.buffer_pool_pages = pages;
+        self
+    }
+
+    /// Builder-style setter for the page size used when creating a
+    /// persistent catalog store.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        self.page_size_bytes = bytes;
         self
     }
 }

@@ -37,6 +37,13 @@ pub enum DbTouchError {
     InvalidPlan(String),
     /// Parsing a baseline query failed.
     ParseError(String),
+    /// A filesystem operation of the persistent catalog store failed. Carries
+    /// the operation and the rendered `std::io::Error` (kept as a string so
+    /// the error type stays `Clone + PartialEq`).
+    Io(String),
+    /// Persisted data failed validation: a page checksum mismatched, a
+    /// manifest was malformed, or an extent pointed outside the page file.
+    Corrupt(String),
     /// An internal invariant was violated; indicates a bug in this library.
     Internal(String),
 }
@@ -66,6 +73,8 @@ impl fmt::Display for DbTouchError {
             DbTouchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             DbTouchError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             DbTouchError::ParseError(msg) => write!(f, "parse error: {msg}"),
+            DbTouchError::Io(msg) => write!(f, "io error: {msg}"),
+            DbTouchError::Corrupt(msg) => write!(f, "corrupt catalog store: {msg}"),
             DbTouchError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

@@ -1,12 +1,15 @@
-//! A small self-contained JSON reader/writer for gesture traces.
+//! A small self-contained JSON reader/writer shared by the workspace.
 //!
-//! The experiment harnesses serialize traces so every figure can be
-//! regenerated from the exact same input. The build environment is offline, so
-//! instead of `serde_json` the trace codec uses this dependency-free module: a
+//! The gesture-trace codec, the persistent catalog manifest and the benchmark
+//! result files all serialize structured data. The build environment is
+//! offline, so instead of `serde_json` they use this dependency-free module: a
 //! standard recursive-descent parser into a [`Json`] value tree plus a
 //! pretty-printer. It covers the full JSON grammar (objects, arrays, strings
-//! with escapes, numbers, booleans, null), not just the trace schema, so the
-//! trace format can evolve without touching the parser.
+//! with escapes, numbers, booleans, null), not just one schema, so every
+//! format built on it can evolve without touching the parser. Numbers are held
+//! as `f64`; `f64` values round-trip exactly (Rust's shortest-representation
+//! `Display`), and integers are exact up to 2^53 — every producer in this
+//! workspace stays within that range.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -26,6 +29,18 @@ pub enum Json {
     Array(Vec<Json>),
     /// An object. Keys are sorted (BTreeMap) so output is deterministic.
     Object(BTreeMap<String, Json>),
+}
+
+/// Build a [`Json::Object`] from `(key, value)` pairs. Keys end up sorted
+/// (BTreeMap), so rendering is deterministic — manifests and bench artifacts
+/// are byte-stable for identical contents.
+pub fn object<K: Into<String>>(entries: impl IntoIterator<Item = (K, Json)>) -> Json {
+    Json::Object(
+        entries
+            .into_iter()
+            .map(|(k, v)| (k.into(), v))
+            .collect::<BTreeMap<_, _>>(),
+    )
 }
 
 impl Json {

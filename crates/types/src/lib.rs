@@ -13,6 +13,7 @@ pub mod config;
 pub mod datatype;
 pub mod error;
 pub mod geometry;
+pub mod json;
 pub mod rowid;
 pub mod time;
 pub mod value;

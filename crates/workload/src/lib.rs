@@ -26,12 +26,16 @@
 //! * [`churn`] — the live-restructure scenario: the same explorers while
 //!   mutator threads continuously drag columns out of (and back into) a
 //!   churn table, exercising the epoch-versioned catalog under write load.
+//! * [`persistence`] — the durability round trip: build a catalog, serve
+//!   concurrent sessions, persist, reopen (in a fresh process) and replay
+//!   the same seeded workload to bit-identical digests from paged storage.
 
 pub mod churn;
 pub mod concurrent;
 pub mod datagen;
 pub mod explorer;
 pub mod patterns;
+pub mod persistence;
 pub mod scenarios;
 
 pub use churn::{churn_catalog, run_concurrent_with_churn, ChurnOutcome, MAX_CHURN_MUTATORS};
@@ -42,4 +46,7 @@ pub use concurrent::{
 pub use datagen::DataGenerator;
 pub use explorer::{DbTouchExplorer, DiscoveryReport, SqlExplorer, UnsteeredExplorer};
 pub use patterns::{Pattern, PatternKind};
+pub use persistence::{
+    build_and_persist, replay_persisted, ReplayOutcome, RoundTripRecord, RoundTripSpec,
+};
 pub use scenarios::Scenario;

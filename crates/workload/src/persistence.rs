@@ -1,0 +1,263 @@
+//! Persistence round-trip workload: build → persist → reopen → replay.
+//!
+//! The durability gate of the persistent catalog is *result transparency
+//! across a restart*: a catalog persisted after serving concurrent sessions
+//! must, when reopened (ideally in a fresh process), replay the exact same
+//! seeded workload to bit-identical result digests — every row now faulting
+//! through the paged store instead of living in memory.
+//!
+//! This module packages that check so the CI smoke, the integration tests
+//! and the benches share one harness, reusing the digest verification of
+//! [`crate::concurrent`]:
+//!
+//! * [`build_and_persist`] loads a seeded scenario, drives `sessions`
+//!   concurrent explorers through the exploration server, persists the
+//!   catalog into `dir` and records the expected digests (plus everything
+//!   needed to re-plan the workload) in `expected.json` inside `dir`.
+//! * [`replay_persisted`] — typically in a *different process* — reopens the
+//!   directory, re-plans the same seeded workload against the reopened
+//!   catalog, drives it concurrently again and compares digests.
+
+use crate::concurrent::{plan_explorers, run_concurrent};
+use crate::scenarios::Scenario;
+use dbtouch_core::catalog::SharedCatalog;
+use dbtouch_server::ServerConfig;
+use dbtouch_types::json::{self, Json};
+use dbtouch_types::{DbTouchError, KernelConfig, Result, SizeCm};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Parameters of one round-trip workload; persisted alongside the catalog so
+/// the replaying process reconstructs the identical plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTripSpec {
+    /// Rows of the sky-survey scenario column.
+    pub rows: usize,
+    /// Concurrent explorer sessions.
+    pub sessions: usize,
+    /// Gesture traces per session.
+    pub traces_per_session: usize,
+    /// Seed of both the scenario data and the explorer plans.
+    pub seed: u64,
+}
+
+/// What `build_and_persist` recorded and `replay_persisted` must reproduce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundTripRecord {
+    /// The workload parameters.
+    pub spec: RoundTripSpec,
+    /// Catalog epoch that was persisted.
+    pub epoch: u64,
+    /// Per-session result digests of the pre-persist concurrent run.
+    pub digests: Vec<u64>,
+}
+
+/// File inside the catalog directory holding the expected digests.
+pub const EXPECTED_FILE: &str = "expected.json";
+
+fn record_to_json(record: &RoundTripRecord) -> Json {
+    json::object([
+        ("rows", Json::Number(record.spec.rows as f64)),
+        ("sessions", Json::Number(record.spec.sessions as f64)),
+        (
+            "traces_per_session",
+            Json::Number(record.spec.traces_per_session as f64),
+        ),
+        // Seeds and digests are full-width u64: store as hex strings, not
+        // JSON numbers (f64 would round above 2^53).
+        ("seed", Json::String(format!("{:016x}", record.spec.seed))),
+        ("epoch", Json::Number(record.epoch as f64)),
+        (
+            "digests",
+            Json::Array(
+                record
+                    .digests
+                    .iter()
+                    .map(|d| Json::String(format!("{d:016x}")))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn record_from_json(j: &Json) -> Result<RoundTripRecord> {
+    let bad = |what: &str| DbTouchError::Corrupt(format!("expected.json: bad {what}"));
+    let u64_of = |key: &str| j.get(key).and_then(Json::as_u64).ok_or_else(|| bad(key));
+    let hex = |v: &Json| -> Result<u64> {
+        v.as_str()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| bad("hex digest"))
+    };
+    Ok(RoundTripRecord {
+        spec: RoundTripSpec {
+            rows: u64_of("rows")? as usize,
+            sessions: u64_of("sessions")? as usize,
+            traces_per_session: u64_of("traces_per_session")? as usize,
+            seed: hex(j.get("seed").ok_or_else(|| bad("seed"))?)?,
+        },
+        epoch: u64_of("epoch")?,
+        digests: j
+            .get("digests")
+            .and_then(Json::as_array)
+            .ok_or_else(|| bad("digests"))?
+            .iter()
+            .map(hex)
+            .collect::<Result<Vec<_>>>()?,
+    })
+}
+
+/// Build a seeded catalog, drive the concurrent workload, persist into `dir`
+/// and record the expected digests there. Returns the record written.
+pub fn build_and_persist(
+    dir: impl AsRef<Path>,
+    spec: &RoundTripSpec,
+    config: KernelConfig,
+    server: ServerConfig,
+) -> Result<RoundTripRecord> {
+    let scenario = Scenario::sky_survey(spec.rows, spec.seed);
+    let catalog = Arc::new(SharedCatalog::new(config));
+    let object = catalog.load_column_typed(scenario.signal_column(), SizeCm::new(2.0, 12.0))?;
+    let plans = plan_explorers(
+        &catalog,
+        object,
+        spec.sessions,
+        spec.traces_per_session,
+        spec.seed,
+    )?;
+    let report = run_concurrent(&catalog, object, &plans, server)?;
+    if !report.errors().is_empty() {
+        return Err(DbTouchError::Internal(format!(
+            "round-trip build saw session errors: {:?}",
+            report.errors()
+        )));
+    }
+    let epoch = catalog.persist_to(&dir)?;
+    let record = RoundTripRecord {
+        spec: spec.clone(),
+        epoch,
+        digests: report.digests(),
+    };
+    std::fs::write(
+        dir.as_ref().join(EXPECTED_FILE),
+        record_to_json(&record).pretty(),
+    )
+    .map_err(|e| DbTouchError::Io(format!("write {EXPECTED_FILE}: {e}")))?;
+    Ok(record)
+}
+
+/// The two digest vectors a replay compares.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// What `build_and_persist` recorded.
+    pub expected: RoundTripRecord,
+    /// Epoch the reopened catalog recovered to.
+    pub reopened_epoch: u64,
+    /// Digests of the replay against the reopened catalog.
+    pub actual: Vec<u64>,
+}
+
+impl ReplayOutcome {
+    /// True when the reopened catalog recovered the persisted epoch and
+    /// every session's digest is bit-identical.
+    pub fn verified(&self) -> bool {
+        self.reopened_epoch == self.expected.epoch && self.actual == self.expected.digests
+    }
+}
+
+/// Reopen a persisted round-trip directory and replay its recorded workload,
+/// comparing digests. Run this from a fresh process to prove durability
+/// end-to-end (the CI smoke does).
+pub fn replay_persisted(
+    dir: impl AsRef<Path>,
+    config: KernelConfig,
+    server: ServerConfig,
+) -> Result<ReplayOutcome> {
+    let text = std::fs::read_to_string(dir.as_ref().join(EXPECTED_FILE))
+        .map_err(|e| DbTouchError::Io(format!("read {EXPECTED_FILE}: {e}")))?;
+    let expected = record_from_json(
+        &json::parse(&text).map_err(|e| DbTouchError::Corrupt(format!("expected.json: {e}")))?,
+    )?;
+    let catalog = Arc::new(SharedCatalog::open(&dir, config)?);
+    let reopened_epoch = catalog.epoch();
+    let scenario = Scenario::sky_survey(expected.spec.rows, expected.spec.seed);
+    let object = catalog.object_id(&scenario.name)?;
+    let plans = plan_explorers(
+        &catalog,
+        object,
+        expected.spec.sessions,
+        expected.spec.traces_per_session,
+        expected.spec.seed,
+    )?;
+    let report = run_concurrent(&catalog, object, &plans, server)?;
+    if !report.errors().is_empty() {
+        return Err(DbTouchError::Internal(format!(
+            "round-trip replay saw session errors: {:?}",
+            report.errors()
+        )));
+    }
+    Ok(ReplayOutcome {
+        expected,
+        reopened_epoch,
+        actual: report.digests(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dbtouch-workload-persist-{}-{}-{tag}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn record_json_round_trip() {
+        let record = RoundTripRecord {
+            spec: RoundTripSpec {
+                rows: 1000,
+                sessions: 8,
+                traces_per_session: 3,
+                seed: u64::MAX - 3,
+            },
+            epoch: 1,
+            digests: vec![u64::MAX, 0, 42],
+        };
+        let parsed = record_from_json(&json::parse(&record_to_json(&record).pretty()).unwrap());
+        assert_eq!(parsed.unwrap(), record);
+    }
+
+    #[test]
+    fn build_then_replay_verifies_in_process() {
+        let dir = temp_dir("in-process");
+        let spec = RoundTripSpec {
+            rows: 30_000,
+            sessions: 8,
+            traces_per_session: 2,
+            seed: 1234,
+        };
+        let record = build_and_persist(
+            &dir,
+            &spec,
+            KernelConfig::default(),
+            ServerConfig::with_workers(4),
+        )
+        .unwrap();
+        assert_eq!(record.digests.len(), 8);
+        let outcome =
+            replay_persisted(&dir, KernelConfig::default(), ServerConfig::with_workers(4)).unwrap();
+        assert!(outcome.verified(), "{outcome:?}");
+        // A smaller buffer pool changes performance, never results.
+        let tiny = KernelConfig::default().with_buffer_pool_pages(8);
+        let outcome = replay_persisted(&dir, tiny, ServerConfig::with_workers(2)).unwrap();
+        assert!(outcome.verified(), "tiny pool must not change digests");
+    }
+}

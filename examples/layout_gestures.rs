@@ -106,7 +106,7 @@ fn main() -> Result<()> {
             (0..rows).map(|i| (i % 500) as f64 / 10.0).collect(),
         ),
         8,
-    );
+    )?;
     let mut remote = RemoteStore::new(hierarchy, 4, NetworkModel::default())?;
     let coarse = remote.fetch(RowRange::new(0, 50_000), 5)?;
     let (quick, fine) = remote.fetch_progressive(RowRange::new(0, 50_000), 0)?;

@@ -224,7 +224,7 @@ fn exploration_contest_dbtouch_touches_less_data() {
 #[test]
 fn remote_split_serves_coarse_locally_and_detail_remotely() {
     let column = StorageColumn::from_i64("c", (0..100_000).collect());
-    let hierarchy = SampleHierarchy::build(column, 8);
+    let hierarchy = SampleHierarchy::build(column, 8).unwrap();
     let mut store = RemoteStore::new(hierarchy, 4, NetworkModel::default()).unwrap();
     let coarse = store.fetch(RowRange::new(0, 50_000), 6).unwrap();
     assert_eq!(coarse.served_from, ServedFrom::Local);

@@ -66,7 +66,7 @@ proptest! {
         probe in 0u64..20_000,
     ) {
         let base: Vec<i64> = (0..len as i64).map(|i| i * 3 + 1).collect();
-        let hierarchy = SampleHierarchy::build(StorageColumn::from_i64("c", base.clone()), levels);
+        let hierarchy = SampleHierarchy::build(StorageColumn::from_i64("c", base.clone()), levels).unwrap();
         for level in 0..hierarchy.level_count() {
             let col = hierarchy.level(level).unwrap();
             let stride = hierarchy.stride(level);
@@ -328,5 +328,86 @@ proptest! {
                 prop_assert_eq!(digest, after);
             }
         }
+    }
+}
+
+// Persistence properties run fewer cases: each one persists to (and reopens
+// from) a real on-disk store.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// `persist_to` → `open` is digest-transparent: any seeded trace over any
+    /// object of the reopened, paged-backed catalog produces bit-identical
+    /// results to the in-memory catalog it was persisted from — including
+    /// catalogs whose object table carries tombstones and a
+    /// `drag_column_into`-rebuilt table.
+    #[test]
+    fn persisted_catalog_replays_identical_digests(
+        rows in 512i64..4_000,
+        merge in 0u32..2,
+        duration in 0.2f64..0.8,
+        case in 0u32..u32::MAX,
+    ) {
+        let merge_back = merge == 1;
+        let dir = std::env::temp_dir().join(format!(
+            "dbtouch-props-{}-{case:08x}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let table = Table::from_columns(
+            "t",
+            vec![
+                StorageColumn::from_i64("id", (0..rows).collect()),
+                StorageColumn::from_f64("price", (0..rows).map(|i| i as f64 / 2.0).collect()),
+                StorageColumn::from_i64("qty", (0..rows).map(|i| i % 7).collect()),
+            ],
+        )
+        .unwrap();
+        let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+        catalog
+            .load_column("solo", (0..rows).map(|i| i * 3).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        // Restructure history: a dragged-out column, optionally merged back
+        // (which rebuilds the table AND leaves a permanent tombstone).
+        let qid = catalog.drag_column_out(tid, "qty", SizeCm::new(2.0, 10.0)).unwrap();
+        if merge_back {
+            catalog.drag_column_into(tid, qid).unwrap();
+        }
+
+        let digest_object = |catalog: &Arc<SharedCatalog>, name: &str| -> u64 {
+            let id = catalog.object_id(name).unwrap();
+            let data = catalog.data(id).unwrap();
+            let trace = GestureSynthesizer::new(60.0).slide_down(data.base_view(), duration);
+            let action = if data.schema().len() > 1 {
+                TouchAction::Tuple
+            } else {
+                TouchAction::Summary { half_window: Some(9), kind: AggregateKind::Avg }
+            };
+            let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+            kernel.set_action(id, action).unwrap();
+            let outcome = kernel.run_trace(id, &trace).unwrap();
+            digest_outcomes([TraceOutcome { object: id, outcome }].iter())
+        };
+
+        let names = catalog.names();
+        let expected: Vec<u64> = names.iter().map(|n| digest_object(&catalog, n)).collect();
+        let epoch = catalog.persist_to(&dir).unwrap();
+
+        let reopened = Arc::new(SharedCatalog::open(&dir, KernelConfig::default()).unwrap());
+        prop_assert_eq!(reopened.epoch(), epoch);
+        prop_assert_eq!(reopened.names(), names.clone());
+        // Tombstones must survive the round trip.
+        prop_assert_eq!(reopened.snapshot().slot_count(), catalog.snapshot().slot_count());
+        if merge_back {
+            prop_assert!(reopened.checkout(qid).is_err(), "tombstoned id must stay dead");
+        }
+        for (name, expected) in names.iter().zip(expected) {
+            let actual = digest_object(&reopened, name);
+            prop_assert!(actual == expected, "digest diverged for {name}");
+        }
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
