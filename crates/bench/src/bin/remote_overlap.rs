@@ -1,0 +1,98 @@
+//! Remote-overlap binary: overlapped vs. blocking device/cloud fetches at
+//! the default WAN model (40ms round trip), digest-verified against the
+//! all-local sequential replay at every point.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin remote_overlap [rows] [traces_per_session] [max_sessions]
+//! ```
+//!
+//! Sweeps session counts 1, 2, 4, … up to `max_sessions` (default 32).
+//! Exits non-zero if any point fails verification or overlapped execution
+//! does not beat blocking fetches.
+
+use dbtouch_bench::remote_overlap::run_remote_overlap_sweep;
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_types::json::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(2);
+    let max_sessions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(32);
+    let mut session_counts = Vec::new();
+    let mut n = 1;
+    while n <= max_sessions {
+        session_counts.push(n);
+        n *= 2;
+    }
+    match run_remote_overlap_sweep(rows, &session_counts, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("sessions", Json::Number(p.sessions as f64)),
+                        ("mode", Json::String(p.mode.into())),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("wall_secs", Json::Number(p.wall_secs)),
+                        (
+                            "progressive_requests",
+                            Json::Number(p.progressive_requests as f64),
+                        ),
+                        ("remote_requests", Json::Number(p.remote_requests as f64)),
+                        ("rows_shipped", Json::Number(p.rows_shipped as f64)),
+                        (
+                            "remote_wait_micros",
+                            Json::Number(p.remote_wait_micros as f64),
+                        ),
+                        (
+                            "mean_refinement_latency_ms",
+                            Json::Number(p.mean_refinement_latency_ms),
+                        ),
+                        ("overlap_ratio", Json::Number(p.overlap_ratio)),
+                        ("verified", Json::Bool(p.verified)),
+                    ])
+                })
+                .collect();
+            let speedups: Vec<Json> = report
+                .speedups()
+                .iter()
+                .map(|(sessions, speedup)| {
+                    json_object(vec![
+                        ("sessions", Json::Number(*sessions as f64)),
+                        ("overlapped_vs_blocking", Json::Number(*speedup)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("remote_overlap".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                (
+                    "traces_per_session",
+                    Json::Number(report.traces_per_session as f64),
+                ),
+                ("points", Json::Array(points)),
+                ("speedups", Json::Array(speedups)),
+            ]);
+            match write_bench_json("remote_overlap", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
+            if report.points.iter().any(|p| !p.verified) {
+                eprintln!("FAILED: some points were not bit-identical to the all-local replay");
+                std::process::exit(1);
+            }
+            let speedups = report.speedups();
+            if speedups.is_empty() || speedups.iter().any(|(_, s)| *s <= 1.0) {
+                eprintln!("FAILED: overlapped execution did not beat blocking fetches");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("remote_overlap failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

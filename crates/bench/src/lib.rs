@@ -20,6 +20,7 @@ pub mod cold_start;
 pub mod concurrency;
 pub mod contest;
 pub mod figures;
+pub mod remote_overlap;
 pub mod report;
 pub mod sweeps;
 
@@ -31,4 +32,5 @@ pub use cold_start::{run_cold_start_sweep, ColdStartPoint, ColdStartReport};
 pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport};
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};
+pub use remote_overlap::{run_remote_overlap_sweep, RemoteOverlapPoint, RemoteOverlapReport};
 pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};

@@ -45,6 +45,8 @@
 
 use crate::epoch::EpochCell;
 use crate::kernel::{ObjectId, TouchAction};
+use crate::remote::NetworkModel;
+use crate::remote_exec::{CompletionQueue, RemoteExecutor, RemoteTier};
 use dbtouch_gesture::view::View;
 use dbtouch_storage::cache::RegionCache;
 use dbtouch_storage::column::Column;
@@ -282,6 +284,9 @@ pub struct ObjectState {
     /// Handle to the catalog-wide cross-session result cache, `None` when the
     /// configuration disables it.
     pub(crate) shared_cache: Option<Arc<SharedResultCache>>,
+    /// The session's device/cloud tier, `None` when the configuration has no
+    /// remote split. See [`crate::remote_exec`].
+    pub(crate) remote: Option<RemoteTier>,
 }
 
 impl ObjectState {
@@ -397,6 +402,15 @@ impl ObjectState {
         let mut rebuilt = catalog.fresh_state(self.id, self.epoch, data);
         rebuilt.action = action;
         rebuilt.restructures_seen = self.restructures_seen + 1;
+        // Refinements of earlier traces are still in flight toward this
+        // session's completion queue: the rebuilt state must keep feeding it
+        // (they are identity-stamped, so nothing from the old build can ever
+        // be applied against the new one).
+        if let (Some(rebuilt_tier), Some(old_tier)) =
+            (rebuilt.remote.as_mut(), self.remote.as_ref())
+        {
+            rebuilt_tier.queue = Arc::clone(&old_tier.queue);
+        }
         *self = rebuilt;
         Ok(true)
     }
@@ -404,6 +418,23 @@ impl ObjectState {
     /// The shared cross-session result cache, when enabled.
     pub fn shared_cache(&self) -> Option<&Arc<SharedResultCache>> {
         self.shared_cache.as_ref()
+    }
+
+    /// The session's device/cloud tier, when the catalog runs with a remote
+    /// split.
+    pub fn remote_tier(&self) -> Option<&RemoteTier> {
+        self.remote.as_ref()
+    }
+
+    /// Point this state's remote refinements at a caller-owned completion
+    /// queue. The server shares one queue across all of a session's states so
+    /// its worker drains a single queue per session at event boundaries; must
+    /// be called before the state runs a trace (pending refinements already
+    /// in flight keep their original queue). No-op without a remote split.
+    pub fn set_remote_queue(&mut self, queue: Arc<CompletionQueue>) {
+        if let Some(tier) = self.remote.as_mut() {
+            tier.queue = queue;
+        }
     }
 }
 
@@ -427,6 +458,10 @@ pub struct SharedCatalog {
     /// The cross-session result cache every checkout of this catalog shares,
     /// `None` when [`KernelConfig::shared_cache_enabled`] is off.
     shared_cache: Option<Arc<SharedResultCache>>,
+    /// The remote-processing executor every checkout of this catalog shares,
+    /// `Some` only when [`KernelConfig::remote_split`] is set in overlapped
+    /// mode (blocking-mode splits pay their latency inline and need no pool).
+    remote_executor: Option<Arc<RemoteExecutor>>,
     /// The attached persistent store, when the catalog was opened from (or
     /// created in) a directory via [`SharedCatalog::open`]. Attached catalogs
     /// persist every published epoch; see `crate::persist`.
@@ -456,11 +491,23 @@ impl SharedCatalog {
         let shared_cache = config
             .shared_cache_enabled
             .then(|| Arc::new(SharedResultCache::new(config.shared_cache_capacity)));
+        let remote_executor = config
+            .remote_split
+            .as_ref()
+            .filter(|split| split.overlapped)
+            .map(|split| {
+                Arc::new(RemoteExecutor::start(
+                    split.io_threads,
+                    split.queue_depth,
+                    NetworkModel::from_split(split),
+                ))
+            });
         SharedCatalog {
             config,
             current: EpochCell::new(Arc::new(snapshot)),
             mutators: Mutex::new(()),
             shared_cache,
+            remote_executor,
             persistence,
         }
     }
@@ -478,6 +525,12 @@ impl SharedCatalog {
     /// The catalog-wide cross-session result cache, when enabled.
     pub fn shared_cache(&self) -> Option<&Arc<SharedResultCache>> {
         self.shared_cache.as_ref()
+    }
+
+    /// The remote-processing executor, when the catalog runs an overlapped
+    /// device/cloud split.
+    pub fn remote_executor(&self) -> Option<&Arc<RemoteExecutor>> {
+        self.remote_executor.as_ref()
     }
 
     /// The current catalog snapshot (wait-free). Everything read through the
@@ -556,6 +609,13 @@ impl SharedCatalog {
                 Prefetcher::disabled()
             },
             shared_cache: self.shared_cache.clone(),
+            remote: config.remote_split.as_ref().map(|split| RemoteTier {
+                local_min_level: split.local_min_level,
+                network: NetworkModel::from_split(split),
+                overlapped: split.overlapped,
+                executor: self.remote_executor.clone(),
+                queue: Arc::new(CompletionQueue::new()),
+            }),
             data,
         }
     }

@@ -351,7 +351,18 @@ impl Kernel {
     pub fn run_trace(&mut self, id: ObjectId, trace: &GestureTrace) -> Result<SessionOutcome> {
         let config = self.catalog.config().clone();
         let state = self.refresh_state(id)?;
-        Session::new(state, &config).run(trace)
+        let queue = state.remote_tier().map(|tier| Arc::clone(tier.queue()));
+        let mut outcome = Session::new(state, &config).run(trace)?;
+        // The single-user kernel treats the end of a trace as a drain
+        // barrier: remote refinements overlapped with the touches of *this*
+        // trace, and the outcome handed back is fully refined — bit-identical
+        // to the all-local configuration. (The server drains incrementally
+        // across traces instead; see `dbtouch-server`.)
+        if !outcome.pending.is_empty() {
+            let queue = queue.expect("pending refinements imply a remote tier");
+            crate::remote_exec::drain_outcome(&mut outcome, &queue)?;
+        }
+        Ok(outcome)
     }
 
     /// The catalog epoch this kernel's session over `id` last observed (at

@@ -38,6 +38,10 @@
 //!   data flow (Section 2.9, "Optimization").
 //! * [`remote`] — simulated remote/cloud processing where the device holds only
 //!   small samples (Section 4, "Remote Processing").
+//! * [`remote_exec`] — the asynchronous remote-processing executor: a bounded
+//!   I/O thread pool plus per-session completion queues that overlap
+//!   fine-level cloud fetches with touch processing, delivering progressive
+//!   answers (coarse local now, refined remote later).
 //! * [`result`] — the result stream with in-place, fading result values
 //!   (Section 2.3, "Inspecting Results").
 
@@ -52,6 +56,7 @@ pub mod optimizer;
 pub mod persist;
 pub mod prefetch_policy;
 pub mod remote;
+pub mod remote_exec;
 pub mod response;
 pub mod result;
 pub mod screen_session;
@@ -63,6 +68,10 @@ pub use epoch::EpochCell;
 pub use join_session::{JoinOutcome, JoinSession, JoinSpec};
 pub use kernel::{Kernel, ObjectId, TouchAction};
 pub use mapping::TouchMapper;
+pub use remote_exec::{
+    CompletionQueue, PendingRefinement, RefinementLedger, RemoteCompletion, RemoteExecutor,
+    RemoteTier,
+};
 pub use result::{ResultStream, TouchResult};
 pub use screen_session::{ScreenOutcome, ScreenSession};
 pub use session::{Session, SessionOutcome, SessionStats};

@@ -255,8 +255,12 @@ impl SharedCatalog {
     /// cache keys, not durable state).
     pub fn open(dir: impl AsRef<Path>, config: KernelConfig) -> Result<SharedCatalog> {
         config.validate()?;
-        let (store, manifest) =
-            CatalogStore::open(&dir, config.buffer_pool_pages, config.page_size_bytes)?;
+        let (store, manifest) = CatalogStore::open_with_retention(
+            &dir,
+            config.buffer_pool_pages,
+            config.page_size_bytes,
+            config.manifest_keep,
+        )?;
         let mut extents = HashMap::new();
         let snapshot = match &manifest {
             None => CatalogSnapshot::from_parts(0, 0, Vec::new()),
@@ -311,10 +315,11 @@ impl SharedCatalog {
                 }
             }
         }
-        let store = CatalogStore::create(
+        let store = CatalogStore::create_with_retention(
             &dir,
             self.config().page_size_bytes,
             self.config().buffer_pool_pages,
+            self.config().manifest_keep,
         )?;
         let persistence = Persistence {
             store,

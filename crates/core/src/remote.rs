@@ -40,16 +40,47 @@ pub struct RemoteFetch {
 }
 
 /// Accumulated traffic statistics.
+///
+/// The three request counters are disjoint: a progressive request (coarse
+/// local answer plus fine remote refinement for one logical ask) counts once
+/// in `progressive_requests` and in neither of the other two. All
+/// accumulation saturates, so adversarial [`NetworkModel`] values cannot wrap
+/// the counters in release builds.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RemoteStats {
-    /// Requests answered locally.
+    /// Requests answered entirely locally.
     pub local_requests: u64,
-    /// Requests that went to the server.
+    /// Requests that went to the server (and only to the server).
     pub remote_requests: u64,
+    /// Progressive requests: one coarse local answer plus one fine remote
+    /// refinement, counted once here.
+    pub progressive_requests: u64,
     /// Rows shipped from the server.
     pub rows_shipped: u64,
     /// Total simulated time spent waiting on the server, in microseconds.
     pub remote_wait_micros: u64,
+}
+
+impl RemoteStats {
+    /// Total logical requests of any kind.
+    pub fn total_requests(&self) -> u64 {
+        self.local_requests
+            .saturating_add(self.remote_requests)
+            .saturating_add(self.progressive_requests)
+    }
+
+    /// Saturating accumulation of another stats block into this one.
+    pub fn absorb(&mut self, other: &RemoteStats) {
+        self.local_requests = self.local_requests.saturating_add(other.local_requests);
+        self.remote_requests = self.remote_requests.saturating_add(other.remote_requests);
+        self.progressive_requests = self
+            .progressive_requests
+            .saturating_add(other.progressive_requests);
+        self.rows_shipped = self.rows_shipped.saturating_add(other.rows_shipped);
+        self.remote_wait_micros = self
+            .remote_wait_micros
+            .saturating_add(other.remote_wait_micros);
+    }
 }
 
 /// Network model of the simulated server link.
@@ -68,6 +99,28 @@ impl Default for NetworkModel {
             round_trip_micros: 40_000,
             rows_per_milli: 2_000,
         }
+    }
+}
+
+impl NetworkModel {
+    /// The link described by a [`dbtouch_types::RemoteSplitConfig`].
+    pub fn from_split(split: &dbtouch_types::RemoteSplitConfig) -> NetworkModel {
+        NetworkModel {
+            round_trip_micros: split.round_trip_micros,
+            rows_per_milli: split.rows_per_milli,
+        }
+    }
+
+    /// Simulated microseconds one request shipping `rows` costs: the round
+    /// trip plus the transfer time. Saturating — adversarial models (e.g.
+    /// `round_trip_micros == u64::MAX`) clamp instead of wrapping in release
+    /// builds; a zero-bandwidth link is latency-only.
+    pub fn cost_micros(&self, rows: u64) -> u64 {
+        let transfer = rows
+            .saturating_mul(1000)
+            .checked_div(self.rows_per_milli)
+            .unwrap_or(0);
+        self.round_trip_micros.saturating_add(transfer)
     }
 }
 
@@ -126,39 +179,67 @@ impl RemoteStore {
         level >= self.local_min_level
     }
 
-    /// Request `range` (in base-row coordinates) at `level`, returning where it
-    /// was served from and the simulated cost. Local requests are free in this
-    /// model (in-memory), remote requests pay a round trip plus transfer time.
-    pub fn fetch(&mut self, range: RowRange, level: u8) -> Result<RemoteFetch> {
+    /// Serve `range` at `level` without touching the request counters: the
+    /// shared cost computation of [`fetch`](RemoteStore::fetch) and
+    /// [`fetch_progressive`](RemoteStore::fetch_progressive).
+    fn serve(&self, range: RowRange, level: u8) -> Result<RemoteFetch> {
         let mapped = self.hierarchy.map_range(range, level)?;
         let rows = mapped.len();
         if self.is_local(level) {
-            self.stats.local_requests += 1;
             Ok(RemoteFetch {
                 served_from: ServedFrom::Local,
                 rows,
                 simulated_micros: 0,
             })
         } else {
-            self.stats.remote_requests += 1;
-            self.stats.rows_shipped += rows;
-            let transfer_micros = (rows * 1000)
-                .checked_div(self.network.rows_per_milli)
-                .unwrap_or(0);
-            let micros = self.network.round_trip_micros + transfer_micros;
-            self.stats.remote_wait_micros += micros;
             Ok(RemoteFetch {
                 served_from: ServedFrom::Remote,
                 rows,
-                simulated_micros: micros,
+                simulated_micros: self.network.cost_micros(rows),
             })
         }
+    }
+
+    /// Absorb a served fetch's traffic (rows and wait, not the request
+    /// counters — the caller decides which of the disjoint counters the
+    /// logical request belongs to).
+    fn charge(&mut self, fetch: &RemoteFetch) {
+        if fetch.served_from == ServedFrom::Remote {
+            self.stats.rows_shipped = self.stats.rows_shipped.saturating_add(fetch.rows);
+            self.stats.remote_wait_micros = self
+                .stats
+                .remote_wait_micros
+                .saturating_add(fetch.simulated_micros);
+        }
+    }
+
+    /// Request `range` (in base-row coordinates) at `level`, returning where it
+    /// was served from and the simulated cost. Local requests are free in this
+    /// model (in-memory), remote requests pay a round trip plus transfer time.
+    pub fn fetch(&mut self, range: RowRange, level: u8) -> Result<RemoteFetch> {
+        let fetch = self.serve(range, level)?;
+        match fetch.served_from {
+            ServedFrom::Local => {
+                self.stats.local_requests = self.stats.local_requests.saturating_add(1);
+            }
+            ServedFrom::Remote => {
+                self.stats.remote_requests = self.stats.remote_requests.saturating_add(1);
+            }
+        }
+        self.charge(&fetch);
+        Ok(fetch)
     }
 
     /// Answer a detail request the dbTouch way: first return the best local
     /// answer (coarse but instant), then the remote answer (fine but slow).
     /// Returns `(local, Option<remote>)`; the remote part is `None` when the
     /// requested level is already local.
+    ///
+    /// A progressive request counts once, in
+    /// [`RemoteStats::progressive_requests`] — its coarse and fine parts bump
+    /// neither `local_requests` nor `remote_requests`, so the three counters
+    /// partition the logical requests. (An already-local request degenerates
+    /// to a plain local fetch and is counted as one.)
     pub fn fetch_progressive(
         &mut self,
         range: RowRange,
@@ -167,8 +248,11 @@ impl RemoteStore {
         if self.is_local(requested_level) {
             return Ok((self.fetch(range, requested_level)?, None));
         }
-        let local = self.fetch(range, self.local_min_level)?;
-        let remote = self.fetch(range, requested_level)?;
+        let local = self.serve(range, self.local_min_level)?;
+        let remote = self.serve(range, requested_level)?;
+        self.stats.progressive_requests = self.stats.progressive_requests.saturating_add(1);
+        self.charge(&local);
+        self.charge(&remote);
         Ok((local, Some(remote)))
     }
 
@@ -237,6 +321,78 @@ mod tests {
         // when the requested level is already local there is no remote part
         let (_, none) = s.fetch_progressive(RowRange::new(0, 16_000), 6).unwrap();
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn progressive_requests_are_counted_once_and_unambiguously() {
+        // Regression: a progressive request used to bump both local_requests
+        // (for its coarse part) and remote_requests (for its fine part),
+        // making the counters impossible to reconcile with logical requests.
+        let mut s = store();
+        let (local, remote) = s.fetch_progressive(RowRange::new(0, 16_000), 1).unwrap();
+        let remote = remote.unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.progressive_requests, 1);
+        assert_eq!(stats.local_requests, 0);
+        assert_eq!(stats.remote_requests, 0);
+        assert_eq!(stats.total_requests(), 1);
+        // Traffic of the remote half is still accounted.
+        assert_eq!(stats.rows_shipped, remote.rows);
+        assert_eq!(stats.remote_wait_micros, remote.simulated_micros);
+        assert_eq!(local.simulated_micros, 0);
+
+        // An already-local progressive request degenerates to one local fetch.
+        s.fetch_progressive(RowRange::new(0, 16_000), 6).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.progressive_requests, 1);
+        assert_eq!(stats.local_requests, 1);
+        assert_eq!(stats.total_requests(), 2);
+
+        // A plain remote fetch stays in its own counter.
+        s.fetch(RowRange::new(0, 100), 0).unwrap();
+        let stats = s.stats();
+        assert_eq!(stats.remote_requests, 1);
+        assert_eq!(stats.total_requests(), 3);
+    }
+
+    #[test]
+    fn adversarial_network_model_saturates_instead_of_overflowing() {
+        let h = SampleHierarchy::build(Column::from_i64("c", (0..100_000).collect()), 8).unwrap();
+        let mut s = RemoteStore::new(
+            h,
+            4,
+            NetworkModel {
+                round_trip_micros: u64::MAX,
+                rows_per_milli: 1,
+            },
+        )
+        .unwrap();
+        // transfer = rows * 1000 (saturating), added to u64::MAX round trip:
+        // both the per-fetch cost and the accumulated stats must clamp.
+        let f = s.fetch(RowRange::new(0, 50_000), 0).unwrap();
+        assert_eq!(f.simulated_micros, u64::MAX);
+        let _ = s.fetch(RowRange::new(0, 50_000), 0).unwrap();
+        assert_eq!(s.stats().remote_wait_micros, u64::MAX);
+        assert_eq!(s.stats().remote_requests, 2);
+
+        // A model whose transfer product alone would overflow u64.
+        let model = NetworkModel {
+            round_trip_micros: 0,
+            rows_per_milli: 1,
+        };
+        assert_eq!(model.cost_micros(u64::MAX / 2), u64::MAX);
+
+        // RemoteStats::absorb saturates too.
+        let mut a = RemoteStats {
+            remote_wait_micros: u64::MAX - 10,
+            rows_shipped: u64::MAX,
+            ..RemoteStats::default()
+        };
+        let b = a;
+        a.absorb(&b);
+        assert_eq!(a.remote_wait_micros, u64::MAX);
+        assert_eq!(a.rows_shipped, u64::MAX);
+        assert_eq!(a.total_requests(), 0);
     }
 
     #[test]

@@ -145,6 +145,20 @@ impl ResultStream {
         &self.results
     }
 
+    /// Replace the value of the result at `index` in place — the progressive
+    /// refinement of remote processing: a provisional coarse answer already
+    /// on screen is upgraded to the fine answer without disturbing the
+    /// stream's order. Returns `false` when `index` is out of bounds.
+    pub fn set_value(&mut self, index: usize, value: Value) -> bool {
+        match self.results.get_mut(index) {
+            Some(result) => {
+                result.values = vec![value];
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The most recent result (the boldest one on screen).
     pub fn latest(&self) -> Option<&TouchResult> {
         self.results.last()

@@ -20,15 +20,22 @@ use crate::operators::aggregate::RunningAggregate;
 use crate::operators::groupby::IncrementalGroupBy;
 use crate::operators::scan::PointScan;
 use crate::prefetch_policy::PrefetchPolicy;
+use crate::remote::RemoteStats;
+use crate::remote_exec::{
+    summary_value, Contribution, PendingRefinement, RangeStats, RefinementLedger, RemoteTier,
+};
 use crate::response::ResponseBudget;
 use crate::result::{FadePolicy, ResultKind, ResultStream, TouchResult};
 use dbtouch_gesture::kinematics::GestureKinematics;
 use dbtouch_gesture::recognizer::{GestureEvent, GestureRecognizer};
 use dbtouch_gesture::trace::GestureTrace;
 use dbtouch_storage::shared_cache::{RangeAggregate, SummaryKey};
-use dbtouch_types::{KernelConfig, PointCm, Result, RowId, RowRange, Timestamp, Value};
+use dbtouch_types::{
+    DbTouchError, KernelConfig, PointCm, Result, RowId, RowRange, Timestamp, Value,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Statistics collected while a session runs.
@@ -77,6 +84,25 @@ pub struct SessionStats {
     pub shared_cache_misses: u64,
     /// Window aggregates this session inserted into the shared cache.
     pub shared_cache_inserts: u64,
+    /// Device/cloud traffic of the session's remote split (all zero without
+    /// one). Progressive requests are fine-level summaries answered coarse
+    /// locally with an asynchronous refinement; `rows_shipped` and
+    /// `remote_wait_micros` accrue when refinements land (or inline, in
+    /// blocking mode).
+    #[serde(default)]
+    pub remote: RemoteStats,
+    /// Microseconds this session actually stalled waiting for the simulated
+    /// server link (blocking-mode fetches). Overlapped sessions keep
+    /// processing — their stall, if any, happens at the owner's drain
+    /// barrier and is recorded there.
+    #[serde(default)]
+    pub remote_blocked_micros: u64,
+    /// Refinements applied to this session's outcomes so far.
+    #[serde(default)]
+    pub remote_refinements_applied: u64,
+    /// Refinements dropped because the object was rebuilt before they landed.
+    #[serde(default)]
+    pub remote_refinements_dropped: u64,
 }
 
 impl SessionStats {
@@ -96,10 +122,29 @@ pub struct SessionOutcome {
     /// Statistics about the processing.
     pub stats: SessionStats,
     /// Final value of the running aggregate, if the action maintains one.
+    /// Provisional while refinements are [`pending`](Self::pending); exact
+    /// once drained.
     pub final_aggregate: Option<f64>,
     /// Final per-group aggregates, if the action is a group-by (sorted by
     /// group value).
     pub final_groups: Vec<(Value, f64)>,
+    /// Refinements still in flight on the remote executor, in touch order.
+    /// Empty for all-local and blocking-mode sessions; drained by the
+    /// outcome's owner (see [`crate::remote_exec::drain_outcome`]).
+    #[serde(default)]
+    pub pending: Vec<PendingRefinement>,
+    /// The ordered aggregate-contribution log of an overlapped summary
+    /// session (inactive otherwise); re-folded when refinements land so the
+    /// drained aggregate is bit-identical to the all-local run.
+    #[serde(default)]
+    pub ledger: RefinementLedger,
+}
+
+impl SessionOutcome {
+    /// Whether every refinement has landed (always true for all-local runs).
+    pub fn is_drained(&self) -> bool {
+        self.pending.is_empty()
+    }
 }
 
 /// A query session over one data object.
@@ -121,6 +166,11 @@ pub struct Session<'a> {
     results: ResultStream,
     stats: SessionStats,
     last_row: Option<RowId>,
+    /// Refinements submitted to the remote executor during this run.
+    pending: Vec<PendingRefinement>,
+    /// Ordered aggregate contributions; active only for summary sessions on
+    /// an overlapped device/cloud split (see [`RefinementLedger`]).
+    ledger: RefinementLedger,
 }
 
 impl<'a> Session<'a> {
@@ -140,6 +190,16 @@ impl<'a> Session<'a> {
             // budget only needs the right order of magnitude.
             ResponseBudget::new(config.touch_budget_micros, 4.0)
         };
+        // An overlapped split defers summary-window aggregate contributions
+        // to the ledger (folded in touch order at drain) so refinements that
+        // land out of order cannot perturb the floating-point accumulation.
+        let ledger = RefinementLedger {
+            kind: match (&object.action, object.remote.as_ref()) {
+                (TouchAction::Summary { kind, .. }, Some(tier)) if tier.overlapped() => Some(*kind),
+                _ => None,
+            },
+            contribs: Vec::new(),
+        };
         Session {
             object,
             config,
@@ -156,6 +216,8 @@ impl<'a> Session<'a> {
             }),
             stats: SessionStats::default(),
             last_row: None,
+            pending: Vec::new(),
+            ledger,
         }
     }
 
@@ -172,7 +234,14 @@ impl<'a> Session<'a> {
             }
         }
         Ok(SessionOutcome {
-            final_aggregate: self.aggregate.and_then(|a| a.value()),
+            // With an active ledger the aggregate is the in-order fold of
+            // the contributions (provisional while refinements are pending —
+            // re-folded at drain); otherwise the inline running aggregate.
+            final_aggregate: if self.ledger.is_active() {
+                self.ledger.fold_value()
+            } else {
+                self.aggregate.and_then(|a| a.value())
+            },
             final_groups: self
                 .groupby
                 .as_ref()
@@ -180,6 +249,8 @@ impl<'a> Session<'a> {
                 .unwrap_or_default(),
             results: self.results,
             stats: self.stats,
+            pending: self.pending,
+            ledger: self.ledger,
         })
     }
 
@@ -425,10 +496,55 @@ impl<'a> Session<'a> {
             .entry(decision.sample_level)
             .or_insert(0) += 1;
 
+        let level_count = hierarchy.level_count();
         let column = hierarchy.level(decision.sample_level)?;
         let center = hierarchy.map_row(row, decision.sample_level)?;
         let full_window = RowRange::window(center, half_window, column.len());
         let admitted = self.budget.admit(full_window, timestamp);
+
+        // Device/cloud split: a window at a level finer than the device
+        // holds is served by the (simulated) server. Overlapped mode answers
+        // provisionally from the coarsest local level and refines
+        // asynchronously; blocking mode stalls inline for the round trip and
+        // then computes the same fine answer the all-local path would.
+        // (Empty admitted windows are all-local trivially: nothing to ship.)
+        let remote = match self.object.remote.as_ref() {
+            Some(tier)
+                if decision.sample_level < tier.effective_local_min(level_count)
+                    && !admitted.is_empty() =>
+            {
+                Some(tier.clone())
+            }
+            _ => None,
+        };
+        if let Some(tier) = remote {
+            if tier.overlapped() {
+                return self.do_summary_remote(
+                    &tier,
+                    row,
+                    attribute,
+                    fraction,
+                    timestamp,
+                    half_window,
+                    kind,
+                    decision.sample_level,
+                    admitted,
+                );
+            }
+            let micros = tier.network.cost_micros(admitted.len());
+            // Capped so an adversarial network model cannot park the session
+            // for centuries; the stats still record the uncapped cost.
+            std::thread::sleep(std::time::Duration::from_micros(micros.min(60_000_000)));
+            let s = &mut self.stats;
+            s.remote.remote_requests = s.remote.remote_requests.saturating_add(1);
+            s.remote.rows_shipped = s.remote.rows_shipped.saturating_add(admitted.len());
+            s.remote.remote_wait_micros = s.remote.remote_wait_micros.saturating_add(micros);
+            s.remote_blocked_micros = s.remote_blocked_micros.saturating_add(micros);
+        }
+        let column = self
+            .object
+            .hierarchy(attribute)?
+            .level(decision.sample_level)?;
         // Aggregate only the admitted part of the window; any truncated tail is
         // queued as refinement debt and merged in during pauses. (This is the
         // session-integrated version of [`InteractiveSummary::summarize`].)
@@ -473,19 +589,17 @@ impl<'a> Session<'a> {
             None => column.numeric_range_stats(admitted)?,
         };
         self.charge_rows(count);
-        let value = match kind {
-            crate::operators::aggregate::AggregateKind::Count => Some(count as f64),
-            crate::operators::aggregate::AggregateKind::Sum => (count > 0).then_some(sum),
-            crate::operators::aggregate::AggregateKind::Avg => {
-                (count > 0).then(|| sum / count as f64)
-            }
-            crate::operators::aggregate::AggregateKind::Min => min,
-            crate::operators::aggregate::AggregateKind::Max => max,
-        };
+        let value = summary_value(
+            kind,
+            &RangeStats {
+                count,
+                sum,
+                min,
+                max,
+            },
+        );
         if let Some(v) = value {
-            if let Some(agg) = self.aggregate.as_mut() {
-                agg.update_batch(count, sum, min, max);
-            }
+            self.contribute(count, sum, min, max);
             self.emit(TouchResult::single(
                 row,
                 fraction,
@@ -494,6 +608,92 @@ impl<'a> Session<'a> {
                 ResultKind::Summary,
             ));
         }
+        Ok(())
+    }
+
+    /// Feed one summary-window batch into the session's running aggregate:
+    /// inline when the ledger is inactive, appended to the ledger (same
+    /// touch-order position, folded at drain) when an overlapped remote
+    /// split is active — either way the accumulation sequence is identical
+    /// to the all-local run.
+    fn contribute(&mut self, count: u64, sum: f64, min: Option<f64>, max: Option<f64>) {
+        if self.ledger.is_active() {
+            self.ledger.contribs.push(Contribution::Ready {
+                count,
+                sum,
+                min,
+                max,
+            });
+        } else if let Some(agg) = self.aggregate.as_mut() {
+            agg.update_batch(count, sum, min, max);
+        }
+    }
+
+    /// The overlapped remote path of one summary touch: answer immediately
+    /// with the coarsest device-resident level's value over the same logical
+    /// window (a *provisional* result), ship the fine-level window to the
+    /// executor, and record the refinement handle that will patch this very
+    /// result — and resolve this touch's ledger slot — when it lands.
+    #[allow(clippy::too_many_arguments)]
+    fn do_summary_remote(
+        &mut self,
+        tier: &RemoteTier,
+        row: RowId,
+        attribute: usize,
+        fraction: f64,
+        timestamp: Timestamp,
+        half_window: u64,
+        kind: crate::operators::aggregate::AggregateKind,
+        fine_level: u8,
+        admitted: RowRange,
+    ) -> Result<()> {
+        let coarse = {
+            let hierarchy = self.object.hierarchy(attribute)?;
+            let local_min = tier.effective_local_min(hierarchy.level_count());
+            let coarse_column = hierarchy.level(local_min)?;
+            let coarse_center = hierarchy.map_row(row, local_min)?;
+            let coarse_window = RowRange::window(coarse_center, half_window, coarse_column.len());
+            let (count, sum, min, max) = coarse_column.numeric_range_stats(coarse_window)?;
+            RangeStats {
+                count,
+                sum,
+                min,
+                max,
+            }
+        };
+        // The provisional value is display-only (it is patched before the
+        // outcome is final), so its rows are progressive traffic, not part
+        // of the deterministic row accounting the refinement will charge.
+        let provisional = summary_value(kind, &coarse).unwrap_or(0.0);
+        let executor = tier.executor.as_ref().ok_or_else(|| {
+            DbTouchError::Internal("overlapped remote tier has no executor".into())
+        })?;
+        let ticket = executor.submit(
+            Arc::clone(&self.object.data),
+            attribute,
+            fine_level,
+            admitted,
+            tier.queue(),
+        )?;
+        self.stats.remote.progressive_requests =
+            self.stats.remote.progressive_requests.saturating_add(1);
+        let contrib_index = self.ledger.contribs.len() as u64;
+        self.ledger.contribs.push(Contribution::Pending { ticket });
+        self.pending.push(PendingRefinement {
+            ticket,
+            object_identity: self.object.data.identity(),
+            result_index: self.results.len() as u64,
+            contrib_index,
+            kind,
+            level: fine_level,
+        });
+        self.emit(TouchResult::single(
+            row,
+            fraction,
+            Value::Float(provisional),
+            timestamp,
+            ResultKind::Summary,
+        ));
         Ok(())
     }
 
@@ -525,16 +725,18 @@ impl<'a> Session<'a> {
                 }
             }
         }
-        // Use the idle time to refine a previously truncated summary.
+        // Use the idle time to refine a previously truncated summary. (This
+        // budget-debt refinement always reads locally, in both split modes:
+        // it feeds only the running aggregate, and the ledger keeps its
+        // contribution at the same touch-order position as the all-local
+        // run.)
         if let Some(debt) = self.budget.next_refinement() {
             if let Ok(hierarchy) = self.object.hierarchy(0) {
                 let column = hierarchy.base();
                 let (count, sum, min, max) =
                     column.numeric_range_stats(debt.remaining.clamp_to(column.len()))?;
                 self.charge_rows(count);
-                if let Some(agg) = self.aggregate.as_mut() {
-                    agg.update_batch(count, sum, min, max);
-                }
+                self.contribute(count, sum, min, max);
                 self.stats.refinements += 1;
             }
         }
@@ -926,6 +1128,179 @@ mod tests {
         assert_eq!(s.shared_cache_inserts, 0);
         // The per-session region cache still does its job independently.
         assert_eq!(s.cache_hits + s.cache_misses, s.entries_returned);
+    }
+
+    #[test]
+    fn overlapped_remote_summaries_drain_to_the_all_local_outcome() {
+        use crate::catalog::SharedCatalog;
+        use crate::remote_exec::drain_outcome;
+        use dbtouch_types::RemoteSplitConfig;
+        use std::sync::Arc;
+
+        // Deep hierarchy + a high device boundary: slow slides decide level
+        // ~10, below the device's coarsest-resident level 11 -> remote.
+        let split = RemoteSplitConfig::default()
+            .with_local_min_level(11)
+            .with_network(2_000, 10_000);
+        let remote_config = KernelConfig::default()
+            .with_sample_levels(12)
+            .with_remote_split(Some(split.clone()));
+        let local_config = KernelConfig::default().with_sample_levels(12);
+
+        let load = |config: KernelConfig| {
+            let catalog = Arc::new(SharedCatalog::new(config));
+            let id = catalog
+                .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+                .unwrap();
+            (catalog, id)
+        };
+        let (local_catalog, local_id) = load(local_config);
+        let (remote_catalog, remote_id) = load(remote_config);
+        let view = local_catalog.data(local_id).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 3.0);
+        let action = TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Avg,
+        };
+
+        let baseline = {
+            let mut state = local_catalog.checkout(local_id).unwrap();
+            state.set_action(action.clone());
+            Session::new(&mut state, local_catalog.config())
+                .run(&trace)
+                .unwrap()
+        };
+        assert!(baseline.is_drained());
+        assert_eq!(baseline.stats.remote, crate::remote::RemoteStats::default());
+
+        let mut state = remote_catalog.checkout(remote_id).unwrap();
+        state.set_action(action);
+        let queue = Arc::clone(state.remote_tier().unwrap().queue());
+        let mut outcome = Session::new(&mut state, remote_catalog.config())
+            .run(&trace)
+            .unwrap();
+
+        // Before the drain: provisional answers are on screen for every
+        // fine-level touch, the ledger holds their pending slots, and the
+        // deferred rows are not yet charged.
+        assert!(!outcome.is_drained());
+        assert_eq!(outcome.pending.len(), outcome.ledger.pending_count());
+        assert_eq!(
+            outcome.stats.remote.progressive_requests,
+            outcome.pending.len() as u64
+        );
+        assert_eq!(outcome.stats.remote.rows_shipped, 0);
+        assert!(outcome.stats.rows_touched < baseline.stats.rows_touched);
+        let rows_before_drain = outcome.stats.rows_touched;
+        assert_eq!(
+            outcome.stats.entries_returned,
+            baseline.stats.entries_returned
+        );
+        assert_ne!(outcome.results, baseline.results, "provisional != refined");
+
+        // After the drain: bit-identical to the all-local run.
+        let applied = drain_outcome(&mut outcome, &queue).unwrap();
+        assert_eq!(applied, outcome.stats.remote_refinements_applied);
+        assert!(applied > 20, "slow slide must ship many refinements");
+        assert_eq!(outcome.results, baseline.results);
+        assert_eq!(outcome.final_aggregate, baseline.final_aggregate);
+        assert_eq!(outcome.stats.rows_touched, baseline.stats.rows_touched);
+        assert_eq!(outcome.stats.bytes_touched, baseline.stats.bytes_touched);
+        // Exactly the deferred fine-window rows were shipped (edge windows
+        // clamp below the full 11 rows, so compare against the deficit the
+        // provisional run left, not a per-window constant).
+        assert_eq!(
+            outcome.stats.remote.rows_shipped,
+            baseline.stats.rows_touched - rows_before_drain
+        );
+        assert!(outcome.stats.remote.remote_wait_micros >= applied * 2_000);
+        assert_eq!(outcome.stats.remote_refinements_dropped, 0);
+        // The overlapped session itself never stalled on the link.
+        assert_eq!(outcome.stats.remote_blocked_micros, 0);
+    }
+
+    #[test]
+    fn blocking_remote_summaries_stall_inline_but_stay_exact() {
+        use crate::kernel::Kernel;
+        use dbtouch_types::RemoteSplitConfig;
+
+        let split = RemoteSplitConfig::default()
+            .with_local_min_level(11)
+            .with_network(500, 0)
+            .with_overlapped(false);
+        let mut remote = Kernel::new(
+            KernelConfig::default()
+                .with_sample_levels(12)
+                .with_remote_split(Some(split)),
+        );
+        let mut local = Kernel::new(KernelConfig::default().with_sample_levels(12));
+        let action = TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Avg,
+        };
+        let rid = remote
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let lid = local
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        remote.set_action(rid, action.clone()).unwrap();
+        local.set_action(lid, action).unwrap();
+        let view = local.view(lid).unwrap();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 3.0);
+
+        let blocked = remote.run_trace(rid, &trace).unwrap();
+        let baseline = local.run_trace(lid, &trace).unwrap();
+        assert!(blocked.is_drained(), "blocking mode has nothing in flight");
+        assert_eq!(blocked.results, baseline.results);
+        assert_eq!(blocked.final_aggregate, baseline.final_aggregate);
+        assert_eq!(blocked.stats.rows_touched, baseline.stats.rows_touched);
+        let r = &blocked.stats.remote;
+        assert!(r.remote_requests > 20, "slow slide goes remote");
+        assert_eq!(r.progressive_requests, 0);
+        assert_eq!(r.remote_wait_micros, r.remote_requests * 500);
+        assert_eq!(blocked.stats.remote_blocked_micros, r.remote_wait_micros);
+        assert!(r.rows_shipped > 0);
+    }
+
+    #[test]
+    fn kernel_run_trace_returns_drained_outcomes_with_remote_split() {
+        use crate::kernel::Kernel;
+        use dbtouch_types::RemoteSplitConfig;
+
+        let split = RemoteSplitConfig::default()
+            .with_local_min_level(11)
+            .with_network(1_000, 10_000);
+        let mut remote = Kernel::new(
+            KernelConfig::default()
+                .with_sample_levels(12)
+                .with_remote_split(Some(split)),
+        );
+        let mut local = Kernel::new(KernelConfig::default().with_sample_levels(12));
+        let action = TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Sum,
+        };
+        let rid = remote
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let lid = local
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        remote.set_action(rid, action.clone()).unwrap();
+        local.set_action(lid, action).unwrap();
+        let view = local.view(lid).unwrap();
+        // Mixed speeds: the fast trace stays device-local, the slow one ships
+        // refinements; both must match the all-local kernel exactly.
+        for duration in [0.8, 3.0] {
+            let trace = GestureSynthesizer::new(60.0).slide_down(&view, duration);
+            let refined = remote.run_trace(rid, &trace).unwrap();
+            let baseline = local.run_trace(lid, &trace).unwrap();
+            assert!(refined.is_drained());
+            assert_eq!(refined.results, baseline.results);
+            assert_eq!(refined.final_aggregate, baseline.final_aggregate);
+            assert_eq!(refined.stats.rows_touched, baseline.stats.rows_touched);
+        }
     }
 
     #[test]

@@ -33,6 +33,7 @@ use crate::latency::LatencySample;
 use crate::report::{SessionId, SessionReport, TraceOutcome};
 use dbtouch_core::catalog::{validate_action, ObjectState, SharedCatalog};
 use dbtouch_core::kernel::{ObjectId, TouchAction};
+use dbtouch_core::remote_exec::{self, CompletionQueue, RefinementApplied, RemoteCompletion};
 use dbtouch_core::session::Session;
 use dbtouch_gesture::trace::GestureTrace;
 use dbtouch_types::{DbTouchError, KernelConfig, Result};
@@ -41,7 +42,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One queued event of one session.
 enum SessionEvent {
@@ -390,6 +391,12 @@ impl Drop for ExplorationServer {
 struct SessionSlot {
     states: HashMap<ObjectId, ObjectState>,
     report: SessionReport,
+    /// The one completion queue all of this session's states feed (created
+    /// lazily when the session first touches a remote-split object), so the
+    /// worker drains a single queue per session at event boundaries.
+    remote_queue: Option<Arc<CompletionQueue>>,
+    /// In-flight refinement tickets → index of the trace outcome they patch.
+    outstanding: HashMap<u64, usize>,
 }
 
 impl SessionSlot {
@@ -398,29 +405,79 @@ impl SessionSlot {
     /// catalog epoch (rebuilding against restructured data, counting it in
     /// `restructures_seen`); a fresh checkout is already at the newest epoch.
     /// A state whose object was removed from the catalog is dropped and the
-    /// lookup fails.
+    /// lookup fails. Remote-split states are pointed at the session's shared
+    /// completion queue before they can submit anything.
     fn boundary_state<'a>(
         states: &'a mut HashMap<ObjectId, ObjectState>,
+        remote_queue: &mut Option<Arc<CompletionQueue>>,
         catalog: &SharedCatalog,
         object: ObjectId,
         restructures_seen: &mut u64,
     ) -> Result<&'a mut ObjectState> {
         use std::collections::hash_map::Entry;
-        match states.entry(object) {
+        let state = match states.entry(object) {
             Entry::Occupied(mut entry) => match entry.get_mut().refresh(catalog) {
                 Ok(rebuilt) => {
                     if rebuilt {
                         *restructures_seen += 1;
                     }
-                    Ok(entry.into_mut())
+                    entry.into_mut()
                 }
                 Err(e) => {
                     entry.remove();
-                    Err(e)
+                    return Err(e);
                 }
             },
-            Entry::Vacant(entry) => Ok(entry.insert(catalog.checkout(object)?)),
+            Entry::Vacant(entry) => entry.insert(catalog.checkout(object)?),
+        };
+        if state.remote_tier().is_some() {
+            let queue = remote_queue.get_or_insert_with(|| Arc::new(CompletionQueue::new()));
+            state.set_remote_queue(Arc::clone(queue));
         }
+        Ok(state)
+    }
+
+    /// Apply one completion to the trace outcome it refines, recording its
+    /// real latency. Completions whose ticket is unknown (their trace
+    /// errored before its outcome was recorded) are discarded.
+    fn apply_remote(&mut self, completion: RemoteCompletion) {
+        let ticket = completion.ticket;
+        let Some(trace_index) = self.outstanding.remove(&ticket) else {
+            return;
+        };
+        let latency_nanos = completion.submitted.elapsed().as_nanos() as u64;
+        let outcome = &mut self.report.outcomes[trace_index].outcome;
+        match remote_exec::apply_completion(outcome, completion) {
+            Ok(RefinementApplied::Applied { .. } | RefinementApplied::DroppedStaleBuild) => {
+                self.report.refinement_latencies.push(latency_nanos);
+            }
+            Ok(RefinementApplied::UnknownTicket) => {}
+            Err(e) => self.report.errors.push(format!("refinement {ticket}: {e}")),
+        }
+    }
+
+    /// Drain the session's completion queue. Between events this is
+    /// non-blocking (apply whatever is ready, keep serving); at a barrier
+    /// (snapshot/close) it waits until every outstanding refinement landed —
+    /// the stall, if any, is charged to `refinement_blocked_nanos`.
+    fn drain_remote(&mut self, barrier: bool) {
+        if self.remote_queue.is_none() {
+            return;
+        }
+        let queue = Arc::clone(self.remote_queue.as_ref().expect("checked above"));
+        for completion in queue.drain_ready() {
+            self.apply_remote(completion);
+        }
+        if !barrier || self.outstanding.is_empty() {
+            return;
+        }
+        let stalled = Instant::now();
+        while !self.outstanding.is_empty() {
+            for completion in queue.wait_ready(Duration::from_millis(20)) {
+                self.apply_remote(completion);
+            }
+        }
+        self.report.refinement_blocked_nanos += stalled.elapsed().as_nanos() as u64;
     }
 }
 
@@ -485,11 +542,15 @@ fn serve(
             },
             ..SessionSlot::default()
         });
+        // Every event is a boundary: land whatever refinements are ready
+        // before processing it (never blocking — overlap is the point).
+        slot.drain_remote(false);
         match event {
             SessionEvent::SetAction { object, action } => {
                 let report = &mut slot.report;
                 let applied = SessionSlot::boundary_state(
                     &mut slot.states,
+                    &mut slot.remote_queue,
                     catalog,
                     object,
                     &mut report.restructures_seen,
@@ -511,6 +572,7 @@ fn serve(
                 let report = &mut slot.report;
                 match SessionSlot::boundary_state(
                     &mut slot.states,
+                    &mut slot.remote_queue,
                     catalog,
                     object,
                     &mut report.restructures_seen,
@@ -526,6 +588,14 @@ fn serve(
                                     max_touch_nanos: outcome.stats.max_touch_nanos,
                                 });
                                 report.epochs.push(epoch);
+                                // Refinements of this trace are in flight:
+                                // remember which outcome each ticket patches
+                                // and keep serving — they land at later
+                                // boundaries (or the snapshot/close barrier).
+                                let trace_index = report.outcomes.len();
+                                for pending in &outcome.pending {
+                                    slot.outstanding.insert(pending.ticket, trace_index);
+                                }
                                 report.outcomes.push(TraceOutcome { object, outcome });
                             }
                             Err(e) => report
@@ -539,10 +609,15 @@ fn serve(
                 }
             }
             SessionEvent::Snapshot { reply } => {
+                // A barrier: the snapshot is fully refined.
+                slot.drain_remote(true);
                 let _ = reply.send(slot.report.clone());
             }
             SessionEvent::Close { reply } => {
-                let slot = sessions.remove(&session).expect("slot exists");
+                let mut slot = sessions.remove(&session).expect("slot exists");
+                // Final barrier: the report handed back is fully refined and
+                // digest-stable.
+                slot.drain_remote(true);
                 // The handle is consumed by close() (or gone, on the Drop
                 // path), so nobody can block on this gate again: drop it from
                 // the registry rather than retaining one entry per session
@@ -559,6 +634,7 @@ fn serve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::digest_outcomes;
     use dbtouch_core::operators::aggregate::AggregateKind;
     use dbtouch_gesture::synthesizer::GestureSynthesizer;
     use dbtouch_types::{KernelConfig, SizeCm};
@@ -941,6 +1017,138 @@ mod tests {
         assert_eq!(report.errors.len(), 1, "errors: {:?}", report.errors);
         assert_eq!(report.traces_run(), 2);
         server.shutdown();
+    }
+
+    #[test]
+    fn served_remote_sessions_drain_at_barriers_and_match_all_local() {
+        use dbtouch_core::kernel::Kernel;
+        use dbtouch_types::RemoteSplitConfig;
+
+        let split = RemoteSplitConfig::default()
+            .with_local_min_level(11)
+            .with_network(5_000, 10_000);
+        let remote_catalog = Arc::new(SharedCatalog::new(
+            KernelConfig::default()
+                .with_sample_levels(12)
+                .with_remote_split(Some(split)),
+        ));
+        let local_catalog = Arc::new(SharedCatalog::new(
+            KernelConfig::default().with_sample_levels(12),
+        ));
+        let rid = remote_catalog
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let lid = local_catalog
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let view = local_catalog.data(lid).unwrap().base_view().clone();
+        let action = TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Avg,
+        };
+        // One slow (remote) trace, one fast (device-local) trace.
+        let slow = GestureSynthesizer::new(60.0).slide_down(&view, 3.0);
+        let fast = GestureSynthesizer::new(60.0).slide_down(&view, 0.6);
+
+        let server =
+            ExplorationServer::start(Arc::clone(&remote_catalog), ServerConfig::with_workers(1));
+        let session = server.open_session();
+        session.set_action(rid, action.clone()).unwrap();
+        session.run_trace(rid, slow.clone()).unwrap();
+        session.run_trace(rid, fast.clone()).unwrap();
+        // The snapshot barrier waits for in-flight refinements: the report it
+        // returns is fully refined.
+        let snapshot = session.snapshot().unwrap();
+        assert!(snapshot.errors.is_empty(), "{:?}", snapshot.errors);
+        assert_eq!(snapshot.pending_refinements(), 0);
+        let progressive = snapshot.total_remote().progressive_requests;
+        assert!(progressive > 20, "slow trace must go remote");
+        assert_eq!(snapshot.total_refinements_applied(), progressive);
+        assert_eq!(
+            snapshot.refinement_latencies.len() as u64,
+            progressive,
+            "every applied refinement records its real latency"
+        );
+        assert!(snapshot.mean_refinement_latency_nanos() >= 5_000_000);
+        assert_eq!(snapshot.total_refinements_dropped(), 0);
+        let report = session.close().unwrap();
+        server.shutdown();
+
+        // Bit-identical to the all-local sequential replay.
+        let mut kernel = Kernel::from_catalog(local_catalog);
+        kernel.set_action(lid, action).unwrap();
+        let outcomes = [
+            TraceOutcome {
+                object: lid,
+                outcome: kernel.run_trace(lid, &slow).unwrap(),
+            },
+            TraceOutcome {
+                object: lid,
+                outcome: kernel.run_trace(lid, &fast).unwrap(),
+            },
+        ];
+        // Digest object ids differ (rid vs lid) only if the ids differ; both
+        // catalogs loaded one column, so both are object 0.
+        assert_eq!(rid, lid);
+        assert_eq!(report.result_digest(), digest_outcomes(outcomes.iter()));
+    }
+
+    #[test]
+    fn remote_refinements_land_between_events_without_blocking() {
+        use dbtouch_types::RemoteSplitConfig;
+
+        // A fast link: refinements become due almost immediately, so the
+        // non-blocking boundary drains (not the close barrier) apply most of
+        // them while later traces are still being processed.
+        let split = RemoteSplitConfig::default()
+            .with_local_min_level(11)
+            .with_network(100, 0);
+        let catalog = Arc::new(SharedCatalog::new(
+            KernelConfig::default()
+                .with_sample_levels(12)
+                .with_remote_split(Some(split)),
+        ));
+        let id = catalog
+            .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(1));
+        let session = server.open_session();
+        session
+            .set_action(
+                id,
+                TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+            )
+            .unwrap();
+        for _ in 0..4 {
+            session
+                .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 2.8))
+                .unwrap();
+        }
+        let report = session.close().unwrap();
+        server.shutdown();
+        assert!(report.errors.is_empty(), "{:?}", report.errors);
+        assert_eq!(report.pending_refinements(), 0);
+        let remote = report.total_remote();
+        assert!(remote.progressive_requests > 80);
+        assert_eq!(
+            report.total_refinements_applied(),
+            remote.progressive_requests
+        );
+        // The worker overlapped nearly all of the simulated wait with real
+        // processing: it stalled (if at all) only at the final barrier.
+        assert!(
+            report.remote_overlap_ratio() > 0.5,
+            "overlap ratio {} too low",
+            report.remote_overlap_ratio()
+        );
+        assert_eq!(catalog.remote_executor().unwrap().stats().delivered, {
+            let stats = catalog.remote_executor().unwrap().stats();
+            stats.submitted
+        });
     }
 
     #[test]

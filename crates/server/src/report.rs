@@ -2,6 +2,7 @@
 
 use crate::latency::{LatencySample, LatencySummary};
 use dbtouch_core::kernel::ObjectId;
+use dbtouch_core::remote::RemoteStats;
 use dbtouch_core::session::SessionOutcome;
 
 /// Identifier of a served session.
@@ -37,6 +38,16 @@ pub struct SessionReport {
     /// How many times a gesture-boundary refresh observed a restructure of an
     /// object this session explores (its state was rebuilt against new data).
     pub restructures_seen: u64,
+    /// Real (wall-clock) latency of each remote refinement applied to this
+    /// session, submit → applied, in nanoseconds and application order.
+    /// Excluded from [`result_digest`](Self::result_digest): latencies vary
+    /// run to run, results must not.
+    pub refinement_latencies: Vec<u64>,
+    /// Wall-clock nanoseconds the worker stalled at this session's drain
+    /// barriers (snapshot/close) waiting for in-flight refinements. The
+    /// smaller this is relative to the simulated remote wait, the better the
+    /// overlap — see [`remote_overlap_ratio`](Self::remote_overlap_ratio).
+    pub refinement_blocked_nanos: u64,
     /// Errors encountered while processing events, in order.
     pub errors: Vec<String>,
 }
@@ -113,6 +124,66 @@ impl SessionReport {
     /// Per-touch latency summary of this session.
     pub fn latency_summary(&self) -> LatencySummary {
         LatencySummary::from_samples(&self.latencies)
+    }
+
+    /// Device/cloud traffic accumulated across all traces (saturating).
+    pub fn total_remote(&self) -> RemoteStats {
+        let mut total = RemoteStats::default();
+        for t in &self.outcomes {
+            total.absorb(&t.outcome.stats.remote);
+        }
+        total
+    }
+
+    /// Refinements applied to this session's outcomes.
+    pub fn total_refinements_applied(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.remote_refinements_applied)
+            .sum()
+    }
+
+    /// Refinements dropped because their object was rebuilt first.
+    pub fn total_refinements_dropped(&self) -> u64 {
+        self.outcomes
+            .iter()
+            .map(|t| t.outcome.stats.remote_refinements_dropped)
+            .sum()
+    }
+
+    /// Refinements still in flight (0 after a close or snapshot barrier).
+    pub fn pending_refinements(&self) -> usize {
+        self.outcomes.iter().map(|t| t.outcome.pending.len()).sum()
+    }
+
+    /// Mean real refinement latency in nanoseconds (0 when none landed).
+    pub fn mean_refinement_latency_nanos(&self) -> u64 {
+        let n = self.refinement_latencies.len() as u64;
+        self.refinement_latencies
+            .iter()
+            .sum::<u64>()
+            .checked_div(n)
+            .unwrap_or(0)
+    }
+
+    /// How much of the simulated remote wait was hidden behind useful work,
+    /// in `[0, 1]`: `1 -` (time actually stalled — inline blocking fetches
+    /// plus drain barriers) `/` (total simulated remote wait). A session with
+    /// no remote traffic reports 1.0 (nothing to hide); a blocking-mode
+    /// session reports ~0.0 (every simulated microsecond stalled the
+    /// worker).
+    pub fn remote_overlap_ratio(&self) -> f64 {
+        let waited = self.total_remote().remote_wait_micros;
+        if waited == 0 {
+            return 1.0;
+        }
+        let inline_blocked: u64 = self
+            .outcomes
+            .iter()
+            .map(|t| t.outcome.stats.remote_blocked_micros)
+            .fold(0, u64::saturating_add);
+        let blocked = inline_blocked.saturating_add(self.refinement_blocked_nanos / 1_000);
+        (1.0 - blocked as f64 / waited as f64).clamp(0.0, 1.0)
     }
 
     /// Order-sensitive digest of the *deterministic* part of the outcomes

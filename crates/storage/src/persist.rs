@@ -49,9 +49,10 @@ use std::sync::Arc;
 /// Manifest format version, bumped on incompatible layout changes.
 pub const MANIFEST_FORMAT: u64 = 1;
 
-/// How many epoch manifests to keep in the directory. One would suffice for
-/// clean shutdowns; a small window means a torn or rotted newest epoch costs
-/// one epoch of history instead of the whole catalog.
+/// Default retention window of epoch manifests (the `KernelConfig::manifest_keep`
+/// knob overrides it per store). One would suffice for clean shutdowns; a
+/// small window means a torn or rotted newest epoch costs one epoch of
+/// history instead of the whole catalog.
 pub const MANIFEST_KEEP: usize = 8;
 
 /// File name of the page file inside a catalog directory.
@@ -451,15 +452,30 @@ fn sync_dir(dir: &Path) -> Result<()> {
 pub struct CatalogStore {
     dir: PathBuf,
     pager: Arc<Pager>,
+    /// Epoch manifests retained by [`prune_manifests`](Self::prune_manifests)
+    /// (always at least 1 — the newest manifest is never pruned).
+    manifest_keep: usize,
 }
 
 impl CatalogStore {
-    /// Create the directory (if needed) and its page file. Does not write a
-    /// manifest: a store without manifests opens as an empty catalog.
+    /// Create the directory (if needed) and its page file, retaining
+    /// [`MANIFEST_KEEP`] manifests. Does not write a manifest: a store
+    /// without manifests opens as an empty catalog.
     pub fn create(
         dir: impl AsRef<Path>,
         page_size: usize,
         pool_pages: usize,
+    ) -> Result<CatalogStore> {
+        Self::create_with_retention(dir, page_size, pool_pages, MANIFEST_KEEP)
+    }
+
+    /// [`create`](Self::create) with an explicit manifest retention window
+    /// (clamped to at least 1: the newest manifest must survive).
+    pub fn create_with_retention(
+        dir: impl AsRef<Path>,
+        page_size: usize,
+        pool_pages: usize,
+        manifest_keep: usize,
     ) -> Result<CatalogStore> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| io_err("create catalog dir", e))?;
@@ -468,7 +484,16 @@ impl CatalogStore {
             page_size,
             pool_pages,
         )?);
-        Ok(CatalogStore { dir, pager })
+        Ok(CatalogStore {
+            dir,
+            pager,
+            manifest_keep: manifest_keep.max(1),
+        })
+    }
+
+    /// The manifest retention window of this store.
+    pub fn manifest_keep(&self) -> usize {
+        self.manifest_keep
     }
 
     /// True when `dir` contains at least one manifest (i.e. a persisted
@@ -492,15 +517,31 @@ impl CatalogStore {
         pool_pages: usize,
         create_page_size: usize,
     ) -> Result<(CatalogStore, Option<StoreManifest>)> {
+        Self::open_with_retention(dir, pool_pages, create_page_size, MANIFEST_KEEP)
+    }
+
+    /// [`open`](Self::open) with an explicit manifest retention window for
+    /// subsequent commits (clamped to at least 1).
+    pub fn open_with_retention(
+        dir: impl AsRef<Path>,
+        pool_pages: usize,
+        create_page_size: usize,
+        manifest_keep: usize,
+    ) -> Result<(CatalogStore, Option<StoreManifest>)> {
         let dir = dir.as_ref().to_path_buf();
         let epochs = manifest_epochs(&dir)?;
         if epochs.is_empty() {
-            let store = CatalogStore::create(&dir, create_page_size, pool_pages)?;
+            let store = CatalogStore::create_with_retention(
+                &dir,
+                create_page_size,
+                pool_pages,
+                manifest_keep,
+            )?;
             return Ok((store, None));
         }
         let mut last_error: Option<DbTouchError> = None;
         for epoch in &epochs {
-            match Self::try_open_epoch(&dir, *epoch, pool_pages) {
+            match Self::try_open_epoch(&dir, *epoch, pool_pages, manifest_keep) {
                 Ok(opened) => return Ok(opened),
                 Err(e) => last_error = Some(e),
             }
@@ -517,6 +558,7 @@ impl CatalogStore {
         dir: &Path,
         epoch: u64,
         pool_pages: usize,
+        manifest_keep: usize,
     ) -> Result<(CatalogStore, Option<StoreManifest>)> {
         let text = fs::read_to_string(manifest_path(dir, epoch))
             .map_err(|e| io_err("read manifest", e))?;
@@ -547,6 +589,7 @@ impl CatalogStore {
             CatalogStore {
                 dir: dir.to_path_buf(),
                 pager,
+                manifest_keep: manifest_keep.max(1),
             },
             Some(manifest),
         ))
@@ -594,10 +637,14 @@ impl CatalogStore {
         Ok(())
     }
 
-    /// Best-effort retention: drop manifest files beyond [`MANIFEST_KEEP`].
+    /// Best-effort retention: drop manifest files beyond the store's window
+    /// ([`MANIFEST_KEEP`] by default, [`KernelConfig::manifest_keep`] when
+    /// the store was opened through the catalog).
+    ///
+    /// [`KernelConfig::manifest_keep`]: dbtouch_types::KernelConfig::manifest_keep
     fn prune_manifests(&self) {
         if let Ok(epochs) = manifest_epochs(&self.dir) {
-            for epoch in epochs.into_iter().skip(MANIFEST_KEEP) {
+            for epoch in epochs.into_iter().skip(self.manifest_keep) {
                 let _ = fs::remove_file(manifest_path(&self.dir, epoch));
             }
         }
@@ -722,5 +769,31 @@ mod tests {
         let epochs = manifest_epochs(&dir).unwrap();
         assert_eq!(epochs.len(), MANIFEST_KEEP);
         assert_eq!(epochs[0], MANIFEST_KEEP as u64 + 4);
+    }
+
+    #[test]
+    fn retention_window_is_configurable_and_survives_reopen() {
+        let dir = temp_dir("prune-config");
+        let store = CatalogStore::create_with_retention(&dir, 256, 8, 2).unwrap();
+        assert_eq!(store.manifest_keep(), 2);
+        for epoch in 1..=5 {
+            let manifest = one_object_manifest(&store, epoch, &[1, 2, 3]);
+            store.commit(&manifest).unwrap();
+        }
+        let epochs = manifest_epochs(&dir).unwrap();
+        assert_eq!(epochs, vec![5, 4], "keep-2 retains the newest two epochs");
+
+        // Reopening with a different window applies it to later commits.
+        let (store, manifest) = CatalogStore::open_with_retention(&dir, 8, 256, 3).unwrap();
+        assert_eq!(store.manifest_keep(), 3);
+        assert_eq!(manifest.unwrap().epoch, 5);
+        let manifest = one_object_manifest(&store, 6, &[1, 2, 3]);
+        store.commit(&manifest).unwrap();
+        assert_eq!(manifest_epochs(&dir).unwrap(), vec![6, 5, 4]);
+
+        // A zero window clamps to 1: the newest manifest is never pruned.
+        let clamped =
+            CatalogStore::create_with_retention(temp_dir("prune-zero"), 256, 8, 0).unwrap();
+        assert_eq!(clamped.manifest_keep(), 1);
     }
 }

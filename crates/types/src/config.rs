@@ -8,6 +8,98 @@
 use crate::error::{DbTouchError, Result};
 use serde::{Deserialize, Serialize};
 
+/// Configuration of the device/cloud storage split (Section 4, "Remote
+/// Processing"): the device keeps the coarse sample levels of every column
+/// (levels `>= local_min_level`), the simulated cloud server keeps everything,
+/// and summary touches that need a finer level than the device holds are
+/// served over a modelled network link.
+///
+/// With `overlapped` set (the default), fine-level requests go through the
+/// asynchronous remote executor: the session answers immediately from the
+/// coarsest local level and the refinement lands later, patched into the
+/// outcome when the completion queue is drained. With `overlapped` off, the
+/// session blocks inline for the simulated round trip — the baseline the
+/// `remote_overlap` benchmark compares against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RemoteSplitConfig {
+    /// Coarsest sample level resident on the device: levels `>=` this are
+    /// local, finer levels live on the simulated server. Clamped per object
+    /// to its hierarchy depth, so an object with fewer levels is simply
+    /// all-local.
+    pub local_min_level: u8,
+    /// Round-trip latency per remote request, in microseconds.
+    pub round_trip_micros: u64,
+    /// Transfer throughput of the link, in rows per millisecond (0 models a
+    /// latency-only link).
+    pub rows_per_milli: u64,
+    /// When `true`, remote fetches run asynchronously on the I/O executor and
+    /// overlap with touch processing; when `false` every remote fetch blocks
+    /// the session inline for the simulated latency.
+    pub overlapped: bool,
+    /// I/O threads of the remote executor (overlapped mode only).
+    pub io_threads: usize,
+    /// Bound of the executor's submission queue: a session submitting faster
+    /// than the I/O pool drains blocks (backpressure) instead of queueing
+    /// without bound.
+    pub queue_depth: usize,
+}
+
+impl Default for RemoteSplitConfig {
+    fn default() -> Self {
+        RemoteSplitConfig {
+            local_min_level: 4,
+            // The same "reasonable WAN" as `NetworkModel::default` in core:
+            // 40ms round trip, ~2000 rows (16KB of int64) per ms.
+            round_trip_micros: 40_000,
+            rows_per_milli: 2_000,
+            overlapped: true,
+            io_threads: 4,
+            queue_depth: 256,
+        }
+    }
+}
+
+impl RemoteSplitConfig {
+    /// Validate the split parameters.
+    pub fn validate(&self) -> Result<()> {
+        if self.local_min_level == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "remote_split.local_min_level must be >= 1 (level 0 local means no split)".into(),
+            ));
+        }
+        if self.overlapped && self.io_threads == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "remote_split.io_threads must be > 0 in overlapped mode".into(),
+            ));
+        }
+        if self.overlapped && self.queue_depth == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "remote_split.queue_depth must be > 0 in overlapped mode".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builder-style setter for the blocking/overlapped mode.
+    pub fn with_overlapped(mut self, on: bool) -> Self {
+        self.overlapped = on;
+        self
+    }
+
+    /// Builder-style setter for the device-resident level range.
+    pub fn with_local_min_level(mut self, level: u8) -> Self {
+        self.local_min_level = level;
+        self
+    }
+
+    /// Builder-style setter for the network model parameters.
+    pub fn with_network(mut self, round_trip_micros: u64, rows_per_milli: u64) -> Self {
+        self.round_trip_micros = round_trip_micros;
+        self.rows_per_milli = rows_per_milli;
+        self
+    }
+}
+
 /// Configuration of a dbTouch kernel instance.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KernelConfig {
@@ -84,6 +176,16 @@ pub struct KernelConfig {
     /// larger than `buffer_pool_pages * page_size` streams under exploration
     /// instead of loading fully.
     pub buffer_pool_pages: usize,
+
+    /// How many epoch manifests a persistent catalog directory retains. One
+    /// would suffice for clean shutdowns; a small window means a torn or
+    /// rotted newest epoch costs one epoch of history instead of the whole
+    /// catalog. Must be at least 1.
+    pub manifest_keep: usize,
+
+    /// The device/cloud storage split, `None` for an all-local kernel (the
+    /// default). See [`RemoteSplitConfig`].
+    pub remote_split: Option<RemoteSplitConfig>,
 }
 
 impl Default for KernelConfig {
@@ -106,6 +208,8 @@ impl Default for KernelConfig {
             shared_cache_capacity: 1 << 16,
             page_size_bytes: 8192,
             buffer_pool_pages: 4096,
+            manifest_keep: 8,
+            remote_split: None,
         }
     }
 }
@@ -155,6 +259,14 @@ impl KernelConfig {
             return Err(DbTouchError::InvalidConfig(
                 "buffer_pool_pages must be > 0".into(),
             ));
+        }
+        if self.manifest_keep == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "manifest_keep must be at least 1 (the newest manifest)".into(),
+            ));
+        }
+        if let Some(split) = &self.remote_split {
+            split.validate()?;
         }
         Ok(())
     }
@@ -235,6 +347,20 @@ impl KernelConfig {
     /// persistent catalog store.
     pub fn with_page_size(mut self, bytes: usize) -> Self {
         self.page_size_bytes = bytes;
+        self
+    }
+
+    /// Builder-style setter for the manifest retention window of persistent
+    /// catalog directories.
+    pub fn with_manifest_keep(mut self, keep: usize) -> Self {
+        self.manifest_keep = keep;
+        self
+    }
+
+    /// Builder-style setter for the device/cloud split (`None` disables
+    /// remote processing).
+    pub fn with_remote_split(mut self, split: Option<RemoteSplitConfig>) -> Self {
+        self.remote_split = split;
         self
     }
 }
@@ -324,6 +450,54 @@ mod tests {
         assert_eq!(c.summary_half_window, 9);
         assert_eq!(c.touch_sample_rate_hz, 120.0);
         assert!(!c.adaptive_sampling && !c.prefetch_enabled && !c.cache_enabled);
+    }
+
+    #[test]
+    fn invalid_manifest_keep_rejected() {
+        let c = KernelConfig::default().with_manifest_keep(0);
+        assert!(c.validate().is_err());
+        assert!(KernelConfig::default()
+            .with_manifest_keep(1)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn remote_split_validation() {
+        // Default split is valid once attached.
+        let c = KernelConfig::default().with_remote_split(Some(RemoteSplitConfig::default()));
+        assert!(c.validate().is_ok());
+        // Level 0 local means nothing is remote: rejected as a misconfiguration.
+        let c = KernelConfig::default()
+            .with_remote_split(Some(RemoteSplitConfig::default().with_local_min_level(0)));
+        assert!(c.validate().is_err());
+        // Overlapped mode needs an I/O pool and a bounded queue...
+        let no_pool = RemoteSplitConfig {
+            io_threads: 0,
+            ..RemoteSplitConfig::default()
+        };
+        assert!(KernelConfig::default()
+            .with_remote_split(Some(no_pool))
+            .validate()
+            .is_err());
+        let split = RemoteSplitConfig {
+            queue_depth: 0,
+            ..RemoteSplitConfig::default()
+        };
+        assert!(KernelConfig::default()
+            .with_remote_split(Some(split.clone()))
+            .validate()
+            .is_err());
+        // ...but blocking mode does not touch the executor.
+        assert!(KernelConfig::default()
+            .with_remote_split(Some(split.with_overlapped(false)))
+            .validate()
+            .is_ok());
+        // A zero-bandwidth link is a valid latency-only model.
+        assert!(KernelConfig::default()
+            .with_remote_split(Some(RemoteSplitConfig::default().with_network(1_000, 0)))
+            .validate()
+            .is_ok());
     }
 
     #[test]

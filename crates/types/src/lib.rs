@@ -18,7 +18,7 @@ pub mod rowid;
 pub mod time;
 pub mod value;
 
-pub use config::KernelConfig;
+pub use config::{KernelConfig, RemoteSplitConfig};
 pub use datatype::DataType;
 pub use error::{DbTouchError, Result};
 pub use geometry::{Centimeters, Orientation, PointCm, Rect, SizeCm};

@@ -29,6 +29,9 @@
 //! * [`persistence`] — the durability round trip: build a catalog, serve
 //!   concurrent sessions, persist, reopen (in a fresh process) and replay
 //!   the same seeded workload to bit-identical digests from paged storage.
+//! * [`remote`] — the device/cloud scenario: thin devices holding only
+//!   coarse samples, slow detail slides going to a simulated cloud server —
+//!   all-local vs. blocking vs. overlapped remote fetches, digest-verified.
 
 pub mod churn;
 pub mod concurrent;
@@ -36,6 +39,7 @@ pub mod datagen;
 pub mod explorer;
 pub mod patterns;
 pub mod persistence;
+pub mod remote;
 pub mod scenarios;
 
 pub use churn::{churn_catalog, run_concurrent_with_churn, ChurnOutcome, MAX_CHURN_MUTATORS};
@@ -49,4 +53,5 @@ pub use patterns::{Pattern, PatternKind};
 pub use persistence::{
     build_and_persist, replay_persisted, ReplayOutcome, RoundTripRecord, RoundTripSpec,
 };
+pub use remote::{device_cloud_catalog, device_cloud_config, plan_device_cloud, RemoteMode};
 pub use scenarios::Scenario;

@@ -1,0 +1,196 @@
+//! The device/cloud exploration scenario: thin touch devices over a simulated
+//! cloud server (Section 4, "Remote Processing").
+//!
+//! Every explorer runs interactive summaries over the scenario's signal
+//! column from a device that holds only the coarse sample levels. Slow,
+//! detail-seeking slides decide sample levels finer than the device holds and
+//! go to the (simulated) server; fast skimming slides stay device-local. The
+//! same plans run under three kernel configurations —
+//!
+//! * **all-local** (no split): the ground truth,
+//! * **blocking** split: every fine-level window stalls the session inline
+//!   for the simulated round trip,
+//! * **overlapped** split: fine-level windows answer provisionally from the
+//!   coarsest local level and refine asynchronously through
+//!   `core::remote_exec` —
+//!
+//! and a drained run must produce bit-identical digests in all three, which
+//! is what the `remote_overlap` benchmark verifies while measuring how much
+//! throughput overlapping recovers.
+
+use crate::concurrent::ExplorerPlan;
+use crate::scenarios::Scenario;
+use dbtouch_core::catalog::SharedCatalog;
+use dbtouch_core::kernel::{ObjectId, TouchAction};
+use dbtouch_core::operators::aggregate::AggregateKind;
+use dbtouch_gesture::synthesizer::GestureSynthesizer;
+use dbtouch_types::{KernelConfig, RemoteSplitConfig, Result, SizeCm};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Which storage tier configuration a device/cloud run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoteMode {
+    /// No split: everything device-resident (the ground-truth baseline).
+    AllLocal,
+    /// Device/cloud split with inline (synchronous) remote fetches.
+    Blocking,
+    /// Device/cloud split with asynchronous, overlapped remote fetches.
+    Overlapped,
+}
+
+impl RemoteMode {
+    /// Stable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RemoteMode::AllLocal => "all_local",
+            RemoteMode::Blocking => "blocking",
+            RemoteMode::Overlapped => "overlapped",
+        }
+    }
+}
+
+/// Sample levels the device/cloud scenario builds per column. Deeper than
+/// the kernel default so there is a meaningful tier boundary: the device
+/// keeps only the coarsest level, everything finer lives on the server.
+pub const DEVICE_CLOUD_SAMPLE_LEVELS: u8 = 12;
+
+/// The device boundary: levels `>= 11` (the coarsest) are on-device.
+pub const DEVICE_LOCAL_MIN_LEVEL: u8 = 11;
+
+/// The split `network` describes, at the scenario's standard boundary.
+/// `None` network uses the default WAN model (40ms round trip).
+pub fn device_cloud_split(
+    mode: RemoteMode,
+    network: Option<(u64, u64)>,
+) -> Option<RemoteSplitConfig> {
+    let overlapped = match mode {
+        RemoteMode::AllLocal => return None,
+        RemoteMode::Blocking => false,
+        RemoteMode::Overlapped => true,
+    };
+    let mut split = RemoteSplitConfig::default()
+        .with_local_min_level(DEVICE_LOCAL_MIN_LEVEL)
+        .with_overlapped(overlapped);
+    if let Some((round_trip_micros, rows_per_milli)) = network {
+        split = split.with_network(round_trip_micros, rows_per_milli);
+    }
+    Some(split)
+}
+
+/// The kernel configuration of a device/cloud run: a deep sample hierarchy
+/// plus the mode's split. All three modes share every other knob, so results
+/// are comparable bit for bit.
+pub fn device_cloud_config(mode: RemoteMode, network: Option<(u64, u64)>) -> KernelConfig {
+    KernelConfig::default()
+        .with_sample_levels(DEVICE_CLOUD_SAMPLE_LEVELS)
+        .with_remote_split(device_cloud_split(mode, network))
+}
+
+/// Load the scenario's signal column into a fresh catalog configured for
+/// `mode`. The view geometry is identical across modes, so one set of plans
+/// drives all of them.
+pub fn device_cloud_catalog(
+    scenario: &Scenario,
+    mode: RemoteMode,
+    network: Option<(u64, u64)>,
+) -> Result<(Arc<SharedCatalog>, ObjectId)> {
+    let catalog = Arc::new(SharedCatalog::new(device_cloud_config(mode, network)));
+    let id = catalog.load_column_typed(scenario.signal_column(), SizeCm::new(2.0, 12.0))?;
+    Ok((catalog, id))
+}
+
+/// Plan `explorers` device/cloud users: every plan is summary-only and
+/// alternates slow, detail-seeking slides (fine sample levels → remote
+/// traffic) with fast skims (coarse levels → device-local), seeded per
+/// explorer so any run can be replayed bit for bit.
+pub fn plan_device_cloud(
+    catalog: &SharedCatalog,
+    object: ObjectId,
+    explorers: usize,
+    traces_per_explorer: usize,
+    seed: u64,
+) -> Result<Vec<ExplorerPlan>> {
+    let view = catalog.data(object)?.base_view().clone();
+    Ok((0..explorers)
+        .map(|index| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (0xdecade + index as u64 * 0x2_0003));
+            let mut synthesizer = GestureSynthesizer::new(60.0);
+            let traces = (0..traces_per_explorer)
+                .map(|trace| {
+                    // Even traces study (slow → fine → remote), odd traces
+                    // skim (fast → coarse → local).
+                    let duration = if trace % 2 == 0 {
+                        rng.gen_range(2.6f64..3.2)
+                    } else {
+                        rng.gen_range(0.5f64..0.8)
+                    };
+                    synthesizer.slide_down(&view, duration)
+                })
+                .collect();
+            ExplorerPlan {
+                action: TouchAction::Summary {
+                    half_window: Some(5),
+                    kind: AggregateKind::Avg,
+                },
+                traces,
+            }
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::{run_concurrent, run_sequential};
+    use dbtouch_server::ServerConfig;
+
+    // A fast link so the test suite does not sleep through WAN round trips.
+    const FAST_LINK: Option<(u64, u64)> = Some((300, 10_000));
+
+    #[test]
+    fn plans_are_deterministic_and_mode_independent() {
+        let scenario = Scenario::sky_survey(60_000, 3);
+        let (local, object) = device_cloud_catalog(&scenario, RemoteMode::AllLocal, None).unwrap();
+        let (remote, robj) =
+            device_cloud_catalog(&scenario, RemoteMode::Overlapped, FAST_LINK).unwrap();
+        assert_eq!(object, robj);
+        let a = plan_device_cloud(&local, object, 3, 4, 99).unwrap();
+        let b = plan_device_cloud(&remote, robj, 3, 4, 99).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.action, y.action);
+            assert_eq!(x.traces, y.traces, "same view ⇒ same plans across modes");
+        }
+    }
+
+    #[test]
+    fn all_three_modes_digest_identically() {
+        let scenario = Scenario::sky_survey(120_000, 21);
+        let (local, object) = device_cloud_catalog(&scenario, RemoteMode::AllLocal, None).unwrap();
+        let plans = plan_device_cloud(&local, object, 4, 2, 7).unwrap();
+        let expected = run_sequential(&local, object, &plans).unwrap();
+
+        for mode in [
+            RemoteMode::AllLocal,
+            RemoteMode::Blocking,
+            RemoteMode::Overlapped,
+        ] {
+            let (catalog, id) = device_cloud_catalog(&scenario, mode, FAST_LINK).unwrap();
+            let run = run_concurrent(&catalog, id, &plans, ServerConfig::with_workers(2)).unwrap();
+            assert!(run.errors().is_empty(), "{mode:?}: {:?}", run.errors());
+            assert_eq!(run.digests(), expected, "{mode:?} digests must match");
+            let remote: u64 = run
+                .sessions
+                .iter()
+                .map(|s| s.total_remote().total_requests())
+                .sum();
+            match mode {
+                RemoteMode::AllLocal => assert_eq!(remote, 0),
+                RemoteMode::Blocking | RemoteMode::Overlapped => {
+                    assert!(remote > 0, "{mode:?}: slow slides must go remote")
+                }
+            }
+        }
+    }
+}

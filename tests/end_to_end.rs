@@ -235,7 +235,14 @@ fn remote_split_serves_coarse_locally_and_detail_remotely() {
     let fine = fine.unwrap();
     assert_eq!(fine.served_from, ServedFrom::Remote);
     assert!(fine.simulated_micros > 0);
-    assert!(store.stats().remote_requests == 1);
+    // Unambiguous accounting: the plain local fetch and the progressive
+    // request each count exactly once, in their own counters.
+    let stats = store.stats();
+    assert_eq!(stats.local_requests, 1);
+    assert_eq!(stats.progressive_requests, 1);
+    assert_eq!(stats.remote_requests, 0);
+    assert_eq!(stats.total_requests(), 2);
+    assert_eq!(stats.rows_shipped, fine.rows);
 }
 
 #[test]

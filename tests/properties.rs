@@ -329,6 +329,129 @@ proptest! {
             }
         }
     }
+
+    /// Remote refinements racing a live restructure: whatever the
+    /// interleaving of in-flight refinements with `drag_column_out` /
+    /// `group_into_table`, every refinement either applies cleanly to the
+    /// pre-restructure trace it belongs to or is dropped (stale build) —
+    /// and a closed (drained) session's digest always equals one of the two
+    /// all-local sequential replays. Refinements are identity-stamped
+    /// against the immutable build their trace ran on, so none may be
+    /// dropped here and none may straddle builds.
+    #[test]
+    fn refinement_restructure_interleaving_is_clean_or_dropped(
+        rows in 60_000i64..150_000,
+        sessions in 1usize..4,
+        spin in 0u32..200_000,
+        group_flag in 0u8..2,
+    ) {
+        use dbtouch::types::RemoteSplitConfig;
+
+        let group_too = group_flag == 1;
+        // Overlapped split on a fast link; the all-local baselines use the
+        // same sample depth so granularity decisions are identical.
+        let split = RemoteSplitConfig::default()
+            .with_local_min_level(11)
+            .with_network(300, 10_000);
+        let remote_config = KernelConfig::default()
+            .with_sample_levels(12)
+            .with_remote_split(Some(split));
+        let local_config = KernelConfig::default().with_sample_levels(12);
+        let build = |config: KernelConfig| {
+            let catalog = Arc::new(SharedCatalog::new(config));
+            let table = Table::from_columns(
+                "t",
+                vec![
+                    StorageColumn::from_i64("id", (0..rows).collect()),
+                    StorageColumn::from_f64("price", (0..rows).map(|i| i as f64 / 2.0).collect()),
+                    StorageColumn::from_i64("qty", (0..rows).map(|i| i % 7).collect()),
+                ],
+            )
+            .unwrap();
+            let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+            (catalog, tid)
+        };
+        let action = TouchAction::Summary {
+            half_window: Some(5),
+            kind: AggregateKind::Avg,
+        };
+
+        // A slow slide: fine sample levels, i.e. remote traffic.
+        let (baseline_catalog, baseline_tid) = build(local_config);
+        let view = baseline_catalog.data(baseline_tid).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, 2.8);
+        let digest_now = |catalog: &Arc<SharedCatalog>, tid| {
+            let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+            kernel.set_action(tid, action.clone()).unwrap();
+            let outcome = kernel.run_trace(tid, &trace).unwrap();
+            digest_outcomes([TraceOutcome { object: tid, outcome }].iter())
+        };
+        let before = digest_now(&baseline_catalog, baseline_tid);
+        baseline_catalog
+            .drag_column_out(baseline_tid, "price", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let after = digest_now(&baseline_catalog, baseline_tid);
+        prop_assert_ne!(before, after);
+
+        // Live: K overlapped sessions race one restructure (plus, sometimes,
+        // a group_into_table creating a fresh object mid-flight).
+        let (catalog, tid) = build(remote_config);
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let mutator = {
+            let catalog = Arc::clone(&catalog);
+            std::thread::spawn(move || {
+                for _ in 0..spin {
+                    std::hint::spin_loop();
+                }
+                let cid = catalog
+                    .drag_column_out(tid, "price", SizeCm::new(2.0, 10.0))
+                    .unwrap();
+                if group_too {
+                    catalog
+                        .group_into_table("grouped", &[cid], SizeCm::new(2.0, 10.0))
+                        .unwrap();
+                }
+            })
+        };
+        let drivers: Vec<_> = (0..sessions)
+            .map(|_| {
+                let session = server.open_session();
+                let trace = trace.clone();
+                let action = action.clone();
+                std::thread::spawn(move || -> SessionReport {
+                    session.set_action(tid, action).unwrap();
+                    session.run_trace(tid, trace).unwrap();
+                    session.close().unwrap()
+                })
+            })
+            .collect();
+        let reports: Vec<SessionReport> = drivers.into_iter().map(|d| d.join().unwrap()).collect();
+        mutator.join().unwrap();
+        server.shutdown();
+
+        for report in &reports {
+            prop_assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+            // close() is a drain barrier: nothing may still be in flight.
+            prop_assert_eq!(report.pending_refinements(), 0);
+            // Refinements bind to the immutable build their trace ran on, so
+            // every one applies cleanly — the restructure can never produce a
+            // cross-build application, and therefore no drops either.
+            prop_assert_eq!(report.total_refinements_dropped(), 0);
+            prop_assert_eq!(
+                report.total_refinements_applied(),
+                report.total_remote().progressive_requests
+            );
+            let digest = report.result_digest();
+            prop_assert!(
+                digest == before || digest == after,
+                "hybrid result observed: drained digest {digest} is neither the \
+                 all-before ({before}) nor the all-after ({after}) replay"
+            );
+            if report.restructures_seen > 0 {
+                prop_assert_eq!(digest, after);
+            }
+        }
+    }
 }
 
 // Persistence properties run fewer cases: each one persists to (and reopens
