@@ -17,7 +17,7 @@
 //! session and mutator count, and the catalog epoch must advance
 //! monotonically by at least the restructures performed.
 
-use dbtouch_server::latency::percentile;
+use dbtouch_server::latency::percentile_sorted;
 use dbtouch_server::ServerConfig;
 use dbtouch_types::{KernelConfig, Result};
 use dbtouch_workload::churn::{churn_catalog, run_concurrent_with_churn};
@@ -130,7 +130,7 @@ pub fn run_catalog_churn_sweep(
                 mutators,
             );
             stop.store(true, Ordering::Relaxed);
-            let (checkouts, samples, sampler_nanos) =
+            let (checkouts, mut samples, sampler_nanos) =
                 sampler.join().expect("checkout sampler must not panic");
             let outcome = outcome?;
 
@@ -148,6 +148,8 @@ pub fn run_catalog_churn_sweep(
             }
 
             let latency = outcome.run.latency_summary();
+            // Sort once, read both percentiles from the sorted slice.
+            samples.sort_unstable();
             points.push(CatalogChurnPoint {
                 sessions,
                 mutators,
@@ -156,8 +158,8 @@ pub fn run_catalog_churn_sweep(
                 p50_touch_micros: latency.p50_nanos as f64 / 1e3,
                 p99_touch_micros: latency.p99_nanos as f64 / 1e3,
                 checkouts_per_sec: checkouts as f64 / (sampler_nanos.max(1) as f64 / 1e9),
-                checkout_p50_nanos: percentile(&samples, 50.0),
-                checkout_p99_nanos: percentile(&samples, 99.0),
+                checkout_p50_nanos: percentile_sorted(&samples, 50.0),
+                checkout_p99_nanos: percentile_sorted(&samples, 99.0),
                 restructures: outcome.restructures,
                 first_epoch: outcome.first_epoch,
                 final_epoch: outcome.final_epoch,

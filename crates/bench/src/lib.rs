@@ -23,6 +23,7 @@ pub mod figures;
 pub mod remote_overlap;
 pub mod report;
 pub mod sweeps;
+pub mod telemetry_overhead;
 
 pub use cache_effectiveness::{
     run_cache_effectiveness_sweep, CacheEffectivenessPoint, CacheEffectivenessReport,
@@ -34,3 +35,4 @@ pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};
 pub use remote_overlap::{run_remote_overlap_sweep, RemoteOverlapPoint, RemoteOverlapReport};
 pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};
+pub use telemetry_overhead::{run_telemetry_overhead, TelemetryOverheadReport};

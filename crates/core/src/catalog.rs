@@ -48,6 +48,7 @@ use crate::kernel::{ObjectId, TouchAction};
 use crate::remote::NetworkModel;
 use crate::remote_exec::{CompletionQueue, RemoteExecutor, RemoteTier};
 use dbtouch_gesture::view::View;
+use dbtouch_obs::{Gauge, MetricSource, MetricValue, Telemetry, TraceEventKind};
 use dbtouch_storage::cache::RegionCache;
 use dbtouch_storage::column::Column;
 use dbtouch_storage::index::ZoneMapIndex;
@@ -287,6 +288,10 @@ pub struct ObjectState {
     /// The session's device/cloud tier, `None` when the configuration has no
     /// remote split. See [`crate::remote_exec`].
     pub(crate) remote: Option<RemoteTier>,
+    /// The owning catalog's telemetry hub (a disabled hub when
+    /// [`KernelConfig::telemetry_enabled`] is off). Sessions emit
+    /// gesture-lifecycle events through this handle.
+    pub(crate) telemetry: Arc<Telemetry>,
 }
 
 impl ObjectState {
@@ -387,6 +392,8 @@ impl ObjectState {
         }
         let data = snapshot.object(self.id)?.clone();
         self.epoch = snapshot.epoch();
+        self.telemetry
+            .event(TraceEventKind::EpochRefresh, self.epoch);
         if data.identity == self.data.identity {
             // Same build (the publish that moved the epoch did not rebuild
             // this object's data): keep every piece of session state, track
@@ -466,6 +473,43 @@ pub struct SharedCatalog {
     /// created in) a directory via [`SharedCatalog::open`]. Attached catalogs
     /// persist every published epoch; see `crate::persist`.
     persistence: Option<Arc<crate::persist::Persistence>>,
+    /// The catalog's telemetry hub. Every layer below (pager, caches, remote
+    /// executor) registers itself here; sessions and the server share the
+    /// handle through [`ObjectState`] / [`SharedCatalog::telemetry`].
+    telemetry: Arc<Telemetry>,
+    /// Live catalog gauges scraped through the hub (epoch, restructures,
+    /// object count), updated on every publish.
+    gauges: Arc<CatalogGauges>,
+}
+
+/// Point-in-time catalog gauges registered with the telemetry hub.
+#[derive(Debug, Default)]
+struct CatalogGauges {
+    epoch: Gauge,
+    restructures: Gauge,
+    objects: Gauge,
+}
+
+impl CatalogGauges {
+    fn observe(&self, snapshot: &CatalogSnapshot) {
+        self.epoch.set(snapshot.epoch);
+        self.restructures.set(snapshot.restructures);
+        self.objects.set(snapshot.object_count() as u64);
+    }
+}
+
+impl MetricSource for CatalogGauges {
+    fn source_name(&self) -> &'static str {
+        "catalog"
+    }
+
+    fn collect(&self) -> Vec<(&'static str, MetricValue)> {
+        vec![
+            ("epoch", MetricValue::Gauge(self.epoch.get())),
+            ("restructures", MetricValue::Gauge(self.restructures.get())),
+            ("objects", MetricValue::Gauge(self.objects.get())),
+        ]
+    }
 }
 
 impl SharedCatalog {
@@ -502,6 +546,27 @@ impl SharedCatalog {
                     NetworkModel::from_split(split),
                 ))
             });
+        let telemetry = Arc::new(if config.telemetry_enabled {
+            Telemetry::new(config.telemetry_ring_capacity, config.telemetry_hot_sample)
+        } else {
+            Telemetry::disabled()
+        });
+        // Every stats-bearing layer registers itself as a scrape source; the
+        // snapshot assembles their live values without any report plumbing.
+        let gauges = Arc::new(CatalogGauges::default());
+        gauges.observe(&snapshot);
+        telemetry.register(Arc::clone(&gauges) as Arc<dyn MetricSource>);
+        if let Some(cache) = &shared_cache {
+            telemetry.register(Arc::clone(cache) as Arc<dyn MetricSource>);
+        }
+        if let Some(executor) = &remote_executor {
+            telemetry.register(Arc::clone(executor) as Arc<dyn MetricSource>);
+        }
+        if let Some(persistence) = &persistence {
+            let pager = Arc::clone(persistence.pager());
+            pager.attach_telemetry(Arc::clone(&telemetry));
+            telemetry.register(pager as Arc<dyn MetricSource>);
+        }
         SharedCatalog {
             config,
             current: EpochCell::new(Arc::new(snapshot)),
@@ -509,7 +574,15 @@ impl SharedCatalog {
             shared_cache,
             remote_executor,
             persistence,
+            telemetry,
+            gauges,
         }
+    }
+
+    /// The catalog's telemetry hub (disabled when the configuration turns
+    /// telemetry off — recording through it is then a no-op).
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The attached persistent store, if any.
@@ -616,6 +689,7 @@ impl SharedCatalog {
                 executor: self.remote_executor.clone(),
                 queue: Arc::new(CompletionQueue::new()),
             }),
+            telemetry: Arc::clone(&self.telemetry),
             data,
         }
     }
@@ -851,6 +925,9 @@ impl SharedCatalog {
                 slots,
             });
             if self.current.publish_if_current(&current, Arc::clone(&next)) {
+                self.gauges.observe(&next);
+                self.telemetry
+                    .event(TraceEventKind::EpochPublished, next.epoch);
                 // Attached catalogs persist the epoch they just published —
                 // still under the mutators lock, so manifests land in epoch
                 // order and a directory is always exactly one epoch. The

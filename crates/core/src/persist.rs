@@ -122,6 +122,11 @@ impl Persistence {
         self.store.pager().stats()
     }
 
+    /// The attached store's buffer pool, for telemetry registration.
+    pub(crate) fn pager(&self) -> &Arc<dbtouch_storage::pager::Pager> {
+        self.store.pager()
+    }
+
     /// The directory the store lives in.
     pub(crate) fn dir(&self) -> &Path {
         self.store.dir()

@@ -448,6 +448,27 @@ impl RemoteExecutor {
     }
 }
 
+impl dbtouch_obs::MetricSource for RemoteExecutor {
+    fn source_name(&self) -> &'static str {
+        "remote_exec"
+    }
+
+    fn collect(&self) -> Vec<(&'static str, dbtouch_obs::MetricValue)> {
+        use dbtouch_obs::MetricValue;
+        let stats = self.stats();
+        vec![
+            ("submitted", MetricValue::Counter(stats.submitted)),
+            ("delivered", MetricValue::Counter(stats.delivered)),
+            // In-flight fetches: submitted but not yet landed in a queue.
+            // The two counters are read independently, so clamp at zero.
+            (
+                "backlog",
+                MetricValue::Gauge(stats.submitted.saturating_sub(stats.delivered)),
+            ),
+        ]
+    }
+}
+
 impl Drop for RemoteExecutor {
     fn drop(&mut self) {
         // Close the submission channel: I/O threads drain what is queued and

@@ -1,0 +1,177 @@
+//! Wait-free sharded counters and gauges.
+//!
+//! The touch hot path runs in the low microseconds, so metric updates must be
+//! a single uncontended relaxed atomic op. [`Counter`] stripes its state
+//! across cache-line-padded `AtomicU64`s indexed by the caller's thread stripe
+//! (see [`crate::stripe`]); readers sum the stripes on scrape, trading a tiny
+//! read cost for a write path with no shared cache line between workers.
+
+use crate::stripe::{stripe, STRIPES};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One `AtomicU64` padded out to a cache line so neighbouring stripes never
+/// false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonically increasing counter, striped per writer thread.
+///
+/// `add` is wait-free (one relaxed `fetch_add` on a thread-private stripe);
+/// `get` sums the stripes and is only approximately ordered with respect to
+/// concurrent writers — exactly what a scrape wants.
+#[derive(Default)]
+pub struct Counter {
+    stripes: [PaddedU64; STRIPES],
+}
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to the calling thread's stripe.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Sum of all stripes at (roughly) this instant.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+/// A last-write-wins gauge for point-in-time values (queue depths, live
+/// session counts). Single atomic cell: gauges are written from few places and
+/// read on scrape, so striping would only blur the value.
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+/// A high-water-mark gauge: `observe` ratchets the stored maximum upward via
+/// `fetch_max`, so load skew is visible after the fact even though
+/// point-in-time loads have long since drained.
+#[derive(Default)]
+pub struct PeakGauge {
+    peak: AtomicU64,
+}
+
+impl PeakGauge {
+    /// A fresh zeroed peak gauge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `v` into the running maximum.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.peak.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Highest value observed so far.
+    pub fn get(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for PeakGauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PeakGauge")
+            .field("peak", &self.get())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_sums_across_threads() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn counter_add_amounts() {
+        let c = Counter::new();
+        c.add(5);
+        c.add(7);
+        assert_eq!(c.get(), 12);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let g = Gauge::new();
+        g.set(9);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn peak_gauge_ratchets() {
+        let p = PeakGauge::new();
+        p.observe(4);
+        p.observe(9);
+        p.observe(2);
+        assert_eq!(p.get(), 9);
+    }
+}

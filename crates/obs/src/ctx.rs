@@ -1,0 +1,69 @@
+//! Thread-local trace context.
+//!
+//! The layers that emit trace events do not all see the session: the buffer
+//! pool, four crates below the server, faults pages with no idea which gesture
+//! asked for them. Rather than plumbing a trace handle through every storage
+//! API, the worker thread stamps its current `(session, trace)` pair into a
+//! thread-local before running a gesture trace and clears it afterwards; any
+//! event emitted from that thread in between is attributed to the gesture.
+//! Worker threads serve one session event at a time, so the attribution is
+//! exact for session work; background threads (remote I/O pool) carry no
+//! context and their events are recorded unattributed.
+
+use std::cell::Cell;
+
+/// The `(session_id, trace_id)` pair events are attributed to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceCtx {
+    /// Server-assigned session id.
+    pub session: u64,
+    /// Per-gesture-trace id, unique per telemetry hub.
+    pub trace: u64,
+}
+
+thread_local! {
+    static CTX: Cell<Option<TraceCtx>> = const { Cell::new(None) };
+}
+
+/// Attribute subsequent events on this thread to `(session, trace)`.
+pub fn set_trace_ctx(session: u64, trace: u64) {
+    CTX.with(|c| c.set(Some(TraceCtx { session, trace })));
+}
+
+/// Stop attributing events on this thread.
+pub fn clear_trace_ctx() {
+    CTX.with(|c| c.set(None));
+}
+
+/// The calling thread's current trace context, if any.
+pub fn trace_ctx() -> Option<TraceCtx> {
+    CTX.with(|c| c.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_set_get_clear() {
+        assert_eq!(trace_ctx(), None);
+        set_trace_ctx(7, 42);
+        assert_eq!(
+            trace_ctx(),
+            Some(TraceCtx {
+                session: 7,
+                trace: 42
+            })
+        );
+        clear_trace_ctx();
+        assert_eq!(trace_ctx(), None);
+    }
+
+    #[test]
+    fn ctx_is_thread_local() {
+        set_trace_ctx(1, 1);
+        let other = std::thread::spawn(trace_ctx).join().unwrap();
+        assert_eq!(other, None);
+        clear_trace_ctx();
+    }
+}

@@ -1,0 +1,370 @@
+//! The telemetry hub: source registry, event recording, and scraping.
+//!
+//! Every layer that already kept a stats struct (pager, caches, remote
+//! executor, server) registers itself as a [`MetricSource`]; a scrape walks
+//! the sources and folds their current values plus the event ring into one
+//! [`MetricsSnapshot`]. Nothing is pushed through reports or plumbed through
+//! call chains — the snapshot is assembled on demand, mid-run, without
+//! quiescing anything.
+
+use crate::ctx::trace_ctx;
+use crate::events::{EventRing, TraceEvent, TraceEventKind};
+use crate::histogram::HistogramSnapshot;
+use dbtouch_types::json::{object, Json};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// One scraped metric value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Point-in-time or high-water value.
+    Gauge(u64),
+    /// Derived ratio/rate.
+    Float(f64),
+    /// Full distribution (boxed: a snapshot is ~65 buckets wide and would
+    /// otherwise dominate the enum's size).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricValue {
+    /// The value as JSON (histograms expand to their bucket object).
+    pub fn to_json(&self) -> Json {
+        match self {
+            MetricValue::Counter(n) | MetricValue::Gauge(n) => Json::Number(*n as f64),
+            MetricValue::Float(f) => Json::Number(*f),
+            MetricValue::Histogram(h) => h.to_json(),
+        }
+    }
+}
+
+/// A layer that can be scraped. Implementations must be cheap and
+/// non-blocking: a scrape runs concurrently with the hot path.
+pub trait MetricSource: Send + Sync {
+    /// Namespace for this source's metrics (e.g. `"pager"`). Snapshot keys are
+    /// `"{name}.{metric}"`.
+    fn source_name(&self) -> &'static str;
+
+    /// Current values, as `(metric, value)` pairs.
+    fn collect(&self) -> Vec<(&'static str, MetricValue)>;
+}
+
+/// A scraped view of the whole system at one instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// `"{source}.{metric}"` → value, deterministically ordered.
+    pub metrics: BTreeMap<String, MetricValue>,
+    /// The retained tail of the event trace, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Nanoseconds since the hub was created.
+    pub uptime_nanos: u64,
+    /// Total events recorded (including ones the ring has since evicted).
+    pub events_recorded: u64,
+}
+
+impl MetricsSnapshot {
+    /// Look up a metric by its full `"{source}.{metric}"` key.
+    pub fn get(&self, key: &str) -> Option<&MetricValue> {
+        self.metrics.get(key)
+    }
+
+    /// Counter/gauge value by key, when present and scalar.
+    pub fn scalar(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            MetricValue::Counter(n) | MetricValue::Gauge(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// JSON exposition: `{ uptime_nanos, metrics: {...}, events: [...] }`.
+    pub fn to_json(&self) -> Json {
+        let metrics = Json::Object(
+            self.metrics
+                .iter()
+                .map(|(k, v)| (k.clone(), v.to_json()))
+                .collect(),
+        );
+        let events = Json::Array(self.events.iter().map(TraceEvent::to_json).collect());
+        object([
+            ("uptime_nanos", Json::Number(self.uptime_nanos as f64)),
+            ("events_recorded", Json::Number(self.events_recorded as f64)),
+            ("metrics", metrics),
+            ("events", events),
+        ])
+    }
+
+    /// Flat text exposition, one `key value` line per metric (histograms
+    /// expand to `.count/.mean/.p50/.p90/.p99/.max` lines), suitable for
+    /// dumping to a terminal or diffing between scrapes.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "uptime_nanos {}", self.uptime_nanos);
+        let _ = writeln!(out, "events_recorded {}", self.events_recorded);
+        for (key, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(n) | MetricValue::Gauge(n) => {
+                    let _ = writeln!(out, "{key} {n}");
+                }
+                MetricValue::Float(f) => {
+                    let _ = writeln!(out, "{key} {f:.6}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "{key}.count {}", h.count());
+                    let _ = writeln!(out, "{key}.mean {:.1}", h.mean());
+                    let _ = writeln!(out, "{key}.p50 {}", h.quantile(50.0));
+                    let _ = writeln!(out, "{key}.p90 {}", h.quantile(90.0));
+                    let _ = writeln!(out, "{key}.p99 {}", h.quantile(99.0));
+                    let _ = writeln!(out, "{key}.max {}", h.max());
+                }
+            }
+        }
+        out
+    }
+}
+
+thread_local! {
+    /// Per-thread tick for 1-in-N sampling of hot event kinds.
+    static HOT_TICK: Cell<u32> = const { Cell::new(0) };
+}
+
+/// The telemetry hub. One per catalog/server; shared by `Arc` into every
+/// layer. A disabled hub turns every recording call into a branch-and-return.
+pub struct Telemetry {
+    enabled: bool,
+    hot_sample: u32,
+    started: Instant,
+    ring: EventRing,
+    next_trace: AtomicU64,
+    sources: RwLock<Vec<Arc<dyn MetricSource>>>,
+}
+
+impl Telemetry {
+    /// A live hub. `ring_capacity` bounds retained trace events;
+    /// `hot_sample` records every Nth hot-path event (1 = record all).
+    pub fn new(ring_capacity: usize, hot_sample: u32) -> Self {
+        Telemetry {
+            enabled: true,
+            hot_sample: hot_sample.max(1),
+            started: Instant::now(),
+            ring: EventRing::new(ring_capacity),
+            next_trace: AtomicU64::new(1),
+            sources: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// A hub that records nothing and scrapes empty snapshots.
+    pub fn disabled() -> Self {
+        Telemetry {
+            enabled: false,
+            hot_sample: 1,
+            started: Instant::now(),
+            ring: EventRing::new(0),
+            next_trace: AtomicU64::new(1),
+            sources: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Whether this hub records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Register (or replace, matched by `source_name`) a scrape source.
+    pub fn register(&self, source: Arc<dyn MetricSource>) {
+        let mut sources = self.sources.write().unwrap();
+        if let Some(slot) = sources
+            .iter_mut()
+            .find(|s| s.source_name() == source.source_name())
+        {
+            *slot = source;
+        } else {
+            sources.push(source);
+        }
+    }
+
+    /// Allocate a trace id and attribute subsequent events on this thread to
+    /// `(session, trace)`. Pair with [`Telemetry::end_trace`].
+    pub fn begin_trace(&self, session: u64) -> u64 {
+        let trace = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        if self.enabled {
+            crate::ctx::set_trace_ctx(session, trace);
+        }
+        trace
+    }
+
+    /// Clear this thread's trace attribution.
+    pub fn end_trace(&self) {
+        crate::ctx::clear_trace_ctx();
+    }
+
+    /// Record a lifecycle event unconditionally (rare kinds).
+    #[inline]
+    pub fn event(&self, kind: TraceEventKind, detail: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.push_event(kind, detail);
+    }
+
+    /// Record a hot-path event, sampled 1-in-`hot_sample` per thread. The
+    /// fast path (sampled out) is one thread-local increment.
+    #[inline]
+    pub fn hot_event(&self, kind: TraceEventKind, detail: u64) {
+        if !self.enabled {
+            return;
+        }
+        let fire = HOT_TICK.with(|t| {
+            let next = t.get().wrapping_add(1);
+            t.set(next);
+            next % self.hot_sample == 0
+        });
+        if fire {
+            self.push_event(kind, detail);
+        }
+    }
+
+    fn push_event(&self, kind: TraceEventKind, detail: u64) {
+        let ctx = trace_ctx();
+        self.ring.push(TraceEvent {
+            seq: 0, // assigned by the ring
+            at_nanos: self.started.elapsed().as_nanos() as u64,
+            session: ctx.map(|c| c.session),
+            trace: ctx.map(|c| c.trace),
+            kind,
+            detail,
+        });
+    }
+
+    /// Scrape all sources and the event ring into a snapshot. Runs
+    /// concurrently with writers; no quiescing.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut metrics = BTreeMap::new();
+        for source in self.sources.read().unwrap().iter() {
+            let prefix = source.source_name();
+            for (name, value) in source.collect() {
+                metrics.insert(format!("{prefix}.{name}"), value);
+            }
+        }
+        MetricsSnapshot {
+            metrics,
+            events: self.ring.snapshot(),
+            uptime_nanos: self.started.elapsed().as_nanos() as u64,
+            events_recorded: self.ring.pushed(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.enabled)
+            .field("hot_sample", &self.hot_sample)
+            .field("sources", &self.sources.read().unwrap().len())
+            .field("events_recorded", &self.ring.pushed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Counter;
+
+    struct FakeSource {
+        hits: Counter,
+    }
+
+    impl MetricSource for FakeSource {
+        fn source_name(&self) -> &'static str {
+            "fake"
+        }
+        fn collect(&self) -> Vec<(&'static str, MetricValue)> {
+            vec![("hits", MetricValue::Counter(self.hits.get()))]
+        }
+    }
+
+    #[test]
+    fn snapshot_scrapes_registered_sources() {
+        let hub = Telemetry::new(64, 1);
+        let src = Arc::new(FakeSource {
+            hits: Counter::new(),
+        });
+        hub.register(src.clone());
+        src.hits.add(3);
+        let snap = hub.snapshot();
+        assert_eq!(snap.scalar("fake.hits"), Some(3));
+        // Re-register replaces rather than duplicates.
+        hub.register(src);
+        assert_eq!(hub.snapshot().metrics.len(), 1);
+    }
+
+    #[test]
+    fn events_carry_trace_context() {
+        let hub = Telemetry::new(64, 1);
+        let trace = hub.begin_trace(7);
+        hub.event(TraceEventKind::RemoteSubmitted, 11);
+        hub.end_trace();
+        hub.event(TraceEventKind::EpochPublished, 2);
+        let snap = hub.snapshot();
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].session, Some(7));
+        assert_eq!(snap.events[0].trace, Some(trace));
+        assert_eq!(snap.events[1].session, None);
+    }
+
+    #[test]
+    fn hot_events_are_sampled() {
+        let hub = Telemetry::new(4096, 10);
+        for i in 0..100 {
+            hub.hot_event(TraceEventKind::TouchReceived, i);
+        }
+        let snap = hub.snapshot();
+        assert_eq!(snap.events.len(), 10);
+        assert_eq!(snap.events_recorded, 10);
+    }
+
+    #[test]
+    fn disabled_hub_records_nothing() {
+        let hub = Telemetry::disabled();
+        hub.begin_trace(1);
+        hub.event(TraceEventKind::PageFault, 1);
+        hub.hot_event(TraceEventKind::TouchReceived, 1);
+        hub.end_trace();
+        let snap = hub.snapshot();
+        assert!(snap.events.is_empty());
+        assert_eq!(snap.events_recorded, 0);
+        assert!(crate::ctx::trace_ctx().is_none());
+    }
+
+    #[test]
+    fn exposition_renders_text_and_json() {
+        let hub = Telemetry::new(64, 1);
+        let src = Arc::new(FakeSource {
+            hits: Counter::new(),
+        });
+        src.hits.add(5);
+        hub.register(src);
+        hub.event(TraceEventKind::EpochPublished, 3);
+        let snap = hub.snapshot();
+        let text = snap.render_text();
+        assert!(text.contains("fake.hits 5"));
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("metrics")
+                .and_then(|m| m.get("fake.hits"))
+                .and_then(Json::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            json.get("events").and_then(Json::as_array).unwrap().len(),
+            1
+        );
+        // Byte-stable rendering round-trips through the parser.
+        assert!(dbtouch_types::json::parse(&json.pretty()).is_ok());
+    }
+}

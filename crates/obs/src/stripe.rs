@@ -1,0 +1,52 @@
+//! Per-thread stripe selection for sharded atomics.
+//!
+//! Each thread is lazily assigned a small stripe index the first time it
+//! touches any sharded metric; all of its subsequent writes go to that stripe.
+//! Assignment is round-robin over [`STRIPES`], so up to that many writer
+//! threads never share a cache line, and beyond it collisions stay evenly
+//! spread. The index is process-global (one per thread, shared by every
+//! counter) — stripe selection costs a thread-local read on the hot path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of stripes per sharded metric. Covers the server's worker pool plus
+/// the remote I/O threads without collisions; a power of two keeps the modulo
+/// cheap.
+pub const STRIPES: usize = 16;
+
+static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static STRIPE: usize = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) % STRIPES;
+}
+
+/// The calling thread's stripe index, in `0..STRIPES`.
+#[inline]
+pub fn stripe() -> usize {
+    STRIPE.with(|s| *s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripe_is_stable_per_thread() {
+        let a = stripe();
+        let b = stripe();
+        assert_eq!(a, b);
+        assert!(a < STRIPES);
+    }
+
+    #[test]
+    fn threads_get_spread_stripes() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| (stripe(), stripe())))
+            .collect();
+        for h in handles {
+            let (a, b) = h.join().unwrap();
+            assert_eq!(a, b);
+            assert!(a < STRIPES);
+        }
+    }
+}

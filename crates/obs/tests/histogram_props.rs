@@ -1,0 +1,110 @@
+//! Property tests for the log-scale histogram: bucket-boundary correctness,
+//! merge associativity, and the ≤2x quantile error bound against an exact
+//! nearest-rank computation on the raw sample.
+
+use dbtouch_obs::HistogramSnapshot;
+use proptest::prelude::*;
+
+/// Exact nearest-rank quantile computed from the full sample.
+fn exact_quantile(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn hist_of(values: &[u64]) -> HistogramSnapshot {
+    let mut h = HistogramSnapshot::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every value lands in exactly one bucket whose bounds contain it.
+    #[test]
+    fn value_lands_inside_its_bucket(v in 0u64..u64::MAX) {
+        let h = hist_of(&[v]);
+        let buckets = h.nonzero_buckets();
+        prop_assert_eq!(buckets.len(), 1);
+        let (lo, hi, n) = buckets[0];
+        prop_assert_eq!(n, 1);
+        prop_assert!(lo <= v && v <= hi, "{} outside [{}, {}]", v, lo, hi);
+        // Log2 bucketing: upper bound is less than twice the lower (bucket 0
+        // aside), which is what gives quantiles their 2x error bound.
+        if lo > 0 {
+            prop_assert!(hi - lo < lo); // hi < 2*lo, written overflow-safe
+        }
+    }
+
+    /// Merging is associative and commutative and matches bulk recording.
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..1u64 << 40, 0..200),
+        b in prop::collection::vec(0u64..1u64 << 40, 0..200),
+        c in prop::collection::vec(0u64..1u64 << 40, 0..200),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        // a ⊕ (b ⊕ c)
+        let mut right_inner = hb.clone();
+        right_inner.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&right_inner);
+
+        prop_assert_eq!(&left, &right);
+
+        // b ⊕ a  ==  a ⊕ b
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        prop_assert_eq!(&ab, &ba);
+
+        // All equal recording everything into one histogram.
+        let mut all: Vec<u64> = a.clone();
+        all.extend(&b);
+        all.extend(&c);
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// The histogram quantile never undershoots the exact nearest-rank value
+    /// and never reaches twice it: exact <= est < 2 * max(exact, 1).
+    #[test]
+    fn quantile_error_is_bounded(
+        values in prop::collection::vec(0u64..1u64 << 40, 1..400),
+        q in 0.0f64..100.0,
+    ) {
+        let h = hist_of(&values);
+        let exact = exact_quantile(&values, q);
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "q{}: est {} < exact {}", q, est, exact);
+        prop_assert!(
+            est < exact.max(1) * 2,
+            "q{}: est {} >= 2x exact {}", q, est, exact
+        );
+    }
+
+    /// Count/sum/min/max survive any merge order.
+    #[test]
+    fn summary_stats_match_sample(
+        values in prop::collection::vec(0u64..1u64 << 40, 1..300),
+    ) {
+        let h = hist_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        prop_assert_eq!(h.min(), values.iter().min().copied());
+        prop_assert_eq!(h.max(), values.iter().max().copied().unwrap());
+        let mean = h.mean();
+        let expect = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((mean - expect).abs() < 1e-6 * expect.max(1.0));
+    }
+}

@@ -23,6 +23,17 @@ pub struct ServerConfig {
     ///
     /// [`ExplorationServer::open`]: crate::manager::ExplorationServer::open
     pub catalog_dir: Option<PathBuf>,
+    /// Keep every raw [`LatencySample`] in [`SessionReport::latencies`].
+    ///
+    /// Live serving summarizes per-touch latency into a fixed-memory
+    /// log-scale histogram (`SessionReport::latency_hist`), so a long-lived
+    /// session's report stays bounded. Benches and debugging sessions that
+    /// want exact per-trace samples (exact percentiles, per-trace plots)
+    /// opt back into the unbounded vector with this flag.
+    ///
+    /// [`LatencySample`]: crate::latency::LatencySample
+    /// [`SessionReport::latencies`]: crate::report::SessionReport::latencies
+    pub record_raw_latency: bool,
 }
 
 impl ServerConfig {
@@ -44,6 +55,12 @@ impl ServerConfig {
         self.catalog_dir = Some(dir.into());
         self
     }
+
+    /// Builder-style setter for raw latency-sample retention.
+    pub fn with_raw_latency(mut self, record: bool) -> ServerConfig {
+        self.record_raw_latency = record;
+        self
+    }
 }
 
 impl Default for ServerConfig {
@@ -55,6 +72,7 @@ impl Default for ServerConfig {
             worker_threads: parallelism.clamp(2, 16),
             session_queue_depth: 64,
             catalog_dir: None,
+            record_raw_latency: false,
         }
     }
 }

@@ -5,6 +5,8 @@
 //! serving context, a tail-latency requirement: the server must know its p99
 //! per-touch time under load, not just its throughput.
 
+use dbtouch_obs::HistogramSnapshot;
+
 /// Wall-clock measurement of one processed gesture trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySample {
@@ -27,6 +29,9 @@ impl LatencySample {
 }
 
 /// Percentile over an unsorted slice (nearest-rank). Returns 0 when empty.
+///
+/// Clones and sorts per call — when several percentiles of the same slice
+/// are needed, sort once and use [`percentile_sorted`] for each.
 pub fn percentile(samples: &[u64], p: f64) -> u64 {
     let mut sorted = samples.to_vec();
     sorted.sort_unstable();
@@ -34,7 +39,7 @@ pub fn percentile(samples: &[u64], p: f64) -> u64 {
 }
 
 /// Nearest-rank percentile over an already-sorted slice. Returns 0 when empty.
-fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
+pub fn percentile_sorted(sorted: &[u64], p: f64) -> u64 {
     if sorted.is_empty() {
         return 0;
     }
@@ -90,12 +95,48 @@ impl LatencySummary {
         }
     }
 
+    /// Summarize a per-touch latency histogram (each recorded value one
+    /// trace's mean per-touch nanoseconds). `max_touch_nanos` is the worst
+    /// single touch tracked alongside the histogram; the larger of it and
+    /// the histogram's own max is reported, so a caller that tracked no
+    /// per-touch worst still gets the worst per-trace mean.
+    ///
+    /// Percentiles inherit the histogram's log-scale bucket resolution:
+    /// each is an upper bound within 2x of the exact nearest-rank value
+    /// (see [`HistogramSnapshot::quantile`]).
+    pub fn from_histogram(hist: &HistogramSnapshot, max_touch_nanos: u64) -> LatencySummary {
+        if hist.count() == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: hist.count() as usize,
+            mean_nanos: hist.mean() as u64,
+            p50_nanos: hist.quantile(50.0),
+            p90_nanos: hist.quantile(90.0),
+            p99_nanos: hist.quantile(99.0),
+            max_nanos: max_touch_nanos.max(hist.max()),
+        }
+    }
+
     /// Merge per-trace samples from several sessions into one summary.
+    ///
+    /// Streams every sample into one fixed-memory histogram instead of
+    /// copying all samples into one vector (sessions can hold arbitrarily
+    /// many traces): memory is constant and percentiles carry the
+    /// histogram's 2x bucket resolution. The reported max stays exact.
     pub fn merged<'a>(
         per_session: impl IntoIterator<Item = &'a [LatencySample]>,
     ) -> LatencySummary {
-        let all: Vec<LatencySample> = per_session.into_iter().flatten().copied().collect();
-        LatencySummary::from_samples(&all)
+        let mut hist = HistogramSnapshot::default();
+        let mut worst = 0u64;
+        for samples in per_session {
+            for sample in samples {
+                let mean = sample.per_touch_nanos();
+                hist.record(mean);
+                worst = worst.max(sample.max_touch_nanos.max(mean));
+            }
+        }
+        LatencySummary::from_histogram(&hist, worst)
     }
 }
 
@@ -133,6 +174,33 @@ mod tests {
         assert_eq!(s.p50_nanos, 100);
         // max is the worst single touch, not the worst per-trace mean.
         assert_eq!(s.max_nanos, 5_000);
+    }
+
+    #[test]
+    fn histogram_summary_bounds_the_exact_one() {
+        let samples: Vec<LatencySample> = (1..=200u64)
+            .map(|i| LatencySample {
+                nanos: i * 1_000,
+                touches: 1,
+                max_touch_nanos: i * 1_000,
+            })
+            .collect();
+        let exact = LatencySummary::from_samples(&samples);
+        let merged = LatencySummary::merged([samples.as_slice()]);
+        assert_eq!(merged.count, exact.count);
+        assert_eq!(merged.max_nanos, exact.max_nanos, "max stays exact");
+        for (est, want) in [
+            (merged.p50_nanos, exact.p50_nanos),
+            (merged.p90_nanos, exact.p90_nanos),
+            (merged.p99_nanos, exact.p99_nanos),
+        ] {
+            assert!(est >= want, "histogram percentile is an upper bound");
+            assert!(est < want * 2, "within the 2x log-bucket error bound");
+        }
+        assert_eq!(
+            LatencySummary::merged(std::iter::empty::<&[LatencySample]>()),
+            LatencySummary::default()
+        );
     }
 
     #[test]

@@ -41,9 +41,11 @@
 pub mod config;
 pub mod latency;
 pub mod manager;
+pub mod metrics;
 pub mod report;
 
 pub use config::ServerConfig;
 pub use latency::{LatencySample, LatencySummary};
 pub use manager::{ExplorationServer, SessionHandle};
+pub use metrics::ServerMetricsSnapshot;
 pub use report::{digest_outcomes, SessionId, SessionReport, TraceOutcome};

@@ -30,12 +30,14 @@
 
 use crate::config::ServerConfig;
 use crate::latency::LatencySample;
+use crate::metrics::{ServerInstruments, ServerMetricsSnapshot};
 use crate::report::{SessionId, SessionReport, TraceOutcome};
 use dbtouch_core::catalog::{validate_action, ObjectState, SharedCatalog};
 use dbtouch_core::kernel::{ObjectId, TouchAction};
 use dbtouch_core::remote_exec::{self, CompletionQueue, RefinementApplied, RemoteCompletion};
 use dbtouch_core::session::Session;
 use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_obs::{clear_trace_ctx, set_trace_ctx, Telemetry, TraceEventKind};
 use dbtouch_types::{DbTouchError, KernelConfig, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -264,20 +266,27 @@ pub struct ExplorationServer {
     queue_depth: usize,
     next_session: AtomicU64,
     next_worker: AtomicUsize,
+    instruments: Arc<ServerInstruments>,
 }
 
 impl ExplorationServer {
     /// Spawn the worker pool over `catalog`.
     pub fn start(catalog: Arc<SharedCatalog>, config: ServerConfig) -> ExplorationServer {
+        let instruments = Arc::new(ServerInstruments::default());
+        catalog
+            .telemetry()
+            .register(Arc::clone(&instruments) as Arc<dyn dbtouch_obs::MetricSource>);
+        let record_raw = config.record_raw_latency;
         let workers = (0..config.worker_threads.max(1))
             .map(|index| {
                 let (sender, receiver) = channel();
                 let catalog = Arc::clone(&catalog);
                 let live_sessions = Arc::new(AtomicUsize::new(0));
                 let live = Arc::clone(&live_sessions);
+                let instruments = Arc::clone(&instruments);
                 let join = std::thread::Builder::new()
                     .name(format!("dbtouch-worker-{index}"))
-                    .spawn(move || worker_loop(catalog, receiver, live))
+                    .spawn(move || worker_loop(catalog, receiver, live, instruments, record_raw))
                     .expect("spawn worker thread");
                 WorkerHandle {
                     sender: Some(sender),
@@ -292,6 +301,7 @@ impl ExplorationServer {
             queue_depth: config.session_queue_depth,
             next_session: AtomicU64::new(1),
             next_worker: AtomicUsize::new(0),
+            instruments,
         }
     }
 
@@ -334,11 +344,26 @@ impl ExplorationServer {
             .expect("at least one worker");
         // checked_add leaves a poisoned (usize::MAX) counter of a panicked
         // worker untouched instead of wrapping it back to an attractive 0.
-        let _ = self.workers[worker].live_sessions.fetch_update(
+        if let Ok(previous) = self.workers[worker].live_sessions.fetch_update(
             Ordering::Relaxed,
             Ordering::Relaxed,
             |live| live.checked_add(1),
-        );
+        ) {
+            self.instruments
+                .peak_worker_load
+                .observe(previous as u64 + 1);
+        }
+        self.instruments.sessions_opened.inc();
+        // Poisoned (usize::MAX) counters of dead workers are excluded: they
+        // mark a worker as unroutable, not billions of live sessions.
+        let live_total: u64 = self
+            .workers
+            .iter()
+            .map(|w| w.live_sessions.load(Ordering::Relaxed))
+            .filter(|&l| l != usize::MAX)
+            .map(|l| l as u64)
+            .sum();
+        self.instruments.peak_live_sessions.observe(live_total);
         SessionHandle {
             id,
             sender: self.workers[worker].sender.clone().expect("server running"),
@@ -353,6 +378,17 @@ impl ExplorationServer {
             .iter()
             .map(|w| w.live_sessions.load(Ordering::Relaxed))
             .collect()
+    }
+
+    /// A typed point-in-time metrics snapshot: every registered source
+    /// (server counters, catalog gauges, pager, caches, remote executor),
+    /// the recent trace-event window, and the per-worker loads. Safe to
+    /// take mid-run — scraping never blocks serving.
+    pub fn metrics_snapshot(&self) -> ServerMetricsSnapshot {
+        ServerMetricsSnapshot {
+            worker_loads: self.worker_loads(),
+            inner: self.catalog.telemetry().snapshot(),
+        }
     }
 
     /// Stop serving and join the workers. Queued-but-unprocessed events are
@@ -395,8 +431,9 @@ struct SessionSlot {
     /// lazily when the session first touches a remote-split object), so the
     /// worker drains a single queue per session at event boundaries.
     remote_queue: Option<Arc<CompletionQueue>>,
-    /// In-flight refinement tickets → index of the trace outcome they patch.
-    outstanding: HashMap<u64, usize>,
+    /// In-flight refinement tickets → (index of the trace outcome they
+    /// patch, telemetry trace id of the issuing trace).
+    outstanding: HashMap<u64, (usize, u64)>,
 }
 
 impl SessionSlot {
@@ -440,33 +477,43 @@ impl SessionSlot {
     /// Apply one completion to the trace outcome it refines, recording its
     /// real latency. Completions whose ticket is unknown (their trace
     /// errored before its outcome was recorded) are discarded.
-    fn apply_remote(&mut self, completion: RemoteCompletion) {
+    fn apply_remote(&mut self, completion: RemoteCompletion, telemetry: &Telemetry) {
         let ticket = completion.ticket;
-        let Some(trace_index) = self.outstanding.remove(&ticket) else {
+        let Some((trace_index, trace_id)) = self.outstanding.remove(&ticket) else {
             return;
         };
         let latency_nanos = completion.submitted.elapsed().as_nanos() as u64;
         let outcome = &mut self.report.outcomes[trace_index].outcome;
+        // Refinements land at later event boundaries, outside their issuing
+        // trace's scope: re-stamp its trace id so the lifecycle events of
+        // one gesture correlate across the submit/land gap.
+        set_trace_ctx(self.report.session_id, trace_id);
         match remote_exec::apply_completion(outcome, completion) {
-            Ok(RefinementApplied::Applied { .. } | RefinementApplied::DroppedStaleBuild) => {
+            Ok(RefinementApplied::Applied { .. }) => {
+                telemetry.event(TraceEventKind::RefinementLanded, ticket);
+                self.report.refinement_latencies.push(latency_nanos);
+            }
+            Ok(RefinementApplied::DroppedStaleBuild) => {
+                telemetry.event(TraceEventKind::RefinementDropped, ticket);
                 self.report.refinement_latencies.push(latency_nanos);
             }
             Ok(RefinementApplied::UnknownTicket) => {}
             Err(e) => self.report.errors.push(format!("refinement {ticket}: {e}")),
         }
+        clear_trace_ctx();
     }
 
     /// Drain the session's completion queue. Between events this is
     /// non-blocking (apply whatever is ready, keep serving); at a barrier
     /// (snapshot/close) it waits until every outstanding refinement landed —
     /// the stall, if any, is charged to `refinement_blocked_nanos`.
-    fn drain_remote(&mut self, barrier: bool) {
+    fn drain_remote(&mut self, barrier: bool, telemetry: &Telemetry) {
         if self.remote_queue.is_none() {
             return;
         }
         let queue = Arc::clone(self.remote_queue.as_ref().expect("checked above"));
         for completion in queue.drain_ready() {
-            self.apply_remote(completion);
+            self.apply_remote(completion, telemetry);
         }
         if !barrier || self.outstanding.is_empty() {
             return;
@@ -474,7 +521,7 @@ impl SessionSlot {
         let stalled = Instant::now();
         while !self.outstanding.is_empty() {
             for completion in queue.wait_ready(Duration::from_millis(20)) {
-                self.apply_remote(completion);
+                self.apply_remote(completion, telemetry);
             }
         }
         self.report.refinement_blocked_nanos += stalled.elapsed().as_nanos() as u64;
@@ -485,10 +532,19 @@ fn worker_loop(
     catalog: Arc<SharedCatalog>,
     receiver: Receiver<Envelope>,
     live_sessions: Arc<AtomicUsize>,
+    instruments: Arc<ServerInstruments>,
+    record_raw: bool,
 ) {
     let mut gates: HashMap<SessionId, Arc<QueueGate>> = HashMap::new();
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        serve(&catalog, &receiver, &mut gates, &live_sessions)
+        serve(
+            &catalog,
+            &receiver,
+            &mut gates,
+            &live_sessions,
+            &instruments,
+            record_raw,
+        )
     }));
     // Whether the loop ended by Terminate, channel disconnect or a panic
     // inside per-touch processing: drain what is still queued and close every
@@ -522,8 +578,11 @@ fn serve(
     receiver: &Receiver<Envelope>,
     gates: &mut HashMap<SessionId, Arc<QueueGate>>,
     live_sessions: &AtomicUsize,
+    instruments: &ServerInstruments,
+    record_raw: bool,
 ) {
     let config = catalog.config().clone();
+    let telemetry = Arc::clone(catalog.telemetry());
     let mut sessions: HashMap<SessionId, SessionSlot> = HashMap::new();
     while let Ok(envelope) = receiver.recv() {
         let Envelope::Event {
@@ -544,7 +603,7 @@ fn serve(
         });
         // Every event is a boundary: land whatever refinements are ready
         // before processing it (never blocking — overlap is the point).
-        slot.drain_remote(false);
+        slot.drain_remote(false, &telemetry);
         match event {
             SessionEvent::SetAction { object, action } => {
                 let report = &mut slot.report;
@@ -563,12 +622,18 @@ fn serve(
                     Ok(())
                 });
                 if let Err(e) = applied {
+                    instruments.trace_errors.inc();
                     report
                         .errors
                         .push(format!("set_action on object {}: {e}", object.0));
                 }
             }
             SessionEvent::RunTrace { object, trace } => {
+                // The whole trace runs under one telemetry trace id: every
+                // lifecycle event it emits — touch received, cache hit/miss,
+                // page fault, remote submit — carries (session, trace).
+                let trace_id = telemetry.begin_trace(session);
+                telemetry.event(TraceEventKind::TraceStarted, object.0);
                 let report = &mut slot.report;
                 match SessionSlot::boundary_state(
                     &mut slot.states,
@@ -582,11 +647,19 @@ fn serve(
                         let epoch = state.epoch();
                         match Session::new(state, &config).run(&trace) {
                             Ok(outcome) => {
-                                report.latencies.push(LatencySample {
+                                let sample = LatencySample {
                                     nanos: started.elapsed().as_nanos() as u64,
                                     touches: trace.len() as u64,
                                     max_touch_nanos: outcome.stats.max_touch_nanos,
-                                });
+                                };
+                                let mean = sample.per_touch_nanos();
+                                report.latency_hist.record(mean);
+                                report.max_touch_nanos =
+                                    report.max_touch_nanos.max(sample.max_touch_nanos.max(mean));
+                                if record_raw {
+                                    report.latencies.push(sample);
+                                }
+                                instruments.record_trace(&outcome.stats, mean);
                                 report.epochs.push(epoch);
                                 // Refinements of this trace are in flight:
                                 // remember which outcome each ticket patches
@@ -594,30 +667,40 @@ fn serve(
                                 // boundaries (or the snapshot/close barrier).
                                 let trace_index = report.outcomes.len();
                                 for pending in &outcome.pending {
-                                    slot.outstanding.insert(pending.ticket, trace_index);
+                                    slot.outstanding
+                                        .insert(pending.ticket, (trace_index, trace_id));
                                 }
                                 report.outcomes.push(TraceOutcome { object, outcome });
                             }
-                            Err(e) => report
-                                .errors
-                                .push(format!("trace over object {}: {e}", object.0)),
+                            Err(e) => {
+                                instruments.trace_errors.inc();
+                                report
+                                    .errors
+                                    .push(format!("trace over object {}: {e}", object.0))
+                            }
                         }
                     }
-                    Err(e) => report
-                        .errors
-                        .push(format!("checkout of object {}: {e}", object.0)),
+                    Err(e) => {
+                        instruments.trace_errors.inc();
+                        report
+                            .errors
+                            .push(format!("checkout of object {}: {e}", object.0))
+                    }
                 }
+                telemetry.event(TraceEventKind::TraceFinished, object.0);
+                telemetry.end_trace();
             }
             SessionEvent::Snapshot { reply } => {
                 // A barrier: the snapshot is fully refined.
-                slot.drain_remote(true);
+                slot.drain_remote(true, &telemetry);
                 let _ = reply.send(slot.report.clone());
             }
             SessionEvent::Close { reply } => {
                 let mut slot = sessions.remove(&session).expect("slot exists");
                 // Final barrier: the report handed back is fully refined and
                 // digest-stable.
-                slot.drain_remote(true);
+                slot.drain_remote(true, &telemetry);
+                instruments.sessions_closed.inc();
                 // The handle is consumed by close() (or gone, on the Drop
                 // path), so nobody can block on this gate again: drop it from
                 // the registry rather than retaining one entry per session
@@ -722,7 +805,10 @@ mod tests {
         assert_eq!(report.traces_run(), 1);
         assert!(report.total_entries() > 0);
         assert!(report.errors.is_empty());
-        assert_eq!(report.latencies.len(), 1);
+        // Raw samples are off by default; the histogram always records.
+        assert!(report.latencies.is_empty());
+        assert_eq!(report.latency_summary().count, 1);
+        assert!(report.latency_summary().max_nanos > 0);
         server.shutdown();
     }
 
@@ -805,7 +891,7 @@ mod tests {
             ServerConfig {
                 worker_threads: 1,
                 session_queue_depth: 2,
-                catalog_dir: None,
+                ..ServerConfig::default()
             },
         );
         let session = server.open_session();
@@ -848,7 +934,7 @@ mod tests {
             ServerConfig {
                 worker_threads: 1,
                 session_queue_depth: 1,
-                catalog_dir: None,
+                ..ServerConfig::default()
             },
         );
         let session = server.open_session();
@@ -1149,6 +1235,87 @@ mod tests {
             let stats = catalog.remote_executor().unwrap().stats();
             stats.submitted
         });
+    }
+
+    #[test]
+    fn metrics_snapshot_exposes_serving_counters_and_events() {
+        let (catalog, id) = catalog_with_column(50_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let s1 = server.open_session();
+        let s2 = server.open_session();
+        s1.run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.5))
+            .unwrap();
+        s1.snapshot().unwrap(); // barrier: the trace has completed
+
+        let metrics = server.metrics_snapshot();
+        assert_eq!(metrics.sessions_served(), 2);
+        assert!(metrics.peak_live_sessions() >= 2);
+        assert!(metrics.scalar("server.peak_worker_load").unwrap() >= 1);
+        assert_eq!(metrics.traces_run(), 1);
+        assert!(metrics.scalar("server.touches").unwrap() > 0);
+        assert!(metrics.scalar("catalog.epoch").is_some());
+        assert_eq!(metrics.worker_loads.len(), 2);
+        let hist = metrics.histogram("server.touch_nanos").unwrap();
+        assert_eq!(hist.count(), 1);
+
+        // The trace's lifecycle is in the event window, stamped with the
+        // session and a trace id.
+        let started = metrics
+            .events()
+            .iter()
+            .find(|e| e.kind == TraceEventKind::TraceStarted)
+            .expect("trace_started event");
+        assert_eq!(started.session, Some(s1.id()));
+        assert!(started.trace.is_some());
+        assert!(metrics
+            .events()
+            .iter()
+            .any(|e| e.kind == TraceEventKind::TraceFinished));
+
+        // Both exposition forms carry the server counters and worker loads.
+        let json = metrics.to_json();
+        assert!(json.get("worker_loads").is_some());
+        assert!(json.get("metrics").unwrap().get("server.traces").is_some());
+        let text = metrics.render_text();
+        assert!(text.contains("server.traces 1"));
+        assert!(text.contains("server.worker_load.0"));
+
+        s1.close().unwrap();
+        s2.close().unwrap();
+        let after = server.metrics_snapshot();
+        assert_eq!(after.scalar("server.sessions_closed"), Some(2));
+        // The lifetime total survives the closes; the point-in-time loads
+        // are back to zero.
+        assert_eq!(after.sessions_served(), 2);
+        assert_eq!(after.worker_loads, vec![0, 0]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn raw_latency_samples_are_opt_in() {
+        let (catalog, id) = catalog_with_column(20_000);
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server = ExplorationServer::start(
+            Arc::clone(&catalog),
+            ServerConfig::with_workers(1).with_raw_latency(true),
+        );
+        let session = server.open_session();
+        session
+            .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.3))
+            .unwrap();
+        let report = session.close().unwrap();
+        server.shutdown();
+        assert_eq!(report.latencies.len(), 1, "raw samples retained on opt-in");
+        assert_eq!(report.latency_hist.count(), 1, "histogram always records");
+        // With raw samples present the summary is the exact one.
+        let summary = report.latency_summary();
+        assert_eq!(summary.count, 1);
+        assert_eq!(
+            summary.p50_nanos,
+            report.latencies[0].per_touch_nanos(),
+            "raw path reports exact percentiles"
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::latency::{LatencySample, LatencySummary};
 use dbtouch_core::kernel::ObjectId;
 use dbtouch_core::remote::RemoteStats;
 use dbtouch_core::session::SessionOutcome;
+use dbtouch_obs::HistogramSnapshot;
 
 /// Identifier of a served session.
 pub type SessionId = u64;
@@ -27,8 +28,22 @@ pub struct SessionReport {
     pub session_id: SessionId,
     /// One entry per completed `run_trace`, in submission order.
     pub outcomes: Vec<TraceOutcome>,
-    /// One wall-clock sample per completed `run_trace`.
+    /// Raw wall-clock samples, one per completed `run_trace` — populated
+    /// only when [`ServerConfig::record_raw_latency`] is on. Live serving
+    /// keeps per-touch latency in the fixed-memory
+    /// [`latency_hist`](Self::latency_hist) instead, so a long-lived
+    /// session's report does not grow with every trace.
+    ///
+    /// [`ServerConfig::record_raw_latency`]: crate::config::ServerConfig::record_raw_latency
     pub latencies: Vec<LatencySample>,
+    /// Log-scale histogram of per-trace mean per-touch nanoseconds — always
+    /// populated, one recorded value per completed trace. Percentiles read
+    /// from it are upper bounds within 2x (log2 buckets).
+    pub latency_hist: HistogramSnapshot,
+    /// Worst single-touch processing time observed in any trace,
+    /// nanoseconds (the paper's "maximum possible wait time for a single
+    /// touch"). Tracked exactly alongside the histogram.
+    pub max_touch_nanos: u64,
     /// The catalog epoch each completed trace ran against, parallel to
     /// `outcomes`. A trace observes the newest epoch at its gesture boundary
     /// and keeps it for the whole trace, so within a session this sequence is
@@ -121,9 +136,31 @@ impl SessionReport {
         }
     }
 
-    /// Per-touch latency summary of this session.
+    /// Per-touch latency summary of this session: exact when raw samples
+    /// were retained ([`ServerConfig::record_raw_latency`]), histogram-backed
+    /// (percentiles within 2x) otherwise.
+    ///
+    /// [`ServerConfig::record_raw_latency`]: crate::config::ServerConfig::record_raw_latency
     pub fn latency_summary(&self) -> LatencySummary {
-        LatencySummary::from_samples(&self.latencies)
+        if self.latencies.is_empty() {
+            LatencySummary::from_histogram(&self.latency_hist, self.max_touch_nanos)
+        } else {
+            LatencySummary::from_samples(&self.latencies)
+        }
+    }
+
+    /// Latency summary across several sessions' reports, merged from their
+    /// fixed-memory histograms (no per-sample copying).
+    pub fn merged_latency_summary<'a>(
+        reports: impl IntoIterator<Item = &'a SessionReport>,
+    ) -> LatencySummary {
+        let mut hist = HistogramSnapshot::default();
+        let mut worst = 0u64;
+        for report in reports {
+            hist.merge(&report.latency_hist);
+            worst = worst.max(report.max_touch_nanos);
+        }
+        LatencySummary::from_histogram(&hist, worst)
     }
 
     /// Device/cloud traffic accumulated across all traces (saturating).

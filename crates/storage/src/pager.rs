@@ -21,13 +21,14 @@
 use crate::page::{
     encode_page, payload_capacity, rows_per_page, verify_page, MIN_PAGE_SIZE, PAGE_HEADER_BYTES,
 };
+use dbtouch_obs::{MetricSource, MetricValue, Telemetry, TraceEventKind};
 use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Map an `std::io::Error` into the workspace error type.
 pub(crate) fn io_err(op: &str, e: std::io::Error) -> DbTouchError {
@@ -106,6 +107,10 @@ pub struct Pager {
     len_pages: AtomicU64,
     pool_hits: AtomicU64,
     faults: AtomicU64,
+    /// Telemetry hub, attached once after the owning catalog assembles its
+    /// hub. Faults emit [`TraceEventKind::PageFault`] events attributed to
+    /// whatever gesture trace the faulting thread is running.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for Pager {
@@ -155,7 +160,15 @@ impl Pager {
             len_pages: AtomicU64::new(len / page_size as u64),
             pool_hits: AtomicU64::new(0),
             faults: AtomicU64::new(0),
+            telemetry: OnceLock::new(),
         })
+    }
+
+    /// Attach a telemetry hub so page faults show up in the event trace.
+    /// First attachment wins; later calls are ignored (a pager belongs to one
+    /// catalog).
+    pub fn attach_telemetry(&self, hub: Arc<Telemetry>) {
+        let _ = self.telemetry.set(hub);
     }
 
     /// The page size this file was opened with.
@@ -221,6 +234,9 @@ impl Pager {
         let image = self.read_image(page_id)?;
         let payload = Arc::new(verify_page(&image, page_id, self.page_size)?.to_vec());
         self.faults.fetch_add(1, Ordering::Relaxed);
+        if let Some(hub) = self.telemetry.get() {
+            hub.event(TraceEventKind::PageFault, page_id);
+        }
         let mut pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(entry) = pool.map.get_mut(&page_id) {
             entry.referenced = true;
@@ -305,6 +321,28 @@ impl Pager {
             }
         }
         Ok(())
+    }
+}
+
+impl MetricSource for Pager {
+    fn source_name(&self) -> &'static str {
+        "pager"
+    }
+
+    fn collect(&self) -> Vec<(&'static str, MetricValue)> {
+        let stats = self.stats();
+        let resident = {
+            let pool = self.pool.lock().unwrap_or_else(|e| e.into_inner());
+            pool.map.len()
+        };
+        vec![
+            ("pool_hits", MetricValue::Counter(stats.pool_hits)),
+            ("faults", MetricValue::Counter(stats.faults)),
+            ("evictions", MetricValue::Counter(stats.evictions)),
+            ("resident_pages", MetricValue::Gauge(resident as u64)),
+            ("pool_pages", MetricValue::Gauge(self.pool_pages() as u64)),
+            ("len_pages", MetricValue::Gauge(self.len_pages())),
+        ]
     }
 }
 

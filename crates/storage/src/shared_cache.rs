@@ -29,6 +29,7 @@
 //! only the recomputation is saved. `tests/concurrent_sessions.rs` proves
 //! sequential-replay digests are unchanged by the cache.
 
+use dbtouch_obs::{MetricSource, MetricValue};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -216,6 +217,26 @@ impl SharedResultCache {
             flushes: self.flushes.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
         }
+    }
+}
+
+impl MetricSource for SharedResultCache {
+    fn source_name(&self) -> &'static str {
+        "shared_cache"
+    }
+
+    fn collect(&self) -> Vec<(&'static str, MetricValue)> {
+        let stats = self.stats();
+        vec![
+            ("hits", MetricValue::Counter(stats.hits)),
+            ("misses", MetricValue::Counter(stats.misses)),
+            ("inserts", MetricValue::Counter(stats.inserts)),
+            ("flushes", MetricValue::Counter(stats.flushes)),
+            ("invalidated", MetricValue::Counter(stats.invalidated)),
+            ("hit_rate", MetricValue::Float(stats.hit_rate())),
+            ("entries", MetricValue::Gauge(self.len() as u64)),
+            ("capacity", MetricValue::Gauge(self.capacity() as u64)),
+        ]
     }
 }
 

@@ -186,6 +186,21 @@ pub struct KernelConfig {
     /// The device/cloud storage split, `None` for an all-local kernel (the
     /// default). See [`RemoteSplitConfig`].
     pub remote_split: Option<RemoteSplitConfig>,
+
+    /// When `true` (the default), the kernel records live telemetry: sharded
+    /// counters, latency histograms, and the gesture-lifecycle event trace.
+    /// Telemetry observes execution without steering it — results and session
+    /// digests are bit-identical either way.
+    pub telemetry_enabled: bool,
+
+    /// How many trace events the telemetry event ring retains (older events
+    /// are evicted). 0 keeps counting events without storing any.
+    pub telemetry_ring_capacity: usize,
+
+    /// Sampling stride for hot-path trace events (touch received, shared-cache
+    /// hit/miss): every Nth is recorded. 1 records all of them; rare lifecycle
+    /// events are always recorded regardless.
+    pub telemetry_hot_sample: u32,
 }
 
 impl Default for KernelConfig {
@@ -210,6 +225,9 @@ impl Default for KernelConfig {
             buffer_pool_pages: 4096,
             manifest_keep: 8,
             remote_split: None,
+            telemetry_enabled: true,
+            telemetry_ring_capacity: 8192,
+            telemetry_hot_sample: 64,
         }
     }
 }
@@ -267,6 +285,11 @@ impl KernelConfig {
         }
         if let Some(split) = &self.remote_split {
             split.validate()?;
+        }
+        if self.telemetry_enabled && self.telemetry_hot_sample == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "telemetry_hot_sample must be >= 1 when telemetry is enabled".into(),
+            ));
         }
         Ok(())
     }
@@ -361,6 +384,25 @@ impl KernelConfig {
     /// remote processing).
     pub fn with_remote_split(mut self, split: Option<RemoteSplitConfig>) -> Self {
         self.remote_split = split;
+        self
+    }
+
+    /// Builder-style toggle for live telemetry recording.
+    pub fn with_telemetry(mut self, on: bool) -> Self {
+        self.telemetry_enabled = on;
+        self
+    }
+
+    /// Builder-style setter for the trace-event ring capacity.
+    pub fn with_telemetry_ring_capacity(mut self, events: usize) -> Self {
+        self.telemetry_ring_capacity = events;
+        self
+    }
+
+    /// Builder-style setter for the hot-event sampling stride (1 = record
+    /// every hot event).
+    pub fn with_telemetry_hot_sample(mut self, stride: u32) -> Self {
+        self.telemetry_hot_sample = stride;
         self
     }
 }
@@ -498,6 +540,26 @@ mod tests {
             .with_remote_split(Some(RemoteSplitConfig::default().with_network(1_000, 0)))
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn telemetry_knobs_validate_and_chain() {
+        let c = KernelConfig::default();
+        assert!(c.telemetry_enabled);
+        let c = KernelConfig::default().with_telemetry_hot_sample(0);
+        assert!(c.validate().is_err());
+        // A zero stride is fine while telemetry is off.
+        assert!(KernelConfig::default()
+            .with_telemetry_hot_sample(0)
+            .with_telemetry(false)
+            .validate()
+            .is_ok());
+        let c = KernelConfig::default()
+            .with_telemetry_ring_capacity(128)
+            .with_telemetry_hot_sample(1);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.telemetry_ring_capacity, 128);
+        assert_eq!(c.telemetry_hot_sample, 1);
     }
 
     #[test]

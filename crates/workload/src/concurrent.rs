@@ -182,9 +182,12 @@ impl ConcurrentRunReport {
         self.total_touches() as f64 / (self.wall_nanos.max(1) as f64 / 1e9)
     }
 
-    /// Per-touch latency percentiles across every session's traces.
+    /// Per-touch latency percentiles across every session's traces, merged
+    /// from the sessions' fixed-memory histograms (exact raw samples exist
+    /// only when the run recorded them — see
+    /// `ServerConfig::record_raw_latency`).
     pub fn latency_summary(&self) -> LatencySummary {
-        LatencySummary::merged(self.sessions.iter().map(|s| s.latencies.as_slice()))
+        SessionReport::merged_latency_summary(&self.sessions)
     }
 
     /// Per-explorer digests of the deterministic outcome (order matches the

@@ -3,6 +3,9 @@
 //! This facade crate re-exports the public API of the dbTouch reproduction:
 //!
 //! * [`types`] — shared value model, geometry (centimetres), row ids, configuration.
+//! * [`obs`] — live telemetry: wait-free sharded counters, log-scale latency
+//!   histograms and the bounded gesture-lifecycle event trace every layer
+//!   reports into.
 //! * [`storage`] — fixed-width dense columns/matrixes, layouts and incremental
 //!   rotation, the sample hierarchy, region cache and prefetcher.
 //! * [`gesture`] — touch events, views, gesture recognizers, kinematics and the
@@ -50,6 +53,7 @@
 pub use dbtouch_baseline as baseline;
 pub use dbtouch_core as core;
 pub use dbtouch_gesture as gesture;
+pub use dbtouch_obs as obs;
 pub use dbtouch_server as server;
 pub use dbtouch_storage as storage;
 pub use dbtouch_types as types;
