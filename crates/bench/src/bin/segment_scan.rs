@@ -1,0 +1,108 @@
+//! Segment-scan binary: touches/s and per-touch p50/p99 vs
+//! `scan_parallelism` on one large object, digest-verified against the
+//! sequential baseline at every point.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin segment_scan [rows] [traces] [max_parallelism]
+//! ```
+//!
+//! Sweeps `scan_parallelism` 1, 2, 4, … up to `max_parallelism` (default 8).
+//! Exits non-zero if any point's digest differs from the sequential run.
+//! The ≥2x-at-4-workers throughput gate applies only when the host actually
+//! has 4 cores to scan with — a single-core smoke box still verifies the
+//! digests, which never depend on the machine.
+
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_bench::segment_scan::run_segment_scan_sweep;
+use dbtouch_types::json::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_000_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let max_parallelism: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let mut parallelisms = Vec::new();
+    let mut n = 1;
+    while n <= max_parallelism {
+        parallelisms.push(n);
+        n *= 2;
+    }
+    match run_segment_scan_sweep(rows, &parallelisms, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("scan_parallelism", Json::Number(p.scan_parallelism as f64)),
+                        ("total_touches", Json::Number(p.total_touches as f64)),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("wall_secs", Json::Number(p.wall_secs)),
+                        ("p50_touch_micros", Json::Number(p.p50_touch_micros)),
+                        ("p99_touch_micros", Json::Number(p.p99_touch_micros)),
+                        ("segments_scanned", Json::Number(p.segments_scanned as f64)),
+                        ("pruned_segments", Json::Number(p.pruned_segments as f64)),
+                        ("steals", Json::Number(p.steals as f64)),
+                        ("digest", Json::String(p.digest.to_string())),
+                        ("verified", Json::Bool(p.verified)),
+                    ])
+                })
+                .collect();
+            let speedups: Vec<Json> = report
+                .speedups()
+                .iter()
+                .map(|(parallelism, speedup)| {
+                    json_object(vec![
+                        ("scan_parallelism", Json::Number(*parallelism as f64)),
+                        ("vs_sequential", Json::Number(*speedup)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("segment_scan".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                ("segment_rows", Json::Number(report.segment_rows as f64)),
+                ("half_window", Json::Number(report.half_window as f64)),
+                ("traces", Json::Number(report.traces as f64)),
+                ("points", Json::Array(points)),
+                ("speedups", Json::Array(speedups)),
+            ]);
+            match write_bench_json("segment_scan", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
+            if report.points.iter().any(|p| !p.verified) {
+                eprintln!("FAILED: some points were not bit-identical to the sequential run");
+                std::process::exit(1);
+            }
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            if cores >= 4 {
+                if let Some((_, speedup)) = report
+                    .speedups()
+                    .iter()
+                    .find(|(parallelism, _)| *parallelism == 4)
+                {
+                    if *speedup < 2.0 {
+                        eprintln!(
+                            "FAILED: scan_parallelism=4 reached only {speedup:.2}x the \
+                             sequential throughput on a {cores}-core host"
+                        );
+                        std::process::exit(1);
+                    }
+                }
+            } else {
+                println!("note: {cores}-core host — digest gate applied, throughput gate skipped");
+            }
+        }
+        Err(e) => {
+            eprintln!("segment_scan failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -22,6 +22,7 @@ pub mod contest;
 pub mod figures;
 pub mod remote_overlap;
 pub mod report;
+pub mod segment_scan;
 pub mod sweeps;
 pub mod telemetry_overhead;
 
@@ -34,5 +35,6 @@ pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};
 pub use remote_overlap::{run_remote_overlap_sweep, RemoteOverlapPoint, RemoteOverlapReport};
+pub use segment_scan::{run_segment_scan_sweep, SegmentScanPoint, SegmentScanReport};
 pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};
 pub use telemetry_overhead::{run_telemetry_overhead, TelemetryOverheadReport};

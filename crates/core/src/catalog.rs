@@ -45,6 +45,7 @@
 
 use crate::epoch::EpochCell;
 use crate::kernel::{ObjectId, TouchAction};
+use crate::morsel::MorselPool;
 use crate::remote::NetworkModel;
 use crate::remote_exec::{CompletionQueue, RemoteExecutor, RemoteTier};
 use dbtouch_gesture::view::View;
@@ -288,6 +289,10 @@ pub struct ObjectState {
     /// The session's device/cloud tier, `None` when the configuration has no
     /// remote split. See [`crate::remote_exec`].
     pub(crate) remote: Option<RemoteTier>,
+    /// The catalog-wide morsel pool large summary windows fan out over,
+    /// `None` when [`KernelConfig::scan_parallelism`] is 1 (sequential
+    /// scans). See [`crate::morsel`].
+    pub(crate) morsel: Option<Arc<MorselPool>>,
     /// The owning catalog's telemetry hub (a disabled hub when
     /// [`KernelConfig::telemetry_enabled`] is off). Sessions emit
     /// gesture-lifecycle events through this handle.
@@ -433,6 +438,11 @@ impl ObjectState {
         self.remote.as_ref()
     }
 
+    /// The shared morsel pool, when the catalog scans in parallel.
+    pub fn morsel_pool(&self) -> Option<&Arc<MorselPool>> {
+        self.morsel.as_ref()
+    }
+
     /// Point this state's remote refinements at a caller-owned completion
     /// queue. The server shares one queue across all of a session's states so
     /// its worker drains a single queue per session at event boundaries; must
@@ -469,6 +479,9 @@ pub struct SharedCatalog {
     /// `Some` only when [`KernelConfig::remote_split`] is set in overlapped
     /// mode (blocking-mode splits pay their latency inline and need no pool).
     remote_executor: Option<Arc<RemoteExecutor>>,
+    /// The scan-helper pool every session's large summary windows fan out
+    /// over, `Some` only when [`KernelConfig::scan_parallelism`] > 1.
+    morsel: Option<Arc<MorselPool>>,
     /// The attached persistent store, when the catalog was opened from (or
     /// created in) a directory via [`SharedCatalog::open`]. Attached catalogs
     /// persist every published epoch; see `crate::persist`.
@@ -544,8 +557,13 @@ impl SharedCatalog {
                     split.io_threads,
                     split.queue_depth,
                     NetworkModel::from_split(split),
+                    config.segment_rows,
                 ))
             });
+        // scan_parallelism counts the submitting session as a worker, so the
+        // pool runs one helper fewer.
+        let morsel = (config.scan_parallelism > 1)
+            .then(|| Arc::new(MorselPool::start(config.scan_parallelism - 1)));
         let telemetry = Arc::new(if config.telemetry_enabled {
             Telemetry::new(config.telemetry_ring_capacity, config.telemetry_hot_sample)
         } else {
@@ -562,6 +580,9 @@ impl SharedCatalog {
         if let Some(executor) = &remote_executor {
             telemetry.register(Arc::clone(executor) as Arc<dyn MetricSource>);
         }
+        if let Some(pool) = &morsel {
+            telemetry.register(Arc::clone(pool) as Arc<dyn MetricSource>);
+        }
         if let Some(persistence) = &persistence {
             let pager = Arc::clone(persistence.pager());
             pager.attach_telemetry(Arc::clone(&telemetry));
@@ -573,6 +594,7 @@ impl SharedCatalog {
             mutators: Mutex::new(()),
             shared_cache,
             remote_executor,
+            morsel,
             persistence,
             telemetry,
             gauges,
@@ -604,6 +626,11 @@ impl SharedCatalog {
     /// device/cloud split.
     pub fn remote_executor(&self) -> Option<&Arc<RemoteExecutor>> {
         self.remote_executor.as_ref()
+    }
+
+    /// The catalog-wide morsel scan pool, when `scan_parallelism` > 1.
+    pub fn morsel_pool(&self) -> Option<&Arc<MorselPool>> {
+        self.morsel.as_ref()
     }
 
     /// The current catalog snapshot (wait-free). Everything read through the
@@ -689,6 +716,7 @@ impl SharedCatalog {
                 executor: self.remote_executor.clone(),
                 queue: Arc::new(CompletionQueue::new()),
             }),
+            morsel: self.morsel.clone(),
             telemetry: Arc::clone(&self.telemetry),
             data,
         }

@@ -13,6 +13,10 @@
 //! * [`mapping`] — *Map touch to data*: the Rule-of-Three translation of touch
 //!   locations into tuple identifiers, for columns, tables and rotated objects
 //!   (Section 2.4).
+//! * [`morsel`] — segment-parallel execution: a summary window planned into
+//!   fixed-row segment morsels that a shared scan-helper pool steals, partial
+//!   results merged deterministically in segment order (exact integer sums),
+//!   so digests stay bit-identical at any `scan_parallelism`.
 //! * [`operators`] — *Execute*: per-touch operators — point scans, running
 //!   aggregates, interactive summaries, selections, incremental group-bys and
 //!   non-blocking joins (Sections 2.3, 2.7, 2.9).
@@ -51,6 +55,7 @@ pub mod epoch;
 pub mod join_session;
 pub mod kernel;
 pub mod mapping;
+pub mod morsel;
 pub mod operators;
 pub mod optimizer;
 pub mod persist;
@@ -68,6 +73,7 @@ pub use epoch::EpochCell;
 pub use join_session::{JoinOutcome, JoinSession, JoinSpec};
 pub use kernel::{Kernel, ObjectId, TouchAction};
 pub use mapping::TouchMapper;
+pub use morsel::{window_stats, MorselPool, SegmentLedger, WindowScan};
 pub use remote_exec::{
     CompletionQueue, PendingRefinement, RefinementLedger, RemoteCompletion, RemoteExecutor,
     RemoteTier,

@@ -369,7 +369,15 @@ impl std::fmt::Debug for DelayLine {
 impl RemoteExecutor {
     /// Spawn the pool: `io_threads` compute threads behind a submission
     /// queue bounded at `queue_depth`, plus the delay-line timer.
-    pub fn start(io_threads: usize, queue_depth: usize, network: NetworkModel) -> RemoteExecutor {
+    /// `segment_rows` is the window-decomposition unit the "server" computes
+    /// with — the same [`crate::morsel::window_stats`] kernel the local scan
+    /// path uses, so a refinement is bit-identical to the local answer.
+    pub fn start(
+        io_threads: usize,
+        queue_depth: usize,
+        network: NetworkModel,
+        segment_rows: u64,
+    ) -> RemoteExecutor {
         let (submit, receiver) = sync_channel::<IoJob>(queue_depth.max(1));
         let receiver = Arc::new(Mutex::new(receiver));
         let delay = Arc::new(DelayLine::default());
@@ -379,7 +387,7 @@ impl RemoteExecutor {
                 let delay = Arc::clone(&delay);
                 std::thread::Builder::new()
                     .name(format!("dbtouch-remote-io-{index}"))
-                    .spawn(move || io_loop(&receiver, &delay, network))
+                    .spawn(move || io_loop(&receiver, &delay, network, segment_rows))
                     .expect("spawn remote I/O thread")
             })
             .collect();
@@ -486,7 +494,12 @@ impl Drop for RemoteExecutor {
     }
 }
 
-fn io_loop(receiver: &Mutex<Receiver<IoJob>>, delay: &DelayLine, network: NetworkModel) {
+fn io_loop(
+    receiver: &Mutex<Receiver<IoJob>>,
+    delay: &DelayLine,
+    network: NetworkModel,
+    segment_rows: u64,
+) {
     let mut seq = 0u64;
     loop {
         let job = {
@@ -494,7 +507,7 @@ fn io_loop(receiver: &Mutex<Receiver<IoJob>>, delay: &DelayLine, network: Networ
             guard.recv()
         };
         let Ok(job) = job else { return };
-        let stats = compute_window(&job);
+        let stats = compute_window(&job, segment_rows);
         let rows = stats.as_ref().map(|s| s.count).unwrap_or(0);
         let simulated_micros = network.cost_micros(rows);
         // Cap the injected wait so adversarial network models flush instead
@@ -516,21 +529,25 @@ fn io_loop(receiver: &Mutex<Receiver<IoJob>>, delay: &DelayLine, network: Networ
     }
 }
 
-/// The "server side" of a fetch: the fine-level window statistics, read off
-/// the shared immutable build.
-fn compute_window(job: &IoJob) -> Result<RangeStats> {
-    let hierarchy = job
-        .data
-        .hierarchies()
-        .get(job.attribute)
-        .ok_or_else(|| DbTouchError::NotFound(format!("attribute {}", job.attribute)))?;
-    let column = hierarchy.level(job.level)?;
-    let (count, sum, min, max) = column.numeric_range_stats(job.range)?;
+/// The "server side" of a fetch: the fine-level window statistics, computed
+/// through the same [`crate::morsel::window_stats`] kernel as a local scan
+/// (exact integer sums, sequential float folds) so a landed refinement is
+/// bit-identical to the answer the all-local configuration produces.
+fn compute_window(job: &IoJob, segment_rows: u64) -> Result<RangeStats> {
+    let scan = crate::morsel::window_stats(
+        &job.data,
+        job.attribute,
+        job.level,
+        job.range,
+        segment_rows,
+        None,
+        None,
+    )?;
     Ok(RangeStats {
-        count,
-        sum,
-        min,
-        max,
+        count: scan.count,
+        sum: scan.sum,
+        min: scan.min,
+        max: scan.max,
     })
 }
 
@@ -731,7 +748,7 @@ mod tests {
     #[test]
     fn executor_round_trip_delivers_exact_window_stats() {
         let data = object_data();
-        let executor = RemoteExecutor::start(2, 16, fast_network());
+        let executor = RemoteExecutor::start(2, 16, fast_network(), 65_536);
         let queue = Arc::new(CompletionQueue::new());
         let range = RowRange::new(100, 200);
         let ticket = executor
@@ -769,6 +786,7 @@ mod tests {
                 round_trip_micros: 0,
                 rows_per_milli: 0,
             },
+            65_536,
         );
         let queue = Arc::new(CompletionQueue::new());
         let mut tickets = Vec::new();
@@ -807,6 +825,7 @@ mod tests {
                 round_trip_micros: 3_600_000_000,
                 rows_per_milli: 0,
             },
+            65_536,
         );
         let queue = Arc::new(CompletionQueue::new());
         executor

@@ -67,6 +67,14 @@ pub struct SessionStats {
     /// the touched block cannot satisfy the filter predicate (Section 2.6,
     /// "Indexing": the slide becomes an index scan).
     pub index_skips: u64,
+    /// Column segments executed by the segment kernel for this session's
+    /// summary windows (scanned or index-answered); see [`crate::morsel`].
+    #[serde(default)]
+    pub segments_scanned: u64,
+    /// Segments answered from the zone-map index's stored block statistics
+    /// without reading data (segment-granularity pruning).
+    #[serde(default)]
+    pub pruned_segments: u64,
     /// Simulated memory-access cost accumulated (nanoseconds).
     pub simulated_access_nanos: u64,
     /// Real compute time spent inside per-touch processing (nanoseconds).
@@ -366,6 +374,31 @@ impl<'a> Session<'a> {
         self.stats.bytes_touched += rows * 8; // fixed-width 8-byte numeric fields
     }
 
+    /// Compute one summary window through the shared segment kernel
+    /// ([`crate::morsel::window_stats`]): planned into `segment_rows`
+    /// morsels, fanned out over the catalog's scan pool when one exists,
+    /// index-answered where the zone map covers whole blocks — and always
+    /// bit-identical to the sequential scan.
+    fn window_stats(
+        &mut self,
+        attribute: usize,
+        level: u8,
+        range: RowRange,
+    ) -> Result<(u64, f64, Option<f64>, Option<f64>)> {
+        let scan = crate::morsel::window_stats(
+            &self.object.data,
+            attribute,
+            level,
+            range,
+            self.config.segment_rows,
+            self.object.morsel.as_deref(),
+            Some(&self.object.telemetry),
+        )?;
+        self.stats.segments_scanned += scan.segments_scanned;
+        self.stats.pruned_segments += scan.pruned_segments;
+        Ok((scan.count, scan.sum, scan.min, scan.max))
+    }
+
     fn do_scan(
         &mut self,
         row: RowId,
@@ -545,10 +578,6 @@ impl<'a> Session<'a> {
             s.remote.remote_wait_micros = s.remote.remote_wait_micros.saturating_add(micros);
             s.remote_blocked_micros = s.remote_blocked_micros.saturating_add(micros);
         }
-        let column = self
-            .object
-            .hierarchy(attribute)?
-            .level(decision.sample_level)?;
         // Aggregate only the admitted part of the window; any truncated tail is
         // queued as refinement debt and merged in during pauses. (This is the
         // session-integrated version of [`InteractiveSummary::summarize`].)
@@ -557,8 +586,11 @@ impl<'a> Session<'a> {
         // windows; the shared cross-session cache serves the exact tuple a
         // recomputation would produce (and the same rows are charged either
         // way), so a hit only saves the compute — results and accounting stay
-        // bit-identical with the cache on or off.
-        let (count, sum, min, max) = match self.object.shared_cache.as_ref() {
+        // bit-identical with the cache on or off. Misses run through the
+        // segment kernel ([`Self::window_stats`]), which is bit-identical to
+        // the sequential scan at any `scan_parallelism` / `segment_rows`.
+        let shared_cache = self.object.shared_cache.clone();
+        let (count, sum, min, max) = match shared_cache.as_ref() {
             Some(cache) => {
                 let key = SummaryKey {
                     object: self.object.data.identity(),
@@ -581,7 +613,8 @@ impl<'a> Session<'a> {
                         self.object
                             .telemetry
                             .hot_event(TraceEventKind::SharedCacheMiss, row.0);
-                        let (count, sum, min, max) = column.numeric_range_stats(admitted)?;
+                        let (count, sum, min, max) =
+                            self.window_stats(attribute, decision.sample_level, admitted)?;
                         cache.insert(
                             key,
                             RangeAggregate {
@@ -596,7 +629,7 @@ impl<'a> Session<'a> {
                     }
                 }
             }
-            None => column.numeric_range_stats(admitted)?,
+            None => self.window_stats(attribute, decision.sample_level, admitted)?,
         };
         self.charge_rows(count);
         let value = summary_value(
@@ -744,10 +777,11 @@ impl<'a> Session<'a> {
         // contribution at the same touch-order position as the all-local
         // run.)
         if let Some(debt) = self.budget.next_refinement() {
-            if let Ok(hierarchy) = self.object.hierarchy(0) {
-                let column = hierarchy.base();
-                let (count, sum, min, max) =
-                    column.numeric_range_stats(debt.remaining.clamp_to(column.len()))?;
+            if self.object.hierarchy(0).is_ok() {
+                // Same segment kernel as the summary path (window_stats clamps
+                // to the column internally), so debt refinement stays
+                // bit-identical under any scan_parallelism / segment_rows.
+                let (count, sum, min, max) = self.window_stats(0, 0, debt.remaining)?;
                 self.charge_rows(count);
                 self.contribute(count, sum, min, max);
                 self.stats.refinements += 1;

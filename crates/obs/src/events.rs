@@ -32,6 +32,9 @@ pub enum TraceEventKind {
     SharedCacheHit,
     /// Summary missed the shared result cache (`detail` = 0). Hot; sampled.
     SharedCacheMiss,
+    /// A column segment was scanned (or index-answered) by the morsel pool
+    /// (`detail` = segment row count). Hot; sampled.
+    SegmentScanned,
     /// The buffer pool faulted a page in from disk (`detail` = page index).
     PageFault,
     /// A summary was submitted for remote refinement (`detail` = ticket).
@@ -56,6 +59,7 @@ impl TraceEventKind {
             TraceEventKind::TouchReceived => "touch_received",
             TraceEventKind::SharedCacheHit => "shared_cache_hit",
             TraceEventKind::SharedCacheMiss => "shared_cache_miss",
+            TraceEventKind::SegmentScanned => "segment_scanned",
             TraceEventKind::PageFault => "page_fault",
             TraceEventKind::RemoteSubmitted => "remote_submitted",
             TraceEventKind::RefinementLanded => "refinement_landed",
@@ -74,6 +78,7 @@ impl TraceEventKind {
             TraceEventKind::TouchReceived
                 | TraceEventKind::SharedCacheHit
                 | TraceEventKind::SharedCacheMiss
+                | TraceEventKind::SegmentScanned
         )
     }
 }
@@ -240,7 +245,9 @@ mod tests {
     #[test]
     fn kind_names_are_stable() {
         assert_eq!(TraceEventKind::PageFault.name(), "page_fault");
+        assert_eq!(TraceEventKind::SegmentScanned.name(), "segment_scanned");
         assert!(TraceEventKind::TouchReceived.is_hot());
+        assert!(TraceEventKind::SegmentScanned.is_hot());
         assert!(!TraceEventKind::EpochPublished.is_hot());
     }
 }

@@ -1293,6 +1293,112 @@ mod tests {
     }
 
     #[test]
+    fn morsel_scans_surface_metrics_stamp_traces_and_match_sequential() {
+        // Large summary windows over a served catalog with a scan pool: every
+        // window fans out over segment morsels, the pool's MetricSource shows
+        // up in metrics_snapshot(), helper threads stamp their SegmentScanned
+        // events with the issuing session's trace context, and the report
+        // digest is bit-identical to the scan_parallelism = 1 run.
+        let knobs = |parallelism: usize| KernelConfig {
+            touch_budget_micros: 1_000_000,
+            ..KernelConfig::default()
+                .with_scan_parallelism(parallelism)
+                .with_segment_rows(4096)
+                .with_adaptive_sampling(false)
+                .with_telemetry_hot_sample(1)
+        };
+        let action = TouchAction::Summary {
+            half_window: Some(90_000),
+            kind: AggregateKind::Avg,
+        };
+        let run = |parallelism: usize| {
+            let catalog = Arc::new(SharedCatalog::new(knobs(parallelism)));
+            let id = catalog
+                .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
+                .unwrap();
+            let view = catalog.data(id).unwrap().base_view().clone();
+            let server =
+                ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+            let session = server.open_session();
+            let session_id = session.id();
+            session.set_action(id, action.clone()).unwrap();
+            session
+                .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 1.0))
+                .unwrap();
+            let report = session.close().unwrap();
+            assert!(report.errors.is_empty(), "{:?}", report.errors);
+            let metrics = server.metrics_snapshot();
+            server.shutdown();
+            (report, metrics, session_id)
+        };
+
+        let (sequential, no_pool_metrics, _) = run(1);
+        let (parallel, metrics, session_id) = run(4);
+
+        // scan_parallelism = 1 runs without a pool: no morsel source at all.
+        assert_eq!(no_pool_metrics.scalar("morsel.segments_scanned"), None);
+        // Both runs decompose identically and prune interior block-aligned
+        // segments through the zone-map index.
+        for report in [&sequential, &parallel] {
+            let stats = &report.outcomes[0].outcome.stats;
+            assert!(stats.segments_scanned > 0, "windows must decompose");
+            assert!(stats.pruned_segments > 0, "aligned segments must prune");
+            assert!(stats.pruned_segments <= stats.segments_scanned);
+        }
+        let accounting = |report: &SessionReport| {
+            let s = &report.outcomes[0].outcome.stats;
+            (
+                s.touches,
+                s.rows_touched,
+                s.bytes_touched,
+                s.segments_scanned,
+                s.pruned_segments,
+            )
+        };
+        assert_eq!(
+            accounting(&sequential),
+            accounting(&parallel),
+            "per-session accounting is parallelism-invariant"
+        );
+
+        // The pool's MetricSource is live in the snapshot.
+        let scanned = metrics.scalar("morsel.segments_scanned").unwrap();
+        let stats = &parallel.outcomes[0].outcome.stats;
+        assert_eq!(scanned, stats.segments_scanned);
+        assert_eq!(
+            metrics.scalar("morsel.pruned_segments"),
+            Some(stats.pruned_segments)
+        );
+        assert!(
+            metrics.scalar("morsel.steals").unwrap() > 0,
+            "helpers must claim some morsels"
+        );
+        assert_eq!(
+            metrics.scalar("morsel.queue_depth"),
+            Some(0),
+            "all batches drained at the barrier"
+        );
+
+        // Helper threads re-stamp the submitting session's trace context
+        // (mirroring async refinements), so every per-segment event in the
+        // window — stolen or not — carries the session and a trace id.
+        let segment_events: Vec<_> = metrics
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::SegmentScanned)
+            .collect();
+        assert!(!segment_events.is_empty(), "hot_sample=1 records segments");
+        for event in segment_events {
+            assert_eq!(event.session, Some(session_id));
+            assert!(event.trace.is_some());
+        }
+
+        // The whole report — results, aggregates, accounting — is
+        // bit-identical to the sequential run.
+        assert_eq!(sequential.result_digest(), parallel.result_digest());
+    }
+
+    #[test]
     fn raw_latency_samples_are_opt_in() {
         let (catalog, id) = catalog_with_column(20_000);
         let view = catalog.data(id).unwrap().base_view().clone();

@@ -7,6 +7,7 @@
 //! arithmetic to keep per-touch response times low.
 
 use crate::pager::{append_row_bytes, ColumnExtent, PagedColumn, Pager};
+use crate::segment::{SegmentStats, SegmentSum};
 use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
 use serde::{Deserialize, Serialize};
 
@@ -187,17 +188,47 @@ impl Column {
 
     /// An in-memory copy of this column: a cheap clone when it is already
     /// inline, a full read through the buffer pool when it is paged-backed.
+    /// The paged path decodes whole page payloads into the typed storage at
+    /// once — no per-row `Value` boxing — so a page fault amortizes over all
+    /// the rows it holds.
     pub fn materialized(&self) -> Result<Column> {
-        match &self.data {
-            ColumnData::Paged(p) => {
-                let mut col = Column::empty(self.name.clone(), p.data_type());
-                for row in 0..p.rows() {
-                    col.push(p.value_at(RowId(row))?)?;
-                }
-                Ok(col)
-            }
-            _ => Ok(self.clone()),
+        let ColumnData::Paged(p) = &self.data else {
+            return Ok(self.clone());
+        };
+        let dt = p.data_type();
+        let width = dt.width_bytes();
+        let expected = p.rows() as usize * width;
+        let mut raw = Vec::with_capacity(expected);
+        for payload in p.page_payloads() {
+            raw.extend_from_slice(&payload?);
         }
+        if raw.len() != expected {
+            return Err(DbTouchError::Corrupt(format!(
+                "paged column {:?} holds {} payload bytes, {expected} expected",
+                self.name,
+                raw.len()
+            )));
+        }
+        let decode_i64s = |raw: &[u8]| -> Vec<i64> {
+            raw.chunks_exact(8)
+                .map(|c| i64::from_le_bytes(c.try_into().unwrap()))
+                .collect()
+        };
+        let data = match dt {
+            DataType::Int64 => ColumnData::Int64(decode_i64s(&raw)),
+            DataType::TimestampMillis => ColumnData::Timestamp(decode_i64s(&raw)),
+            DataType::Float64 => ColumnData::Float64(
+                raw.chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                    .collect(),
+            ),
+            DataType::Bool => ColumnData::Bool(raw.iter().map(|&b| b != 0).collect()),
+            DataType::FixedStr(width) => ColumnData::FixedStr { width, bytes: raw },
+        };
+        Ok(Column {
+            name: self.name.clone(),
+            data,
+        })
     }
 
     /// Append this column's rows to a persistent store's page file, returning
@@ -411,6 +442,61 @@ impl Column {
         Ok((count, sum, min, max))
     }
 
+    /// [`SegmentStats`] of the numeric values in `range` (clamped): the
+    /// mergeable counterpart of [`numeric_range_stats`]. Integer columns
+    /// accumulate their sum in exact `i128`, so segment results merge
+    /// associatively and any decomposition of a window produces the same
+    /// final value bit for bit; min/max fold the same `f64` conversions the
+    /// sequential path folds. Float columns keep the ascending `f64` fold.
+    ///
+    /// [`numeric_range_stats`]: Column::numeric_range_stats
+    pub fn segment_range_stats(&self, range: RowRange) -> Result<SegmentStats> {
+        if !self.data_type().is_numeric() {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: self.data_type().name(),
+            });
+        }
+        if let ColumnData::Paged(p) = &self.data {
+            return p.segment_range_stats(range);
+        }
+        let range = range.clamp_to(self.len());
+        let mut min: Option<f64> = None;
+        let mut max: Option<f64> = None;
+        match &self.data {
+            ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
+                let mut sum = 0i128;
+                for &x in &v[range.as_usize_range()] {
+                    sum += x as i128;
+                    let xf = x as f64;
+                    min = Some(min.map_or(xf, |m| m.min(xf)));
+                    max = Some(max.map_or(xf, |m| m.max(xf)));
+                }
+                Ok(SegmentStats {
+                    count: range.len(),
+                    sum: SegmentSum::Int(sum),
+                    min,
+                    max,
+                })
+            }
+            ColumnData::Float64(v) => {
+                let mut sum = 0.0;
+                for &x in &v[range.as_usize_range()] {
+                    sum += x;
+                    min = Some(min.map_or(x, |m| m.min(x)));
+                    max = Some(max.map_or(x, |m| m.max(x)));
+                }
+                Ok(SegmentStats {
+                    count: range.len(),
+                    sum: SegmentSum::Float(sum),
+                    min,
+                    max,
+                })
+            }
+            _ => unreachable!("checked numeric above"),
+        }
+    }
+
     /// Build a new column containing every `step`-th row starting at row 0.
     /// This is the primitive used to build the sample hierarchy. A `step` of 0
     /// is treated as 1. Errors only for paged-backed columns whose pages fail
@@ -601,6 +687,34 @@ mod tests {
         assert_eq!((count, sum, min, max), (0, 0.0, None, None));
         let s = Column::from_strings("s", 4, &["a"]).unwrap();
         assert!(s.numeric_range_stats(RowRange::new(0, 1)).is_err());
+    }
+
+    #[test]
+    fn segment_range_stats_matches_numeric_range_stats() {
+        let c = int_col();
+        let seg = c.segment_range_stats(RowRange::new(2, 7)).unwrap();
+        let (count, sum, min, max) = c.numeric_range_stats(RowRange::new(2, 7)).unwrap();
+        assert_eq!(seg.as_tuple(), (count, sum, min, max));
+        assert_eq!(seg.sum, crate::segment::SegmentSum::Int(2 + 3 + 4 + 5 + 6));
+        let f = Column::from_f64("f", vec![0.5, 1.5, 2.5]);
+        let seg = f.segment_range_stats(RowRange::new(0, 3)).unwrap();
+        assert_eq!(seg.sum, crate::segment::SegmentSum::Float(4.5));
+        let s = Column::from_strings("s", 4, &["a"]).unwrap();
+        assert!(s.segment_range_stats(RowRange::new(0, 1)).is_err());
+        // Clamped empty ranges are the typed identity.
+        let empty = c.segment_range_stats(RowRange::new(50, 60)).unwrap();
+        assert_eq!(empty, crate::segment::SegmentStats::empty(true));
+    }
+
+    #[test]
+    fn segment_stats_merge_reconstructs_whole_window() {
+        let c = int_col();
+        let whole = c.segment_range_stats(RowRange::new(0, 10)).unwrap();
+        let mut acc = crate::segment::SegmentStats::empty(true);
+        for seg in crate::segment::plan_segments(RowRange::new(0, 10), 3) {
+            acc.merge(&c.segment_range_stats(seg.range).unwrap());
+        }
+        assert_eq!(acc, whole);
     }
 
     #[test]

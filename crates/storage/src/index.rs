@@ -12,6 +12,7 @@
 //! land in skippable blocks are answered without reading the block at all.
 
 use crate::column::Column;
+use crate::segment::{SegmentStats, SegmentSum};
 use dbtouch_types::{DbTouchError, Result, RowRange};
 use serde::{Deserialize, Serialize};
 
@@ -22,10 +23,16 @@ pub struct ZoneMapIndex {
     column_len: u64,
     /// `(min, max)` per block, in block order.
     zones: Vec<(f64, f64)>,
+    /// Exact per-block `i128` sums, kept for integer columns only. With them,
+    /// a block-aligned segment can be *answered* from the index — count, sum,
+    /// min and max — bit-identically to scanning it, so the segment kernel
+    /// skips the data entirely (see [`segment_stats`](Self::segment_stats)).
+    sums: Option<Vec<i128>>,
 }
 
 impl ZoneMapIndex {
     /// Build a zone map with `block_rows` rows per block over a numeric column.
+    /// Integer columns also record exact per-block sums.
     pub fn build(column: &Column, block_rows: u64) -> Result<ZoneMapIndex> {
         if !column.data_type().is_numeric() {
             return Err(DbTouchError::TypeMismatch {
@@ -35,24 +42,31 @@ impl ZoneMapIndex {
         }
         let block_rows = block_rows.max(1);
         let len = column.len();
+        let integer = column.data_type().is_integer();
         let block_count = len.div_ceil(block_rows);
         let mut zones = Vec::with_capacity(block_count as usize);
+        let mut sums = integer.then(|| Vec::with_capacity(block_count as usize));
         for b in 0..block_count {
             let range = RowRange::new(b * block_rows, ((b + 1) * block_rows).min(len));
-            let (_, _, min, max) = column.numeric_range_stats(range)?;
+            let stats = column.segment_range_stats(range)?;
             // Blocks are never empty because block_count is derived from len.
-            zones.push((min.unwrap_or(f64::NAN), max.unwrap_or(f64::NAN)));
+            zones.push((stats.min.unwrap_or(f64::NAN), stats.max.unwrap_or(f64::NAN)));
+            if let (Some(sums), SegmentSum::Int(s)) = (sums.as_mut(), stats.sum) {
+                sums.push(s);
+            }
         }
         Ok(ZoneMapIndex {
             block_rows,
             column_len: len,
             zones,
+            sums,
         })
     }
 
     /// Rebuild a zone map from its persisted parts (inverse of
     /// [`zones`](ZoneMapIndex::zones) + the geometry accessors). The zone
-    /// count must match the geometry.
+    /// count must match the geometry. Block sums, if any, are attached with
+    /// [`with_block_sums`](Self::with_block_sums).
     pub fn from_parts(
         block_rows: u64,
         column_len: u64,
@@ -69,7 +83,67 @@ impl ZoneMapIndex {
             block_rows,
             column_len,
             zones,
+            sums: None,
         })
+    }
+
+    /// Attach persisted exact per-block sums (one per zone).
+    pub fn with_block_sums(mut self, sums: Vec<i128>) -> Result<ZoneMapIndex> {
+        if sums.len() != self.zones.len() {
+            return Err(DbTouchError::Corrupt(format!(
+                "zone map has {} blocks but {} block sums",
+                self.zones.len(),
+                sums.len()
+            )));
+        }
+        self.sums = Some(sums);
+        Ok(self)
+    }
+
+    /// Exact per-block sums, present for integer columns.
+    pub fn block_sums(&self) -> Option<&[i128]> {
+        self.sums.as_deref()
+    }
+
+    /// Answer a block-aligned segment from the index alone, bit-identically
+    /// to scanning it: exact `i128` sum from the stored block sums, min/max
+    /// folded across block bounds (associative, so identical to the
+    /// per-element fold). Returns `None` unless sums are present and `range`
+    /// is non-empty, within the column, and block-aligned at both ends (the
+    /// column end counts as aligned).
+    pub fn segment_stats(&self, range: RowRange) -> Option<SegmentStats> {
+        let sums = self.sums.as_ref()?;
+        if range.start >= range.end
+            || range.end > self.column_len
+            || !range.start.is_multiple_of(self.block_rows)
+            || (!range.end.is_multiple_of(self.block_rows) && range.end != self.column_len)
+        {
+            return None;
+        }
+        let first = (range.start / self.block_rows) as usize;
+        let last = range.end.div_ceil(self.block_rows) as usize;
+        let mut stats = SegmentStats::empty(true);
+        let mut sum = 0i128;
+        for (b, block_sum) in sums.iter().enumerate().take(last).skip(first) {
+            let (bmin, bmax) = self.zones[b];
+            sum += block_sum;
+            stats.count += self.block_range(b).len();
+            stats.min = Some(stats.min.map_or(bmin, |m| m.min(bmin)));
+            stats.max = Some(stats.max.map_or(bmax, |m| m.max(bmax)));
+        }
+        stats.sum = SegmentSum::Int(sum);
+        Some(stats)
+    }
+
+    /// True if any block overlapping `range` might contain a value in
+    /// `[lo, hi]` — the per-segment prune decision.
+    pub fn range_may_match(&self, range: RowRange, lo: f64, hi: f64) -> bool {
+        if range.start >= range.end || range.start >= self.column_len {
+            return false;
+        }
+        let first = (range.start / self.block_rows) as usize;
+        let last = range.end.min(self.column_len).div_ceil(self.block_rows) as usize;
+        (first..last).any(|b| self.block_may_match(b, lo, hi))
     }
 
     /// The `(min, max)` pairs of every block, in block order.
@@ -193,6 +267,60 @@ mod tests {
         assert!((idx.selectivity(15.0, 34.0) - 0.7).abs() < 1e-12);
         assert_eq!(idx.selectivity(-100.0, 1000.0), 0.0);
         assert_eq!(idx.selectivity(1000.0, 2000.0), 1.0);
+    }
+
+    #[test]
+    fn integer_columns_record_exact_block_sums() {
+        let idx = ZoneMapIndex::build(&sorted_column(), 10).unwrap();
+        let sums = idx.block_sums().unwrap();
+        assert_eq!(sums.len(), 10);
+        assert_eq!(sums[3], (30..40).sum::<i128>());
+        let f = Column::from_f64("f", vec![1.0, 2.0, 3.0]);
+        assert!(ZoneMapIndex::build(&f, 2).unwrap().block_sums().is_none());
+    }
+
+    #[test]
+    fn segment_stats_answer_equals_scanning() {
+        let c = Column::from_i64("c", (0..95).map(|v| v * 7 - 300).collect());
+        let idx = ZoneMapIndex::build(&c, 10).unwrap();
+        // Block-aligned interior segment and ragged column tail.
+        for (start, end) in [(20, 50), (0, 95), (90, 95)] {
+            let answered = idx.segment_stats(RowRange::new(start, end)).unwrap();
+            let scanned = c.segment_range_stats(RowRange::new(start, end)).unwrap();
+            assert_eq!(answered, scanned);
+        }
+        // Unaligned, out-of-bounds, and empty segments are not answerable.
+        assert!(idx.segment_stats(RowRange::new(5, 20)).is_none());
+        assert!(idx.segment_stats(RowRange::new(20, 45)).is_none());
+        assert!(idx.segment_stats(RowRange::new(0, 100)).is_none());
+        assert!(idx.segment_stats(RowRange::new(10, 10)).is_none());
+        // Float indexes have no sums, so they never answer.
+        let f = Column::from_f64("f", (0..40).map(|v| v as f64).collect());
+        let fidx = ZoneMapIndex::build(&f, 10).unwrap();
+        assert!(fidx.segment_stats(RowRange::new(0, 40)).is_none());
+    }
+
+    #[test]
+    fn with_block_sums_round_trip_and_validation() {
+        let built = ZoneMapIndex::build(&sorted_column(), 10).unwrap();
+        let restored = ZoneMapIndex::from_parts(10, 100, built.zones().to_vec()).unwrap();
+        assert!(restored.block_sums().is_none());
+        let restored = restored
+            .with_block_sums(built.block_sums().unwrap().to_vec())
+            .unwrap();
+        assert_eq!(restored, built);
+        let bad = ZoneMapIndex::from_parts(10, 100, built.zones().to_vec()).unwrap();
+        assert!(bad.with_block_sums(vec![0; 3]).is_err());
+    }
+
+    #[test]
+    fn range_matching_spans_blocks() {
+        let idx = ZoneMapIndex::build(&sorted_column(), 10).unwrap();
+        assert!(idx.range_may_match(RowRange::new(0, 100), 25.0, 27.0));
+        assert!(idx.range_may_match(RowRange::new(20, 30), 25.0, 27.0));
+        assert!(!idx.range_may_match(RowRange::new(30, 100), 25.0, 27.0));
+        assert!(!idx.range_may_match(RowRange::new(0, 0), 25.0, 27.0));
+        assert!(!idx.range_may_match(RowRange::new(200, 300), 0.0, 100.0));
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   published epoch ([`persist`]).
 //! * **Per-sample-level indexing** (zone maps) so that a slide over an indexed
 //!   column becomes the equivalent of an index scan. See [`index`].
+//! * **Fixed-row segments** — a summary window planned into partitions at
+//!   absolute row boundaries, each yielding exact, mergeable partial
+//!   aggregates so parallel scans stay bit-identical to sequential ones. See
+//!   [`segment`].
 //!
 //! The adaptive *policies* that decide when to use which mechanism live in
 //! `dbtouch-core`; this crate provides the mechanisms.
@@ -42,6 +46,7 @@ pub mod persist;
 pub mod prefetch;
 pub mod rotation;
 pub mod sample;
+pub mod segment;
 pub mod shared_cache;
 pub mod stats;
 pub mod table;
@@ -57,6 +62,7 @@ pub use persist::{CatalogStore, ObjectRecord, StoreManifest};
 pub use prefetch::{PrefetchStats, Prefetcher};
 pub use rotation::RotationTask;
 pub use sample::SampleHierarchy;
+pub use segment::{plan_segments, Segment, SegmentStats, SegmentSum};
 pub use shared_cache::{
     next_object_identity, RangeAggregate, SharedCacheStats, SharedResultCache, SummaryKey,
 };

@@ -21,6 +21,7 @@
 use crate::page::{
     encode_page, payload_capacity, rows_per_page, verify_page, MIN_PAGE_SIZE, PAGE_HEADER_BYTES,
 };
+use crate::segment::{SegmentStats, SegmentSum};
 use dbtouch_obs::{MetricSource, MetricValue, Telemetry, TraceEventKind};
 use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
 use std::collections::{HashMap, VecDeque};
@@ -510,6 +511,53 @@ impl PagedColumn {
         Ok((count, sum, min, max))
     }
 
+    /// [`SegmentStats`] over `range` — the same page-at-a-time fold as
+    /// `numeric_range_stats`, but integer columns accumulate their sum in
+    /// exact `i128` so segment partials merge associatively.
+    pub fn segment_range_stats(&self, range: RowRange) -> Result<SegmentStats> {
+        if !self.extent.dt.is_numeric() {
+            return Err(DbTouchError::TypeMismatch {
+                expected: "numeric".into(),
+                found: self.extent.dt.name(),
+            });
+        }
+        let range = range.clamp_to(self.extent.rows);
+        let integer = self.extent.dt.is_integer();
+        let mut stats = SegmentStats::empty(integer);
+        let mut fsum = 0.0f64;
+        let mut isum = 0i128;
+        let mut row = range.start;
+        while row < range.end {
+            let (payload, offset) = self.page_for_row(row)?;
+            // Rows of this page inside the range.
+            let page_remaining = self.rows_per_page - (row % self.rows_per_page);
+            let take = page_remaining.min(range.end - row);
+            for i in 0..take as usize {
+                let at = offset + i * 8;
+                let bits: [u8; 8] = payload[at..at + 8].try_into().unwrap();
+                let x = if integer {
+                    let v = i64::from_le_bytes(bits);
+                    isum += v as i128;
+                    v as f64
+                } else {
+                    let v = f64::from_le_bytes(bits);
+                    fsum += v;
+                    v
+                };
+                stats.count += 1;
+                stats.min = Some(stats.min.map_or(x, |m| m.min(x)));
+                stats.max = Some(stats.max.map_or(x, |m| m.max(x)));
+            }
+            row += take;
+        }
+        stats.sum = if integer {
+            SegmentSum::Int(isum)
+        } else {
+            SegmentSum::Float(fsum)
+        };
+        Ok(stats)
+    }
+
     /// The raw payload of every page of the extent, in order (used when a
     /// paged column is re-persisted into a different store).
     pub fn page_payloads(&self) -> impl Iterator<Item = Result<Arc<Vec<u8>>>> + '_ {
@@ -597,6 +645,24 @@ mod tests {
         let (count, sum, min, max) = col.numeric_range_stats(RowRange::new(10, 20)).unwrap();
         assert_eq!((count, sum), (10, (10..20).sum::<i64>() as f64));
         assert_eq!((min, max), (Some(10.0), Some(19.0)));
+    }
+
+    #[test]
+    fn segment_stats_match_numeric_stats_across_pages() {
+        let path = temp_file("segment-stats");
+        let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
+        let values: Vec<i64> = (0..1000).map(|v| v * 3 - 500).collect();
+        let extent = append_row_bytes(&pager, DataType::Int64, 1000, &i64_bytes(&values)).unwrap();
+        let col = PagedColumn::new(Arc::clone(&pager), extent).unwrap();
+        for (start, end) in [(0, 1000), (10, 20), (17, 993), (500, 500)] {
+            let seg = col.segment_range_stats(RowRange::new(start, end)).unwrap();
+            let (count, sum, min, max) =
+                col.numeric_range_stats(RowRange::new(start, end)).unwrap();
+            assert_eq!(seg.as_tuple(), (count, sum, min, max));
+        }
+        let seg = col.segment_range_stats(RowRange::new(0, 1000)).unwrap();
+        let exact: i128 = values.iter().map(|&v| v as i128).sum();
+        assert_eq!(seg.sum, SegmentSum::Int(exact));
     }
 
     #[test]

@@ -176,6 +176,14 @@ fn zone_map_to_json(z: &ZoneMapIndex) -> Json {
                 .collect(),
         ),
     );
+    if let Some(sums) = z.block_sums() {
+        // i128 sums exceed what f64-backed JSON numbers carry exactly, so
+        // they travel as decimal strings.
+        m.insert(
+            "sums".into(),
+            Json::Array(sums.iter().map(|s| Json::String(s.to_string())).collect()),
+        );
+    }
     Json::Object(m)
 }
 
@@ -194,7 +202,24 @@ fn zone_map_from_json(j: &Json) -> Result<ZoneMapIndex> {
             Ok((decode(pair.first())?, decode(pair.get(1))?))
         })
         .collect::<Result<Vec<_>>>()?;
-    ZoneMapIndex::from_parts(get_u64(j, "block_rows")?, get_u64(j, "column_len")?, zones)
+    let index =
+        ZoneMapIndex::from_parts(get_u64(j, "block_rows")?, get_u64(j, "column_len")?, zones)?;
+    // Block sums are optional: manifests written before they existed (and
+    // float columns) simply omit them.
+    match j.get("sums") {
+        None | Some(Json::Null) => Ok(index),
+        Some(_) => {
+            let sums = get_array(j, "sums")?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .and_then(|s| s.parse::<i128>().ok())
+                        .ok_or_else(|| DbTouchError::Corrupt("manifest: zone block sum".into()))
+                })
+                .collect::<Result<Vec<_>>>()?;
+            index.with_block_sums(sums)
+        }
+    }
 }
 
 fn object_to_json(o: &ObjectRecord) -> Json {

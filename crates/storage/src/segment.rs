@@ -1,0 +1,227 @@
+//! Fixed-row segment partitions over columns.
+//!
+//! A large summary window no longer has to be folded by one thread: it is
+//! planned into [`Segment`]s — fixed-row partitions whose boundaries sit at
+//! absolute multiples of the segment size — scanned independently, and merged
+//! back in segment order. Determinism is arithmetic, not scheduling:
+//! integer-typed segments accumulate their sums in exact `i128`
+//! ([`SegmentSum::Int`]), so partial results merge associatively and the
+//! final value is bit-identical however the segments were decomposed or
+//! interleaved. Float columns keep `f64` sums, whose addition is *not*
+//! associative — callers that need bit-identical answers never decompose
+//! float windows (see `dbtouch_core::morsel`).
+//!
+//! Absolute alignment matters for the zone-map index: block boundaries are
+//! absolute multiples of the block size, so when the segment size is a
+//! multiple of the block size every interior segment covers whole blocks and
+//! can be answered from the index without touching data.
+
+use dbtouch_types::RowRange;
+use serde::{Deserialize, Serialize};
+
+/// One planned scan partition: its position in the window and its row range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Position of this segment within its window, in segment order.
+    pub index: usize,
+    /// The rows this segment covers.
+    pub range: RowRange,
+}
+
+/// The sum half of a segment's statistics, typed by the column it came from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SegmentSum {
+    /// Exact integer sum (`Int64` / `TimestampMillis` columns). `i128` cannot
+    /// overflow for any column that fits in memory (2^63 rows of extreme
+    /// `i64` values stay within 2^127), so merging is exact and associative.
+    Int(i128),
+    /// Floating-point sum (`Float64` columns), accumulated in ascending row
+    /// order. Order-dependent: merge only in segment order, and only when
+    /// the caller accepts (or never triggers) f64 re-association.
+    Float(f64),
+}
+
+impl SegmentSum {
+    /// The sum as `f64` — one conversion at the end for integer columns, so
+    /// no intermediate rounding ever accumulates.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            SegmentSum::Int(s) => *s as f64,
+            SegmentSum::Float(s) => *s,
+        }
+    }
+}
+
+/// Count, typed sum, minimum and maximum of one scanned (or index-answered)
+/// segment. The mergeable, exact-arithmetic counterpart of the
+/// `(count, sum, min, max)` tuple `numeric_range_stats` returns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SegmentStats {
+    /// Rows covered.
+    pub count: u64,
+    /// Typed sum (exact for integer columns).
+    pub sum: SegmentSum,
+    /// Minimum value, `None` when the segment is empty.
+    pub min: Option<f64>,
+    /// Maximum value, `None` when the segment is empty.
+    pub max: Option<f64>,
+}
+
+impl SegmentStats {
+    /// The empty statistics of the given column class (`integer` selects the
+    /// exact `i128` sum).
+    pub fn empty(integer: bool) -> SegmentStats {
+        SegmentStats {
+            count: 0,
+            sum: if integer {
+                SegmentSum::Int(0)
+            } else {
+                SegmentSum::Float(0.0)
+            },
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Merge `next` into `self`. Call in segment order: integer sums merge
+    /// exactly in any order, but float sums — and nothing else — depend on it,
+    /// and keeping one discipline keeps every path bit-identical.
+    pub fn merge(&mut self, next: &SegmentStats) {
+        self.count += next.count;
+        self.sum = match (&self.sum, &next.sum) {
+            (SegmentSum::Int(a), SegmentSum::Int(b)) => SegmentSum::Int(a + b),
+            (a, b) => SegmentSum::Float(a.as_f64() + b.as_f64()),
+        };
+        self.min = match (self.min, next.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, next.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// The `(count, sum, min, max)` tuple the summary paths consume.
+    pub fn as_tuple(&self) -> (u64, f64, Option<f64>, Option<f64>) {
+        (self.count, self.sum.as_f64(), self.min, self.max)
+    }
+}
+
+/// Plan a window into segments of at most `segment_rows` rows whose
+/// boundaries sit at *absolute* multiples of `segment_rows` (the first and
+/// last segments absorb the misalignment of the window's ends). The plan is
+/// a pure function of `(range, segment_rows)` — scan parallelism never
+/// changes it, which is half of why parallel digests match sequential ones.
+pub fn plan_segments(range: RowRange, segment_rows: u64) -> Vec<Segment> {
+    let segment_rows = segment_rows.max(1);
+    let mut segments = Vec::new();
+    let mut start = range.start;
+    while start < range.end {
+        let boundary = (start / segment_rows + 1) * segment_rows;
+        let end = boundary.min(range.end);
+        segments.push(Segment {
+            index: segments.len(),
+            range: RowRange::new(start, end),
+        });
+        start = end;
+    }
+    segments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_aligns_to_absolute_boundaries() {
+        let segs = plan_segments(RowRange::new(150, 1050), 256);
+        let ranges: Vec<(u64, u64)> = segs.iter().map(|s| (s.range.start, s.range.end)).collect();
+        assert_eq!(
+            ranges,
+            vec![
+                (150, 256),
+                (256, 512),
+                (512, 768),
+                (768, 1024),
+                (1024, 1050)
+            ]
+        );
+        assert!(segs.iter().enumerate().all(|(i, s)| s.index == i));
+    }
+
+    #[test]
+    fn plan_of_small_window_is_one_segment() {
+        let segs = plan_segments(RowRange::new(10, 20), 256);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].range, RowRange::new(10, 20));
+        assert!(plan_segments(RowRange::new(5, 5), 256).is_empty());
+    }
+
+    #[test]
+    fn plan_covers_window_exactly_once() {
+        for (start, end, rows) in [(0, 1000, 128), (37, 999, 100), (511, 513, 512)] {
+            let segs = plan_segments(RowRange::new(start, end), rows);
+            assert_eq!(segs.first().unwrap().range.start, start);
+            assert_eq!(segs.last().unwrap().range.end, end);
+            for pair in segs.windows(2) {
+                assert_eq!(pair[0].range.end, pair[1].range.start);
+            }
+            assert!(segs.iter().all(|s| s.range.len() <= rows));
+        }
+    }
+
+    #[test]
+    fn integer_merge_is_exact_and_order_independent() {
+        let a = SegmentStats {
+            count: 2,
+            sum: SegmentSum::Int((1i128 << 80) + 3),
+            min: Some(-5.0),
+            max: Some(9.0),
+        };
+        let b = SegmentStats {
+            count: 1,
+            sum: SegmentSum::Int(7),
+            min: Some(-9.0),
+            max: Some(2.0),
+        };
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 3);
+        assert_eq!(ab.sum, SegmentSum::Int((1i128 << 80) + 10));
+        assert_eq!((ab.min, ab.max), (Some(-9.0), Some(9.0)));
+    }
+
+    #[test]
+    fn empty_merges_are_identity() {
+        let mut acc = SegmentStats::empty(true);
+        let s = SegmentStats {
+            count: 4,
+            sum: SegmentSum::Int(10),
+            min: Some(1.0),
+            max: Some(4.0),
+        };
+        acc.merge(&s);
+        assert_eq!(acc, s);
+        acc.merge(&SegmentStats::empty(true));
+        assert_eq!(acc, s);
+        assert_eq!(acc.as_tuple(), (4, 10.0, Some(1.0), Some(4.0)));
+    }
+
+    #[test]
+    fn float_sums_convert_transparently() {
+        let s = SegmentStats {
+            count: 2,
+            sum: SegmentSum::Float(1.5),
+            min: Some(0.5),
+            max: Some(1.0),
+        };
+        assert_eq!(s.sum.as_f64(), 1.5);
+        let mut acc = SegmentStats::empty(false);
+        acc.merge(&s);
+        assert_eq!(acc.as_tuple(), (2, 1.5, Some(0.5), Some(1.0)));
+    }
+}

@@ -201,6 +201,25 @@ pub struct KernelConfig {
     /// hit/miss): every Nth is recorded. 1 records all of them; rare lifecycle
     /// events are always recorded regardless.
     pub telemetry_hot_sample: u32,
+
+    /// Scan worker threads a large touch may fan out over (the submitting
+    /// worker included). 1 — the default — keeps every touch on the
+    /// single-threaded path; N > 1 starts a pool of N-1 scan helpers that
+    /// steal segment morsels from a shared queue. Results are bit-identical
+    /// at any setting: segment decomposition depends only on
+    /// [`segment_rows`](Self::segment_rows), and partial aggregates merge by
+    /// exact arithmetic in segment order.
+    #[serde(default)]
+    pub scan_parallelism: usize,
+
+    /// Rows per scan segment when a summary window fans out over the morsel
+    /// queue. Windows no longer than this stay on the sequential path; longer
+    /// windows split into `segment_rows`-sized morsels. The default (65536)
+    /// is a multiple of the zone-map block size (4096 rows), so interior
+    /// segments align to whole zone blocks and can be answered from the
+    /// index without touching data.
+    #[serde(default)]
+    pub segment_rows: u64,
 }
 
 impl Default for KernelConfig {
@@ -228,6 +247,8 @@ impl Default for KernelConfig {
             telemetry_enabled: true,
             telemetry_ring_capacity: 8192,
             telemetry_hot_sample: 64,
+            scan_parallelism: 1,
+            segment_rows: 65_536,
         }
     }
 }
@@ -289,6 +310,16 @@ impl KernelConfig {
         if self.telemetry_enabled && self.telemetry_hot_sample == 0 {
             return Err(DbTouchError::InvalidConfig(
                 "telemetry_hot_sample must be >= 1 when telemetry is enabled".into(),
+            ));
+        }
+        if self.scan_parallelism == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "scan_parallelism must be >= 1 (1 means single-threaded scans)".into(),
+            ));
+        }
+        if self.segment_rows == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "segment_rows must be > 0".into(),
             ));
         }
         Ok(())
@@ -403,6 +434,18 @@ impl KernelConfig {
     /// every hot event).
     pub fn with_telemetry_hot_sample(mut self, stride: u32) -> Self {
         self.telemetry_hot_sample = stride;
+        self
+    }
+
+    /// Builder-style setter for the scan fan-out degree (1 = single-threaded).
+    pub fn with_scan_parallelism(mut self, workers: usize) -> Self {
+        self.scan_parallelism = workers;
+        self
+    }
+
+    /// Builder-style setter for the scan segment size in rows.
+    pub fn with_segment_rows(mut self, rows: u64) -> Self {
+        self.segment_rows = rows;
         self
     }
 }
@@ -560,6 +603,27 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.telemetry_ring_capacity, 128);
         assert_eq!(c.telemetry_hot_sample, 1);
+    }
+
+    #[test]
+    fn scan_knobs_validate_and_chain() {
+        let c = KernelConfig::default();
+        assert_eq!(c.scan_parallelism, 1);
+        assert_eq!(c.segment_rows, 65_536);
+        assert!(KernelConfig::default()
+            .with_scan_parallelism(0)
+            .validate()
+            .is_err());
+        assert!(KernelConfig::default()
+            .with_segment_rows(0)
+            .validate()
+            .is_err());
+        let c = KernelConfig::default()
+            .with_scan_parallelism(8)
+            .with_segment_rows(4096);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.scan_parallelism, 8);
+        assert_eq!(c.segment_rows, 4096);
     }
 
     #[test]

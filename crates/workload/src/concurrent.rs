@@ -157,6 +157,55 @@ pub fn plan_hot_object(
         .collect())
 }
 
+/// A [`KernelConfig`] tuned so every summary window actually exercises the
+/// segment kernel: base-level reads (no adaptive coarsening), a touch budget
+/// that never truncates the window, and every result cache off so each touch
+/// recomputes its window from storage. Used by the segment-sweep workload and
+/// the `segment_scan` bench; only the scan knobs vary between swept points,
+/// so any digest difference is the scan path's fault.
+pub fn segment_sweep_config(scan_parallelism: usize, segment_rows: u64) -> KernelConfig {
+    KernelConfig {
+        touch_budget_micros: 10_000_000,
+        ..KernelConfig::default()
+            .with_scan_parallelism(scan_parallelism)
+            .with_segment_rows(segment_rows)
+            .with_adaptive_sampling(false)
+            .with_cache(false)
+            .with_shared_cache(false)
+            .with_prefetch(false)
+    }
+}
+
+/// Plan a *segment-sweep* workload: one explorer sliding over a large object
+/// with summary windows wide enough (`half_window` rows each side) that every
+/// touch decomposes into many segment morsels. Same seed → same traces, so
+/// the identical plan can be replayed at every `scan_parallelism` ×
+/// `segment_rows` point and the digests compared bit for bit.
+pub fn plan_segment_sweep(
+    catalog: &SharedCatalog,
+    object: ObjectId,
+    traces: usize,
+    half_window: u64,
+    seed: u64,
+) -> Result<ExplorerPlan> {
+    let view = catalog.data(object)?.base_view().clone();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5e9_3e47);
+    let mut synthesizer = GestureSynthesizer::new(60.0);
+    let traces = (0..traces)
+        .map(|_| {
+            let duration = rng.gen_range(0.6f64..1.4);
+            synthesizer.slide_down(&view, duration)
+        })
+        .collect();
+    Ok(ExplorerPlan {
+        action: TouchAction::Summary {
+            half_window: Some(half_window),
+            kind: AggregateKind::Avg,
+        },
+        traces,
+    })
+}
+
 /// The outcome of driving a concurrent workload.
 #[derive(Debug)]
 pub struct ConcurrentRunReport {
@@ -368,6 +417,37 @@ mod tests {
         // ...without changing a single result bit vs. the sequential replay.
         let sequential = run_sequential(&catalog, object, &plans).unwrap();
         assert_eq!(concurrent.digests(), sequential);
+    }
+
+    #[test]
+    fn segment_sweep_digests_are_invariant_across_scan_knobs() {
+        use dbtouch_types::SizeCm;
+
+        let scenario = Scenario::monitoring_stream(150_000, 13);
+        // The integer signal decomposes; plan once (from any catalog — the
+        // seeded traces depend only on the view) and replay everywhere.
+        let build = |parallelism: usize, segment_rows: u64| {
+            let catalog = Arc::new(SharedCatalog::new(segment_sweep_config(
+                parallelism,
+                segment_rows,
+            )));
+            let id = catalog
+                .load_column_typed(scenario.signal_column_i64(), SizeCm::new(2.0, 12.0))
+                .unwrap();
+            (catalog, id)
+        };
+        let (baseline_catalog, baseline_id) = build(1, 65_536);
+        let plan = plan_segment_sweep(&baseline_catalog, baseline_id, 2, 40_000, 21).unwrap();
+        let baseline =
+            run_sequential(&baseline_catalog, baseline_id, std::slice::from_ref(&plan)).unwrap()[0];
+        for (parallelism, segment_rows) in [(2, 4096), (4, 7777), (8, 65_536)] {
+            let (catalog, id) = build(parallelism, segment_rows);
+            let digest = run_sequential(&catalog, id, std::slice::from_ref(&plan)).unwrap()[0];
+            assert_eq!(
+                digest, baseline,
+                "digest drifted at scan_parallelism={parallelism}, segment_rows={segment_rows}"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,15 @@ impl Scenario {
         Column::from_f64(self.name.clone(), self.signal.clone())
     }
 
+    /// The signal quantized to integer readings (milli-units), as sensors
+    /// would report it. Integer columns are what the segment kernel
+    /// decomposes (exact `i128` partial sums merge associatively), so this is
+    /// the column of choice for segment-sweep workloads and benches.
+    pub fn signal_column_i64(&self) -> Column {
+        let quantized = self.signal.iter().map(|v| (v * 1000.0) as i64).collect();
+        Column::from_i64(format!("{}_milli", self.name), quantized)
+    }
+
     /// The full scenario as a table: signal plus extra columns.
     pub fn table(&self) -> Result<Table> {
         let mut columns = vec![self.signal_column()];

@@ -454,6 +454,158 @@ proptest! {
     }
 }
 
+// The scan-knob grid spawns a server per swept point; a few cases suffice —
+// the property quantifies over the grid itself, churn interleavings and the
+// remote executor's scheduling, so each case already covers a lot of ground.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The segment kernel's promise: digests, `final_aggregate` bits and
+    /// `group_aggregates` are identical across `scan_parallelism ∈ {1, 2, 8}`
+    /// × `segment_rows ∈ {small, large, unaligned-to-len}` — with the remote
+    /// overlap executor active, and (membership in the sequential baselines)
+    /// under live `drag_column_out`/`drag_column_into` churn.
+    #[test]
+    fn scan_knob_grid_is_digest_invariant_under_churn_and_remote(
+        rows in 60_000i64..120_000,
+        duration in 2.0f64..2.8,
+        spin in 0u32..150_000,
+    ) {
+        use dbtouch::types::RemoteSplitConfig;
+
+        let config = |parallelism: usize, segment_rows: u64, remote: bool| {
+            let split = remote.then(|| {
+                RemoteSplitConfig::default()
+                    .with_local_min_level(11)
+                    .with_network(300, 10_000)
+            });
+            KernelConfig::default()
+                .with_sample_levels(12)
+                .with_scan_parallelism(parallelism)
+                .with_segment_rows(segment_rows)
+                .with_remote_split(split)
+        };
+        let build = |c: KernelConfig| {
+            let catalog = Arc::new(SharedCatalog::new(c));
+            let table = Table::from_columns(
+                "t",
+                vec![
+                    StorageColumn::from_i64("id", (0..rows).collect()),
+                    StorageColumn::from_f64("price", (0..rows).map(|i| i as f64 / 2.0).collect()),
+                    StorageColumn::from_i64("qty", (0..rows).map(|i| i % 7).collect()),
+                ],
+            )
+            .unwrap();
+            let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
+            (catalog, tid)
+        };
+        // Wide windows over the integer `id` attribute: every touch
+        // decomposes into segment morsels at small segment_rows settings.
+        let action = TouchAction::Summary {
+            half_window: Some(20_000),
+            kind: AggregateKind::Avg,
+        };
+        let group_action = TouchAction::GroupBy {
+            group_attribute: 2,
+            value_attribute: 0,
+            kind: AggregateKind::Sum,
+        };
+
+        let (baseline_catalog, baseline_tid) = build(config(1, 65_536, false));
+        let view = baseline_catalog.data(baseline_tid).unwrap().base_view().clone();
+        let trace = GestureSynthesizer::new(60.0).slide_down(&view, duration);
+        let run_local = |catalog: &Arc<SharedCatalog>, tid, action: &TouchAction| {
+            let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+            kernel.set_action(tid, action.clone()).unwrap();
+            let outcome = kernel.run_trace(tid, &trace).unwrap();
+            let agg = outcome.final_aggregate.map(f64::to_bits);
+            let groups = outcome.final_groups.clone();
+            (digest_outcomes([TraceOutcome { object: tid, outcome }].iter()), agg, groups)
+        };
+        // Sequential baselines at scan_parallelism = 1: the untouched table,
+        // after dragging `price` out, and after merging it back.
+        let (d0, agg0, _) = run_local(&baseline_catalog, baseline_tid, &action);
+        let (_, _, groups0) = run_local(&baseline_catalog, baseline_tid, &group_action);
+        let qid = baseline_catalog
+            .drag_column_out(baseline_tid, "price", SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let (d1, _, _) = run_local(&baseline_catalog, baseline_tid, &action);
+        baseline_catalog.drag_column_into(baseline_tid, qid).unwrap();
+        let (d2, _, _) = run_local(&baseline_catalog, baseline_tid, &action);
+        prop_assert_ne!(d0, d1);
+
+        for &parallelism in &[1usize, 2, 8] {
+            for &segment_rows in &[3_000u64, 65_536, 7_777] {
+                // Static sweep, remote overlap executor active: the served
+                // (drained) digest and aggregate bits must equal the
+                // sequential all-local baseline exactly.
+                let (catalog, tid) = build(config(parallelism, segment_rows, true));
+                let server =
+                    ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+                let session = server.open_session();
+                session.set_action(tid, action.clone()).unwrap();
+                session.run_trace(tid, trace.clone()).unwrap();
+                let report = session.close().unwrap();
+                server.shutdown();
+                prop_assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+                prop_assert_eq!(report.pending_refinements(), 0);
+                let outcome = &report.outcomes[0].outcome;
+                prop_assert!(
+                    outcome.final_aggregate.map(f64::to_bits) == agg0,
+                    "final_aggregate drifted at parallelism={parallelism}, \
+                     segment_rows={segment_rows}"
+                );
+                prop_assert!(
+                    report.result_digest() == d0,
+                    "digest drifted at parallelism={parallelism}, \
+                     segment_rows={segment_rows}"
+                );
+
+                // Group-by rides the same session machinery; its per-group
+                // sums must not depend on the scan knobs either.
+                let (_, _, groups) = run_local(&catalog, tid, &group_action);
+                prop_assert_eq!(&groups, &groups0);
+            }
+        }
+
+        // Live churn at representative grid points: one mutator drags `price`
+        // out and merges it back while the session's trace races it. The
+        // epoch-snapshot guarantee must hold at any parallelism: the digest
+        // is exactly one of the three sequential baselines, never a hybrid.
+        for &(parallelism, segment_rows) in &[(2usize, 3_000u64), (8, 7_777), (2, 65_536)] {
+            let (catalog, tid) = build(config(parallelism, segment_rows, true));
+            let server =
+                ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+            let mutator = {
+                let catalog = Arc::clone(&catalog);
+                std::thread::spawn(move || {
+                    for _ in 0..spin {
+                        std::hint::spin_loop();
+                    }
+                    let qid = catalog
+                        .drag_column_out(tid, "price", SizeCm::new(2.0, 10.0))
+                        .unwrap();
+                    catalog.drag_column_into(tid, qid).unwrap();
+                })
+            };
+            let session = server.open_session();
+            session.set_action(tid, action.clone()).unwrap();
+            session.run_trace(tid, trace.clone()).unwrap();
+            let report = session.close().unwrap();
+            mutator.join().unwrap();
+            server.shutdown();
+            prop_assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+            let digest = report.result_digest();
+            prop_assert!(
+                digest == d0 || digest == d1 || digest == d2,
+                "hybrid result under churn at parallelism={parallelism}, \
+                 segment_rows={segment_rows}: digest {digest} matches no baseline \
+                 ({d0}, {d1}, {d2})"
+            );
+        }
+    }
+}
+
 // Persistence properties run fewer cases: each one persists to (and reopens
 // from) a real on-disk store.
 proptest! {
