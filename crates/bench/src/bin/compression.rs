@@ -1,0 +1,94 @@
+//! Compression binary: bytes on disk and touches/s, Raw vs auto-encoded
+//! page spans, digest-verified at every point.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin compression [rows] [traces]
+//! ```
+//!
+//! Persists a low-cardinality (banded) and a high-cardinality (full
+//! resolution) column with encoding off and on, reopens each store and
+//! replays the identical seeded segment-sweep plan. Exits non-zero if any
+//! encoded digest differs from its raw baseline, if the low-cardinality
+//! store shrinks less than 2x, or if its encoded replay is slower than 1.5x
+//! the raw throughput.
+
+use dbtouch_bench::compression::run_compression_sweep;
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_types::json::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_500_000);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    match run_compression_sweep(rows, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("scenario", Json::String(p.scenario.into())),
+                        ("encoded", Json::Bool(p.encoded)),
+                        ("disk_bytes", Json::Number(p.disk_bytes as f64)),
+                        ("rle_pages", Json::Number(p.rle_pages as f64)),
+                        ("dict_pages", Json::Number(p.dict_pages as f64)),
+                        ("total_touches", Json::Number(p.total_touches as f64)),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("wall_secs", Json::Number(p.wall_secs)),
+                        ("pool_faults", Json::Number(p.pool_faults as f64)),
+                        ("run_skips", Json::Number(p.run_skips as f64)),
+                        ("digest", Json::String(p.digest.to_string())),
+                        ("verified", Json::Bool(p.verified)),
+                    ])
+                })
+                .collect();
+            let ratios: Vec<Json> = ["low_cardinality", "high_cardinality"]
+                .iter()
+                .filter_map(|name| {
+                    Some(json_object(vec![
+                        ("scenario", Json::String((*name).into())),
+                        ("disk_shrink", Json::Number(report.disk_shrink(name)?)),
+                        ("speedup", Json::Number(report.speedup(name)?)),
+                    ]))
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("compression".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                ("traces", Json::Number(report.traces as f64)),
+                ("half_window", Json::Number(report.half_window as f64)),
+                ("points", Json::Array(points)),
+                ("ratios", Json::Array(ratios)),
+            ]);
+            match write_bench_json("compression", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
+            if report.points.iter().any(|p| !p.verified) {
+                eprintln!("FAILED: some points were not bit-identical to the raw run");
+                std::process::exit(1);
+            }
+            let shrink = report.disk_shrink("low_cardinality").unwrap_or(0.0);
+            if shrink < 2.0 {
+                eprintln!("FAILED: low-cardinality store shrank only {shrink:.2}x (< 2x)");
+                std::process::exit(1);
+            }
+            let speedup = report.speedup("low_cardinality").unwrap_or(0.0);
+            if speedup < 1.5 {
+                eprintln!(
+                    "FAILED: encoded low-cardinality replay reached only {speedup:.2}x \
+                     the raw throughput (< 1.5x)"
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("compression failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

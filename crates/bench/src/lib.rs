@@ -17,6 +17,7 @@ pub mod ablations;
 pub mod cache_effectiveness;
 pub mod catalog_churn;
 pub mod cold_start;
+pub mod compression;
 pub mod concurrency;
 pub mod contest;
 pub mod figures;
@@ -31,6 +32,7 @@ pub use cache_effectiveness::{
 };
 pub use catalog_churn::{run_catalog_churn_sweep, CatalogChurnPoint, CatalogChurnReport};
 pub use cold_start::{run_cold_start_sweep, ColdStartPoint, ColdStartReport};
+pub use compression::{run_compression_sweep, CompressionPoint, CompressionReport};
 pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport};
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};

@@ -586,6 +586,7 @@ impl SharedCatalog {
         if let Some(persistence) = &persistence {
             let pager = Arc::clone(persistence.pager());
             pager.attach_telemetry(Arc::clone(&telemetry));
+            telemetry.register(Arc::clone(pager.encoding_stats()) as Arc<dyn MetricSource>);
             telemetry.register(pager as Arc<dyn MetricSource>);
         }
         SharedCatalog {

@@ -6,7 +6,8 @@
 //! touch-to-tuple mapping and the tuple-to-byte-offset mapping must both be pure
 //! arithmetic to keep per-touch response times low.
 
-use crate::pager::{append_row_bytes, ColumnExtent, PagedColumn, Pager};
+use crate::encoding::EncodingPolicy;
+use crate::pager::{append_row_bytes_encoded, ColumnExtent, PagedColumn, Pager};
 use crate::segment::{SegmentStats, SegmentSum};
 use dbtouch_types::{DataType, DbTouchError, Result, RowId, RowRange, Value};
 use serde::{Deserialize, Serialize};
@@ -195,17 +196,18 @@ impl Column {
         let ColumnData::Paged(p) = &self.data else {
             return Ok(self.clone());
         };
-        let dt = p.data_type();
+        let raw = p.raw_row_bytes()?;
+        Column::from_raw_bytes(self.name.clone(), p.data_type(), raw)
+    }
+
+    /// Build a typed in-memory column from verbatim fixed-width row bytes
+    /// (the layout `Value::encode` and the page path share).
+    pub fn from_raw_bytes(name: impl Into<String>, dt: DataType, raw: Vec<u8>) -> Result<Column> {
+        let name = name.into();
         let width = dt.width_bytes();
-        let expected = p.rows() as usize * width;
-        let mut raw = Vec::with_capacity(expected);
-        for payload in p.page_payloads() {
-            raw.extend_from_slice(&payload?);
-        }
-        if raw.len() != expected {
+        if width == 0 || !raw.len().is_multiple_of(width) {
             return Err(DbTouchError::Corrupt(format!(
-                "paged column {:?} holds {} payload bytes, {expected} expected",
-                self.name,
+                "column {name:?}: {} raw bytes do not divide into width-{width} rows",
                 raw.len()
             )));
         }
@@ -225,17 +227,26 @@ impl Column {
             DataType::Bool => ColumnData::Bool(raw.iter().map(|&b| b != 0).collect()),
             DataType::FixedStr(width) => ColumnData::FixedStr { width, bytes: raw },
         };
-        Ok(Column {
-            name: self.name.clone(),
-            data,
-        })
+        Ok(Column { name, data })
     }
 
-    /// Append this column's rows to a persistent store's page file, returning
-    /// the extent written. The encoding is the same fixed-width little-endian
-    /// layout row-major matrixes use (`Value::encode`), so paged reads decode
-    /// bit-identically.
+    /// Append this column's rows to a persistent store's page file in the raw
+    /// layout, returning the extent written. The encoding is the same
+    /// fixed-width little-endian layout row-major matrixes use
+    /// (`Value::encode`), so paged reads decode bit-identically.
     pub fn persist_to(&self, pager: &Pager) -> Result<ColumnExtent> {
+        self.persist_to_encoded(pager, &EncodingPolicy::disabled())
+    }
+
+    /// Append this column's rows to a persistent store's page file, packing
+    /// them with whichever per-page encoding actually shrinks the page count
+    /// under `policy` (see [`crate::encoding`]); incompressible columns fall
+    /// back to the raw layout. Either way reads decode bit-identically.
+    pub fn persist_to_encoded(
+        &self,
+        pager: &Pager,
+        policy: &EncodingPolicy,
+    ) -> Result<ColumnExtent> {
         let dt = self.data_type();
         let row_bytes: Vec<u8> = match &self.data {
             ColumnData::Int64(v) | ColumnData::Timestamp(v) => {
@@ -244,15 +255,11 @@ impl Column {
             ColumnData::Float64(v) => v.iter().flat_map(|x| x.to_le_bytes()).collect(),
             ColumnData::Bool(v) => v.iter().map(|&b| u8::from(b)).collect(),
             ColumnData::FixedStr { bytes, .. } => bytes.clone(),
-            ColumnData::Paged(p) => {
-                let mut bytes = Vec::with_capacity((p.rows() * dt.width_bytes() as u64) as usize);
-                for payload in p.page_payloads() {
-                    bytes.extend_from_slice(&payload?);
-                }
-                bytes
-            }
+            // Decode to verbatim rows first: the destination store makes its
+            // own packing decision (its policy or page size may differ).
+            ColumnData::Paged(p) => p.raw_row_bytes()?,
         };
-        append_row_bytes(pager, dt, self.len(), &row_bytes)
+        append_row_bytes_encoded(pager, dt, self.len(), &row_bytes, policy)
     }
 
     /// Column name.
@@ -301,10 +308,15 @@ impl Column {
         self.len() == 0
     }
 
-    /// Size of the column's data in bytes (used to account for bytes touched in
-    /// the benchmarks).
+    /// Size of the column's data in bytes (used to account for bytes touched
+    /// in the benchmarks and to size buffer pools). For paged-backed columns
+    /// this is the *persisted* payload size — encoded columns report what
+    /// they actually occupy on disk, not the logical fixed-width size.
     pub fn byte_size(&self) -> u64 {
-        self.len() * self.data_type().width_bytes() as u64
+        match &self.data {
+            ColumnData::Paged(p) => p.extent().payload_bytes,
+            _ => self.len() * self.data_type().width_bytes() as u64,
+        }
     }
 
     /// Append a value; its type must match the column type. Paged-backed
@@ -503,11 +515,13 @@ impl Column {
     /// to read (I/O fault or corruption) — inline columns cannot fail.
     pub fn strided_sample(&self, step: u64) -> Result<Column> {
         let step = step.max(1) as usize;
-        if let ColumnData::Paged(_) = &self.data {
+        if let ColumnData::Paged(p) = &self.data {
             // Sampling a paged column materializes the sample in memory (it
-            // is a derived, smaller column); reads stream through the buffer
-            // pool.
-            return self.materialized()?.strided_sample(step as u64);
+            // is a derived, smaller column). The page-at-a-time batch path
+            // decodes each page once and faults only pages that hold a
+            // sampled row — no per-row `get()` faults.
+            let (raw, _) = p.strided_row_bytes(step as u64)?;
+            return Column::from_raw_bytes(self.name.clone(), p.data_type(), raw);
         }
         let data = match &self.data {
             ColumnData::Int64(v) => ColumnData::Int64(v.iter().step_by(step).copied().collect()),
@@ -544,9 +558,11 @@ impl Column {
     /// Errors only for paged-backed columns whose pages fail to read.
     pub fn project_range(&self, range: RowRange) -> Result<Column> {
         let range = range.clamp_to(self.len());
-        if let ColumnData::Paged(_) = &self.data {
-            let values: Vec<Value> = range.iter().map(|r| self.get(r)).collect::<Result<_>>()?;
-            return Column::from_values(self.name.clone(), self.data_type(), &values);
+        if let ColumnData::Paged(p) = &self.data {
+            // Page-at-a-time batch decode: each page in the range faults and
+            // decodes once, instead of one `get()` fault per row.
+            let raw = p.range_raw_bytes(range)?;
+            return Column::from_raw_bytes(self.name.clone(), p.data_type(), raw);
         }
         let r = range.as_usize_range();
         let data = match &self.data {
@@ -774,5 +790,58 @@ mod tests {
         let c = Column::empty("s", DataType::FixedStr(0));
         assert_eq!(c.len(), 0);
         assert!(c.is_empty());
+    }
+
+    fn paged_copy(col: &Column, policy: &EncodingPolicy, tag: &str) -> Column {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static SEQ: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dbtouch-column-{}-{}-{tag}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pager =
+            std::sync::Arc::new(Pager::open_or_create(dir.join("pages.dat"), 256, 64).unwrap());
+        let extent = col.persist_to_encoded(&pager, policy).unwrap();
+        Column::paged(col.name(), PagedColumn::new(pager, extent).unwrap())
+    }
+
+    #[test]
+    fn paged_byte_size_reports_persisted_payload() {
+        let col = Column::from_i64("runs", (0..3000).map(|i| i / 500).collect());
+        let raw = paged_copy(&col, &EncodingPolicy::disabled(), "size-raw");
+        assert_eq!(raw.byte_size(), 3000 * 8);
+        let packed = paged_copy(&col, &EncodingPolicy::default(), "size-packed");
+        assert!(packed.paged_extent().unwrap().is_packed());
+        assert!(
+            packed.byte_size() < raw.byte_size() / 2,
+            "encoded byte_size {} should be well under raw {}",
+            packed.byte_size(),
+            raw.byte_size()
+        );
+        assert_eq!(col.byte_size(), 3000 * 8);
+    }
+
+    #[test]
+    fn paged_strided_sample_and_project_match_inline() {
+        let col = Column::from_i64("runs", (0..3000).map(|i| (i / 100) % 5).collect());
+        for policy in [EncodingPolicy::disabled(), EncodingPolicy::default()] {
+            let paged = paged_copy(&col, &policy, "sample-project");
+            for step in [1, 7, 997] {
+                assert_eq!(
+                    paged.strided_sample(step).unwrap(),
+                    col.strided_sample(step).unwrap()
+                );
+            }
+            for (start, end) in [(0, 3000), (250, 1777), (2999, 3000)] {
+                assert_eq!(
+                    paged.project_range(RowRange::new(start, end)).unwrap(),
+                    col.project_range(RowRange::new(start, end)).unwrap()
+                );
+            }
+            assert_eq!(paged.materialized().unwrap(), col);
+            assert_eq!(paged, col);
+        }
     }
 }

@@ -10,6 +10,13 @@
 //! blocks whose `[min, max]` interval cannot contain matching rows, which is
 //! what turns a slide over an indexed column into an index scan: touches that
 //! land in skippable blocks are answered without reading the block at all.
+//!
+//! Encoded paged columns (see [`crate::encoding`]) need no special handling
+//! here: [`ZoneMapIndex::build`] goes through `Column::segment_range_stats`,
+//! which aggregates RLE runs and dictionary codes directly, so building over
+//! an encoded column yields bit-identical zones (and exact block sums) at a
+//! fraction of the decode work — a constant run is just the degenerate zone
+//! map whose block min equals its max.
 
 use crate::column::Column;
 use crate::segment::{SegmentStats, SegmentSum};
@@ -336,6 +343,38 @@ mod tests {
         assert_eq!(idx.block_count(), 0);
         assert!(idx.candidate_ranges(0.0, 1.0).is_empty());
         assert_eq!(idx.selectivity(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn encoded_paged_columns_index_identically() {
+        use crate::encoding::EncodingPolicy;
+        use crate::pager::{PagedColumn, Pager};
+        use std::sync::Arc;
+        // Long runs of a handful of values: packs RLE/dict under the default
+        // policy.
+        let c = Column::from_i64("c", (0..3000).map(|i| (i / 300) % 4).collect());
+        let expected = ZoneMapIndex::build(&c, 128).unwrap();
+        let dir = std::env::temp_dir().join(format!("dbtouch-index-enc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pager =
+            std::sync::Arc::new(Pager::open_or_create(dir.join("pages.dat"), 256, 64).unwrap());
+        for policy in [EncodingPolicy::disabled(), EncodingPolicy::default()] {
+            let extent = c.persist_to_encoded(&pager, &policy).unwrap();
+            assert_eq!(extent.is_packed(), policy.enabled);
+            let paged = Column::paged("c", PagedColumn::new(Arc::clone(&pager), extent).unwrap());
+            let idx = ZoneMapIndex::build(&paged, 128).unwrap();
+            assert_eq!(idx, expected);
+            // Constant blocks degenerate to min == max, so a predicate on
+            // any other value prunes them without touching data.
+            assert_eq!(idx.block_bounds(0), Some((0.0, 0.0)));
+            assert!(!idx.block_may_match(0, 1.0, 3.0));
+            // Block-aligned segments answer from stored sums either way.
+            let answered = idx.segment_stats(RowRange::new(128, 512)).unwrap();
+            assert_eq!(
+                answered,
+                c.segment_range_stats(RowRange::new(128, 512)).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -31,12 +31,16 @@
 //!   absolute row boundaries, each yielding exact, mergeable partial
 //!   aggregates so parallel scans stay bit-identical to sequential ones. See
 //!   [`segment`].
+//! * **Page-span compression** — run-length and dictionary encodings chosen
+//!   per page at persist time (raw whenever nothing actually shrinks), with
+//!   scan kernels that aggregate encoded data directly. See [`encoding`].
 //!
 //! The adaptive *policies* that decide when to use which mechanism live in
 //! `dbtouch-core`; this crate provides the mechanisms.
 
 pub mod cache;
 pub mod column;
+pub mod encoding;
 pub mod index;
 pub mod layout;
 pub mod matrix;
@@ -53,6 +57,7 @@ pub mod table;
 
 pub use cache::{CacheStats, RegionCache};
 pub use column::Column;
+pub use encoding::{Encoding, EncodingPolicy, EncodingStats};
 pub use index::ZoneMapIndex;
 pub use layout::Layout;
 pub use matrix::Matrix;

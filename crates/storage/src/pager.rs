@@ -18,6 +18,10 @@
 //! column it was persisted from — but rows fault through the pool on first
 //! touch instead of living in a `Vec`.
 
+use crate::encoding::{
+    decode_span, pack_row_bytes, rle_runs, span_value_offset, span_view, EncodingPolicy,
+    EncodingStats, SpanView,
+};
 use crate::page::{
     encode_page, payload_capacity, rows_per_page, verify_page, MIN_PAGE_SIZE, PAGE_HEADER_BYTES,
 };
@@ -47,6 +51,36 @@ pub struct ColumnExtent {
     pub rows: u64,
     /// Element type (fixes the row width and therefore the page geometry).
     pub dt: DataType,
+    /// `Some(rows per page)` when the extent's payloads are packed span
+    /// encodings (see [`crate::encoding`]): each page holds this many rows
+    /// (the last one possibly fewer) as a tagged, compressed span. `None`
+    /// means the legacy raw layout — untagged verbatim row bytes at the
+    /// page-geometry row count.
+    pub packed_rows_per_page: Option<u64>,
+    /// Actual persisted payload bytes across the extent's pages (for raw
+    /// extents this is simply `rows × width`). What [`Column::byte_size`]
+    /// (`crate::column`) reports for paged columns.
+    pub payload_bytes: u64,
+}
+
+impl ColumnExtent {
+    /// A raw (uncompressed) extent; `payload_bytes` follows from the row
+    /// count and type width.
+    pub fn raw(start_page: u64, page_count: u64, rows: u64, dt: DataType) -> ColumnExtent {
+        ColumnExtent {
+            start_page,
+            page_count,
+            rows,
+            dt,
+            packed_rows_per_page: None,
+            payload_bytes: rows * dt.width_bytes() as u64,
+        }
+    }
+
+    /// Whether the extent's payloads are packed span encodings.
+    pub fn is_packed(&self) -> bool {
+        self.packed_rows_per_page.is_some()
+    }
 }
 
 /// Counters accumulated by a [`Pager`] since it was opened.
@@ -112,6 +146,10 @@ pub struct Pager {
     /// hub. Faults emit [`TraceEventKind::PageFault`] events attributed to
     /// whatever gesture trace the faulting thread is running.
     telemetry: OnceLock<Arc<Telemetry>>,
+    /// Compression counters: pages packed per encoding, bytes saved on disk,
+    /// runs aggregated run-at-a-time by scans. Shared so the owning catalog
+    /// can register them as the `encoding` metric source.
+    encoding_stats: Arc<EncodingStats>,
 }
 
 impl std::fmt::Debug for Pager {
@@ -162,7 +200,14 @@ impl Pager {
             pool_hits: AtomicU64::new(0),
             faults: AtomicU64::new(0),
             telemetry: OnceLock::new(),
+            encoding_stats: Arc::new(EncodingStats::default()),
         })
+    }
+
+    /// Compression counters for this page file (the `encoding` metric
+    /// source).
+    pub fn encoding_stats(&self) -> &Arc<EncodingStats> {
+        &self.encoding_stats
     }
 
     /// Attach a telemetry hub so page faults show up in the event trace.
@@ -367,10 +412,15 @@ impl std::fmt::Debug for PagedColumn {
 
 impl PagedColumn {
     /// Wrap an extent of `pager` as a readable column. Validates the page
-    /// geometry implied by the extent's type and row count.
+    /// geometry implied by the extent's type and row count (for packed
+    /// extents, the rows-per-page the extent itself declares; span payloads
+    /// are further validated structurally on every read).
     pub fn new(pager: Arc<Pager>, extent: ColumnExtent) -> Result<PagedColumn> {
         let width = extent.dt.width_bytes();
-        let rpp = rows_per_page(pager.page_size(), width);
+        let rpp = match extent.packed_rows_per_page {
+            Some(packed) => packed,
+            None => rows_per_page(pager.page_size(), width),
+        };
         if extent.rows > 0 {
             if rpp == 0 {
                 return Err(DbTouchError::InvalidConfig(format!(
@@ -423,12 +473,18 @@ impl PagedColumn {
     }
 
     /// Fault the page containing `row` and return `(payload, byte offset of
-    /// the row within it)`.
+    /// the row's value within it)`. For packed extents the offset is
+    /// resolved through the span encoding (`O(1)` for raw and dictionary
+    /// spans, a run scan for RLE).
     fn page_for_row(&self, row: u64) -> Result<(Arc<Vec<u8>>, usize)> {
         let width = self.extent.dt.width_bytes();
         let page_idx = row / self.rows_per_page;
-        let offset = (row % self.rows_per_page) as usize * width;
         let payload = self.pager.read_page(self.extent.start_page + page_idx)?;
+        let offset = if self.extent.is_packed() {
+            span_value_offset(&payload, width, row % self.rows_per_page)?
+        } else {
+            (row % self.rows_per_page) as usize * width
+        };
         if offset + width > payload.len() {
             return Err(DbTouchError::Corrupt(format!(
                 "row {row} points past the payload of page {}",
@@ -486,6 +542,16 @@ impl PagedColumn {
         let mut sum = 0.0;
         let mut min: Option<f64> = None;
         let mut max: Option<f64> = None;
+        if self.extent.is_packed() {
+            let integer = self.extent.dt.is_integer();
+            self.packed_fold_rows(range, integer, &mut |x| {
+                count += 1;
+                sum += x;
+                min = Some(min.map_or(x, |m| m.min(x)));
+                max = Some(max.map_or(x, |m| m.max(x)));
+            })?;
+            return Ok((count, sum, min, max));
+        }
         let mut row = range.start;
         while row < range.end {
             let (payload, offset) = self.page_for_row(row)?;
@@ -523,6 +589,20 @@ impl PagedColumn {
         }
         let range = range.clamp_to(self.extent.rows);
         let integer = self.extent.dt.is_integer();
+        if self.extent.is_packed() {
+            if integer {
+                return self.packed_segment_stats_int(range);
+            }
+            // Float sums are order-dependent: reuse the per-row ascending
+            // fold, which visits values exactly as the raw layout does.
+            let (count, sum, min, max) = self.numeric_range_stats(range)?;
+            return Ok(SegmentStats {
+                count,
+                sum: SegmentSum::Float(sum),
+                min,
+                max,
+            });
+        }
         let mut stats = SegmentStats::empty(integer);
         let mut fsum = 0.0f64;
         let mut isum = 0i128;
@@ -558,8 +638,246 @@ impl PagedColumn {
         Ok(stats)
     }
 
-    /// The raw payload of every page of the extent, in order (used when a
-    /// paged column is re-persisted into a different store).
+    /// Fault the page containing `row` and return `(payload, page id)`.
+    fn page_span(&self, row: u64) -> Result<(Arc<Vec<u8>>, u64)> {
+        let page_idx = row / self.rows_per_page;
+        let payload = self.pager.read_page(self.extent.start_page + page_idx)?;
+        Ok((payload, self.extent.start_page + page_idx))
+    }
+
+    /// Fold every value of `range` (already clamped) in ascending row order,
+    /// decoding packed spans in place. The per-row visit order — and
+    /// therefore any floating-point accumulation the caller performs — is
+    /// identical to the raw layout's page-at-a-time fold.
+    fn packed_fold_rows(
+        &self,
+        range: RowRange,
+        integer: bool,
+        f: &mut dyn FnMut(f64),
+    ) -> Result<()> {
+        let width = self.extent.dt.width_bytes();
+        let to_f64 = |bytes: &[u8]| {
+            let bits: [u8; 8] = bytes[0..8].try_into().unwrap();
+            if integer {
+                i64::from_le_bytes(bits) as f64
+            } else {
+                f64::from_le_bytes(bits)
+            }
+        };
+        let mut row = range.start;
+        while row < range.end {
+            let lo = (row % self.rows_per_page) as usize;
+            let take = (self.rows_per_page - row % self.rows_per_page).min(range.end - row);
+            let hi = lo + take as usize;
+            let (payload, page_id) = self.page_span(row)?;
+            let (view, span_rows) = span_view(&payload, width)?;
+            if (span_rows as usize) < hi {
+                return Err(DbTouchError::Corrupt(format!(
+                    "page {page_id} stores {span_rows} rows where {hi} were expected"
+                )));
+            }
+            match view {
+                SpanView::Raw { rows } => {
+                    for i in lo..hi {
+                        f(to_f64(&rows[i * width..]));
+                    }
+                }
+                SpanView::Rle { runs } => {
+                    let mut cum = 0usize;
+                    for (len, value) in rle_runs(runs, width) {
+                        let start = cum;
+                        cum += len as usize;
+                        if cum <= lo {
+                            continue;
+                        }
+                        if start >= hi {
+                            break;
+                        }
+                        let overlap = cum.min(hi) - start.max(lo);
+                        let x = to_f64(value);
+                        for _ in 0..overlap {
+                            f(x);
+                        }
+                    }
+                }
+                SpanView::Dict { dict, codes } => {
+                    for &c in &codes[lo..hi] {
+                        f(to_f64(&dict[c as usize * width..]));
+                    }
+                }
+            }
+            row += take;
+        }
+        Ok(())
+    }
+
+    /// Integer [`SegmentStats`] over a packed extent: whole RLE runs
+    /// aggregate with one multiply, dictionary pages aggregate by counting
+    /// codes and folding each distinct value once. Exact `i128` accumulation
+    /// makes the decomposition invisible — the result is bit-identical to
+    /// the per-row fold at every granularity.
+    fn packed_segment_stats_int(&self, range: RowRange) -> Result<SegmentStats> {
+        let width = self.extent.dt.width_bytes();
+        let mut stats = SegmentStats::empty(true);
+        let mut isum = 0i128;
+        let mut run_skips = 0u64;
+        let value_of = |bytes: &[u8]| i64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        let fold_minmax = |stats: &mut SegmentStats, v: i64| {
+            let x = v as f64;
+            stats.min = Some(stats.min.map_or(x, |m| m.min(x)));
+            stats.max = Some(stats.max.map_or(x, |m| m.max(x)));
+        };
+        let mut counts = [0u32; 256];
+        let mut row = range.start;
+        while row < range.end {
+            let lo = (row % self.rows_per_page) as usize;
+            let take = (self.rows_per_page - row % self.rows_per_page).min(range.end - row);
+            let hi = lo + take as usize;
+            let (payload, page_id) = self.page_span(row)?;
+            let (view, span_rows) = span_view(&payload, width)?;
+            if (span_rows as usize) < hi {
+                return Err(DbTouchError::Corrupt(format!(
+                    "page {page_id} stores {span_rows} rows where {hi} were expected"
+                )));
+            }
+            match view {
+                SpanView::Raw { rows } => {
+                    for i in lo..hi {
+                        let v = value_of(&rows[i * width..]);
+                        isum += v as i128;
+                        stats.count += 1;
+                        fold_minmax(&mut stats, v);
+                    }
+                }
+                SpanView::Rle { runs } => {
+                    let mut cum = 0usize;
+                    for (len, value) in rle_runs(runs, width) {
+                        let start = cum;
+                        cum += len as usize;
+                        if cum <= lo {
+                            continue;
+                        }
+                        if start >= hi {
+                            break;
+                        }
+                        let overlap = (cum.min(hi) - start.max(lo)) as u64;
+                        let v = value_of(value);
+                        isum += v as i128 * overlap as i128;
+                        stats.count += overlap;
+                        fold_minmax(&mut stats, v);
+                        if overlap >= 2 {
+                            run_skips += 1;
+                        }
+                    }
+                }
+                SpanView::Dict { dict, codes } => {
+                    let dict_len = dict.len() / width;
+                    counts[..dict_len].fill(0);
+                    for &c in &codes[lo..hi] {
+                        counts[c as usize] += 1;
+                    }
+                    for (c, &n) in counts[..dict_len].iter().enumerate() {
+                        if n > 0 {
+                            let v = value_of(&dict[c * width..]);
+                            isum += v as i128 * n as i128;
+                            stats.count += n as u64;
+                            fold_minmax(&mut stats, v);
+                        }
+                    }
+                }
+            }
+            row += take;
+        }
+        stats.sum = SegmentSum::Int(isum);
+        self.pager.encoding_stats.add_run_skips(run_skips);
+        Ok(stats)
+    }
+
+    /// Rows per page of this extent (packed extents hold more than the page
+    /// geometry allows raw).
+    pub fn rows_per_page(&self) -> u64 {
+        self.rows_per_page
+    }
+
+    /// Verbatim row bytes of `range`, decoded page-at-a-time — the batch
+    /// path behind `materialized`, `project_range` and re-persists; never
+    /// faults a page outside the range.
+    pub fn range_raw_bytes(&self, range: RowRange) -> Result<Vec<u8>> {
+        let width = self.extent.dt.width_bytes();
+        let range = range.clamp_to(self.extent.rows);
+        let mut out = Vec::with_capacity(range.len() as usize * width);
+        let mut row = range.start;
+        while row < range.end {
+            let lo = (row % self.rows_per_page) as usize * width;
+            let take = (self.rows_per_page - row % self.rows_per_page).min(range.end - row);
+            let bytes = take as usize * width;
+            let (payload, page_id) = self.page_span(row)?;
+            if self.extent.is_packed() {
+                let decoded = decode_span(&payload, width)?;
+                if decoded.len() < lo + bytes {
+                    return Err(DbTouchError::Corrupt(format!(
+                        "page {page_id} decodes short of its expected rows"
+                    )));
+                }
+                out.extend_from_slice(&decoded[lo..lo + bytes]);
+            } else {
+                if payload.len() < lo + bytes {
+                    return Err(DbTouchError::Corrupt(format!(
+                        "page {page_id} payload short of its expected rows"
+                    )));
+                }
+                out.extend_from_slice(&payload[lo..lo + bytes]);
+            }
+            row += take;
+        }
+        Ok(out)
+    }
+
+    /// Verbatim row bytes of the whole column.
+    pub fn raw_row_bytes(&self) -> Result<Vec<u8>> {
+        self.range_raw_bytes(RowRange::new(0, self.extent.rows))
+    }
+
+    /// Row bytes of rows `0, step, 2·step, …`, decoding each page at most
+    /// once and faulting only pages that actually hold a sampled row.
+    /// Returns the bytes and the number of rows sampled.
+    pub fn strided_row_bytes(&self, step: u64) -> Result<(Vec<u8>, u64)> {
+        let width = self.extent.dt.width_bytes();
+        let step = step.max(1);
+        let mut out = Vec::with_capacity((self.extent.rows / step + 1) as usize * width);
+        let mut sampled = 0u64;
+        let mut cached: Option<(u64, Vec<u8>)> = None;
+        let mut row = 0u64;
+        while row < self.extent.rows {
+            let page_idx = row / self.rows_per_page;
+            if cached.as_ref().map(|(idx, _)| *idx) != Some(page_idx) {
+                let (payload, _) = self.page_span(row)?;
+                let decoded = if self.extent.is_packed() {
+                    decode_span(&payload, width)?
+                } else {
+                    payload.to_vec()
+                };
+                cached = Some((page_idx, decoded));
+            }
+            let bytes = &cached.as_ref().unwrap().1;
+            let lo = (row % self.rows_per_page) as usize * width;
+            if bytes.len() < lo + width {
+                return Err(DbTouchError::Corrupt(format!(
+                    "page {} short of row {row}",
+                    self.extent.start_page + page_idx
+                )));
+            }
+            out.extend_from_slice(&bytes[lo..lo + width]);
+            sampled += 1;
+            row += step;
+        }
+        Ok((out, sampled))
+    }
+
+    /// The persisted payload of every page of the extent, in order. For
+    /// packed extents these are the *encoded* span payloads — re-persisting
+    /// a column goes through [`raw_row_bytes`](PagedColumn::raw_row_bytes)
+    /// so the destination store makes its own packing decision.
     pub fn page_payloads(&self) -> impl Iterator<Item = Result<Arc<Vec<u8>>>> + '_ {
         (self.extent.start_page..self.extent.start_page + self.extent.page_count)
             .map(move |id| self.pager.read_page(id))
@@ -582,12 +900,7 @@ pub fn append_row_bytes(
         )));
     }
     if rows == 0 {
-        return Ok(ColumnExtent {
-            start_page: 0,
-            page_count: 0,
-            rows: 0,
-            dt,
-        });
+        return Ok(ColumnExtent::raw(0, 0, 0, dt));
     }
     let rpp = rows_per_page(pager.page_size(), width);
     if rpp == 0 {
@@ -598,12 +911,50 @@ pub fn append_row_bytes(
     }
     let chunk = rpp as usize * width;
     let start_page = pager.append_payloads(row_bytes.chunks(chunk))?;
-    Ok(ColumnExtent {
-        start_page,
-        page_count: rows.div_ceil(rpp),
-        rows,
-        dt,
-    })
+    Ok(ColumnExtent::raw(start_page, rows.div_ceil(rpp), rows, dt))
+}
+
+/// Like [`append_row_bytes`], but first tries to pack the rows into fewer
+/// pages under `policy` (see [`crate::encoding`]). Falls back to the raw
+/// layout whenever packing would not shrink the page count, so enabling
+/// compression never costs disk space.
+pub fn append_row_bytes_encoded(
+    pager: &Pager,
+    dt: DataType,
+    rows: u64,
+    row_bytes: &[u8],
+    policy: &EncodingPolicy,
+) -> Result<ColumnExtent> {
+    let width = dt.width_bytes();
+    if row_bytes.len() as u64 != rows * width as u64 {
+        return Err(DbTouchError::Internal(format!(
+            "append_row_bytes_encoded: {} bytes for {rows} rows of width {width}",
+            row_bytes.len()
+        )));
+    }
+    if rows > 0 && policy.enabled {
+        let base_rpp = rows_per_page(pager.page_size(), width);
+        let capacity = payload_capacity(pager.page_size());
+        if let Some(packed) = pack_row_bytes(row_bytes, width, base_rpp, capacity, policy) {
+            let page_count = packed.payloads.len() as u64;
+            let start_page = pager.append_payloads(packed.payloads.iter().map(|p| p.as_slice()))?;
+            let raw_pages = rows.div_ceil(base_rpp);
+            pager.encoding_stats.record_pack(
+                packed.rle_pages,
+                packed.dict_pages,
+                (raw_pages - page_count) * pager.page_size() as u64,
+            );
+            return Ok(ColumnExtent {
+                start_page,
+                page_count,
+                rows,
+                dt,
+                packed_rows_per_page: Some(packed.rows_per_page),
+                payload_bytes: packed.payload_bytes,
+            });
+        }
+    }
+    append_row_bytes(pager, dt, rows, row_bytes)
 }
 
 #[cfg(test)]
@@ -739,12 +1090,7 @@ mod tests {
     fn reads_beyond_eof_are_corrupt_errors() {
         let path = temp_file("eof");
         let pager = Arc::new(Pager::open_or_create(&path, 256, 4).unwrap());
-        let bogus = ColumnExtent {
-            start_page: 10,
-            page_count: 1,
-            rows: 4,
-            dt: DataType::Int64,
-        };
+        let bogus = ColumnExtent::raw(10, 1, 4, DataType::Int64);
         assert!(matches!(
             pager.verify_extent(&bogus),
             Err(DbTouchError::Corrupt(_))
@@ -765,14 +1111,117 @@ mod tests {
         // A fixed string wider than the payload cannot be paged.
         assert!(append_row_bytes(&pager, DataType::FixedStr(300), 1, &[0u8; 300]).is_err());
         // Page-count/row mismatches are rejected.
-        let lying = ColumnExtent {
-            start_page: 0,
-            page_count: 99,
-            rows: 4,
-            dt: DataType::Int64,
-        };
+        let lying = ColumnExtent::raw(0, 99, 4, DataType::Int64);
         assert!(PagedColumn::new(Arc::clone(&pager), lying).is_err());
         assert!(Pager::open_or_create(path.with_extension("tiny"), 8, 4).is_err());
+    }
+
+    fn f64_bytes(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    /// Every accessor of a packed column must agree bit-for-bit with the raw
+    /// column persisted from the same rows.
+    fn assert_reads_match(raw: &PagedColumn, packed: &PagedColumn, rows: u64) {
+        for row in [0, 1, rows / 2, rows - 1] {
+            assert_eq!(
+                raw.value_at(RowId(row)).unwrap(),
+                packed.value_at(RowId(row)).unwrap()
+            );
+            assert_eq!(
+                raw.f64_at(RowId(row)).unwrap().to_bits(),
+                packed.f64_at(RowId(row)).unwrap().to_bits()
+            );
+        }
+        for (start, end) in [(0, rows), (10, 20), (17, rows - 7), (rows / 2, rows / 2)] {
+            let range = RowRange::new(start, end);
+            let a = raw.numeric_range_stats(range).unwrap();
+            let b = packed.numeric_range_stats(range).unwrap();
+            assert_eq!(a.1.to_bits(), b.1.to_bits(), "sum differs over {range:?}");
+            assert_eq!(a, b);
+            let sa = raw.segment_range_stats(range).unwrap();
+            let sb = packed.segment_range_stats(range).unwrap();
+            assert_eq!(sa, sb, "segment stats differ over {range:?}");
+        }
+        assert_eq!(
+            raw.raw_row_bytes().unwrap(),
+            packed.raw_row_bytes().unwrap()
+        );
+        assert_eq!(
+            raw.range_raw_bytes(RowRange::new(13, rows - 5)).unwrap(),
+            packed.range_raw_bytes(RowRange::new(13, rows - 5)).unwrap()
+        );
+        for step in [1, 7, 1000] {
+            assert_eq!(
+                raw.strided_row_bytes(step).unwrap(),
+                packed.strided_row_bytes(step).unwrap()
+            );
+        }
+    }
+
+    fn packed_pair(tag: &str, dt: DataType, rows: u64, bytes: &[u8]) -> (PagedColumn, PagedColumn) {
+        let pager = Arc::new(Pager::open_or_create(temp_file(tag), 256, 64).unwrap());
+        let raw = append_row_bytes(&pager, dt, rows, bytes).unwrap();
+        let packed =
+            append_row_bytes_encoded(&pager, dt, rows, bytes, &EncodingPolicy::default()).unwrap();
+        assert!(packed.is_packed(), "data should have packed");
+        assert!(packed.page_count * 2 <= raw.page_count, "≥2x page shrink");
+        assert!(packed.payload_bytes < raw.payload_bytes);
+        (
+            PagedColumn::new(Arc::clone(&pager), raw).unwrap(),
+            PagedColumn::new(pager, packed).unwrap(),
+        )
+    }
+
+    #[test]
+    fn packed_rle_column_reads_identically_and_skips_runs() {
+        let values: Vec<i64> = (0..4000).map(|i| (i / 100) % 4 - 2).collect();
+        let (raw, packed) = packed_pair("packed-rle", DataType::Int64, 4000, &i64_bytes(&values));
+        assert_reads_match(&raw, &packed, 4000);
+        let exact: i128 = values.iter().map(|&v| v as i128).sum();
+        let stats = packed.segment_range_stats(RowRange::new(0, 4000)).unwrap();
+        assert_eq!(stats.sum, SegmentSum::Int(exact));
+        assert!(packed.pager.encoding_stats().run_skips() > 0);
+        assert!(packed.pager.encoding_stats().rle_pages() > 0);
+        assert!(packed.pager.encoding_stats().bytes_saved() > 0);
+    }
+
+    #[test]
+    fn packed_dict_column_reads_identically() {
+        // Pseudo-random low-cardinality values: no long runs, 13 distinct.
+        let values: Vec<i64> = (0..4000i64).map(|i| (i * 2654435761 % 13) - 6).collect();
+        let (raw, packed) = packed_pair("packed-dict", DataType::Int64, 4000, &i64_bytes(&values));
+        assert_reads_match(&raw, &packed, 4000);
+        assert!(packed.pager.encoding_stats().dict_pages() > 0);
+    }
+
+    #[test]
+    fn packed_float_column_preserves_fold_order() {
+        let values: Vec<f64> = (0..4000)
+            .map(|i| ((i / 50) % 7) as f64 * 0.1 - 0.3)
+            .collect();
+        let (raw, packed) =
+            packed_pair("packed-float", DataType::Float64, 4000, &f64_bytes(&values));
+        assert_reads_match(&raw, &packed, 4000);
+    }
+
+    #[test]
+    fn incompressible_data_stays_raw_under_encoding() {
+        let values: Vec<i64> = (0..4000).map(|i| i * 2654435761 + 17).collect();
+        let pager = Arc::new(Pager::open_or_create(temp_file("stays-raw"), 256, 64).unwrap());
+        let extent = append_row_bytes_encoded(
+            &pager,
+            DataType::Int64,
+            4000,
+            &i64_bytes(&values),
+            &EncodingPolicy::default(),
+        )
+        .unwrap();
+        assert!(!extent.is_packed());
+        assert_eq!(extent.payload_bytes, 4000 * 8);
+        assert_eq!(pager.encoding_stats().bytes_saved(), 0);
+        let col = PagedColumn::new(pager, extent).unwrap();
+        assert_eq!(col.value_at(RowId(7)).unwrap(), Value::Int(values[7]));
     }
 
     #[test]

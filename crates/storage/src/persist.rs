@@ -150,16 +150,36 @@ fn extent_to_json(e: &ColumnExtent) -> Json {
     m.insert("page_count".into(), num(e.page_count));
     m.insert("rows".into(), num(e.rows));
     m.insert("dt".into(), Json::String(e.dt.name()));
+    // Compression keys are optional so manifests written before (or with
+    // encoding disabled) keep parsing: absent means the raw layout.
+    if let Some(rpp) = e.packed_rows_per_page {
+        m.insert("packed_rows_per_page".into(), num(rpp));
+    }
+    m.insert("payload_bytes".into(), num(e.payload_bytes));
     Json::Object(m)
 }
 
 fn extent_from_json(j: &Json) -> Result<ColumnExtent> {
+    let rows = get_u64(j, "rows")?;
+    let dt = DataType::parse_name(get_str(j, "dt")?)
+        .map_err(|e| DbTouchError::Corrupt(e.to_string()))?;
+    let packed_rows_per_page = match j.get("packed_rows_per_page") {
+        None | Some(Json::Null) => None,
+        Some(_) => Some(get_u64(j, "packed_rows_per_page")?),
+    };
+    let payload_bytes = match j.get("payload_bytes") {
+        // Pre-compression manifests carry no payload size; raw extents store
+        // exactly rows × width.
+        None => rows * dt.width_bytes() as u64,
+        Some(_) => get_u64(j, "payload_bytes")?,
+    };
     Ok(ColumnExtent {
         start_page: get_u64(j, "start_page")?,
         page_count: get_u64(j, "page_count")?,
-        rows: get_u64(j, "rows")?,
-        dt: DataType::parse_name(get_str(j, "dt")?)
-            .map_err(|e| DbTouchError::Corrupt(e.to_string()))?,
+        rows,
+        dt,
+        packed_rows_per_page,
+        payload_bytes,
     })
 }
 

@@ -220,6 +220,20 @@ pub struct KernelConfig {
     /// index without touching data.
     #[serde(default)]
     pub segment_rows: u64,
+
+    /// Whether persists pack columns with per-page RLE/dictionary encodings
+    /// (the default). Selection is per page and falls back to raw whenever
+    /// nothing actually shrinks, so turning this off only changes bytes on
+    /// disk — never results: encoded scans are bit-identical to raw ones.
+    #[serde(default)]
+    pub encoding_enabled: bool,
+
+    /// Most distinct values a page span may hold and still choose the
+    /// dictionary encoding. Codes are one byte, so the ceiling is 256; the
+    /// default (64) keeps dictionaries small enough that code-counting scans
+    /// stay cache-resident.
+    #[serde(default)]
+    pub dict_max_cardinality: u16,
 }
 
 impl Default for KernelConfig {
@@ -249,6 +263,8 @@ impl Default for KernelConfig {
             telemetry_hot_sample: 64,
             scan_parallelism: 1,
             segment_rows: 65_536,
+            encoding_enabled: true,
+            dict_max_cardinality: 64,
         }
     }
 }
@@ -320,6 +336,11 @@ impl KernelConfig {
         if self.segment_rows == 0 {
             return Err(DbTouchError::InvalidConfig(
                 "segment_rows must be > 0".into(),
+            ));
+        }
+        if !(1..=256).contains(&self.dict_max_cardinality) {
+            return Err(DbTouchError::InvalidConfig(
+                "dict_max_cardinality must be in 1..=256 (codes are one byte)".into(),
             ));
         }
         Ok(())
@@ -446,6 +467,18 @@ impl KernelConfig {
     /// Builder-style setter for the scan segment size in rows.
     pub fn with_segment_rows(mut self, rows: u64) -> Self {
         self.segment_rows = rows;
+        self
+    }
+
+    /// Builder-style toggle for page-span compression at persist time.
+    pub fn with_encoding(mut self, on: bool) -> Self {
+        self.encoding_enabled = on;
+        self
+    }
+
+    /// Builder-style setter for the dictionary-encoding cardinality ceiling.
+    pub fn with_dict_max_cardinality(mut self, values: u16) -> Self {
+        self.dict_max_cardinality = values;
         self
     }
 }
@@ -624,6 +657,34 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.scan_parallelism, 8);
         assert_eq!(c.segment_rows, 4096);
+    }
+
+    #[test]
+    fn encoding_knobs_validate_and_chain() {
+        let c = KernelConfig::default();
+        assert!(c.encoding_enabled);
+        assert_eq!(c.dict_max_cardinality, 64);
+        assert!(KernelConfig::default()
+            .with_dict_max_cardinality(0)
+            .validate()
+            .is_err());
+        assert!(KernelConfig::default()
+            .with_dict_max_cardinality(257)
+            .validate()
+            .is_err());
+        let c = KernelConfig::default()
+            .with_encoding(false)
+            .with_dict_max_cardinality(256);
+        assert!(c.validate().is_ok());
+        assert!(!c.encoding_enabled);
+        assert_eq!(c.dict_max_cardinality, 256);
+        // Even with encoding off the cardinality knob stays range-checked —
+        // it is persisted and may be re-enabled later.
+        assert!(KernelConfig::default()
+            .with_encoding(false)
+            .with_dict_max_cardinality(0)
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -56,6 +56,46 @@ impl Scenario {
         Column::from_i64(format!("{}_milli", self.name), quantized)
     }
 
+    /// The signal coarsened to at most `levels` discrete bands (equal-width
+    /// buckets over the observed range), the way dashboards bin a reading
+    /// into severity levels. Band switches apply hysteresis — a reading must
+    /// reach 40% into a neighbouring band before the reported band follows —
+    /// the standard debounce that stops a noisy signal near a boundary from
+    /// flapping between two levels. Cardinality is bounded by `levels` and
+    /// the debounced bands form long constant runs, so this is the
+    /// low-cardinality, compression-friendly counterpart of
+    /// [`Scenario::signal_column_i64`].
+    pub fn signal_column_banded(&self, levels: u16) -> Column {
+        let levels = levels.max(1) as i64;
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in &self.signal {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        let span = (hi - lo).max(f64::EPSILON);
+        let margin = 0.4;
+        let mut current: Option<i64> = None;
+        let banded = self
+            .signal
+            .iter()
+            .map(|v| {
+                // Continuous band coordinate: band index plus the fraction of
+                // the way through that band.
+                let x = (v - lo) / span * levels as f64;
+                let cand = (x as i64).clamp(0, levels - 1);
+                let held = match current {
+                    None => cand,
+                    Some(held) if cand > held && x - cand as f64 >= margin => cand,
+                    Some(held) if cand < held && (cand + 1) as f64 - x >= margin => cand,
+                    Some(held) => held,
+                };
+                current = Some(held);
+                held
+            })
+            .collect();
+        Column::from_i64(format!("{}_band", self.name), banded)
+    }
+
     /// The full scenario as a table: signal plus extra columns.
     pub fn table(&self) -> Result<Table> {
         let mut columns = vec![self.signal_column()];
@@ -175,6 +215,58 @@ mod tests {
         assert!(t.column("declination").is_ok());
         let contest = Scenario::contest(1000, 1);
         assert_eq!(contest.table().unwrap().column_count(), 1);
+    }
+
+    #[test]
+    fn banded_signal_bounds_cardinality_and_tracks_the_pattern() {
+        let s = Scenario::monitoring_stream(50_000, 7);
+        let c = s.signal_column_banded(8);
+        assert_eq!(c.len(), 50_000);
+        assert_eq!(c.name(), "request_latency_band");
+        let mut distinct = std::collections::BTreeSet::new();
+        for i in 0..c.len() {
+            match c.get(dbtouch_types::RowId(i)).unwrap() {
+                dbtouch_types::Value::Int(v) => {
+                    assert!((0..8).contains(&v), "band {v} out of range");
+                    distinct.insert(v);
+                }
+                other => panic!("banded column must be integer, got {other:?}"),
+            }
+        }
+        assert!(distinct.len() > 1, "a shifting signal spans several bands");
+        // The level-shift incident lands in a higher band than the baseline
+        // (hysteresis may hold the old band for a few samples, so probe a
+        // short stretch inside the incident).
+        let p = s.patterns[0];
+        let band_at = |row: u64| match c.get(dbtouch_types::RowId(row)).unwrap() {
+            dbtouch_types::Value::Int(v) => v,
+            other => panic!("integer bands expected, got {other:?}"),
+        };
+        let inside = (p.start_row + 1..p.start_row + 20)
+            .map(band_at)
+            .max()
+            .unwrap();
+        let before = band_at(p.start_row - 100);
+        assert!(
+            inside > before,
+            "incident band {inside} vs baseline {before}"
+        );
+        // Debounced bands hold long constant runs — that is the point of the
+        // helper (compression-friendly shape).
+        let mut runs = 1u64;
+        for i in 1..c.len() {
+            if band_at(i) != band_at(i - 1) {
+                runs += 1;
+            }
+        }
+        assert!(
+            c.len() / runs >= 50,
+            "mean run length {} too short for a debounced banded signal",
+            c.len() / runs
+        );
+        // Determinism: same seed, same bands.
+        let again = Scenario::monitoring_stream(50_000, 7).signal_column_banded(8);
+        assert_eq!(c, again);
     }
 
     #[test]

@@ -606,6 +606,180 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Page-span encoding is lossless and self-describing on adversarial
+    /// shapes: empty spans, one long run, strict alternation, bounded
+    /// cardinality and full-entropy data all decode back to the exact input
+    /// bytes, per-row offsets address the same values, and the packed form
+    /// concatenates back to the verbatim column.
+    #[test]
+    fn span_encodings_round_trip_adversarial_data(
+        shape in prop_oneof![
+            // empty
+            Just((0usize, 0u8)),
+            // single run / alternating / short runs / high cardinality
+            (1usize..3_000).prop_map(|n| (n, 1u8)),
+            (1usize..3_000).prop_map(|n| (n, 2u8)),
+            (1usize..3_000).prop_map(|n| (n, 3u8)),
+            (1usize..3_000).prop_map(|n| (n, 4u8)),
+        ],
+        a in -1_000_000i64..1_000_000,
+        b in -1_000_000i64..1_000_000,
+        cap in 1u16..=256,
+    ) {
+        use dbtouch::storage::encoding::{
+            decode_span, encode_span, pack_row_bytes, span_value_offset, span_view,
+            EncodingPolicy,
+        };
+
+        let (n, kind): (usize, u8) = shape;
+        let values: Vec<i64> = match kind {
+            0 => Vec::new(),
+            1 => vec![a; n],
+            2 => (0..n).map(|i| if i % 2 == 0 { a } else { b }).collect(),
+            3 => (0..n as i64).map(|i| (i / 37) % 11).collect(),
+            _ => (0..n as i64)
+                .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15u64 as i64).wrapping_add(a))
+                .collect(),
+        };
+        let raw: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let policy = EncodingPolicy { enabled: true, dict_max_cardinality: cap };
+
+        // Unbounded encode always succeeds (Raw is always a candidate) and
+        // round-trips bit-exactly, wholesale and per row.
+        let (enc, payload) = encode_span(&raw, 8, &policy, usize::MAX).unwrap();
+        let decoded = decode_span(&payload, 8).unwrap();
+        prop_assert!(decoded == raw, "decode mismatch through {enc:?}");
+        let (_, rows) = span_view(&payload, 8).unwrap();
+        prop_assert_eq!(rows as usize, values.len());
+        for idx in (0..rows).step_by(7) {
+            let at = span_value_offset(&payload, 8, idx).unwrap();
+            let i = idx as usize;
+            prop_assert_eq!(&payload[at..at + 8], &raw[i * 8..(i + 1) * 8]);
+        }
+        prop_assert!(span_value_offset(&payload, 8, rows).is_err());
+
+        // Packing under a real page budget: spans re-concatenate to the
+        // verbatim column and the claimed geometry is internally consistent.
+        if let Some(packed) = pack_row_bytes(&raw, 8, 29, 232, &policy) {
+            prop_assert_eq!(packed.payloads.len() as u64,
+                (values.len() as u64).div_ceil(packed.rows_per_page));
+            prop_assert_eq!(packed.rows_per_page % 29, 0);
+            let mut rebuilt = Vec::with_capacity(raw.len());
+            let mut payload_bytes = 0u64;
+            for payload in &packed.payloads {
+                prop_assert!(payload.len() <= 232, "span overflows the page");
+                payload_bytes += payload.len() as u64;
+                rebuilt.extend(decode_span(payload, 8).unwrap());
+            }
+            prop_assert_eq!(&rebuilt, &raw);
+            prop_assert_eq!(payload_bytes, packed.payload_bytes);
+        }
+    }
+}
+
+// Encoded-catalog digest invariance persists to (and reopens from) a real
+// on-disk store per grid point; a few cases cover the interesting ground.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// On-disk representation is invisible to results: for RLE-shaped,
+    /// dict-shaped and incompressible columns, a persisted-then-reopened
+    /// catalog replays bit-identical digests across encoding {on, off} ×
+    /// `scan_parallelism` {1, 8} — while live loads append (and pack) pages
+    /// through the same attached store mid-replay.
+    #[test]
+    fn encoded_catalog_digests_match_raw_across_parallelism_under_churn(
+        rows in 40_000i64..80_000,
+        duration in 0.6f64..1.2,
+        case in 0u32..u32::MAX,
+    ) {
+        let datasets: Vec<(&str, Vec<i64>)> = vec![
+            ("runs", (0..rows).map(|i| (i / 777) % 5).collect()),
+            ("codes", (0..rows).map(|i| i.wrapping_mul(2654435761) % 13).collect()),
+            ("unique", (0..rows).map(|i| i.wrapping_mul(2654435761).wrapping_add(17)).collect()),
+        ];
+        let action = TouchAction::Summary {
+            half_window: Some(10_000),
+            kind: AggregateKind::Sum,
+        };
+        let digest_object = |catalog: &Arc<SharedCatalog>, name: &str| -> u64 {
+            let id = catalog.object_id(name).unwrap();
+            let data = catalog.data(id).unwrap();
+            let trace = GestureSynthesizer::new(60.0).slide_down(data.base_view(), duration);
+            let mut kernel = Kernel::from_catalog(Arc::clone(catalog));
+            kernel.set_action(id, action.clone()).unwrap();
+            let outcome = kernel.run_trace(id, &trace).unwrap();
+            digest_outcomes([TraceOutcome { object: id, outcome }].iter())
+        };
+
+        // In-memory baseline: encoding only exists on disk, so these digests
+        // are the ground truth every on-disk configuration must reproduce.
+        let baseline = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        for (name, values) in &datasets {
+            baseline
+                .load_column(*name, values.clone(), SizeCm::new(2.0, 10.0))
+                .unwrap();
+        }
+        let expected: Vec<u64> = datasets
+            .iter()
+            .map(|(name, _)| digest_object(&baseline, name))
+            .collect();
+
+        for encoding_on in [true, false] {
+            for parallelism in [1usize, 8] {
+                let config = KernelConfig::default()
+                    .with_encoding(encoding_on)
+                    .with_scan_parallelism(parallelism);
+                let dir = std::env::temp_dir().join(format!(
+                    "dbtouch-enc-props-{}-{case:08x}-{encoding_on}-{parallelism}",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_dir_all(&dir);
+                {
+                    let writer =
+                        Arc::new(SharedCatalog::open(&dir, config.clone()).unwrap());
+                    for (name, values) in &datasets {
+                        writer
+                            .load_column(*name, values.clone(), SizeCm::new(2.0, 10.0))
+                            .unwrap();
+                    }
+                }
+                let reopened = Arc::new(SharedCatalog::open(&dir, config).unwrap());
+                // Churn: concurrent loads persist (and pack) new columns
+                // through the same pager the replays are faulting from.
+                let churn = {
+                    let catalog = Arc::clone(&reopened);
+                    let churn_rows = rows / 4;
+                    std::thread::spawn(move || {
+                        for k in 0..3i64 {
+                            catalog
+                                .load_column(
+                                    format!("churn_{k}"),
+                                    (0..churn_rows).map(|i| (i / 501) % 3 + k).collect(),
+                                    SizeCm::new(2.0, 10.0),
+                                )
+                                .unwrap();
+                        }
+                    })
+                };
+                for ((name, _), expected) in datasets.iter().zip(&expected) {
+                    let actual = digest_object(&reopened, name);
+                    prop_assert!(
+                        actual == *expected,
+                        "digest diverged for {name} at encoding={encoding_on}, \
+                         parallelism={parallelism}"
+                    );
+                }
+                churn.join().unwrap();
+                let _ = std::fs::remove_dir_all(&dir);
+            }
+        }
+    }
+}
+
 // Persistence properties run fewer cases: each one persists to (and reopens
 // from) a real on-disk store.
 proptest! {
