@@ -1,0 +1,175 @@
+//! Network throughput benchmark binary: touches/sec and frame service time
+//! versus simultaneous TCP connection count, digest-verified against the
+//! in-process replay.
+//!
+//! ```text
+//! # in-process loopback sweep (default)
+//! cargo run --release -p dbtouch-bench --bin net_throughput [rows] [traces_per_session]
+//!
+//! # two-process mode: a real server and a real load generator
+//! cargo run --release -p dbtouch-bench --bin net_throughput -- serve <addr> [rows] [secs]
+//! cargo run --release -p dbtouch-bench --bin net_throughput -- load <addr> [rows] [sessions] [traces]
+//! ```
+//!
+//! `serve` prints the bound address on stdout (`listening on <addr>`) and
+//! drains after `secs` seconds. `load` retries the dial until the server is
+//! up, rebuilds the seeded scenario locally to compute the expected result
+//! digests, and exits non-zero if the networked digests differ — the
+//! two processes never share memory, only the wire.
+
+use dbtouch_bench::net_throughput::{
+    drive_load, expected_digests, run_net_throughput_sweep, SCENARIO_SEED,
+};
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_net::{NetServer, TcpClient};
+use dbtouch_server::{ServerConfig, SessionReport};
+use dbtouch_types::json::Json;
+use dbtouch_types::KernelConfig;
+use dbtouch_workload::concurrent::scenario_catalog;
+use dbtouch_workload::Scenario;
+use std::time::Duration;
+
+fn serve(addr: &str, rows: usize, secs: u64) {
+    let scenario = Scenario::sky_survey(rows, SCENARIO_SEED);
+    let (catalog, _object) = match scenario_catalog(&scenario, KernelConfig::default()) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("catalog build failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let server = match NetServer::serve(
+        ServerConfig::default()
+            .with_catalog(catalog)
+            .with_listen_addr(addr),
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    std::thread::sleep(Duration::from_secs(secs));
+    server.shutdown();
+    println!("drained and shut down");
+}
+
+fn load(addr: &str, rows: usize, sessions: usize, traces: usize) {
+    let client = TcpClient::new(addr);
+    if let Err(e) = client.wait_ready(Duration::from_secs(30)) {
+        eprintln!("server at {addr} never became ready: {e}");
+        std::process::exit(1);
+    }
+    let (reports, wall_nanos) = match drive_load(addr, rows, sessions, traces) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("load run failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let got: Vec<u64> = reports.iter().map(SessionReport::result_digest).collect();
+    let want = match expected_digests(rows, sessions, traces) {
+        Ok(digests) => digests,
+        Err(e) => {
+            eprintln!("local replay failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let touches: u64 = reports.iter().map(SessionReport::total_touches).sum();
+    println!(
+        "{sessions} sessions x {traces} traces over {addr}: {touches} touches in {:.1} ms",
+        wall_nanos as f64 / 1e6
+    );
+    for (index, (g, w)) in got.iter().zip(&want).enumerate() {
+        println!(
+            "  session {index}: digest {g:016x} — {}",
+            if g == w { "identical" } else { "DIVERGED" }
+        );
+    }
+    if got != want || reports.iter().any(|r| !r.errors.is_empty()) {
+        eprintln!("ERROR: networked replay diverged from the in-process baseline");
+        std::process::exit(1);
+    }
+    println!("all digests identical across the process boundary");
+}
+
+fn sweep(rows: usize, traces: usize) {
+    let connection_counts = [1, 2, 4, 8, 16];
+    match run_net_throughput_sweep(rows, &connection_counts, traces) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let points: Vec<Json> = report
+                .points
+                .iter()
+                .map(|p| {
+                    json_object(vec![
+                        ("connections", Json::Number(p.connections as f64)),
+                        ("workers", Json::Number(p.workers as f64)),
+                        ("total_touches", Json::Number(p.total_touches as f64)),
+                        ("touches_per_sec", Json::Number(p.touches_per_sec)),
+                        ("wall_millis", Json::Number(p.wall_millis)),
+                        ("bytes_in", Json::Number(p.bytes_in as f64)),
+                        ("bytes_out", Json::Number(p.bytes_out as f64)),
+                        ("p50_frame_micros", Json::Number(p.p50_frame_micros)),
+                        ("p99_frame_micros", Json::Number(p.p99_frame_micros)),
+                        ("matches_in_process", Json::Bool(p.matches_in_process)),
+                    ])
+                })
+                .collect();
+            let doc = json_object(vec![
+                ("bench", Json::String("net_throughput".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                (
+                    "traces_per_session",
+                    Json::Number(report.traces_per_session as f64),
+                ),
+                ("points", Json::Array(points)),
+            ]);
+            match write_bench_json("net_throughput", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
+            if report.points.iter().any(|p| !p.matches_in_process) {
+                eprintln!("ERROR: a networked run diverged from the in-process replay");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("net throughput sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parse =
+        |s: Option<&String>, default: usize| s.and_then(|a| a.parse().ok()).unwrap_or(default);
+    match args.first().map(String::as_str) {
+        Some("serve") => {
+            let addr = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7411".into());
+            let rows = parse(args.get(2), 100_000);
+            let secs = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(30);
+            serve(&addr, rows, secs);
+        }
+        Some("load") => {
+            let addr = args
+                .get(1)
+                .cloned()
+                .unwrap_or_else(|| "127.0.0.1:7411".into());
+            let rows = parse(args.get(2), 100_000);
+            let sessions = parse(args.get(3), 8);
+            let traces = parse(args.get(4), 3);
+            load(&addr, rows, sessions, traces);
+        }
+        _ => {
+            let rows = parse(args.first(), 100_000);
+            let traces = parse(args.get(1), 3);
+            sweep(rows, traces);
+        }
+    }
+}

@@ -21,6 +21,7 @@ pub mod compression;
 pub mod concurrency;
 pub mod contest;
 pub mod figures;
+pub mod net_throughput;
 pub mod remote_overlap;
 pub mod report;
 pub mod segment_scan;
@@ -36,6 +37,7 @@ pub use compression::{run_compression_sweep, CompressionPoint, CompressionReport
 pub use concurrency::{run_concurrency_sweep, ConcurrencyPoint, ConcurrencyReport};
 pub use contest::{run_contest, ContestReport};
 pub use figures::{run_figure4a, run_figure4b, Figure4Point, Figure4Report, FigureConfig};
+pub use net_throughput::{run_net_throughput_sweep, NetThroughputPoint, NetThroughputReport};
 pub use remote_overlap::{run_remote_overlap_sweep, RemoteOverlapPoint, RemoteOverlapReport};
 pub use segment_scan::{run_segment_scan_sweep, SegmentScanPoint, SegmentScanReport};
 pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};

@@ -1,0 +1,214 @@
+//! Network throughput benchmark: aggregate touch throughput and frame
+//! service time versus simultaneous TCP connection count.
+//!
+//! Every point of the sweep brings up a loopback [`NetServer`] over one
+//! shared sky-survey catalog and drives K explorers through [`TcpClient`] —
+//! one connection per session, the full wire protocol round trip per
+//! request. The identical plans are then replayed through the in-process
+//! single-user kernel and the result digests compared bit for bit: the
+//! throughput numbers are only meaningful if the wire moved the same
+//! answers.
+//!
+//! The seeds are fixed and public ([`SCENARIO_SEED`], [`PLAN_SEED`]) so a
+//! load generator in a *different process* (the `net_throughput load`
+//! subcommand) can rebuild the catalog locally and verify the digests of a
+//! server it only knows by address.
+//!
+//! [`NetServer`]: dbtouch_net::NetServer
+//! [`TcpClient`]: dbtouch_net::TcpClient
+
+use dbtouch_net::NetServer;
+use dbtouch_net::TcpClient;
+use dbtouch_server::{ServerConfig, SessionReport};
+use dbtouch_types::{KernelConfig, Result};
+use dbtouch_workload::concurrent::{
+    drive_plans_over, plan_explorers, run_sequential, scenario_catalog,
+};
+use dbtouch_workload::Scenario;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Seed of the sky-survey scenario both ends of the wire rebuild.
+pub const SCENARIO_SEED: u64 = 17;
+/// Seed of the explorer plans both ends of the wire rebuild.
+pub const PLAN_SEED: u64 = 1234;
+
+/// One measured point of the connection-count sweep.
+#[derive(Debug, Clone)]
+pub struct NetThroughputPoint {
+    /// Simultaneous TCP connections (= sessions) driven.
+    pub connections: usize,
+    /// Worker threads serving them.
+    pub workers: usize,
+    /// Total touch samples processed across all sessions.
+    pub total_touches: u64,
+    /// Aggregate throughput: touches per second of wall time.
+    pub touches_per_sec: f64,
+    /// Wall time of the whole networked run, milliseconds.
+    pub wall_millis: f64,
+    /// Bytes received / sent by the server over the run.
+    pub bytes_in: u64,
+    /// Bytes sent by the server over the run.
+    pub bytes_out: u64,
+    /// Median server-side frame service time, microseconds.
+    pub p50_frame_micros: f64,
+    /// 99th percentile server-side frame service time, microseconds.
+    pub p99_frame_micros: f64,
+    /// Whether every session's digests matched the in-process replay.
+    pub matches_in_process: bool,
+}
+
+/// The full sweep.
+#[derive(Debug, Clone)]
+pub struct NetThroughputReport {
+    /// Rows in the shared scenario column.
+    pub rows: u64,
+    /// Gesture traces each session performs.
+    pub traces_per_session: usize,
+    /// Measured points, in connection-count order.
+    pub points: Vec<NetThroughputPoint>,
+}
+
+/// Result digests of an in-process sequential replay of the seeded plans —
+/// the ground truth a networked run must reproduce bit for bit.
+pub fn expected_digests(rows: usize, sessions: usize, traces: usize) -> Result<Vec<u64>> {
+    let scenario = Scenario::sky_survey(rows, SCENARIO_SEED);
+    let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default())?;
+    let plans = plan_explorers(&catalog, object, sessions, traces, PLAN_SEED)?;
+    run_sequential(&catalog, object, &plans)
+}
+
+/// Drive `sessions` seeded explorers against a server at `addr`, one TCP
+/// connection each, and return their reports plus the wall time in
+/// nanoseconds. Transport-agnostic ground truth comes from
+/// [`expected_digests`].
+pub fn drive_load(
+    addr: &str,
+    rows: usize,
+    sessions: usize,
+    traces: usize,
+) -> Result<(Vec<SessionReport>, u64)> {
+    // The catalog is rebuilt locally only to derive the seeded plans — the
+    // data itself lives behind `addr`.
+    let scenario = Scenario::sky_survey(rows, SCENARIO_SEED);
+    let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default())?;
+    let plans = plan_explorers(&catalog, object, sessions, traces, PLAN_SEED)?;
+    let client = TcpClient::new(addr);
+    let started = Instant::now();
+    let reports = drive_plans_over(&client, object, &plans)?;
+    Ok((reports, started.elapsed().as_nanos() as u64))
+}
+
+/// Run the sweep in-process: for each connection count, a loopback
+/// [`NetServer`] plus [`drive_load`] over it, verified against
+/// [`expected_digests`].
+///
+/// [`NetServer`]: dbtouch_net::NetServer
+pub fn run_net_throughput_sweep(
+    rows: usize,
+    connection_counts: &[usize],
+    traces_per_session: usize,
+) -> Result<NetThroughputReport> {
+    let scenario = Scenario::sky_survey(rows, SCENARIO_SEED);
+    let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default())?;
+    let mut points = Vec::with_capacity(connection_counts.len());
+    for &connections in connection_counts {
+        let config = ServerConfig::default()
+            .with_catalog(Arc::clone(&catalog))
+            .with_listen_addr("127.0.0.1:0");
+        let workers = config.worker_threads;
+        let server = NetServer::serve(config)?;
+        let addr = server.local_addr().to_string();
+        let (reports, wall_nanos) = drive_load(&addr, rows, connections, traces_per_session)?;
+
+        let digests: Vec<u64> = reports.iter().map(SessionReport::result_digest).collect();
+        let plans = plan_explorers(&catalog, object, connections, traces_per_session, PLAN_SEED)?;
+        let sequential = run_sequential(&catalog, object, &plans)?;
+        let clean = reports.iter().all(|r| r.errors.is_empty());
+
+        let snapshot = server.metrics_snapshot();
+        let frames = snapshot.histogram("net.frame_nanos");
+        let total_touches: u64 = reports.iter().map(SessionReport::total_touches).sum();
+        points.push(NetThroughputPoint {
+            connections,
+            workers,
+            total_touches,
+            touches_per_sec: total_touches as f64 / (wall_nanos.max(1) as f64 / 1e9),
+            wall_millis: wall_nanos as f64 / 1e6,
+            bytes_in: snapshot.scalar("net.bytes_in").unwrap_or(0),
+            bytes_out: snapshot.scalar("net.bytes_out").unwrap_or(0),
+            p50_frame_micros: frames.map_or(0.0, |h| h.quantile(50.0) as f64 / 1e3),
+            p99_frame_micros: frames.map_or(0.0, |h| h.quantile(99.0) as f64 / 1e3),
+            matches_in_process: digests == sequential && clean,
+        });
+        server.shutdown();
+    }
+    Ok(NetThroughputReport {
+        rows: rows as u64,
+        traces_per_session,
+        points,
+    })
+}
+
+impl NetThroughputReport {
+    /// Render the sweep as an aligned text table.
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "net throughput sweep — {} rows, {} traces/session, loopback TCP\n",
+            self.rows, self.traces_per_session
+        ));
+        out.push_str(
+            "conns  workers     touches   touches/s     p50 us/frame   p99 us/frame    bytes in   bytes out   identical\n",
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{:>5}  {:>7}  {:>10}  {:>10.0}  {:>15.2}  {:>13.2}  {:>10}  {:>10}  {}\n",
+                p.connections,
+                p.workers,
+                p.total_touches,
+                p.touches_per_sec,
+                p.p50_frame_micros,
+                p.p99_frame_micros,
+                p.bytes_in,
+                p.bytes_out,
+                if p.matches_in_process { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_digests_match() {
+        let report = run_net_throughput_sweep(10_000, &[1, 4], 2).unwrap();
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert!(point.matches_in_process, "point {point:?}");
+            assert!(point.total_touches > 0);
+            assert!(point.bytes_in > 0 && point.bytes_out > 0);
+        }
+        assert!(report.table().contains("conns"));
+    }
+
+    #[test]
+    fn load_generator_agrees_with_expected_digests() {
+        let rows = 8_000;
+        let scenario = Scenario::sky_survey(rows, SCENARIO_SEED);
+        let (catalog, _object) = scenario_catalog(&scenario, KernelConfig::default()).unwrap();
+        let server = NetServer::serve(
+            ServerConfig::with_workers(2)
+                .with_catalog(catalog)
+                .with_listen_addr("127.0.0.1:0"),
+        )
+        .unwrap();
+        let (reports, _) = drive_load(&server.local_addr().to_string(), rows, 3, 2).unwrap();
+        let got: Vec<u64> = reports.iter().map(SessionReport::result_digest).collect();
+        assert_eq!(got, expected_digests(rows, 3, 2).unwrap());
+        server.shutdown();
+    }
+}

@@ -145,6 +145,11 @@ impl ResultStream {
         &self.results
     }
 
+    /// The fade policy results are rendered under.
+    pub fn fade(&self) -> FadePolicy {
+        self.fade
+    }
+
     /// Replace the value of the result at `index` in place — the progressive
     /// refinement of remote processing: a provisional coarse answer already
     /// on screen is upgraded to the fine answer without disturbing the

@@ -1,0 +1,172 @@
+//! Admission control: decide from live telemetry whether to serve or shed.
+//!
+//! The serving layer never queues work it cannot absorb. Before an
+//! `OpenSession` or `RunTrace` is admitted, the thresholds in [`ShedConfig`]
+//! are checked against the *live* [`metrics_snapshot`] signals — the same
+//! numbers an operator sees on the dashboard:
+//!
+//! * `server.sessions_opened - server.sessions_closed` — live sessions,
+//!   gating new sessions;
+//! * `remote_exec.backlog` — the remote executor's queued refinements,
+//!   gating all traffic;
+//! * `server.touch_nanos` p99 — the per-touch latency distribution, the
+//!   paper's interactivity ceiling turned into an admission signal.
+//!
+//! A tripped threshold produces a [`Verdict::Shed`] that the connection
+//! handler turns into an explicit `Shed` frame with a suggested backoff —
+//! the client sees *why* it was rejected and when to retry, instead of an
+//! unbounded queue silently eating its latency budget.
+//!
+//! [`metrics_snapshot`]: dbtouch_server::ExplorationServer::metrics_snapshot
+
+use dbtouch_server::{ServerMetricsSnapshot, ShedConfig};
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Serve the request.
+    Admit,
+    /// Reject the request up front.
+    Shed {
+        /// Suggested client backoff, milliseconds.
+        retry_after_ms: u64,
+        /// The signal that tripped, human-readable.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// True when the request was admitted.
+    pub fn is_admit(&self) -> bool {
+        matches!(self, Verdict::Admit)
+    }
+}
+
+/// Stateless evaluator of [`ShedConfig`] thresholds against a metrics
+/// snapshot.
+#[derive(Debug, Clone)]
+pub struct Admission {
+    shed: ShedConfig,
+}
+
+impl Admission {
+    pub fn new(shed: ShedConfig) -> Admission {
+        Admission { shed }
+    }
+
+    fn shed_with(&self, reason: String) -> Verdict {
+        Verdict::Shed {
+            retry_after_ms: self.shed.retry_after_ms,
+            reason,
+        }
+    }
+
+    /// Pressure checks shared by every request kind: remote-executor backlog
+    /// and the server-wide per-touch p99.
+    fn check_pressure(&self, snapshot: &ServerMetricsSnapshot) -> Verdict {
+        if let Some(max) = self.shed.max_remote_backlog {
+            let backlog = snapshot.scalar("remote_exec.backlog").unwrap_or(0);
+            if backlog >= max {
+                return self.shed_with(format!(
+                    "remote executor backlog {backlog} at or above limit {max}"
+                ));
+            }
+        }
+        if let Some(max) = self.shed.max_touch_p99_nanos {
+            if let Some(hist) = snapshot.histogram("server.touch_nanos") {
+                if hist.count() > 0 {
+                    let p99 = hist.quantile(99.0);
+                    if p99 > max {
+                        return self
+                            .shed_with(format!("per-touch p99 {p99}ns above limit {max}ns"));
+                    }
+                }
+            }
+        }
+        Verdict::Admit
+    }
+
+    /// Decide whether a new session may open.
+    pub fn admit_open(&self, snapshot: &ServerMetricsSnapshot) -> Verdict {
+        if let Some(max) = self.shed.max_live_sessions {
+            let opened = snapshot.scalar("server.sessions_opened").unwrap_or(0);
+            let closed = snapshot.scalar("server.sessions_closed").unwrap_or(0);
+            let live = opened.saturating_sub(closed);
+            if live >= max {
+                return self.shed_with(format!("{live} live sessions at or above limit {max}"));
+            }
+        }
+        self.check_pressure(snapshot)
+    }
+
+    /// Decide whether a trace submission may proceed.
+    pub fn admit_trace(&self, snapshot: &ServerMetricsSnapshot) -> Verdict {
+        self.check_pressure(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbtouch_core::catalog::SharedCatalog;
+    use dbtouch_server::{ExplorationServer, ServerConfig};
+    use dbtouch_types::KernelConfig;
+    use std::sync::Arc;
+
+    fn server() -> ExplorationServer {
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        ExplorationServer::serve(ServerConfig::with_workers(1).with_catalog(catalog)).unwrap()
+    }
+
+    #[test]
+    fn unlimited_config_admits_everything() {
+        let server = server();
+        let admission = Admission::new(ShedConfig::default());
+        let snap = server.metrics_snapshot();
+        assert!(admission.admit_open(&snap).is_admit());
+        assert!(admission.admit_trace(&snap).is_admit());
+        server.shutdown();
+    }
+
+    #[test]
+    fn live_session_cap_sheds_opens_but_not_traces() {
+        let server = server();
+        let admission = Admission::new(ShedConfig {
+            max_live_sessions: Some(1),
+            retry_after_ms: 42,
+            ..ShedConfig::default()
+        });
+        let session = server.open_session();
+        let snap = server.metrics_snapshot();
+        match admission.admit_open(&snap) {
+            Verdict::Shed {
+                retry_after_ms,
+                reason,
+            } => {
+                assert_eq!(retry_after_ms, 42);
+                assert!(reason.contains("live sessions"), "reason: {reason}");
+            }
+            Verdict::Admit => panic!("expected shed at the session cap"),
+        }
+        // The cap gates new sessions only; existing traffic still flows.
+        assert!(admission.admit_trace(&snap).is_admit());
+        session.close().unwrap();
+        // With the session closed, opens are admitted again.
+        let snap = server.metrics_snapshot();
+        assert!(admission.admit_open(&snap).is_admit());
+        server.shutdown();
+    }
+
+    #[test]
+    fn zero_backlog_limit_sheds_all_traffic() {
+        let server = server();
+        let admission = Admission::new(ShedConfig {
+            max_remote_backlog: Some(0),
+            ..ShedConfig::default()
+        });
+        let snap = server.metrics_snapshot();
+        assert!(!admission.admit_trace(&snap).is_admit());
+        assert!(!admission.admit_open(&snap).is_admit());
+        server.shutdown();
+    }
+}

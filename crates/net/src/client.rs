@@ -1,0 +1,225 @@
+//! The TCP transport of the [`ExplorationClient`] API.
+//!
+//! [`TcpClient`] is the network twin of the in-process
+//! [`ExplorationServer`]: the same two traits, so any driver written against
+//! [`ExplorationClient`]/[`ClientSession`] (e.g.
+//! `dbtouch_workload::drive_plans_over`) runs unchanged over the wire. Each
+//! [`TcpSession`] owns one connection — the server serves one session per
+//! connection, so the session's ordering and backpressure guarantees map
+//! one-to-one onto the TCP stream.
+//!
+//! Load shedding surfaces as [`DbTouchError::Overloaded`] with the server's
+//! suggested backoff; a graceful server drain surfaces as
+//! [`DbTouchError::Remote`], with the final session report (delivered in
+//! the server's `GoAway`) retrievable via [`TcpSession::take_goaway_report`]
+//! so no completed work is lost.
+//!
+//! [`ExplorationServer`]: dbtouch_server::ExplorationServer
+//! [`ExplorationClient`]: dbtouch_server::ExplorationClient
+//! [`ClientSession`]: dbtouch_server::ClientSession
+
+use crate::codec::{decode_response, encode_request, Request, Response};
+use crate::frame::{read_frame, write_frame, FrameReadError, ReadOutcome, MAX_FRAME_LEN};
+use crate::server::client_handshake;
+use dbtouch_core::kernel::{ObjectId, TouchAction};
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_server::{ClientSession, ExplorationClient, SessionId, SessionReport};
+use dbtouch_types::json::{self, Json};
+use dbtouch_types::{DbTouchError, Result};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A client of a remote exploration server. Holds only the address; every
+/// [`open_session`](ExplorationClient::open_session) and
+/// [`metrics_json`](ExplorationClient::metrics_json) dials its own
+/// connection.
+#[derive(Debug, Clone)]
+pub struct TcpClient {
+    addr: String,
+}
+
+impl TcpClient {
+    /// A client for `addr` (e.g. `"127.0.0.1:7411"`). No I/O happens until a
+    /// session is opened.
+    pub fn new(addr: impl Into<String>) -> TcpClient {
+        TcpClient { addr: addr.into() }
+    }
+
+    /// The server address this client dials.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Dial and complete the version handshake, retrying until `timeout`
+    /// elapses — lets a client race a server that is still binding (the
+    /// two-process smoke test) without an external sleep.
+    pub fn wait_ready(&self, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.dial() {
+                Ok(_stream) => return Ok(()),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        }
+    }
+
+    fn dial(&self) -> Result<TcpStream> {
+        let mut stream = TcpStream::connect(&self.addr)
+            .map_err(|e| DbTouchError::Io(format!("connect {}: {e}", self.addr)))?;
+        let _ = stream.set_nodelay(true);
+        client_handshake(&mut stream)?;
+        Ok(stream)
+    }
+}
+
+/// One exploration session over one TCP connection.
+#[derive(Debug)]
+pub struct TcpSession {
+    stream: TcpStream,
+    id: SessionId,
+    /// The final report delivered by a server `GoAway` during drain.
+    goaway_report: Option<SessionReport>,
+}
+
+/// Send one request and read its response.
+fn request(stream: &mut TcpStream, req: &Request) -> Result<Response> {
+    write_frame(stream, &encode_request(req))
+        .map_err(|e| DbTouchError::Io(format!("send: {e}")))?;
+    loop {
+        match read_frame(stream, MAX_FRAME_LEN) {
+            Ok((ReadOutcome::Frame(p), _)) => return decode_response(&p),
+            Ok((ReadOutcome::Eof, _)) => {
+                return Err(DbTouchError::Io("connection closed by server".into()))
+            }
+            // The client keeps blocking reads; a timeout only appears if the
+            // caller configured one — treat it as "keep waiting".
+            Err(FrameReadError::IdleTimeout) => continue,
+            Err(e) => return Err(DbTouchError::Io(format!("receive: {e}"))),
+        }
+    }
+}
+
+impl TcpSession {
+    /// Dispatch one request, translating the error-ish responses: `Shed` →
+    /// [`DbTouchError::Overloaded`], `Error` → [`DbTouchError::Remote`],
+    /// `GoAway` → [`DbTouchError::Remote`] with the final report stashed.
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        match request(&mut self.stream, req)? {
+            Response::Shed {
+                retry_after_ms,
+                reason,
+            } => Err(DbTouchError::Overloaded {
+                retry_after_ms,
+                reason,
+            }),
+            Response::Error(msg) => Err(DbTouchError::Remote(msg)),
+            Response::GoAway(report) => {
+                self.goaway_report = report;
+                Err(DbTouchError::Remote(
+                    "server is draining; final report delivered via GoAway".into(),
+                ))
+            }
+            other => Ok(other),
+        }
+    }
+
+    /// The final [`SessionReport`] a draining server delivered in its
+    /// `GoAway`, if one arrived. The session closed server-side; every trace
+    /// acknowledged before the drain is reflected in this report.
+    pub fn take_goaway_report(&mut self) -> Option<SessionReport> {
+        self.goaway_report.take()
+    }
+}
+
+impl ClientSession for TcpSession {
+    fn id(&self) -> SessionId {
+        self.id
+    }
+
+    fn set_action(&mut self, object: ObjectId, action: TouchAction) -> Result<()> {
+        match self.call(&Request::SetAction(object, action))? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    fn run_trace(&mut self, object: ObjectId, trace: GestureTrace) -> Result<()> {
+        match self.call(&Request::RunTrace(object, trace))? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    fn snapshot(&mut self) -> Result<SessionReport> {
+        match self.call(&Request::Snapshot)? {
+            Response::Report(report) => Ok(report),
+            other => Err(unexpected("Report", &other)),
+        }
+    }
+
+    fn close(mut self) -> Result<SessionReport> {
+        match self.call(&Request::CloseSession) {
+            Ok(Response::Report(report)) => Ok(report),
+            Ok(other) => Err(unexpected("Report", &other)),
+            // A drain raced the close: the server closed the session for us
+            // and delivered the final report in its GoAway.
+            Err(e) => match self.goaway_report.take() {
+                Some(report) => Ok(report),
+                None => Err(e),
+            },
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> DbTouchError {
+    let got = match got {
+        Response::SessionOpened(_) => "SessionOpened",
+        Response::Ack => "Ack",
+        Response::Report(_) => "Report",
+        Response::MetricsJson(_) => "MetricsJson",
+        Response::Error(_) => "Error",
+        Response::Shed { .. } => "Shed",
+        Response::GoAway(_) => "GoAway",
+    };
+    DbTouchError::Remote(format!("expected {wanted} response, got {got}"))
+}
+
+impl ExplorationClient for TcpClient {
+    type Session = TcpSession;
+
+    fn open_session(&self) -> Result<TcpSession> {
+        let mut stream = self.dial()?;
+        match request(&mut stream, &Request::OpenSession)? {
+            Response::SessionOpened(id) => Ok(TcpSession {
+                stream,
+                id,
+                goaway_report: None,
+            }),
+            Response::Shed {
+                retry_after_ms,
+                reason,
+            } => Err(DbTouchError::Overloaded {
+                retry_after_ms,
+                reason,
+            }),
+            Response::Error(msg) => Err(DbTouchError::Remote(msg)),
+            Response::GoAway(_) => Err(DbTouchError::Remote("server is draining".into())),
+            other => Err(unexpected("SessionOpened", &other)),
+        }
+    }
+
+    fn metrics_json(&self) -> Result<Json> {
+        let mut stream = self.dial()?;
+        match request(&mut stream, &Request::Metrics)? {
+            Response::MetricsJson(text) => json::parse(&text)
+                .map_err(|e| DbTouchError::Remote(format!("bad metrics JSON: {e}"))),
+            Response::Error(msg) => Err(DbTouchError::Remote(msg)),
+            other => Err(unexpected("MetricsJson", &other)),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Frame layer: length-prefixed, checksummed binary frames over a byte
+//! stream.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [u32 LE payload length][payload][u32 LE checksum over payload]
+//! ```
+//!
+//! where the payload's first byte is the frame type tag and the checksum is
+//! FNV-1a 64 folded to 32 bits — the same hash family the session digests
+//! use, so a corrupted frame is caught at the transport boundary instead of
+//! surfacing as a digest mismatch three layers up.
+//!
+//! The reader distinguishes the failure modes the serving layer treats
+//! differently:
+//!
+//! * clean EOF at a frame boundary — the peer hung up, [`ReadOutcome::Eof`];
+//! * EOF mid-frame — [`FrameReadError::Truncated`], the connection is dead;
+//! * an oversize length prefix — [`FrameReadError::Oversize`]; the remaining
+//!   stream cannot be trusted, the connection must close;
+//! * a checksum mismatch — [`FrameReadError::BadChecksum`]; the full frame
+//!   *was* consumed, so the stream is still in sync and the connection can
+//!   carry an error response and keep serving;
+//! * a read timeout before the first byte of a frame —
+//!   [`FrameReadError::IdleTimeout`], the hook graceful drain polls on.
+//!
+//! None of these panic: every byte of the payload is attacker-controlled and
+//! the decoder above this layer is likewise total.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Protocol name carried in the JSON handshake frame.
+pub const PROTOCOL_NAME: &str = "dbtouch-net";
+/// Protocol version carried in the JSON handshake frame.
+pub const PROTOCOL_VERSION: u64 = 1;
+
+/// Hard cap on a handshake (Hello/HelloAck) payload.
+pub const MAX_HANDSHAKE_LEN: usize = 4 << 10;
+/// Hard cap on any other frame payload. Reports of long sessions are large
+/// (result streams), but nothing legitimate approaches this.
+pub const MAX_FRAME_LEN: usize = 256 << 20;
+
+/// Frame type tags (first payload byte).
+pub mod tag {
+    /// Client → server: JSON `{"proto": "dbtouch-net", "version": 1}`.
+    pub const HELLO: u8 = 0x01;
+    /// Server → client: JSON echo of the accepted protocol/version.
+    pub const HELLO_ACK: u8 = 0x02;
+
+    /// Request: open one exploration session on this connection.
+    pub const OPEN_SESSION: u8 = 0x10;
+    /// Request: set the touch action for an object.
+    pub const SET_ACTION: u8 = 0x11;
+    /// Request: run one gesture trace (acked only once enqueued, so server
+    /// backpressure becomes client backpressure).
+    pub const RUN_TRACE: u8 = 0x12;
+    /// Request: barrier + copy of the session report.
+    pub const SNAPSHOT: u8 = 0x13;
+    /// Request: close the session, returning its final report.
+    pub const CLOSE_SESSION: u8 = 0x14;
+    /// Request: the server's metrics snapshot as JSON text (debug dump).
+    pub const METRICS: u8 = 0x15;
+
+    /// Response: session opened, body carries the session id.
+    pub const SESSION_OPENED: u8 = 0x20;
+    /// Response: request done, nothing to return.
+    pub const ACK: u8 = 0x21;
+    /// Response: a binary-encoded [`SessionReport`].
+    ///
+    /// [`SessionReport`]: dbtouch_server::SessionReport
+    pub const REPORT: u8 = 0x22;
+    /// Response: metrics snapshot as JSON text.
+    pub const METRICS_JSON: u8 = 0x23;
+    /// Response: the request failed; body is the rendered error. The
+    /// connection stays usable.
+    pub const ERROR: u8 = 0x24;
+    /// Response: admission control rejected the request; body carries
+    /// `retry_after_ms` and the tripped signal.
+    pub const SHED: u8 = 0x25;
+    /// Response: the server is draining; body optionally carries the final
+    /// session report. No further requests will be served.
+    pub const GO_AWAY: u8 = 0x26;
+}
+
+/// FNV-1a 64 folded to 32 bits — the per-frame checksum.
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
+}
+
+/// A successfully read event from the stream.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// One checksum-verified frame payload (first byte is the type tag).
+    Frame(Vec<u8>),
+    /// Clean EOF at a frame boundary: the peer closed the connection.
+    Eof,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameReadError {
+    /// EOF in the middle of a frame: the peer died mid-send.
+    Truncated,
+    /// The length prefix exceeds the allowed maximum. The stream position
+    /// after this error is undefined — the connection must close.
+    Oversize(usize),
+    /// A zero-length payload (a frame must at least carry its type tag).
+    /// The stream stays in sync.
+    Empty,
+    /// The payload was fully consumed but its checksum did not match. The
+    /// stream stays in sync — the connection can answer and continue.
+    BadChecksum,
+    /// The read timed out before the first byte of a new frame arrived.
+    /// The stream stays in sync; used to poll a drain flag between frames.
+    IdleTimeout,
+    /// Any other I/O failure (connection reset, …).
+    Io(String),
+}
+
+impl std::fmt::Display for FrameReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameReadError::Truncated => write!(f, "connection closed mid-frame"),
+            FrameReadError::Oversize(len) => write!(f, "frame length {len} exceeds maximum"),
+            FrameReadError::Empty => write!(f, "empty frame payload"),
+            FrameReadError::BadChecksum => write!(f, "frame checksum mismatch"),
+            FrameReadError::IdleTimeout => write!(f, "idle timeout between frames"),
+            FrameReadError::Io(msg) => write!(f, "io error: {msg}"),
+        }
+    }
+}
+
+/// Read exactly `buf.len()` bytes. `consumed_any` reports whether any byte of
+/// the current frame was already consumed: a timeout with nothing consumed is
+/// the benign [`FrameReadError::IdleTimeout`]; once inside a frame, timeouts
+/// keep the read alive (a slow peer is not a protocol error).
+fn read_exact_tracking(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    consumed_any: &mut bool,
+) -> Result<bool, FrameReadError> {
+    let mut pos = 0;
+    while pos < buf.len() {
+        match r.read(&mut buf[pos..]) {
+            Ok(0) => return Ok(false), // EOF
+            Ok(n) => {
+                pos += n;
+                *consumed_any = true;
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if !*consumed_any {
+                    return Err(FrameReadError::IdleTimeout);
+                }
+                // Mid-frame timeout: keep waiting for the rest.
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameReadError::Io(e.to_string())),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame. Returns the number of wire bytes consumed alongside the
+/// outcome so callers can account `net.bytes_in` without wrapping the stream.
+pub fn read_frame(r: &mut impl Read, max_len: usize) -> Result<(ReadOutcome, u64), FrameReadError> {
+    let mut consumed_any = false;
+    let mut header = [0u8; 4];
+    if !read_exact_tracking(r, &mut header, &mut consumed_any)? {
+        return if consumed_any {
+            Err(FrameReadError::Truncated)
+        } else {
+            Ok((ReadOutcome::Eof, 0))
+        };
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len == 0 {
+        // Consume the trailing checksum to stay in sync, then report.
+        let mut trailer = [0u8; 4];
+        if !read_exact_tracking(r, &mut trailer, &mut consumed_any)? {
+            return Err(FrameReadError::Truncated);
+        }
+        return Err(FrameReadError::Empty);
+    }
+    if len > max_len {
+        return Err(FrameReadError::Oversize(len));
+    }
+    let mut payload = vec![0u8; len];
+    if !read_exact_tracking(r, &mut payload, &mut consumed_any)? {
+        return Err(FrameReadError::Truncated);
+    }
+    let mut trailer = [0u8; 4];
+    if !read_exact_tracking(r, &mut trailer, &mut consumed_any)? {
+        return Err(FrameReadError::Truncated);
+    }
+    let wire_bytes = (8 + len) as u64;
+    if u32::from_le_bytes(trailer) != checksum(&payload) {
+        return Err(FrameReadError::BadChecksum);
+    }
+    Ok((ReadOutcome::Frame(payload), wire_bytes))
+}
+
+/// Write one frame; returns the number of wire bytes written.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<u64> {
+    debug_assert!(!payload.is_empty(), "a frame must carry its type tag");
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&checksum(payload).to_le_bytes())?;
+    w.flush()?;
+    Ok((8 + payload.len()) as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn roundtrip_one_frame() {
+        let mut buf = Vec::new();
+        let written = write_frame(&mut buf, &[tag::ACK, 1, 2, 3]).unwrap();
+        assert_eq!(written, buf.len() as u64);
+        let mut cursor = Cursor::new(buf);
+        let (outcome, read) = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap();
+        assert_eq!(read, written);
+        match outcome {
+            ReadOutcome::Frame(p) => assert_eq!(p, vec![tag::ACK, 1, 2, 3]),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        // And a clean EOF right after.
+        let (outcome, _) = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Eof));
+    }
+
+    #[test]
+    fn checksum_differs_on_flip() {
+        let a = checksum(b"hello frames");
+        let mut corrupted = b"hello frames".to_vec();
+        corrupted[3] ^= 0x40;
+        assert_ne!(a, checksum(&corrupted));
+        assert_ne!(checksum(b""), checksum(b"\0"));
+    }
+
+    #[test]
+    fn bad_checksum_keeps_stream_in_sync() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[tag::ACK, 9]).unwrap();
+        let second_at = buf.len();
+        write_frame(&mut buf, &[tag::ERROR, 7]).unwrap();
+        buf[5] ^= 0xff; // corrupt the first frame's payload
+        let mut cursor = Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor, MAX_FRAME_LEN),
+            Err(FrameReadError::BadChecksum)
+        ));
+        // The reader consumed exactly the corrupt frame; the next one parses.
+        assert_eq!(cursor.position() as usize, second_at);
+        let (outcome, _) = read_frame(&mut cursor, MAX_FRAME_LEN).unwrap();
+        match outcome {
+            ReadOutcome::Frame(p) => assert_eq!(p, vec![tag::ERROR, 7]),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversize_and_empty() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &[tag::ACK, 1, 2, 3, 4]).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(matches!(
+            read_frame(&mut Cursor::new(buf), MAX_FRAME_LEN),
+            Err(FrameReadError::Truncated)
+        ));
+
+        let huge = (u32::MAX).to_le_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut Cursor::new(huge), MAX_FRAME_LEN),
+            Err(FrameReadError::Oversize(_))
+        ));
+
+        let mut empty = 0u32.to_le_bytes().to_vec();
+        empty.extend_from_slice(&checksum(&[]).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut Cursor::new(empty), MAX_FRAME_LEN),
+            Err(FrameReadError::Empty)
+        ));
+    }
+}

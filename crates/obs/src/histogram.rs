@@ -207,6 +207,37 @@ impl HistogramSnapshot {
         self.max
     }
 
+    /// The raw per-bucket counts, indexed by [`bucket_of`]'s scheme (bucket 0
+    /// holds exact zeros, bucket `i >= 1` holds `[2^(i-1), 2^i - 1]`). The
+    /// binary wire codec reads these directly so a histogram round-trips
+    /// bit-for-bit; human-facing exposition should prefer
+    /// [`nonzero_buckets`](Self::nonzero_buckets).
+    pub fn bucket_counts(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Reassemble a histogram from its raw parts — the inverse of reading
+    /// [`bucket_counts`](Self::bucket_counts) / [`count`](Self::count) /
+    /// [`sum`](Self::sum) and the raw min/max. `min` uses the `u64::MAX`
+    /// sentinel when the histogram is empty (what [`Self::default`] holds),
+    /// so decode(encode(h)) == h exactly.
+    pub fn from_parts(buckets: [u64; BUCKETS], count: u64, sum: u64, min: u64, max: u64) -> Self {
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
+
+    /// The raw minimum slot (`u64::MAX` sentinel when empty), for codecs that
+    /// must round-trip the struct exactly; [`min`](Self::min) is the
+    /// `Option`-typed reader.
+    pub fn raw_min(&self) -> u64 {
+        self.min
+    }
+
     /// Non-empty buckets as `(lower_bound, upper_bound, count)` triples — the
     /// wire form for exposition.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {

@@ -1,0 +1,166 @@
+//! The transport-agnostic client surface.
+//!
+//! Workload drivers and benches talk to an exploration service through two
+//! small traits — [`ExplorationClient`] (open sessions, scrape metrics) and
+//! [`ClientSession`] (set actions, run traces, snapshot, close) — so the
+//! same driver runs unchanged against:
+//!
+//! * the in-process [`ExplorationServer`] (this crate implements the traits
+//!   directly over [`SessionHandle`]), or
+//! * a TCP connection to a remote server (`dbtouch-net`'s `TcpClient`
+//!   implements them over the wire protocol).
+//!
+//! The transport is picked at a single call site; everything downstream is
+//! generic. Because `SessionReport`s digest deterministically
+//! ([`SessionReport::result_digest`]), a driver can prove the two transports
+//! produce bit-identical results.
+//!
+//! [`ExplorationServer`]: crate::manager::ExplorationServer
+//! [`SessionHandle`]: crate::manager::SessionHandle
+//! [`SessionReport::result_digest`]: crate::report::SessionReport::result_digest
+
+use crate::manager::{ExplorationServer, SessionHandle};
+use crate::report::{SessionId, SessionReport};
+use dbtouch_core::kernel::{ObjectId, TouchAction};
+use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_types::json::Json;
+use dbtouch_types::Result;
+
+/// One exploration session, over any transport.
+///
+/// Methods mirror [`SessionHandle`]: `run_trace` is asynchronous with
+/// backpressure (a remote transport surfaces the same backpressure as a
+/// delayed acknowledgement), `snapshot` and `close` are barriers returning a
+/// fully-drained [`SessionReport`].
+///
+/// Methods take `&mut self` so connection-oriented implementations can own a
+/// socket without interior mutability; the in-process handle simply ignores
+/// the exclusivity.
+pub trait ClientSession: Send {
+    /// The server-assigned session id.
+    fn id(&self) -> SessionId;
+
+    /// Choose the touch action subsequent traces over `object` run.
+    fn set_action(&mut self, object: ObjectId, action: TouchAction) -> Result<()>;
+
+    /// Submit a gesture trace (backpressured, order-preserving).
+    fn run_trace(&mut self, object: ObjectId, trace: GestureTrace) -> Result<()>;
+
+    /// Barrier: wait for everything submitted so far, return a copy of the
+    /// session's report.
+    fn snapshot(&mut self) -> Result<SessionReport>;
+
+    /// Barrier: tear the session down, return its final report.
+    fn close(self) -> Result<SessionReport>
+    where
+        Self: Sized;
+}
+
+/// A connection to an exploration service, over any transport.
+pub trait ExplorationClient {
+    /// The session type this transport hands out.
+    type Session: ClientSession + 'static;
+
+    /// Open a new exploration session. A remote transport may refuse with
+    /// [`DbTouchError::Overloaded`] when the server sheds load.
+    ///
+    /// [`DbTouchError::Overloaded`]: dbtouch_types::DbTouchError::Overloaded
+    fn open_session(&self) -> Result<Self::Session>;
+
+    /// The service's live metrics snapshot in JSON exposition form — the
+    /// transport-agnostic rendering of
+    /// [`ExplorationServer::metrics_snapshot`].
+    fn metrics_json(&self) -> Result<Json>;
+}
+
+impl ClientSession for SessionHandle {
+    fn id(&self) -> SessionId {
+        SessionHandle::id(self)
+    }
+
+    fn set_action(&mut self, object: ObjectId, action: TouchAction) -> Result<()> {
+        SessionHandle::set_action(self, object, action)
+    }
+
+    fn run_trace(&mut self, object: ObjectId, trace: GestureTrace) -> Result<()> {
+        SessionHandle::run_trace(self, object, trace)
+    }
+
+    fn snapshot(&mut self) -> Result<SessionReport> {
+        SessionHandle::snapshot(self)
+    }
+
+    fn close(self) -> Result<SessionReport> {
+        SessionHandle::close(self)
+    }
+}
+
+impl ExplorationClient for ExplorationServer {
+    type Session = SessionHandle;
+
+    fn open_session(&self) -> Result<SessionHandle> {
+        Ok(ExplorationServer::open_session(self))
+    }
+
+    fn metrics_json(&self) -> Result<Json> {
+        Ok(self.metrics_snapshot().to_json())
+    }
+}
+
+// Deliberately NO blanket `impl ExplorationClient for Arc<C>`: it would
+// shadow `Arc<ExplorationServer>`'s deref to the inherent (infallible)
+// `open_session`, silently changing every existing caller's return type.
+// Shared-server drivers take `&C` and deref the Arc at the call site.
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerConfig;
+    use dbtouch_core::catalog::SharedCatalog;
+    use dbtouch_gesture::synthesizer::GestureSynthesizer;
+    use dbtouch_types::{KernelConfig, SizeCm};
+    use std::sync::Arc;
+
+    /// A driver written once against the traits, independent of transport.
+    fn drive<C: ExplorationClient>(client: &C, object: ObjectId) -> SessionReport {
+        let mut session = client.open_session().unwrap();
+        session.set_action(object, TouchAction::Scan).unwrap();
+        session.snapshot().unwrap();
+        session.close().unwrap()
+    }
+
+    #[test]
+    fn in_process_server_implements_the_client_traits() {
+        let catalog = Arc::new(SharedCatalog::new(KernelConfig::default()));
+        let id = catalog
+            .load_column("col", (0..10_000).collect(), SizeCm::new(2.0, 10.0))
+            .unwrap();
+        let view = catalog.data(id).unwrap().base_view().clone();
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(1).with_catalog(catalog)).unwrap();
+
+        let mut session = ExplorationClient::open_session(&server).unwrap();
+        ClientSession::set_action(&mut session, id, TouchAction::Scan).unwrap();
+        ClientSession::run_trace(
+            &mut session,
+            id,
+            GestureSynthesizer::new(60.0).slide_down(&view, 0.3),
+        )
+        .unwrap();
+        let report = ClientSession::close(session).unwrap();
+        assert_eq!(report.traces_run(), 1);
+        assert!(report.errors.is_empty());
+
+        // The generic driver compiles and runs against the server directly,
+        // and through an `Arc` by dereferencing at the call site.
+        let report = drive(&server, id);
+        assert!(report.errors.is_empty());
+        let shared = Arc::new(server);
+        let report = drive(&*shared, id);
+        assert!(report.errors.is_empty());
+
+        let json = shared.metrics_json().unwrap();
+        assert!(json.get("metrics").is_some());
+        assert!(json.get("worker_loads").is_some());
+    }
+}

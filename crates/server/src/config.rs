@@ -1,9 +1,64 @@
 //! Server configuration.
+//!
+//! [`ServerConfig`] is the one validated builder every way of bringing up an
+//! [`ExplorationServer`] goes through: worker pool and queue knobs, the
+//! catalog source (an existing shared catalog, a persistent directory, or a
+//! fresh memory-only kernel), and — for the network serving layer in
+//! `dbtouch-net` — the listener address, connection limits and the admission
+//! control ([`ShedConfig`]) thresholds.
+//!
+//! [`ExplorationServer`]: crate::manager::ExplorationServer
 
+use dbtouch_core::catalog::SharedCatalog;
+use dbtouch_types::{DbTouchError, KernelConfig, Result};
+use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-/// Configuration of the exploration server's worker pool and queues.
-#[derive(Debug, Clone)]
+/// Admission-control thresholds for the network serving layer.
+///
+/// Every threshold is read from the live [`metrics_snapshot`] signals — the
+/// PR 6 telemetry hub — right before an `OpenSession` or `RunTrace` is
+/// admitted; a tripped threshold produces an explicit `Shed` response with a
+/// suggested backoff instead of queueing the request without bound. `None`
+/// disables the corresponding check.
+///
+/// [`metrics_snapshot`]: crate::manager::ExplorationServer::metrics_snapshot
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedConfig {
+    /// Shed new sessions once this many are live across all workers
+    /// (`sum(worker_loads)`, poisoned workers excluded). `None`: unlimited.
+    pub max_live_sessions: Option<u64>,
+    /// Shed traffic while the remote executor's backlog
+    /// (`remote_exec.backlog`) is at or above this. `None`: unlimited.
+    pub max_remote_backlog: Option<u64>,
+    /// Shed traffic while the server-wide per-touch p99
+    /// (`server.touch_nanos` histogram) exceeds this many nanoseconds —
+    /// the paper's interactivity ceiling made an admission signal.
+    /// `None`: unlimited.
+    pub max_touch_p99_nanos: Option<u64>,
+    /// Backoff suggested to shed clients, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ShedConfig {
+    fn default() -> ShedConfig {
+        ShedConfig {
+            max_live_sessions: None,
+            max_remote_backlog: None,
+            max_touch_p99_nanos: None,
+            retry_after_ms: 100,
+        }
+    }
+}
+
+/// Configuration of the exploration server: worker pool, queues, catalog
+/// source, and the network-serving knobs `dbtouch-net` reads.
+///
+/// [`ExplorationServer::serve`] is the single entry point consuming this.
+///
+/// [`ExplorationServer::serve`]: crate::manager::ExplorationServer::serve
+#[derive(Clone)]
 pub struct ServerConfig {
     /// Number of worker threads processing sessions. Each session is pinned
     /// to one worker; a worker multiplexes many sessions.
@@ -14,14 +69,23 @@ pub struct ServerConfig {
     ///
     /// [`SessionHandle::run_trace`]: crate::manager::SessionHandle::run_trace
     pub session_queue_depth: usize,
-    /// Directory of the persistent catalog. When set,
-    /// [`ExplorationServer::open`] opens an existing persisted catalog (or
-    /// creates the directory) on startup, and every published catalog epoch
-    /// — loads, metadata edits, restructures — is persisted as it happens,
-    /// so a restart resumes from the last published epoch. `None` serves a
-    /// memory-only catalog.
+    /// Kernel configuration used when [`serve`] has to *create* a catalog
+    /// (no [`catalog`](Self::catalog) handed in): both for opening
+    /// [`catalog_dir`](Self::catalog_dir) and for a fresh memory-only
+    /// catalog. Ignored when an existing catalog is supplied.
     ///
-    /// [`ExplorationServer::open`]: crate::manager::ExplorationServer::open
+    /// [`serve`]: crate::manager::ExplorationServer::serve
+    pub kernel: KernelConfig,
+    /// An existing shared catalog to serve. Mutually exclusive with
+    /// [`catalog_dir`](Self::catalog_dir).
+    pub catalog: Option<Arc<SharedCatalog>>,
+    /// Directory of the persistent catalog. When set, [`serve`] opens an
+    /// existing persisted catalog (or creates the directory) on startup, and
+    /// every published catalog epoch — loads, metadata edits, restructures —
+    /// is persisted as it happens, so a restart resumes from the last
+    /// published epoch. `None` serves a memory-only catalog.
+    ///
+    /// [`serve`]: crate::manager::ExplorationServer::serve
     pub catalog_dir: Option<PathBuf>,
     /// Keep every raw [`LatencySample`] in [`SessionReport::latencies`].
     ///
@@ -34,6 +98,22 @@ pub struct ServerConfig {
     /// [`LatencySample`]: crate::latency::LatencySample
     /// [`SessionReport::latencies`]: crate::report::SessionReport::latencies
     pub record_raw_latency: bool,
+    /// Address the network layer (`dbtouch-net`) listens on, e.g.
+    /// `"127.0.0.1:0"`. The in-process server ignores it; `dbtouch-net`
+    /// requires it.
+    pub listen_addr: Option<String>,
+    /// Maximum simultaneous client connections the network layer serves;
+    /// further connections receive a `Shed` frame and are closed.
+    pub max_connections: usize,
+    /// Bound of the accepted-but-not-yet-dispatched connection queue; an
+    /// accept burst beyond it sheds instead of queueing without bound.
+    pub accept_backlog: usize,
+    /// Admission-control thresholds driven by live telemetry.
+    pub shed: ShedConfig,
+    /// How long a graceful network shutdown waits for in-flight connections
+    /// to drain (flush traces, deliver final reports) before giving up on
+    /// the stragglers, in milliseconds.
+    pub drain_timeout_ms: u64,
 }
 
 impl ServerConfig {
@@ -50,6 +130,19 @@ impl ServerConfig {
         }
     }
 
+    /// Builder-style setter for the kernel configuration used when a catalog
+    /// has to be created.
+    pub fn with_kernel(mut self, kernel: KernelConfig) -> ServerConfig {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Builder-style setter: serve an existing shared catalog.
+    pub fn with_catalog(mut self, catalog: Arc<SharedCatalog>) -> ServerConfig {
+        self.catalog = Some(catalog);
+        self
+    }
+
     /// Builder-style setter for the persistent catalog directory.
     pub fn with_catalog_dir(mut self, dir: impl Into<PathBuf>) -> ServerConfig {
         self.catalog_dir = Some(dir.into());
@@ -61,6 +154,85 @@ impl ServerConfig {
         self.record_raw_latency = record;
         self
     }
+
+    /// Builder-style setter for the network listen address.
+    pub fn with_listen_addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.listen_addr = Some(addr.into());
+        self
+    }
+
+    /// Builder-style setter for the connection cap.
+    pub fn with_max_connections(mut self, max: usize) -> ServerConfig {
+        self.max_connections = max;
+        self
+    }
+
+    /// Builder-style setter for the accept-backlog bound.
+    pub fn with_accept_backlog(mut self, backlog: usize) -> ServerConfig {
+        self.accept_backlog = backlog;
+        self
+    }
+
+    /// Builder-style setter for the admission-control thresholds.
+    pub fn with_shed(mut self, shed: ShedConfig) -> ServerConfig {
+        self.shed = shed;
+        self
+    }
+
+    /// Builder-style setter for the graceful-drain timeout.
+    pub fn with_drain_timeout_ms(mut self, ms: u64) -> ServerConfig {
+        self.drain_timeout_ms = ms;
+        self
+    }
+
+    /// Check the configuration for contradictions and out-of-range values.
+    /// [`ExplorationServer::serve`] calls this before spawning anything.
+    ///
+    /// [`ExplorationServer::serve`]: crate::manager::ExplorationServer::serve
+    pub fn validate(&self) -> Result<()> {
+        if self.worker_threads == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "worker_threads must be at least 1".into(),
+            ));
+        }
+        if self.session_queue_depth == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "session_queue_depth must be at least 1".into(),
+            ));
+        }
+        if self.catalog.is_some() && self.catalog_dir.is_some() {
+            return Err(DbTouchError::InvalidConfig(
+                "catalog and catalog_dir are mutually exclusive: serve an \
+                 existing catalog or open a persistent one, not both"
+                    .into(),
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "max_connections must be at least 1".into(),
+            ));
+        }
+        if self.accept_backlog == 0 {
+            return Err(DbTouchError::InvalidConfig(
+                "accept_backlog must be at least 1".into(),
+            ));
+        }
+        if let Some(addr) = &self.listen_addr {
+            if addr.is_empty() {
+                return Err(DbTouchError::InvalidConfig(
+                    "listen_addr must not be empty".into(),
+                ));
+            }
+        }
+        if self.shed.max_live_sessions == Some(0) {
+            return Err(DbTouchError::InvalidConfig(
+                "shed.max_live_sessions of 0 would shed every session; use \
+                 None to disable the check"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for ServerConfig {
@@ -71,9 +243,37 @@ impl Default for ServerConfig {
         ServerConfig {
             worker_threads: parallelism.clamp(2, 16),
             session_queue_depth: 64,
+            kernel: KernelConfig::default(),
+            catalog: None,
             catalog_dir: None,
             record_raw_latency: false,
+            listen_addr: None,
+            max_connections: 1024,
+            accept_backlog: 64,
+            shed: ShedConfig::default(),
+            drain_timeout_ms: 5_000,
         }
+    }
+}
+
+// Manual impl: `SharedCatalog` is not `Debug`; show presence, not contents.
+impl fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("worker_threads", &self.worker_threads)
+            .field("session_queue_depth", &self.session_queue_depth)
+            .field(
+                "catalog",
+                &self.catalog.as_ref().map(|_| "Arc<SharedCatalog>"),
+            )
+            .field("catalog_dir", &self.catalog_dir)
+            .field("record_raw_latency", &self.record_raw_latency)
+            .field("listen_addr", &self.listen_addr)
+            .field("max_connections", &self.max_connections)
+            .field("accept_backlog", &self.accept_backlog)
+            .field("shed", &self.shed)
+            .field("drain_timeout_ms", &self.drain_timeout_ms)
+            .finish_non_exhaustive()
     }
 }
 
@@ -86,7 +286,77 @@ mod tests {
         let c = ServerConfig::default();
         assert!(c.worker_threads >= 2);
         assert!(c.session_queue_depth > 0);
+        assert!(c.max_connections > 0);
+        assert!(c.accept_backlog > 0);
         assert_eq!(ServerConfig::with_workers(0).worker_threads, 1);
         assert_eq!(ServerConfig::with_workers(5).worker_threads, 5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_contradictions() {
+        let both = ServerConfig::default()
+            .with_catalog(Arc::new(SharedCatalog::new(KernelConfig::default())))
+            .with_catalog_dir("/tmp/x");
+        assert!(matches!(
+            both.validate(),
+            Err(DbTouchError::InvalidConfig(_))
+        ));
+
+        let zero_workers = ServerConfig {
+            worker_threads: 0,
+            ..ServerConfig::default()
+        };
+        assert!(zero_workers.validate().is_err());
+
+        let zero_depth = ServerConfig {
+            session_queue_depth: 0,
+            ..ServerConfig::default()
+        };
+        assert!(zero_depth.validate().is_err());
+
+        assert!(ServerConfig::default()
+            .with_max_connections(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::default()
+            .with_accept_backlog(0)
+            .validate()
+            .is_err());
+        assert!(ServerConfig::default()
+            .with_listen_addr("")
+            .validate()
+            .is_err());
+        assert!(ServerConfig::default()
+            .with_shed(ShedConfig {
+                max_live_sessions: Some(0),
+                ..ShedConfig::default()
+            })
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = ServerConfig::with_workers(3)
+            .with_listen_addr("127.0.0.1:0")
+            .with_max_connections(7)
+            .with_accept_backlog(2)
+            .with_drain_timeout_ms(250)
+            .with_shed(ShedConfig {
+                max_live_sessions: Some(1),
+                retry_after_ms: 50,
+                ..ShedConfig::default()
+            });
+        assert_eq!(c.worker_threads, 3);
+        assert_eq!(c.listen_addr.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(c.max_connections, 7);
+        assert_eq!(c.accept_backlog, 2);
+        assert_eq!(c.drain_timeout_ms, 250);
+        assert_eq!(c.shed.max_live_sessions, Some(1));
+        assert_eq!(c.shed.retry_after_ms, 50);
+        assert!(c.validate().is_ok());
+        // Debug never touches catalog contents.
+        assert!(format!("{c:?}").contains("max_connections"));
     }
 }

@@ -38,13 +38,15 @@
 //!   epoch each trace ran against, restructures observed, error log, and
 //!   wall-clock [`LatencySample`]s for throughput/tail-latency reporting.
 
+pub mod client;
 pub mod config;
 pub mod latency;
 pub mod manager;
 pub mod metrics;
 pub mod report;
 
-pub use config::ServerConfig;
+pub use client::{ClientSession, ExplorationClient};
+pub use config::{ServerConfig, ShedConfig};
 pub use latency::{LatencySample, LatencySummary};
 pub use manager::{ExplorationServer, SessionHandle};
 pub use metrics::ServerMetricsSnapshot;

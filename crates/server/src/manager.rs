@@ -249,7 +249,9 @@ struct WorkerHandle {
 ///     .unwrap();
 /// let view = catalog.data(object).unwrap().base_view().clone();
 ///
-/// let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+/// let server =
+///     ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog)))
+///         .unwrap();
 /// let session = server.open_session();
 /// session.set_action(object, TouchAction::Scan).unwrap();
 /// session
@@ -270,8 +272,44 @@ pub struct ExplorationServer {
 }
 
 impl ExplorationServer {
+    /// The one entry point: validate `config`, resolve the catalog it names
+    /// (an existing [`ServerConfig::catalog`], the persistent
+    /// [`ServerConfig::catalog_dir`] opened with [`ServerConfig::kernel`], or
+    /// a fresh memory-only catalog) and spawn the worker pool over it.
+    ///
+    /// This replaces the old `start` (existing catalog) / `open` (persistent
+    /// catalog) split — both remain as thin deprecated shims.
+    pub fn serve(config: ServerConfig) -> Result<ExplorationServer> {
+        config.validate()?;
+        let catalog = match (&config.catalog, &config.catalog_dir) {
+            (Some(catalog), None) => Arc::clone(catalog),
+            (None, Some(dir)) => Arc::new(SharedCatalog::open(dir, config.kernel.clone())?),
+            (None, None) => Arc::new(SharedCatalog::new(config.kernel.clone())),
+            (Some(_), Some(_)) => unreachable!("validate() rejects catalog + catalog_dir"),
+        };
+        Ok(ExplorationServer::spawn(catalog, &config))
+    }
+
     /// Spawn the worker pool over `catalog`.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExplorationServer::serve(config.with_catalog(catalog))"
+    )]
     pub fn start(catalog: Arc<SharedCatalog>, config: ServerConfig) -> ExplorationServer {
+        ExplorationServer::spawn(catalog, &config)
+    }
+
+    /// Open-or-create the configured catalog and spawn the worker pool over
+    /// it.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ExplorationServer::serve(config.with_kernel(kernel_config))"
+    )]
+    pub fn open(kernel_config: KernelConfig, config: ServerConfig) -> Result<ExplorationServer> {
+        ExplorationServer::serve(config.with_kernel(kernel_config))
+    }
+
+    fn spawn(catalog: Arc<SharedCatalog>, config: &ServerConfig) -> ExplorationServer {
         let instruments = Arc::new(ServerInstruments::default());
         catalog
             .telemetry()
@@ -303,20 +341,6 @@ impl ExplorationServer {
             next_worker: AtomicUsize::new(0),
             instruments,
         }
-    }
-
-    /// Open-or-create the configured catalog and spawn the worker pool over
-    /// it: the persistent-service entry point. With
-    /// [`ServerConfig::catalog_dir`] set, an existing directory is recovered
-    /// to its last published epoch (objects stream in lazily through the
-    /// buffer pool) and every epoch published while serving is persisted;
-    /// without it this is `start` over a fresh memory-only catalog.
-    pub fn open(kernel_config: KernelConfig, config: ServerConfig) -> Result<ExplorationServer> {
-        let catalog = match &config.catalog_dir {
-            Some(dir) => SharedCatalog::open(dir, kernel_config)?,
-            None => SharedCatalog::new(kernel_config),
-        };
-        Ok(ExplorationServer::start(Arc::new(catalog), config))
     }
 
     /// The catalog this server serves.
@@ -738,7 +762,7 @@ mod tests {
         let config = || ServerConfig::with_workers(2).with_catalog_dir(&dir);
 
         // First service lifetime: create, load, serve, restructure.
-        let first = ExplorationServer::open(KernelConfig::default(), config()).unwrap();
+        let first = ExplorationServer::serve(config()).unwrap();
         let id = first
             .catalog()
             .load_column("col", (0..50_000).collect(), SizeCm::new(2.0, 10.0))
@@ -763,7 +787,7 @@ mod tests {
 
         // Second service lifetime: open resumes the persisted epoch and the
         // same trace produces the identical digest from paged storage.
-        let second = ExplorationServer::open(KernelConfig::default(), config()).unwrap();
+        let second = ExplorationServer::serve(config()).unwrap();
         assert_eq!(second.catalog().epoch(), epoch);
         assert_eq!(
             second.catalog().catalog_dir().as_deref(),
@@ -796,7 +820,10 @@ mod tests {
     fn single_session_round_trip() {
         let (catalog, id) = catalog_with_column(100_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let session = server.open_session();
         session
             .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 1.0))
@@ -816,7 +843,10 @@ mod tests {
     fn sessions_are_isolated() {
         let (catalog, id) = catalog_with_column(50_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let scan = server.open_session();
         let agg = server.open_session();
         agg.set_action(id, TouchAction::Aggregate(AggregateKind::Avg))
@@ -835,7 +865,8 @@ mod tests {
     fn errors_are_reported_not_fatal() {
         let (catalog, id) = catalog_with_column(1_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(1));
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(1).with_catalog(catalog)).unwrap();
         let session = server.open_session();
         // Unknown object: recorded, session continues.
         session
@@ -868,7 +899,8 @@ mod tests {
     fn snapshot_is_a_barrier() {
         let (catalog, id) = catalog_with_column(200_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(1));
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(1).with_catalog(catalog)).unwrap();
         let session = server.open_session();
         for _ in 0..5 {
             session
@@ -886,14 +918,12 @@ mod tests {
     fn backpressure_bounds_the_queue() {
         let (catalog, id) = catalog_with_column(500_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(
-            catalog,
-            ServerConfig {
-                worker_threads: 1,
-                session_queue_depth: 2,
-                ..ServerConfig::default()
-            },
-        );
+        let server = ExplorationServer::serve(ServerConfig {
+            worker_threads: 1,
+            session_queue_depth: 2,
+            ..ServerConfig::default().with_catalog(catalog)
+        })
+        .unwrap();
         let session = server.open_session();
         // Many more submissions than the depth: finishes only if the worker
         // drains while we block, and every trace must be accounted for.
@@ -911,7 +941,8 @@ mod tests {
     fn shutdown_with_live_handle_does_not_hang() {
         let (catalog, id) = catalog_with_column(10_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(2));
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(catalog)).unwrap();
         let session = server.open_session();
         session
             .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.2))
@@ -929,14 +960,12 @@ mod tests {
     fn backpressured_producer_is_released_on_shutdown() {
         let (catalog, id) = catalog_with_column(400_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(
-            catalog,
-            ServerConfig {
-                worker_threads: 1,
-                session_queue_depth: 1,
-                ..ServerConfig::default()
-            },
-        );
+        let server = ExplorationServer::serve(ServerConfig {
+            worker_threads: 1,
+            session_queue_depth: 1,
+            ..ServerConfig::default().with_catalog(catalog)
+        })
+        .unwrap();
         let session = server.open_session();
         let producer = std::thread::spawn(move || {
             // Depth 1: this producer spends most of its time blocked in the
@@ -965,7 +994,8 @@ mod tests {
     #[test]
     fn sessions_go_to_the_least_loaded_worker() {
         let (catalog, _id) = catalog_with_column(1_000);
-        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(2));
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(catalog)).unwrap();
         assert_eq!(server.worker_loads(), vec![0, 0]);
         let s1 = server.open_session();
         let s2 = server.open_session();
@@ -990,7 +1020,8 @@ mod tests {
     #[test]
     fn skewed_closes_keep_steering_new_sessions_to_idle_workers() {
         let (catalog, _id) = catalog_with_column(1_000);
-        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(3));
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(3).with_catalog(catalog)).unwrap();
         // Eight long-lived sessions spread 3/3/2 by the tiebreak rotation.
         let sessions: Vec<_> = (0..8).map(|_| server.open_session()).collect();
         let loads = server.worker_loads();
@@ -1019,7 +1050,10 @@ mod tests {
         .unwrap();
         let tid = catalog.load_table(table, SizeCm::new(6.0, 10.0)).unwrap();
         let view = catalog.data(tid).unwrap().base_view().clone();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(1));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(1).with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let session = server.open_session();
         session.set_action(tid, TouchAction::Tuple).unwrap();
         session
@@ -1074,7 +1108,10 @@ mod tests {
             .drag_column_out(tid, "v", SizeCm::new(2.0, 10.0))
             .unwrap();
         let column_view = catalog.data(cid).unwrap().base_view().clone();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(1));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(1).with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let session = server.open_session();
         session
             .run_trace(
@@ -1136,8 +1173,10 @@ mod tests {
         let slow = GestureSynthesizer::new(60.0).slide_down(&view, 3.0);
         let fast = GestureSynthesizer::new(60.0).slide_down(&view, 0.6);
 
-        let server =
-            ExplorationServer::start(Arc::clone(&remote_catalog), ServerConfig::with_workers(1));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(1).with_catalog(Arc::clone(&remote_catalog)),
+        )
+        .unwrap();
         let session = server.open_session();
         session.set_action(rid, action.clone()).unwrap();
         session.run_trace(rid, slow.clone()).unwrap();
@@ -1198,7 +1237,10 @@ mod tests {
             .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
             .unwrap();
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(1));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(1).with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let session = server.open_session();
         session
             .set_action(
@@ -1241,7 +1283,10 @@ mod tests {
     fn metrics_snapshot_exposes_serving_counters_and_events() {
         let (catalog, id) = catalog_with_column(50_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let s1 = server.open_session();
         let s2 = server.open_session();
         s1.run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.5))
@@ -1317,8 +1362,10 @@ mod tests {
                 .load_column("col", (0..200_000).collect(), SizeCm::new(2.0, 10.0))
                 .unwrap();
             let view = catalog.data(id).unwrap().base_view().clone();
-            let server =
-                ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+            let server = ExplorationServer::serve(
+                ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog)),
+            )
+            .unwrap();
             let session = server.open_session();
             let session_id = session.id();
             session.set_action(id, action.clone()).unwrap();
@@ -1402,10 +1449,12 @@ mod tests {
     fn raw_latency_samples_are_opt_in() {
         let (catalog, id) = catalog_with_column(20_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(
-            Arc::clone(&catalog),
-            ServerConfig::with_workers(1).with_raw_latency(true),
-        );
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(1)
+                .with_raw_latency(true)
+                .with_catalog(Arc::clone(&catalog)),
+        )
+        .unwrap();
         let session = server.open_session();
         session
             .run_trace(id, GestureSynthesizer::new(60.0).slide_down(&view, 0.3))
@@ -1428,7 +1477,8 @@ mod tests {
     fn dropped_handle_tears_session_down() {
         let (catalog, id) = catalog_with_column(10_000);
         let view = catalog.data(id).unwrap().base_view().clone();
-        let server = ExplorationServer::start(catalog, ServerConfig::with_workers(1));
+        let server =
+            ExplorationServer::serve(ServerConfig::with_workers(1).with_catalog(catalog)).unwrap();
         {
             let session = server.open_session();
             session

@@ -44,6 +44,18 @@ pub enum DbTouchError {
     /// Persisted data failed validation: a page checksum mismatched, a
     /// manifest was malformed, or an extent pointed outside the page file.
     Corrupt(String),
+    /// The server is shedding load: the request was rejected up front
+    /// instead of queueing without bound. Carries the backoff the client
+    /// should apply before retrying.
+    Overloaded {
+        /// Suggested client backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+        /// Which admission signal tripped (human-readable).
+        reason: String,
+    },
+    /// The remote end of a network connection reported a failure. Carries
+    /// the rendered error as the server sent it.
+    Remote(String),
     /// An internal invariant was violated; indicates a bug in this library.
     Internal(String),
 }
@@ -75,6 +87,14 @@ impl fmt::Display for DbTouchError {
             DbTouchError::ParseError(msg) => write!(f, "parse error: {msg}"),
             DbTouchError::Io(msg) => write!(f, "io error: {msg}"),
             DbTouchError::Corrupt(msg) => write!(f, "corrupt catalog store: {msg}"),
+            DbTouchError::Overloaded {
+                retry_after_ms,
+                reason,
+            } => write!(
+                f,
+                "server overloaded, retry after {retry_after_ms} ms: {reason}"
+            ),
+            DbTouchError::Remote(msg) => write!(f, "remote error: {msg}"),
             DbTouchError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }

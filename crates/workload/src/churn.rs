@@ -89,7 +89,7 @@ pub fn run_concurrent_with_churn(
     mutators: usize,
 ) -> Result<ChurnOutcome> {
     let first_epoch = catalog.epoch();
-    let server = ExplorationServer::start(Arc::clone(catalog), server_config);
+    let server = ExplorationServer::serve(server_config.with_catalog(Arc::clone(catalog)))?;
     let stop = Arc::new(AtomicBool::new(false));
     let mutator_threads: Vec<_> = (0..mutators.min(MAX_CHURN_MUTATORS))
         .map(|m| {

@@ -15,7 +15,8 @@ use dbtouch_core::operators::filter::{CompareOp, Predicate};
 use dbtouch_gesture::synthesizer::GestureSynthesizer;
 use dbtouch_gesture::trace::GestureTrace;
 use dbtouch_server::{
-    digest_outcomes, ExplorationServer, LatencySummary, ServerConfig, SessionReport, TraceOutcome,
+    digest_outcomes, ClientSession, ExplorationClient, ExplorationServer, LatencySummary,
+    ServerConfig, SessionReport, TraceOutcome,
 };
 use dbtouch_types::{KernelConfig, Result, SizeCm};
 use rand::rngs::StdRng;
@@ -297,20 +298,22 @@ impl ConcurrentRunReport {
     }
 }
 
-/// Drive all `plans` against an already-running server: one served session
-/// per explorer, one submitting thread per explorer. Shared by
-/// [`run_concurrent`] and the churn driver
-/// ([`crate::churn::run_concurrent_with_churn`]).
-pub(crate) fn drive_plans(
-    server: &ExplorationServer,
+/// Drive all `plans` against any exploration service — in-process server or
+/// remote transport — through the [`ExplorationClient`] abstraction: one
+/// session per explorer, one submitting thread per explorer. Sessions are
+/// opened up front (so admission control rejects the whole run, not half of
+/// it) and each thread closes its own session, returning the final report.
+pub fn drive_plans_over<C: ExplorationClient>(
+    client: &C,
     object: ObjectId,
     plans: &[ExplorerPlan],
 ) -> Result<Vec<SessionReport>> {
     let drivers: Vec<_> = plans
         .iter()
-        .map(|plan| {
-            let session = server.open_session();
-            let plan = plan.clone();
+        .map(|plan| client.open_session().map(|session| (session, plan.clone())))
+        .collect::<Result<Vec<_>>>()?
+        .into_iter()
+        .map(|(mut session, plan)| {
             std::thread::spawn(move || -> Result<SessionReport> {
                 session.set_action(object, plan.action)?;
                 for trace in plan.traces {
@@ -330,6 +333,17 @@ pub(crate) fn drive_plans(
     Ok(sessions)
 }
 
+/// Drive all `plans` against an already-running in-process server. Shared by
+/// [`run_concurrent`] and the churn driver
+/// ([`crate::churn::run_concurrent_with_churn`]).
+pub(crate) fn drive_plans(
+    server: &ExplorationServer,
+    object: ObjectId,
+    plans: &[ExplorerPlan],
+) -> Result<Vec<SessionReport>> {
+    drive_plans_over(server, object, plans)
+}
+
 /// Drive all `plans` concurrently: one served session per explorer, one
 /// submitting thread per explorer, all over one shared catalog.
 pub fn run_concurrent(
@@ -338,7 +352,7 @@ pub fn run_concurrent(
     plans: &[ExplorerPlan],
     server_config: ServerConfig,
 ) -> Result<ConcurrentRunReport> {
-    let server = ExplorationServer::start(Arc::clone(catalog), server_config);
+    let server = ExplorationServer::serve(server_config.with_catalog(Arc::clone(catalog)))?;
     let started = Instant::now();
     let sessions = drive_plans(&server, object, plans)?;
     let wall_nanos = started.elapsed().as_nanos() as u64;

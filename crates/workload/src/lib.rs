@@ -44,8 +44,8 @@ pub mod scenarios;
 
 pub use churn::{churn_catalog, run_concurrent_with_churn, ChurnOutcome, MAX_CHURN_MUTATORS};
 pub use concurrent::{
-    plan_explorers, plan_hot_object, plan_segment_sweep, run_concurrent, run_sequential,
-    segment_sweep_config, ConcurrentRunReport, ExplorerPlan,
+    drive_plans_over, plan_explorers, plan_hot_object, plan_segment_sweep, run_concurrent,
+    run_sequential, segment_sweep_config, ConcurrentRunReport, ExplorerPlan,
 };
 pub use datagen::DataGenerator;
 pub use explorer::{DbTouchExplorer, DiscoveryReport, SqlExplorer, UnsteeredExplorer};

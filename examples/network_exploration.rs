@@ -1,0 +1,110 @@
+//! Network exploration: gesture sessions served over TCP.
+//!
+//! dbTouch separates the touch surface from the kernel: the tablet capturing
+//! slides need not be the machine holding the data. This example makes that
+//! split concrete on one machine — a `NetServer` listens on a loopback port,
+//! and eight explorers connect through `TcpClient`, each replaying its
+//! gesture plan over the checksummed binary wire protocol. The same plans
+//! are then run through the in-process kernel and the result digests are
+//! compared bit for bit: the wire adds latency, never error.
+//!
+//! It closes by shedding load on purpose (a one-session admission limit) and
+//! printing the `net.*` side of the metrics scrape.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example network_exploration
+//! ```
+
+use dbtouch::prelude::*;
+use dbtouch::types::DbTouchError;
+use dbtouch::workload::concurrent::{
+    drive_plans_over, plan_explorers, run_sequential, scenario_catalog,
+};
+use dbtouch::workload::scenarios::Scenario;
+use std::sync::Arc;
+
+const EXPLORERS: usize = 8;
+const TRACES_PER_EXPLORER: usize = 4;
+
+fn main() -> Result<()> {
+    let scenario = Scenario::sky_survey(200_000, 20260613);
+    let (catalog, object) = scenario_catalog(&scenario, KernelConfig::default())?;
+    let plans = plan_explorers(&catalog, object, EXPLORERS, TRACES_PER_EXPLORER, 42)?;
+
+    let server = NetServer::serve(
+        ServerConfig::with_workers(4)
+            .with_catalog(Arc::clone(&catalog))
+            .with_listen_addr("127.0.0.1:0"),
+    )?;
+    println!(
+        "serving `{}` ({} rows) on {}",
+        scenario.name,
+        scenario.rows(),
+        server.local_addr()
+    );
+
+    // The identical driver the in-process concurrency example uses — the
+    // `ExplorationClient` trait hides the transport entirely.
+    let client = TcpClient::new(server.local_addr().to_string());
+    let reports = drive_plans_over(&client, object, &plans)?;
+    println!("ran {EXPLORERS} explorers x {TRACES_PER_EXPLORER} gestures over TCP\n");
+
+    let networked: Vec<u64> = reports.iter().map(SessionReport::result_digest).collect();
+    let sequential = run_sequential(&catalog, object, &plans)?;
+    let mut identical = true;
+    for (index, (n, s)) in networked.iter().zip(&sequential).enumerate() {
+        let matched = n == s;
+        identical &= matched;
+        println!(
+            "  explorer {index}: digest {n:016x} — {}",
+            if matched { "identical" } else { "DIVERGED" }
+        );
+    }
+    if !identical {
+        return Err(DbTouchError::Internal(
+            "networked replay diverged from the in-process baseline".into(),
+        ));
+    }
+    println!("\nall {EXPLORERS} networked sessions digest identically to the in-process run.");
+
+    let snapshot = server.metrics_snapshot();
+    println!("\nnet.* scrape:");
+    for key in ["net.accepted", "net.shed", "net.bytes_in", "net.bytes_out"] {
+        println!("  {key:<15} {}", snapshot.scalar(key).unwrap_or(0));
+    }
+    if let Some(frames) = snapshot.histogram("net.frame_nanos") {
+        println!(
+            "  frame service time: p50 {:.1} us, p99 {:.1} us over {} frames",
+            frames.quantile(50.0) as f64 / 1e3,
+            frames.quantile(99.0) as f64 / 1e3,
+            frames.count()
+        );
+    }
+    server.shutdown();
+
+    // Overload on purpose: a one-session admission cap makes the server shed
+    // the second explorer with an explicit backoff instead of queueing it.
+    let shed_server = NetServer::serve(
+        ServerConfig::with_workers(1)
+            .with_catalog(Arc::clone(&catalog))
+            .with_listen_addr("127.0.0.1:0")
+            .with_shed(ShedConfig {
+                max_live_sessions: Some(1),
+                ..ShedConfig::default()
+            }),
+    )?;
+    let shed_client = TcpClient::new(shed_server.local_addr().to_string());
+    let first = shed_client.open_session()?;
+    match shed_client.open_session() {
+        Err(DbTouchError::Overloaded {
+            retry_after_ms,
+            reason,
+        }) => println!("\nshed as designed: retry after {retry_after_ms} ms ({reason})"),
+        Ok(_) => println!("\nunexpected: second session admitted"),
+        Err(other) => return Err(other),
+    }
+    first.close()?;
+    shed_server.shutdown();
+    Ok(())
+}

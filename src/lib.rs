@@ -21,6 +21,10 @@
 //! * [`server`] — the concurrent exploration service: many simultaneous
 //!   gesture sessions multiplexed over worker threads, sharing one immutable
 //!   catalog ([`core::catalog::SharedCatalog`]).
+//! * [`net`] — the network serving layer: the checksummed binary wire
+//!   protocol over TCP, telemetry-driven admission control / load shedding,
+//!   and the TCP implementation of the transport-agnostic
+//!   [`server::ExplorationClient`] API.
 //!
 //! ## Quick start
 //!
@@ -53,6 +57,7 @@
 pub use dbtouch_baseline as baseline;
 pub use dbtouch_core as core;
 pub use dbtouch_gesture as gesture;
+pub use dbtouch_net as net;
 pub use dbtouch_obs as obs;
 pub use dbtouch_server as server;
 pub use dbtouch_storage as storage;
@@ -68,7 +73,11 @@ pub mod prelude {
     pub use dbtouch_gesture::synthesizer::GestureSynthesizer;
     pub use dbtouch_gesture::touch::{TouchEvent, TouchPhase};
     pub use dbtouch_gesture::view::View;
-    pub use dbtouch_server::{ExplorationServer, ServerConfig, SessionReport};
+    pub use dbtouch_net::{NetServer, TcpClient};
+    pub use dbtouch_server::{
+        ClientSession, ExplorationClient, ExplorationServer, ServerConfig, SessionReport,
+        ShedConfig,
+    };
     pub use dbtouch_storage::column::Column;
     pub use dbtouch_storage::table::Table;
     pub use dbtouch_types::{

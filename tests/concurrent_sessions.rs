@@ -109,7 +109,9 @@ fn served_sessions_match_kernel_run() {
             kind: AggregateKind::Avg,
         },
     ];
-    let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(4));
+    let server =
+        ExplorationServer::serve(ServerConfig::with_workers(4).with_catalog(Arc::clone(&catalog)))
+            .unwrap();
     let drivers: Vec<_> = (0..THREADS)
         .map(|i| {
             let session = server.open_session();
@@ -166,7 +168,10 @@ fn shared_result_cache_is_result_transparent() {
     };
 
     let run_served = |catalog: &Arc<SharedCatalog>, id| -> Vec<SessionReport> {
-        let server = ExplorationServer::start(Arc::clone(catalog), ServerConfig::with_workers(4));
+        let server = ExplorationServer::serve(
+            ServerConfig::with_workers(4).with_catalog(Arc::clone(catalog)),
+        )
+        .unwrap();
         let drivers: Vec<_> = (0..THREADS)
             .map(|_| {
                 let session = server.open_session();
@@ -267,7 +272,9 @@ fn sessions_with_same_plan_agree_with_each_other() {
     // Per-session determinism: every session running the identical plan must
     // report the identical result counts and digests.
     let (catalog, id) = shared_catalog(80_000);
-    let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(4));
+    let server =
+        ExplorationServer::serve(ServerConfig::with_workers(4).with_catalog(Arc::clone(&catalog)))
+            .unwrap();
     let drivers: Vec<_> = (0..THREADS)
         .map(|_| {
             let session = server.open_session();

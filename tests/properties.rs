@@ -286,7 +286,7 @@ proptest! {
         // Live: K sessions each run the one trace concurrently with one
         // restructure landing at an arbitrary point in the schedule.
         let (catalog, tid) = build();
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let server = ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog))).unwrap();
         let mutator = {
             let catalog = Arc::clone(&catalog);
             std::thread::spawn(move || {
@@ -396,7 +396,7 @@ proptest! {
         // Live: K overlapped sessions race one restructure (plus, sometimes,
         // a group_into_table creating a fresh object mid-flight).
         let (catalog, tid) = build(remote_config);
-        let server = ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+        let server = ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog))).unwrap();
         let mutator = {
             let catalog = Arc::clone(&catalog);
             std::thread::spawn(move || {
@@ -541,7 +541,7 @@ proptest! {
                 // sequential all-local baseline exactly.
                 let (catalog, tid) = build(config(parallelism, segment_rows, true));
                 let server =
-                    ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+                    ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog))).unwrap();
                 let session = server.open_session();
                 session.set_action(tid, action.clone()).unwrap();
                 session.run_trace(tid, trace.clone()).unwrap();
@@ -575,7 +575,7 @@ proptest! {
         for &(parallelism, segment_rows) in &[(2usize, 3_000u64), (8, 7_777), (2, 65_536)] {
             let (catalog, tid) = build(config(parallelism, segment_rows, true));
             let server =
-                ExplorationServer::start(Arc::clone(&catalog), ServerConfig::with_workers(2));
+                ExplorationServer::serve(ServerConfig::with_workers(2).with_catalog(Arc::clone(&catalog))).unwrap();
             let mutator = {
                 let catalog = Arc::clone(&catalog);
                 std::thread::spawn(move || {

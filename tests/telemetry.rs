@@ -28,10 +28,10 @@ fn metrics_snapshot_is_readable_mid_run_under_churn() {
     let view = catalog.data(id).unwrap().base_view().clone();
     let epoch_before = catalog.epoch();
 
-    let server = Arc::new(ExplorationServer::start(
-        Arc::clone(&catalog),
-        ServerConfig::with_workers(4),
-    ));
+    let server = Arc::new(
+        ExplorationServer::serve(ServerConfig::with_workers(4).with_catalog(Arc::clone(&catalog)))
+            .unwrap(),
+    );
 
     // 32 concurrent explorers, each running several traces.
     let explorers: Vec<_> = (0..32)
