@@ -1,0 +1,80 @@
+//! Trace overhead binary: throughput with span tracing on vs. off over the
+//! identical seeded workload, digest-verified, with a hard overhead gate.
+//!
+//! ```text
+//! cargo run --release -p dbtouch-bench --bin trace_overhead \
+//!     [rows] [sessions] [traces_per_session] [trials]
+//! ```
+//!
+//! Exits non-zero when digests diverge (tracing steered a result) or the
+//! measured overhead exceeds the gate: `DBTOUCH_TRACE_MAX_OVERHEAD_PCT`.
+//! The default gate is 2.5% — spans are recorded once per trace lifecycle
+//! stage, not per touch, so the budget matches the telemetry hub's. CI smoke
+//! runs set it looser still.
+
+use dbtouch_bench::report::{json_object, write_bench_json};
+use dbtouch_bench::trace_overhead::run_trace_overhead;
+use dbtouch_types::json::Json;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let rows: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let sessions: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+    let traces: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let trials: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(7);
+    let max_overhead: f64 = std::env::var("DBTOUCH_TRACE_MAX_OVERHEAD_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.5);
+    match run_trace_overhead(rows, sessions, traces, trials) {
+        Ok(report) => {
+            print!("{}", report.table());
+            let doc = json_object(vec![
+                ("bench", Json::String("trace_overhead".into())),
+                ("rows", Json::Number(report.rows as f64)),
+                ("sessions", Json::Number(report.sessions as f64)),
+                (
+                    "traces_per_session",
+                    Json::Number(report.traces_per_session as f64),
+                ),
+                ("trials", Json::Number(report.trials as f64)),
+                ("total_touches", Json::Number(report.total_touches as f64)),
+                (
+                    "touches_per_sec_off",
+                    Json::Number(report.touches_per_sec_off),
+                ),
+                (
+                    "touches_per_sec_on",
+                    Json::Number(report.touches_per_sec_on),
+                ),
+                ("overhead_percent", Json::Number(report.overhead_percent())),
+                ("digests_identical", Json::Bool(report.digests_identical)),
+                (
+                    "traces_finished",
+                    Json::Number(report.traces_finished as f64),
+                ),
+                ("trees_retained", Json::Number(report.trees_retained as f64)),
+            ]);
+            match write_bench_json("trace_overhead", &doc) {
+                Ok(path) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write bench json: {e}"),
+            }
+            if !report.digests_identical {
+                eprintln!("ERROR: tracing changed results — digests diverged");
+                std::process::exit(1);
+            }
+            if report.overhead_percent() >= max_overhead {
+                eprintln!(
+                    "ERROR: trace overhead {:.2}% exceeds the {:.2}% gate",
+                    report.overhead_percent(),
+                    max_overhead
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace overhead benchmark failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

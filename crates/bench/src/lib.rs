@@ -27,6 +27,7 @@ pub mod report;
 pub mod segment_scan;
 pub mod sweeps;
 pub mod telemetry_overhead;
+pub mod trace_overhead;
 
 pub use cache_effectiveness::{
     run_cache_effectiveness_sweep, CacheEffectivenessPoint, CacheEffectivenessReport,
@@ -42,3 +43,4 @@ pub use remote_overlap::{run_remote_overlap_sweep, RemoteOverlapPoint, RemoteOve
 pub use segment_scan::{run_segment_scan_sweep, SegmentScanPoint, SegmentScanReport};
 pub use sweeps::{sweep_summary_window, sweep_touch_rate, SweepPoint, SweepReport};
 pub use telemetry_overhead::{run_telemetry_overhead, TelemetryOverheadReport};
+pub use trace_overhead::{run_trace_overhead, TraceOverheadReport};

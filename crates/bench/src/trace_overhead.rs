@@ -1,0 +1,200 @@
+//! Trace overhead benchmark: proves causal span tracing is effectively free
+//! on the serving hot path.
+//!
+//! Drives the identical seeded hot-object workload through the exploration
+//! server with span tracing enabled and disabled (telemetry stays on in both
+//! configurations, so the delta isolates the span subsystem): one untimed
+//! warmup, then `trials` interleaved pairs whose in-pair order alternates
+//! every trial, keeping each configuration's best throughput. Asserts the
+//! foundational invariant along the way: tracing observes, it never steers —
+//! result digests must be bit-identical with spans on or off, in every trial.
+
+use dbtouch_server::ServerConfig;
+use dbtouch_types::{DbTouchError, KernelConfig, Result};
+use dbtouch_workload::concurrent::{plan_hot_object, run_concurrent, scenario_catalog};
+use dbtouch_workload::Scenario;
+
+/// The measured comparison of one workload with span tracing on vs. off.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadReport {
+    /// Rows in the hot object.
+    pub rows: u64,
+    /// Simultaneous sessions driven.
+    pub sessions: usize,
+    /// Gesture traces each session performs.
+    pub traces_per_session: usize,
+    /// Interleaved trials run per configuration (best kept).
+    pub trials: usize,
+    /// Touch samples processed per run (identical for both configurations).
+    pub total_touches: u64,
+    /// Best throughput with tracing disabled, touches/s.
+    pub touches_per_sec_off: f64,
+    /// Best throughput with tracing enabled, touches/s.
+    pub touches_per_sec_on: f64,
+    /// Result digests identical across every trial of both configurations.
+    pub digests_identical: bool,
+    /// Traces the span store finished in the enabled best trial.
+    pub traces_finished: u64,
+    /// Span trees retained by the sampler in the enabled best trial.
+    pub trees_retained: usize,
+}
+
+impl TraceOverheadReport {
+    /// Throughput lost to span tracing, percent of the disabled throughput.
+    /// Negative when the traced run measured faster (noise).
+    pub fn overhead_percent(&self) -> f64 {
+        if self.touches_per_sec_off == 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.touches_per_sec_on / self.touches_per_sec_off) * 100.0
+    }
+
+    /// Whether the run proves tracing cheap: identical results and an
+    /// overhead below `max_overhead_percent`.
+    pub fn passed(&self, max_overhead_percent: f64) -> bool {
+        self.digests_identical && self.overhead_percent() < max_overhead_percent
+    }
+
+    /// Render the comparison as text lines.
+    pub fn table(&self) -> String {
+        format!(
+            "trace overhead — {} rows, {} sessions x {} traces, best of {} trials\n\
+             touches/run          {}\n\
+             touches/s  off       {:.0}\n\
+             touches/s  on        {:.0}\n\
+             overhead             {:+.2}%\n\
+             digests identical    {}\n\
+             traces finished      {}\n\
+             trees retained       {}\n",
+            self.rows,
+            self.sessions,
+            self.traces_per_session,
+            self.trials,
+            self.total_touches,
+            self.touches_per_sec_off,
+            self.touches_per_sec_on,
+            self.overhead_percent(),
+            self.digests_identical,
+            self.traces_finished,
+            self.trees_retained,
+        )
+    }
+}
+
+/// One timed run of the workload under `config`. Returns
+/// `(touches_per_sec, total_touches, digests, traces_finished, trees)`.
+fn one_run(
+    scenario: &Scenario,
+    config: KernelConfig,
+    sessions: usize,
+    traces_per_session: usize,
+) -> Result<(f64, u64, Vec<u64>, u64, usize)> {
+    // A fresh catalog per run: a warm shared cache or buffer pool from a
+    // previous run must not flatter either configuration.
+    let (catalog, object) = scenario_catalog(scenario, config)?;
+    let plans = plan_hot_object(&catalog, object, sessions, traces_per_session, 99)?;
+    let run = run_concurrent(&catalog, object, &plans, ServerConfig::default())?;
+    if let Some(error) = run.errors().first() {
+        return Err(DbTouchError::Internal(format!(
+            "trace overhead run errored: {error}"
+        )));
+    }
+    let snapshot = catalog.telemetry().snapshot();
+    Ok((
+        run.touches_per_sec(),
+        run.total_touches(),
+        run.digests(),
+        snapshot.scalar("obs.traces_finished").unwrap_or(0),
+        snapshot.traces.len(),
+    ))
+}
+
+/// Run the comparison: one untimed warmup, then `trials` interleaved off/on
+/// pairs over the identical seeded workload, alternating the in-pair order
+/// every trial and keeping each configuration's best throughput.
+pub fn run_trace_overhead(
+    rows: usize,
+    sessions: usize,
+    traces_per_session: usize,
+    trials: usize,
+) -> Result<TraceOverheadReport> {
+    let scenario = Scenario::sky_survey(rows, 17);
+    let trials = trials.max(1);
+    let mut best_off = 0.0f64;
+    let mut best_on = 0.0f64;
+    let mut total_touches = 0;
+    let mut digests: Option<Vec<u64>> = None;
+    let mut digests_identical = true;
+    let mut traces_finished = 0;
+    let mut trees_retained = 0;
+    // Untimed warmup: faults in the binary, warms the allocator and branch
+    // predictors so the first timed run doesn't penalize whichever
+    // configuration happens to go first.
+    one_run(
+        &scenario,
+        KernelConfig::default().with_tracing(false),
+        sessions,
+        traces_per_session,
+    )?;
+    for trial in 0..trials {
+        let off_config = KernelConfig::default().with_tracing(false);
+        let on_config = KernelConfig::default().with_tracing(true);
+        // Alternate which configuration runs first so residual cache warmth
+        // from the preceding run flatters each side equally often.
+        let (tps_off, touches, digests_off, (tps_on, _, digests_on, finished, trees)) =
+            if trial % 2 == 0 {
+                let off = one_run(&scenario, off_config, sessions, traces_per_session)?;
+                let on = one_run(&scenario, on_config, sessions, traces_per_session)?;
+                (off.0, off.1, off.2, on)
+            } else {
+                let on = one_run(&scenario, on_config, sessions, traces_per_session)?;
+                let off = one_run(&scenario, off_config, sessions, traces_per_session)?;
+                (off.0, off.1, off.2, on)
+            };
+        total_touches = touches;
+        digests_identical &= digests_off == digests_on;
+        match &digests {
+            Some(expected) => digests_identical &= *expected == digests_off,
+            None => digests = Some(digests_off),
+        }
+        if tps_off > best_off {
+            best_off = tps_off;
+        }
+        if tps_on > best_on {
+            best_on = tps_on;
+            traces_finished = finished;
+            trees_retained = trees;
+        }
+    }
+    Ok(TraceOverheadReport {
+        rows: rows as u64,
+        sessions,
+        traces_per_session,
+        trials,
+        total_touches,
+        touches_per_sec_off: best_off,
+        touches_per_sec_on: best_on,
+        digests_identical,
+        traces_finished,
+        trees_retained,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_scale_run_is_transparent() {
+        let report = run_trace_overhead(20_000, 2, 2, 1).unwrap();
+        assert!(report.digests_identical, "tracing must not steer results");
+        assert!(report.total_touches > 0);
+        assert!(report.touches_per_sec_on > 0.0);
+        assert!(
+            report.traces_finished > 0,
+            "the enabled span store must have finished traces"
+        );
+        let text = report.table();
+        assert!(text.contains("digests identical    true"));
+    }
+}

@@ -49,7 +49,7 @@ use crate::morsel::MorselPool;
 use crate::remote::NetworkModel;
 use crate::remote_exec::{CompletionQueue, RemoteExecutor, RemoteTier};
 use dbtouch_gesture::view::View;
-use dbtouch_obs::{Gauge, MetricSource, MetricValue, Telemetry, TraceEventKind};
+use dbtouch_obs::{Gauge, MetricSource, MetricValue, SpanConfig, Telemetry, TraceEventKind};
 use dbtouch_storage::cache::RegionCache;
 use dbtouch_storage::column::Column;
 use dbtouch_storage::index::ZoneMapIndex;
@@ -565,7 +565,17 @@ impl SharedCatalog {
         let morsel = (config.scan_parallelism > 1)
             .then(|| Arc::new(MorselPool::start(config.scan_parallelism - 1)));
         let telemetry = Arc::new(if config.telemetry_enabled {
-            Telemetry::new(config.telemetry_ring_capacity, config.telemetry_hot_sample)
+            Telemetry::with_spans(
+                config.telemetry_ring_capacity,
+                config.telemetry_hot_sample,
+                SpanConfig {
+                    enabled: config.tracing_enabled,
+                    tail_threshold_nanos: config.trace_tail_threshold_micros.saturating_mul(1_000),
+                    head_sample_every: config.trace_head_sample_every,
+                    retained_capacity: config.trace_retained_capacity,
+                    max_spans: config.trace_max_spans,
+                },
+            )
         } else {
             Telemetry::disabled()
         });

@@ -31,7 +31,7 @@
 
 use crate::catalog::ObjectData;
 use dbtouch_obs::{
-    clear_trace_ctx, set_trace_ctx, trace_ctx, MetricSource, MetricValue, Telemetry, TraceCtx,
+    clear_trace_ctx, set_trace_ctx_full, trace_ctx, MetricSource, MetricValue, Telemetry, TraceCtx,
     TraceEventKind,
 };
 use dbtouch_storage::segment::{plan_segments, Segment, SegmentStats};
@@ -157,6 +157,39 @@ impl ScanBatch {
             self.done.notify_all();
         }
     }
+
+    /// Claim and process segments until none remain, recording the run as
+    /// one `"segments"` span (child of the submitting gesture's service
+    /// span) when the submitter carried one — each participating thread
+    /// contributes one span per batch, `detail` = segments it claimed.
+    fn drain(&self, shared: &PoolShared, stolen: bool) {
+        let spans = match (&self.telemetry, self.ctx) {
+            (Some(telemetry), Some(ctx)) if ctx.span != 0 && telemetry.spans().is_enabled() => {
+                Some((telemetry, ctx))
+            }
+            _ => None,
+        };
+        let start = spans.map(|(telemetry, _)| telemetry.now_nanos());
+        let mut claimed = 0u64;
+        while let Some(segment) = self.claim() {
+            self.process(segment, shared, stolen);
+            claimed += 1;
+        }
+        if claimed > 0 {
+            if let (Some((telemetry, ctx)), Some(start)) = (spans, start) {
+                let end = telemetry.now_nanos();
+                telemetry.spans().record_span(
+                    ctx.session,
+                    ctx.trace,
+                    ctx.span,
+                    "segments",
+                    start,
+                    end.saturating_sub(start),
+                    claimed,
+                );
+            }
+        }
+    }
 }
 
 #[derive(Default)]
@@ -256,9 +289,7 @@ impl MorselPool {
             self.shared.available.notify_all();
         }
         // Work on our own batch instead of idling behind the helpers.
-        while let Some(segment) = batch.claim() {
-            batch.process(segment, &self.shared, false);
-        }
+        batch.drain(&self.shared, false);
         let mut ledger = batch.ledger.lock().unwrap_or_else(|e| e.into_inner());
         while !ledger.is_complete() {
             ledger = batch.done.wait(ledger).unwrap_or_else(|e| e.into_inner());
@@ -340,14 +371,14 @@ fn helper_loop(shared: &PoolShared) {
             }
         };
         // Events emitted while scanning stolen segments are attributed to
-        // the gesture that submitted the batch, not to this helper.
+        // the gesture that submitted the batch, not to this helper — the
+        // span included, so stolen-segment spans nest under the submitting
+        // gesture's service span.
         match batch.ctx {
-            Some(ctx) => set_trace_ctx(ctx.session, ctx.trace),
+            Some(ctx) => set_trace_ctx_full(ctx),
             None => clear_trace_ctx(),
         }
-        while let Some(segment) = batch.claim() {
-            batch.process(segment, shared, true);
-        }
+        batch.drain(shared, true);
         clear_trace_ctx();
     }
 }

@@ -23,11 +23,22 @@ use crate::frame::{read_frame, write_frame, FrameReadError, ReadOutcome, MAX_FRA
 use crate::server::client_handshake;
 use dbtouch_core::kernel::{ObjectId, TouchAction};
 use dbtouch_gesture::trace::GestureTrace;
+use dbtouch_obs::{WireTraceContext, CLIENT_ID_BIT};
 use dbtouch_server::{ClientSession, ExplorationClient, SessionId, SessionReport};
 use dbtouch_types::json::{self, Json};
 use dbtouch_types::{DbTouchError, Result};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// Process-wide sequence for client-minted trace and span ids. The high bit
+/// ([`CLIENT_ID_BIT`]) marks ids minted on this side of the wire, so they can
+/// never collide with the server's own trace counter.
+static CLIENT_ID_SEQ: AtomicU64 = AtomicU64::new(1);
+
+fn mint_client_id() -> u64 {
+    CLIENT_ID_SEQ.fetch_add(1, Ordering::Relaxed) | CLIENT_ID_BIT
+}
 
 /// A client of a remote exploration server. Holds only the address; every
 /// [`open_session`](ExplorationClient::open_session) and
@@ -57,7 +68,7 @@ impl TcpClient {
         let deadline = Instant::now() + timeout;
         loop {
             match self.dial() {
-                Ok(_stream) => return Ok(()),
+                Ok(_) => return Ok(()),
                 Err(e) => {
                     if Instant::now() >= deadline {
                         return Err(e);
@@ -68,12 +79,46 @@ impl TcpClient {
         }
     }
 
-    fn dial(&self) -> Result<TcpStream> {
+    fn dial(&self) -> Result<(TcpStream, u64)> {
         let mut stream = TcpStream::connect(&self.addr)
             .map_err(|e| DbTouchError::Io(format!("connect {}: {e}", self.addr)))?;
         let _ = stream.set_nodelay(true);
-        client_handshake(&mut stream)?;
-        Ok(stream)
+        let version = client_handshake(&mut stream)?;
+        Ok((stream, version))
+    }
+
+    /// Fetch the server's retained span trees as Chrome trace-event JSON
+    /// (loadable in Perfetto / `chrome://tracing`). Requires a v2 server.
+    pub fn dump_traces(&self) -> Result<Json> {
+        let (mut stream, version) = self.dial()?;
+        if version < 2 {
+            return Err(DbTouchError::Remote(format!(
+                "server speaks protocol v{version}; DumpTraces needs v2"
+            )));
+        }
+        match request(&mut stream, &Request::DumpTraces)? {
+            Response::TracesJson(text) => {
+                json::parse(&text).map_err(|e| DbTouchError::Remote(format!("bad trace JSON: {e}")))
+            }
+            Response::Error(msg) => Err(DbTouchError::Remote(msg)),
+            other => Err(unexpected("TracesJson", &other)),
+        }
+    }
+
+    /// Fetch the metrics snapshot in Prometheus-style text exposition.
+    /// Requires a v2 server.
+    pub fn metrics_text(&self) -> Result<String> {
+        let (mut stream, version) = self.dial()?;
+        if version < 2 {
+            return Err(DbTouchError::Remote(format!(
+                "server speaks protocol v{version}; MetricsText needs v2"
+            )));
+        }
+        match request(&mut stream, &Request::MetricsText)? {
+            Response::MetricsText(text) => Ok(text),
+            Response::Error(msg) => Err(DbTouchError::Remote(msg)),
+            other => Err(unexpected("MetricsText", &other)),
+        }
     }
 }
 
@@ -82,6 +127,10 @@ impl TcpClient {
 pub struct TcpSession {
     stream: TcpStream,
     id: SessionId,
+    /// Protocol version both sides agreed to speak in the handshake.
+    version: u64,
+    /// Trace ids this session stamped into `RunTrace` frames, in send order.
+    stamped_traces: Vec<u64>,
     /// The final report delivered by a server `GoAway` during drain.
     goaway_report: Option<SessionReport>,
 }
@@ -134,6 +183,18 @@ impl TcpSession {
     pub fn take_goaway_report(&mut self) -> Option<SessionReport> {
         self.goaway_report.take()
     }
+
+    /// Protocol version negotiated with the server (min of both sides).
+    pub fn protocol_version(&self) -> u64 {
+        self.version
+    }
+
+    /// Trace ids this session stamped into its `RunTrace` frames, in send
+    /// order. All carry [`CLIENT_ID_BIT`]; server-side span trees for those
+    /// gestures carry these exact ids. Empty on a v1 connection.
+    pub fn stamped_trace_ids(&self) -> &[u64] {
+        &self.stamped_traces
+    }
 }
 
 impl ClientSession for TcpSession {
@@ -149,7 +210,18 @@ impl ClientSession for TcpSession {
     }
 
     fn run_trace(&mut self, object: ObjectId, trace: GestureTrace) -> Result<()> {
-        match self.call(&Request::RunTrace(object, trace))? {
+        // v2 peers get a client-minted trace context so the server's span
+        // tree carries an id the client can correlate; v1 frames stay
+        // byte-identical to the old encoding.
+        let ctx = (self.version >= 2).then(|| {
+            let wire = WireTraceContext {
+                trace: mint_client_id(),
+                root_span: mint_client_id(),
+            };
+            self.stamped_traces.push(wire.trace);
+            wire
+        });
+        match self.call(&Request::RunTrace(object, trace, ctx))? {
             Response::Ack => Ok(()),
             other => Err(unexpected("Ack", &other)),
         }
@@ -182,6 +254,8 @@ fn unexpected(wanted: &str, got: &Response) -> DbTouchError {
         Response::Ack => "Ack",
         Response::Report(_) => "Report",
         Response::MetricsJson(_) => "MetricsJson",
+        Response::MetricsText(_) => "MetricsText",
+        Response::TracesJson(_) => "TracesJson",
         Response::Error(_) => "Error",
         Response::Shed { .. } => "Shed",
         Response::GoAway(_) => "GoAway",
@@ -193,11 +267,13 @@ impl ExplorationClient for TcpClient {
     type Session = TcpSession;
 
     fn open_session(&self) -> Result<TcpSession> {
-        let mut stream = self.dial()?;
+        let (mut stream, version) = self.dial()?;
         match request(&mut stream, &Request::OpenSession)? {
             Response::SessionOpened(id) => Ok(TcpSession {
                 stream,
                 id,
+                version,
+                stamped_traces: Vec::new(),
                 goaway_report: None,
             }),
             Response::Shed {
@@ -214,7 +290,7 @@ impl ExplorationClient for TcpClient {
     }
 
     fn metrics_json(&self) -> Result<Json> {
-        let mut stream = self.dial()?;
+        let (mut stream, _) = self.dial()?;
         match request(&mut stream, &Request::Metrics)? {
             Response::MetricsJson(text) => json::parse(&text)
                 .map_err(|e| DbTouchError::Remote(format!("bad metrics JSON: {e}"))),

@@ -30,7 +30,7 @@ use dbtouch_core::result::{FadePolicy, ResultKind, ResultStream, TouchResult};
 use dbtouch_core::session::{SessionOutcome, SessionStats};
 use dbtouch_gesture::touch::{TouchEvent, TouchPhase};
 use dbtouch_gesture::trace::GestureTrace;
-use dbtouch_obs::{HistogramSnapshot, BUCKETS};
+use dbtouch_obs::{HistogramSnapshot, WireTraceContext, BUCKETS};
 use dbtouch_server::{LatencySample, SessionReport, TraceOutcome};
 use dbtouch_types::{DbTouchError, PointCm, Result, RowId, Timestamp, Value};
 
@@ -886,14 +886,19 @@ pub enum Request {
     OpenSession,
     /// Set the touch action for an object.
     SetAction(ObjectId, TouchAction),
-    /// Run one gesture trace.
-    RunTrace(ObjectId, GestureTrace),
+    /// Run one gesture trace, optionally carrying the client-stamped trace
+    /// context (v2; absent on v1 wires — encodes as zero extra bytes).
+    RunTrace(ObjectId, GestureTrace, Option<WireTraceContext>),
     /// Barrier + copy of the session report.
     Snapshot,
     /// Close the session, returning the final report.
     CloseSession,
     /// The server's metrics snapshot as JSON text.
     Metrics,
+    /// Retained span trees as Chrome trace-event JSON (v2).
+    DumpTraces,
+    /// The metrics snapshot as flat text exposition (v2).
+    MetricsText,
 }
 
 /// A decoded response frame.
@@ -918,6 +923,10 @@ pub enum Response {
     },
     /// The server is draining; optionally carries the final session report.
     GoAway(Option<SessionReport>),
+    /// Chrome trace-event JSON of retained span trees (v2).
+    TracesJson(String),
+    /// Metrics snapshot as flat text exposition (v2).
+    MetricsText(String),
 }
 
 /// Encode a request into a frame payload (tag byte first).
@@ -930,15 +939,24 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             write_action(&mut w, action);
             w.into_bytes()
         }
-        Request::RunTrace(object, trace) => {
+        Request::RunTrace(object, trace, ctx) => {
             let mut w = WireWriter::with_tag(tag::RUN_TRACE);
             w.u64(object.0);
             write_trace(&mut w, trace);
+            // v2 trailer: absent encodes as *zero* bytes, so a context-free
+            // frame is byte-identical to what a v1 peer produces and expects.
+            if let Some(ctx) = ctx {
+                w.u8(1);
+                w.u64(ctx.trace);
+                w.u64(ctx.root_span);
+            }
             w.into_bytes()
         }
         Request::Snapshot => vec![tag::SNAPSHOT],
         Request::CloseSession => vec![tag::CLOSE_SESSION],
         Request::Metrics => vec![tag::METRICS],
+        Request::DumpTraces => vec![tag::DUMP_TRACES],
+        Request::MetricsText => vec![tag::METRICS_TEXT],
     }
 }
 
@@ -956,11 +974,25 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
         tag::RUN_TRACE => {
             let object = ObjectId(r.u64()?);
             let trace = read_trace(&mut r)?;
-            Request::RunTrace(object, trace)
+            // Nothing left = a v1 frame (or v2 without tracing): no context.
+            let ctx = if r.remaining() == 0 {
+                None
+            } else {
+                match r.u8()? {
+                    1 => Some(WireTraceContext {
+                        trace: r.u64()?,
+                        root_span: r.u64()?,
+                    }),
+                    other => return Err(bad(format!("bad trace-context presence byte {other}"))),
+                }
+            };
+            Request::RunTrace(object, trace, ctx)
         }
         tag::SNAPSHOT => Request::Snapshot,
         tag::CLOSE_SESSION => Request::CloseSession,
         tag::METRICS => Request::Metrics,
+        tag::DUMP_TRACES => Request::DumpTraces,
+        tag::METRICS_TEXT => Request::MetricsText,
         other => return Err(bad(format!("unknown request frame type 0x{other:02x}"))),
     };
     r.finish()?;
@@ -1005,6 +1037,16 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             w.opt(report, write_report);
             w.into_bytes()
         }
+        Response::TracesJson(text) => {
+            let mut w = WireWriter::with_tag(tag::TRACES_JSON);
+            w.str(text);
+            w.into_bytes()
+        }
+        Response::MetricsText(text) => {
+            let mut w = WireWriter::with_tag(tag::METRICS_TEXT_REPLY);
+            w.str(text);
+            w.into_bytes()
+        }
     }
 }
 
@@ -1022,6 +1064,8 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
             reason: r.str()?,
         },
         tag::GO_AWAY => Response::GoAway(r.opt(read_report)?),
+        tag::TRACES_JSON => Response::TracesJson(r.str()?),
+        tag::METRICS_TEXT_REPLY => Response::MetricsText(r.str()?),
         other => return Err(bad(format!("unknown response frame type 0x{other:02x}"))),
     };
     r.finish()?;
@@ -1159,11 +1203,12 @@ mod tests {
 
     #[test]
     fn request_response_roundtrip() {
-        let req = Request::RunTrace(ObjectId(4), sample_trace());
+        let req = Request::RunTrace(ObjectId(4), sample_trace(), None);
         match decode_request(&encode_request(&req)).unwrap() {
-            Request::RunTrace(object, trace) => {
+            Request::RunTrace(object, trace, ctx) => {
                 assert_eq!(object, ObjectId(4));
                 assert_eq!(trace, sample_trace());
+                assert_eq!(ctx, None);
             }
             other => panic!("wrong decode: {other:?}"),
         }
@@ -1187,7 +1232,7 @@ mod tests {
     #[test]
     fn decoder_is_total_on_malformed_bytes() {
         // Truncations of a valid frame at every length.
-        let valid = encode_request(&Request::RunTrace(ObjectId(1), sample_trace()));
+        let valid = encode_request(&Request::RunTrace(ObjectId(1), sample_trace(), None));
         for cut in 0..valid.len().min(200) {
             let _ = decode_request(&valid[..cut]); // must not panic
         }
@@ -1206,5 +1251,45 @@ mod tests {
         // Unknown tags.
         assert!(decode_request(&[0x7f]).is_err());
         assert!(decode_response(&[0x7f]).is_err());
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_absence_is_v1_identical() {
+        let ctx = WireTraceContext {
+            trace: dbtouch_obs::CLIENT_ID_BIT | 7,
+            root_span: dbtouch_obs::CLIENT_ID_BIT | 8,
+        };
+        let with = encode_request(&Request::RunTrace(ObjectId(2), sample_trace(), Some(ctx)));
+        match decode_request(&with).unwrap() {
+            Request::RunTrace(_, _, decoded) => assert_eq!(decoded, Some(ctx)),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        // An absent context adds no bytes: the frame is exactly the v1
+        // encoding, so old peers decode it unchanged.
+        let without = encode_request(&Request::RunTrace(ObjectId(2), sample_trace(), None));
+        assert_eq!(with.len(), without.len() + 17);
+        assert_eq!(&with[..without.len()], &without[..]);
+        // A corrupt presence byte is rejected, not panicked on.
+        let mut forged = without.clone();
+        forged.push(9);
+        assert!(decode_request(&forged).is_err());
+
+        // The v2 admin requests round-trip.
+        assert!(matches!(
+            decode_request(&encode_request(&Request::DumpTraces)).unwrap(),
+            Request::DumpTraces
+        ));
+        assert!(matches!(
+            decode_request(&encode_request(&Request::MetricsText)).unwrap(),
+            Request::MetricsText
+        ));
+        match decode_response(&encode_response(&Response::TracesJson("{}".into()))).unwrap() {
+            Response::TracesJson(text) => assert_eq!(text, "{}"),
+            other => panic!("wrong decode: {other:?}"),
+        }
+        match decode_response(&encode_response(&Response::MetricsText("a 1\n".into()))).unwrap() {
+            Response::MetricsText(text) => assert_eq!(text, "a 1\n"),
+            other => panic!("wrong decode: {other:?}"),
+        }
     }
 }

@@ -32,8 +32,13 @@ use std::io::{ErrorKind, Read, Write};
 
 /// Protocol name carried in the JSON handshake frame.
 pub const PROTOCOL_NAME: &str = "dbtouch-net";
-/// Protocol version carried in the JSON handshake frame.
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version carried in the JSON handshake frame. Version 2 adds the
+/// optional trace context on `RunTrace` and the `DumpTraces`/`MetricsText`
+/// requests; both sides speak `min(client, server)` after the handshake.
+pub const PROTOCOL_VERSION: u64 = 2;
+/// Oldest peer version still interoperable: a v1 peer simply never sees the
+/// v2 additions (the trace context encodes as zero extra bytes when absent).
+pub const MIN_PROTOCOL_VERSION: u64 = 1;
 
 /// Hard cap on a handshake (Hello/HelloAck) payload.
 pub const MAX_HANDSHAKE_LEN: usize = 4 << 10;
@@ -43,9 +48,10 @@ pub const MAX_FRAME_LEN: usize = 256 << 20;
 
 /// Frame type tags (first payload byte).
 pub mod tag {
-    /// Client → server: JSON `{"proto": "dbtouch-net", "version": 1}`.
+    /// Client → server: JSON `{"proto": "dbtouch-net", "version": 2}`.
     pub const HELLO: u8 = 0x01;
-    /// Server → client: JSON echo of the accepted protocol/version.
+    /// Server → client: JSON echo of the accepted protocol and the
+    /// *negotiated* version, `min(client, server)`.
     pub const HELLO_ACK: u8 = 0x02;
 
     /// Request: open one exploration session on this connection.
@@ -61,6 +67,10 @@ pub mod tag {
     pub const CLOSE_SESSION: u8 = 0x14;
     /// Request: the server's metrics snapshot as JSON text (debug dump).
     pub const METRICS: u8 = 0x15;
+    /// Request (v2): retained span trees as Chrome trace-event JSON.
+    pub const DUMP_TRACES: u8 = 0x16;
+    /// Request (v2): the metrics snapshot as flat text exposition.
+    pub const METRICS_TEXT: u8 = 0x17;
 
     /// Response: session opened, body carries the session id.
     pub const SESSION_OPENED: u8 = 0x20;
@@ -81,6 +91,10 @@ pub mod tag {
     /// Response: the server is draining; body optionally carries the final
     /// session report. No further requests will be served.
     pub const GO_AWAY: u8 = 0x26;
+    /// Response (v2): Chrome trace-event JSON of retained span trees.
+    pub const TRACES_JSON: u8 = 0x27;
+    /// Response (v2): metrics snapshot as flat text exposition.
+    pub const METRICS_TEXT_REPLY: u8 = 0x28;
 }
 
 /// FNV-1a 64 folded to 32 bits — the per-frame checksum.

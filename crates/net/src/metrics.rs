@@ -31,6 +31,8 @@ pub struct NetInstruments {
     /// Wall-clock nanoseconds spent serving each request frame, from decoded
     /// request to written response (log-scale buckets).
     pub frame_nanos: LogHistogram,
+    /// `DumpTraces` requests served (each walks the retained span-tree ring).
+    pub traces_dumped: Counter,
 }
 
 impl MetricSource for NetInstruments {
@@ -53,6 +55,10 @@ impl MetricSource for NetInstruments {
                 "frame_nanos",
                 MetricValue::Histogram(Box::new(self.frame_nanos.snapshot())),
             ),
+            (
+                "traces_dumped",
+                MetricValue::Counter(self.traces_dumped.get()),
+            ),
         ]
     }
 }
@@ -71,6 +77,7 @@ mod tests {
         n.bytes_out.add(200);
         n.frame_errors.inc();
         n.frame_nanos.record(1_000);
+        n.traces_dumped.inc();
         let collected = n.collect();
         let get = |key: &str| {
             collected
@@ -85,6 +92,7 @@ mod tests {
         assert_eq!(get("bytes_in"), MetricValue::Counter(100));
         assert_eq!(get("bytes_out"), MetricValue::Counter(200));
         assert_eq!(get("frame_errors"), MetricValue::Counter(1));
+        assert_eq!(get("traces_dumped"), MetricValue::Counter(1));
         match get("frame_nanos") {
             MetricValue::Histogram(h) => assert_eq!(h.count(), 1),
             other => panic!("expected histogram, got {other:?}"),

@@ -34,9 +34,10 @@ use crate::admission::{Admission, Verdict};
 use crate::codec::{decode_request, encode_response, Request, Response};
 use crate::frame::{
     read_frame, write_frame, FrameReadError, ReadOutcome, MAX_FRAME_LEN, MAX_HANDSHAKE_LEN,
-    PROTOCOL_NAME, PROTOCOL_VERSION,
+    MIN_PROTOCOL_VERSION, PROTOCOL_NAME, PROTOCOL_VERSION,
 };
 use crate::metrics::NetInstruments;
+use dbtouch_obs::TraceEventKind;
 use dbtouch_server::{
     ExplorationServer, ServerConfig, ServerMetricsSnapshot, SessionHandle, SessionReport,
 };
@@ -55,17 +56,21 @@ use std::time::{Duration, Instant};
 /// the upper bound on how stale the draining flag can be observed.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
-/// The JSON handshake payload both sides exchange.
-fn hello_json() -> String {
+/// The JSON handshake payload, carrying `version` (a client offers its own;
+/// a server acks the negotiated `min(client, server)`).
+fn hello_json(version: u64) -> String {
     json::object([
         ("proto", Json::String(PROTOCOL_NAME.into())),
-        ("version", Json::Number(PROTOCOL_VERSION as f64)),
+        ("version", Json::Number(version as f64)),
     ])
     .pretty()
 }
 
-/// Validate a received handshake payload (JSON text after the tag byte).
-pub(crate) fn check_hello(body: &[u8]) -> std::result::Result<(), String> {
+/// Validate a received handshake payload (JSON text after the tag byte) and
+/// return the peer's version. Anything down to [`MIN_PROTOCOL_VERSION`] is
+/// accepted — both sides then speak `min(peer, own)`, so a v1 peer simply
+/// never sees the v2 additions.
+pub(crate) fn check_hello(body: &[u8]) -> std::result::Result<u64, String> {
     let text = std::str::from_utf8(body).map_err(|_| "handshake is not UTF-8".to_string())?;
     let parsed = json::parse(text).map_err(|e| format!("handshake is not JSON: {e}"))?;
     match parsed.get("proto").and_then(|p| p.as_str()) {
@@ -73,10 +78,23 @@ pub(crate) fn check_hello(body: &[u8]) -> std::result::Result<(), String> {
         other => return Err(format!("unknown protocol {other:?}")),
     }
     match parsed.get("version").and_then(|v| v.as_u64()) {
-        Some(PROTOCOL_VERSION) => Ok(()),
+        Some(v) if v >= MIN_PROTOCOL_VERSION => Ok(v),
         other => Err(format!(
-            "unsupported protocol version {other:?} (supported: {PROTOCOL_VERSION})"
+            "unsupported protocol version {other:?} \
+             (supported: {MIN_PROTOCOL_VERSION}..={PROTOCOL_VERSION})"
         )),
+    }
+}
+
+/// The `detail` code a `Shed` trace event carries (see
+/// [`TraceEventKind::Shed`]): derived from the admission reason text.
+fn shed_reason_code(reason: &str) -> u64 {
+    if reason.contains("drain") {
+        1
+    } else if reason.contains("connection") || reason.contains("backlog") {
+        2
+    } else {
+        0
     }
 }
 
@@ -237,8 +255,15 @@ fn send(shared: &Shared, stream: &mut TcpStream, resp: &Response) -> bool {
 }
 
 /// Shed a connection before it is served: explicit `Shed` frame, then close.
+/// Pre-handshake sheds carry no trace context, but the decision itself is
+/// stamped into the event ring so operators can see it server-side.
 fn shed_connection(shared: &Shared, mut stream: TcpStream, reason: &str) {
     shared.instruments.shed.inc();
+    shared
+        .server
+        .catalog()
+        .telemetry()
+        .event(TraceEventKind::Shed, shed_reason_code(reason));
     let resp = Response::Shed {
         retry_after_ms: shared.retry_after_ms,
         reason: reason.into(),
@@ -341,13 +366,16 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         );
         return;
     }
-    if let Err(reason) = check_hello(&hello[1..]) {
-        shared.instruments.frame_errors.inc();
-        let _ = send(shared, &mut stream, &Response::Error(reason));
-        return;
-    }
+    let peer_version = match check_hello(&hello[1..]) {
+        Ok(v) => v,
+        Err(reason) => {
+            shared.instruments.frame_errors.inc();
+            let _ = send(shared, &mut stream, &Response::Error(reason));
+            return;
+        }
+    };
     let mut ack = crate::codec::WireWriter::with_tag(crate::frame::tag::HELLO_ACK);
-    ack.raw(hello_json().as_bytes());
+    ack.raw(hello_json(peer_version.min(PROTOCOL_VERSION)).as_bytes());
     match write_frame(&mut stream, &ack.into_bytes()) {
         Ok(n) => shared.instruments.bytes_out.add(n),
         Err(_) => return,
@@ -409,6 +437,7 @@ fn serve_request(
     payload: &[u8],
     session: &mut Option<SessionHandle>,
 ) -> (Response, bool) {
+    let decode_started = Instant::now();
     let request = match decode_request(payload) {
         Ok(r) => r,
         Err(e) => {
@@ -416,6 +445,7 @@ fn serve_request(
             return (Response::Error(e.to_string()), false);
         }
     };
+    let decode_nanos = decode_started.elapsed().as_nanos() as u64;
     let resp = match request {
         Request::OpenSession => {
             if session.is_some() {
@@ -430,6 +460,11 @@ fn serve_request(
                         reason,
                     } => {
                         shared.instruments.shed.inc();
+                        shared
+                            .server
+                            .catalog()
+                            .telemetry()
+                            .event(TraceEventKind::Shed, shed_reason_code(&reason));
                         Response::Shed {
                             retry_after_ms,
                             reason,
@@ -451,28 +486,86 @@ fn serve_request(
             },
             None => Response::Error("no session open".into()),
         },
-        Request::RunTrace(object, trace) => match session {
-            Some(s) => match shared
-                .admission
-                .admit_trace(&shared.server.metrics_snapshot())
-            {
-                Verdict::Shed {
-                    retry_after_ms,
-                    reason,
-                } => {
-                    shared.instruments.shed.inc();
-                    Response::Shed {
+        Request::RunTrace(object, trace, wire) => match session {
+            Some(s) => {
+                let hub = shared.server.catalog().telemetry();
+                // Continue the client's span across the server: the root
+                // opens backdated to when the frame hit the decoder, and the
+                // decode itself becomes the tree's first child span. (The
+                // worker later finds this buffer by the wire ids —
+                // ensure_root is idempotent.)
+                if let Some(w) = wire {
+                    let now = hub.now_nanos();
+                    let root_start = now.saturating_sub(decode_nanos);
+                    hub.spans()
+                        .ensure_root(s.id(), w.trace, w.root_span, root_start);
+                    hub.spans().record_span(
+                        s.id(),
+                        w.trace,
+                        0,
+                        "decode",
+                        root_start,
+                        decode_nanos,
+                        payload.len() as u64,
+                    );
+                }
+                let admit_started = hub.now_nanos();
+                match shared
+                    .admission
+                    .admit_trace(&shared.server.metrics_snapshot())
+                {
+                    Verdict::Shed {
                         retry_after_ms,
                         reason,
+                    } => {
+                        shared.instruments.shed.inc();
+                        // Stamp the shed decision with the rejected trace
+                        // context so client-side `Overloaded` errors
+                        // correlate with server state; the partial span
+                        // buffer is dropped, not sampled.
+                        match wire {
+                            Some(w) => {
+                                hub.adopt_trace(s.id(), w.trace);
+                                hub.event(TraceEventKind::Shed, shed_reason_code(&reason));
+                                hub.end_trace();
+                                hub.spans().trace_abort(s.id(), w.trace);
+                            }
+                            None => {
+                                hub.event(TraceEventKind::Shed, shed_reason_code(&reason));
+                            }
+                        }
+                        Response::Shed {
+                            retry_after_ms,
+                            reason,
+                        }
+                    }
+                    // Acked only after the bounded session queue accepted the
+                    // trace: server backpressure becomes client backpressure.
+                    Verdict::Admit => {
+                        if let Some(w) = wire {
+                            let end = hub.now_nanos();
+                            hub.spans().record_span(
+                                s.id(),
+                                w.trace,
+                                0,
+                                "admission",
+                                admit_started,
+                                end.saturating_sub(admit_started),
+                                0,
+                            );
+                        }
+                        match s.run_trace_traced(object, trace, wire) {
+                            Ok(()) => Response::Ack,
+                            Err(e) => {
+                                if let Some(w) = wire {
+                                    hub.spans().trace_abort(s.id(), w.trace);
+                                }
+                                Response::Error(e.to_string())
+                            }
+                        }
                     }
                 }
-                // Acked only after the bounded session queue accepted the
-                // trace: server backpressure becomes client backpressure.
-                Verdict::Admit => match s.run_trace(object, trace) {
-                    Ok(()) => Response::Ack,
-                    Err(e) => Response::Error(e.to_string()),
-                },
-            },
+            }
             None => Response::Error("no session open".into()),
         },
         Request::Snapshot => match session {
@@ -491,6 +584,14 @@ fn serve_request(
         },
         Request::Metrics => {
             Response::MetricsJson(shared.server.metrics_snapshot().to_json().pretty())
+        }
+        Request::MetricsText => {
+            Response::MetricsText(shared.server.metrics_snapshot().render_text())
+        }
+        Request::DumpTraces => {
+            shared.instruments.traces_dumped.inc();
+            let retained = shared.server.catalog().telemetry().spans().retained();
+            Response::TracesJson(dbtouch_obs::chrome_trace_text(&retained))
         }
     };
     (resp, false)
@@ -533,19 +634,20 @@ fn drain_connection(shared: &Shared, mut stream: TcpStream, session: Option<Sess
 }
 
 /// Client-side handshake over a fresh stream (shared with
-/// [`crate::client::TcpClient`]).
-pub(crate) fn client_handshake(stream: &mut TcpStream) -> Result<()> {
+/// [`crate::client::TcpClient`]). Returns the negotiated protocol version,
+/// `min(our version, the server's ack)`.
+pub(crate) fn client_handshake(stream: &mut TcpStream) -> Result<u64> {
     let mut hello = crate::codec::WireWriter::with_tag(crate::frame::tag::HELLO);
-    hello.raw(hello_json().as_bytes());
+    hello.raw(hello_json(PROTOCOL_VERSION).as_bytes());
     write_frame(stream, &hello.into_bytes())
         .map_err(|e| DbTouchError::Io(format!("handshake send: {e}")))?;
     loop {
         match read_frame(stream, MAX_HANDSHAKE_LEN) {
             Ok((ReadOutcome::Frame(p), _)) => {
                 return match p.first() {
-                    Some(&crate::frame::tag::HELLO_ACK) => {
-                        check_hello(&p[1..]).map_err(DbTouchError::Remote)
-                    }
+                    Some(&crate::frame::tag::HELLO_ACK) => check_hello(&p[1..])
+                        .map(|acked| acked.min(PROTOCOL_VERSION))
+                        .map_err(DbTouchError::Remote),
                     Some(&crate::frame::tag::SHED) => match crate::codec::decode_response(&p)? {
                         Response::Shed {
                             retry_after_ms,

@@ -9,25 +9,51 @@
 //! Worker threads serve one session event at a time, so the attribution is
 //! exact for session work; background threads (remote I/O pool) carry no
 //! context and their events are recorded unattributed.
+//!
+//! When hierarchical tracing is on, the context additionally carries the id
+//! of the gesture's current *service span*, so work fanned out to helper
+//! threads (morsel segment scans) can hang child spans under it.
 
 use std::cell::Cell;
 
-/// The `(session_id, trace_id)` pair events are attributed to.
+/// The `(session_id, trace_id)` pair events are attributed to, plus the
+/// current span child work should nest under (0 = none).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceCtx {
     /// Server-assigned session id.
     pub session: u64,
     /// Per-gesture-trace id, unique per telemetry hub.
     pub trace: u64,
+    /// Id of the span child spans should parent to; 0 when no span is open.
+    pub span: u64,
 }
 
 thread_local! {
     static CTX: Cell<Option<TraceCtx>> = const { Cell::new(None) };
 }
 
-/// Attribute subsequent events on this thread to `(session, trace)`.
+/// Attribute subsequent events on this thread to `(session, trace)`, with
+/// no enclosing span.
 pub fn set_trace_ctx(session: u64, trace: u64) {
-    CTX.with(|c| c.set(Some(TraceCtx { session, trace })));
+    set_trace_ctx_span(session, trace, 0);
+}
+
+/// Attribute subsequent events on this thread to `(session, trace)` and
+/// nest child spans under `span`.
+pub fn set_trace_ctx_span(session: u64, trace: u64, span: u64) {
+    CTX.with(|c| {
+        c.set(Some(TraceCtx {
+            session,
+            trace,
+            span,
+        }))
+    });
+}
+
+/// Restore a full captured context (helper threads adopting a submitter's
+/// context, span included).
+pub fn set_trace_ctx_full(ctx: TraceCtx) {
+    CTX.with(|c| c.set(Some(ctx)));
 }
 
 /// Stop attributing events on this thread.
@@ -52,9 +78,12 @@ mod tests {
             trace_ctx(),
             Some(TraceCtx {
                 session: 7,
-                trace: 42
+                trace: 42,
+                span: 0
             })
         );
+        set_trace_ctx_span(7, 42, 9);
+        assert_eq!(trace_ctx().unwrap().span, 9);
         clear_trace_ctx();
         assert_eq!(trace_ctx(), None);
     }
@@ -64,6 +93,16 @@ mod tests {
         set_trace_ctx(1, 1);
         let other = std::thread::spawn(trace_ctx).join().unwrap();
         assert_eq!(other, None);
+        clear_trace_ctx();
+    }
+
+    #[test]
+    fn full_restore_preserves_the_span() {
+        set_trace_ctx_span(3, 4, 5);
+        let captured = trace_ctx().unwrap();
+        clear_trace_ctx();
+        set_trace_ctx_full(captured);
+        assert_eq!(trace_ctx(), Some(captured));
         clear_trace_ctx();
     }
 }

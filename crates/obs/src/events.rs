@@ -49,6 +49,11 @@ pub enum TraceEventKind {
     EpochPublished,
     /// A gesture trace finished (`detail` = total nanos).
     TraceFinished,
+    /// Admission control rejected work (`detail` = shed-reason code:
+    /// 0 = overloaded, 1 = draining, 2 = connection limit). Stamped with the
+    /// rejected request's trace context when the client sent one, so
+    /// client-side `Overloaded` errors correlate with server state.
+    Shed,
 }
 
 impl TraceEventKind {
@@ -67,6 +72,7 @@ impl TraceEventKind {
             TraceEventKind::EpochRefresh => "epoch_refresh",
             TraceEventKind::EpochPublished => "epoch_published",
             TraceEventKind::TraceFinished => "trace_finished",
+            TraceEventKind::Shed => "shed",
         }
     }
 
@@ -128,6 +134,7 @@ pub struct EventRing {
     shards: [Mutex<VecDeque<TraceEvent>>; STRIPES],
     per_shard: usize,
     seq: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl EventRing {
@@ -138,6 +145,7 @@ impl EventRing {
             shards: std::array::from_fn(|_| Mutex::new(VecDeque::new())),
             per_shard: capacity.div_ceil(STRIPES),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -146,11 +154,13 @@ impl EventRing {
     pub fn push(&self, mut event: TraceEvent) {
         event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
         if self.per_shard == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut shard = self.shards[stripe()].lock().unwrap();
         if shard.len() == self.per_shard {
             shard.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         shard.push_back(event);
     }
@@ -158,6 +168,14 @@ impl EventRing {
     /// Total events ever pushed (including ones since evicted).
     pub fn pushed(&self) -> u64 {
         self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events discarded because the ring was full (oldest evicted) or
+    /// retention is disabled. A growing value on scrape means the ring is
+    /// saturated and `telemetry_ring_capacity` is too small for the scrape
+    /// interval.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     /// The retained events, oldest first (merged across stripes by sequence
@@ -208,6 +226,7 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
         assert_eq!(events.last().unwrap().detail, 199);
         assert_eq!(ring.pushed(), 200);
+        assert_eq!(ring.dropped(), 196);
     }
 
     #[test]
@@ -216,6 +235,7 @@ mod tests {
         ring.push(ev(TraceEventKind::PageFault, 9));
         assert!(ring.snapshot().is_empty());
         assert_eq!(ring.pushed(), 1);
+        assert_eq!(ring.dropped(), 1);
     }
 
     #[test]
@@ -246,8 +266,10 @@ mod tests {
     fn kind_names_are_stable() {
         assert_eq!(TraceEventKind::PageFault.name(), "page_fault");
         assert_eq!(TraceEventKind::SegmentScanned.name(), "segment_scanned");
+        assert_eq!(TraceEventKind::Shed.name(), "shed");
         assert!(TraceEventKind::TouchReceived.is_hot());
         assert!(TraceEventKind::SegmentScanned.is_hot());
         assert!(!TraceEventKind::EpochPublished.is_hot());
+        assert!(!TraceEventKind::Shed.is_hot());
     }
 }

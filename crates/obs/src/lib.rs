@@ -30,9 +30,16 @@ pub mod events;
 pub mod histogram;
 pub mod registry;
 pub mod stripe;
+pub mod trace;
 
 pub use counter::{Counter, Gauge, PeakGauge};
-pub use ctx::{clear_trace_ctx, set_trace_ctx, trace_ctx, TraceCtx};
+pub use ctx::{
+    clear_trace_ctx, set_trace_ctx, set_trace_ctx_full, set_trace_ctx_span, trace_ctx, TraceCtx,
+};
 pub use events::{EventRing, TraceEvent, TraceEventKind};
 pub use histogram::{HistogramSnapshot, LogHistogram, BUCKETS};
 pub use registry::{MetricSource, MetricValue, MetricsSnapshot, Telemetry};
+pub use trace::{
+    chrome_trace_json, chrome_trace_text, SpanConfig, SpanRecord, SpanStore, SpanTree,
+    WireTraceContext, CLIENT_ID_BIT,
+};

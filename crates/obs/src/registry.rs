@@ -10,6 +10,7 @@
 use crate::ctx::trace_ctx;
 use crate::events::{EventRing, TraceEvent, TraceEventKind};
 use crate::histogram::HistogramSnapshot;
+use crate::trace::span::{SpanConfig, SpanStore, SpanTree};
 use dbtouch_types::json::{object, Json};
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -60,6 +61,8 @@ pub struct MetricsSnapshot {
     pub metrics: BTreeMap<String, MetricValue>,
     /// The retained tail of the event trace, oldest first.
     pub events: Vec<TraceEvent>,
+    /// The retained (tail/head-sampled) span trees, oldest first.
+    pub traces: Vec<SpanTree>,
     /// Nanoseconds since the hub was created.
     pub uptime_nanos: u64,
     /// Total events recorded (including ones the ring has since evicted).
@@ -89,11 +92,13 @@ impl MetricsSnapshot {
                 .collect(),
         );
         let events = Json::Array(self.events.iter().map(TraceEvent::to_json).collect());
+        let traces = Json::Array(self.traces.iter().map(SpanTree::to_json).collect());
         object([
             ("uptime_nanos", Json::Number(self.uptime_nanos as f64)),
             ("events_recorded", Json::Number(self.events_recorded as f64)),
             ("metrics", metrics),
             ("events", events),
+            ("traces", traces),
         ])
     }
 
@@ -139,6 +144,7 @@ pub struct Telemetry {
     hot_sample: u32,
     started: Instant,
     ring: EventRing,
+    spans: SpanStore,
     next_trace: AtomicU64,
     sources: RwLock<Vec<Arc<dyn MetricSource>>>,
 }
@@ -146,12 +152,20 @@ pub struct Telemetry {
 impl Telemetry {
     /// A live hub. `ring_capacity` bounds retained trace events;
     /// `hot_sample` records every Nth hot-path event (1 = record all).
+    /// Span capture uses [`SpanConfig::default`]; use
+    /// [`Telemetry::with_spans`] to tune it.
     pub fn new(ring_capacity: usize, hot_sample: u32) -> Self {
+        Telemetry::with_spans(ring_capacity, hot_sample, SpanConfig::default())
+    }
+
+    /// A live hub with explicit span-capture knobs.
+    pub fn with_spans(ring_capacity: usize, hot_sample: u32, spans: SpanConfig) -> Self {
         Telemetry {
             enabled: true,
             hot_sample: hot_sample.max(1),
             started: Instant::now(),
             ring: EventRing::new(ring_capacity),
+            spans: SpanStore::new(spans),
             next_trace: AtomicU64::new(1),
             sources: RwLock::new(Vec::new()),
         }
@@ -164,6 +178,7 @@ impl Telemetry {
             hot_sample: 1,
             started: Instant::now(),
             ring: EventRing::new(0),
+            spans: SpanStore::new(SpanConfig::disabled()),
             next_trace: AtomicU64::new(1),
             sources: RwLock::new(Vec::new()),
         }
@@ -172,6 +187,17 @@ impl Telemetry {
     /// Whether this hub records anything.
     pub fn is_enabled(&self) -> bool {
         self.enabled
+    }
+
+    /// The hierarchical span store (disabled stores no-op every call).
+    pub fn spans(&self) -> &SpanStore {
+        &self.spans
+    }
+
+    /// Nanoseconds since the hub started — the clock every span timestamp
+    /// lives on.
+    pub fn now_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
     }
 
     /// Register (or replace, matched by `source_name`) a scrape source.
@@ -191,6 +217,17 @@ impl Telemetry {
     /// `(session, trace)`. Pair with [`Telemetry::end_trace`].
     pub fn begin_trace(&self, session: u64) -> u64 {
         let trace = self.next_trace.fetch_add(1, Ordering::Relaxed);
+        if self.enabled {
+            crate::ctx::set_trace_ctx(session, trace);
+        }
+        trace
+    }
+
+    /// Attribute subsequent events on this thread to a trace id minted
+    /// elsewhere (a client-stamped wire id, [`crate::trace::CLIENT_ID_BIT`]
+    /// set, so it cannot collide with [`Telemetry::begin_trace`] ids). Pair
+    /// with [`Telemetry::end_trace`].
+    pub fn adopt_trace(&self, session: u64, trace: u64) -> u64 {
         if self.enabled {
             crate::ctx::set_trace_ctx(session, trace);
         }
@@ -250,9 +287,31 @@ impl Telemetry {
                 metrics.insert(format!("{prefix}.{name}"), value);
             }
         }
+        // The hub's own health: ring saturation and span-sampler activity.
+        metrics.insert(
+            "obs.events_dropped".to_string(),
+            MetricValue::Counter(self.ring.dropped()),
+        );
+        metrics.insert(
+            "obs.traces_finished".to_string(),
+            MetricValue::Counter(self.spans.traces_finished()),
+        );
+        metrics.insert(
+            "obs.traces_tail_sampled".to_string(),
+            MetricValue::Counter(self.spans.tail_sampled()),
+        );
+        metrics.insert(
+            "obs.traces_head_sampled".to_string(),
+            MetricValue::Counter(self.spans.head_sampled()),
+        );
+        metrics.insert(
+            "obs.spans_truncated".to_string(),
+            MetricValue::Counter(self.spans.spans_truncated()),
+        );
         MetricsSnapshot {
             metrics,
             events: self.ring.snapshot(),
+            traces: self.spans.retained(),
             uptime_nanos: self.started.elapsed().as_nanos() as u64,
             events_recorded: self.ring.pushed(),
         }
@@ -298,9 +357,18 @@ mod tests {
         src.hits.add(3);
         let snap = hub.snapshot();
         assert_eq!(snap.scalar("fake.hits"), Some(3));
-        // Re-register replaces rather than duplicates.
+        // Re-register replaces rather than duplicates (the other keys are
+        // the hub's own obs.* health metrics).
         hub.register(src);
-        assert_eq!(hub.snapshot().metrics.len(), 1);
+        let snap = hub.snapshot();
+        assert_eq!(
+            snap.metrics
+                .keys()
+                .filter(|k| k.starts_with("fake."))
+                .count(),
+            1
+        );
+        assert_eq!(snap.scalar("obs.events_dropped"), Some(0));
     }
 
     #[test]
@@ -366,5 +434,48 @@ mod tests {
         );
         // Byte-stable rendering round-trips through the parser.
         assert!(dbtouch_types::json::parse(&json.pretty()).is_ok());
+    }
+
+    #[test]
+    fn snapshot_carries_retained_span_trees() {
+        let hub = Telemetry::with_spans(
+            64,
+            1,
+            SpanConfig {
+                tail_threshold_nanos: 0, // everything tail-samples
+                ..SpanConfig::default()
+            },
+        );
+        let trace = hub.begin_trace(4);
+        let start = hub.now_nanos();
+        hub.spans().ensure_root(4, trace, 0, start);
+        hub.spans()
+            .record_span(4, trace, 0, "service", start, 10, 0);
+        hub.spans().trace_finish(4, trace, start + 20);
+        hub.end_trace();
+        let snap = hub.snapshot();
+        assert_eq!(snap.traces.len(), 1);
+        assert_eq!(snap.traces[0].trace, trace);
+        assert_eq!(snap.scalar("obs.traces_finished"), Some(1));
+        assert_eq!(snap.scalar("obs.traces_tail_sampled"), Some(1));
+        let json = snap.to_json();
+        assert_eq!(
+            json.get("traces").and_then(Json::as_array).map(|a| a.len()),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn adopt_trace_attributes_without_minting() {
+        let hub = Telemetry::new(64, 1);
+        let wire = crate::trace::CLIENT_ID_BIT | 9;
+        assert_eq!(hub.adopt_trace(2, wire), wire);
+        hub.event(TraceEventKind::TraceStarted, 0);
+        hub.end_trace();
+        let snap = hub.snapshot();
+        assert_eq!(snap.events[0].trace, Some(wire));
+        // The mint counter was not consumed.
+        assert_eq!(hub.begin_trace(2), 1);
+        hub.end_trace();
     }
 }

@@ -1,0 +1,125 @@
+//! Chrome trace-event export of retained span trees.
+//!
+//! The output is the Trace Event Format's JSON object form
+//! (`{"traceEvents": [...]}`) using complete (`"ph": "X"`) events with
+//! microsecond timestamps, which both `chrome://tracing` and Perfetto load
+//! directly: sessions render as processes, traces as threads, and the span
+//! hierarchy nests by interval containment.
+
+use super::span::SpanTree;
+use dbtouch_types::json::{object, Json};
+
+/// Microseconds (as JSON number) from hub-clock nanoseconds.
+fn micros(nanos: u64) -> Json {
+    Json::Number(nanos as f64 / 1_000.0)
+}
+
+/// One span tree's events, appended to `events`.
+fn push_tree(events: &mut Vec<Json>, tree: &SpanTree) {
+    for span in &tree.spans {
+        let duration = if span.is_open() {
+            0
+        } else {
+            span.duration_nanos
+        };
+        events.push(object([
+            ("name", Json::String(span.name.to_string())),
+            ("cat", Json::String("dbtouch".into())),
+            ("ph", Json::String("X".into())),
+            ("ts", micros(span.start_nanos)),
+            ("dur", micros(duration)),
+            ("pid", Json::Number(tree.session as f64)),
+            ("tid", Json::Number(tree.trace as f64)),
+            (
+                "args",
+                object([
+                    ("span", Json::Number(span.id as f64)),
+                    ("parent", Json::Number(span.parent as f64)),
+                    ("detail", Json::Number(span.detail as f64)),
+                    ("late", Json::Bool(span.late)),
+                    ("tail_sampled", Json::Bool(tree.tail_sampled)),
+                ]),
+            ),
+        ]));
+    }
+}
+
+/// Render retained trees as a Chrome trace-event JSON document.
+pub fn chrome_trace_json(trees: &[SpanTree]) -> Json {
+    let mut events = Vec::new();
+    for tree in trees {
+        push_tree(&mut events, tree);
+    }
+    object([
+        ("traceEvents", Json::Array(events)),
+        ("displayTimeUnit", Json::String("ms".into())),
+    ])
+}
+
+/// [`chrome_trace_json`] rendered to text — the payload of the net
+/// protocol's `DumpTraces` response, ready to save and open in Perfetto.
+pub fn chrome_trace_text(trees: &[SpanTree]) -> String {
+    chrome_trace_json(trees).pretty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::span::{SpanConfig, SpanStore};
+    use super::*;
+    use dbtouch_types::json::parse;
+
+    #[test]
+    fn export_parses_and_carries_the_hierarchy() {
+        let store = SpanStore::new(SpanConfig {
+            tail_threshold_nanos: 0,
+            ..SpanConfig::default()
+        });
+        let root = store.ensure_root(5, 42, 0, 1_000);
+        store.record_span(5, 42, 0, "queue_wait", 1_000, 250, 0);
+        let service = store.open_span(5, 42, 0, "service", 1_250, 0);
+        store.record_span(5, 42, service, "segments", 1_300, 100, 8192);
+        store.close_span(5, 42, service, 2_000);
+        store.trace_finish(5, 42, 2_000);
+
+        let text = chrome_trace_text(&store.retained());
+        let doc = parse(&text).expect("export must be valid JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .expect("traceEvents array");
+        assert_eq!(events.len(), 4);
+        for e in events {
+            assert_eq!(e.get("ph").and_then(Json::as_str), Some("X"));
+            assert_eq!(e.get("pid").and_then(Json::as_u64), Some(5));
+            assert_eq!(e.get("tid").and_then(Json::as_u64), Some(42));
+        }
+        // The segments event nests inside the service interval.
+        let by_name = |name: &str| {
+            events
+                .iter()
+                .find(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                .unwrap()
+        };
+        let parent_of = |e: &Json| {
+            e.get("args")
+                .and_then(|a| a.get("parent"))
+                .and_then(Json::as_u64)
+                .unwrap()
+        };
+        assert_eq!(parent_of(by_name("segments")), service);
+        assert_eq!(parent_of(by_name("service")), root);
+        assert_eq!(parent_of(by_name("touch")), 0);
+    }
+
+    #[test]
+    fn empty_export_is_still_a_document() {
+        let doc = chrome_trace_json(&[]);
+        assert_eq!(
+            doc.get("traceEvents")
+                .and_then(Json::as_array)
+                .map(|a| a.len()),
+            Some(0)
+        );
+        assert!(parse(&doc.pretty()).is_ok());
+    }
+}

@@ -37,7 +37,9 @@ use dbtouch_core::kernel::{ObjectId, TouchAction};
 use dbtouch_core::remote_exec::{self, CompletionQueue, RefinementApplied, RemoteCompletion};
 use dbtouch_core::session::Session;
 use dbtouch_gesture::trace::GestureTrace;
-use dbtouch_obs::{clear_trace_ctx, set_trace_ctx, Telemetry, TraceEventKind};
+use dbtouch_obs::{
+    clear_trace_ctx, set_trace_ctx, set_trace_ctx_span, Telemetry, TraceEventKind, WireTraceContext,
+};
 use dbtouch_types::{DbTouchError, KernelConfig, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -53,10 +55,15 @@ enum SessionEvent {
         object: ObjectId,
         action: TouchAction,
     },
-    /// Run a gesture trace over an object.
+    /// Run a gesture trace over an object. `wire` carries the client-stamped
+    /// trace context when the trace arrived over the network; `enqueued`
+    /// marks submission time so the worker can decompose queue wait from
+    /// service time.
     RunTrace {
         object: ObjectId,
         trace: GestureTrace,
+        wire: Option<WireTraceContext>,
+        enqueued: Instant,
     },
     /// Reply with a copy of the session's report so far.
     Snapshot { reply: SyncSender<SessionReport> },
@@ -184,7 +191,24 @@ impl SessionHandle {
     /// only when the session already has `session_queue_depth` events in
     /// flight (backpressure).
     pub fn run_trace(&self, object: ObjectId, trace: GestureTrace) -> Result<()> {
-        self.submit(SessionEvent::RunTrace { object, trace })
+        self.run_trace_traced(object, trace, None)
+    }
+
+    /// [`SessionHandle::run_trace`] carrying a wire-propagated trace context:
+    /// the worker adopts the client's trace and root-span ids, so the span
+    /// tree it retains is addressable by the ids the client stamped.
+    pub fn run_trace_traced(
+        &self,
+        object: ObjectId,
+        trace: GestureTrace,
+        wire: Option<WireTraceContext>,
+    ) -> Result<()> {
+        self.submit(SessionEvent::RunTrace {
+            object,
+            trace,
+            wire,
+            enqueued: Instant::now(),
+        })
     }
 
     /// Wait for everything submitted so far to finish and return a copy of
@@ -512,6 +536,17 @@ impl SessionSlot {
         // trace's scope: re-stamp its trace id so the lifecycle events of
         // one gesture correlate across the submit/land gap.
         set_trace_ctx(self.report.session_id, trace_id);
+        // Link the refinement back to its originating touch span — even when
+        // the touch already answered and its tree was retained (marked late).
+        let landed = telemetry.now_nanos();
+        telemetry.spans().record_late_span(
+            self.report.session_id,
+            trace_id,
+            "refinement",
+            landed.saturating_sub(latency_nanos),
+            latency_nanos,
+            ticket,
+        );
         match remote_exec::apply_completion(outcome, completion) {
             Ok(RefinementApplied::Applied { .. }) => {
                 telemetry.event(TraceEventKind::RefinementLanded, ticket);
@@ -652,12 +687,50 @@ fn serve(
                         .push(format!("set_action on object {}: {e}", object.0));
                 }
             }
-            SessionEvent::RunTrace { object, trace } => {
+            SessionEvent::RunTrace {
+                object,
+                trace,
+                wire,
+                enqueued,
+            } => {
                 // The whole trace runs under one telemetry trace id: every
                 // lifecycle event it emits — touch received, cache hit/miss,
-                // page fault, remote submit — carries (session, trace).
-                let trace_id = telemetry.begin_trace(session);
+                // page fault, remote submit — carries (session, trace). A
+                // wire-propagated context is adopted verbatim so the tree
+                // keeps the ids the client stamped.
+                let queue_wait_nanos = enqueued.elapsed().as_nanos() as u64;
+                let trace_id = match wire {
+                    Some(w) => telemetry.adopt_trace(session, w.trace),
+                    None => telemetry.begin_trace(session),
+                };
                 telemetry.event(TraceEventKind::TraceStarted, object.0);
+                let spans = telemetry.spans();
+                let now = telemetry.now_nanos();
+                // Wire traces already opened their root at frame decode
+                // (ensure_root is idempotent); in-process traces open it
+                // here, backdated to when the event was enqueued.
+                spans.ensure_root(
+                    session,
+                    trace_id,
+                    wire.map_or(0, |w| w.root_span),
+                    now.saturating_sub(queue_wait_nanos),
+                );
+                spans.record_span(
+                    session,
+                    trace_id,
+                    0,
+                    "queue_wait",
+                    now.saturating_sub(queue_wait_nanos),
+                    queue_wait_nanos,
+                    0,
+                );
+                let service_span =
+                    spans.open_span(session, trace_id, 0, "service", now, trace.len() as u64);
+                if service_span != 0 {
+                    // Fan-out (morsel helpers) captures this context, so
+                    // stolen-segment spans nest under the service span.
+                    set_trace_ctx_span(session, trace_id, service_span);
+                }
                 let report = &mut slot.report;
                 match SessionSlot::boundary_state(
                     &mut slot.states,
@@ -711,7 +784,11 @@ fn serve(
                             .push(format!("checkout of object {}: {e}", object.0))
                     }
                 }
+                let end = telemetry.now_nanos();
+                spans.close_span(session, trace_id, service_span, end);
                 telemetry.event(TraceEventKind::TraceFinished, object.0);
+                // Tail/head-sample the finished tree into the retained ring.
+                spans.trace_finish(session, trace_id, end);
                 telemetry.end_trace();
             }
             SessionEvent::Snapshot { reply } => {

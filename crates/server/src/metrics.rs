@@ -12,7 +12,7 @@
 use dbtouch_core::session::SessionStats;
 use dbtouch_obs::{
     Counter, HistogramSnapshot, LogHistogram, MetricSource, MetricValue, MetricsSnapshot,
-    PeakGauge, TraceEvent,
+    PeakGauge, SpanTree, TraceEvent,
 };
 use dbtouch_types::json::Json;
 
@@ -159,6 +159,11 @@ impl ServerMetricsSnapshot {
     /// The recent gesture-lifecycle trace events, oldest first.
     pub fn events(&self) -> &[TraceEvent] {
         &self.inner.events
+    }
+
+    /// The retained (tail- and head-sampled) span trees, oldest first.
+    pub fn traces(&self) -> &[SpanTree] {
+        &self.inner.traces
     }
 
     /// JSON exposition: the hub snapshot plus the server's worker loads.

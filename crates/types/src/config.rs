@@ -234,6 +234,37 @@ pub struct KernelConfig {
     /// stay cache-resident.
     #[serde(default)]
     pub dict_max_cardinality: u16,
+
+    /// When `true` (the default), the kernel additionally captures
+    /// hierarchical span trees per gesture trace — queue-wait vs service
+    /// decomposition, per-segment scan spans, late remote refinements —
+    /// tail-sampled into a bounded ring (see the `trace_*` knobs). Requires
+    /// telemetry; like the rest of telemetry, tracing observes execution
+    /// without steering it, so digests are bit-identical either way.
+    #[serde(default)]
+    pub tracing_enabled: bool,
+
+    /// Tail-sampling threshold in microseconds: any finished trace whose
+    /// root (end-to-end touch) latency reaches this keeps its full span
+    /// tree. The default (10 000 µs = 10 ms) captures traces that breach the
+    /// paper's interactivity contract by ~5x.
+    #[serde(default)]
+    pub trace_tail_threshold_micros: u64,
+
+    /// Baseline head sampling: additionally retain every Nth finished trace
+    /// regardless of latency, so the tail has something typical to diff
+    /// against. 0 disables the baseline.
+    #[serde(default)]
+    pub trace_head_sample_every: u64,
+
+    /// Completed span trees retained; the oldest is evicted beyond this.
+    #[serde(default)]
+    pub trace_retained_capacity: usize,
+
+    /// Per-trace span cap: spans past this are counted as truncated rather
+    /// than stored, bounding memory under pathological fan-out.
+    #[serde(default)]
+    pub trace_max_spans: usize,
 }
 
 impl Default for KernelConfig {
@@ -265,6 +296,11 @@ impl Default for KernelConfig {
             segment_rows: 65_536,
             encoding_enabled: true,
             dict_max_cardinality: 64,
+            tracing_enabled: true,
+            trace_tail_threshold_micros: 10_000,
+            trace_head_sample_every: 64,
+            trace_retained_capacity: 64,
+            trace_max_spans: 512,
         }
     }
 }
@@ -342,6 +378,18 @@ impl KernelConfig {
             return Err(DbTouchError::InvalidConfig(
                 "dict_max_cardinality must be in 1..=256 (codes are one byte)".into(),
             ));
+        }
+        if self.tracing_enabled {
+            if self.trace_max_spans == 0 {
+                return Err(DbTouchError::InvalidConfig(
+                    "trace_max_spans must be >= 1 when tracing is enabled".into(),
+                ));
+            }
+            if self.trace_retained_capacity == 0 {
+                return Err(DbTouchError::InvalidConfig(
+                    "trace_retained_capacity must be >= 1 when tracing is enabled".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -479,6 +527,36 @@ impl KernelConfig {
     /// Builder-style setter for the dictionary-encoding cardinality ceiling.
     pub fn with_dict_max_cardinality(mut self, values: u16) -> Self {
         self.dict_max_cardinality = values;
+        self
+    }
+
+    /// Builder-style toggle for hierarchical span tracing.
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing_enabled = on;
+        self
+    }
+
+    /// Builder-style setter for the tail-sampling latency threshold (µs).
+    pub fn with_trace_tail_threshold_micros(mut self, micros: u64) -> Self {
+        self.trace_tail_threshold_micros = micros;
+        self
+    }
+
+    /// Builder-style setter for the head-sampled baseline stride (0 = off).
+    pub fn with_trace_head_sample_every(mut self, every: u64) -> Self {
+        self.trace_head_sample_every = every;
+        self
+    }
+
+    /// Builder-style setter for the retained span-tree ring capacity.
+    pub fn with_trace_retained_capacity(mut self, trees: usize) -> Self {
+        self.trace_retained_capacity = trees;
+        self
+    }
+
+    /// Builder-style setter for the per-trace span cap.
+    pub fn with_trace_max_spans(mut self, spans: usize) -> Self {
+        self.trace_max_spans = spans;
         self
     }
 }
@@ -636,6 +714,39 @@ mod tests {
         assert!(c.validate().is_ok());
         assert_eq!(c.telemetry_ring_capacity, 128);
         assert_eq!(c.telemetry_hot_sample, 1);
+    }
+
+    #[test]
+    fn tracing_knobs_validate_and_chain() {
+        let c = KernelConfig::default();
+        assert!(c.tracing_enabled);
+        assert_eq!(c.trace_tail_threshold_micros, 10_000);
+        assert_eq!(c.trace_head_sample_every, 64);
+        assert!(KernelConfig::default()
+            .with_trace_max_spans(0)
+            .validate()
+            .is_err());
+        assert!(KernelConfig::default()
+            .with_trace_retained_capacity(0)
+            .validate()
+            .is_err());
+        // Zero caps are fine while tracing is off.
+        assert!(KernelConfig::default()
+            .with_trace_max_spans(0)
+            .with_trace_retained_capacity(0)
+            .with_tracing(false)
+            .validate()
+            .is_ok());
+        let c = KernelConfig::default()
+            .with_trace_tail_threshold_micros(500)
+            .with_trace_head_sample_every(0)
+            .with_trace_retained_capacity(8)
+            .with_trace_max_spans(32);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.trace_tail_threshold_micros, 500);
+        assert_eq!(c.trace_head_sample_every, 0);
+        assert_eq!(c.trace_retained_capacity, 8);
+        assert_eq!(c.trace_max_spans, 32);
     }
 
     #[test]
